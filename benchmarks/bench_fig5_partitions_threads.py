@@ -1,0 +1,116 @@
+"""Fig 5: partition-size effects and the Bwa thread-scaling curves.
+
+* Fig 5(a): CPU cycles and cache misses of the alignment job vs number
+  of logical partitions — both grow with partition count because every
+  mapper reloads the reference index.
+* Fig 5(b): time breakdown of the MarkDuplicates MR job (map+sort,
+  map-side merge, shuffle+merge, reduce) for 30 vs 510 input partitions
+  — the map-side merge dominates the difference.
+* Fig 5(c): single-node multi-threaded Bwa speedup with readahead
+  128 KB vs 64 MB vs ideal.
+"""
+
+from benchlib import report
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.cluster.mrsim import ClusterModel, simulate_round
+from repro.cluster.rounds_model import round1_spec, round3_spec
+from repro.cluster.threading import BwaThreadModel
+
+KB, MB = 1024, 1024 * 1024
+
+#: Synthetic per-core-second cycle rate (2.4 GHz) and a cache-miss rate
+#: that is ~8x higher while (re)building the index's in-memory tables.
+CYCLES_PER_CORE_SECOND = 2.4e9
+BASE_MISSES_PER_CORE_SECOND = 2.0e6
+INDEX_MISSES_PER_CORE_SECOND = 1.6e7
+
+
+def fig5a(cost, workload):
+    """CPU cycles / cache misses vs #partitions (analytic, Fig 5a)."""
+    cluster = ClusterModel(CLUSTER_A)
+    points = []
+    for partitions in (15, 60, 240, 960, 4800):
+        spec = round1_spec(cluster, cost, workload, partitions, 1, 6)
+        align_cpu = sum(
+            t.cpu_core_seconds + t.transform_core_seconds for t in spec.map_tasks
+        )
+        startup_cpu = sum(t.startup_core_seconds for t in spec.map_tasks)
+        cycles = (align_cpu + startup_cpu) * CYCLES_PER_CORE_SECOND
+        misses = (
+            align_cpu * BASE_MISSES_PER_CORE_SECOND
+            + startup_cpu * INDEX_MISSES_PER_CORE_SECOND
+        )
+        points.append((partitions, cycles / 1e12, misses / 1e9))
+    return points
+
+
+def fig5b(cost, workload):
+    """Map/merge/shuffle/reduce breakdown, 30 vs 510 partitions."""
+    cluster = ClusterModel(CLUSTER_A.with_data_nodes(5))
+    breakdowns = {}
+    for partitions in (30, 510):
+        spec = round3_spec(
+            cluster, cost, workload, "opt",
+            num_map_partitions=partitions, reducers_per_node=6,
+            map_slots_per_node=6,
+        )
+        result = simulate_round(cluster, spec)
+        breakdowns[partitions] = {
+            "map+sort": result.avg_phase_seconds(
+                "map", "input-read", "startup", "map-cpu", "transform",
+                "spill-write",
+            ),
+            "map merge": result.avg_phase_seconds("map", "map-merge"),
+            "shuffle+merge": result.avg_shuffle_merge_seconds(),
+            "reduce": result.avg_reduce_seconds(),
+        }
+    return breakdowns
+
+
+def fig5c():
+    """Thread-speedup curves, readahead 128 KB vs 64 MB vs ideal."""
+    small = BwaThreadModel(readahead_bytes=128 * KB)
+    large = BwaThreadModel(readahead_bytes=64 * MB)
+    return [
+        (n, small.speedup(n), large.speedup(n), float(n))
+        for n in (1, 2, 4, 8, 12, 16, 20, 24)
+    ]
+
+
+def test_fig5a_alignment_overheads(benchmark, cost_model, workload):
+    points = benchmark(fig5a, cost_model, workload)
+    lines = [f"{'#partitions':>12s}{'CPU cycles (T)':>16s}{'cache misses (G)':>18s}"]
+    for partitions, cycles, misses in points:
+        lines.append(f"{partitions:>12d}{cycles:>16.2f}{misses:>18.2f}")
+    report("fig5a_align_overheads", "\n".join(lines))
+    cycles = [c for _, c, _ in points]
+    misses = [m for _, _, m in points]
+    assert cycles == sorted(cycles), "cycles must grow with partitions"
+    assert misses == sorted(misses), "cache misses must grow with partitions"
+    assert misses[-1] / misses[0] > 1.25
+
+
+def test_fig5b_markdup_breakdown(benchmark, cost_model, workload):
+    breakdowns = benchmark(fig5b, cost_model, workload)
+    lines = []
+    for partitions, phases in breakdowns.items():
+        lines.append(f"{partitions} input partitions:")
+        for name, seconds in phases.items():
+            lines.append(f"  {name:<14s}{seconds:>10.0f} s")
+    report("fig5b_markdup_breakdown", "\n".join(lines))
+    # Paper: the key difference is the map-side merge time.
+    assert breakdowns[30]["map merge"] > breakdowns[510]["map merge"]
+    assert breakdowns[510]["map merge"] == 0.0  # fits the sort buffer
+
+
+def test_fig5c_bwa_thread_speedup(benchmark):
+    curve = benchmark(fig5c)
+    lines = [f"{'threads':>8s}{'readahead=128KB':>17s}{'readahead=64MB':>16s}{'ideal':>8s}"]
+    for n, small, large, ideal in curve:
+        lines.append(f"{n:>8d}{small:>17.2f}{large:>16.2f}{ideal:>8.0f}")
+    report("fig5c_bwa_threads", "\n".join(lines))
+    final = curve[-1]
+    assert final[1] < final[2] < final[3], "128KB < 64MB < ideal at 24 threads"
+    assert final[1] < 14, "default readahead must flatten well below ideal"
+    assert final[2] > 15, "64MB readahead recovers much of the scaling"

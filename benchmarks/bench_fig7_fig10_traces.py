@@ -1,0 +1,117 @@
+"""Fig 7 and Fig 10: task-progress and disk-utilization traces.
+
+* Fig 7: per-node task progress of MarkDup_opt on Cluster B with 1 disk
+  — map wave, overlapped shuffle, then even reducer progress with no
+  stragglers.
+* Fig 10(a-c): disk utilization over time: MarkDup_reg saturates a
+  single disk (a), spreads fine over six (b), while MarkDup_opt's
+  ~100 GB/disk stays below saturation even on one disk (c).
+"""
+
+from benchlib import report
+
+from repro.cluster.hardware import CLUSTER_B
+from repro.cluster.monitor import render_disk_report
+from repro.cluster.mrsim import ClusterModel, simulate_round
+from repro.cluster.rounds_model import round3_spec
+
+
+def run_trace(cost, workload, mode, disks):
+    cluster = ClusterModel(CLUSTER_B.with_disks(disks))
+    spec = round3_spec(
+        cluster, cost, workload, mode,
+        num_map_partitions=384, reducers_per_node=16, map_slots_per_node=16,
+    )
+    return cluster, simulate_round(cluster, spec)
+
+
+def render_progress(result, max_tasks=12):
+    """An ASCII rendition of the Fig 7 progress plot."""
+    lines = []
+    wall = result.wall_seconds
+    width = 60
+    reduces = result.tasks_of("reduce")[:max_tasks]
+    maps = result.tasks_of("map")[: max_tasks // 2]
+    for task in maps + reduces:
+        bar = [" "] * width
+        for name, t0, t1 in task.phases:
+            symbol = {"map-cpu": "m", "shuffle-net": "s", "shuffle-write": "s",
+                      "wait-maps": ".", "merge": "g", "reduce-cpu": "r"}.get(
+                          name, "-")
+            lo = int(t0 / wall * (width - 1))
+            hi = max(lo + 1, int(t1 / wall * (width - 1)))
+            for i in range(lo, min(hi, width)):
+                bar[i] = symbol
+        lines.append(f"{task.task_id[-12:]:>14s} |{''.join(bar)}|")
+    lines.append(f"{'':>14s}  0s {'':<52s}{wall:.0f}s")
+    lines.append("  m=map s=shuffle .=wait g=merge r=reduce -=I/O")
+    return "\n".join(lines)
+
+
+def test_fig7_task_progress(benchmark, cost_model, workload):
+    cluster, result = benchmark(run_trace, cost_model, workload, "opt", 1)
+    text = render_progress(result)
+    report("fig7_task_progress", text)
+
+    reduces = result.tasks_of("reduce")
+    assert reduces
+    # Reducer progress is even: no stragglers (paper: "the progress of
+    # reducers is already quite even").
+    ends = [t.end for t in reduces]
+    spread = (max(ends) - min(ends)) / result.wall_seconds
+    assert spread < 0.25
+    # Shuffle overlaps the map phase (slowstart).
+    first_shuffle = min(t.start for t in reduces)
+    last_map = max(t.end for t in result.tasks_of("map"))
+    assert first_shuffle < last_map
+
+
+def test_fig10_disk_utilization(benchmark, cost_model, workload):
+    def collect():
+        traces = {}
+        charts = {}
+        for label, mode, disks in (
+            ("reg_1disk", "reg", 1),
+            ("reg_6disks", "reg", 6),
+            ("opt_1disk", "opt", 1),
+        ):
+            cluster, result = run_trace(cost_model, workload, mode, disks)
+            node = cluster.nodes[0]
+            disk_names = [r.name for r in cluster.disks[node]]
+            wall = result.wall_seconds
+            charts[label] = render_disk_report(
+                result.trace, disk_names, wall
+            )
+            traces[label] = {
+                "busy": max(
+                    result.trace.busy_fraction(name, horizon=wall)
+                    for name in disk_names
+                ),
+                "mean": max(
+                    result.trace.mean_utilization(name, horizon=wall)
+                    for name in disk_names
+                ),
+                "wall": wall,
+            }
+        return traces, charts
+
+    traces, charts = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = [f"{'scenario':<12s}{'busiest disk: mean util':>24s}"
+             f"{'time at >95% util':>20s}"]
+    for label, stats in traces.items():
+        lines.append(
+            f"{label:<12s}{100 * stats['mean']:>23.1f}%"
+            f"{100 * stats['busy']:>19.1f}%"
+        )
+    for label, chart in charts.items():
+        lines.append("")
+        lines.append(f"[{label}] node 0 disk utilization (sar-style):")
+        lines.append(chart)
+    report("fig10_disk_utilization", "\n".join(lines))
+
+    # Fig 10a: reg on one disk maxes the disk out for a long stretch.
+    assert traces["reg_1disk"]["busy"] > 0.5
+    # Fig 10b: six disks relieve the pressure.
+    assert traces["reg_6disks"]["busy"] < traces["reg_1disk"]["busy"]
+    # Fig 10c: opt's ~100 GB/disk is sustainable even on one disk.
+    assert traces["opt_1disk"]["busy"] < traces["reg_1disk"]["busy"]

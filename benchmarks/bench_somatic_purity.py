@@ -1,0 +1,94 @@
+"""Extension bench: somatic-calling sensitivity vs tumor purity.
+
+The cancer workloads motivating the paper (Mutect, section 1) degrade
+as tumor purity falls — the somatic allele fraction drops toward the
+noise floor.  This bench sweeps purity on a fixed tumor/normal pair and
+reports MutectLite's sensitivity and false positives, demonstrating the
+expected monotone relationship.
+"""
+
+from benchlib import report
+
+from repro.align.index import ReferenceIndex
+from repro.align.pairing import PairedEndAligner
+from repro.genome.simulate import (
+    DonorSimulationConfig,
+    ReadSimulationConfig,
+    ReferenceSimulationConfig,
+    SomaticSimulationConfig,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+    simulate_tumor,
+    simulate_tumor_reads,
+)
+from repro.variants.somatic import MutectLite
+
+PURITIES = (1.0, 0.7, 0.4)
+
+
+def run_sweep():
+    reference = simulate_reference(
+        ReferenceSimulationConfig(contig_lengths={"chr1": 9000}, seed=101)
+    )
+    donor = simulate_donor(reference, DonorSimulationConfig(seed=102))
+    index = ReferenceIndex(reference)
+    aligner = PairedEndAligner(index)
+
+    normal_pairs, _ = simulate_reads(
+        donor, ReadSimulationConfig(coverage=25.0, seed=103)
+    )
+    normal_records = aligner.align_all(normal_pairs, batch_size=800)
+    caller = MutectLite(reference)
+
+    rows = []
+    for purity in PURITIES:
+        tumor = simulate_tumor(
+            donor,
+            SomaticSimulationConfig(somatic_snvs=8, purity=purity, seed=104),
+        )
+        tumor_pairs, _ = simulate_tumor_reads(
+            tumor, ReadSimulationConfig(coverage=35.0, seed=105,
+                                        sample_name="TUM1")
+        )
+        tumor_records = aligner.align_all(tumor_pairs, batch_size=800)
+        calls = caller.call(tumor_records, normal_records)
+        called = {c.site_key() for c in calls}
+        truth = tumor.somatic_sites()
+        true_calls = [c for c in calls if c.site_key() in truth]
+        mean_af = (
+            sum(c.info["AF"] for c in true_calls) / len(true_calls)
+            if true_calls else 0.0
+        )
+        rows.append({
+            "purity": purity,
+            "sensitivity": len(called & truth) / len(truth),
+            "false_positives": len(called - truth),
+            "mean_af": mean_af,
+            "expected_af": purity / 2,
+        })
+    return rows
+
+
+def test_somatic_purity_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'purity':>8s}{'sensitivity':>13s}{'false pos':>11s}"
+        f"{'mean AF':>9s}{'expected AF':>13s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['purity']:>8.1f}{row['sensitivity']:>13.2f}"
+            f"{row['false_positives']:>11d}{row['mean_af']:>9.2f}"
+            f"{row['expected_af']:>13.2f}"
+        )
+    report("somatic_purity_sweep", "\n".join(lines))
+
+    # Sensitivity does not improve as purity falls.
+    sensitivities = [row["sensitivity"] for row in rows]
+    assert sensitivities[0] >= sensitivities[-1]
+    assert sensitivities[0] >= 0.6
+    # Measured allele fractions track purity/2 for detected sites.
+    for row in rows:
+        if row["sensitivity"] > 0:
+            assert abs(row["mean_af"] - row["expected_af"]) < 0.15

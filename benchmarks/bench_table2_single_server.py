@@ -1,0 +1,41 @@
+"""Table 2: single-server running times of the ten pipeline stages.
+
+The paper ran the GATK-best-practices pipeline for NA12878 on a 12-core
+server and reported per-stage hours (the pipeline took about two weeks).
+This bench regenerates the table from the calibrated stage catalog and
+checks the headline facts that survive in the paper's prose.
+"""
+
+from benchlib import report
+
+from repro.metrics.perf import format_duration
+from repro.pipeline.stages import TABLE2_STAGES, total_pipeline_hours
+
+
+def build_table2():
+    lines = [
+        f"{'Step':<5s}{'Stage':<22s}{'Hours':>8s}  {'Wall':>24s}  Source",
+    ]
+    for stage in TABLE2_STAGES:
+        lines.append(
+            f"{stage.step:<5s}{stage.name:<22s}"
+            f"{stage.single_server_hours:>8.2f}  "
+            f"{format_duration(stage.single_server_hours * 3600):>24s}  "
+            f"{stage.source}"
+        )
+    total = total_pipeline_hours()
+    lines.append(
+        f"{'':5s}{'TOTAL':<22s}{total:>8.2f}  "
+        f"(~{total / 24:.1f} days; paper: 'about two weeks')"
+    )
+    return "\n".join(lines)
+
+
+def test_table2_single_server(benchmark):
+    table = benchmark(build_table2)
+    report("table2_single_server", table)
+    total_days = total_pipeline_hours() / 24
+    assert 10 <= total_days <= 16
+    # Anchors that survive verbatim in the paper text.
+    assert "7.55" in table        # CleanSam 7 h 33 m
+    assert "14.45" in table       # MarkDuplicates 14 h 26 m 42 s

@@ -1,0 +1,72 @@
+"""Table 4: running time with varied logical partition sizes.
+
+Two workloads on Cluster A:
+
+* Alignment (map-only, 15 nodes, 1 mapper x 6 threads per node):
+  15 partitions of 38 GB vs 4800 partitions of 120 MB.  Few large
+  partitions win because per-mapper overheads (reference index load)
+  are amortised.
+* MarkDup_opt (5 nodes, 6 tasks per node): 30 vs 510 partitions.
+  *Medium* partitions win because oversized map outputs spill and force
+  overlapping map-side merges on the single disk.
+"""
+
+from benchlib import report
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.cluster.mrsim import ClusterModel, simulate_round
+from repro.cluster.rounds_model import round1_spec, round3_spec
+from repro.metrics.perf import format_duration
+
+
+def run_table4(cost, workload):
+    rows = []
+    cluster = ClusterModel(CLUSTER_A)
+    align = {}
+    for partitions in (15, 4800):
+        spec = round1_spec(
+            cluster, cost, workload, partitions,
+            mappers_per_node=1, threads_per_mapper=6,
+        )
+        result = simulate_round(cluster, spec)
+        align[partitions] = result.wall_seconds
+        avg_mb = workload.fastq_bytes / partitions / (1024 ** 2)
+        rows.append(
+            ("Round 1: Alignment", partitions, avg_mb, result.wall_seconds)
+        )
+
+    five_nodes = ClusterModel(CLUSTER_A.with_data_nodes(5))
+    markdup = {}
+    for partitions in (30, 510):
+        spec = round3_spec(
+            five_nodes, cost, workload, "opt",
+            num_map_partitions=partitions, reducers_per_node=6,
+            map_slots_per_node=6,
+        )
+        result = simulate_round(five_nodes, spec)
+        markdup[partitions] = result.wall_seconds
+        avg_mb = workload.bam_bytes / partitions / (1024 ** 2)
+        rows.append(
+            ("Round 3: MarkDuplicates", partitions, avg_mb, result.wall_seconds)
+        )
+    return rows, align, markdup
+
+
+def test_table4_partition_size(benchmark, cost_model, workload):
+    rows, align, markdup = benchmark(run_table4, cost_model, workload)
+    lines = [
+        f"{'Workload':<26s}{'#parts':>8s}{'avg size (MB)':>16s}{'wall':>24s}"
+    ]
+    for name, partitions, avg_mb, wall in rows:
+        lines.append(
+            f"{name:<26s}{partitions:>8d}{avg_mb:>16.0f}"
+            f"{format_duration(wall):>24s}"
+        )
+    lines.append("")
+    lines.append("paper shape: alignment 15 parts < 4800 parts;"
+                 " markdup 510 parts < 30 parts")
+    report("table4_partition_size", "\n".join(lines))
+
+    # Shape assertions from the paper.
+    assert align[15] < align[4800], "large alignment partitions must win"
+    assert markdup[510] < markdup[30], "medium MarkDup partitions must win"

@@ -1,0 +1,89 @@
+"""Table 5: MarkDuplicates scale-up to 15 nodes / 90 parallel tasks.
+
+For MarkDup_opt and MarkDup_reg on Cluster A, sweep 1-15 data nodes and
+report wall clock, speedup over the single-threaded gold standard
+(14 h 26 m 42 s) and resource efficiency (speedup / tasks).  Also
+reproduces the slowstart experiment: with 15 nodes, raising
+``mapreduce.job.reduce.slowstart.completedmaps`` from 5 % to 80 % stops
+idle reducers from squatting on slots and improves efficiency.
+"""
+
+from benchlib import report
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.cluster.mrsim import ClusterModel, simulate_round
+from repro.cluster.rounds_model import markdup_single_node_seconds, round3_spec
+from repro.metrics.perf import format_duration
+
+NODE_COUNTS = (1, 5, 10, 15)
+TASKS_PER_NODE = 6
+
+
+def run_table5(cost, workload):
+    baseline = markdup_single_node_seconds(cost)
+    table = {}
+    for mode in ("opt", "reg"):
+        rows = []
+        for nodes in NODE_COUNTS:
+            cluster = ClusterModel(CLUSTER_A.with_data_nodes(nodes))
+            spec = round3_spec(
+                cluster, cost, workload, mode,
+                num_map_partitions=max(90, nodes * 30),
+                reducers_per_node=TASKS_PER_NODE,
+                map_slots_per_node=TASKS_PER_NODE,
+            )
+            wall = simulate_round(cluster, spec).wall_seconds
+            tasks = nodes * TASKS_PER_NODE
+            rows.append((nodes, wall, baseline / wall, baseline / wall / tasks))
+        table[mode] = rows
+
+    # Slowstart fix at 15 nodes (opt).
+    cluster = ClusterModel(CLUSTER_A)
+    slow = {}
+    for slowstart in (0.05, 0.80):
+        spec = round3_spec(
+            cluster, cost, workload, "opt",
+            num_map_partitions=450, reducers_per_node=TASKS_PER_NODE,
+            map_slots_per_node=TASKS_PER_NODE, slowstart=slowstart,
+        )
+        result = simulate_round(cluster, spec)
+        # Efficiency penalised by slot-time wasted waiting for maps.
+        slot_seconds = result.serial_slot_seconds
+        slow[slowstart] = (result.wall_seconds, slot_seconds)
+    return baseline, table, slow
+
+
+def test_table5_scaleup(benchmark, cost_model, workload):
+    baseline, table, slow = benchmark(run_table5, cost_model, workload)
+    lines = [
+        f"gold standard (1 thread, 1 node): {format_duration(baseline)}",
+        "",
+        f"{'mode':<6s}{'nodes':>6s}{'tasks':>7s}{'wall':>22s}"
+        f"{'speedup':>9s}{'efficiency':>12s}",
+    ]
+    for mode, rows in table.items():
+        for nodes, wall, speedup, efficiency in rows:
+            lines.append(
+                f"{mode:<6s}{nodes:>6d}{nodes * TASKS_PER_NODE:>7d}"
+                f"{format_duration(wall):>22s}{speedup:>9.2f}"
+                f"{efficiency:>12.3f}"
+            )
+    lines.append("")
+    for slowstart, (wall, slots) in slow.items():
+        lines.append(
+            f"opt @15 nodes, slowstart={slowstart:.2f}: "
+            f"wall {format_duration(wall)}, serial slot time "
+            f"{slots / 3600:.1f} core-hours"
+        )
+    report("table5_scaleup", "\n".join(lines))
+
+    for mode in ("opt", "reg"):
+        walls = [w for _, w, _, _ in table[mode]]
+        assert walls == sorted(walls, reverse=True), "more nodes must be faster"
+        efficiency_15 = table[mode][-1][3]
+        assert efficiency_15 < 0.5, "paper: resource efficiency is low (<50%)"
+    # Slowstart 0.80 wastes fewer slot-seconds than 0.05.
+    assert slow[0.80][1] <= slow[0.05][1]
+    # reg is slower than opt at every scale.
+    for row_opt, row_reg in zip(table["opt"], table["reg"]):
+        assert row_reg[1] > row_opt[1]

@@ -1,0 +1,118 @@
+"""Table 6: the first three MapReduce rounds on Cluster A vs single node.
+
+Round 1 (Bwa + SamToBam): the 24-threaded single-node Bwa is the
+baseline; Gesall's 15 nodes x 6 mappers x 4 threads achieve
+*super-linear* speedup over it (speedup > 15 = the node scale-up), while
+against the 1-thread baseline the speedup stays sub-linear (< 360)
+because of streaming/data-transformation overheads.
+
+Rounds 2 and 3 (shuffling-intensive cleaning and MarkDuplicates) show
+sub-linear speedup and low resource efficiency.
+"""
+
+from benchlib import report
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.cluster.mrsim import ClusterModel, simulate_round
+from repro.cluster.rounds_model import (
+    bwa_single_node_seconds,
+    cleaning_single_node_seconds,
+    markdup_single_node_seconds,
+    round1_spec,
+    round2_spec,
+    round3_spec,
+)
+from repro.metrics.perf import format_duration
+
+KB = 1024
+
+
+def run_table6(cost, workload):
+    cluster = ClusterModel(CLUSTER_A)
+    rows = {}
+
+    # Round 1: 90 partitions, 6 mappers x 4 threads per node.
+    spec = round1_spec(cluster, cost, workload, 90,
+                       mappers_per_node=6, threads_per_mapper=4)
+    r1 = simulate_round(cluster, spec)
+    baseline_24t = bwa_single_node_seconds(
+        cost, CLUSTER_A, threads=24, readahead_bytes=128 * KB
+    )
+    baseline_1t = bwa_single_node_seconds(
+        cost, CLUSTER_A, threads=1, readahead_bytes=128 * KB
+    )
+    rows["round1"] = {
+        "wall": r1.wall_seconds,
+        "baseline_24t": baseline_24t,
+        "baseline_1t": baseline_1t,
+        "speedup_vs_24t": baseline_24t / r1.wall_seconds,
+        "speedup_vs_1t": baseline_1t / r1.wall_seconds,
+        "tasks": 90,
+        "threads": 360,
+        "slot_hours": r1.serial_slot_seconds / 3600,
+    }
+
+    spec = round2_spec(cluster, cost, workload, 90,
+                       reducers_per_node=6, map_slots_per_node=6)
+    r2 = simulate_round(cluster, spec)
+    base2 = cleaning_single_node_seconds(cost)
+    rows["round2"] = {
+        "wall": r2.wall_seconds,
+        "baseline": base2,
+        "speedup": base2 / r2.wall_seconds,
+        "efficiency": base2 / r2.wall_seconds / 90,
+        "slot_hours": r2.serial_slot_seconds / 3600,
+    }
+
+    spec = round3_spec(cluster, cost, workload, "opt", 90,
+                       reducers_per_node=6, map_slots_per_node=6)
+    r3 = simulate_round(cluster, spec)
+    base3 = markdup_single_node_seconds(cost)
+    rows["round3"] = {
+        "wall": r3.wall_seconds,
+        "baseline": base3,
+        "speedup": base3 / r3.wall_seconds,
+        "efficiency": base3 / r3.wall_seconds / 90,
+        "slot_hours": r3.serial_slot_seconds / 3600,
+    }
+    return rows
+
+
+def test_table6_rounds(benchmark, cost_model, workload):
+    rows = benchmark(run_table6, cost_model, workload)
+    r1 = rows["round1"]
+    lines = [
+        "Round 1: Bwa + SamToBam (15 nodes, 6 mappers x 4 threads)",
+        f"  single node 24-thread baseline : {format_duration(r1['baseline_24t'])}",
+        f"  single node  1-thread baseline : {format_duration(r1['baseline_1t'])}",
+        f"  parallel wall clock            : {format_duration(r1['wall'])}",
+        f"  speedup vs 24-thread           : {r1['speedup_vs_24t']:.1f}"
+        f"  (> 15 nodes => SUPER-LINEAR)",
+        f"  speedup vs 1-thread            : {r1['speedup_vs_1t']:.1f}"
+        f"  (< 360 threads => sub-linear; streaming overhead)",
+        f"  serial slot time               : {r1['slot_hours']:.1f} core-hours",
+        "",
+    ]
+    for name, label, base_label in (
+        ("round2", "Round 2: AddRepl+CleanSam+FixMate", "serial steps 3-5"),
+        ("round3", "Round 3: SortSam+MarkDuplicates opt", "serial step 6"),
+    ):
+        row = rows[name]
+        lines.extend([
+            f"{label} (15 nodes, 90 tasks)",
+            f"  single node baseline ({base_label}): "
+            f"{format_duration(row['baseline'])}",
+            f"  parallel wall clock : {format_duration(row['wall'])}",
+            f"  speedup             : {row['speedup']:.1f}",
+            f"  resource efficiency : {row['efficiency']:.3f}",
+            "",
+        ])
+    report("table6_rounds", "\n".join(lines))
+
+    # The paper's headline claims.
+    assert r1["speedup_vs_24t"] > 15, "super-linear speedup expected"
+    assert r1["speedup_vs_1t"] < 360, "1-thread speedup must be sub-linear"
+    assert rows["round2"]["efficiency"] < 0.5
+    assert rows["round3"]["efficiency"] < 0.5
+    assert rows["round2"]["speedup"] > 1
+    assert rows["round3"]["speedup"] > 1

@@ -1,0 +1,77 @@
+"""Table 8: discordant counts and discordant impact, functional plane.
+
+Runs the serial and parallel pipelines on the same synthetic sample and
+computes D_count / weighted D_count / D_impact / weighted D_impact for
+the parallel prefixes ending at Bwa, MarkDuplicates and Haplotype
+Caller — exactly the measures of section 4.5.2.  The absolute counts
+differ from the paper (their genome is 100,000x larger); the *shape*
+assertions mirror its findings:
+
+* parallel Bwa already disagrees with serial Bwa (not embarrassingly
+  parallel), but on a small fraction of reads;
+* the MarkDuplicates D_count is inflated by tie-flapping while the net
+  duplicate-count difference is tiny;
+* weighted measures are far below raw ones (disagreements concentrate
+  at low quality);
+* the final variant impact is a small fraction of concordant calls.
+"""
+
+from benchlib import report
+
+
+def collect(study):
+    return study["diagnosis"]
+
+
+def test_table8_accuracy(benchmark, accuracy_study):
+    diagnosis = benchmark.pedantic(
+        collect, args=(accuracy_study,), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'stage':<18s}{'D_count':>10s}{'wD_count':>10s}{'wD_cnt%':>9s}"
+        f"{'D_impact':>10s}{'wD_impact':>11s}"
+    ]
+    for row in diagnosis.rows:
+        lines.append(
+            f"{row.stage:<18s}{row.d_count:>10.0f}"
+            f"{row.weighted_d_count:>10.2f}"
+            f"{row.weighted_d_count_pct:>9.4f}"
+            f"{row.d_impact if row.d_impact is not None else '-':>10}"
+            f"{f'{row.weighted_d_impact:.2f}' if row.weighted_d_impact is not None else '-':>11}"
+        )
+    total_reads = diagnosis.alignment.total
+    lines.append("")
+    lines.append(f"reads compared: {total_reads}")
+    lines.append(
+        f"concordant variants: {len(diagnosis.variants.concordant)}; "
+        f"variant D_count: {diagnosis.variants.d_count} "
+        f"({diagnosis.variants.d_count_percent:.2f}%)"
+    )
+    lines.append(
+        f"net duplicate-count difference: "
+        f"{diagnosis.duplicates.count_difference} "
+        f"(flag differences: {diagnosis.duplicates.flag_differences})"
+    )
+    report("table8_accuracy", "\n".join(lines))
+
+    bwa = diagnosis.row("Bwa")
+    markdup = diagnosis.row("Mark Duplicates")
+
+    # Parallel Bwa is not identical to serial Bwa...
+    assert bwa.d_count > 0
+    # ...but the discordance is a small fraction of all reads.
+    assert bwa.d_count / total_reads < 0.10
+    # Weighted counts are far below raw counts (low-quality skew).
+    assert bwa.weighted_d_count < 0.6 * bwa.d_count
+    # MarkDuplicates: net count difference tiny vs flag differences.
+    assert (
+        diagnosis.duplicates.count_difference
+        <= max(3, 0.25 * diagnosis.duplicates.flag_differences)
+    )
+    # Final variant discordance is a small fraction of concordant calls.
+    assert diagnosis.variants.d_count <= 0.15 * max(
+        1, len(diagnosis.variants.concordant)
+    )
+    # D_impact of the MarkDup prefix is no larger than the full
+    # parallel pipeline's D_count by construction of the hybrid chain.
+    assert markdup.d_impact is not None

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness (importable module)."""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, text: str) -> None:
+    """Write one experiment's regenerated table to the results dir."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    print(f"\n--- {name} ---\n{text}")

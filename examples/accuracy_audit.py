@@ -1,0 +1,113 @@
+"""Accuracy audit: why does the parallel pipeline differ from serial?
+
+A deeper version of the paper's section 4.5.2 study.  Runs the serial
+and parallel pipelines over the same synthetic sample, then walks the
+full error-diagnosis chain:
+
+* Table 8: D_count / D_impact per pipeline prefix;
+* Fig 11(a): where the disagreeing reads live (centromeres, blacklist);
+* Fig 11(b): their mapping-quality distribution;
+* Fig 11(c): their insert sizes vs the population distribution;
+* Tables 9/10: quality of concordant vs pipeline-unique variants;
+* the downstream-filter experiment (MAPQ>30 + blacklist).
+
+Usage::
+
+    python examples/accuracy_audit.py
+"""
+
+from repro import (
+    AlignerConfig,
+    ErrorDiagnosisToolkit,
+    GesallPipeline,
+    HaplotypeCallerConfig,
+    ReadSimulationConfig,
+    ReferenceIndex,
+    ReferenceSimulationConfig,
+    SerialPipeline,
+    compare_alignments,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+)
+from repro.diagnostics import (
+    attribute_regions,
+    edge_enrichment,
+    enrichment_in_hard_regions,
+    filtered_discordance_fraction,
+)
+
+
+def main():
+    print("Simulating sample and running both pipelines...")
+    reference = simulate_reference(
+        ReferenceSimulationConfig(
+            contig_lengths={"chr1": 14000, "chr2": 11000}, seed=31
+        )
+    )
+    donor = simulate_donor(reference)
+    pairs, _ = simulate_reads(donor, ReadSimulationConfig(coverage=20.0, seed=32))
+    index = ReferenceIndex(reference)
+    aligner_config = AlignerConfig(seed=9)
+    hc_config = HaplotypeCallerConfig(downsample_depth=16)
+
+    serial = SerialPipeline(
+        reference, index=index, aligner_config=aligner_config,
+        hc_config=hc_config,
+    ).run(pairs)
+    parallel = GesallPipeline(
+        reference, index=index, num_fastq_partitions=10, num_reducers=4,
+        aligner_config=aligner_config, hc_config=hc_config,
+    ).run(pairs)
+
+    toolkit = ErrorDiagnosisToolkit(reference, hc_config)
+    report = toolkit.diagnose(serial, parallel)
+
+    print("\n-- Table 8: discordant counts and impact --")
+    for row in report.rows:
+        impact = row.d_impact if row.d_impact is not None else "-"
+        print(f"  {row.stage:<18s} D_count={row.d_count:<8.0f} "
+              f"weighted={row.weighted_d_count:<8.2f} D_impact={impact}")
+
+    comparison = compare_alignments(serial.alignment, parallel.alignment)
+    print(f"\n-- Fig 11(a): region attribution of {comparison.d_count} "
+          f"disagreeing reads --")
+    attribution = attribute_regions(comparison.discordant, reference)
+    print(f"  centromere={attribution.in_centromere} "
+          f"blacklist={attribution.in_blacklist} "
+          f"duplication={attribution.in_duplication} "
+          f"elsewhere={attribution.elsewhere}")
+    print(f"  enrichment in hard regions: "
+          f"{enrichment_in_hard_regions(comparison.discordant, reference):.1f}x")
+
+    print("\n-- Fig 11(b): MAPQ of disagreeing reads --")
+    low = toolkit.low_quality_fraction(comparison)
+    print(f"  {100 * low:.1f}% have best MAPQ < 30 "
+          f"(they would be filtered by downstream callers)")
+
+    print("\n-- Fig 11(c): insert sizes of disagreeing pairs --")
+    disc_edge, pop_edge = edge_enrichment(
+        comparison.discordant, serial.alignment
+    )
+    print(f"  at distribution edges: {100 * disc_edge:.1f}% of discordant "
+          f"pairs vs {100 * pop_edge:.1f}% of all pairs")
+
+    print("\n-- Downstream filters (Appendix B.2) --")
+    surviving = filtered_discordance_fraction(
+        comparison.discordant, reference, comparison.total
+    )
+    print(f"  raw discordance {comparison.d_count_percent:.3f}% -> "
+          f"{100 * surviving:.4f}% after MAPQ>30 + blacklist filters")
+
+    print("\n-- Tables 9/10: concordant vs pipeline-unique variants --")
+    for row in report.quality_rows:
+        cells = row.as_row()
+        print(f"  {row.label:<14s} n={cells['count']:<4d} "
+              f"QUAL={cells['QUAL']:<8.1f} MQ={cells['MQ']:<6.1f} "
+              f"DP={cells['DP']:<6.1f} AB={cells['AB']:.3f}")
+    print("\nConclusion (as in the paper): the pipelines differ only in")
+    print("low-confidence calls from hard-to-analyse regions.")
+
+
+if __name__ == "__main__":
+    main()

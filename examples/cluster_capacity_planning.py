@@ -1,0 +1,115 @@
+"""Capacity planning for a genome center's compute farm.
+
+The paper's future-work question (4): a pipeline optimizer must balance
+a hospital's turnaround-time requirement against the center's
+throughput requirement.  This example uses the cluster simulator as
+that planning tool:
+
+* sweep the number of disks per node to find the cheapest configuration
+  that keeps MarkDuplicates off the disk wall (~1 disk / 100 GB shuffled);
+* sweep process/thread splits for alignment mappers;
+* sweep node counts to find where adding nodes stops paying
+  (resource-efficiency knee);
+* estimate whole-pipeline turnaround and genomes/day throughput.
+
+Usage::
+
+    python examples/cluster_capacity_planning.py
+"""
+
+from repro import CLUSTER_B, BwaThreadModel, CostModel, NA12878, simulate_round
+from repro.cluster.optimizer import PipelineOptimizer, PlanKnobs
+from repro.cluster.mrsim import ClusterModel
+from repro.cluster.rounds_model import (
+    markdup_single_node_seconds,
+    round1_spec,
+    round2_spec,
+    round3_spec,
+    round4_spec,
+    round5_spec,
+)
+from repro.cluster.threading import node_throughput, process_thread_configurations
+from repro.metrics.perf import format_duration
+
+
+def main():
+    cost = CostModel()
+    workload = NA12878
+
+    print("-- 1. Disks per node for MarkDup_reg (785 GB shuffled) --")
+    for disks in (1, 2, 3, 4, 6, 8):
+        cluster = ClusterModel(CLUSTER_B.with_disks(disks))
+        result = simulate_round(
+            cluster, round3_spec(cluster, cost, workload, "reg", 384, 16, 16)
+        )
+        per_disk = workload.markdup_reg_shuffle_bytes / 4 / disks / 1024 ** 3
+        marker = " <- knee (~100 GB/disk)" if 90 <= per_disk <= 140 else ""
+        print(f"  {disks} disks ({per_disk:5.0f} GB/disk): "
+              f"{format_duration(result.wall_seconds)}{marker}")
+
+    print("\n-- 2. Process/thread split for alignment (16-core node) --")
+    model = BwaThreadModel(readahead_bytes=64 * 1024 * 1024)
+    for processes, threads in process_thread_configurations(16):
+        throughput = node_throughput(processes, threads, model)
+        bar = "#" * int(round(throughput))
+        print(f"  {processes:>2d} mappers x {threads:>2d} threads: "
+              f"{throughput:5.2f} thread-equivalents {bar}")
+
+    print("\n-- 3. Scale-out knee for MarkDup_opt --")
+    baseline = markdup_single_node_seconds(cost)
+    for nodes in (1, 2, 4, 8, 12, 15):
+        from repro import CLUSTER_A
+        cluster = ClusterModel(CLUSTER_A.with_data_nodes(nodes))
+        result = simulate_round(
+            cluster,
+            round3_spec(cluster, cost, workload, "opt",
+                        max(90, nodes * 30), 6, 6),
+        )
+        speedup = baseline / result.wall_seconds
+        efficiency = speedup / (6 * nodes)
+        print(f"  {nodes:>2d} nodes: {format_duration(result.wall_seconds):>22s}"
+              f"  speedup {speedup:5.1f}  efficiency {efficiency:.3f}")
+
+    print("\n-- 4. Whole-pipeline turnaround on Cluster B --")
+    cluster = ClusterModel(CLUSTER_B)
+    total = 0.0
+    for build in (
+        lambda: round1_spec(cluster, cost, workload, 64, 16, 1),
+        lambda: round2_spec(cluster, cost, workload, 64, 16, 16),
+        lambda: round3_spec(cluster, cost, workload, "opt", 384, 16, 16),
+        lambda: round4_spec(cluster, cost, workload, 64, 16, 16),
+        lambda: round5_spec(cluster, cost, workload, 16),
+    ):
+        total += simulate_round(cluster, build()).wall_seconds
+    gigabases_per_day = 100 * 86400 / total  # ~100 Gb of sequence / sample
+    print(f"  secondary analysis turnaround: {format_duration(total)}")
+    print(f"  throughput: {86400 / total:.1f} genomes/day "
+          f"(~{gigabases_per_day:.0f} Gigabases/day) on 4 nodes")
+    target = 2 * 86400
+    verdict = "MEETS" if total <= target else "MISSES"
+    print(f"  clinical 1-2 day target: {verdict} "
+          f"({total / 86400:.2f} days)")
+
+    print("\n-- 5. Automatic plan optimization (Appendix C question 4) --")
+    optimizer = PipelineOptimizer(CLUSTER_B, cost, workload)
+    plans = [
+        PlanKnobs(16, 1, 64, "opt", 16, 0.05),
+        PlanKnobs(16, 1, 64, "opt", 16, 0.80),
+        PlanKnobs(4, 4, 64, "opt", 16, 0.05),
+        PlanKnobs(16, 1, 64, "reg", 16, 0.05),
+        PlanKnobs(16, 1, 128, "opt", 8, 0.05),
+    ]
+    fastest = optimizer.minimize_turnaround(plans=plans)
+    print(f"  fastest plan: {fastest.knobs}")
+    print(f"    turnaround {format_duration(fastest.wall_seconds)}, "
+          f"cluster efficiency {fastest.cluster_efficiency:.2f}")
+    greenest = optimizer.maximize_efficiency(
+        deadline_seconds=fastest.wall_seconds * 1.3, plans=plans
+    )
+    print(f"  most efficient within 1.3x deadline: {greenest.knobs}")
+    print(f"    turnaround {format_duration(greenest.wall_seconds)}, "
+          f"cluster efficiency {greenest.cluster_efficiency:.2f}")
+
+
+if __name__ == "__main__":
+    main()

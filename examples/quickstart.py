@@ -1,0 +1,78 @@
+"""Quickstart: simulate a genome, run both pipelines, compare outputs.
+
+Runs in well under a minute on a laptop:
+
+1. build a synthetic reference with hard-to-map regions;
+2. mutate it into a diploid donor and sequence paired-end reads;
+3. run the serial (gold standard) pipeline: Bwa -> cleaning ->
+   MarkDuplicates -> Haplotype Caller;
+4. run the Gesall parallel pipeline: five MapReduce rounds over an
+   in-memory HDFS;
+5. compare the two — the headline of the paper's accuracy study.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ErrorDiagnosisToolkit,
+    GesallPipeline,
+    ReadSimulationConfig,
+    ReferenceIndex,
+    ReferenceSimulationConfig,
+    SerialPipeline,
+    precision_sensitivity,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+)
+
+
+def main():
+    print("1. Simulating reference genome with centromeres and blacklists...")
+    reference = simulate_reference(
+        ReferenceSimulationConfig(contig_lengths={"chr1": 12000, "chr2": 9000})
+    )
+    print(f"   {reference}")
+
+    print("2. Simulating diploid donor and paired-end reads (15x)...")
+    donor = simulate_donor(reference)
+    pairs, fragments = simulate_reads(donor, ReadSimulationConfig(coverage=15.0))
+    duplicates = sum(1 for fragment in fragments if fragment.is_duplicate)
+    print(f"   {len(pairs)} read pairs ({duplicates} PCR duplicates), "
+          f"{len(donor.truth_variants)} truth variants")
+
+    index = ReferenceIndex(reference)
+
+    print("3. Serial pipeline (single-node gold standard)...")
+    serial = SerialPipeline(reference, index=index).run(pairs)
+    print(f"   {len(serial.alignment)} alignments -> "
+          f"{len(serial.variants)} variant calls")
+
+    print("4. Gesall parallel pipeline (5 MapReduce rounds, 4 nodes)...")
+    parallel = GesallPipeline(
+        reference, index=index, num_fastq_partitions=8, num_reducers=4
+    ).run(pairs)
+    print(f"   {len(parallel.alignment)} alignments -> "
+          f"{len(parallel.variants)} variant calls")
+
+    print("5. Error diagnosis (Table 8 of the paper):")
+    report = ErrorDiagnosisToolkit(reference).diagnose(serial, parallel)
+    for row in report.rows:
+        impact = row.d_impact if row.d_impact is not None else "-"
+        print(f"   {row.stage:<18s} D_count={row.d_count:<8.0f} "
+              f"weighted={row.weighted_d_count:<8.2f} D_impact={impact}")
+
+    truth = donor.truth_sites()
+    for label, result in (("serial", serial), ("parallel", parallel)):
+        precision, sensitivity = precision_sensitivity(result.variants, truth)
+        print(f"   {label:<9s} precision={precision:.3f} "
+              f"sensitivity={sensitivity:.3f}")
+
+    print("\nDone. Parallelisation changed low-quality placements only —")
+    print("the concordant variant calls are the high-confidence ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Structural variant detection: the GASV extension (paper section 2.1).
+
+The paper's pipeline was "currently testing GASV and somatic mutation
+algorithms" for large structure variants.  This example plants two
+heterozygous 400 bp deletions in the donor genome, runs the full Gesall
+pipeline, and detects them from discordant read pairs with GASVLite —
+as one more map-only round over the chromosome partitions.
+
+Small-variant callers cannot see these events (their indel reach is
+~20 bp); the discordant-pair signature can.
+
+Usage::
+
+    python examples/structural_variants.py
+"""
+
+from repro import (
+    GesallPipeline,
+    ReadSimulationConfig,
+    ReferenceIndex,
+    ReferenceSimulationConfig,
+    UnifiedGenotyperLite,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+)
+from repro.genome.simulate import DonorSimulationConfig
+from repro.variants.structural import DELETION, GASVLite
+
+
+def main():
+    print("Simulating a donor with two 400 bp heterozygous deletions...")
+    reference = simulate_reference(
+        ReferenceSimulationConfig(
+            contig_lengths={"chr1": 20000, "chr2": 16000}, seed=71
+        )
+    )
+    donor = simulate_donor(
+        reference,
+        DonorSimulationConfig(
+            structural_deletions=1, structural_deletion_length=400, seed=72
+        ),
+    )
+    for sv in donor.truth_structural:
+        print(f"  planted: DEL {sv.chrom}:{sv.pos}"
+              f"-{sv.pos + len(sv.ref) - 1} ({sv.genotype})")
+
+    pairs, _ = simulate_reads(donor, ReadSimulationConfig(coverage=25.0, seed=73))
+    print(f"  {len(pairs)} read pairs at 25x")
+
+    print("Running the Gesall parallel pipeline...")
+    index = ReferenceIndex(reference)
+    result = GesallPipeline(
+        reference, index=index, num_fastq_partitions=8, num_reducers=4
+    ).run(pairs)
+
+    print("Small-variant callers cannot reach 400 bp deletions:")
+    small_caller = UnifiedGenotyperLite(reference)
+    small_calls = small_caller.call(result.deduped)
+    big_small_calls = [
+        c for c in small_calls if abs(len(c.ref) - len(c.alt)) >= 50
+    ]
+    print(f"  UnifiedGenotyper: {len(small_calls)} calls, "
+          f"{len(big_small_calls)} of them >= 50 bp")
+
+    print("GASVLite over the deduplicated dataset:")
+    sv_calls = GASVLite().call(result.deduped)
+    for call in sv_calls:
+        print(f"  {call.kind} {call.contig}:{call.start}-{call.end} "
+              f"support={call.support} ~{call.size_estimate:.0f} bp")
+
+    detected = 0
+    for sv in donor.truth_structural:
+        hit = any(
+            call.kind == DELETION
+            and call.overlaps(sv.chrom, sv.pos, sv.pos + len(sv.ref),
+                              margin=250)
+            for call in sv_calls
+        )
+        detected += hit
+        print(f"  truth DEL at {sv.chrom}:{sv.pos}: "
+              f"{'DETECTED' if hit else 'missed'}")
+    print(f"\n{detected}/{len(donor.truth_structural)} planted deletions "
+          f"recovered from discordant pairs.")
+
+
+if __name__ == "__main__":
+    main()

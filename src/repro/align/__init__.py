@@ -1,0 +1,29 @@
+"""BwaMemLite: seed-and-extend paired-end alignment.
+
+Stands in for native Bwa-mem, including the two implementation
+behaviours the paper traces parallel discordance to: per-batch
+insert-size statistics and random tie-breaking among equal scores.
+"""
+
+from repro.align.aligner import AlignerConfig, AlignmentCandidate, BwaMemLite
+from repro.align.index import ReferenceIndex
+from repro.align.pairing import InsertSizeEstimate, PairedEndAligner
+from repro.align.sw import (
+    LocalAlignment,
+    align_candidate,
+    banded_local_alignment,
+    ungapped_alignment,
+)
+
+__all__ = [
+    "AlignerConfig",
+    "AlignmentCandidate",
+    "BwaMemLite",
+    "ReferenceIndex",
+    "InsertSizeEstimate",
+    "PairedEndAligner",
+    "LocalAlignment",
+    "align_candidate",
+    "banded_local_alignment",
+    "ungapped_alignment",
+]

@@ -1,0 +1,395 @@
+"""Paired-end alignment with per-batch insert-size statistics.
+
+This layer reproduces the two Bwa implementation artifacts the paper
+identifies as the root cause of serial/parallel discordance (Appendix
+B.2):
+
+* **Batch statistics** — the insert-size distribution is estimated from
+  each batch of reads, then used in a step-function pair score; pairs
+  near the distribution's edges flip decisions when batch composition
+  changes (Fig 11c).
+* **Random tie-breaking** — when several pairings score equally (e.g.
+  repetitive regions), one is chosen at random from a batch-seeded RNG,
+  so different partitionings reproducibly make different choices.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.align.aligner import AlignerConfig, AlignmentCandidate, BwaMemLite
+from repro.align.index import ReferenceIndex
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar, reference_end
+from repro.formats.fastq import FastqRecord, ReadPair, _pair_key
+from repro.formats.sam import SamHeader, SamRecord, encode_quals
+from repro.genome.reference import reverse_complement
+
+
+class InsertSizeEstimate:
+    """Mean/sd of the fragment length, estimated per batch."""
+
+    __slots__ = ("mean", "sd", "samples")
+
+    def __init__(self, mean: float, sd: float, samples: int):
+        self.mean = mean
+        self.sd = max(sd, 1.0)
+        self.samples = samples
+
+    def z(self, insert: int) -> float:
+        return abs(insert - self.mean) / self.sd
+
+    def __repr__(self) -> str:
+        return f"InsertSizeEstimate(mean={self.mean:.1f}, sd={self.sd:.1f}, n={self.samples})"
+
+
+def _stable_batch_seed(seed: int, batch: Sequence[ReadPair]) -> int:
+    """Deterministic per-batch RNG seed.
+
+    Derived from the batch *content* (first/last read names and size),
+    not from Python's randomized ``hash``, so a given batch always makes
+    the same choices — while different partitionings of the same data
+    make different ones.  This is exactly the reproducibility profile of
+    native Bwa.
+    """
+    if not batch:
+        return seed
+    text = f"{seed}|{batch[0][0].name}|{batch[-1][0].name}|{len(batch)}"
+    return zlib.crc32(text.encode())
+
+
+class PairedEndAligner:
+    """Align batches of read pairs, emitting SAM records in read order."""
+
+    def __init__(self, index: ReferenceIndex, config: Optional[AlignerConfig] = None):
+        self.config = config or AlignerConfig()
+        self.single_end = BwaMemLite(index, self.config)
+        self.index = index
+
+    # -- public API ---------------------------------------------------------
+    def header(self, sort_order: str = "queryname") -> SamHeader:
+        header = SamHeader(
+            sequences=self.index.reference.sam_sequences(),
+            sort_order=sort_order,
+        )
+        header.add_program(ID="bwa-mem-lite", PN="BwaMemLite", VN="1.0")
+        return header
+
+    def align_batch(self, batch: Sequence[ReadPair]) -> List[SamRecord]:
+        """Align one batch (one logical partition / one Bwa chunk).
+
+        Returns two primary records per pair, in input order.
+        """
+        rng = random.Random(_stable_batch_seed(self.config.seed, batch))
+        candidate_lists = [
+            (self.single_end.candidates(fwd.sequence),
+             self.single_end.candidates(rev.sequence))
+            for fwd, rev in batch
+        ]
+        estimate = self._estimate_insert_size(batch, candidate_lists)
+        records: List[SamRecord] = []
+        for (fwd, rev), (cands1, cands2) in zip(batch, candidate_lists):
+            records.extend(self._finalize_pair(fwd, rev, cands1, cands2, estimate, rng))
+        return records
+
+    def align_all(self, pairs: Iterable[ReadPair], batch_size: int = 4000) -> List[SamRecord]:
+        """Serial execution: process the full dataset in fixed batches.
+
+        Native Bwa also works in bounded batches when run serially; the
+        batch size here plays the role of its chunk parameter.
+        """
+        records: List[SamRecord] = []
+        batch: List[ReadPair] = []
+        for pair in pairs:
+            batch.append(pair)
+            if len(batch) == batch_size:
+                records.extend(self.align_batch(batch))
+                batch = []
+        if batch:
+            records.extend(self.align_batch(batch))
+        return records
+
+    # -- insert-size estimation ----------------------------------------------
+    def _estimate_insert_size(
+        self,
+        batch: Sequence[ReadPair],
+        candidate_lists: Sequence[Tuple[List[AlignmentCandidate], List[AlignmentCandidate]]],
+    ) -> InsertSizeEstimate:
+        """First pass: bootstrap the distribution from confident pairs."""
+        inserts: List[int] = []
+        for cands1, cands2 in candidate_lists:
+            if not self._confident(cands1) or not self._confident(cands2):
+                continue
+            best1, best2 = cands1[0], cands2[0]
+            insert = _fr_insert_size(best1, best2)
+            if insert is not None and insert < 4 * self.config.prior_insert_mean:
+                inserts.append(insert)
+        if len(inserts) < self.config.min_insert_samples:
+            return InsertSizeEstimate(
+                self.config.prior_insert_mean, self.config.prior_insert_sd, 0
+            )
+        mean = sum(inserts) / len(inserts)
+        var = sum((x - mean) ** 2 for x in inserts) / max(1, len(inserts) - 1)
+        return InsertSizeEstimate(mean, math.sqrt(var), len(inserts))
+
+    def _confident(self, candidates: List[AlignmentCandidate]) -> bool:
+        if not candidates:
+            return False
+        if len(candidates) == 1:
+            return True
+        return candidates[0].score - candidates[1].score >= 10
+
+    # -- pair selection --------------------------------------------------------
+    def _pair_bonus(self, insert: Optional[int], estimate: InsertSizeEstimate) -> int:
+        """Step-function pairing score (paper Appendix B.2, item a).
+
+        A proper FR pair at a plausible insert size gets no penalty; the
+        penalty then grows in steps as the insert moves into the tails,
+        bottoming out at the unpaired penalty.
+        """
+        if insert is None:
+            return -self.config.unpaired_penalty
+        z = estimate.z(insert)
+        if z <= 3.0:
+            return 0
+        if z <= 4.0:
+            return -6
+        if z <= 5.0:
+            return -12
+        return -self.config.unpaired_penalty
+
+    def _finalize_pair(
+        self,
+        fwd: FastqRecord,
+        rev: FastqRecord,
+        cands1: List[AlignmentCandidate],
+        cands2: List[AlignmentCandidate],
+        estimate: InsertSizeEstimate,
+        rng: random.Random,
+    ) -> List[SamRecord]:
+        qname = _pair_key(fwd.name)
+        if not cands1 and not cands2:
+            return self._both_unmapped(qname, fwd, rev)
+        if cands1 and cands2:
+            choice1, choice2, proper = self._select_combo(
+                cands1, cands2, estimate, rng
+            )
+            mapq1 = self._pair_mapq(cands1, choice1, rng)
+            mapq2 = self._pair_mapq(cands2, choice2, rng)
+            return self._paired_records(
+                qname, fwd, rev, choice1, choice2, mapq1, mapq2, proper
+            )
+        # Partial matching: exactly one end mapped (MarkDuplicates
+        # criterion 2 depends on these records existing).
+        if cands1:
+            chosen = self._select_single(cands1, rng)
+            mapq = self._pair_mapq(cands1, chosen, rng)
+            return self._partial_records(qname, fwd, rev, chosen, mapq, mapped_is_first=True)
+        chosen = self._select_single(cands2, rng)
+        mapq = self._pair_mapq(cands2, chosen, rng)
+        return self._partial_records(qname, fwd, rev, chosen, mapq, mapped_is_first=False)
+
+    def _select_combo(
+        self,
+        cands1: List[AlignmentCandidate],
+        cands2: List[AlignmentCandidate],
+        estimate: InsertSizeEstimate,
+        rng: random.Random,
+    ) -> Tuple[AlignmentCandidate, AlignmentCandidate, bool]:
+        scored: List[Tuple[int, AlignmentCandidate, AlignmentCandidate, bool]] = []
+        for c1 in cands1:
+            for c2 in cands2:
+                insert = _fr_insert_size(c1, c2)
+                bonus = self._pair_bonus(insert, estimate)
+                proper = (
+                    insert is not None
+                    and estimate.z(insert) <= self.config.proper_pair_z
+                )
+                scored.append((c1.score + c2.score + bonus, c1, c2, proper))
+        best_score = max(item[0] for item in scored)
+        ties = [item for item in scored if item[0] == best_score]
+        # Random choice among equal pair scores (Appendix B.2, item b).
+        _, c1, c2, proper = ties[0] if len(ties) == 1 else rng.choice(ties)
+        return c1, c2, proper
+
+    def _select_single(
+        self, candidates: List[AlignmentCandidate], rng: random.Random
+    ) -> AlignmentCandidate:
+        best = candidates[0].score
+        ties = [c for c in candidates if c.score == best]
+        if len(ties) == 1:
+            return ties[0]
+        return rng.choice(ties)
+
+    def _pair_mapq(
+        self,
+        candidates: List[AlignmentCandidate],
+        chosen: AlignmentCandidate,
+        rng: random.Random,
+    ) -> int:
+        del rng  # MAPQ itself is deterministic given the candidate list
+        base = self.single_end.mapq(candidates)
+        if chosen is not candidates[0] and candidates and chosen.score < candidates[0].score:
+            # Pairing overrode the best single-end placement: low confidence.
+            return min(base, 3)
+        return base
+
+    # -- record construction -----------------------------------------------------
+    def _paired_records(
+        self,
+        qname: str,
+        fwd: FastqRecord,
+        rev: FastqRecord,
+        c1: AlignmentCandidate,
+        c2: AlignmentCandidate,
+        mapq1: int,
+        mapq2: int,
+        proper: bool,
+    ) -> List[SamRecord]:
+        tlen = _signed_tlen(c1, c2)
+        rec1 = self._mapped_record(
+            qname, fwd, c1, mapq1, first=True, proper=proper,
+            mate=c2, tlen=tlen[0],
+        )
+        rec2 = self._mapped_record(
+            qname, rev, c2, mapq2, first=False, proper=proper,
+            mate=c1, tlen=tlen[1],
+        )
+        return [rec1, rec2]
+
+    def _mapped_record(
+        self,
+        qname: str,
+        read: FastqRecord,
+        cand: AlignmentCandidate,
+        mapq: int,
+        first: bool,
+        proper: bool,
+        mate: Optional[AlignmentCandidate],
+        tlen: int,
+    ) -> SamRecord:
+        flag_bits = F.PAIRED
+        flag_bits |= F.FIRST_IN_PAIR if first else F.SECOND_IN_PAIR
+        if proper:
+            flag_bits |= F.PROPER_PAIR
+        if cand.reverse:
+            flag_bits |= F.REVERSE
+        if mate is None:
+            flag_bits |= F.MATE_UNMAPPED
+        elif mate.reverse:
+            flag_bits |= F.MATE_REVERSE
+        seq, qual = _oriented(read, cand.reverse)
+        if mate is not None:
+            rnext = "=" if mate.contig == cand.contig else mate.contig
+            pnext = mate.pos
+        else:
+            rnext = "="
+            pnext = cand.pos
+        return SamRecord(
+            qname=qname,
+            flags=F.SamFlags(flag_bits),
+            rname=cand.contig,
+            pos=cand.pos,
+            mapq=mapq,
+            cigar=cand.cigar,
+            rnext=rnext,
+            pnext=pnext,
+            tlen=tlen,
+            seq=seq,
+            qual=qual,
+            tags={"NM": str(cand.mismatches)},
+        )
+
+    def _partial_records(
+        self,
+        qname: str,
+        fwd: FastqRecord,
+        rev: FastqRecord,
+        chosen: AlignmentCandidate,
+        mapq: int,
+        mapped_is_first: bool,
+    ) -> List[SamRecord]:
+        mapped_read = fwd if mapped_is_first else rev
+        unmapped_read = rev if mapped_is_first else fwd
+        mapped = self._mapped_record(
+            qname, mapped_read, chosen, mapq,
+            first=mapped_is_first, proper=False, mate=None, tlen=0,
+        )
+        # Unmapped mate is placed at the mapped read's position, as Bwa
+        # does, so coordinate sorting keeps the pair together.
+        unmapped_bits = F.PAIRED | F.UNMAPPED
+        unmapped_bits |= F.SECOND_IN_PAIR if mapped_is_first else F.FIRST_IN_PAIR
+        if chosen.reverse:
+            unmapped_bits |= F.MATE_REVERSE
+        unmapped = SamRecord(
+            qname=qname,
+            flags=F.SamFlags(unmapped_bits),
+            rname=chosen.contig,
+            pos=chosen.pos,
+            mapq=0,
+            cigar=Cigar([]),
+            rnext="=",
+            pnext=chosen.pos,
+            tlen=0,
+            seq=unmapped_read.sequence,
+            qual=encode_quals(unmapped_read.qualities),
+        )
+        ordered = [mapped, unmapped] if mapped_is_first else [unmapped, mapped]
+        return ordered
+
+    def _both_unmapped(
+        self, qname: str, fwd: FastqRecord, rev: FastqRecord
+    ) -> List[SamRecord]:
+        records = []
+        for read, first in ((fwd, True), (rev, False)):
+            bits = F.PAIRED | F.UNMAPPED | F.MATE_UNMAPPED
+            bits |= F.FIRST_IN_PAIR if first else F.SECOND_IN_PAIR
+            records.append(
+                SamRecord(
+                    qname=qname,
+                    flags=F.SamFlags(bits),
+                    rname="*",
+                    pos=0,
+                    mapq=0,
+                    cigar=Cigar([]),
+                    seq=read.sequence,
+                    qual=encode_quals(read.qualities),
+                )
+            )
+        return records
+
+
+def _oriented(read: FastqRecord, reverse: bool) -> Tuple[str, str]:
+    """SEQ/QUAL in reference-forward orientation, per SAM convention."""
+    if reverse:
+        return reverse_complement(read.sequence), encode_quals(read.qualities[::-1])
+    return read.sequence, encode_quals(read.qualities)
+
+
+def _fr_insert_size(
+    c1: AlignmentCandidate, c2: AlignmentCandidate
+) -> Optional[int]:
+    """Fragment length if the two placements form an FR pair, else None."""
+    if c1.contig != c2.contig or c1.reverse == c2.reverse:
+        return None
+    forward, backward = (c1, c2) if not c1.reverse else (c2, c1)
+    if backward.pos < forward.pos:
+        return None
+    end = reference_end(backward.pos, backward.cigar)
+    insert = end - forward.pos + 1
+    return insert if insert > 0 else None
+
+
+def _signed_tlen(
+    c1: AlignmentCandidate, c2: AlignmentCandidate
+) -> Tuple[int, int]:
+    """Signed TLEN for the two records of a pair (leftmost positive)."""
+    insert = _fr_insert_size(c1, c2)
+    if insert is None:
+        return (0, 0)
+    if not c1.reverse:
+        return (insert, -insert)
+    return (-insert, insert)

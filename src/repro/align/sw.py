@@ -1,0 +1,178 @@
+"""Pairwise alignment kernels for the BwaMemLite aligner.
+
+Two tiers, mirroring how a production aligner spends its time:
+
+* :func:`ungapped_alignment` — a fast Hamming-style extension used for
+  the vast majority of reads (no indel at the locus);
+* :func:`banded_local_alignment` — a banded Smith-Waterman with affine
+  gap penalties for the small fraction of reads that cross an indel.
+
+Scores use Bwa-mem-like defaults: match +1, mismatch -4, gap open -6,
+gap extend -1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.formats.cigar import Cigar
+
+MATCH = 1
+MISMATCH = -4
+GAP_OPEN = -6
+GAP_EXTEND = -1
+
+
+class LocalAlignment:
+    """Result of aligning a read against a reference window."""
+
+    __slots__ = ("score", "cigar", "ref_offset", "mismatches")
+
+    def __init__(self, score: int, cigar: Cigar, ref_offset: int, mismatches: int):
+        #: Alignment score under the scoring scheme above.
+        self.score = score
+        #: CIGAR including leading/trailing soft clips.
+        self.cigar = cigar
+        #: 0-based offset of the first aligned base within the window.
+        self.ref_offset = ref_offset
+        self.mismatches = mismatches
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalAlignment(score={self.score}, cigar={self.cigar}, "
+            f"offset={self.ref_offset})"
+        )
+
+
+def ungapped_alignment(
+    read: str, window: str, offset: int, max_mismatches: int
+) -> Optional[LocalAlignment]:
+    """Score ``read`` against ``window[offset:]`` without gaps.
+
+    Returns ``None`` when the placement does not fit in the window or
+    exceeds ``max_mismatches`` — the caller then falls back to the
+    banded DP.
+    """
+    read_len = len(read)
+    if offset < 0 or offset + read_len > len(window):
+        return None
+    mismatches = 0
+    segment = window[offset : offset + read_len]
+    for read_base, ref_base in zip(read, segment):
+        if read_base != ref_base:
+            mismatches += 1
+            if mismatches > max_mismatches:
+                return None
+    score = (read_len - mismatches) * MATCH + mismatches * MISMATCH
+    return LocalAlignment(score, Cigar([(read_len, "M")]), offset, mismatches)
+
+
+def banded_local_alignment(
+    read: str, window: str, band: int = 12
+) -> Optional[LocalAlignment]:
+    """Banded local alignment (Smith-Waterman, affine gaps).
+
+    The band is applied around the main diagonal of the read-vs-window
+    matrix, which is correct for seed-anchored candidates where the true
+    indel offset is small.  Unaligned read ends become soft clips.
+    """
+    read_len = len(read)
+    win_len = len(window)
+    if read_len == 0 or win_len == 0:
+        return None
+
+    neg_inf = -(10 ** 9)
+    # H: best score ending at (i, j); E: gap in read (deletion from ref
+    # consumed); F: gap in reference (insertion of read bases).
+    prev_h = [0] * (win_len + 1)
+    prev_e = [neg_inf] * (win_len + 1)
+    best_score = 0
+    best_cell = (0, 0)
+    # Traceback matrix: dict keyed by (i, j) -> move, kept sparse within
+    # the band to bound memory.
+    moves = {}
+
+    for i in range(1, read_len + 1):
+        cur_h = [0] * (win_len + 1)
+        cur_e = [neg_inf] * (win_len + 1)
+        f_score = neg_inf
+        j_lo = max(1, i - band)
+        j_hi = min(win_len, i + band + max(0, win_len - read_len))
+        read_base = read[i - 1]
+        for j in range(j_lo, j_hi + 1):
+            sub = MATCH if read_base == window[j - 1] else MISMATCH
+            diag = prev_h[j - 1] + sub
+            cur_e[j] = max(prev_e[j] + GAP_EXTEND, prev_h[j] + GAP_OPEN)
+            f_score = max(f_score + GAP_EXTEND, cur_h[j - 1] + GAP_OPEN)
+            score = max(0, diag, cur_e[j], f_score)
+            cur_h[j] = score
+            if score == 0:
+                continue
+            if score == diag:
+                moves[(i, j)] = "M"  # diagonal: read base vs window base
+            elif score == cur_e[j]:
+                moves[(i, j)] = "U"  # up: read base vs gap (insertion)
+            else:
+                moves[(i, j)] = "L"  # left: gap vs window base (deletion)
+            if score > best_score:
+                best_score = score
+                best_cell = (i, j)
+        prev_h, prev_e = cur_h, cur_e
+
+    if best_score <= 0:
+        return None
+
+    # Traceback from the best-scoring cell back to a zero cell.
+    ops: List[Tuple[int, str]] = []
+    mismatches = 0
+    i, j = best_cell
+    end_clip = read_len - i
+    while i > 0 and j > 0:
+        move = moves.get((i, j))
+        if move is None:
+            break
+        if move == "M":
+            if read[i - 1] != window[j - 1]:
+                mismatches += 1
+            _push(ops, "M")
+            i -= 1
+            j -= 1
+        elif move == "U":
+            _push(ops, "I")  # read base consumed, no window base
+            i -= 1
+        else:
+            _push(ops, "D")  # window base consumed, no read base
+            j -= 1
+    start_clip = i
+    ref_offset = j
+
+    ops.reverse()
+    cigar_ops: List[Tuple[int, str]] = []
+    if start_clip:
+        cigar_ops.append((start_clip, "S"))
+    cigar_ops.extend(ops)
+    if end_clip:
+        cigar_ops.append((end_clip, "S"))
+    return LocalAlignment(best_score, Cigar(cigar_ops), ref_offset, mismatches)
+
+
+def _push(ops: List[Tuple[int, str]], op: str) -> None:
+    """Append one op, run-length merging with the previous entry."""
+    if ops and ops[-1][1] == op:
+        ops[-1] = (ops[-1][0] + 1, op)
+    else:
+        ops.append((1, op))
+
+
+def align_candidate(
+    read: str, window: str, expected_offset: int, max_ungapped_mismatches: int = 6
+) -> Optional[LocalAlignment]:
+    """Align a read at a seed-anchored candidate locus.
+
+    Tries the cheap ungapped placement at ``expected_offset`` first and
+    falls back to the banded DP over the window.
+    """
+    result = ungapped_alignment(read, window, expected_offset, max_ungapped_mismatches)
+    if result is not None:
+        return result
+    return banded_local_alignment(read, window)

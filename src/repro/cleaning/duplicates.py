@@ -1,0 +1,173 @@
+"""MarkDuplicates (pipeline step 6, Table 2).
+
+Flags paired reads mapped to exactly the same start and end positions —
+defined on the *5' unclipped ends* (paper section 3.2) — as duplicates,
+so later variant calling is not biased by PCR artefacts.
+
+Two criteria, as in the paper:
+
+* **Criterion 1** (complete matching pairs): pairs sharing both 5'
+  unclipped ends compete; the pair with the highest base-quality score
+  survives.
+* **Criterion 2** (partial matchings): a mapped read whose mate is
+  unmapped is a duplicate if any read of a complete pair shares its 5'
+  unclipped end; otherwise partial matchings compete among themselves.
+
+Ties are broken by input encounter order, which is how "the
+Mark Duplicates algorithm can mark read pairs as duplicates at random
+when pairs are of equal quality" (section 4.5.2) manifests: a different
+record order (serial vs parallel) yields different tie winners.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.formats.sam import SamHeader, SamRecord
+
+#: (contig, 5' unclipped end, strand) — the fragment-level key.
+FragmentKey = Tuple[str, int, bool]
+#: Canonically ordered pair of fragment keys — the pair-level key.
+PairKey = Tuple[FragmentKey, FragmentKey]
+
+
+def fragment_key(record: SamRecord) -> FragmentKey:
+    """Duplicate key of one mapped read."""
+    return (record.rname, record.unclipped_five_prime, record.flags.is_reverse)
+
+
+def pair_key(end1: SamRecord, end2: SamRecord) -> PairKey:
+    """Orientation-independent duplicate key of a complete pair."""
+    keys = sorted([fragment_key(end1), fragment_key(end2)])
+    return (keys[0], keys[1])
+
+
+def pair_score(end1: SamRecord, end2: SamRecord) -> int:
+    """Picard duplicate score: summed base qualities of both ends."""
+    return end1.sum_of_base_qualities() + end2.sum_of_base_qualities()
+
+
+class MarkDuplicatesStats:
+    """Counters reported by one MarkDuplicates run."""
+
+    def __init__(self):
+        self.complete_pairs = 0
+        self.partial_matchings = 0
+        self.duplicate_pairs = 0
+        self.duplicate_fragments = 0
+
+    @property
+    def duplicate_records(self) -> int:
+        return 2 * self.duplicate_pairs + self.duplicate_fragments
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkDuplicatesStats(pairs={self.complete_pairs}, "
+            f"partial={self.partial_matchings}, dup_pairs={self.duplicate_pairs}, "
+            f"dup_fragments={self.duplicate_fragments})"
+        )
+
+
+class MarkDuplicates:
+    """Serial MarkDuplicates over a complete dataset (gold standard)."""
+
+    name = "MarkDuplicates"
+
+    def __init__(self):
+        self.stats = MarkDuplicatesStats()
+
+    def run(
+        self, header: SamHeader, records: Iterable[SamRecord]
+    ) -> Tuple[SamHeader, List[SamRecord]]:
+        out = [record.copy() for record in records]
+        self.stats = mark_duplicates_in_place(out)
+        return header.copy(), out
+
+
+def mark_duplicates_in_place(records: List[SamRecord]) -> MarkDuplicatesStats:
+    """Apply both duplicate criteria to ``records``, mutating flags.
+
+    The records may arrive in any order; pairing is done via QNAME.
+    This same routine is reused by the parallel reducers, which hand it
+    one logical partition at a time.
+    """
+    stats = MarkDuplicatesStats()
+    for record in records:
+        record.set_duplicate(False)
+
+    complete_pairs: List[Tuple[SamRecord, SamRecord]] = []
+    partials: List[SamRecord] = []
+    open_reads: Dict[str, SamRecord] = {}
+    for record in records:
+        if not record.flags.is_primary:
+            continue
+        if record.flags.is_unmapped:
+            continue
+        if not record.flags.is_paired:
+            partials.append(record)
+            continue
+        if record.flags.is_mate_unmapped:
+            partials.append(record)
+            continue
+        mate = open_reads.pop(record.qname, None)
+        if mate is None:
+            open_reads[record.qname] = record
+        else:
+            complete_pairs.append((mate, record))
+    # Reads whose mapped mate is outside this dataset behave like
+    # partial matchings (can only happen under partitioning schemes
+    # that deliberately split pairs; the group partitioner never does).
+    partials.extend(open_reads.values())
+
+    stats.complete_pairs = len(complete_pairs)
+    stats.partial_matchings = len(partials)
+
+    # Criterion 1: complete pairs compete on the compound key.
+    by_pair_key: Dict[PairKey, List[Tuple[SamRecord, SamRecord]]] = {}
+    for end1, end2 in complete_pairs:
+        by_pair_key.setdefault(pair_key(end1, end2), []).append((end1, end2))
+    complete_fragment_keys = set()
+    for end1, end2 in complete_pairs:
+        complete_fragment_keys.add(fragment_key(end1))
+        complete_fragment_keys.add(fragment_key(end2))
+    for group in by_pair_key.values():
+        if len(group) == 1:
+            continue
+        best_index = max(
+            range(len(group)), key=lambda i: pair_score(group[i][0], group[i][1])
+        )
+        for index, (end1, end2) in enumerate(group):
+            if index == best_index:
+                continue
+            end1.set_duplicate(True)
+            end2.set_duplicate(True)
+            stats.duplicate_pairs += 1
+
+    # Criterion 2: partial matchings compared against the 5' ends of
+    # complete pairs, then against each other.
+    by_fragment_key: Dict[FragmentKey, List[SamRecord]] = {}
+    for record in partials:
+        by_fragment_key.setdefault(fragment_key(record), []).append(record)
+    for key, group in by_fragment_key.items():
+        if key in complete_fragment_keys:
+            for record in group:
+                record.set_duplicate(True)
+                stats.duplicate_fragments += 1
+            continue
+        if len(group) == 1:
+            continue
+        best_index = max(
+            range(len(group)),
+            key=lambda i: group[i].sum_of_base_qualities(),
+        )
+        for index, record in enumerate(group):
+            if index == best_index:
+                continue
+            record.set_duplicate(True)
+            stats.duplicate_fragments += 1
+    return stats
+
+
+def duplicate_count(records: Iterable[SamRecord]) -> int:
+    """Number of records carrying the duplicate flag."""
+    return sum(1 for record in records if record.flags.is_duplicate)

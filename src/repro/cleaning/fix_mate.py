@@ -1,0 +1,83 @@
+"""FixMateInformation (pipeline step 5, Table 2).
+
+Shares alignment information between the two reads of a pair and makes
+the mate fields consistent — needed because of alignment-software
+limitations (paper section 2.1).  Requires input grouped by read name,
+which is exactly why the Gesall wrapper runs it behind a group
+partitioner on QNAME.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import PipelineError
+from repro.formats import flags as F
+from repro.formats.cigar import reference_end
+from repro.formats.sam import SamHeader, SamRecord
+
+
+class FixMateInformation:
+    """Picard FixMateInformation equivalent."""
+
+    name = "FixMateInfo"
+
+    def run(
+        self, header: SamHeader, records: Iterable[SamRecord]
+    ) -> Tuple[SamHeader, List[SamRecord]]:
+        out: List[SamRecord] = []
+        pending: Dict[str, SamRecord] = {}
+        for record in records:
+            updated = record.copy()
+            if not updated.flags.is_paired:
+                out.append(updated)
+                continue
+            mate = pending.pop(updated.qname, None)
+            if mate is None:
+                pending[updated.qname] = updated
+                continue
+            first, second = (mate, updated)
+            self._fix(first, second)
+            self._fix(second, first)
+            out.append(first)
+            out.append(second)
+        if pending:
+            raise PipelineError(
+                f"{len(pending)} paired reads missing their mate — input "
+                "was not grouped by read name (logical partitioning "
+                "violated)"
+            )
+        return header.copy(), out
+
+    @staticmethod
+    def _fix(record: SamRecord, mate: SamRecord) -> None:
+        """Copy mate information onto ``record``."""
+        record.flags = record.flags.with_bit(F.MATE_UNMAPPED, mate.flags.is_unmapped)
+        record.flags = record.flags.with_bit(F.MATE_REVERSE, mate.flags.is_reverse)
+        if mate.flags.is_unmapped:
+            record.rnext = "="
+            record.pnext = record.pos
+            record.tlen = 0
+        else:
+            record.rnext = "=" if mate.rname == record.rname else mate.rname
+            record.pnext = mate.pos
+            record.tlen = _template_length(record, mate)
+            record.tags["MC"] = str(mate.cigar)
+            record.tags["MQ"] = str(mate.mapq)
+
+
+def _template_length(record: SamRecord, mate: SamRecord) -> int:
+    """Signed TLEN per the SAM spec (leftmost record positive)."""
+    if record.flags.is_unmapped or mate.flags.is_unmapped:
+        return 0
+    if record.rname != mate.rname:
+        return 0
+    left = min(record.pos, mate.pos)
+    right = max(
+        reference_end(record.pos, record.cigar),
+        reference_end(mate.pos, mate.cigar),
+    )
+    span = right - left + 1
+    if record.pos < mate.pos or (record.pos == mate.pos and not record.flags.is_reverse):
+        return span
+    return -span

@@ -1,0 +1,51 @@
+"""AddOrReplaceReadGroups (pipeline step 3, Table 2).
+
+Fixes the ReadGroup field of every read and adds the group to the
+header, as PicardTools' AddOrReplaceReadGroups does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.formats.sam import SamHeader, SamRecord
+
+
+class AddOrReplaceReadGroups:
+    """Stamp a single read group onto every record."""
+
+    name = "AddReplaceReadGroups"
+
+    def __init__(
+        self,
+        group_id: str = "RG1",
+        sample: str = "SAMPLE",
+        library: str = "LIB1",
+        platform: str = "ILLUMINA",
+        unit: str = "UNIT1",
+    ):
+        self.group_id = group_id
+        self.sample = sample
+        self.library = library
+        self.platform = platform
+        self.unit = unit
+
+    def run(
+        self, header: SamHeader, records: Iterable[SamRecord]
+    ) -> Tuple[SamHeader, List[SamRecord]]:
+        out_header = header.copy()
+        out_header.read_groups = [
+            {
+                "ID": self.group_id,
+                "SM": self.sample,
+                "LB": self.library,
+                "PL": self.platform,
+                "PU": self.unit,
+            }
+        ]
+        out_records = []
+        for record in records:
+            updated = record.copy()
+            updated.tags["RG"] = self.group_id
+            out_records.append(updated)
+        return out_header, out_records

@@ -1,0 +1,138 @@
+"""SortSam: coordinate and queryname sorting, with an external path.
+
+Round 4 of the Gesall pipeline sorts each range partition before
+Haplotype Caller; PicardTools' SortSam is the serial equivalent.  The
+:class:`ExternalMergeSorter` spills bounded runs to disk and merges
+them, which is the access pattern whose disk behaviour the paper's
+multipass-merge analysis (Appendix B.1) models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import PipelineError
+from repro.formats.sam import SamHeader, SamRecord
+
+SortKey = Callable[[SamRecord], Tuple]
+
+
+def coordinate_key(header: SamHeader) -> SortKey:
+    """Sort key: (contig index, position, strand, name).
+
+    Unmapped reads sort to the end, as in samtools/Picard.
+    """
+    order = {name: i for i, name in enumerate(header.sequence_names())}
+
+    def key(record: SamRecord) -> Tuple:
+        if record.flags.is_unmapped and record.rname == "*":
+            return (len(order), 0, 0, record.qname)
+        return (
+            order.get(record.rname, len(order)),
+            record.pos,
+            1 if record.flags.is_reverse else 0,
+            record.qname,
+        )
+
+    return key
+
+
+def queryname_key() -> SortKey:
+    """Sort key: (read name, first/second in pair)."""
+
+    def key(record: SamRecord) -> Tuple:
+        return (record.qname, 1 if record.flags.is_second_in_pair else 0)
+
+    return key
+
+
+class SortSam:
+    """In-memory sort, matching Picard SortSam semantics."""
+
+    name = "SortSam"
+
+    def __init__(self, order: str = "coordinate"):
+        if order not in ("coordinate", "queryname"):
+            raise PipelineError(f"unsupported sort order {order!r}")
+        self.order = order
+
+    def run(
+        self, header: SamHeader, records: Iterable[SamRecord]
+    ) -> Tuple[SamHeader, List[SamRecord]]:
+        out_header = header.copy()
+        out_header.sort_order = self.order
+        key = (
+            coordinate_key(header) if self.order == "coordinate" else queryname_key()
+        )
+        out = sorted((record.copy() for record in records), key=key)
+        return out_header, out
+
+
+class ExternalMergeSorter:
+    """Sort-merge with bounded memory: sorted runs spilled to disk.
+
+    Mirrors both NovoSort-style external sorting and Hadoop's map-side
+    sort/spill/merge.  ``max_records_in_ram`` bounds each run; runs are
+    written as SAM lines to a temp directory and k-way merged.
+    """
+
+    def __init__(self, key: SortKey, max_records_in_ram: int = 10_000,
+                 tmp_dir: Optional[str] = None):
+        if max_records_in_ram <= 0:
+            raise PipelineError("max_records_in_ram must be positive")
+        self.key = key
+        self.max_records_in_ram = max_records_in_ram
+        self.tmp_dir = tmp_dir
+        #: Number of runs spilled in the last :meth:`sort` call.
+        self.spill_count = 0
+
+    def sort(self, records: Iterable[SamRecord]) -> Iterator[SamRecord]:
+        """Yield records in key order using bounded memory."""
+        with tempfile.TemporaryDirectory(dir=self.tmp_dir) as scratch:
+            run_paths: List[str] = []
+            buffer: List[SamRecord] = []
+            for record in records:
+                buffer.append(record)
+                if len(buffer) >= self.max_records_in_ram:
+                    run_paths.append(self._spill(buffer, scratch, len(run_paths)))
+                    buffer = []
+            self.spill_count = len(run_paths) + (1 if buffer else 0)
+            if not run_paths:
+                yield from sorted(buffer, key=self.key)
+                return
+            if buffer:
+                run_paths.append(self._spill(buffer, scratch, len(run_paths)))
+            yield from self._merge(run_paths)
+
+    def _spill(self, buffer: List[SamRecord], scratch: str, index: int) -> str:
+        path = os.path.join(scratch, f"run-{index:05d}.sam")
+        buffer.sort(key=self.key)
+        with open(path, "w") as handle:
+            for record in buffer:
+                handle.write(record.to_line())
+                handle.write("\n")
+        return path
+
+    def _merge(self, run_paths: List[str]) -> Iterator[SamRecord]:
+        # heapq.merge over per-run generators keeps memory at O(runs);
+        # the (key, run, seq) decoration makes the merge stable.
+        def keyed(run_index: int, path: str):
+            for seq, record in enumerate(self._read_run(path)):
+                yield (self.key(record), run_index, seq), record
+
+        merged = heapq.merge(
+            *[keyed(i, path) for i, path in enumerate(run_paths)],
+            key=lambda item: item[0],
+        )
+        for _, record in merged:
+            yield record
+
+    @staticmethod
+    def _read_run(path: str) -> Iterator[SamRecord]:
+        with open(path) as handle:
+            for line in handle:
+                if line.strip():
+                    yield SamRecord.from_line(line)

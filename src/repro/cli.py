@@ -1,0 +1,198 @@
+"""Command-line interface for the Gesall reproduction.
+
+Subcommands::
+
+    repro-genomics simulate   --out DIR [--length N] [--coverage X]
+    repro-genomics run        --data DIR --mode serial|parallel [--vcf F]
+    repro-genomics diagnose   --data DIR
+    repro-genomics perf-study [--cluster A|B]
+
+``simulate`` writes a reference FASTA, two FASTQ files and the truth
+VCF into a directory; ``run`` executes a pipeline over them; ``diagnose``
+runs both pipelines and prints the Table 8 report; ``perf-study`` prints
+the simulator's Table 6/7 numbers without touching any data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.align.index import ReferenceIndex
+from repro.diagnostics.toolkit import ErrorDiagnosisToolkit
+from repro.formats.fastq import interleave, read_fastq, write_fastq
+from repro.formats.vcf import read_vcf, write_vcf
+from repro.genome.reference import read_fasta, write_fasta
+from repro.genome.simulate import (
+    ReadSimulationConfig,
+    ReferenceSimulationConfig,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+)
+from repro.metrics.accuracy import precision_sensitivity
+from repro.pipeline.parallel import GesallPipeline
+from repro.pipeline.serial import SerialPipeline
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-genomics",
+        description="Gesall reproduction: parallel WGS analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic sample")
+    sim.add_argument("--out", required=True, help="output directory")
+    sim.add_argument("--length", type=int, default=20_000,
+                     help="total genome length (split over 2 contigs)")
+    sim.add_argument("--coverage", type=float, default=15.0)
+    sim.add_argument("--seed", type=int, default=1)
+
+    run = sub.add_parser("run", help="run a pipeline over a sample dir")
+    run.add_argument("--data", required=True, help="simulate output dir")
+    run.add_argument("--mode", choices=("serial", "parallel"),
+                     default="parallel")
+    run.add_argument("--partitions", type=int, default=8,
+                     help="FASTQ logical partitions (parallel mode)")
+    run.add_argument("--vcf", default=None, help="output VCF path")
+
+    diag = sub.add_parser("diagnose",
+                          help="run both pipelines and compare (Table 8)")
+    diag.add_argument("--data", required=True)
+    diag.add_argument("--partitions", type=int, default=8)
+
+    perf = sub.add_parser("perf-study",
+                          help="print the simulated performance study")
+    perf.add_argument("--cluster", choices=("A", "B"), default="A")
+    return parser
+
+
+def _load_sample(data_dir: str):
+    reference = read_fasta(os.path.join(data_dir, "reference.fa"))
+    forward = read_fastq(os.path.join(data_dir, "reads_1.fastq"))
+    reverse = read_fastq(os.path.join(data_dir, "reads_2.fastq"))
+    pairs = list(interleave(forward, reverse))
+    return reference, pairs
+
+
+def _cmd_simulate(args) -> int:
+    os.makedirs(args.out, exist_ok=True)
+    half = args.length // 2
+    reference = simulate_reference(
+        ReferenceSimulationConfig(
+            contig_lengths={"chr1": args.length - half, "chr2": half},
+            seed=args.seed,
+        )
+    )
+    donor = simulate_donor(reference)
+    pairs, _ = simulate_reads(
+        donor, ReadSimulationConfig(coverage=args.coverage, seed=args.seed + 1)
+    )
+    write_fasta(os.path.join(args.out, "reference.fa"), reference)
+    write_fastq(os.path.join(args.out, "reads_1.fastq"),
+                (fwd for fwd, _ in pairs))
+    write_fastq(os.path.join(args.out, "reads_2.fastq"),
+                (rev for _, rev in pairs))
+    write_vcf(os.path.join(args.out, "truth.vcf"), donor.truth_variants)
+    print(f"wrote {len(pairs)} read pairs, "
+          f"{len(donor.truth_variants)} truth variants to {args.out}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    reference, pairs = _load_sample(args.data)
+    index = ReferenceIndex(reference)
+    if args.mode == "serial":
+        result = SerialPipeline(reference, index=index).run(pairs)
+    else:
+        result = GesallPipeline(
+            reference, index=index, num_fastq_partitions=args.partitions
+        ).run(pairs)
+    vcf_path = args.vcf or os.path.join(args.data, f"{args.mode}.vcf")
+    write_vcf(vcf_path, result.variants)
+    print(f"{args.mode} pipeline: {len(result.alignment)} alignments, "
+          f"{len(result.variants)} variants -> {vcf_path}")
+    truth_path = os.path.join(args.data, "truth.vcf")
+    if os.path.exists(truth_path):
+        truth = {v.site_key() for v in read_vcf(truth_path)}
+        precision, sensitivity = precision_sensitivity(result.variants, truth)
+        print(f"vs truth: precision {precision:.3f}, "
+              f"sensitivity {sensitivity:.3f}")
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    reference, pairs = _load_sample(args.data)
+    index = ReferenceIndex(reference)
+    serial = SerialPipeline(reference, index=index).run(pairs)
+    parallel = GesallPipeline(
+        reference, index=index, num_fastq_partitions=args.partitions
+    ).run(pairs)
+    report = ErrorDiagnosisToolkit(reference).diagnose(serial, parallel)
+    print(f"{'stage':<18s}{'D_count':>10s}{'weighted':>10s}{'D_impact':>10s}")
+    for row in report.rows:
+        impact = row.d_impact if row.d_impact is not None else "-"
+        print(f"{row.stage:<18s}{row.d_count:>10.0f}"
+              f"{row.weighted_d_count:>10.2f}{impact:>10}")
+    return 0
+
+
+def _cmd_perf_study(args) -> int:
+    from repro.cluster.costs import NA12878, CostModel
+    from repro.cluster.hardware import CLUSTER_A, CLUSTER_B
+    from repro.cluster.mrsim import ClusterModel, simulate_round
+    from repro.cluster.rounds_model import (
+        round1_spec,
+        round2_spec,
+        round3_spec,
+        round4_spec,
+        round5_spec,
+    )
+    from repro.metrics.perf import format_duration
+
+    cost = CostModel()
+    workload = NA12878
+    if args.cluster == "A":
+        spec, slots, mappers, threads, parts = CLUSTER_A, 6, 6, 4, 90
+    else:
+        spec, slots, mappers, threads, parts = CLUSTER_B, 16, 16, 1, 64
+    cluster = ClusterModel(spec)
+    rounds = [
+        ("Round 1 alignment",
+         round1_spec(cluster, cost, workload, parts, mappers, threads)),
+        ("Round 2 cleaning",
+         round2_spec(cluster, cost, workload, parts, slots, slots)),
+        ("Round 3 markdup(opt)",
+         round3_spec(cluster, cost, workload, "opt", parts, slots, slots)),
+        ("Round 4 sort+index",
+         round4_spec(cluster, cost, workload, parts, slots, slots)),
+        ("Round 5 haplotype caller",
+         round5_spec(cluster, cost, workload, slots)),
+    ]
+    total = 0.0
+    print(f"cluster {args.cluster} ({spec.data_nodes} nodes)")
+    for name, round_spec in rounds:
+        result = simulate_round(ClusterModel(spec), round_spec)
+        total += result.wall_seconds
+        print(f"  {name:<26s}{format_duration(result.wall_seconds):>24s}")
+    print(f"  {'TOTAL':<26s}{format_duration(total):>24s}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "run": _cmd_run,
+        "diagnose": _cmd_diagnose,
+        "perf-study": _cmd_perf_study,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

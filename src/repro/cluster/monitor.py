@@ -1,0 +1,63 @@
+"""sar-style rendering of simulator utilization traces (Figs 7, 10).
+
+The paper's profiling used ``sar`` per data node; this module renders
+the simulator's :class:`~repro.cluster.fluid.UtilizationTrace` the same
+way — fixed-interval samples plus ASCII strip charts — so the disk
+utilization plots of Fig 10(a-c) can be eyeballed from a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cluster.fluid import UtilizationTrace
+
+
+def sample_utilization(
+    trace: UtilizationTrace, resource_name: str, horizon: float,
+    samples: int = 60,
+) -> List[Tuple[float, float]]:
+    """(time, utilization) at ``samples`` evenly spaced instants."""
+    if samples < 1 or horizon <= 0:
+        return []
+    intervals = trace.series(resource_name)
+    points = []
+    for index in range(samples):
+        t = horizon * (index + 0.5) / samples
+        value = 0.0
+        for t0, t1, fraction in intervals:
+            if t0 <= t < t1:
+                value = fraction
+                break
+        points.append((t, value))
+    return points
+
+
+def render_strip_chart(
+    trace: UtilizationTrace, resource_name: str, horizon: float,
+    width: int = 60,
+) -> str:
+    """One-line ASCII utilization strip: ' .:-=+*#%@' for 0-100%."""
+    ramp = " .:-=+*#%@"
+    samples = sample_utilization(trace, resource_name, horizon, width)
+    chars = []
+    for _, value in samples:
+        level = min(len(ramp) - 1, int(value * (len(ramp) - 1) + 0.5))
+        chars.append(ramp[level])
+    return "".join(chars)
+
+
+def render_disk_report(
+    trace: UtilizationTrace, disk_names: List[str], horizon: float,
+    width: int = 60,
+) -> str:
+    """Fig 10-style report: one strip chart per disk plus summaries."""
+    lines = [f"{'disk':<16s}|{'utilization over time':<{width}s}| mean  busy>95%"]
+    for name in disk_names:
+        strip = render_strip_chart(trace, name, horizon, width)
+        mean = trace.mean_utilization(name, horizon=horizon)
+        busy = trace.busy_fraction(name, horizon=horizon)
+        lines.append(
+            f"{name:<16s}|{strip}| {100 * mean:4.0f}%  {100 * busy:4.0f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Pipeline execution-plan optimizer (paper Appendix C, question 4).
+
+"A pipeline optimizer that can best configure the execution plan of a
+deep pipeline to meet both user requirements on running time and a
+genome center's requirements on throughput or efficiency."
+
+Given a cluster, the workload and a per-round knob space, the optimizer
+grid-searches the simulator for the plan that minimises turnaround time
+subject to a minimum resource-efficiency (throughput) constraint — or
+maximises efficiency subject to a turnaround deadline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.cluster.costs import CostModel, Workload
+from repro.cluster.hardware import ClusterSpec
+from repro.cluster.mrsim import ClusterModel, simulate_round
+from repro.cluster.rounds_model import (
+    round1_spec,
+    round2_spec,
+    round3_spec,
+    round4_spec,
+    round5_spec,
+)
+from repro.errors import SimulationError
+
+
+class PlanKnobs:
+    """One candidate execution plan for the five-round pipeline."""
+
+    def __init__(self, align_mappers: int, align_threads: int,
+                 fastq_partitions: int, markdup_mode: str,
+                 reducers_per_node: int, slowstart: float):
+        self.align_mappers = align_mappers
+        self.align_threads = align_threads
+        self.fastq_partitions = fastq_partitions
+        self.markdup_mode = markdup_mode
+        self.reducers_per_node = reducers_per_node
+        self.slowstart = slowstart
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanKnobs(align={self.align_mappers}x{self.align_threads}, "
+            f"parts={self.fastq_partitions}, markdup={self.markdup_mode}, "
+            f"reducers={self.reducers_per_node}, "
+            f"slowstart={self.slowstart:.2f})"
+        )
+
+
+class PlanEvaluation:
+    """Simulated outcome of one plan."""
+
+    def __init__(self, knobs: PlanKnobs, wall_seconds: float,
+                 slot_seconds: float, total_core_seconds_available: float):
+        self.knobs = knobs
+        self.wall_seconds = wall_seconds
+        self.slot_seconds = slot_seconds
+        #: Cluster core-seconds available over the makespan.
+        self.capacity_seconds = total_core_seconds_available
+
+    @property
+    def cluster_efficiency(self) -> float:
+        """Occupied slot time / available capacity — the genome center's
+        throughput-side view of the plan."""
+        if self.capacity_seconds == 0:
+            return 0.0
+        return min(1.0, self.slot_seconds / self.capacity_seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanEvaluation({self.knobs}, wall={self.wall_seconds:.0f}s, "
+            f"efficiency={self.cluster_efficiency:.2f})"
+        )
+
+
+class PipelineOptimizer:
+    """Grid search over execution plans using the fluid simulator."""
+
+    def __init__(self, cluster: ClusterSpec, cost: CostModel,
+                 workload: Workload):
+        self.cluster = cluster
+        self.cost = cost
+        self.workload = workload
+
+    # -- plan evaluation ---------------------------------------------------
+    def evaluate(self, knobs: PlanKnobs) -> PlanEvaluation:
+        """Simulate the full five-round pipeline under one plan."""
+        model = ClusterModel(self.cluster)
+        slots = self.cluster.node.cores
+        wall = 0.0
+        slot_seconds = 0.0
+        rounds = [
+            round1_spec(model, self.cost, self.workload,
+                        knobs.fastq_partitions, knobs.align_mappers,
+                        knobs.align_threads),
+            round2_spec(model, self.cost, self.workload,
+                        knobs.fastq_partitions, knobs.reducers_per_node,
+                        min(slots, knobs.reducers_per_node),
+                        slowstart=knobs.slowstart),
+            round3_spec(model, self.cost, self.workload, knobs.markdup_mode,
+                        max(knobs.fastq_partitions, 64),
+                        knobs.reducers_per_node,
+                        min(slots, knobs.reducers_per_node),
+                        slowstart=knobs.slowstart),
+            round4_spec(model, self.cost, self.workload,
+                        knobs.fastq_partitions,
+                        min(slots, knobs.reducers_per_node),
+                        knobs.reducers_per_node,
+                        slowstart=knobs.slowstart),
+            round5_spec(model, self.cost, self.workload,
+                        min(slots, knobs.reducers_per_node)),
+        ]
+        for spec in rounds:
+            model = ClusterModel(self.cluster)  # fresh traces per round
+            result = simulate_round(model, spec)
+            wall += result.wall_seconds
+            slot_seconds += result.serial_slot_seconds
+        capacity = wall * self.cluster.data_nodes * self.cluster.node.cores
+        return PlanEvaluation(knobs, wall, slot_seconds, capacity)
+
+    # -- plan enumeration ----------------------------------------------------
+    def candidate_plans(self) -> List[PlanKnobs]:
+        cores = self.cluster.node.cores
+        mapper_splits = [
+            (cores // t, t) for t in (1, 2, 4) if cores % t == 0
+        ]
+        partitions = [4 * self.cluster.data_nodes * cores // 16,
+                      self.cluster.data_nodes * cores]
+        plans = []
+        for (mappers, threads), parts, mode, reducers, slowstart in (
+            itertools.product(
+                mapper_splits,
+                partitions,
+                ("opt", "reg"),
+                (max(4, cores // 2), cores),
+                (0.05, 0.80),
+            )
+        ):
+            plans.append(
+                PlanKnobs(mappers, threads, max(parts, 8), mode, reducers,
+                          slowstart)
+            )
+        return plans
+
+    # -- optimization objectives ------------------------------------------------
+    def minimize_turnaround(
+        self, min_efficiency: float = 0.0,
+        plans: Optional[List[PlanKnobs]] = None,
+    ) -> PlanEvaluation:
+        """Fastest plan meeting the efficiency floor (clinic's view)."""
+        best: Optional[PlanEvaluation] = None
+        for knobs in plans or self.candidate_plans():
+            evaluation = self.evaluate(knobs)
+            if evaluation.cluster_efficiency < min_efficiency:
+                continue
+            if best is None or evaluation.wall_seconds < best.wall_seconds:
+                best = evaluation
+        if best is None:
+            raise SimulationError(
+                f"no plan reaches efficiency {min_efficiency:.2f}"
+            )
+        return best
+
+    def maximize_efficiency(
+        self, deadline_seconds: float,
+        plans: Optional[List[PlanKnobs]] = None,
+    ) -> PlanEvaluation:
+        """Most efficient plan meeting the deadline (center's view)."""
+        best: Optional[PlanEvaluation] = None
+        for knobs in plans or self.candidate_plans():
+            evaluation = self.evaluate(knobs)
+            if evaluation.wall_seconds > deadline_seconds:
+                continue
+            if (
+                best is None
+                or evaluation.cluster_efficiency > best.cluster_efficiency
+            ):
+                best = evaluation
+        if best is None:
+            raise SimulationError(
+                f"no plan meets the {deadline_seconds:.0f}s deadline"
+            )
+        return best

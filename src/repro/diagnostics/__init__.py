@@ -1,0 +1,33 @@
+"""Error-diagnosis toolkit: why parallel differs from serial (section 4.5)."""
+
+from repro.diagnostics.insert_size import (
+    edge_enrichment,
+    insert_size_histogram,
+    population_insert_stats,
+)
+from repro.diagnostics.regions import (
+    RegionAttribution,
+    attribute_regions,
+    discordance_coverage,
+    enrichment_in_hard_regions,
+    filtered_discordance_fraction,
+)
+from repro.diagnostics.toolkit import (
+    DiagnosisReport,
+    ErrorDiagnosisToolkit,
+    Table8Row,
+)
+
+__all__ = [
+    "edge_enrichment",
+    "insert_size_histogram",
+    "population_insert_stats",
+    "RegionAttribution",
+    "attribute_regions",
+    "discordance_coverage",
+    "enrichment_in_hard_regions",
+    "filtered_discordance_fraction",
+    "DiagnosisReport",
+    "ErrorDiagnosisToolkit",
+    "Table8Row",
+]

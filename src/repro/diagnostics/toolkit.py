@@ -1,0 +1,183 @@
+"""The error-diagnosis toolkit (paper sections 3.4 and 4.5.2).
+
+Given a serial pipeline result and a parallel pipeline result over the
+same input, produces the full Table 8 report — D_count and D_impact,
+raw and logistic-weighted, for each parallel pipeline prefix — plus the
+Fig 11 analyses (MAPQ distribution, hard-region attribution, insert
+size) and the Tables 9/10 quality comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.genome.reference import ReferenceGenome
+from repro.metrics.accuracy import (
+    AlignmentComparison,
+    DuplicateComparison,
+    VariantComparison,
+    compare_alignments,
+    compare_duplicates,
+    compare_variants,
+)
+from repro.metrics.quality import VariantSetSummary, quality_table
+from repro.pipeline.hybrid import HybridPipeline
+from repro.pipeline.parallel import GesallPipelineResult
+from repro.pipeline.serial import SerialPipelineResult
+from repro.variants.haplotype import HaplotypeCallerConfig
+
+
+class Table8Row:
+    """One row of Table 8: a pipeline prefix's D_count and D_impact."""
+
+    def __init__(self, stage: str, d_count: float, weighted_d_count: float,
+                 weighted_d_count_pct: float,
+                 d_impact: Optional[int] = None,
+                 weighted_d_impact: Optional[float] = None,
+                 weighted_d_impact_pct: Optional[float] = None):
+        self.stage = stage
+        self.d_count = d_count
+        self.weighted_d_count = weighted_d_count
+        self.weighted_d_count_pct = weighted_d_count_pct
+        self.d_impact = d_impact
+        self.weighted_d_impact = weighted_d_impact
+        self.weighted_d_impact_pct = weighted_d_impact_pct
+
+    def __repr__(self) -> str:
+        return (
+            f"Table8Row({self.stage}: D_count={self.d_count}, "
+            f"D_impact={self.d_impact})"
+        )
+
+
+class DiagnosisReport:
+    """Everything the accuracy validation produces."""
+
+    def __init__(self):
+        self.rows: List[Table8Row] = []
+        self.alignment: Optional[AlignmentComparison] = None
+        self.duplicates: Optional[DuplicateComparison] = None
+        self.variants: Optional[VariantComparison] = None
+        self.impact_from_alignment: Optional[VariantComparison] = None
+        self.impact_from_markdup: Optional[VariantComparison] = None
+        self.quality_rows: List[VariantSetSummary] = []
+
+    def row(self, stage: str) -> Table8Row:
+        for row in self.rows:
+            if row.stage == stage:
+                return row
+        raise KeyError(stage)
+
+
+class ErrorDiagnosisToolkit:
+    """Compare a serial and a parallel run of the same sample."""
+
+    def __init__(self, reference: ReferenceGenome,
+                 hc_config: Optional[HaplotypeCallerConfig] = None):
+        self.reference = reference
+        self.hybrid = HybridPipeline(reference, hc_config)
+
+    def diagnose(
+        self,
+        serial: SerialPipelineResult,
+        parallel: GesallPipelineResult,
+    ) -> DiagnosisReport:
+        """Produce the full Table 8 report.
+
+        D_impact of the parallel Bwa prefix is measured by running the
+        serial tail (cleaning, MarkDuplicates, Haplotype Caller) on the
+        parallel alignment; D_impact of the MarkDuplicates prefix by
+        running serial Haplotype Caller on the parallel deduped output.
+        """
+        report = DiagnosisReport()
+
+        report.alignment = compare_alignments(
+            serial.alignment, parallel.alignment
+        )
+        report.duplicates = compare_duplicates(
+            serial.deduped, parallel.deduped
+        )
+        report.variants = compare_variants(serial.variants, parallel.variants)
+
+        hybrid_from_bwa = self.hybrid.from_alignment(parallel.alignment)
+        report.impact_from_alignment = compare_variants(
+            serial.variants, hybrid_from_bwa
+        )
+        hybrid_from_md = self.hybrid.from_markdup(parallel.deduped)
+        report.impact_from_markdup = compare_variants(
+            serial.variants, hybrid_from_md
+        )
+
+        total_variants = max(
+            1, len(report.impact_from_alignment.concordant)
+            + report.impact_from_alignment.d_count
+        )
+        report.rows = [
+            Table8Row(
+                "Bwa",
+                report.alignment.d_count,
+                report.alignment.weighted_d_count,
+                report.alignment.weighted_d_count_percent,
+                d_impact=report.impact_from_alignment.d_count,
+                weighted_d_impact=report.impact_from_alignment.weighted_d_count,
+                weighted_d_impact_pct=(
+                    100.0 * report.impact_from_alignment.weighted_d_count
+                    / total_variants
+                ),
+            ),
+            Table8Row(
+                "Mark Duplicates",
+                report.duplicates.flag_differences,
+                report.duplicates.weighted,
+                (
+                    100.0 * report.duplicates.weighted
+                    / max(1, report.duplicates.total)
+                ),
+                d_impact=report.impact_from_markdup.d_count,
+                weighted_d_impact=report.impact_from_markdup.weighted_d_count,
+                weighted_d_impact_pct=(
+                    100.0 * report.impact_from_markdup.weighted_d_count
+                    / total_variants
+                ),
+            ),
+            Table8Row(
+                "Haplotype Caller",
+                report.variants.d_count,
+                report.variants.weighted_d_count,
+                report.variants.d_count_percent,
+            ),
+        ]
+
+        # Tables 9/10 compare the serial pipeline against the hybrid
+        # "parallel pipeline + serial Haplotype Caller" — i.e. the
+        # MarkDuplicates-prefix hybrid.
+        report.quality_rows = quality_table(
+            concordant=report.impact_from_markdup.concordant,
+            only_serial=report.impact_from_markdup.only_first,
+            only_hybrid=report.impact_from_markdup.only_second,
+        )
+        return report
+
+    # -- Fig 11b -----------------------------------------------------------
+    @staticmethod
+    def mapq_joint_distribution(
+        comparison: AlignmentComparison,
+    ) -> List[Tuple[int, int]]:
+        """(serial MAPQ, parallel MAPQ) of every disagreeing read."""
+        return [
+            (d.serial.mapq, d.parallel.mapq) for d in comparison.discordant
+        ]
+
+    @staticmethod
+    def low_quality_fraction(
+        comparison: AlignmentComparison, threshold: int = 30
+    ) -> float:
+        """Fraction of disagreeing reads whose best MAPQ is below
+        ``threshold`` ("majority of disagreeing reads have low mapping
+        quality")."""
+        if not comparison.discordant:
+            return 0.0
+        low = sum(
+            1 for d in comparison.discordant if d.max_mapq < threshold
+        )
+        return low / len(comparison.discordant)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at a pipeline boundary while still getting
+fine-grained types for programmatic handling inside subsystems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FormatError(ReproError):
+    """A record or file did not conform to its declared format."""
+
+
+class CigarError(FormatError):
+    """A CIGAR string was malformed or inconsistent with its read."""
+
+
+class BamError(FormatError):
+    """A BAM container (chunks, index, header) was invalid."""
+
+
+class ReferenceError_(ReproError):
+    """A reference genome was missing a contig or out-of-range slice."""
+
+
+class AlignmentError(ReproError):
+    """The aligner was misconfigured or given unusable input."""
+
+
+class PartitioningError(ReproError):
+    """A GDPT logical partitioning contract was violated."""
+
+
+class HdfsError(ReproError):
+    """A distributed-storage operation failed (missing file/block)."""
+
+
+class MapReduceError(ReproError):
+    """The MapReduce engine was misconfigured or a task failed."""
+
+
+class PipelineError(ReproError):
+    """A pipeline stage received input violating its preconditions."""
+
+
+class SimulationError(ReproError):
+    """The cluster simulator was given an inconsistent model."""

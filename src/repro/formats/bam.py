@@ -1,0 +1,218 @@
+"""A BAM-style binary container: compressed, chunked, indexable.
+
+Mirrors how the paper describes BAM construction (section 3.1): the
+writer takes a bounded amount of SAM text, converts the contained
+records, compresses them into one variable-length chunk, and appends the
+chunk to the file.  Chunks are self-contained (whole records), but when
+the byte stream is split into fixed-size HDFS blocks a chunk may span a
+block boundary — Gesall's custom RecordReader reassembles it.
+
+Byte layout::
+
+    MAGIC
+    frame*            where frame = FRAME_MAGIC | u32 raw_len | u32 comp_len | zlib payload
+
+The first frame always holds the header text; every later frame holds a
+batch of newline-joined SAM record lines.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import BamError
+from repro.formats.sam import SamHeader, SamRecord
+
+MAGIC = b"RBAM1\n"
+FRAME_MAGIC = b"CHNK"
+_FRAME_HEADER = struct.Struct("<4sII")
+
+#: Default target for uncompressed bytes per chunk (BGZF uses 64 KiB).
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+
+def _compress_frame(payload: bytes) -> bytes:
+    compressed = zlib.compress(payload, 6)
+    return _FRAME_HEADER.pack(FRAME_MAGIC, len(payload), len(compressed)) + compressed
+
+
+def _encode_records(records: List[SamRecord]) -> bytes:
+    return "\n".join(record.to_line() for record in records).encode()
+
+
+def _decode_records(payload: bytes) -> List[SamRecord]:
+    text = payload.decode()
+    if not text:
+        return []
+    return [SamRecord.from_line(line) for line in text.split("\n")]
+
+
+def bam_bytes(
+    header: SamHeader,
+    records: Iterable[SamRecord],
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> bytes:
+    """Serialize a header and records into a complete BAM byte stream."""
+    if chunk_bytes <= 0:
+        raise BamError("chunk_bytes must be positive")
+    parts = [MAGIC, _compress_frame(header.to_text().encode())]
+    batch: List[SamRecord] = []
+    batch_size = 0
+    for record in records:
+        line_len = len(record.to_line()) + 1
+        batch.append(record)
+        batch_size += line_len
+        if batch_size >= chunk_bytes:
+            parts.append(_compress_frame(_encode_records(batch)))
+            batch = []
+            batch_size = 0
+    if batch:
+        parts.append(_compress_frame(_encode_records(batch)))
+    return b"".join(parts)
+
+
+def iter_frames(data: bytes, offset: int = 0) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(frame_offset, decompressed_payload)`` for each chunk frame.
+
+    ``offset`` may point at the file magic (which is skipped) or directly
+    at a frame boundary.
+    """
+    position = offset
+    if data[position : position + len(MAGIC)] == MAGIC:
+        position += len(MAGIC)
+    end = len(data)
+    while position < end:
+        if end - position < _FRAME_HEADER.size:
+            raise BamError("truncated BAM frame header")
+        magic, raw_len, comp_len = _FRAME_HEADER.unpack_from(data, position)
+        if magic != FRAME_MAGIC:
+            raise BamError(f"bad frame magic at offset {position}")
+        start = position + _FRAME_HEADER.size
+        if start + comp_len > end:
+            raise BamError("truncated BAM frame payload")
+        payload = zlib.decompress(data[start : start + comp_len])
+        if len(payload) != raw_len:
+            raise BamError("frame length mismatch after decompression")
+        yield position, payload
+        position = start + comp_len
+
+
+def read_bam(data: bytes) -> Tuple[SamHeader, List[SamRecord]]:
+    """Parse a complete BAM byte stream back into header + records."""
+    if data[: len(MAGIC)] != MAGIC:
+        raise BamError("missing BAM magic")
+    header: Optional[SamHeader] = None
+    records: List[SamRecord] = []
+    for _, payload in iter_frames(data):
+        if header is None:
+            header = SamHeader.from_text(payload.decode())
+        else:
+            records.extend(_decode_records(payload))
+    if header is None:
+        raise BamError("BAM stream has no header frame")
+    return header, records
+
+
+def read_header(data: bytes) -> SamHeader:
+    """Fetch only the header (first frame) of a BAM byte stream."""
+    for _, payload in iter_frames(data):
+        return SamHeader.from_text(payload.decode())
+    raise BamError("BAM stream has no frames")
+
+
+class BamChunkReader:
+    """Iterate records from a list of raw chunk frames plus a header.
+
+    This is the "utility class" of section 3.1: it receives the bam
+    chunks that happen to live in one node's HDFS blocks, fetches the
+    header separately, and exposes a record iterator so single-node
+    programs switch from local disk to HDFS with a one-line change.
+    """
+
+    def __init__(self, header: SamHeader, frames: List[bytes]):
+        self.header = header
+        self._frames = frames
+
+    def __iter__(self) -> Iterator[SamRecord]:
+        for frame in self._frames:
+            for _, payload in iter_frames(frame):
+                if payload.startswith(b"@"):
+                    continue  # a header frame travelling with the chunks
+                yield from _decode_records(payload)
+
+    def records(self) -> List[SamRecord]:
+        return list(iter(self))
+
+
+def frame_boundaries(data: bytes) -> List[Tuple[int, int]]:
+    """Return ``(offset, byte_length)`` of every frame in the stream."""
+    boundaries = []
+    for offset, _ in iter_frames(data):
+        _, raw_len, comp_len = _FRAME_HEADER.unpack_from(data, offset)
+        del raw_len
+        boundaries.append((offset, _FRAME_HEADER.size + comp_len))
+    return boundaries
+
+
+class BamLinearIndex:
+    """Linear index over a coordinate-sorted BAM byte stream.
+
+    Maps each chunk to the leftmost record position it contains so that
+    range queries (e.g. Haplotype Caller on one chromosome partition,
+    Round 4 of the pipeline) can seek to the first relevant chunk.
+    """
+
+    def __init__(self, entries: List[Tuple[str, int, int]]):
+        #: ``(rname, first_pos, frame_offset)`` per data chunk, file order.
+        self.entries = list(entries)
+
+    @classmethod
+    def build(cls, data: bytes) -> "BamLinearIndex":
+        entries: List[Tuple[str, int, int]] = []
+        first = True
+        for offset, payload in iter_frames(data):
+            if first:
+                first = False  # header frame
+                continue
+            records = _decode_records(payload)
+            if records:
+                entries.append((records[0].rname, records[0].pos, offset))
+        return cls(entries)
+
+    def first_chunk_at_or_after(self, rname: str, pos: int) -> Optional[int]:
+        """Offset of the last chunk whose first record is <= (rname, pos).
+
+        Returns the best seek point for a scan that must observe every
+        record overlapping ``pos``; ``None`` if the contig is absent.
+        """
+        best: Optional[int] = None
+        for entry_rname, entry_pos, offset in self.entries:
+            if entry_rname != rname:
+                continue
+            if entry_pos <= pos:
+                best = offset
+            elif best is None:
+                best = offset
+                break
+            else:
+                break
+        return best
+
+    def chunk_count(self) -> int:
+        return len(self.entries)
+
+    def to_bytes(self) -> bytes:
+        lines = [f"{rname}\t{pos}\t{offset}" for rname, pos, offset in self.entries]
+        return ("\n".join(lines)).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BamLinearIndex":
+        entries = []
+        text = data.decode()
+        if text:
+            for line in text.split("\n"):
+                rname, pos, offset = line.split("\t")
+                entries.append((rname, int(pos), int(offset)))
+        return cls(entries)

@@ -1,0 +1,300 @@
+"""SAM records and headers.
+
+The text-based SAM format stores one record per alignment of a read
+(paper section 3.1).  Records here are mutable because the cleaning
+stages (CleanSam, FixMateInformation, MarkDuplicates, recalibration)
+update fields in place, exactly as PicardTools does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import FormatError
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar, reference_end, unclipped_five_prime
+
+#: Phred+33 offset used to encode base qualities as printable text.
+QUAL_OFFSET = 33
+
+#: Mapping quality for reads whose position could not be determined.
+MAPQ_UNAVAILABLE = 255
+
+#: POS value for unmapped reads in our 1-based convention.
+UNMAPPED_POS = 0
+
+
+def encode_quals(quals: Iterable[int]) -> str:
+    """Encode integer Phred scores to the SAM QUAL string."""
+    return "".join(chr(min(q, 93) + QUAL_OFFSET) for q in quals)
+
+
+def decode_quals(text: str) -> List[int]:
+    """Decode a SAM QUAL string into integer Phred scores."""
+    if text == "*":
+        return []
+    return [ord(ch) - QUAL_OFFSET for ch in text]
+
+
+class SamRecord:
+    """One alignment record (one mapping of one read).
+
+    Field names follow the SAM specification / the paper's Fig. 3:
+    QNAME, FLAG, RNAME, POS, MAPQ, CIGAR, RNEXT, PNEXT, TLEN, SEQ, QUAL
+    plus optional string tags.
+    """
+
+    __slots__ = (
+        "qname", "flags", "rname", "pos", "mapq", "cigar",
+        "rnext", "pnext", "tlen", "seq", "qual", "tags",
+    )
+
+    def __init__(
+        self,
+        qname: str,
+        flags: F.SamFlags,
+        rname: str,
+        pos: int,
+        mapq: int,
+        cigar: Cigar,
+        rnext: str = "*",
+        pnext: int = 0,
+        tlen: int = 0,
+        seq: str = "*",
+        qual: str = "*",
+        tags: Optional[Dict[str, str]] = None,
+    ):
+        self.qname = qname
+        self.flags = flags
+        self.rname = rname
+        self.pos = pos
+        self.mapq = mapq
+        self.cigar = cigar
+        self.rnext = rnext
+        self.pnext = pnext
+        self.tlen = tlen
+        self.seq = seq
+        self.qual = qual
+        self.tags = dict(tags) if tags else {}
+
+    # -- derived attributes (paper Fig. 3, red rows) ----------------------
+    @property
+    def is_mapped(self) -> bool:
+        return not self.flags.is_unmapped
+
+    @property
+    def reference_end(self) -> int:
+        """Inclusive rightmost reference position of the alignment."""
+        return reference_end(self.pos, self.cigar)
+
+    @property
+    def unclipped_five_prime(self) -> int:
+        """5' unclipped end — the MarkDuplicates key attribute."""
+        return unclipped_five_prime(self.pos, self.cigar, self.flags.is_reverse)
+
+    @property
+    def read_length(self) -> int:
+        return 0 if self.seq == "*" else len(self.seq)
+
+    def base_qualities(self) -> List[int]:
+        return decode_quals(self.qual)
+
+    def set_base_qualities(self, quals: Iterable[int]) -> None:
+        self.qual = encode_quals(quals)
+
+    def sum_of_base_qualities(self, minimum: int = 15) -> int:
+        """Picard-style duplicate score: sum of qualities >= ``minimum``."""
+        return sum(q for q in self.base_qualities() if q >= minimum)
+
+    # -- flag mutation helpers --------------------------------------------
+    def set_duplicate(self, on: bool = True) -> None:
+        self.flags = self.flags.with_bit(F.DUPLICATE, on)
+
+    def set_proper_pair(self, on: bool = True) -> None:
+        self.flags = self.flags.with_bit(F.PROPER_PAIR, on)
+
+    # -- (de)serialization -------------------------------------------------
+    def to_line(self) -> str:
+        """Serialize to one SAM text line (no trailing newline)."""
+        fields = [
+            self.qname,
+            str(int(self.flags)),
+            self.rname,
+            str(self.pos),
+            str(self.mapq),
+            str(self.cigar),
+            self.rnext,
+            str(self.pnext),
+            str(self.tlen),
+            self.seq,
+            self.qual,
+        ]
+        for key in sorted(self.tags):
+            fields.append(f"{key}:Z:{self.tags[key]}")
+        return "\t".join(fields)
+
+    @classmethod
+    def from_line(cls, line: str) -> "SamRecord":
+        """Parse one SAM text line."""
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) < 11:
+            raise FormatError(f"SAM line has {len(fields)} fields, expected >= 11")
+        tags: Dict[str, str] = {}
+        for raw in fields[11:]:
+            parts = raw.split(":", 2)
+            if len(parts) != 3:
+                raise FormatError(f"malformed SAM tag {raw!r}")
+            tags[parts[0]] = parts[2]
+        return cls(
+            qname=fields[0],
+            flags=F.SamFlags(int(fields[1])),
+            rname=fields[2],
+            pos=int(fields[3]),
+            mapq=int(fields[4]),
+            cigar=Cigar.parse(fields[5]),
+            rnext=fields[6],
+            pnext=int(fields[7]),
+            tlen=int(fields[8]),
+            seq=fields[9],
+            qual=fields[10],
+            tags=tags,
+        )
+
+    def copy(self) -> "SamRecord":
+        return SamRecord(
+            self.qname, F.SamFlags(int(self.flags)), self.rname, self.pos,
+            self.mapq, self.cigar, self.rnext, self.pnext, self.tlen,
+            self.seq, self.qual, dict(self.tags),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SamRecord):
+            return NotImplemented
+        return self.to_line() == other.to_line()
+
+    def __hash__(self) -> int:
+        return hash(self.to_line())
+
+    def __repr__(self) -> str:
+        return (
+            f"SamRecord({self.qname!r}, flag=0x{int(self.flags):x}, "
+            f"{self.rname}:{self.pos}, mapq={self.mapq}, cigar={self.cigar})"
+        )
+
+
+class SamHeader:
+    """SAM header: @HD, @SQ (reference sequences), @RG, @PG lines.
+
+    The header travels with every BAM chunk set because wrapped programs
+    need it to interpret local partitions as complete files (section 3.1).
+    """
+
+    def __init__(
+        self,
+        sequences: Optional[List[Tuple[str, int]]] = None,
+        read_groups: Optional[List[Dict[str, str]]] = None,
+        programs: Optional[List[Dict[str, str]]] = None,
+        sort_order: str = "unsorted",
+    ):
+        self.sequences: List[Tuple[str, int]] = list(sequences or [])
+        self.read_groups: List[Dict[str, str]] = [dict(g) for g in (read_groups or [])]
+        self.programs: List[Dict[str, str]] = [dict(p) for p in (programs or [])]
+        self.sort_order = sort_order
+
+    def sequence_names(self) -> List[str]:
+        return [name for name, _ in self.sequences]
+
+    def sequence_length(self, name: str) -> int:
+        for seq_name, length in self.sequences:
+            if seq_name == name:
+                return length
+        raise FormatError(f"unknown reference sequence {name!r}")
+
+    def sequence_index(self, name: str) -> int:
+        for index, (seq_name, _) in enumerate(self.sequences):
+            if seq_name == name:
+                return index
+        raise FormatError(f"unknown reference sequence {name!r}")
+
+    def add_read_group(self, **fields: str) -> None:
+        if "ID" not in fields:
+            raise FormatError("read group requires an ID field")
+        self.read_groups.append(dict(fields))
+
+    def add_program(self, **fields: str) -> None:
+        if "ID" not in fields:
+            raise FormatError("program record requires an ID field")
+        self.programs.append(dict(fields))
+
+    def to_text(self) -> str:
+        lines = [f"@HD\tVN:1.6\tSO:{self.sort_order}"]
+        for name, length in self.sequences:
+            lines.append(f"@SQ\tSN:{name}\tLN:{length}")
+        for group in self.read_groups:
+            parts = ["@RG"] + [f"{k}:{v}" for k, v in sorted(group.items())]
+            lines.append("\t".join(parts))
+        for program in self.programs:
+            parts = ["@PG"] + [f"{k}:{v}" for k, v in sorted(program.items())]
+            lines.append("\t".join(parts))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "SamHeader":
+        header = cls()
+        for line in text.splitlines():
+            if not line.startswith("@"):
+                continue
+            fields = line.split("\t")
+            tag = fields[0]
+            attrs = {}
+            for raw in fields[1:]:
+                key, _, value = raw.partition(":")
+                attrs[key] = value
+            if tag == "@HD":
+                header.sort_order = attrs.get("SO", "unsorted")
+            elif tag == "@SQ":
+                header.sequences.append((attrs["SN"], int(attrs["LN"])))
+            elif tag == "@RG":
+                header.read_groups.append(attrs)
+            elif tag == "@PG":
+                header.programs.append(attrs)
+        return header
+
+    def copy(self) -> "SamHeader":
+        return SamHeader(
+            sequences=list(self.sequences),
+            read_groups=[dict(g) for g in self.read_groups],
+            programs=[dict(p) for p in self.programs],
+            sort_order=self.sort_order,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SamHeader) and self.to_text() == other.to_text()
+
+    def __repr__(self) -> str:
+        return (
+            f"SamHeader({len(self.sequences)} sequences, "
+            f"{len(self.read_groups)} read groups, SO={self.sort_order})"
+        )
+
+
+def write_sam(path: str, header: SamHeader, records: Iterable[SamRecord]) -> None:
+    """Write a complete SAM text file."""
+    with open(path, "w") as handle:
+        handle.write(header.to_text())
+        for record in records:
+            handle.write(record.to_line())
+            handle.write("\n")
+
+
+def read_sam(path: str) -> Tuple[SamHeader, List[SamRecord]]:
+    """Read a complete SAM text file."""
+    header_lines: List[str] = []
+    records: List[SamRecord] = []
+    with open(path) as handle:
+        for line in handle:
+            if line.startswith("@"):
+                header_lines.append(line)
+            elif line.strip():
+                records.append(SamRecord.from_line(line))
+    return SamHeader.from_text("".join(header_lines)), records

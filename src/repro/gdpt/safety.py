@@ -1,0 +1,169 @@
+"""Automatic safe-partitioning validation (paper Appendix C, question 1).
+
+The paper asks for a way to decide automatically whether a partitioning
+scheme is *safe* for a given analysis program — i.e. running the program
+independently per partition and concatenating outputs is equivalent (or
+equivalent up to declared nondeterminism) to one whole-dataset run.
+
+This module provides the empirical half of that vision: a differential
+tester that runs a wrapped program both ways over a probe dataset and
+classifies the scheme as:
+
+* ``SAFE``           — outputs identical;
+* ``COUNT_SAFE``     — outputs differ only in declared nondeterministic
+                       attributes (e.g. tie choices), with aggregate
+                       invariants preserved;
+* ``UNSAFE``         — outputs genuinely diverge.
+
+It is exactly the quality-control procedure NYGC bioinformaticians
+applied by hand before accepting a scheme into production (section 3.2:
+"only after we understand why differences occur, can more advanced
+algorithms be accepted").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import PartitioningError
+from repro.formats.sam import SamHeader, SamRecord
+
+SAFE = "SAFE"
+COUNT_SAFE = "COUNT_SAFE"
+UNSAFE = "UNSAFE"
+
+
+class SafetyVerdict:
+    """Outcome of one differential partitioning test."""
+
+    def __init__(self, classification: str, differing_records: int,
+                 total_records: int, notes: str = ""):
+        self.classification = classification
+        self.differing_records = differing_records
+        self.total_records = total_records
+        self.notes = notes
+
+    @property
+    def is_acceptable(self) -> bool:
+        return self.classification in (SAFE, COUNT_SAFE)
+
+    def __repr__(self) -> str:
+        return (
+            f"SafetyVerdict({self.classification}, "
+            f"{self.differing_records}/{self.total_records} differ"
+            f"{'; ' + self.notes if self.notes else ''})"
+        )
+
+
+def _canonical(record: SamRecord, ignore_fields: Sequence[str]) -> str:
+    """Serialize a record with the declared-nondeterministic fields
+    blanked out."""
+    copy = record.copy()
+    for field in ignore_fields:
+        if field == "duplicate_flag":
+            copy.set_duplicate(False)
+        elif field == "mapq":
+            copy.mapq = 0
+        elif field == "tags":
+            copy.tags = {}
+        else:
+            raise PartitioningError(f"unknown ignore field {field!r}")
+    return copy.to_line()
+
+
+class SafePartitioningValidator:
+    """Differential tester for (program, partitioner) combinations.
+
+    Parameters
+    ----------
+    program:
+        An object with ``run(header, records) -> (header, records)``
+        (any wrapped serial program).
+    partition_fn:
+        ``f(records) -> list of partitions`` implementing the candidate
+        logical partitioning scheme.
+    ignore_fields:
+        Record fields declared nondeterministic (not counted as
+        divergence): ``"duplicate_flag"``, ``"mapq"``, ``"tags"``.
+    invariants:
+        Optional named aggregate checks ``f(whole_out, parts_out) ->
+        bool`` that must hold for a COUNT_SAFE verdict (e.g. equal
+        duplicate counts).
+    """
+
+    def __init__(
+        self,
+        program,
+        partition_fn: Callable[[List[SamRecord]], List[List[SamRecord]]],
+        ignore_fields: Sequence[str] = (),
+        invariants: Optional[Dict[str, Callable]] = None,
+    ):
+        self.program = program
+        self.partition_fn = partition_fn
+        self.ignore_fields = tuple(ignore_fields)
+        self.invariants = dict(invariants or {})
+
+    def validate(self, header: SamHeader,
+                 records: List[SamRecord]) -> SafetyVerdict:
+        """Run the differential test over a probe dataset."""
+        _, whole_out = self.program.run(header, [r.copy() for r in records])
+
+        partitioned_out: List[SamRecord] = []
+        for partition in self.partition_fn([r.copy() for r in records]):
+            if not partition:
+                continue
+            _, part_out = self.program.run(header, partition)
+            partitioned_out.extend(part_out)
+
+        whole_by_key = {
+            (r.qname, r.flags.is_first_in_pair): r for r in whole_out
+        }
+        parts_by_key = {
+            (r.qname, r.flags.is_first_in_pair): r for r in partitioned_out
+        }
+        if whole_by_key.keys() != parts_by_key.keys():
+            missing = len(whole_by_key.keys() ^ parts_by_key.keys())
+            return SafetyVerdict(
+                UNSAFE, missing, len(whole_by_key),
+                notes="partitioned run lost or duplicated records",
+            )
+
+        exact_diff = 0
+        canonical_diff = 0
+        for key, whole_record in whole_by_key.items():
+            part_record = parts_by_key[key]
+            if whole_record.to_line() != part_record.to_line():
+                exact_diff += 1
+                if _canonical(whole_record, self.ignore_fields) != _canonical(
+                    part_record, self.ignore_fields
+                ):
+                    canonical_diff += 1
+
+        if exact_diff == 0:
+            return SafetyVerdict(SAFE, 0, len(whole_by_key))
+        if canonical_diff == 0:
+            for name, check in self.invariants.items():
+                if not check(whole_out, partitioned_out):
+                    return SafetyVerdict(
+                        UNSAFE, exact_diff, len(whole_by_key),
+                        notes=f"invariant {name!r} violated",
+                    )
+            return SafetyVerdict(
+                COUNT_SAFE, exact_diff, len(whole_by_key),
+                notes="differences confined to declared nondeterminism",
+            )
+        return SafetyVerdict(UNSAFE, canonical_diff, len(whole_by_key))
+
+
+def equal_duplicate_counts(whole_out: List[SamRecord],
+                           parts_out: List[SamRecord]) -> bool:
+    """Standard invariant: both runs mark the same number of duplicates."""
+    whole = sum(1 for r in whole_out if r.flags.is_duplicate)
+    parts = sum(1 for r in parts_out if r.flags.is_duplicate)
+    return whole == parts
+
+
+def equal_record_counts(whole_out: List[SamRecord],
+                        parts_out: List[SamRecord]) -> bool:
+    """Standard invariant: no records created or destroyed."""
+    return len(whole_out) == len(parts_out)

@@ -1,0 +1,45 @@
+"""Genome substrate: reference model, interval algebra, simulators."""
+
+from repro.genome.reference import (
+    ReferenceGenome,
+    read_fasta,
+    reverse_complement,
+    write_fasta,
+)
+from repro.genome.regions import GenomicInterval, RegionSet, tile_contig
+from repro.genome.simulate import (
+    DonorGenome,
+    SomaticSimulationConfig,
+    TumorSample,
+    simulate_tumor,
+    simulate_tumor_reads,
+    DonorSimulationConfig,
+    ReadSimulationConfig,
+    ReferenceSimulationConfig,
+    SimulatedFragment,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+)
+
+__all__ = [
+    "ReferenceGenome",
+    "read_fasta",
+    "reverse_complement",
+    "write_fasta",
+    "GenomicInterval",
+    "RegionSet",
+    "tile_contig",
+    "DonorGenome",
+    "SomaticSimulationConfig",
+    "TumorSample",
+    "simulate_tumor",
+    "simulate_tumor_reads",
+    "DonorSimulationConfig",
+    "ReadSimulationConfig",
+    "ReferenceSimulationConfig",
+    "SimulatedFragment",
+    "simulate_donor",
+    "simulate_reads",
+    "simulate_reference",
+]

@@ -1,0 +1,126 @@
+"""Reference genome model.
+
+A reference genome is a set of named contigs (chromosomes) with base
+sequences, plus the annotation tracks the error-diagnosis study needs:
+centromere regions (repetitive, poorly assembled) and blacklisted
+regions of low mappability (paper Appendix B.2, Fig 11a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReferenceError_
+from repro.genome.regions import RegionSet
+
+BASES = "ACGT"
+
+
+class ReferenceGenome:
+    """Named contigs with sequences and hard-to-map annotations."""
+
+    def __init__(
+        self,
+        contigs: Dict[str, str],
+        centromeres: Optional[RegionSet] = None,
+        blacklist: Optional[RegionSet] = None,
+        duplications: Optional[RegionSet] = None,
+    ):
+        for name, seq in contigs.items():
+            if not seq:
+                raise ReferenceError_(f"contig {name!r} is empty")
+        #: Insertion-ordered mapping of contig name -> sequence.
+        self.contigs: Dict[str, str] = dict(contigs)
+        self.centromeres = centromeres or RegionSet()
+        self.blacklist = blacklist or RegionSet()
+        #: Segmental duplications: reads here map ambiguously.
+        self.duplications = duplications or RegionSet()
+
+    # -- basic access --------------------------------------------------------
+    def contig_names(self) -> List[str]:
+        return list(self.contigs)
+
+    def contig_length(self, name: str) -> int:
+        return len(self._contig(name))
+
+    def total_length(self) -> int:
+        return sum(len(seq) for seq in self.contigs.values())
+
+    def fetch(self, contig: str, start: int, end: int) -> str:
+        """Sequence of ``[start, end)`` in 1-based coordinates."""
+        seq = self._contig(contig)
+        if start < 1 or end > len(seq) + 1 or end < start:
+            raise ReferenceError_(
+                f"slice {contig}:{start}-{end} outside contig of length {len(seq)}"
+            )
+        return seq[start - 1 : end - 1]
+
+    def base_at(self, contig: str, pos: int) -> str:
+        return self.fetch(contig, pos, pos + 1)
+
+    def _contig(self, name: str) -> str:
+        try:
+            return self.contigs[name]
+        except KeyError:
+            raise ReferenceError_(f"unknown contig {name!r}") from None
+
+    # -- annotations -----------------------------------------------------------
+    def in_hard_region(self, contig: str, pos: int) -> bool:
+        """True inside a centromere, blacklisted or duplicated region."""
+        return (
+            self.centromeres.contains(contig, pos)
+            or self.blacklist.contains(contig, pos)
+            or self.duplications.contains(contig, pos)
+        )
+
+    def sam_sequences(self) -> List[Tuple[str, int]]:
+        """(name, length) pairs for the SAM @SQ header lines."""
+        return [(name, len(seq)) for name, seq in self.contigs.items()]
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferenceGenome({len(self.contigs)} contigs, "
+            f"{self.total_length()} bp)"
+        )
+
+
+def write_fasta(path: str, genome: ReferenceGenome, width: int = 70) -> None:
+    """Write the genome in FASTA format."""
+    with open(path, "w") as handle:
+        for name, seq in genome.contigs.items():
+            handle.write(f">{name}\n")
+            for start in range(0, len(seq), width):
+                handle.write(seq[start : start + width])
+                handle.write("\n")
+
+
+def read_fasta(path: str) -> ReferenceGenome:
+    """Read a FASTA file into a :class:`ReferenceGenome` (no annotations)."""
+    contigs: Dict[str, str] = {}
+    name: Optional[str] = None
+    parts: List[str] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    contigs[name] = "".join(parts)
+                name = line[1:].split()[0]
+                parts = []
+            else:
+                parts.append(line.upper())
+    if name is not None:
+        contigs[name] = "".join(parts)
+    if not contigs:
+        raise ReferenceError_(f"no contigs found in {path!r}")
+    return ReferenceGenome(contigs)
+
+
+_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+
+
+def reverse_complement(seq: str) -> str:
+    """Reverse complement of a DNA sequence."""
+    return seq.translate(_COMPLEMENT)[::-1]

@@ -1,0 +1,34 @@
+"""In-memory HDFS with Gesall's storage substrate on top."""
+
+from repro.hdfs.bam_storage import (
+    BamBlockRecordReader,
+    read_bam_header,
+    read_distributed_bam,
+    upload_bam,
+    upload_logical_partitions,
+)
+from repro.hdfs.blocks import (
+    DEFAULT_BLOCK_SIZE,
+    Datanode,
+    HdfsBlock,
+    HdfsFile,
+    split_into_blocks,
+)
+from repro.hdfs.filesystem import Hdfs
+from repro.hdfs.placement import BlockPlacementPolicy, LogicalBlockPlacementPolicy
+
+__all__ = [
+    "BamBlockRecordReader",
+    "read_bam_header",
+    "read_distributed_bam",
+    "upload_bam",
+    "upload_logical_partitions",
+    "DEFAULT_BLOCK_SIZE",
+    "Datanode",
+    "HdfsBlock",
+    "HdfsFile",
+    "split_into_blocks",
+    "Hdfs",
+    "BlockPlacementPolicy",
+    "LogicalBlockPlacementPolicy",
+]

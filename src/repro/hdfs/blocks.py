@@ -1,0 +1,87 @@
+"""HDFS data model: blocks, files, datanodes.
+
+A file uploaded to HDFS is split into fixed-size blocks (default
+128 MB in real Hadoop; configurable here so tests can use tiny blocks)
+that are replicated across datanodes.  Gesall's storage substrate sits
+on top: BAM chunk frames may span block boundaries, and logical
+partition files are pinned to a single node (section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import HdfsError
+
+#: Real HDFS default block size; tests typically pass something tiny.
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024
+
+
+class HdfsBlock:
+    """One replicated block of file data."""
+
+    __slots__ = ("block_id", "data", "replicas")
+
+    def __init__(self, block_id: str, data: bytes, replicas: List[str]):
+        self.block_id = block_id
+        self.data = data
+        #: Datanode names holding a replica; the first is primary.
+        self.replicas = list(replicas)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"HdfsBlock({self.block_id}, {self.size}B, on {self.replicas})"
+
+
+class HdfsFile:
+    """A file: an ordered list of blocks plus Gesall metadata."""
+
+    def __init__(self, path: str, blocks: List[HdfsBlock], block_size: int,
+                 logical_partition: bool = False):
+        self.path = path
+        self.blocks = blocks
+        self.block_size = block_size
+        #: True when the file is one logical partition whose blocks were
+        #: co-located on a single node by the custom placement policy.
+        self.logical_partition = logical_partition
+
+    @property
+    def size(self) -> int:
+        return sum(block.size for block in self.blocks)
+
+    def data(self) -> bytes:
+        return b"".join(block.data for block in self.blocks)
+
+    def primary_node(self) -> Optional[str]:
+        """The node holding the primary replica of the first block."""
+        if not self.blocks:
+            return None
+        return self.blocks[0].replicas[0]
+
+    def __repr__(self) -> str:
+        kind = "logical" if self.logical_partition else "physical"
+        return f"HdfsFile({self.path}, {len(self.blocks)} blocks, {kind})"
+
+
+def split_into_blocks(data: bytes, block_size: int) -> List[bytes]:
+    """Split a byte stream into fixed-size pieces (last may be short)."""
+    if block_size <= 0:
+        raise HdfsError("block size must be positive")
+    return [data[i : i + block_size] for i in range(0, len(data), block_size)] or [b""]
+
+
+class Datanode:
+    """Bookkeeping view of one datanode's stored replicas."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.block_ids: List[str] = []
+
+    def used_bytes(self, blocks: Dict[str, HdfsBlock]) -> int:
+        return sum(blocks[bid].size for bid in self.block_ids if bid in blocks)
+
+    def __repr__(self) -> str:
+        return f"Datanode({self.name}, {len(self.block_ids)} replicas)"

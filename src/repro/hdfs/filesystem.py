@@ -1,0 +1,142 @@
+"""In-memory HDFS: namenode + datanodes.
+
+Functional stand-in for the storage layer of the paper's platform.
+Stores blocks in memory (our datasets are laptop-scale), tracks
+placement, and exposes the read paths Gesall's RecordReaders need:
+whole-file reads, per-block reads, and cross-block tail reads for BAM
+chunks spanning a boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import HdfsError
+from repro.hdfs.blocks import (
+    DEFAULT_BLOCK_SIZE,
+    Datanode,
+    HdfsBlock,
+    HdfsFile,
+    split_into_blocks,
+)
+from repro.hdfs.placement import BlockPlacementPolicy, LogicalBlockPlacementPolicy
+
+
+class Hdfs:
+    """The distributed filesystem facade (namenode view)."""
+
+    def __init__(self, nodes: List[str], replication: int = 3,
+                 block_size: int = DEFAULT_BLOCK_SIZE):
+        if not nodes:
+            raise HdfsError("an HDFS cluster needs at least one datanode")
+        self.nodes = list(nodes)
+        self.block_size = block_size
+        self.default_policy = BlockPlacementPolicy(replication)
+        self.logical_policy = LogicalBlockPlacementPolicy(replication)
+        self._files: Dict[str, HdfsFile] = {}
+        self._blocks: Dict[str, HdfsBlock] = {}
+        self._datanodes: Dict[str, Datanode] = {
+            name: Datanode(name) for name in nodes
+        }
+        self._next_block = 0
+
+    # -- writes ----------------------------------------------------------------
+    def put(self, path: str, data: bytes, logical_partition: bool = False,
+            block_size: Optional[int] = None) -> HdfsFile:
+        """Upload a file; logical partitions use the custom placement."""
+        if path in self._files:
+            raise HdfsError(f"file exists: {path}")
+        block_size = block_size or self.block_size
+        policy = self.logical_policy if logical_partition else self.default_policy
+        pieces = split_into_blocks(data, block_size)
+        placements = policy.place_file(path, len(pieces), self.nodes)
+        blocks = []
+        for piece, replicas in zip(pieces, placements):
+            block_id = f"blk_{self._next_block:08d}"
+            self._next_block += 1
+            block = HdfsBlock(block_id, piece, replicas)
+            self._blocks[block_id] = block
+            for node in replicas:
+                self._datanodes[node].block_ids.append(block_id)
+            blocks.append(block)
+        hdfs_file = HdfsFile(path, blocks, block_size, logical_partition)
+        self._files[path] = hdfs_file
+        return hdfs_file
+
+    def delete(self, path: str) -> None:
+        hdfs_file = self._file(path)
+        for block in hdfs_file.blocks:
+            del self._blocks[block.block_id]
+            for node in block.replicas:
+                self._datanodes[node].block_ids.remove(block.block_id)
+        del self._files[path]
+
+    # -- reads ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def get(self, path: str) -> bytes:
+        return self._file(path).data()
+
+    def get_file(self, path: str) -> HdfsFile:
+        return self._file(path)
+
+    def list_dir(self, prefix: str) -> List[str]:
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def read_from(self, path: str, offset: int, length: int) -> bytes:
+        """Read an arbitrary byte range, crossing block boundaries.
+
+        This is what lets a RecordReader finish a BAM chunk whose tail
+        lives in the next block.
+        """
+        data = self._file(path).data()
+        if offset < 0 or offset > len(data):
+            raise HdfsError(f"offset {offset} out of range for {path}")
+        return data[offset : offset + length]
+
+    # -- topology ----------------------------------------------------------------
+    def blocks_of(self, path: str) -> List[HdfsBlock]:
+        return list(self._file(path).blocks)
+
+    def block_offsets(self, path: str) -> List[int]:
+        """Byte offset of each block within the file."""
+        offsets = []
+        position = 0
+        for block in self._file(path).blocks:
+            offsets.append(position)
+            position += block.size
+        return offsets
+
+    def nodes_with_replica(self, block_id: str) -> List[str]:
+        try:
+            return list(self._blocks[block_id].replicas)
+        except KeyError:
+            raise HdfsError(f"unknown block {block_id}") from None
+
+    def datanode(self, name: str) -> Datanode:
+        try:
+            return self._datanodes[name]
+        except KeyError:
+            raise HdfsError(f"unknown datanode {name!r}") from None
+
+    def used_bytes_by_node(self) -> Dict[str, int]:
+        return {
+            name: node.used_bytes(self._blocks)
+            for name, node in self._datanodes.items()
+        }
+
+    def files(self) -> Iterator[HdfsFile]:
+        for path in sorted(self._files):
+            yield self._files[path]
+
+    def _file(self, path: str) -> HdfsFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise HdfsError(f"no such file: {path}") from None
+
+    def __repr__(self) -> str:
+        return f"Hdfs({len(self.nodes)} nodes, {len(self._files)} files)"

@@ -1,0 +1,61 @@
+"""Block placement policies.
+
+The default policy spreads blocks round-robin with replication, as
+HDFS does.  Gesall adds :class:`LogicalBlockPlacementPolicy`, the
+custom ``BlockPlacementPolicy`` of section 3.1 that assigns *all*
+blocks of a logical-partition file to one datanode, so a wrapped
+program can run against its partition with purely local reads.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+from repro.errors import HdfsError
+
+
+class BlockPlacementPolicy:
+    """Default HDFS placement: rotate primaries, replicate to neighbours."""
+
+    def __init__(self, replication: int = 3):
+        if replication < 1:
+            raise HdfsError("replication factor must be >= 1")
+        self.replication = replication
+        self._cursor = 0
+
+    def place_file(self, path: str, n_blocks: int, nodes: List[str]) -> List[List[str]]:
+        """Return the replica node list for each block of a file."""
+        del path
+        if not nodes:
+            raise HdfsError("no datanodes available")
+        replication = min(self.replication, len(nodes))
+        placements = []
+        for _ in range(n_blocks):
+            primary = self._cursor % len(nodes)
+            replicas = [
+                nodes[(primary + offset) % len(nodes)]
+                for offset in range(replication)
+            ]
+            placements.append(replicas)
+            self._cursor += 1
+        return placements
+
+
+class LogicalBlockPlacementPolicy(BlockPlacementPolicy):
+    """All blocks of one file on one node (plus off-node replicas).
+
+    The owning node is chosen by a stable hash of the file path, so a
+    partition directory spreads across the cluster while each partition
+    stays whole.
+    """
+
+    def place_file(self, path: str, n_blocks: int, nodes: List[str]) -> List[List[str]]:
+        if not nodes:
+            raise HdfsError("no datanodes available")
+        replication = min(self.replication, len(nodes))
+        owner = zlib.crc32(path.encode()) % len(nodes)
+        replicas = [
+            nodes[(owner + offset) % len(nodes)] for offset in range(replication)
+        ]
+        return [list(replicas) for _ in range(n_blocks)]

@@ -1,0 +1,39 @@
+"""In-process MapReduce runtime with Hadoop shuffle semantics."""
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce import counters
+from repro.mapreduce.engine import JobResult, MapReduceEngine
+from repro.mapreduce.history import JobHistory, TaskAttempt
+from repro.mapreduce.job import (
+    InputSplit,
+    JobConf,
+    TaskContext,
+    default_partitioner,
+    make_splits,
+)
+from repro.mapreduce.streaming import (
+    BytesOutputReader,
+    ExternalProgram,
+    PipeStats,
+    StreamingPipeline,
+    TextInputWriter,
+)
+
+__all__ = [
+    "Counters",
+    "counters",
+    "JobResult",
+    "MapReduceEngine",
+    "JobHistory",
+    "TaskAttempt",
+    "InputSplit",
+    "JobConf",
+    "TaskContext",
+    "default_partitioner",
+    "make_splits",
+    "BytesOutputReader",
+    "ExternalProgram",
+    "PipeStats",
+    "StreamingPipeline",
+    "TextInputWriter",
+]

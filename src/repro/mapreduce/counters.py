@@ -1,0 +1,43 @@
+"""Hadoop-style job counters."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+# Standard counter names used by the engine.
+MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"
+SPILLED_RECORDS = "SPILLED_RECORDS"
+SHUFFLED_RECORDS = "SHUFFLED_RECORDS"
+SHUFFLED_BYTES = "SHUFFLED_BYTES"
+REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
+REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+
+
+class Counters:
+    """A named-counter map with merge support."""
+
+    def __init__(self):
+        self._values: Dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self.inc(name, value)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"Counters({inner})"

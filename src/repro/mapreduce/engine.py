@@ -1,0 +1,180 @@
+"""The in-process MapReduce runtime.
+
+Executes a :class:`~repro.mapreduce.job.JobConf` over input splits with
+full sort-spill-merge shuffle semantics.  Tasks run sequentially in one
+process — the *semantics* of parallel execution (partitioned inputs,
+shuffle ordering that differs from serial input order, per-reducer
+grouping) are faithful; wall-clock behaviour is the cluster simulator's
+job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.errors import MapReduceError
+from repro.mapreduce import counters as C
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.history import JobHistory, TaskAttempt
+from repro.mapreduce.job import InputSplit, JobConf, KeyValue, TaskContext
+
+
+class JobResult:
+    """Everything a round hands to the next round (or the report)."""
+
+    def __init__(self, job_name: str):
+        self.job_name = job_name
+        #: Map-only jobs: outputs per map task, in task order.
+        self.map_outputs: List[List[KeyValue]] = []
+        #: Jobs with reducers: outputs per reducer index.
+        self.reduce_outputs: Dict[int, List[KeyValue]] = {}
+        self.counters = Counters()
+        self.history = JobHistory(job_name)
+
+    def all_outputs(self) -> List[KeyValue]:
+        """Concatenated outputs (map-task order or reducer order)."""
+        if self.reduce_outputs:
+            combined: List[KeyValue] = []
+            for index in sorted(self.reduce_outputs):
+                combined.extend(self.reduce_outputs[index])
+            return combined
+        return [kv for task in self.map_outputs for kv in task]
+
+    def all_values(self) -> List[Any]:
+        return [value for _, value in self.all_outputs()]
+
+    def __repr__(self) -> str:
+        return f"JobResult({self.job_name}, {self.counters})"
+
+
+class MapReduceEngine:
+    """Runs jobs over a named set of worker nodes."""
+
+    def __init__(self, nodes: Optional[List[str]] = None):
+        self.nodes = list(nodes) if nodes else ["localhost"]
+
+    # -- public API ---------------------------------------------------------
+    def run(self, job: JobConf, splits: List[InputSplit]) -> JobResult:
+        if not splits:
+            raise MapReduceError(f"job {job.name} has no input splits")
+        result = JobResult(job.name)
+        map_partitions = self._run_maps(job, splits, result)
+        if job.is_map_only:
+            return result
+        self._run_reduces(job, map_partitions, result)
+        return result
+
+    # -- map phase --------------------------------------------------------------
+    def _run_maps(
+        self, job: JobConf, splits: List[InputSplit], result: JobResult
+    ) -> List[List[List[KeyValue]]]:
+        """Run all map tasks.
+
+        Returns, per map task, the partitioned (per-reducer) sorted
+        output — i.e. the file each mapper would leave for the shuffle.
+        """
+        all_partitions: List[List[List[KeyValue]]] = []
+        for index, split in enumerate(splits):
+            node = split.preferred_node or self.nodes[index % len(self.nodes)]
+            task = TaskAttempt(f"{job.name}-m-{index:05d}", "map", node)
+            context = TaskContext(task.task_id, node)
+            job.mapper(split.payload, context)
+            if job.combiner is not None and not job.is_map_only:
+                context.emitted = self._combine(job, context)
+            task.input_records = 1
+            task.output_records = len(context.emitted)
+            result.counters.inc(C.MAP_INPUT_RECORDS, 1)
+            result.counters.inc(C.MAP_OUTPUT_RECORDS, len(context.emitted))
+            out_bytes = sum(job.value_size(v) for _, v in context.emitted)
+            result.counters.inc(C.MAP_OUTPUT_BYTES, out_bytes)
+
+            if job.is_map_only:
+                result.map_outputs.append(context.emitted)
+                result.history.add(task)
+                continue
+
+            # Sort/spill accounting: each io_sort_records-full buffer is
+            # one spill; >1 spill forces a map-side merge pass.
+            task.spills = max(
+                1, math.ceil(len(context.emitted) / job.io_sort_records)
+            )
+            result.counters.inc(C.SPILLED_RECORDS, len(context.emitted))
+
+            partitions: List[List[KeyValue]] = [
+                [] for _ in range(job.num_reducers)
+            ]
+            for key, value in context.emitted:
+                partitions[job.partitioner(key, job.num_reducers)].append(
+                    (key, value)
+                )
+            sort_key = job.sort_key or (lambda k: k)
+            for partition in partitions:
+                partition.sort(key=lambda kv: sort_key(kv[0]))
+            all_partitions.append(partitions)
+            result.history.add(task)
+        return all_partitions
+
+    @staticmethod
+    def _combine(job: JobConf, context: TaskContext) -> List[KeyValue]:
+        """Apply the combiner to one map task's buffered output."""
+        sort_key = job.sort_key or (lambda k: k)
+        buffered = sorted(context.emitted, key=lambda kv: sort_key(kv[0]))
+        combined = TaskContext(context.task_id + "-c", context.node)
+        cursor = 0
+        while cursor < len(buffered):
+            key = buffered[cursor][0]
+            values = []
+            while cursor < len(buffered) and buffered[cursor][0] == key:
+                values.append(buffered[cursor][1])
+                cursor += 1
+            job.combiner(key, values, combined)
+        return combined.emitted
+
+    # -- shuffle + reduce phase ---------------------------------------------------
+    def _run_reduces(
+        self,
+        job: JobConf,
+        map_partitions: List[List[List[KeyValue]]],
+        result: JobResult,
+    ) -> None:
+        sort_key = job.sort_key or (lambda k: k)
+        for reducer_index in range(job.num_reducers):
+            node = self.nodes[reducer_index % len(self.nodes)]
+            task = TaskAttempt(
+                f"{job.name}-r-{reducer_index:05d}", "reduce", node
+            )
+            # Shuffle: fetch this reducer's partition from every mapper,
+            # in map-task order (which is why reduce-side value order
+            # differs from the serial program's input order).
+            fetched: List[KeyValue] = []
+            for partitions in map_partitions:
+                segment = partitions[reducer_index]
+                fetched.extend(segment)
+                result.counters.inc(C.SHUFFLED_RECORDS, len(segment))
+                result.counters.inc(
+                    C.SHUFFLED_BYTES,
+                    sum(job.value_size(v) for _, v in segment),
+                )
+            # Merge: stable sort by key preserves map-task arrival order
+            # within a key, like Hadoop's merge of pre-sorted segments.
+            fetched.sort(key=lambda kv: sort_key(kv[0]))
+
+            context = TaskContext(task.task_id, node)
+            groups = 0
+            cursor = 0
+            while cursor < len(fetched):
+                key = fetched[cursor][0]
+                values = []
+                while cursor < len(fetched) and fetched[cursor][0] == key:
+                    values.append(fetched[cursor][1])
+                    cursor += 1
+                job.reducer(key, values, context)
+                groups += 1
+            task.input_records = len(fetched)
+            task.output_records = len(context.emitted)
+            result.counters.inc(C.REDUCE_INPUT_GROUPS, groups)
+            result.counters.inc(C.REDUCE_INPUT_RECORDS, len(fetched))
+            result.counters.inc(C.REDUCE_OUTPUT_RECORDS, len(context.emitted))
+            result.reduce_outputs[reducer_index] = context.emitted
+            result.history.add(task)

@@ -1,0 +1,66 @@
+"""Job history: the per-task record the paper's progress plots use.
+
+The functional engine records logical task attempts (counts, spills,
+node assignment); the cluster simulator later attaches wall-clock
+phases to the same structure to regenerate Fig 7's progress plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class TaskAttempt:
+    """One map or reduce task attempt."""
+
+    def __init__(self, task_id: str, kind: str, node: str):
+        self.task_id = task_id
+        self.kind = kind  # "map" | "reduce"
+        self.node = node
+        self.input_records = 0
+        self.output_records = 0
+        self.spills = 0
+        #: Wall-clock phases filled in by the simulator:
+        #: {"map": (start, end)} / {"shuffle": ..., "merge": ..., "reduce": ...}
+        self.phases: Dict[str, tuple] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskAttempt({self.task_id}, {self.kind} on {self.node}, "
+            f"in={self.input_records}, out={self.output_records})"
+        )
+
+
+class JobHistory:
+    """All task attempts of one job, in execution order."""
+
+    def __init__(self, job_name: str):
+        self.job_name = job_name
+        self.tasks: List[TaskAttempt] = []
+
+    def add(self, task: TaskAttempt) -> None:
+        self.tasks.append(task)
+
+    def maps(self) -> List[TaskAttempt]:
+        return [task for task in self.tasks if task.kind == "map"]
+
+    def reduces(self) -> List[TaskAttempt]:
+        return [task for task in self.tasks if task.kind == "reduce"]
+
+    def by_node(self) -> Dict[str, List[TaskAttempt]]:
+        grouped: Dict[str, List[TaskAttempt]] = {}
+        for task in self.tasks:
+            grouped.setdefault(task.node, []).append(task)
+        return grouped
+
+    def find(self, task_id: str) -> Optional[TaskAttempt]:
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"JobHistory({self.job_name}: {len(self.maps())} maps, "
+            f"{len(self.reduces())} reduces)"
+        )

@@ -1,0 +1,152 @@
+"""Job definitions for the in-process MapReduce engine.
+
+A job is a mapper (and optional reducer) over input splits.  Splits
+carry a *preferred node* so the engine can honour data locality as the
+logical block placement policy intends.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.errors import MapReduceError
+
+KeyValue = Tuple[Any, Any]
+
+
+class InputSplit:
+    """One unit of map-task input."""
+
+    __slots__ = ("split_id", "payload", "preferred_node", "size_bytes")
+
+    def __init__(self, split_id: str, payload: Any,
+                 preferred_node: Optional[str] = None, size_bytes: int = 0):
+        self.split_id = split_id
+        #: Opaque payload handed to the record reader / mapper.
+        self.payload = payload
+        self.preferred_node = preferred_node
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return f"InputSplit({self.split_id}, node={self.preferred_node})"
+
+
+def default_partitioner(key: Any, num_reducers: int) -> int:
+    """Stable hash partitioning (crc32 of the key's repr)."""
+    return zlib.crc32(repr(key).encode()) % num_reducers
+
+
+class TaskContext:
+    """Per-task emit surface handed to mappers and reducers."""
+
+    def __init__(self, task_id: str, node: str):
+        self.task_id = task_id
+        self.node = node
+        self.emitted: List[KeyValue] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        self.emitted.append((key, value))
+
+
+class JobConf:
+    """Configuration of one MapReduce round.
+
+    Parameters
+    ----------
+    name:
+        Display name ("round1-alignment").
+    mapper:
+        ``mapper(split_payload, context)`` — invoked once per split,
+        matching how Gesall wraps whole programs around logical
+        partitions.  Emits key/value pairs via ``context.emit``.
+    reducer:
+        Optional ``reducer(key, values, context)``.  Absent => map-only
+        job and the map outputs are the job outputs.
+    combiner:
+        Optional ``combiner(key, values, context)`` applied to each map
+        task's output before the shuffle (Hadoop's mini-reducer); must
+        be associative/commutative with the reducer.
+    partitioner:
+        ``f(key, num_reducers) -> int``.
+    num_reducers:
+        Reducer count (ignored for map-only jobs).
+    io_sort_records:
+        Map-side sort buffer capacity in records; exceeding it spills
+        a sorted run (mapreduce.task.io.sort.mb analogue).
+    slowstart:
+        Fraction of maps that must finish before reducers start
+        shuffling (mapreduce.job.reduce.slowstart.completedmaps);
+        consumed by the cluster simulator.
+    value_size:
+        ``f(value) -> bytes`` used for shuffle byte accounting.
+    sort_key:
+        Optional key-transform used when ordering reduce input.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mapper: Callable[[Any, TaskContext], None],
+        reducer: Optional[Callable[[Any, List[Any], TaskContext], None]] = None,
+        combiner: Optional[Callable[[Any, List[Any], TaskContext], None]] = None,
+        partitioner: Callable[[Any, int], int] = default_partitioner,
+        num_reducers: int = 1,
+        io_sort_records: int = 100_000,
+        slowstart: float = 0.05,
+        value_size: Optional[Callable[[Any], int]] = None,
+        sort_key: Optional[Callable[[Any], Any]] = None,
+    ):
+        if num_reducers < 1:
+            raise MapReduceError("num_reducers must be >= 1")
+        if io_sort_records < 1:
+            raise MapReduceError("io_sort_records must be >= 1")
+        if not 0.0 <= slowstart <= 1.0:
+            raise MapReduceError("slowstart must be within [0, 1]")
+        self.name = name
+        self.mapper = mapper
+        self.reducer = reducer
+        self.combiner = combiner
+        self.partitioner = partitioner
+        self.num_reducers = num_reducers
+        self.io_sort_records = io_sort_records
+        self.slowstart = slowstart
+        self.value_size = value_size or _default_value_size
+        self.sort_key = sort_key
+
+    @property
+    def is_map_only(self) -> bool:
+        return self.reducer is None
+
+    def __repr__(self) -> str:
+        kind = "map-only" if self.is_map_only else f"{self.num_reducers} reducers"
+        return f"JobConf({self.name}, {kind})"
+
+
+def _default_value_size(value: Any) -> int:
+    """Approximate serialized size of a value for byte accounting."""
+    to_line = getattr(value, "to_line", None)
+    if callable(to_line):
+        return len(to_line()) + 1
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value) + 1
+    if isinstance(value, (list, tuple)):
+        return sum(_default_value_size(item) for item in value)
+    return len(repr(value))
+
+
+def make_splits(
+    payloads: Iterable[Any],
+    prefix: str = "split",
+    nodes: Optional[List[str]] = None,
+    sizes: Optional[List[int]] = None,
+) -> List[InputSplit]:
+    """Convenience: wrap payloads into numbered splits."""
+    splits = []
+    for index, payload in enumerate(payloads):
+        node = nodes[index % len(nodes)] if nodes else None
+        size = sizes[index] if sizes else 0
+        splits.append(InputSplit(f"{prefix}-{index:05d}", payload, node, size))
+    return splits

@@ -1,0 +1,242 @@
+"""Concordance/discordance metrics (section 4.5.2).
+
+For a serial pipeline P and parallel pipeline P-bar with outputs R_i and
+R-bar_i after step i:
+
+* Φ+_i = R_i ∩ R-bar_i — the concordant result set;
+* Φ-_i = (R_i ∪ R-bar_i) \\ Φ+_i — the discordant result set;
+* D_count = |Φ-_i|, optionally weighted by quality scores;
+* D_impact — the same measure on final variants of a *hybrid* pipeline
+  (parallel prefix + serial tail) vs the fully serial pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.formats.sam import SamRecord
+from repro.formats.vcf import VariantRecord
+from repro.metrics.weighting import MAPQ_WEIGHT, VARIANT_QUAL_WEIGHT, LogisticWeight
+
+#: Identity of one read end across pipelines.
+ReadKey = Tuple[str, bool]
+#: What must agree for an alignment to be concordant.
+AlignmentSignature = Tuple[str, int, str, bool]
+
+
+def read_key(record: SamRecord) -> ReadKey:
+    return (record.qname, record.flags.is_first_in_pair)
+
+
+def alignment_signature(record: SamRecord) -> AlignmentSignature:
+    """Placement identity: contig, position, CIGAR and strand."""
+    return (record.rname, record.pos, str(record.cigar), record.flags.is_reverse)
+
+
+class DiscordantAlignment:
+    """One read whose serial and parallel placements differ."""
+
+    __slots__ = ("serial", "parallel")
+
+    def __init__(self, serial: SamRecord, parallel: SamRecord):
+        self.serial = serial
+        self.parallel = parallel
+
+    @property
+    def max_mapq(self) -> int:
+        return max(self.serial.mapq, self.parallel.mapq)
+
+
+class AlignmentComparison:
+    """Φ+/Φ- of two alignment outputs."""
+
+    def __init__(self, total: int, concordant: int,
+                 discordant: List[DiscordantAlignment],
+                 weight: LogisticWeight):
+        self.total = total
+        self.concordant = concordant
+        self.discordant = discordant
+        self._weight = weight
+
+    @property
+    def d_count(self) -> int:
+        return len(self.discordant)
+
+    @property
+    def weighted_d_count(self) -> float:
+        return sum(self._weight(d.max_mapq) for d in self.discordant)
+
+    @property
+    def d_count_percent(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.d_count / self.total
+
+    @property
+    def weighted_d_count_percent(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.weighted_d_count / self.total
+
+    def __repr__(self) -> str:
+        return (
+            f"AlignmentComparison(total={self.total}, "
+            f"D_count={self.d_count}, weighted={self.weighted_d_count:.1f})"
+        )
+
+
+def compare_alignments(
+    serial: Sequence[SamRecord],
+    parallel: Sequence[SamRecord],
+    min_quality: int = 0,
+    weight: LogisticWeight = MAPQ_WEIGHT,
+) -> AlignmentComparison:
+    """Compare primary alignments read-by-read.
+
+    ``min_quality`` reproduces the paper's "reads having the quality
+    score greater than zero" filter when set to 1; the default of 0
+    counts every disagreeing placement (most disagreements sit at MAPQ
+    0, Fig 11b, and the logistic weighting already discounts them).
+    """
+    serial_map: Dict[ReadKey, SamRecord] = {
+        read_key(r): r for r in serial if r.flags.is_primary
+    }
+    discordant: List[DiscordantAlignment] = []
+    concordant = 0
+    total = 0
+    for record in parallel:
+        if not record.flags.is_primary:
+            continue
+        mate = serial_map.get(read_key(record))
+        if mate is None:
+            continue
+        total += 1
+        if alignment_signature(mate) == alignment_signature(record):
+            concordant += 1
+        elif max(mate.mapq, record.mapq) >= min_quality:
+            discordant.append(DiscordantAlignment(mate, record))
+        else:
+            concordant += 1  # both placements are quality-0 noise
+    return AlignmentComparison(total, concordant, discordant, weight)
+
+
+class DuplicateComparison:
+    """MarkDuplicates discordance (flag-level and count-level)."""
+
+    def __init__(self, flag_differences: int, total: int,
+                 serial_duplicates: int, parallel_duplicates: int,
+                 weighted: float):
+        #: Reads whose duplicate flag differs (the inflated D_count the
+        #: paper reports, driven by tie-breaking).
+        self.flag_differences = flag_differences
+        self.total = total
+        self.serial_duplicates = serial_duplicates
+        self.parallel_duplicates = parallel_duplicates
+        self.weighted = weighted
+
+    @property
+    def count_difference(self) -> int:
+        """Net difference in the *number* of duplicates (paper: 259)."""
+        return abs(self.serial_duplicates - self.parallel_duplicates)
+
+    def __repr__(self) -> str:
+        return (
+            f"DuplicateComparison(flag_diff={self.flag_differences}, "
+            f"net_diff={self.count_difference})"
+        )
+
+
+def compare_duplicates(
+    serial: Sequence[SamRecord],
+    parallel: Sequence[SamRecord],
+    weight: LogisticWeight = MAPQ_WEIGHT,
+) -> DuplicateComparison:
+    serial_flags: Dict[ReadKey, SamRecord] = {
+        read_key(r): r for r in serial if r.flags.is_primary
+    }
+    flag_diff = 0
+    weighted = 0.0
+    total = 0
+    serial_dups = sum(1 for r in serial if r.flags.is_duplicate)
+    parallel_dups = 0
+    for record in parallel:
+        if not record.flags.is_primary:
+            continue
+        if record.flags.is_duplicate:
+            parallel_dups += 1
+        mate = serial_flags.get(read_key(record))
+        if mate is None:
+            continue
+        total += 1
+        if mate.flags.is_duplicate != record.flags.is_duplicate:
+            flag_diff += 1
+            weighted += weight(max(mate.mapq, record.mapq))
+    return DuplicateComparison(flag_diff, total, serial_dups, parallel_dups, weighted)
+
+
+class VariantComparison:
+    """Φ+/Φ- over two variant call sets (D_count or D_impact)."""
+
+    def __init__(self, concordant: List[VariantRecord],
+                 only_first: List[VariantRecord],
+                 only_second: List[VariantRecord],
+                 weight: LogisticWeight = VARIANT_QUAL_WEIGHT):
+        self.concordant = concordant
+        self.only_first = only_first
+        self.only_second = only_second
+        self._weight = weight
+
+    @property
+    def d_count(self) -> int:
+        return len(self.only_first) + len(self.only_second)
+
+    @property
+    def weighted_d_count(self) -> float:
+        return sum(
+            self._weight(v.qual) for v in self.only_first + self.only_second
+        )
+
+    @property
+    def d_count_percent(self) -> float:
+        union = len(self.concordant) + self.d_count
+        if union == 0:
+            return 0.0
+        return 100.0 * self.d_count / union
+
+    def __repr__(self) -> str:
+        return (
+            f"VariantComparison(concordant={len(self.concordant)}, "
+            f"D={self.d_count})"
+        )
+
+
+def compare_variants(
+    first: Iterable[VariantRecord],
+    second: Iterable[VariantRecord],
+    weight: LogisticWeight = VARIANT_QUAL_WEIGHT,
+) -> VariantComparison:
+    first_by_site = {v.site_key(): v for v in first}
+    second_by_site = {v.site_key(): v for v in second}
+    concordant = [
+        v for site, v in first_by_site.items() if site in second_by_site
+    ]
+    only_first = [
+        v for site, v in first_by_site.items() if site not in second_by_site
+    ]
+    only_second = [
+        v for site, v in second_by_site.items() if site not in first_by_site
+    ]
+    return VariantComparison(concordant, only_first, only_second, weight)
+
+
+def precision_sensitivity(
+    calls: Iterable[VariantRecord], truth_sites: set
+) -> Tuple[float, float]:
+    """Precision and sensitivity against a gold-standard truth set."""
+    call_sites = {v.site_key() for v in calls}
+    if not call_sites:
+        return (0.0, 0.0)
+    true_positives = len(call_sites & truth_sites)
+    precision = true_positives / len(call_sites)
+    sensitivity = true_positives / len(truth_sites) if truth_sites else 0.0
+    return (precision, sensitivity)

@@ -1,0 +1,104 @@
+"""Variant-set quality summaries (Tables 9 and 10, Appendix B.3).
+
+Summarises MQ, DP, FS, AB plus the set-level Ti/Tv and Het/Hom ratios
+over a call set, so concordant vs pipeline-unique variants can be
+compared the way the paper's accuracy study does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.formats.vcf import VariantRecord
+
+
+class VariantSetSummary:
+    """Aggregate quality metrics of one variant set."""
+
+    def __init__(self, label: str, count: int, mean_qual: float,
+                 mean_mq: float, mean_dp: float, mean_fs: float,
+                 mean_ab: float, ti_tv: float, het_hom: float):
+        self.label = label
+        self.count = count
+        self.mean_qual = mean_qual
+        self.mean_mq = mean_mq
+        self.mean_dp = mean_dp
+        self.mean_fs = mean_fs
+        self.mean_ab = mean_ab
+        self.ti_tv = ti_tv
+        self.het_hom = het_hom
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "QUAL": round(self.mean_qual, 2),
+            "MQ": round(self.mean_mq, 2),
+            "DP": round(self.mean_dp, 2),
+            "FS": round(self.mean_fs, 3),
+            "AB": round(self.mean_ab, 3),
+            "Ti/Tv": round(self.ti_tv, 3),
+            "Het/Hom": round(self.het_hom, 3),
+        }
+
+    def __repr__(self) -> str:
+        return f"VariantSetSummary({self.label}: {self.as_row()})"
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def ti_tv_ratio(variants: Iterable[VariantRecord]) -> float:
+    """Transition/transversion ratio (~2 expected for good calls)."""
+    transitions = transversions = 0
+    for variant in variants:
+        if variant.is_transition:
+            transitions += 1
+        elif variant.is_transversion:
+            transversions += 1
+    if transversions == 0:
+        return float(transitions)
+    return transitions / transversions
+
+
+def het_hom_ratio(variants: Iterable[VariantRecord]) -> float:
+    """Heterozygous / homozygous call ratio."""
+    het = hom = 0
+    for variant in variants:
+        if variant.is_heterozygous:
+            het += 1
+        else:
+            hom += 1
+    if hom == 0:
+        return float(het)
+    return het / hom
+
+
+def summarize_variants(
+    label: str, variants: Sequence[VariantRecord]
+) -> VariantSetSummary:
+    """Build one comparison-table row for a variant set."""
+    return VariantSetSummary(
+        label=label,
+        count=len(variants),
+        mean_qual=_mean([v.qual for v in variants]),
+        mean_mq=_mean([v.info.get("MQ", 0.0) for v in variants]),
+        mean_dp=_mean([v.info.get("DP", 0.0) for v in variants]),
+        mean_fs=_mean([v.info.get("FS", 0.0) for v in variants]),
+        mean_ab=_mean([v.info.get("AB", 0.0) for v in variants]),
+        ti_tv=ti_tv_ratio(variants),
+        het_hom=het_hom_ratio(variants),
+    )
+
+
+def quality_table(
+    concordant: Sequence[VariantRecord],
+    only_serial: Sequence[VariantRecord],
+    only_hybrid: Sequence[VariantRecord],
+) -> List[VariantSetSummary]:
+    """Tables 9/10: Intersection vs Serial-only vs Hybrid-only rows."""
+    return [
+        summarize_variants("Intersection", concordant),
+        summarize_variants("Serial", only_serial),
+        summarize_variants("Hybrid", only_hybrid),
+    ]

@@ -1,0 +1,55 @@
+"""Quality-score weighting for discordance metrics (section 4.5.2).
+
+"Our weighting function F is a generalized logistic function ... assigns
+the weight 0 to reads with mapq <= 30 and weight 1 to those with
+mapq >= 55 ... and other weights between 0 and 1 for 30 < mapq < 55
+following the curve of a logistic function."
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class LogisticWeight:
+    """Generalized logistic weighting over a quality score.
+
+    ``low_cut`` and below weigh 0; ``high_cut`` and above weigh 1; in
+    between, a logistic curve centred at the midpoint.
+    """
+
+    def __init__(self, low_cut: float = 30.0, high_cut: float = 55.0,
+                 edge_value: float = 0.01):
+        if high_cut <= low_cut:
+            raise ValueError("high_cut must exceed low_cut")
+        if not 0.0 < edge_value < 0.5:
+            raise ValueError("edge_value must be in (0, 0.5)")
+        self.low_cut = low_cut
+        self.high_cut = high_cut
+        self._midpoint = (low_cut + high_cut) / 2.0
+        # Steepness chosen so the curve reaches edge_value at low_cut
+        # (and 1 - edge_value at high_cut), then clamped outside.
+        self._steepness = (
+            2.0 * math.log((1.0 - edge_value) / edge_value)
+            / (high_cut - low_cut)
+        )
+
+    def weight(self, quality: float) -> float:
+        if quality <= self.low_cut:
+            return 0.0
+        if quality >= self.high_cut:
+            return 1.0
+        return 1.0 / (1.0 + math.exp(-self._steepness * (quality - self._midpoint)))
+
+    def __call__(self, quality: float) -> float:
+        return self.weight(quality)
+
+    def __repr__(self) -> str:
+        return f"LogisticWeight({self.low_cut}..{self.high_cut})"
+
+
+#: The paper's alignment weighting: mapq 30 -> 0, mapq 55 -> 1.
+MAPQ_WEIGHT = LogisticWeight(30.0, 55.0)
+
+#: A similar function designed for variant quality scores.
+VARIANT_QUAL_WEIGHT = LogisticWeight(30.0, 100.0)

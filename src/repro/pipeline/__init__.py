@@ -1,0 +1,23 @@
+"""Serial, parallel (Gesall) and hybrid pipelines."""
+
+from repro.pipeline.hybrid import HybridPipeline
+from repro.pipeline.parallel import GesallPipeline, GesallPipelineResult
+from repro.pipeline.serial import SerialPipeline, SerialPipelineResult
+from repro.pipeline.stages import (
+    TABLE2_STAGES,
+    StageSpec,
+    stage_by_name,
+    total_pipeline_hours,
+)
+
+__all__ = [
+    "HybridPipeline",
+    "GesallPipeline",
+    "GesallPipelineResult",
+    "SerialPipeline",
+    "SerialPipelineResult",
+    "TABLE2_STAGES",
+    "StageSpec",
+    "stage_by_name",
+    "total_pipeline_hours",
+]

@@ -1,0 +1,55 @@
+"""Hybrid pipelines for discordant-impact measurement (section 4.5.2).
+
+A hybrid pipeline P-tilde runs the *parallel* pipeline up to step i and
+the *serial* pipeline from step i+1 to the end; comparing its final
+variants against the fully serial pipeline's isolates the impact
+(D_impact) of parallelising the first i steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.formats.sam import SamRecord
+from repro.formats.vcf import VariantRecord
+from repro.genome.reference import ReferenceGenome
+from repro.pipeline.serial import SerialPipeline
+from repro.variants.haplotype import HaplotypeCallerConfig
+
+
+class HybridPipeline:
+    """Serial tail applied to a parallel prefix's output."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        hc_config: Optional[HaplotypeCallerConfig] = None,
+    ):
+        # The serial machinery is reused for the tail; no aligner is
+        # needed because hybrids always start from aligned records.
+        self._serial = SerialPipeline.__new__(SerialPipeline)
+        self._serial.reference = reference
+        self._serial.hc_config = hc_config
+        self.reference = reference
+
+    def from_alignment(
+        self, parallel_alignment: List[SamRecord]
+    ) -> List[VariantRecord]:
+        """P-tilde_1: parallel Bwa, then serial steps 3..v2."""
+        serial = self._serial
+        header = _header_for(self.reference)
+        header, records = serial.run_cleaning(header, parallel_alignment)
+        header, records = serial.run_markdup(header, records)
+        return serial.run_haplotype_caller(records)
+
+    def from_markdup(
+        self, parallel_deduped: List[SamRecord]
+    ) -> List[VariantRecord]:
+        """P-tilde_2: parallel through MarkDuplicates, then serial HC."""
+        return self._serial.run_haplotype_caller(parallel_deduped)
+
+
+def _header_for(reference: ReferenceGenome):
+    from repro.formats.sam import SamHeader
+
+    return SamHeader(sequences=reference.sam_sequences())

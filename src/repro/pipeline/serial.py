@@ -1,0 +1,122 @@
+"""The serial (single-node) pipeline — the gold standard baseline.
+
+Runs the GATK-best-practices order of Table 2 in one process, exactly
+as the multi-threaded single-server pipeline the paper compares
+against.  Intermediate outputs are retained so the error-diagnosis
+toolkit can compare any prefix against the parallel pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.align.aligner import AlignerConfig
+from repro.align.index import ReferenceIndex
+from repro.align.pairing import PairedEndAligner
+from repro.cleaning.clean_sam import CleanSam
+from repro.cleaning.duplicates import MarkDuplicates
+from repro.cleaning.fix_mate import FixMateInformation
+from repro.cleaning.read_groups import AddOrReplaceReadGroups
+from repro.cleaning.sort import SortSam
+from repro.formats.fastq import ReadPair
+from repro.formats.sam import SamHeader, SamRecord
+from repro.formats.vcf import VariantRecord, sort_variants
+from repro.genome.reference import ReferenceGenome
+from repro.recal.apply import PrintReads
+from repro.recal.recalibrator import BaseRecalibrator, RecalibrationTable
+from repro.variants.haplotype import HaplotypeCallerConfig, HaplotypeCallerLite
+
+
+class SerialPipelineResult:
+    """Outputs of every stage, R_1 .. R_k of the paper's notation."""
+
+    def __init__(self):
+        self.header: Optional[SamHeader] = None
+        #: R after Bwa (step 1).
+        self.alignment: List[SamRecord] = []
+        #: R after AddReplaceGroups + CleanSam + FixMateInfo (steps 3-5).
+        self.cleaned: List[SamRecord] = []
+        #: R after SortSam + MarkDuplicates (step 6).
+        self.deduped: List[SamRecord] = []
+        #: Recalibration table if recalibration ran (steps 7-8).
+        self.recal_table: Optional[RecalibrationTable] = None
+        #: R after PrintReads (step 8) or deduped if recal skipped.
+        self.analysis_ready: List[SamRecord] = []
+        #: Final variant calls (step v2).
+        self.variants: List[VariantRecord] = []
+
+
+class SerialPipeline:
+    """Bwa -> cleaning -> MarkDuplicates [-> BQSR] -> Haplotype Caller."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        index: Optional[ReferenceIndex] = None,
+        aligner_config: Optional[AlignerConfig] = None,
+        hc_config: Optional[HaplotypeCallerConfig] = None,
+        batch_size: int = 4000,
+        with_recalibration: bool = False,
+        known_sites: Optional[Set[Tuple[str, int]]] = None,
+    ):
+        self.reference = reference
+        self.index = index or ReferenceIndex(reference)
+        self.aligner = PairedEndAligner(self.index, aligner_config)
+        self.hc_config = hc_config
+        self.batch_size = batch_size
+        self.with_recalibration = with_recalibration
+        self.known_sites = known_sites
+
+    def run(self, pairs: Sequence[ReadPair]) -> SerialPipelineResult:
+        result = SerialPipelineResult()
+        header = self.aligner.header()
+        result.alignment = self.aligner.align_all(pairs, self.batch_size)
+
+        header, records = self.run_cleaning(header, result.alignment)
+        result.cleaned = records
+
+        header, records = self.run_markdup(header, records)
+        result.deduped = records
+        result.header = header
+
+        if self.with_recalibration:
+            table, records = self.run_recalibration(header, records)
+            result.recal_table = table
+        result.analysis_ready = records
+
+        result.variants = self.run_haplotype_caller(records)
+        return result
+
+    # -- stage groups reused by the hybrid pipelines -----------------------
+    def run_cleaning(
+        self, header: SamHeader, records: List[SamRecord]
+    ) -> Tuple[SamHeader, List[SamRecord]]:
+        """Steps 3-5: AddReplaceGroups, CleanSam, FixMateInfo."""
+        header, records = AddOrReplaceReadGroups().run(header, records)
+        header, records = CleanSam().run(header, records)
+        header, records = FixMateInformation().run(header, records)
+        return header, records
+
+    def run_markdup(
+        self, header: SamHeader, records: List[SamRecord]
+    ) -> Tuple[SamHeader, List[SamRecord]]:
+        """Step 6 (with the coordinate sort it requires)."""
+        header, records = SortSam("coordinate").run(header, records)
+        header, records = MarkDuplicates().run(header, records)
+        return header, records
+
+    def run_recalibration(
+        self, header: SamHeader, records: List[SamRecord]
+    ) -> Tuple[RecalibrationTable, List[SamRecord]]:
+        """Steps 7-8: BaseRecalibrator + PrintReads."""
+        recalibrator = BaseRecalibrator(self.reference, self.known_sites)
+        table = recalibrator.build_table(records)
+        _, records = PrintReads(table).run(header, records)
+        return table, records
+
+    def run_haplotype_caller(
+        self, records: List[SamRecord]
+    ) -> List[VariantRecord]:
+        """Step v2: one whole-genome invocation (one RNG stream)."""
+        caller = HaplotypeCallerLite(self.reference, self.hc_config)
+        return sort_variants(caller.call(records))

@@ -1,0 +1,35 @@
+"""Base quality score recalibration (GATK BaseRecalibrator/PrintReads)."""
+
+from repro.recal.apply import PrintReads
+from repro.recal.covariates import (
+    DEFAULT_COVARIATES,
+    BaseObservation,
+    ContextCovariate,
+    CycleCovariate,
+    ReadGroupCovariate,
+    ReportedQualityCovariate,
+    aligned_pairs,
+    observations,
+)
+from repro.recal.recalibrator import (
+    BaseRecalibrator,
+    CovariateCounts,
+    RecalibrationTable,
+    empirical_quality,
+)
+
+__all__ = [
+    "PrintReads",
+    "DEFAULT_COVARIATES",
+    "BaseObservation",
+    "ContextCovariate",
+    "CycleCovariate",
+    "ReadGroupCovariate",
+    "ReportedQualityCovariate",
+    "aligned_pairs",
+    "observations",
+    "BaseRecalibrator",
+    "CovariateCounts",
+    "RecalibrationTable",
+    "empirical_quality",
+]

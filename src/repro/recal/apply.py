@@ -1,0 +1,61 @@
+"""PrintReads / ApplyBQSR: rewrite base qualities (Table 2 step 8)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.formats.sam import SamHeader, SamRecord
+from repro.recal.covariates import (
+    ContextCovariate,
+    CycleCovariate,
+    BaseObservation,
+)
+from repro.recal.recalibrator import RecalibrationTable
+
+
+class PrintReads:
+    """Adjusts every base quality using a recalibration table.
+
+    Map-only in the parallel pipeline: the table is broadcast, each
+    record is rewritten independently.
+    """
+
+    name = "PrintReads"
+
+    def __init__(self, table: RecalibrationTable):
+        self.table = table
+        self._cycle = CycleCovariate()
+        self._context = ContextCovariate()
+
+    def run(
+        self, header: SamHeader, records: Iterable[SamRecord]
+    ) -> Tuple[SamHeader, List[SamRecord]]:
+        out = []
+        for record in records:
+            updated = record.copy()
+            self.apply_to_record(updated)
+            out.append(updated)
+        return header.copy(), out
+
+    def apply_to_record(self, record: SamRecord) -> None:
+        """Rewrite the QUAL string of one record in place."""
+        if record.seq == "*" or record.qual == "*":
+            return
+        rg = record.tags.get("RG", "unknown")
+        quals = record.base_qualities()
+        new_quals = []
+        for offset, reported in enumerate(quals):
+            obs = BaseObservation(
+                record=record,
+                read_offset=offset,
+                ref_pos=0,
+                ref_base="N",
+                read_base=record.seq[offset],
+                reported_quality=reported,
+            )
+            extras = {
+                self._cycle.name: self._cycle.value(obs),
+                self._context.name: self._context.value(obs),
+            }
+            new_quals.append(self.table.recalibrate(rg, reported, extras))
+        record.set_base_qualities(new_quals)

@@ -1,0 +1,134 @@
+"""Covariates for base quality score recalibration.
+
+A covariate is a feature of one base call; the recalibrator groups base
+calls by covariate values and computes each group's empirical error
+rate (Table 2 step: "Finds the empirical quality score for each
+covariate").  The paper's GDPT classifies this stage as *group
+partitioning by user-defined covariates*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.formats.sam import SamRecord
+
+
+class BaseObservation:
+    """One aligned base call with everything covariates may inspect."""
+
+    __slots__ = ("record", "read_offset", "ref_pos", "ref_base", "read_base",
+                 "reported_quality")
+
+    def __init__(self, record: SamRecord, read_offset: int, ref_pos: int,
+                 ref_base: str, read_base: str, reported_quality: int):
+        self.record = record
+        self.read_offset = read_offset
+        self.ref_pos = ref_pos
+        self.ref_base = ref_base
+        self.read_base = read_base
+        self.reported_quality = reported_quality
+
+    @property
+    def is_mismatch(self) -> bool:
+        return self.read_base != self.ref_base
+
+
+class ReadGroupCovariate:
+    """The RG tag of the record (sequencing lane / library)."""
+
+    name = "ReadGroup"
+
+    def value(self, obs: BaseObservation) -> str:
+        return obs.record.tags.get("RG", "unknown")
+
+
+class ReportedQualityCovariate:
+    """The quality score the sequencer claimed for the base."""
+
+    name = "ReportedQuality"
+
+    def value(self, obs: BaseObservation) -> int:
+        return obs.reported_quality
+
+
+class CycleCovariate:
+    """Machine cycle: position within the read, negative on reverse
+    strand (bases at read ends tend to be lower quality — the paper's
+    motivating example for recalibration)."""
+
+    name = "Cycle"
+
+    def value(self, obs: BaseObservation) -> int:
+        cycle = obs.read_offset + 1
+        if obs.record.flags.is_reverse:
+            return -cycle
+        return cycle
+
+
+class ContextCovariate:
+    """The preceding bases in the read (dinucleotide context)."""
+
+    name = "Context"
+
+    def __init__(self, size: int = 2):
+        self.size = size
+
+    def value(self, obs: BaseObservation) -> str:
+        start = max(0, obs.read_offset - self.size + 1)
+        context = obs.record.seq[start : obs.read_offset + 1]
+        if len(context) < self.size:
+            return "N" * self.size
+        return context
+
+
+DEFAULT_COVARIATES = (
+    ReadGroupCovariate(),
+    ReportedQualityCovariate(),
+    CycleCovariate(),
+    ContextCovariate(),
+)
+
+
+def aligned_pairs(record: SamRecord) -> Iterator[Tuple[int, int]]:
+    """Yield ``(read_offset, ref_pos)`` for every aligned (M/=/X) base.
+
+    Soft clips advance the read cursor; deletions/skips advance the
+    reference cursor; insertions advance the read cursor.
+    """
+    read_cursor = 0
+    ref_cursor = record.pos
+    for length, op in record.cigar:
+        if op in ("M", "=", "X"):
+            for offset in range(length):
+                yield read_cursor + offset, ref_cursor + offset
+            read_cursor += length
+            ref_cursor += length
+        elif op in ("I", "S"):
+            read_cursor += length
+        elif op in ("D", "N"):
+            ref_cursor += length
+        # H and P consume neither.
+
+
+def observations(record: SamRecord, reference) -> Iterator[BaseObservation]:
+    """Yield one :class:`BaseObservation` per aligned base of a record.
+
+    ``reference`` is a :class:`~repro.genome.reference.ReferenceGenome`.
+    Unmapped and duplicate reads contribute nothing, as in GATK.
+    """
+    if record.flags.is_unmapped or record.flags.is_duplicate:
+        return
+    quals = record.base_qualities()
+    contig_len = reference.contig_length(record.rname)
+    for read_offset, ref_pos in aligned_pairs(record):
+        if ref_pos < 1 or ref_pos > contig_len:
+            continue
+        yield BaseObservation(
+            record=record,
+            read_offset=read_offset,
+            ref_pos=ref_pos,
+            ref_base=reference.base_at(record.rname, ref_pos),
+            read_base=record.seq[read_offset],
+            reported_quality=quals[read_offset],
+        )

@@ -1,0 +1,149 @@
+"""BaseRecalibrator: empirical quality tables (Table 2 step 7).
+
+Counts observations and mismatches per covariate group, skipping known
+variant sites (a mismatch at a real variant is not a sequencing error),
+then derives empirical qualities.  The counting is associative, which
+is what lets the parallel wrapper aggregate partial tables from many
+mappers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.formats.sam import SamRecord
+from repro.genome.reference import ReferenceGenome
+from repro.recal.covariates import (
+    DEFAULT_COVARIATES,
+    observations,
+)
+
+
+def empirical_quality(observed: int, errors: int) -> float:
+    """Phred-scaled empirical quality with +1/+2 smoothing."""
+    rate = (errors + 1.0) / (observed + 2.0)
+    return -10.0 * math.log10(rate)
+
+
+class CovariateCounts:
+    """(observations, errors) for one covariate group."""
+
+    __slots__ = ("observed", "errors")
+
+    def __init__(self, observed: int = 0, errors: int = 0):
+        self.observed = observed
+        self.errors = errors
+
+    def add(self, is_error: bool) -> None:
+        self.observed += 1
+        if is_error:
+            self.errors += 1
+
+    def merge(self, other: "CovariateCounts") -> None:
+        self.observed += other.observed
+        self.errors += other.errors
+
+    def empirical(self) -> float:
+        return empirical_quality(self.observed, self.errors)
+
+    def __repr__(self) -> str:
+        return f"CovariateCounts({self.observed}, {self.errors})"
+
+
+class RecalibrationTable:
+    """Hierarchical covariate tables, GATK-style.
+
+    Level 0: per read group; level 1: per (read group, reported Q);
+    level 2: per (read group, reported Q, one extra covariate) for each
+    extra covariate (cycle, context).
+    """
+
+    def __init__(self):
+        self.read_group: Dict[str, CovariateCounts] = {}
+        self.reported: Dict[Tuple[str, int], CovariateCounts] = {}
+        self.extra: Dict[Tuple[str, int, str, object], CovariateCounts] = {}
+
+    def _bump(self, table: Dict, key, is_error: bool) -> None:
+        counts = table.get(key)
+        if counts is None:
+            counts = CovariateCounts()
+            table[key] = counts
+        counts.add(is_error)
+
+    def add_observation(self, rg: str, reported: int,
+                        extras: Dict[str, object], is_error: bool) -> None:
+        self._bump(self.read_group, rg, is_error)
+        self._bump(self.reported, (rg, reported), is_error)
+        for name, value in extras.items():
+            self._bump(self.extra, (rg, reported, name, value), is_error)
+
+    def merge(self, other: "RecalibrationTable") -> None:
+        """Aggregate a partial table (the parallel reducer's job)."""
+        for key, counts in other.read_group.items():
+            self.read_group.setdefault(key, CovariateCounts()).merge(counts)
+        for key, counts in other.reported.items():
+            self.reported.setdefault(key, CovariateCounts()).merge(counts)
+        for key, counts in other.extra.items():
+            self.extra.setdefault(key, CovariateCounts()).merge(counts)
+
+    def total_observations(self) -> int:
+        return sum(counts.observed for counts in self.read_group.values())
+
+    # -- recalibrated quality lookup -------------------------------------
+    def recalibrate(self, rg: str, reported: int,
+                    extras: Dict[str, object]) -> int:
+        """GATK's hierarchical delta model.
+
+        Q = empirical(rg) + delta(reported | rg) + sum(delta(extra)).
+        Groups never seen in training contribute no delta.
+        """
+        rg_counts = self.read_group.get(rg)
+        if rg_counts is None:
+            return reported
+        quality = rg_counts.empirical()
+        reported_counts = self.reported.get((rg, reported))
+        if reported_counts is not None:
+            quality += reported_counts.empirical() - rg_counts.empirical()
+            base_for_extras = reported_counts.empirical()
+            for name, value in extras.items():
+                extra_counts = self.extra.get((rg, reported, name, value))
+                if extra_counts is not None and extra_counts.observed >= 10:
+                    quality += extra_counts.empirical() - base_for_extras
+        return max(2, min(60, int(round(quality))))
+
+
+class BaseRecalibrator:
+    """Builds a :class:`RecalibrationTable` from aligned records."""
+
+    name = "BaseRecalibrator"
+
+    def __init__(self, reference: ReferenceGenome,
+                 known_sites: Optional[Set[Tuple[str, int]]] = None,
+                 covariates=DEFAULT_COVARIATES):
+        self.reference = reference
+        self.known_sites = known_sites or set()
+        self.covariates = covariates
+
+    def build_table(self, records: Iterable[SamRecord]) -> RecalibrationTable:
+        table = RecalibrationTable()
+        for record in records:
+            self.add_record(table, record)
+        return table
+
+    def add_record(self, table: RecalibrationTable, record: SamRecord) -> None:
+        """Add one record's observations (used by the parallel mapper)."""
+        for obs in observations(record, self.reference):
+            if (record.rname, obs.ref_pos) in self.known_sites:
+                continue
+            extras = {}
+            rg = "unknown"
+            reported = obs.reported_quality
+            for covariate in self.covariates:
+                if covariate.name == "ReadGroup":
+                    rg = covariate.value(obs)
+                elif covariate.name == "ReportedQuality":
+                    reported = covariate.value(obs)
+                else:
+                    extras[covariate.name] = covariate.value(obs)
+            table.add_observation(rg, reported, extras, obs.is_mismatch)

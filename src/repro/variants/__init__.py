@@ -1,0 +1,75 @@
+"""Variant calling: pileup engine, UnifiedGenotyperLite, HaplotypeCallerLite."""
+
+from repro.variants.annotations import (
+    allele_balance,
+    column_annotations,
+    fisher_exact_two_tailed,
+    fisher_strand,
+    rms_mapping_quality,
+)
+from repro.variants.genotyper import (
+    GenotyperConfig,
+    UnifiedGenotyperLite,
+    call_column,
+    diploid_binary_posteriors,
+    diploid_snp_posteriors,
+)
+from repro.variants.haplotype import (
+    HaplotypeCallerConfig,
+    HaplotypeCallerLite,
+    activity_score,
+    required_overlap,
+)
+from repro.variants.somatic import (
+    MutectConfig,
+    MutectLite,
+    normal_lod,
+    tumor_lod,
+)
+from repro.variants.structural import (
+    DELETION,
+    INVERSION,
+    GASVConfig,
+    GASVLite,
+    StructuralVariantCall,
+    estimate_insert_distribution,
+)
+from repro.variants.pileup import (
+    PileupColumn,
+    PileupConfig,
+    PileupEntry,
+    build_pileup,
+    record_passes,
+)
+
+__all__ = [
+    "allele_balance",
+    "column_annotations",
+    "fisher_exact_two_tailed",
+    "fisher_strand",
+    "rms_mapping_quality",
+    "GenotyperConfig",
+    "UnifiedGenotyperLite",
+    "call_column",
+    "diploid_binary_posteriors",
+    "diploid_snp_posteriors",
+    "HaplotypeCallerConfig",
+    "HaplotypeCallerLite",
+    "activity_score",
+    "required_overlap",
+    "MutectConfig",
+    "MutectLite",
+    "normal_lod",
+    "tumor_lod",
+    "DELETION",
+    "INVERSION",
+    "GASVConfig",
+    "GASVLite",
+    "StructuralVariantCall",
+    "estimate_insert_distribution",
+    "PileupColumn",
+    "PileupConfig",
+    "PileupEntry",
+    "build_pileup",
+    "record_passes",
+]

@@ -1,0 +1,105 @@
+"""Variant-site annotations used by the accuracy study (Tables 9/10).
+
+MQ (RMS mapping quality), DP (read depth), FS (Fisher's strand bias)
+and AB (allele balance) — the standard bioinformatics quality metrics
+the paper evaluates on concordant vs pipeline-unique variants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.variants.pileup import PileupColumn
+
+
+def rms_mapping_quality(mapqs: List[int]) -> float:
+    """Root-mean-square of mapping qualities at the site (MQ)."""
+    if not mapqs:
+        return 0.0
+    return math.sqrt(sum(q * q for q in mapqs) / len(mapqs))
+
+
+def allele_balance(ref_count: int, alt_count: int) -> float:
+    """AB = #ALT / (#REF + #ALT); ~0.5 for a clean het, ~1.0 for hom."""
+    total = ref_count + alt_count
+    if total == 0:
+        return 0.0
+    return alt_count / total
+
+
+def _log_comb(n: int, k: int) -> float:
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def fisher_exact_two_tailed(a: int, b: int, c: int, d: int) -> float:
+    """Two-tailed Fisher's exact test p-value for a 2x2 table.
+
+    Table layout::
+
+        ref_forward (a)   ref_reverse (b)
+        alt_forward (c)   alt_reverse (d)
+
+    Implemented directly from the hypergeometric distribution so the
+    library needs no SciPy dependency.
+    """
+    row1 = a + b
+    row2 = c + d
+    col1 = a + c
+    n = a + b + c + d
+    if n == 0:
+        return 1.0
+
+    def log_p(x: int) -> float:
+        return (
+            _log_comb(row1, x)
+            + _log_comb(row2, col1 - x)
+            - _log_comb(n, col1)
+        )
+
+    lo = max(0, col1 - row2)
+    hi = min(col1, row1)
+    observed = log_p(a)
+    total = 0.0
+    for x in range(lo, hi + 1):
+        candidate = log_p(x)
+        if candidate <= observed + 1e-9:
+            total += math.exp(candidate)
+    return min(1.0, total)
+
+
+def fisher_strand(ref_fwd: int, ref_rev: int, alt_fwd: int, alt_rev: int) -> float:
+    """FS: Phred-scaled p-value of strand bias (0 = unbiased)."""
+    p_value = fisher_exact_two_tailed(ref_fwd, ref_rev, alt_fwd, alt_rev)
+    p_value = max(p_value, 1e-300)
+    return round(-10.0 * math.log10(p_value), 3)
+
+
+def column_annotations(
+    column: PileupColumn, ref_base: str, alt_base: str
+) -> dict:
+    """All site annotations for a SNP call at one pileup column."""
+    ref_fwd = ref_rev = alt_fwd = alt_rev = 0
+    mapqs = []
+    for entry in column.entries:
+        mapqs.append(entry.mapq)
+        if entry.base == ref_base:
+            if entry.reverse:
+                ref_rev += 1
+            else:
+                ref_fwd += 1
+        elif entry.base == alt_base:
+            if entry.reverse:
+                alt_rev += 1
+            else:
+                alt_fwd += 1
+    ref_count = ref_fwd + ref_rev
+    alt_count = alt_fwd + alt_rev
+    return {
+        "DP": float(column.depth),
+        "MQ": round(rms_mapping_quality(mapqs), 3),
+        "FS": fisher_strand(ref_fwd, ref_rev, alt_fwd, alt_rev),
+        "AB": round(allele_balance(ref_count, alt_count), 4),
+    }

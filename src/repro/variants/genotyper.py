@@ -1,0 +1,184 @@
+"""UnifiedGenotyperLite: per-site Bayesian diploid genotyping.
+
+Calls SNPs and small insertion/deletion variants (Table 2 step v1) from
+pileup columns with GATK-style diploid genotype likelihoods.  The
+paper's GDPT runs it behind a non-overlapping chromosome range
+partitioner (section 3.2, "Range Partitioning").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.formats.sam import SamRecord
+from repro.formats.vcf import VariantRecord
+from repro.genome.reference import ReferenceGenome
+from repro.genome.regions import GenomicInterval
+from repro.variants.annotations import column_annotations, rms_mapping_quality
+from repro.variants.pileup import PileupColumn, PileupConfig, build_pileup
+
+_LOG10_THIRD = math.log10(1.0 / 3.0)
+
+
+class GenotyperConfig:
+    """Priors and thresholds of the genotyper."""
+
+    def __init__(
+        self,
+        het_prior: float = 1.0e-3,
+        hom_prior: float = 5.0e-4,
+        min_call_quality: float = 30.0,
+        min_depth: int = 4,
+        min_alt_count: int = 2,
+        min_indel_support: int = 3,
+        min_indel_fraction: float = 0.20,
+        indel_error_rate: float = 1.0e-2,
+        max_quality: float = 3000.0,
+        pileup: Optional[PileupConfig] = None,
+    ):
+        self.het_prior = het_prior
+        self.hom_prior = hom_prior
+        self.min_call_quality = min_call_quality
+        self.min_depth = min_depth
+        self.min_alt_count = min_alt_count
+        self.min_indel_support = min_indel_support
+        self.min_indel_fraction = min_indel_fraction
+        self.indel_error_rate = indel_error_rate
+        self.max_quality = max_quality
+        self.pileup = pileup or PileupConfig()
+
+
+def _normalize_log10(log_likelihoods: List[float]) -> List[float]:
+    peak = max(log_likelihoods)
+    weights = [10.0 ** (ll - peak) for ll in log_likelihoods]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def diploid_snp_posteriors(
+    column: PileupColumn, ref_base: str, alt_base: str, config: GenotyperConfig
+) -> Tuple[float, float, float]:
+    """Posterior P(RR), P(RA), P(AA) at one column."""
+    log_rr = math.log10(max(1.0 - config.het_prior - config.hom_prior, 1e-12))
+    log_ra = math.log10(config.het_prior)
+    log_aa = math.log10(config.hom_prior)
+    for entry in column.entries:
+        error = 10.0 ** (-entry.quality / 10.0)
+        p_ref = (1.0 - error) if entry.base == ref_base else error / 3.0
+        p_alt = (1.0 - error) if entry.base == alt_base else error / 3.0
+        log_rr += math.log10(max(p_ref, 1e-12))
+        log_aa += math.log10(max(p_alt, 1e-12))
+        log_ra += math.log10(max(0.5 * p_ref + 0.5 * p_alt, 1e-12))
+    posterior = _normalize_log10([log_rr, log_ra, log_aa])
+    return posterior[0], posterior[1], posterior[2]
+
+
+def diploid_binary_posteriors(
+    support: int, against: int, error_rate: float, config: GenotyperConfig
+) -> Tuple[float, float, float]:
+    """Posteriors for a binary allele (used for indels)."""
+    log_rr = math.log10(max(1.0 - config.het_prior - config.hom_prior, 1e-12))
+    log_ra = math.log10(config.het_prior)
+    log_aa = math.log10(config.hom_prior)
+    log_err = math.log10(error_rate)
+    log_ok = math.log10(1.0 - error_rate)
+    log_half = math.log10(0.5)
+    log_rr += against * log_ok + support * log_err
+    log_aa += support * log_ok + against * log_err
+    log_ra += (support + against) * (log_half + math.log10(1.0))
+    posterior = _normalize_log10([log_rr, log_ra, log_aa])
+    return posterior[0], posterior[1], posterior[2]
+
+
+def _phred(p_no_variant: float, cap: float) -> float:
+    p_no_variant = max(p_no_variant, 10.0 ** (-cap / 10.0))
+    return -10.0 * math.log10(p_no_variant)
+
+
+def call_column(
+    column: PileupColumn, reference: ReferenceGenome, config: GenotyperConfig
+) -> List[VariantRecord]:
+    """Emit SNP/indel calls for one pileup column (possibly none)."""
+    calls: List[VariantRecord] = []
+    if column.depth < config.min_depth:
+        return calls
+    ref_base = reference.base_at(column.contig, column.pos)
+
+    # --- SNP ---
+    counts = column.base_counts()
+    alt_candidates = [
+        (count, base) for base, count in counts.items() if base != ref_base
+    ]
+    if alt_candidates:
+        alt_count, alt_base = max(alt_candidates)
+        if alt_count >= config.min_alt_count:
+            p_rr, p_ra, p_aa = diploid_snp_posteriors(
+                column, ref_base, alt_base, config
+            )
+            quality = _phred(p_rr, config.max_quality)
+            if quality >= config.min_call_quality:
+                genotype = "0/1" if p_ra >= p_aa else "1/1"
+                info = column_annotations(column, ref_base, alt_base)
+                calls.append(
+                    VariantRecord(
+                        column.contig, column.pos, ref_base, alt_base,
+                        qual=round(quality, 2), genotype=genotype, info=info,
+                    )
+                )
+
+    # --- indels anchored at this column ---
+    indels = column.indel_observations()
+    if indels:
+        (ref_allele, alt_allele), support = max(
+            indels.items(), key=lambda item: item[1]
+        )
+        fraction = support / column.depth
+        if (
+            support >= config.min_indel_support
+            and fraction >= config.min_indel_fraction
+        ):
+            p_rr, p_ra, p_aa = diploid_binary_posteriors(
+                support, column.depth - support, config.indel_error_rate, config
+            )
+            quality = _phred(p_rr, config.max_quality)
+            if quality >= config.min_call_quality:
+                genotype = "0/1" if p_ra >= p_aa else "1/1"
+                mapqs = [entry.mapq for entry in column.entries]
+                info = {
+                    "DP": float(column.depth),
+                    "MQ": round(rms_mapping_quality(mapqs), 3),
+                    "FS": 0.0,
+                    "AB": round(fraction, 4),
+                }
+                calls.append(
+                    VariantRecord(
+                        column.contig, column.pos, ref_allele, alt_allele,
+                        qual=round(quality, 2), genotype=genotype, info=info,
+                    )
+                )
+    return calls
+
+
+class UnifiedGenotyperLite:
+    """Per-site caller over (a region of) a coordinate-sorted dataset."""
+
+    name = "UnifiedGenotyper"
+
+    def __init__(self, reference: ReferenceGenome,
+                 config: Optional[GenotyperConfig] = None):
+        self.reference = reference
+        self.config = config or GenotyperConfig()
+
+    def call(
+        self,
+        records: Iterable[SamRecord],
+        interval: Optional[GenomicInterval] = None,
+    ) -> List[VariantRecord]:
+        """Call variants across all pileup columns (in an interval)."""
+        calls: List[VariantRecord] = []
+        for column in build_pileup(
+            records, self.reference, interval, self.config.pileup
+        ):
+            calls.extend(call_column(column, self.reference, self.config))
+        return calls

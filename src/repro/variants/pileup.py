@@ -1,0 +1,170 @@
+"""Pileup engine: per-position stacks of aligned bases.
+
+Both small-variant callers consume pileups; the Haplotype Caller
+additionally derives its activity statistic from them.  Reads flagged
+as duplicates are excluded — this is the channel through which
+MarkDuplicates tie-breaking differences propagate into variant calls
+(the paper's D_impact chain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.formats.sam import SamRecord
+from repro.genome.regions import GenomicInterval
+from repro.recal.covariates import aligned_pairs
+
+
+class PileupEntry:
+    """One read's contribution to one reference position."""
+
+    __slots__ = ("record", "read_offset", "base", "quality", "mapq",
+                 "reverse", "indel")
+
+    def __init__(self, record: SamRecord, read_offset: int, base: str,
+                 quality: int, mapq: int, reverse: bool,
+                 indel: Optional[Tuple[str, str]] = None):
+        self.record = record
+        self.read_offset = read_offset
+        self.base = base
+        self.quality = quality
+        self.mapq = mapq
+        self.reverse = reverse
+        #: ``(ref_allele, alt_allele)`` if an indel starts right after
+        #: this base on this read, else ``None``.
+        self.indel = indel
+
+
+class PileupColumn:
+    """All read evidence overlapping one reference position."""
+
+    __slots__ = ("contig", "pos", "entries")
+
+    def __init__(self, contig: str, pos: int, entries: List[PileupEntry]):
+        self.contig = contig
+        self.pos = pos
+        self.entries = entries
+
+    @property
+    def depth(self) -> int:
+        return len(self.entries)
+
+    def base_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.base] = counts.get(entry.base, 0) + 1
+        return counts
+
+    def indel_observations(self) -> Dict[Tuple[str, str], int]:
+        counts: Dict[Tuple[str, str], int] = {}
+        for entry in self.entries:
+            if entry.indel is not None:
+                counts[entry.indel] = counts.get(entry.indel, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"PileupColumn({self.contig}:{self.pos}, depth={self.depth})"
+
+
+class PileupConfig:
+    """Read filters applied before piling up."""
+
+    def __init__(self, min_mapq: int = 13, min_base_quality: int = 6,
+                 include_duplicates: bool = False):
+        self.min_mapq = min_mapq
+        self.min_base_quality = min_base_quality
+        self.include_duplicates = include_duplicates
+
+
+def record_passes(record: SamRecord, config: PileupConfig) -> bool:
+    """The caller-level read filter (GATK-style)."""
+    if record.flags.is_unmapped or not record.flags.is_primary:
+        return False
+    if record.flags.is_duplicate and not config.include_duplicates:
+        return False
+    if record.mapq < config.min_mapq:
+        return False
+    return True
+
+
+def _indel_after(record: SamRecord, read_offset: int, ref_pos: int,
+                 reference) -> Optional[Tuple[str, str]]:
+    """Detect an I or D operation starting immediately after this base."""
+    read_cursor = 0
+    ref_cursor = record.pos
+    ops = list(record.cigar)
+    for index, (length, op) in enumerate(ops):
+        if op in ("M", "=", "X"):
+            end_read = read_cursor + length - 1
+            end_ref = ref_cursor + length - 1
+            if read_offset == end_read and ref_pos == end_ref and index + 1 < len(ops):
+                next_len, next_op = ops[index + 1]
+                if next_op == "I":
+                    inserted = record.seq[end_read + 1 : end_read + 1 + next_len]
+                    ref_base = reference.base_at(record.rname, ref_pos)
+                    return (ref_base, ref_base + inserted)
+                if next_op == "D":
+                    contig_len = reference.contig_length(record.rname)
+                    if ref_pos + next_len <= contig_len:
+                        ref_allele = reference.fetch(
+                            record.rname, ref_pos, ref_pos + next_len + 1
+                        )
+                        return (ref_allele, ref_allele[0])
+            read_cursor += length
+            ref_cursor += length
+        elif op in ("I", "S"):
+            read_cursor += length
+        elif op in ("D", "N"):
+            ref_cursor += length
+    return None
+
+
+def build_pileup(
+    records: Iterable[SamRecord],
+    reference,
+    interval: Optional[GenomicInterval] = None,
+    config: Optional[PileupConfig] = None,
+) -> Iterator[PileupColumn]:
+    """Yield pileup columns in coordinate order.
+
+    ``interval`` restricts the output columns (reads overlapping the
+    interval still contribute from outside it).
+    """
+    config = config or PileupConfig()
+    columns: Dict[Tuple[str, int], List[PileupEntry]] = {}
+    for record in records:
+        if not record_passes(record, config):
+            continue
+        if interval is not None and record.rname != interval.contig:
+            continue
+        quals = record.base_qualities()
+        for read_offset, ref_pos in aligned_pairs(record):
+            if interval is not None and not (
+                interval.start <= ref_pos < interval.end
+            ):
+                continue
+            if read_offset >= len(quals):
+                continue
+            quality = quals[read_offset]
+            if quality < config.min_base_quality:
+                continue
+            indel = _indel_after(record, read_offset, ref_pos, reference)
+            entry = PileupEntry(
+                record=record,
+                read_offset=read_offset,
+                base=record.seq[read_offset],
+                quality=quality,
+                mapq=record.mapq,
+                reverse=record.flags.is_reverse,
+                indel=indel,
+            )
+            columns.setdefault((record.rname, ref_pos), []).append(entry)
+    contig_order: Dict[str, int] = {}
+    for contig, _ in columns:
+        if contig not in contig_order:
+            contig_order[contig] = len(contig_order)
+    for (contig, pos) in sorted(
+        columns, key=lambda key: (contig_order[key[0]], key[1])
+    ):
+        yield PileupColumn(contig, pos, columns[(contig, pos)])

@@ -1,0 +1,155 @@
+"""MutectLite: tumor/normal somatic point-mutation calling.
+
+The paper motivates its platform with cancer workloads: "Some
+algorithms, such as Mutect [5] and Theta [25] for complex cancer
+analysis, alone can take days or weeks to complete on whole genome
+data" (section 1).  This module implements the statistical core of the
+MuTect family so those pipelines have a concrete stand-in:
+
+* a *tumor* LOD score: is the tumor pileup better explained by a
+  mutation at allele fraction f than by sequencing noise?
+* a *normal* LOD score: is the matched normal consistent with the
+  reference (i.e. the mutation is somatic, not germline)?
+
+Both are per-site computations over pileups, so the caller partitions
+exactly like the Unified Genotyper (non-overlapping ranges) and slots
+into a Round-5-style map-only job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+from repro.formats.sam import SamRecord
+from repro.formats.vcf import VariantRecord
+from repro.genome.reference import ReferenceGenome
+from repro.genome.regions import GenomicInterval
+from repro.variants.annotations import column_annotations
+from repro.variants.pileup import PileupColumn, PileupConfig, build_pileup
+
+
+class MutectConfig:
+    """Thresholds of the somatic caller (MuTect-style defaults)."""
+
+    def __init__(
+        self,
+        tumor_lod_threshold: float = 6.3,
+        normal_lod_threshold: float = 2.3,
+        min_tumor_depth: int = 8,
+        min_normal_depth: int = 6,
+        min_alt_count: int = 3,
+        pileup: Optional[PileupConfig] = None,
+    ):
+        #: log10 odds the tumor carries the variant vs noise.
+        self.tumor_lod_threshold = tumor_lod_threshold
+        #: log10 odds the normal is reference vs het germline.
+        self.normal_lod_threshold = normal_lod_threshold
+        self.min_tumor_depth = min_tumor_depth
+        self.min_normal_depth = min_normal_depth
+        self.min_alt_count = min_alt_count
+        self.pileup = pileup or PileupConfig()
+
+
+def _log10_likelihood(column: PileupColumn, ref_base: str, alt_base: str,
+                      fraction: float) -> float:
+    """log10 P(pileup | allele fraction ``fraction`` of ``alt_base``)."""
+    total = 0.0
+    for entry in column.entries:
+        error = 10.0 ** (-entry.quality / 10.0)
+        p_ref_read = (1.0 - error) if entry.base == ref_base else error / 3.0
+        p_alt_read = (1.0 - error) if entry.base == alt_base else error / 3.0
+        p = (1.0 - fraction) * p_ref_read + fraction * p_alt_read
+        total += math.log10(max(p, 1e-12))
+    return total
+
+
+def tumor_lod(column: PileupColumn, ref_base: str, alt_base: str) -> float:
+    """LOD of the best-fraction mutation model vs the noise-only model."""
+    counts = column.base_counts()
+    alt_count = counts.get(alt_base, 0)
+    if column.depth == 0:
+        return 0.0
+    fraction = max(1e-3, alt_count / column.depth)
+    with_mutation = _log10_likelihood(column, ref_base, alt_base, fraction)
+    noise_only = _log10_likelihood(column, ref_base, alt_base, 0.0)
+    return with_mutation - noise_only
+
+
+def normal_lod(column: PileupColumn, ref_base: str, alt_base: str) -> float:
+    """LOD that the normal is homozygous reference vs het germline."""
+    reference_model = _log10_likelihood(column, ref_base, alt_base, 0.0)
+    germline_het = _log10_likelihood(column, ref_base, alt_base, 0.5)
+    return reference_model - germline_het
+
+
+class MutectLite:
+    """Paired tumor/normal somatic point-mutation caller."""
+
+    name = "Mutect"
+
+    def __init__(self, reference: ReferenceGenome,
+                 config: Optional[MutectConfig] = None):
+        self.reference = reference
+        self.config = config or MutectConfig()
+
+    def call(
+        self,
+        tumor_records: Iterable[SamRecord],
+        normal_records: Iterable[SamRecord],
+        interval: Optional[GenomicInterval] = None,
+    ) -> List[VariantRecord]:
+        """Somatic SNVs present in the tumor but absent in the normal."""
+        config = self.config
+        tumor_columns = {
+            (c.contig, c.pos): c
+            for c in build_pileup(tumor_records, self.reference, interval,
+                                  config.pileup)
+        }
+        normal_columns = {
+            (c.contig, c.pos): c
+            for c in build_pileup(normal_records, self.reference, interval,
+                                  config.pileup)
+        }
+        calls: List[VariantRecord] = []
+        for (contig, pos), tumor_column in sorted(tumor_columns.items()):
+            if tumor_column.depth < config.min_tumor_depth:
+                continue
+            ref_base = self.reference.base_at(contig, pos)
+            counts = tumor_column.base_counts()
+            alt_candidates = [
+                (count, base) for base, count in counts.items()
+                if base != ref_base and count >= config.min_alt_count
+            ]
+            if not alt_candidates:
+                continue
+            _, alt_base = max(alt_candidates)
+
+            t_lod = tumor_lod(tumor_column, ref_base, alt_base)
+            if t_lod < config.tumor_lod_threshold:
+                continue
+
+            normal_column = normal_columns.get((contig, pos))
+            if (
+                normal_column is None
+                or normal_column.depth < config.min_normal_depth
+            ):
+                continue  # cannot establish somatic status
+            n_lod = normal_lod(normal_column, ref_base, alt_base)
+            if n_lod < config.normal_lod_threshold:
+                continue  # looks germline (or normal is contaminated)
+
+            alt_count = counts.get(alt_base, 0)
+            info = column_annotations(tumor_column, ref_base, alt_base)
+            info["TLOD"] = round(t_lod, 3)
+            info["NLOD"] = round(n_lod, 3)
+            info["AF"] = round(alt_count / tumor_column.depth, 4)
+            calls.append(
+                VariantRecord(
+                    contig, pos, ref_base, alt_base,
+                    qual=round(10.0 * t_lod, 2),
+                    genotype="0/1",
+                    info=info,
+                )
+            )
+        return calls

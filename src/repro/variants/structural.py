@@ -1,0 +1,210 @@
+"""GASVLite: structural variant detection from discordant read pairs.
+
+The paper's pipeline is "currently testing GASV [33] and somatic
+mutation algorithms" for large structural variants that span thousands
+of bases (section 2.1); this module implements the discordant-pair core
+of that family of algorithms:
+
+* estimate the proper insert-size distribution from concordant pairs;
+* collect *discordant* pairs — FR pairs whose implied fragment is far
+  longer than expected (deletion signature) or same-strand pairs
+  (inversion signature);
+* cluster discordant pairs whose breakpoint intervals agree;
+* call an SV per sufficiently supported cluster.
+
+Like the small-variant callers it runs per range partition, so it slots
+directly into a Round-5-style map-only job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.formats.sam import SamRecord
+
+DELETION = "DEL"
+INVERSION = "INV"
+
+
+class StructuralVariantCall:
+    """One structural variant call."""
+
+    __slots__ = ("contig", "start", "end", "kind", "support", "size_estimate")
+
+    def __init__(self, contig: str, start: int, end: int, kind: str,
+                 support: int, size_estimate: float):
+        self.contig = contig
+        self.start = start
+        self.end = end
+        self.kind = kind
+        #: Number of discordant pairs supporting the call.
+        self.support = support
+        #: Estimated SV length from the insert-size excess.
+        self.size_estimate = size_estimate
+
+    def overlaps(self, contig: str, start: int, end: int,
+                 margin: int = 0) -> bool:
+        return (
+            contig == self.contig
+            and self.start - margin < end
+            and start < self.end + margin
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StructuralVariantCall({self.kind} {self.contig}:"
+            f"{self.start}-{self.end}, support={self.support}, "
+            f"~{self.size_estimate:.0f}bp)"
+        )
+
+
+class GASVConfig:
+    """Thresholds of the discordant-pair caller."""
+
+    def __init__(
+        self,
+        discordant_z: float = 4.0,
+        min_support: int = 4,
+        cluster_slack: int = 150,
+        min_mapq: int = 20,
+    ):
+        #: Insert sizes more than this many SDs above the mean are
+        #: deletion-discordant.
+        self.discordant_z = discordant_z
+        self.min_support = min_support
+        #: Max distance between pair intervals merged into one cluster.
+        self.cluster_slack = cluster_slack
+        self.min_mapq = min_mapq
+
+
+class _DiscordantPair:
+    __slots__ = ("contig", "left_end", "right_start", "insert", "kind")
+
+    def __init__(self, contig: str, left_end: int, right_start: int,
+                 insert: int, kind: str):
+        self.contig = contig
+        #: Rightmost base of the left read (breakpoint lower bound).
+        self.left_end = left_end
+        #: Leftmost base of the right read (breakpoint upper bound).
+        self.right_start = right_start
+        self.insert = insert
+        self.kind = kind
+
+
+def estimate_insert_distribution(
+    records: Sequence[SamRecord],
+) -> Tuple[float, float]:
+    """Mean/sd of |TLEN| over proper pairs (trimmed of the top 5%)."""
+    inserts = sorted(
+        record.tlen
+        for record in records
+        if record.flags.is_proper_pair and record.tlen > 0
+    )
+    if not inserts:
+        return (0.0, 1.0)
+    trimmed = inserts[: max(1, int(0.95 * len(inserts)))]
+    mean = sum(trimmed) / len(trimmed)
+    var = sum((x - mean) ** 2 for x in trimmed) / max(1, len(trimmed) - 1)
+    return (mean, math.sqrt(max(var, 1.0)))
+
+
+class GASVLite:
+    """Discordant-pair structural variant caller."""
+
+    name = "GASV"
+
+    def __init__(self, config: Optional[GASVConfig] = None):
+        self.config = config or GASVConfig()
+
+    def call(self, records: Iterable[SamRecord]) -> List[StructuralVariantCall]:
+        """Call SVs over (a partition of) a coordinate-sorted dataset."""
+        records = list(records)
+        mean, sd = estimate_insert_distribution(records)
+        if mean <= 0:
+            return []
+        threshold = mean + self.config.discordant_z * sd
+        discordant = self._collect_discordant(records, threshold)
+        calls: List[StructuralVariantCall] = []
+        for kind in (DELETION, INVERSION):
+            pairs = [p for p in discordant if p.kind == kind]
+            calls.extend(self._cluster(pairs, kind, mean))
+        calls.sort(key=lambda call: (call.contig, call.start))
+        return calls
+
+    # -- discordant pair collection ----------------------------------------
+    def _collect_discordant(
+        self, records: List[SamRecord], deletion_threshold: float
+    ) -> List[_DiscordantPair]:
+        by_name: Dict[str, List[SamRecord]] = {}
+        for record in records:
+            if (
+                record.flags.is_unmapped
+                or not record.flags.is_primary
+                or record.flags.is_duplicate
+                or record.mapq < self.config.min_mapq
+            ):
+                continue
+            by_name.setdefault(record.qname, []).append(record)
+
+        discordant: List[_DiscordantPair] = []
+        for ends in by_name.values():
+            if len(ends) != 2:
+                continue
+            first, second = sorted(ends, key=lambda r: r.pos)
+            if first.rname != second.rname:
+                continue
+            same_strand = first.flags.is_reverse == second.flags.is_reverse
+            insert = second.reference_end - first.pos + 1
+            if same_strand:
+                discordant.append(
+                    _DiscordantPair(
+                        first.rname, first.reference_end, second.pos,
+                        insert, INVERSION,
+                    )
+                )
+            elif insert > deletion_threshold and not first.flags.is_reverse:
+                discordant.append(
+                    _DiscordantPair(
+                        first.rname, first.reference_end, second.pos,
+                        insert, DELETION,
+                    )
+                )
+        return discordant
+
+    # -- clustering ------------------------------------------------------------
+    def _cluster(
+        self, pairs: List[_DiscordantPair], kind: str, mean_insert: float
+    ) -> List[StructuralVariantCall]:
+        calls: List[StructuralVariantCall] = []
+        pairs = sorted(pairs, key=lambda p: (p.contig, p.left_end))
+        cluster: List[_DiscordantPair] = []
+
+        def flush() -> None:
+            if len(cluster) < self.config.min_support:
+                cluster.clear()
+                return
+            contig = cluster[0].contig
+            # The SV lies between the innermost read ends of the cluster.
+            start = max(p.left_end for p in cluster) + 1
+            end = min(p.right_start for p in cluster) - 1
+            if end <= start:
+                mid = (start + end) // 2
+                start, end = mid, mid + 1
+            size = sum(p.insert for p in cluster) / len(cluster) - mean_insert
+            calls.append(
+                StructuralVariantCall(
+                    contig, start, end, kind, len(cluster), max(size, 0.0)
+                )
+            )
+            cluster.clear()
+
+        for pair in pairs:
+            if cluster and (
+                pair.contig != cluster[-1].contig
+                or pair.left_end - cluster[-1].left_end > self.config.cluster_slack
+            ):
+                flush()
+            cluster.append(pair)
+        flush()
+        return calls

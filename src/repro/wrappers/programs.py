@@ -1,0 +1,136 @@
+"""External-program adapters for Hadoop Streaming (Fig 8).
+
+``BwaExternal`` and ``SamToBamExternal`` are the in-process stand-ins
+for the two C programs Round 1 pipes together inside one map task:
+interleaved FASTQ text goes in, BAM bytes come out, with every byte
+crossing a pipe accounted for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.align.pairing import PairedEndAligner
+from repro.formats.bam import bam_bytes
+from repro.formats.fastq import FastqRecord, ReadPair
+from repro.formats.sam import SamHeader, SamRecord, decode_quals
+from repro.errors import FormatError
+from repro.mapreduce.streaming import ExternalProgram
+
+
+def pairs_to_interleaved_text(pairs: List[ReadPair]) -> str:
+    """Serialize read pairs as interleaved FASTQ text."""
+    chunks = []
+    for fwd, rev in pairs:
+        chunks.append(fwd.to_text())
+        chunks.append(rev.to_text())
+    return "".join(chunks)
+
+
+def interleaved_text_to_pairs(text: str) -> List[ReadPair]:
+    """Parse interleaved FASTQ text back into read pairs."""
+    lines = [line for line in text.split("\n") if line]
+    if len(lines) % 8 != 0:
+        raise FormatError("interleaved FASTQ must hold whole pairs")
+    pairs: List[ReadPair] = []
+    for start in range(0, len(lines), 8):
+        fwd = _fastq_from_lines(lines[start : start + 4])
+        rev = _fastq_from_lines(lines[start + 4 : start + 8])
+        pairs.append((fwd, rev))
+    return pairs
+
+
+def _fastq_from_lines(lines: List[str]) -> FastqRecord:
+    if not lines[0].startswith("@") or not lines[2].startswith("+"):
+        raise FormatError("malformed FASTQ block")
+    return FastqRecord(lines[0][1:], lines[1], decode_quals(lines[3]))
+
+
+class BwaExternal(ExternalProgram):
+    """The wrapped aligner: FASTQ text in, SAM text out.
+
+    One instance per map task, so each task gets its own batch
+    statistics — which is precisely how partitioning perturbs Bwa's
+    output in the paper.
+    """
+
+    name = "bwa-mem"
+
+    def __init__(self, aligner: PairedEndAligner):
+        self.aligner = aligner
+
+    def process(self, stdin: bytes) -> bytes:
+        pairs = interleaved_text_to_pairs(stdin.decode())
+        records = self.aligner.align_batch(pairs)
+        header_text = self.aligner.header().to_text()
+        body = "\n".join(record.to_line() for record in records)
+        return (header_text + body + "\n").encode()
+
+
+class SamToBamExternal(ExternalProgram):
+    """Single-threaded SAM-to-BAM converter (second pipe stage)."""
+
+    name = "samtobam"
+
+    def __init__(self, chunk_bytes: int = 64 * 1024):
+        self.chunk_bytes = chunk_bytes
+
+    def process(self, stdin: bytes) -> bytes:
+        header_lines: List[str] = []
+        records: List[SamRecord] = []
+        for line in stdin.decode().split("\n"):
+            if not line:
+                continue
+            if line.startswith("@"):
+                header_lines.append(line)
+            else:
+                records.append(SamRecord.from_line(line))
+        header = SamHeader.from_text("\n".join(header_lines))
+        return bam_bytes(header, records, self.chunk_bytes)
+
+
+class DataTransformAccounting:
+    """Bytes copied between Hadoop objects and in-memory BAM files.
+
+    Each wrapped Java program pays a copy-and-convert cost on both its
+    input and its output (Fig 6a, 12-49% of task time); this counter
+    makes that cost observable in the functional engine so the
+    simulator's fractions are grounded in real byte counts.
+    """
+
+    def __init__(self):
+        self.bytes_to_program = 0
+        self.bytes_from_program = 0
+        self.invocations = 0
+
+    def record_input(self, records: List[SamRecord]) -> None:
+        self.bytes_to_program += sum(len(r.to_line()) + 1 for r in records)
+        self.invocations += 1
+
+    def record_output(self, records: List[SamRecord]) -> None:
+        self.bytes_from_program += sum(len(r.to_line()) + 1 for r in records)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_to_program + self.bytes_from_program
+
+    def __repr__(self) -> str:
+        return (
+            f"DataTransformAccounting(in={self.bytes_to_program}B, "
+            f"out={self.bytes_from_program}B, calls={self.invocations})"
+        )
+
+
+def run_wrapped(
+    program,
+    header: SamHeader,
+    records: List[SamRecord],
+    accounting: Optional[DataTransformAccounting] = None,
+):
+    """Invoke a wrapped Java-style program with transform accounting."""
+    if accounting is not None:
+        accounting.record_input(records)
+    out_header, out_records = program.run(header, records)
+    if accounting is not None:
+        accounting.record_output(out_records)
+    return out_header, out_records

@@ -1,0 +1,552 @@
+"""The five MapReduce rounds of the Gesall pipeline (Appendix A.2).
+
+Round 1  map-only   Bwa alignment + SamToBam via Hadoop Streaming
+Round 2  full MR    AddReplaceReadGroups + CleanSam (map), shuffle by
+                    read name, FixMateInformation (reduce)
+Round 3  full MR    compound-key extraction (map), shuffle, SortSam +
+                    MarkDuplicates (reduce); reg or opt (bloom) variant
+Round 4  full MR    range partition by chromosome, sort + BAM index
+Round 5  map-only   Haplotype Caller per sorted, indexed partition
+
+Optional extra rounds implement BaseRecalibrator (group partitioning by
+covariate) and PrintReads, matching Table 2 steps 7-8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.align.pairing import PairedEndAligner
+from repro.cleaning.clean_sam import CleanSam
+from repro.cleaning.duplicates import pair_score
+from repro.cleaning.fix_mate import FixMateInformation
+from repro.cleaning.read_groups import AddOrReplaceReadGroups
+from repro.cleaning.sort import SortSam, coordinate_key
+from repro.errors import PipelineError
+from repro.formats.bam import BamLinearIndex, bam_bytes, read_bam
+from repro.formats.fastq import ReadPair
+from repro.formats.sam import SamHeader, SamRecord
+from repro.formats.vcf import VariantRecord, sort_variants
+from repro.gdpt.bloom import BloomFilter
+from repro.gdpt.partitioner import (
+    PAIR_VALUE,
+    PARTIAL_VALUE,
+    PASSTHROUGH_VALUE,
+    SHADOW_VALUE,
+    MarkDupKeying,
+    RangePartitioner,
+)
+from repro.genome.regions import GenomicInterval
+from repro.hdfs.bam_storage import upload_logical_partitions
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.engine import JobResult, MapReduceEngine
+from repro.mapreduce.job import InputSplit, JobConf
+from repro.mapreduce.streaming import StreamingPipeline
+from repro.recal.apply import PrintReads
+from repro.recal.recalibrator import BaseRecalibrator, RecalibrationTable
+from repro.variants.haplotype import HaplotypeCallerConfig, HaplotypeCallerLite
+from repro.wrappers.programs import (
+    BwaExternal,
+    DataTransformAccounting,
+    SamToBamExternal,
+    pairs_to_interleaved_text,
+    run_wrapped,
+)
+
+
+def _records_by_pair(records: List[SamRecord]) -> List[Tuple[SamRecord, SamRecord]]:
+    """Group a read-name-grouped record stream into pairs."""
+    open_reads: Dict[str, SamRecord] = {}
+    pairs: List[Tuple[SamRecord, SamRecord]] = []
+    for record in records:
+        mate = open_reads.pop(record.qname, None)
+        if mate is None:
+            open_reads[record.qname] = record
+        else:
+            pairs.append((mate, record))
+    if open_reads:
+        raise PipelineError(
+            f"{len(open_reads)} reads missing mates in a read-name partition"
+        )
+    return pairs
+
+
+class GesallRounds:
+    """Builds and runs the pipeline rounds over HDFS + the MR engine."""
+
+    def __init__(
+        self,
+        hdfs: Hdfs,
+        engine: MapReduceEngine,
+        aligner: PairedEndAligner,
+        reference,
+        chunk_bytes: int = 16 * 1024,
+    ):
+        self.hdfs = hdfs
+        self.engine = engine
+        self.aligner = aligner
+        self.reference = reference
+        self.chunk_bytes = chunk_bytes
+        #: Per-round accounting, keyed by round name.
+        self.results: Dict[str, JobResult] = {}
+        self.transform: Dict[str, DataTransformAccounting] = {}
+        self.streaming_stats = None
+
+    # ------------------------------------------------------------------
+    # Round 1: map-only alignment via Hadoop Streaming
+    # ------------------------------------------------------------------
+    def round1_alignment(
+        self, partitions: List[List[ReadPair]], out_dir: str = "/round1"
+    ) -> List[str]:
+        """Each map task streams its FASTQ partition through Bwa+SamToBam."""
+        hdfs = self.hdfs
+        chunk_bytes = self.chunk_bytes
+        aligner = self.aligner
+        holder: Dict[str, object] = {}
+
+        def mapper(payload, ctx):
+            index, pairs = payload
+            pipeline = StreamingPipeline(
+                [BwaExternal(aligner), SamToBamExternal(chunk_bytes)]
+            )
+            fastq_bytes = pairs_to_interleaved_text(pairs).encode()
+            bam_data = pipeline.run(fastq_bytes)
+            holder["streaming"] = pipeline.stats
+            path = f"{out_dir}/part-{index:05d}.bam"
+            hdfs.put(path, bam_data, logical_partition=True)
+            ctx.emit(path, len(pairs))
+
+        job = JobConf("round1-alignment", mapper)
+        splits = [
+            InputSplit(
+                f"fastq-{index:05d}",
+                (index, partition),
+                preferred_node=self.engine.nodes[index % len(self.engine.nodes)],
+            )
+            for index, partition in enumerate(partitions)
+        ]
+        result = self.engine.run(job, splits)
+        self.results["round1"] = result
+        self.streaming_stats = holder.get("streaming")
+        return [key for key, _ in result.all_outputs()]
+
+    # ------------------------------------------------------------------
+    # Round 2: cleaning (map) -> shuffle by read name -> FixMateInfo (reduce)
+    # ------------------------------------------------------------------
+    def round2_cleaning(
+        self, in_paths: List[str], out_dir: str = "/round2",
+        num_reducers: int = 4,
+    ) -> List[str]:
+        hdfs = self.hdfs
+        accounting = DataTransformAccounting()
+        self.transform["round2"] = accounting
+
+        def mapper(path, ctx):
+            header, records = read_bam(hdfs.get(path))
+            header, records = run_wrapped(
+                AddOrReplaceReadGroups(), header, records, accounting
+            )
+            header, records = run_wrapped(CleanSam(), header, records, accounting)
+            for record in records:
+                ctx.emit(record.qname, record)
+
+        def reducer(qname, records, ctx):
+            del qname
+            header = SamHeader(sequences=self.reference.sam_sequences())
+            _, fixed = run_wrapped(
+                FixMateInformation(), header, list(records), accounting
+            )
+            for record in fixed:
+                ctx.emit(record.qname, record)
+
+        job = JobConf(
+            "round2-cleaning", mapper, reducer, num_reducers=num_reducers
+        )
+        splits = [InputSplit(path, path) for path in in_paths]
+        result = self.engine.run(job, splits)
+        self.results["round2"] = result
+        return self._write_reduce_partitions(result, out_dir, "queryname")
+
+    # ------------------------------------------------------------------
+    # Round 2.5 (opt only): bloom filter over partial-match 5' positions
+    # ------------------------------------------------------------------
+    def round_bloom(self, in_paths: List[str],
+                    num_bits: int = 1 << 16) -> BloomFilter:
+        hdfs = self.hdfs
+
+        def mapper(path, ctx):
+            _, records = read_bam(hdfs.get(path))
+            local = BloomFilter(num_bits=num_bits)
+            for end1, end2 in _records_by_pair(records):
+                mapped1 = not end1.flags.is_unmapped
+                mapped2 = not end2.flags.is_unmapped
+                if mapped1 == mapped2:
+                    continue
+                mapped = end1 if mapped1 else end2
+                local.add((mapped.rname, mapped.unclipped_five_prime))
+            ctx.emit("bloom", local)
+
+        job = JobConf("round-bloom", mapper)
+        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
+        self.results["round_bloom"] = result
+        merged = BloomFilter(num_bits=num_bits)
+        for _, partial in result.all_outputs():
+            merged.merge(partial)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Round 3: MarkDuplicates (reg or opt)
+    # ------------------------------------------------------------------
+    def round3_mark_duplicates(
+        self,
+        in_paths: List[str],
+        mode: str = "opt",
+        bloom: Optional[BloomFilter] = None,
+        out_dir: str = "/round3",
+        num_reducers: int = 4,
+    ) -> List[str]:
+        if mode == "opt" and bloom is None:
+            bloom = self.round_bloom(in_paths)
+        hdfs = self.hdfs
+        accounting = DataTransformAccounting()
+        self.transform["round3"] = accounting
+
+        def mapper(path, ctx):
+            keying = MarkDupKeying(mode, bloom)
+            keying.reset()
+            _, records = read_bam(hdfs.get(path))
+            accounting.record_input(records)
+            for end1, end2 in _records_by_pair(records):
+                for key, value in keying.keys_for_pair(end1, end2):
+                    ctx.emit(key, value)
+
+        def reducer(key, values, ctx):
+            for record in _reduce_markdup_group(key, list(values)):
+                ctx.emit(record.qname, record)
+                accounting.record_output([record])
+
+        job = JobConf(
+            f"round3-markdup-{mode}", mapper, reducer,
+            num_reducers=num_reducers,
+        )
+        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
+        self.results["round3"] = result
+        return self._write_reduce_partitions(
+            result, out_dir, "coordinate", sort_coordinate=True
+        )
+
+    # ------------------------------------------------------------------
+    # Round 4: range partition by chromosome, sort, index
+    # ------------------------------------------------------------------
+    def round4_sort_index(
+        self, in_paths: List[str], out_dir: str = "/round4"
+    ) -> List[str]:
+        hdfs = self.hdfs
+        header = SamHeader(sequences=self.reference.sam_sequences())
+        ranger = RangePartitioner(header)
+        contigs = header.sequence_names()
+
+        def mapper(path, ctx):
+            _, records = read_bam(hdfs.get(path))
+            for record in records:
+                index = ranger.partition_of(record)
+                if index is not None:
+                    ctx.emit(contigs[index], record)
+
+        def reducer(contig, records, ctx):
+            for record in records:
+                ctx.emit(contig, record)
+
+        def partitioner(key, num_reducers):
+            return contigs.index(key) % num_reducers
+
+        job = JobConf(
+            "round4-sort", mapper, reducer,
+            partitioner=partitioner, num_reducers=len(contigs),
+        )
+        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
+        self.results["round4"] = result
+
+        out_paths = []
+        key = coordinate_key(header)
+        for reducer_index in sorted(result.reduce_outputs):
+            records = [v for _, v in result.reduce_outputs[reducer_index]]
+            if not records:
+                continue
+            records.sort(key=key)
+            sorted_header = header.copy()
+            sorted_header.sort_order = "coordinate"
+            contig = records[0].rname
+            path = f"{out_dir}/{contig}.bam"
+            data = bam_bytes(sorted_header, records, self.chunk_bytes)
+            hdfs.put(path, data, logical_partition=True)
+            index = BamLinearIndex.build(data)
+            hdfs.put(path + ".bai", index.to_bytes(), logical_partition=True)
+            out_paths.append(path)
+        return out_paths
+
+    # ------------------------------------------------------------------
+    # Round 5: map-only Haplotype Caller over chromosome partitions
+    # ------------------------------------------------------------------
+    def round5_haplotype_caller(
+        self,
+        in_paths: List[str],
+        hc_config: Optional[HaplotypeCallerConfig] = None,
+    ) -> List[VariantRecord]:
+        hdfs = self.hdfs
+        reference = self.reference
+
+        def mapper(path, ctx):
+            _, records = read_bam(hdfs.get(path))
+            caller = HaplotypeCallerLite(reference, hc_config)
+            contig = records[0].rname if records else None
+            interval = (
+                GenomicInterval(contig, 1, reference.contig_length(contig) + 1)
+                if contig
+                else None
+            )
+            for call in caller.call(records, interval):
+                ctx.emit(call.site_key(), call)
+
+        job = JobConf("round5-haplotypecaller", mapper)
+        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
+        self.results["round5"] = result
+        return sort_variants(v for _, v in result.all_outputs())
+
+    # ------------------------------------------------------------------
+    # Round 5 variants
+    # ------------------------------------------------------------------
+    def round5_unified_genotyper(
+        self, in_paths: List[str], ug_config=None
+    ) -> List[VariantRecord]:
+        """Table 2 step v1: Unified Genotyper per chromosome partition.
+
+        Same non-overlapping range partitioning as Haplotype Caller
+        (the scheme NYGC bioinformaticians accept, section 3.2).
+        """
+        from repro.variants.genotyper import UnifiedGenotyperLite
+
+        hdfs = self.hdfs
+        reference = self.reference
+
+        def mapper(path, ctx):
+            _, records = read_bam(hdfs.get(path))
+            caller = UnifiedGenotyperLite(reference, ug_config)
+            for call in caller.call(records):
+                ctx.emit(call.site_key(), call)
+
+        job = JobConf("round5-unifiedgenotyper", mapper)
+        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
+        self.results["round5_ug"] = result
+        return sort_variants(v for _, v in result.all_outputs())
+
+    def round5_haplotype_caller_finegrained(
+        self,
+        in_paths: List[str],
+        segment_length: int,
+        hc_config: Optional[HaplotypeCallerConfig] = None,
+        overlap: Optional[int] = None,
+    ) -> List[VariantRecord]:
+        """Fine-grained overlapping range partitioning for Round 5.
+
+        Splits every chromosome into ``segment_length`` cores padded by
+        ``overlap`` (default: the caller's safety bound from
+        :func:`repro.variants.haplotype.required_overlap`), replicating
+        boundary reads, and emits only calls inside each core — the
+        advanced scheme section 3.2 designs to recover the degree of
+        parallelism Round 5 loses with 23 chromosome partitions.
+        """
+        from repro.gdpt.partitioner import OverlappingRangePartitioner
+        from repro.variants.haplotype import required_overlap
+
+        hc_config = hc_config or HaplotypeCallerConfig()
+        if overlap is None:
+            overlap = required_overlap(hc_config)
+        hdfs = self.hdfs
+        reference = self.reference
+        header = SamHeader(sequences=reference.sam_sequences())
+        ranger = OverlappingRangePartitioner(header, segment_length, overlap)
+
+        def mapper(path, ctx):
+            _, records = read_bam(hdfs.get(path))
+            for record in records:
+                for index in ranger.partitions_of(record):
+                    ctx.emit(index, record)
+
+        def reducer(index, records, ctx):
+            caller = HaplotypeCallerLite(reference, hc_config)
+            padded = ranger.padded[index]
+            core = ranger.cores[index]
+            clipped = GenomicInterval(
+                padded.contig,
+                padded.start,
+                min(padded.end, reference.contig_length(padded.contig) + 1),
+            )
+            for call in caller.call(records, clipped, emit_interval=core):
+                ctx.emit(call.site_key(), call)
+
+        job = JobConf(
+            "round5-hc-finegrained", mapper, reducer,
+            partitioner=lambda key, n: key % n,
+            num_reducers=ranger.num_partitions,
+        )
+        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
+        self.results["round5_finegrained"] = result
+        return sort_variants(v for _, v in result.all_outputs())
+
+    def round5_structural_variants(self, in_paths: List[str],
+                                   gasv_config=None):
+        """Large structural variant detection (GASV, section 2.1).
+
+        Map-only over the sorted chromosome partitions, like the other
+        Round 5 variants — one GASVLite instance per chromosome.
+        """
+        from repro.variants.structural import GASVLite
+
+        hdfs = self.hdfs
+
+        def mapper(path, ctx):
+            _, records = read_bam(hdfs.get(path))
+            caller = GASVLite(gasv_config)
+            for call in caller.call(records):
+                ctx.emit((call.contig, call.start), call)
+
+        job = JobConf("round5-gasv", mapper)
+        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
+        self.results["round5_sv"] = result
+        return sorted(
+            (v for _, v in result.all_outputs()),
+            key=lambda call: (call.contig, call.start),
+        )
+
+    # ------------------------------------------------------------------
+    # Optional rounds: BaseRecalibrator (group by covariate) + PrintReads
+    # ------------------------------------------------------------------
+    def round_recalibrate(
+        self, in_paths: List[str], known_sites=None
+    ) -> RecalibrationTable:
+        """Group partitioning by covariate: partial tables merged in reduce."""
+        hdfs = self.hdfs
+        recalibrator = BaseRecalibrator(self.reference, known_sites)
+
+        def mapper(path, ctx):
+            _, records = read_bam(hdfs.get(path))
+            partial = RecalibrationTable()
+            for record in records:
+                recalibrator.add_record(partial, record)
+            # Emit one partial table per read-group covariate partition.
+            ctx.emit("table", partial)
+
+        def reducer(key, partials, ctx):
+            merged = RecalibrationTable()
+            for partial in partials:
+                merged.merge(partial)
+            ctx.emit(key, merged)
+
+        job = JobConf("round-recal", mapper, reducer, num_reducers=1)
+        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
+        self.results["round_recal"] = result
+        table = RecalibrationTable()
+        for _, merged in result.all_outputs():
+            table.merge(merged)
+        return table
+
+    def round_print_reads(
+        self, in_paths: List[str], table: RecalibrationTable,
+        out_dir: str = "/round_bqsr",
+    ) -> List[str]:
+        """Map-only quality rewrite with the broadcast table."""
+        hdfs = self.hdfs
+        out_paths: List[str] = []
+
+        def mapper(payload, ctx):
+            index, path = payload
+            header, records = read_bam(hdfs.get(path))
+            header, rewritten = PrintReads(table).run(header, records)
+            out_path = f"{out_dir}/part-{index:05d}.bam"
+            hdfs.put(
+                out_path,
+                bam_bytes(header, rewritten, self.chunk_bytes),
+                logical_partition=True,
+            )
+            ctx.emit(out_path, len(rewritten))
+
+        job = JobConf("round-printreads", mapper)
+        splits = [
+            InputSplit(path, (index, path))
+            for index, path in enumerate(in_paths)
+        ]
+        result = self.engine.run(job, splits)
+        self.results["round_print_reads"] = result
+        return [key for key, _ in result.all_outputs()]
+
+    # -- shared output writer -------------------------------------------------
+    def _write_reduce_partitions(
+        self, result: JobResult, out_dir: str, sort_order: str,
+        sort_coordinate: bool = False,
+    ) -> List[str]:
+        header = SamHeader(
+            sequences=self.reference.sam_sequences(), sort_order=sort_order
+        )
+        partitions = []
+        key = coordinate_key(header)
+        for reducer_index in sorted(result.reduce_outputs):
+            records = [v for _, v in result.reduce_outputs[reducer_index]]
+            if sort_coordinate:
+                records.sort(key=key)
+            partitions.append(records)
+        return upload_logical_partitions(
+            self.hdfs, out_dir, header, partitions, chunk_bytes=self.chunk_bytes
+        )
+
+
+def _reduce_markdup_group(key, values) -> List[SamRecord]:
+    """Duplicate decisions for one shuffled MarkDuplicates group."""
+    kind = key[0]
+    out: List[SamRecord] = []
+    if kind == "P":
+        pairs = [
+            (end1.copy(), end2.copy())
+            for tag, end1, end2 in values
+            if tag == PAIR_VALUE
+        ]
+        if not pairs:
+            return out
+        best_index = max(
+            range(len(pairs)), key=lambda i: pair_score(pairs[i][0], pairs[i][1])
+        )
+        for index, (end1, end2) in enumerate(pairs):
+            is_dup = index != best_index and len(pairs) > 1
+            end1.set_duplicate(is_dup)
+            end2.set_duplicate(is_dup)
+            out.append(end1)
+            out.append(end2)
+        return out
+    if kind == "F":
+        shadows = [value for value in values if value[0] == SHADOW_VALUE]
+        partials = [
+            (mapped.copy(), unmapped.copy())
+            for tag, mapped, unmapped in (
+                value for value in values if value[0] == PARTIAL_VALUE
+            )
+        ]
+        if not partials:
+            return out  # only shadows arrived: nothing to emit
+        if shadows:
+            survivor = None  # a complete pair occupies this position
+        else:
+            survivor = max(
+                range(len(partials)),
+                key=lambda i: partials[i][0].sum_of_base_qualities(),
+            )
+        for index, (mapped, unmapped) in enumerate(partials):
+            mapped.set_duplicate(index != survivor)
+            out.append(mapped)
+            out.append(unmapped)
+        return out
+    # Passthrough: both-unmapped pairs.
+    for tag, end1, end2 in values:
+        if tag == PASSTHROUGH_VALUE:
+            out.append(end1.copy())
+            out.append(end2.copy())
+    return out

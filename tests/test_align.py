@@ -1,0 +1,291 @@
+"""Unit tests for the aligner stack: SW kernels, index, candidates,
+pairing, and the batch-dependence artifacts."""
+
+import pytest
+
+from repro.align.aligner import AlignerConfig, BwaMemLite
+from repro.align.index import ReferenceIndex
+from repro.align.pairing import (
+    InsertSizeEstimate,
+    PairedEndAligner,
+    _fr_insert_size,
+    _stable_batch_seed,
+)
+from repro.align.sw import (
+    align_candidate,
+    banded_local_alignment,
+    ungapped_alignment,
+)
+from repro.errors import AlignmentError
+from repro.formats.fastq import FastqRecord
+from repro.genome.reference import ReferenceGenome, reverse_complement
+from repro.genome.simulate import ReadSimulationConfig, simulate_reads
+
+
+class TestUngapped:
+    def test_perfect_match(self):
+        result = ungapped_alignment("ACGT", "TTACGTTT", 2, max_mismatches=0)
+        assert result is not None
+        assert result.score == 4
+        assert str(result.cigar) == "4M"
+        assert result.ref_offset == 2
+
+    def test_mismatch_scoring(self):
+        result = ungapped_alignment("ACGT", "TTACCTTT", 2, max_mismatches=2)
+        assert result is not None
+        assert result.mismatches == 1
+        assert result.score == 3 * 1 + 1 * (-4)
+
+    def test_exceeds_mismatch_budget(self):
+        assert ungapped_alignment("AAAA", "TTTTTTTT", 2, max_mismatches=2) is None
+
+    def test_out_of_window(self):
+        assert ungapped_alignment("ACGT", "ACG", 0, max_mismatches=0) is None
+        assert ungapped_alignment("ACGT", "AACGT", -1, max_mismatches=0) is None
+
+
+class TestBandedLocal:
+    def test_exact_match(self):
+        result = banded_local_alignment("ACGTACGT", "TTACGTACGTTT")
+        assert result is not None
+        assert result.cigar.query_length() == 8
+
+    def test_detects_deletion(self):
+        # Long flanks make bridging the 2-base deletion worth the gap
+        # penalty (with short flanks a local aligner correctly clips).
+        left, right = "ACGTAGGCTAAC" * 2, "TGCATCCGATTG" * 2
+        window = "GG" + left + "TT" + right + "GG"
+        result = banded_local_alignment(left + right, window)
+        assert result is not None
+        assert any(op == "D" for _, op in result.cigar)
+
+    def test_detects_insertion(self):
+        left, right = "ACGTAGGCTAAC" * 2, "TGCATCCGATTG" * 2
+        window = "GG" + left + right + "GG"
+        result = banded_local_alignment(left + "TT" + right, window)
+        assert result is not None
+        assert any(op == "I" for _, op in result.cigar)
+
+    def test_soft_clips_unaligned_ends(self):
+        result = banded_local_alignment("TTTTACGTACGTACGT", "ACGTACGTACGTGGGG")
+        assert result is not None
+        assert result.cigar.leading_clip() > 0
+
+    def test_empty_inputs(self):
+        assert banded_local_alignment("", "ACGT") is None
+        assert banded_local_alignment("ACGT", "") is None
+
+    def test_align_candidate_falls_back_to_banded(self):
+        # Placement with an insertion: ungapped fails, banded succeeds.
+        left, right = "ACGTAGGCTAAC" * 2, "TGCATCCGATTG" * 2
+        window = "GG" + left + right + "GG"
+        result = align_candidate(
+            left + "C" + right, window, 2, max_ungapped_mismatches=1
+        )
+        assert result is not None
+        assert any(op == "I" for _, op in result.cigar)
+
+
+class TestIndex:
+    def test_lookup_finds_planted_kmer(self):
+        seq = "ACGT" * 30
+        genome = ReferenceGenome({"chr1": seq})
+        index = ReferenceIndex(genome, k=8, max_hits_per_kmer=200)
+        hits = index.lookup(seq[:8])
+        assert ("chr1", 1) in hits
+
+    def test_repetitive_kmers_dropped(self):
+        genome = ReferenceGenome({"chr1": "A" * 500})
+        index = ReferenceIndex(genome, k=8, max_hits_per_kmer=16)
+        assert index.lookup("A" * 8) == []
+        assert index.is_repetitive("A" * 8)
+
+    def test_wrong_query_length_rejected(self, ref_index):
+        with pytest.raises(AlignmentError):
+            ref_index.lookup("ACGT")
+
+    def test_seed_read_offsets(self, ref_index, reference):
+        read = reference.fetch("chr1", 501, 601)
+        seeds = list(ref_index.seed_read(read, stride=10))
+        assert any(
+            hit == ("chr1", 501 + offset) for offset, hit in seeds
+        )
+
+    def test_too_small_k_rejected(self, reference):
+        with pytest.raises(AlignmentError):
+            ReferenceIndex(reference, k=2)
+
+
+class TestSingleEndAligner:
+    def test_planted_read_found(self, ref_index, reference):
+        read = reference.fetch("chr1", 801, 901)
+        aligner = BwaMemLite(ref_index)
+        candidates = aligner.candidates(read)
+        assert candidates
+        assert candidates[0].contig == "chr1"
+        assert candidates[0].pos == 801
+
+    def test_reverse_strand_found(self, ref_index, reference):
+        read = reverse_complement(reference.fetch("chr1", 801, 901))
+        aligner = BwaMemLite(ref_index)
+        candidates = aligner.candidates(read)
+        assert candidates
+        assert candidates[0].reverse
+        assert candidates[0].pos == 801
+
+    def test_garbage_read_unmapped(self, ref_index):
+        aligner = BwaMemLite(ref_index)
+        # Low-complexity junk not in this genome.
+        assert aligner.candidates("ACACACAC" * 12 + "ACAC") == []
+
+    def test_mapq_unique_hit_is_60(self, ref_index, reference):
+        read = reference.fetch("chr1", 801, 901)
+        aligner = BwaMemLite(ref_index)
+        candidates = aligner.candidates(read)
+        if len(candidates) == 1:
+            assert aligner.mapq(candidates) == 60
+
+    def test_mapq_tie_is_zero(self, ref_index):
+        aligner = BwaMemLite(ref_index)
+        from repro.align.aligner import AlignmentCandidate
+        from repro.formats.cigar import Cigar
+        ties = [
+            AlignmentCandidate("chr1", 10, False, 90, Cigar.parse("100M"), 2),
+            AlignmentCandidate("chr1", 500, False, 90, Cigar.parse("100M"), 2),
+        ]
+        assert aligner.mapq(ties) == 0
+
+    def test_mapq_empty(self, ref_index):
+        assert BwaMemLite(ref_index).mapq([]) == 0
+
+
+class TestInsertSize:
+    def test_estimate_z(self):
+        estimate = InsertSizeEstimate(300.0, 30.0, 100)
+        assert estimate.z(300) == 0.0
+        assert estimate.z(390) == pytest.approx(3.0)
+
+    def test_sd_floor(self):
+        assert InsertSizeEstimate(300.0, 0.0, 5).sd == 1.0
+
+    def test_fr_insert_size(self):
+        from repro.align.aligner import AlignmentCandidate
+        from repro.formats.cigar import Cigar
+        fwd = AlignmentCandidate("chr1", 100, False, 100, Cigar.parse("100M"), 0)
+        rev = AlignmentCandidate("chr1", 300, True, 100, Cigar.parse("100M"), 0)
+        assert _fr_insert_size(fwd, rev) == 300 + 99 - 100 + 1
+
+    def test_fr_requires_opposite_strands(self):
+        from repro.align.aligner import AlignmentCandidate
+        from repro.formats.cigar import Cigar
+        a = AlignmentCandidate("chr1", 100, False, 100, Cigar.parse("100M"), 0)
+        b = AlignmentCandidate("chr1", 300, False, 100, Cigar.parse("100M"), 0)
+        assert _fr_insert_size(a, b) is None
+
+    def test_fr_requires_same_contig(self):
+        from repro.align.aligner import AlignmentCandidate
+        from repro.formats.cigar import Cigar
+        a = AlignmentCandidate("chr1", 100, False, 100, Cigar.parse("100M"), 0)
+        b = AlignmentCandidate("chr2", 300, True, 100, Cigar.parse("100M"), 0)
+        assert _fr_insert_size(a, b) is None
+
+
+class TestPairedAligner:
+    def test_two_records_per_pair_in_order(self, aligner, pairs):
+        records = aligner.align_batch(pairs[:20])
+        assert len(records) == 40
+        for i, pair in enumerate(pairs[:20]):
+            assert records[2 * i].qname == pair[0].name[:-2]
+            assert records[2 * i].flags.is_first_in_pair
+            assert records[2 * i + 1].flags.is_second_in_pair
+
+    def test_most_reads_mapped(self, aligned):
+        mapped = sum(1 for r in aligned if r.is_mapped)
+        assert mapped / len(aligned) > 0.80
+
+    def test_proper_pairs_have_fr_orientation(self, aligned):
+        by_name = {}
+        for record in aligned:
+            by_name.setdefault(record.qname, []).append(record)
+        checked = 0
+        for ends in by_name.values():
+            if len(ends) == 2 and all(
+                e.flags.is_proper_pair and e.is_mapped for e in ends
+            ):
+                strands = {e.flags.is_reverse for e in ends}
+                assert strands == {True, False}
+                checked += 1
+        assert checked > 50
+
+    def test_tlen_signs_balance(self, aligned):
+        proper = [r for r in aligned if r.flags.is_proper_pair and r.tlen != 0]
+        assert sum(r.tlen for r in proper) == 0
+
+    def test_unmapped_mate_placed_at_mapped_position(self, aligner, ref_index,
+                                                     reference):
+        good = reference.fetch("chr1", 1001, 1101)
+        junk = "ACAC" * 25
+        pair = (
+            FastqRecord("p/1", good, [35] * 100),
+            FastqRecord("p/2", junk, [35] * 100),
+        )
+        records = aligner.align_batch([pair])
+        mapped = [r for r in records if r.is_mapped]
+        unmapped = [r for r in records if not r.is_mapped]
+        assert len(mapped) == 1 and len(unmapped) == 1
+        assert unmapped[0].pos == mapped[0].pos
+        assert unmapped[0].flags.is_unmapped
+        assert mapped[0].flags.is_mate_unmapped
+
+    def test_batch_determinism(self, aligner, pairs):
+        a = aligner.align_batch(pairs[:50])
+        b = aligner.align_batch(pairs[:50])
+        assert [r.to_line() for r in a] == [r.to_line() for r in b]
+
+    def test_partitioning_changes_some_results(self, aligner, pairs):
+        """The paper's core accuracy finding: Bwa is not embarrassingly
+        parallel — different batch boundaries yield different output."""
+        whole = aligner.align_batch(pairs[:300])
+        split = aligner.align_batch(pairs[:150]) + aligner.align_batch(pairs[150:300])
+        whole_sig = {
+            (r.qname, r.flags.is_first_in_pair): (r.rname, r.pos, str(r.cigar))
+            for r in whole
+        }
+        split_sig = {
+            (r.qname, r.flags.is_first_in_pair): (r.rname, r.pos, str(r.cigar))
+            for r in split
+        }
+        assert whole_sig.keys() == split_sig.keys()
+        differing = sum(
+            1 for key in whole_sig if whole_sig[key] != split_sig[key]
+        )
+        assert differing > 0
+        # ... but the difference is a small fraction of all reads.
+        assert differing / len(whole_sig) < 0.25
+
+    def test_stable_batch_seed_depends_on_content(self, pairs):
+        assert _stable_batch_seed(1, pairs[:10]) != _stable_batch_seed(1, pairs[:11])
+        assert _stable_batch_seed(1, pairs[:10]) == _stable_batch_seed(1, pairs[:10])
+        assert _stable_batch_seed(1, []) == 1
+
+    def test_seq_stored_forward_reference_strand(self, aligner, reference,
+                                                 donor):
+        # A reverse-strand record's SEQ must equal the reference-forward
+        # sequence, i.e. the reverse complement of the raw read.
+        small_pairs, _ = simulate_reads(
+            donor, ReadSimulationConfig(coverage=1.0, seed=55,
+                                        base_error_rate=0.0)
+        )
+        records = aligner.align_batch(small_pairs[:40])
+        raw = {}
+        for fwd, rev in small_pairs[:40]:
+            raw[(fwd.name[:-2], True)] = fwd.sequence
+            raw[(rev.name[:-2], False)] = rev.sequence
+        for record in records:
+            if not record.is_mapped or record.mapq < 60:
+                continue
+            key = (record.qname, record.flags.is_first_in_pair)
+            if record.flags.is_reverse:
+                assert record.seq == reverse_complement(raw[key])
+            else:
+                assert record.seq == raw[key]

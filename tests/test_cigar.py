@@ -1,0 +1,137 @@
+"""Unit tests for the CIGAR algebra."""
+
+import pytest
+
+from repro.errors import CigarError
+from repro.formats.cigar import (
+    Cigar,
+    reference_end,
+    unclipped_end,
+    unclipped_five_prime,
+    unclipped_start,
+)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        cigar = Cigar.parse("100M")
+        assert cigar.ops == ((100, "M"),)
+
+    def test_parse_multi_op(self):
+        cigar = Cigar.parse("5S90M2I3M")
+        assert cigar.ops == ((5, "S"), (90, "M"), (2, "I"), (3, "M"))
+
+    def test_parse_star_is_empty(self):
+        assert len(Cigar.parse("*")) == 0
+
+    def test_parse_empty_string(self):
+        assert len(Cigar.parse("")) == 0
+
+    def test_roundtrip_str(self):
+        text = "3S47M2D50M5H"
+        assert str(Cigar.parse(text)) == text
+
+    def test_empty_renders_star(self):
+        assert str(Cigar([])) == "*"
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(CigarError):
+            Cigar.parse("10Q")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CigarError):
+            Cigar.parse("10M5")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CigarError):
+            Cigar([(0, "M")])
+
+    def test_equality_and_hash(self):
+        assert Cigar.parse("10M") == Cigar.parse("10M")
+        assert hash(Cigar.parse("10M")) == hash(Cigar.parse("10M"))
+        assert Cigar.parse("10M") != Cigar.parse("11M")
+
+
+class TestLengths:
+    def test_query_length_counts_m_i_s(self):
+        cigar = Cigar.parse("5S90M2I3D")
+        assert cigar.query_length() == 5 + 90 + 2
+
+    def test_reference_length_counts_m_d_n(self):
+        cigar = Cigar.parse("5S90M2I3D10N")
+        assert cigar.reference_length() == 90 + 3 + 10
+
+    def test_hard_clips_consume_nothing(self):
+        cigar = Cigar.parse("5H100M5H")
+        assert cigar.query_length() == 100
+        assert cigar.reference_length() == 100
+
+    def test_validate_against_sequence_ok(self):
+        Cigar.parse("4S96M").validate_against_sequence("A" * 100)
+
+    def test_validate_against_sequence_mismatch(self):
+        with pytest.raises(CigarError):
+            Cigar.parse("90M").validate_against_sequence("A" * 100)
+
+    def test_validate_star_sequence_exempt(self):
+        Cigar.parse("90M").validate_against_sequence("*")
+
+
+class TestClipping:
+    def test_leading_clip_soft(self):
+        assert Cigar.parse("7S93M").leading_clip() == 7
+
+    def test_leading_clip_hard_and_soft(self):
+        assert Cigar.parse("2H5S93M").leading_clip() == 7
+
+    def test_trailing_clip(self):
+        assert Cigar.parse("93M4S3H").trailing_clip() == 7
+
+    def test_no_clip(self):
+        assert Cigar.parse("100M").leading_clip() == 0
+        assert Cigar.parse("100M").trailing_clip() == 0
+
+    def test_leading_soft_clip_excludes_hard(self):
+        assert Cigar.parse("2H5S93M").leading_soft_clip() == 5
+
+    def test_fully_clipped(self):
+        assert Cigar.parse("100S").is_fully_clipped()
+        assert not Cigar.parse("1M99S").is_fully_clipped()
+
+
+class TestUnclippedEnds:
+    def test_unclipped_start_no_clip(self):
+        assert unclipped_start(500, Cigar.parse("100M")) == 500
+
+    def test_unclipped_start_with_clip(self):
+        assert unclipped_start(500, Cigar.parse("5S95M")) == 495
+
+    def test_unclipped_end_no_clip(self):
+        assert unclipped_end(500, Cigar.parse("100M")) == 599
+
+    def test_unclipped_end_with_trailing_clip(self):
+        assert unclipped_end(500, Cigar.parse("95M5S")) == 599
+
+    def test_unclipped_end_with_deletion(self):
+        assert unclipped_end(500, Cigar.parse("50M10D50M")) == 609
+
+    def test_five_prime_forward(self):
+        cigar = Cigar.parse("3S97M")
+        assert unclipped_five_prime(100, cigar, reverse=False) == 97
+
+    def test_five_prime_reverse(self):
+        cigar = Cigar.parse("97M3S")
+        assert unclipped_five_prime(100, cigar, reverse=True) == 100 + 96 + 3
+
+    def test_clipping_invariance(self):
+        # Two placements of the same physical fragment must agree on
+        # the 5' unclipped end whether or not the aligner clipped.
+        full = unclipped_five_prime(100, Cigar.parse("100M"), False)
+        clipped = unclipped_five_prime(104, Cigar.parse("4S96M"), False)
+        assert full == clipped
+
+    def test_reference_end_basic(self):
+        assert reference_end(100, Cigar.parse("100M")) == 199
+
+    def test_reference_end_empty_cigar(self):
+        assert reference_end(100, Cigar([])) == 100

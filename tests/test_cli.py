@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.formats.vcf import read_vcf
+
+
+@pytest.fixture(scope="module")
+def sample_dir(tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("sample"))
+    code = main([
+        "simulate", "--out", out, "--length", "9000",
+        "--coverage", "8", "--seed", "3",
+    ])
+    assert code == 0
+    return out
+
+
+class TestSimulate:
+    def test_files_written(self, sample_dir):
+        for name in ("reference.fa", "reads_1.fastq", "reads_2.fastq",
+                     "truth.vcf"):
+            assert os.path.exists(os.path.join(sample_dir, name))
+
+    def test_truth_vcf_parses(self, sample_dir):
+        truth = list(read_vcf(os.path.join(sample_dir, "truth.vcf")))
+        assert truth
+        assert all(v.chrom in ("chr1", "chr2") for v in truth)
+
+    def test_fastq_pairing(self, sample_dir):
+        from repro.formats.fastq import interleave, read_fastq
+        pairs = list(interleave(
+            read_fastq(os.path.join(sample_dir, "reads_1.fastq")),
+            read_fastq(os.path.join(sample_dir, "reads_2.fastq")),
+        ))
+        assert pairs
+
+    def test_deterministic(self, tmp_path):
+        out_a = str(tmp_path / "a")
+        out_b = str(tmp_path / "b")
+        for out in (out_a, out_b):
+            main(["simulate", "--out", out, "--length", "6000", "--seed", "9"])
+        with open(os.path.join(out_a, "reads_1.fastq")) as fa, \
+                open(os.path.join(out_b, "reads_1.fastq")) as fb:
+            assert fa.read() == fb.read()
+
+
+class TestRun:
+    @pytest.mark.parametrize("mode", ["serial", "parallel"])
+    def test_run_writes_vcf(self, sample_dir, tmp_path, mode, capsys):
+        vcf_path = str(tmp_path / f"{mode}.vcf")
+        code = main([
+            "run", "--data", sample_dir, "--mode", mode, "--vcf", vcf_path,
+            "--partitions", "4",
+        ])
+        assert code == 0
+        variants = list(read_vcf(vcf_path))
+        assert variants
+        captured = capsys.readouterr().out
+        assert "precision" in captured
+
+    def test_serial_and_parallel_mostly_agree(self, sample_dir, tmp_path):
+        serial_vcf = str(tmp_path / "s.vcf")
+        parallel_vcf = str(tmp_path / "p.vcf")
+        main(["run", "--data", sample_dir, "--mode", "serial",
+              "--vcf", serial_vcf])
+        main(["run", "--data", sample_dir, "--mode", "parallel",
+              "--vcf", parallel_vcf, "--partitions", "4"])
+        serial_sites = {v.site_key() for v in read_vcf(serial_vcf)}
+        parallel_sites = {v.site_key() for v in read_vcf(parallel_vcf)}
+        overlap = len(serial_sites & parallel_sites)
+        assert overlap >= 0.8 * max(len(serial_sites), 1)
+
+
+class TestDiagnose:
+    def test_prints_table8(self, sample_dir, capsys):
+        code = main(["diagnose", "--data", sample_dir, "--partitions", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bwa" in out
+        assert "Mark Duplicates" in out
+        assert "Haplotype Caller" in out
+
+
+class TestPerfStudy:
+    @pytest.mark.parametrize("cluster", ["A", "B"])
+    def test_prints_rounds(self, cluster, capsys):
+        code = main(["perf-study", "--cluster", cluster])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Round 5" in out
+        assert "TOTAL" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_missing_required_arg(self):
+        with pytest.raises(SystemExit):
+            main(["simulate"])

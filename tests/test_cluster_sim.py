@@ -1,0 +1,309 @@
+"""Tests for the fluid simulator, thread model, and MR round simulation."""
+
+import pytest
+
+from repro.cluster.costs import GB, NA12878, CostModel
+from repro.cluster.fluid import FluidSimulator, Phase, Resource, SimTask
+from repro.cluster.hardware import CLUSTER_A, CLUSTER_B, SINGLE_SERVER
+from repro.cluster.mrsim import (
+    ClusterModel,
+    MapTaskSpec,
+    ReduceTaskSpec,
+    RoundSpec,
+    simulate_round,
+)
+from repro.cluster.rounds_model import (
+    bwa_single_node_seconds,
+    chromosome_fractions,
+    round1_spec,
+    round3_spec,
+    round5_spec,
+)
+from repro.cluster.threading import (
+    BwaThreadModel,
+    node_throughput,
+    process_thread_configurations,
+)
+from repro.errors import SimulationError
+
+KB, MB = 1024, 1024 * 1024
+
+
+class TestHardware:
+    def test_table3_cluster_a(self):
+        assert CLUSTER_A.data_nodes == 15
+        assert CLUSTER_A.node.cores == 24
+        assert CLUSTER_A.node.core_ghz == 2.66
+        assert CLUSTER_A.node.disks == 1
+
+    def test_table3_cluster_b(self):
+        assert CLUSTER_B.data_nodes == 4
+        assert CLUSTER_B.node.cores == 16
+        assert CLUSTER_B.node.disks == 6
+        assert CLUSTER_B.node.network_bandwidth > CLUSTER_A.node.network_bandwidth
+
+    def test_comparable_total_memory(self):
+        """Table 3's design point: the clusters have comparable memory."""
+        ratio = CLUSTER_A.total_memory() / CLUSTER_B.total_memory()
+        assert 0.9 < ratio < 1.1
+
+    def test_with_modifiers(self):
+        assert CLUSTER_B.with_disks(2).node.disks == 2
+        assert CLUSTER_A.with_data_nodes(5).data_nodes == 5
+        assert CLUSTER_A.with_data_nodes(5).node.cores == 24
+
+
+class TestThreadModel:
+    def test_single_thread_is_unity(self):
+        assert BwaThreadModel().speedup(1) == pytest.approx(1.0)
+
+    def test_sublinear_at_24_threads(self):
+        model = BwaThreadModel(readahead_bytes=128 * KB)
+        assert model.speedup(24) < 24
+
+    def test_readahead_improves_scaling(self):
+        """Fig 5c: 64 MB readahead clearly beats the 128 KB default."""
+        small = BwaThreadModel(readahead_bytes=128 * KB)
+        large = BwaThreadModel(readahead_bytes=64 * MB)
+        assert large.speedup(24) > small.speedup(24) * 1.3
+        for n in range(2, 25):
+            assert large.speedup(n) >= small.speedup(n)
+
+    def test_monotone_in_threads(self):
+        model = BwaThreadModel(readahead_bytes=64 * MB)
+        curve = [model.speedup(n) for n in range(1, 25)]
+        assert curve == sorted(curve)
+
+    def test_interpolation_between_operating_points(self):
+        mid = BwaThreadModel(readahead_bytes=4 * MB)
+        assert (
+            BwaThreadModel(64 * MB).serial_fraction
+            < mid.serial_fraction
+            < BwaThreadModel(128 * KB).serial_fraction
+        )
+
+    def test_many_processes_beat_one_wide_process(self):
+        """Section 4.3: the process-thread hierarchy wins — 6 mappers x
+        4 threads outperform 1 mapper x 24 threads on a 24-core node."""
+        model = BwaThreadModel(readahead_bytes=128 * KB)
+        assert node_throughput(6, 4, model) > node_throughput(1, 24, model)
+
+    def test_configuration_enumeration(self):
+        configs = process_thread_configurations(24)
+        assert (24, 1) in configs
+        assert (1, 24) in configs
+        assert (6, 4) in configs
+        assert all(p * t == 24 for p, t in configs)
+
+
+class TestFluidSimulator:
+    def cpu(self, capacity=4.0):
+        return Resource("cpu", capacity)
+
+    def test_single_task_duration(self):
+        sim = FluidSimulator()
+        sim.start_task(SimTask("t", [Phase(self.cpu(), 8.0, rate_cap=2.0)]))
+        assert sim.run() == pytest.approx(4.0)
+
+    def test_fair_sharing(self):
+        cpu = self.cpu(capacity=2.0)
+        sim = FluidSimulator()
+        sim.start_task(SimTask("a", [Phase(cpu, 10.0)]))
+        sim.start_task(SimTask("b", [Phase(cpu, 10.0)]))
+        assert sim.run() == pytest.approx(10.0)  # 2 tasks share 2 units/s
+
+    def test_rate_caps_respected(self):
+        cpu = self.cpu(capacity=10.0)
+        sim = FluidSimulator()
+        sim.start_task(SimTask("capped", [Phase(cpu, 10.0, rate_cap=1.0)]))
+        assert sim.run() == pytest.approx(10.0)
+
+    def test_cap_leftover_redistributed(self):
+        cpu = self.cpu(capacity=10.0)
+        sim = FluidSimulator()
+        sim.start_task(SimTask("capped", [Phase(cpu, 100.0, rate_cap=1.0)]))
+        sim.start_task(SimTask("greedy", [Phase(cpu, 90.0)]))
+        # Greedy gets 9 units/s -> finishes at t=10; capped at t=100.
+        sim.run()
+        greedy = next(t for t in sim.completed if t.task_id == "greedy")
+        assert greedy.end_time == pytest.approx(10.0)
+
+    def test_sequential_phases(self):
+        cpu = self.cpu(1.0)
+        disk = Resource("disk", 2.0)
+        sim = FluidSimulator()
+        sim.start_task(SimTask("t", [Phase(cpu, 3.0), Phase(disk, 4.0)]))
+        assert sim.run() == pytest.approx(3.0 + 2.0)
+
+    def test_phase_times_recorded(self):
+        cpu = self.cpu(1.0)
+        sim = FluidSimulator()
+        task = SimTask("t", [Phase(cpu, 2.0, label="work")])
+        sim.start_task(task)
+        sim.run()
+        assert task.phase_times == [("work", 0.0, 2.0)]
+
+    def test_work_conservation(self):
+        """Total service delivered equals total demand."""
+        cpu = self.cpu(3.0)
+        demands = [5.0, 7.0, 2.5, 9.0]
+        sim = FluidSimulator()
+        for i, demand in enumerate(demands):
+            sim.start_task(SimTask(f"t{i}", [Phase(cpu, demand)]))
+        wall = sim.run()
+        delivered = sum(
+            (t1 - t0) * fraction * cpu.capacity
+            for t0, t1, fraction in sim.trace.series("cpu")
+        )
+        assert delivered == pytest.approx(sum(demands), rel=1e-6)
+        assert wall >= sum(demands) / cpu.capacity
+
+    def test_utilization_bounded(self):
+        cpu = self.cpu(2.0)
+        sim = FluidSimulator()
+        for i in range(5):
+            sim.start_task(SimTask(f"t{i}", [Phase(cpu, 4.0)]))
+        sim.run()
+        assert sim.trace.peak_utilization("cpu") <= 1.0
+        assert sim.trace.mean_utilization("cpu") == pytest.approx(1.0)
+
+    def test_zero_demand_task_completes(self):
+        sim = FluidSimulator()
+        sim.start_task(SimTask("empty", [Phase(self.cpu(), 0.0)]))
+        assert sim.run() == 0.0
+        assert len(sim.completed) == 1
+
+    def test_resource_validation(self):
+        with pytest.raises(SimulationError):
+            Resource("bad", 0.0)
+
+
+def quick_round(cluster, n_maps=8, reduce=True):
+    maps = [
+        MapTaskSpec(input_bytes=1 * GB, cpu_core_seconds=100.0,
+                    output_bytes=1 * GB)
+        for _ in range(n_maps)
+    ]
+    reduces = [
+        ReduceTaskSpec(shuffle_bytes=1 * GB, merge_extra_bytes=0.5 * GB,
+                       cpu_core_seconds=50.0, output_bytes=0.5 * GB)
+        for _ in range(4)
+    ] if reduce else None
+    return RoundSpec("quick", maps, map_slots_per_node=2, reduce_tasks=reduces,
+                     reduce_slots_per_node=2)
+
+
+class TestMRSimulation:
+    def test_round_completes(self):
+        cluster = ClusterModel(CLUSTER_B)
+        result = simulate_round(cluster, quick_round(cluster))
+        assert result.wall_seconds > 0
+        assert len(result.tasks_of("map")) == 8
+        assert len(result.tasks_of("reduce")) == 4
+
+    def test_reduce_waits_for_all_maps(self):
+        cluster = ClusterModel(CLUSTER_B)
+        result = simulate_round(cluster, quick_round(cluster))
+        maps_done = max(t.end for t in result.tasks_of("map"))
+        for reduce_task in result.tasks_of("reduce"):
+            merge_phases = [
+                t0 for name, t0, t1 in reduce_task.phases
+                if name in ("merge", "reduce-cpu")
+            ]
+            if merge_phases:
+                assert min(merge_phases) >= maps_done - 1e-6
+
+    def test_map_only_round(self):
+        cluster = ClusterModel(CLUSTER_B)
+        result = simulate_round(cluster, quick_round(cluster, reduce=False))
+        assert result.tasks_of("reduce") == []
+
+    def test_slots_limit_concurrency(self):
+        cluster = ClusterModel(CLUSTER_B)  # 4 nodes x 2 slots = 8 at once
+        spec = quick_round(cluster, n_maps=16, reduce=False)
+        result = simulate_round(cluster, spec)
+        events = []
+        for task in result.tasks_of("map"):
+            events.append((task.start, 1))
+            events.append((task.end, -1))
+        events.sort()
+        running = peak = 0
+        for _, delta in events:
+            running += delta
+            peak = max(peak, running)
+        assert peak <= 8
+
+    def test_more_disks_never_slower(self):
+        cost = CostModel()
+        results = []
+        for disks in (1, 2, 6):
+            cluster = ClusterModel(CLUSTER_B.with_disks(disks))
+            spec = round3_spec(cluster, cost, NA12878, "reg",
+                               num_map_partitions=96, reducers_per_node=16,
+                               map_slots_per_node=16)
+            results.append(simulate_round(cluster, spec).wall_seconds)
+        assert results[0] >= results[1] >= results[2]
+
+    def test_markdup_reg_slower_than_opt(self):
+        cost = CostModel()
+        cluster = ClusterModel(CLUSTER_B)
+        walls = {}
+        for mode in ("opt", "reg"):
+            spec = round3_spec(cluster, cost, NA12878, mode,
+                               num_map_partitions=96, reducers_per_node=16,
+                               map_slots_per_node=16)
+            walls[mode] = simulate_round(cluster, spec).wall_seconds
+        assert walls["reg"] > walls["opt"] * 1.5
+
+    def test_alignment_16x1_beats_4x4(self):
+        """Table 7: 16 single-threaded mappers beat 4x4 threads."""
+        cost = CostModel()
+        cluster = ClusterModel(CLUSTER_B)
+        narrow = simulate_round(
+            cluster, round1_spec(cluster, cost, NA12878, 64, 16, 1)
+        ).wall_seconds
+        wide = simulate_round(
+            cluster, round1_spec(cluster, cost, NA12878, 64, 4, 4)
+        ).wall_seconds
+        assert narrow < wide
+
+    def test_superlinear_speedup_vs_24_thread_baseline(self):
+        """The headline claim: Gesall's Round 1 on 15 nodes beats the
+        24-threaded Bwa baseline by more than 15x."""
+        cost = CostModel()
+        cluster = ClusterModel(CLUSTER_A)
+        parallel = simulate_round(
+            cluster, round1_spec(cluster, cost, NA12878, 90, 6, 4)
+        ).wall_seconds
+        baseline = bwa_single_node_seconds(cost, CLUSTER_A, threads=24)
+        assert baseline / parallel > CLUSTER_A.data_nodes
+
+    def test_round5_underutilizes_cluster(self):
+        """Section 4.4 item 4: 23 chromosome partitions cannot fill 90
+        slots; the wall clock tracks the largest chromosome."""
+        cost = CostModel()
+        cluster = ClusterModel(CLUSTER_A)
+        result = simulate_round(
+            cluster, round5_spec(cluster, cost, NA12878, map_slots_per_node=6)
+        )
+        fractions = chromosome_fractions()
+        longest = max(fractions.values())
+        expected_floor = (
+            cost.haplotype_caller_core_seconds * 0.98 * longest
+            / (CLUSTER_A.node.core_ghz / 2.4)
+        )
+        assert result.wall_seconds >= expected_floor * 0.95
+        # Mean CPU utilization across nodes is poor.
+        cpu_utils = [
+            result.trace.mean_utilization(f"{node}/cpu")
+            for node in cluster.nodes
+        ]
+        assert sum(cpu_utils) / len(cpu_utils) < 0.5
+
+    def test_serial_slot_time_accrued(self):
+        cluster = ClusterModel(CLUSTER_B)
+        result = simulate_round(cluster, quick_round(cluster))
+        assert result.serial_slot_seconds > 0
+
+    def test_chromosome_fractions_sum_to_one(self):
+        assert sum(chromosome_fractions().values()) == pytest.approx(1.0)

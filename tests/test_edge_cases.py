@@ -1,0 +1,194 @@
+"""Edge-case and error-path tests across modules."""
+
+import pytest
+
+from repro.cleaning.fix_mate import _template_length
+from repro.errors import (
+    BamError,
+    HdfsError,
+    MapReduceError,
+    PartitioningError,
+    PipelineError,
+    ReproError,
+)
+from repro.formats import flags as F
+from repro.formats.bam import bam_bytes, iter_frames, read_bam, read_header
+from repro.formats.cigar import Cigar
+from repro.formats.sam import SamHeader, SamRecord, encode_quals
+from repro.formats.vcf import VariantRecord
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import JobConf, _default_value_size, make_splits
+
+
+def rec(qname="r", pos=100, flag_bits=0, cigar="10M", rname="chr1"):
+    return SamRecord(
+        qname, F.SamFlags(flag_bits), rname, pos, 60, Cigar.parse(cigar),
+        seq="ACGTACGTAC" if cigar != "*" else "ACGTACGTAC",
+        qual=encode_quals([30] * 10),
+    )
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (BamError, HdfsError, MapReduceError,
+                           PartitioningError, PipelineError):
+            assert issubclass(error_type, ReproError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise BamError("boom")
+
+
+class TestCigarExotics:
+    def test_padding_op_consumes_nothing(self):
+        cigar = Cigar.parse("5M2P5M")
+        assert cigar.query_length() == 10
+        assert cigar.reference_length() == 10
+
+    def test_skip_op_consumes_reference_only(self):
+        cigar = Cigar.parse("5M100N5M")
+        assert cigar.query_length() == 10
+        assert cigar.reference_length() == 110
+
+    def test_equals_and_x_ops(self):
+        cigar = Cigar.parse("5=2X3=")
+        assert cigar.query_length() == 10
+        assert cigar.reference_length() == 10
+
+    def test_all_clips(self):
+        cigar = Cigar.parse("5H5S")
+        assert cigar.leading_clip() == 10
+        assert cigar.is_fully_clipped()
+
+
+class TestTemplateLength:
+    def make(self, pos, reverse=False, unmapped=False, rname="chr1"):
+        bits = F.PAIRED
+        if reverse:
+            bits |= F.REVERSE
+        if unmapped:
+            bits |= F.UNMAPPED
+        return rec("p", pos=pos, flag_bits=bits, rname=rname)
+
+    def test_leftmost_positive(self):
+        left, right = self.make(100), self.make(300, reverse=True)
+        assert _template_length(left, right) == 300 + 9 - 100 + 1
+        assert _template_length(right, left) == -(300 + 9 - 100 + 1)
+
+    def test_unmapped_zero(self):
+        assert _template_length(self.make(100, unmapped=True),
+                                self.make(300)) == 0
+
+    def test_cross_contig_zero(self):
+        assert _template_length(self.make(100),
+                                self.make(300, rname="chr2")) == 0
+
+    def test_same_position_uses_strand(self):
+        fwd = self.make(100)
+        back = self.make(100, reverse=True)
+        assert _template_length(fwd, back) > 0
+        assert _template_length(back, fwd) < 0
+
+
+class TestBamEdges:
+    def test_read_header_skips_body(self):
+        header = SamHeader(sequences=[("chr1", 500)], sort_order="coordinate")
+        data = bam_bytes(header, [rec() for _ in range(20)], chunk_bytes=128)
+        assert read_header(data) == header
+
+    def test_iter_frames_at_frame_offset(self):
+        header = SamHeader(sequences=[("chr1", 500)])
+        data = bam_bytes(header, [rec()], chunk_bytes=128)
+        offsets = [offset for offset, _ in iter_frames(data)]
+        # Re-entering at the second frame's offset works without magic.
+        resumed = list(iter_frames(data, offsets[1]))
+        assert len(resumed) == len(offsets) - 1
+
+    def test_single_record_roundtrip(self):
+        header = SamHeader(sequences=[("chr1", 500)])
+        record = rec()
+        _, out = read_bam(bam_bytes(header, [record]))
+        assert out == [record]
+
+
+class TestVcfEdges:
+    def test_info_free_roundtrip(self):
+        variant = VariantRecord("chr1", 5, "A", "T", 10.0)
+        parsed = VariantRecord.from_line(variant.to_line())
+        assert parsed.info == {}
+
+    def test_phased_genotype_preserved(self):
+        variant = VariantRecord("chr1", 5, "A", "T", 10.0, genotype="1|0")
+        assert VariantRecord.from_line(variant.to_line()).genotype == "1|0"
+
+    def test_site_key_distinguishes_alleles(self):
+        a = VariantRecord("chr1", 5, "A", "T", 10.0)
+        b = VariantRecord("chr1", 5, "A", "G", 10.0)
+        assert a.site_key() != b.site_key()
+
+
+class TestValueSize:
+    def test_record_size_uses_line(self):
+        record = rec()
+        assert _default_value_size(record) == len(record.to_line()) + 1
+
+    def test_bytes_and_str(self):
+        assert _default_value_size(b"abcd") == 4
+        assert _default_value_size("abcd") == 5
+
+    def test_tuple_of_records(self):
+        record = rec()
+        assert _default_value_size((record, record)) == 2 * (
+            len(record.to_line()) + 1
+        )
+
+    def test_fallback_repr(self):
+        assert _default_value_size(1234) == len("1234")
+
+
+class TestEngineEdges:
+    def test_sort_key_orders_reduce_input(self):
+        # Keys sorted by custom key (descending) change group order.
+        seen = []
+
+        def mapper(payload, ctx):
+            for item in payload:
+                ctx.emit(item, item)
+
+        def reducer(key, values, ctx):
+            seen.append(key)
+
+        engine = MapReduceEngine()
+        job = JobConf("sorted", mapper, reducer, num_reducers=1,
+                      sort_key=lambda k: -k)
+        engine.run(job, make_splits([[3, 1, 2]]))
+        assert seen == [3, 2, 1]
+
+    def test_reducer_emitting_nothing(self):
+        engine = MapReduceEngine()
+        job = JobConf(
+            "silent", lambda p, c: c.emit("k", 1),
+            lambda k, v, c: None, num_reducers=1,
+        )
+        result = engine.run(job, make_splits(["x"]))
+        assert result.all_outputs() == []
+
+    def test_single_node_engine(self):
+        engine = MapReduceEngine(["only"])
+        job = JobConf("s", lambda p, c: c.emit(p, 1),
+                      lambda k, v, c: c.emit(k, sum(v)), num_reducers=3)
+        result = engine.run(job, make_splits(list("abcabc")))
+        assert dict(result.all_outputs()) == {"a": 2, "b": 2, "c": 2}
+        assert all(t.node == "only" for t in result.history.tasks)
+
+
+class TestHeaderlessRecords:
+    def test_unmapped_star_record_roundtrip(self):
+        record = SamRecord(
+            "u", F.SamFlags(F.PAIRED | F.UNMAPPED | F.MATE_UNMAPPED),
+            "*", 0, 0, Cigar.parse("*"),
+            seq="ACGT", qual=encode_quals([30] * 4),
+        )
+        assert SamRecord.from_line(record.to_line()) == record
+        assert record.reference_end == 0
+        assert not record.is_mapped

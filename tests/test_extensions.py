@@ -1,0 +1,239 @@
+"""Tests for the future-work extensions (paper Appendix C):
+
+* the safe-partitioning validator (question 1);
+* the pipeline execution-plan optimizer (question 4);
+* the Round 5 variants: Unified Genotyper by chromosome and the
+  fine-grained overlapping Haplotype Caller partitioning.
+"""
+
+import pytest
+
+from repro.cleaning.clean_sam import CleanSam
+from repro.cleaning.duplicates import MarkDuplicates
+from repro.cluster.costs import NA12878, CostModel
+from repro.cluster.hardware import CLUSTER_B
+from repro.cluster.optimizer import PipelineOptimizer, PlanKnobs
+from repro.errors import SimulationError
+from repro.gdpt.partitioner import GroupPartitioner, read_name_key
+from repro.gdpt.safety import (
+    COUNT_SAFE,
+    SAFE,
+    UNSAFE,
+    SafePartitioningValidator,
+    equal_duplicate_counts,
+    equal_record_counts,
+)
+from repro.gdpt.partitioner import split_pairs_contiguously
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.engine import MapReduceEngine
+from repro.variants.haplotype import HaplotypeCallerConfig
+from repro.wrappers.rounds import GesallRounds
+
+
+# ---------------------------------------------------------------------------
+# Safe-partitioning validator
+# ---------------------------------------------------------------------------
+
+class TestSafePartitioningValidator:
+    def record_partitioner(self, n):
+        def split(records):
+            return GroupPartitioner(read_name_key, n).split(records)
+        return split
+
+    def chunk_partitioner(self, n):
+        def split(records):
+            size = max(1, len(records) // n)
+            return [records[i : i + size] for i in range(0, len(records), size)]
+        return split
+
+    def test_clean_sam_is_safe_under_any_partitioning(self, sam_header,
+                                                      aligned):
+        """CleanSam is record-local: every scheme is SAFE."""
+        validator = SafePartitioningValidator(
+            CleanSam(), self.chunk_partitioner(7)
+        )
+        verdict = validator.validate(sam_header, aligned[:600])
+        assert verdict.classification == SAFE
+        assert verdict.is_acceptable
+
+    def test_markdup_unsafe_under_arbitrary_chunking(self, sam_header,
+                                                     aligned):
+        """Chunking that splits position groups breaks MarkDuplicates."""
+        validator = SafePartitioningValidator(
+            MarkDuplicates(), self.chunk_partitioner(11)
+        )
+        verdict = validator.validate(sam_header, aligned[:800])
+        assert verdict.classification == UNSAFE
+
+    def test_markdup_count_safe_under_position_grouping(self, sam_header,
+                                                        aligned):
+        """Grouping by the duplicate position key: only tie choices may
+        differ, duplicate counts preserved -> COUNT_SAFE (or SAFE)."""
+        from repro.cleaning.duplicates import fragment_key
+
+        def position_split(records):
+            groups = {}
+            for record in records:
+                if record.flags.is_unmapped or record.flags.is_mate_unmapped:
+                    key = ("special",)
+                else:
+                    key = (fragment_key(record)[0],
+                           fragment_key(record)[1] // 2000)
+                groups.setdefault(record.qname, []).append(record)
+            # Group whole pairs by the pair's leftmost bucket.
+            buckets = {}
+            for qname, pair in groups.items():
+                anchor = min(
+                    (r.pos for r in pair if not r.flags.is_unmapped),
+                    default=0,
+                )
+                buckets.setdefault(anchor // 4000, []).extend(pair)
+            return list(buckets.values())
+
+        validator = SafePartitioningValidator(
+            MarkDuplicates(), position_split,
+            ignore_fields=("duplicate_flag",),
+            invariants={
+                "duplicate_counts": equal_duplicate_counts,
+                "record_counts": equal_record_counts,
+            },
+        )
+        verdict = validator.validate(sam_header, aligned[:800])
+        assert verdict.classification in (SAFE, COUNT_SAFE)
+
+    def test_lost_records_detected(self, sam_header, aligned):
+        def lossy_split(records):
+            return [records[: len(records) // 2]]  # drops half
+
+        validator = SafePartitioningValidator(CleanSam(), lossy_split)
+        verdict = validator.validate(sam_header, aligned[:100])
+        assert verdict.classification == UNSAFE
+        assert "lost" in verdict.notes
+
+
+# ---------------------------------------------------------------------------
+# Pipeline optimizer
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return PipelineOptimizer(CLUSTER_B, CostModel(), NA12878)
+
+
+class TestPipelineOptimizer:
+    def test_evaluate_plan(self, optimizer):
+        knobs = PlanKnobs(16, 1, 64, "opt", 16, 0.05)
+        evaluation = optimizer.evaluate(knobs)
+        assert evaluation.wall_seconds > 0
+        assert 0 < evaluation.cluster_efficiency <= 1.0
+
+    def test_opt_beats_reg_in_turnaround(self, optimizer):
+        opt = optimizer.evaluate(PlanKnobs(16, 1, 64, "opt", 16, 0.05))
+        reg = optimizer.evaluate(PlanKnobs(16, 1, 64, "reg", 16, 0.05))
+        assert opt.wall_seconds < reg.wall_seconds
+
+    def test_minimize_turnaround_picks_fastest(self, optimizer):
+        plans = [
+            PlanKnobs(16, 1, 64, "opt", 16, 0.05),
+            PlanKnobs(4, 4, 64, "reg", 8, 0.05),
+        ]
+        best = optimizer.minimize_turnaround(plans=plans)
+        assert best.knobs.markdup_mode == "opt"
+        assert best.knobs.align_mappers == 16
+
+    def test_efficiency_floor_respected(self, optimizer):
+        plans = [PlanKnobs(16, 1, 64, "opt", 16, 0.80)]
+        evaluation = optimizer.evaluate(plans[0])
+        floor = evaluation.cluster_efficiency + 0.2
+        if floor < 1.0:
+            with pytest.raises(SimulationError):
+                optimizer.minimize_turnaround(min_efficiency=floor,
+                                              plans=plans)
+
+    def test_deadline_respected(self, optimizer):
+        plans = [PlanKnobs(16, 1, 64, "opt", 16, 0.05)]
+        evaluation = optimizer.evaluate(plans[0])
+        best = optimizer.maximize_efficiency(
+            deadline_seconds=evaluation.wall_seconds * 1.01, plans=plans
+        )
+        assert best.wall_seconds <= evaluation.wall_seconds * 1.01
+        with pytest.raises(SimulationError):
+            optimizer.maximize_efficiency(
+                deadline_seconds=evaluation.wall_seconds * 0.5, plans=plans
+            )
+
+    def test_candidate_plans_cover_knobs(self, optimizer):
+        plans = optimizer.candidate_plans()
+        assert len(plans) >= 16
+        assert {p.markdup_mode for p in plans} == {"opt", "reg"}
+        assert {p.slowstart for p in plans} == {0.05, 0.80}
+
+
+# ---------------------------------------------------------------------------
+# Round 5 variants (functional)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def sorted_partitions(reference, aligner, pairs):
+    hdfs = Hdfs(["n0", "n1", "n2"], replication=2, block_size=64 * 1024)
+    engine = MapReduceEngine(hdfs.nodes)
+    rounds = GesallRounds(hdfs, engine, aligner, reference, chunk_bytes=8 * 1024)
+    r1 = rounds.round1_alignment(split_pairs_contiguously(list(pairs), 5))
+    r2 = rounds.round2_cleaning(r1, out_dir="/x2", num_reducers=3)
+    r3 = rounds.round3_mark_duplicates(r2, mode="opt", out_dir="/x3",
+                                       num_reducers=3)
+    r4 = rounds.round4_sort_index(r3, out_dir="/x4")
+    return rounds, r4
+
+
+class TestRound5Variants:
+    def test_unified_genotyper_round(self, sorted_partitions, donor):
+        rounds, r4 = sorted_partitions
+        variants = rounds.round5_unified_genotyper(r4)
+        assert variants
+        truth = donor.truth_sites()
+        hits = sum(1 for v in variants if v.site_key() in truth)
+        assert hits / len(truth) > 0.4
+
+    def test_finegrained_matches_chromosome_partitioning(
+        self, sorted_partitions
+    ):
+        """The correctness guarantee of the overlapping scheme: with the
+        safety overlap, fine-grained partitioning produces the same
+        calls as chromosome-level partitioning."""
+        rounds, r4 = sorted_partitions
+        config = HaplotypeCallerConfig()
+        coarse = rounds.round5_haplotype_caller(r4, config)
+        fine = rounds.round5_haplotype_caller_finegrained(
+            r4, segment_length=2500, hc_config=config
+        )
+        assert {v.site_key() for v in fine} == {v.site_key() for v in coarse}
+
+    def test_finegrained_uses_more_partitions(self, sorted_partitions,
+                                              reference):
+        rounds, r4 = sorted_partitions
+        rounds.round5_haplotype_caller_finegrained(r4, segment_length=2500)
+        result = rounds.results["round5_finegrained"]
+        assert len(result.history.reduces()) > len(reference.contig_names())
+
+    def test_safety_overlap_costs_replication(self, sorted_partitions):
+        """The price of the correctness guarantee: the safe overlap
+        replicates boundary reads into multiple partitions, shuffling
+        more records than a zero-overlap split would (the trade-off
+        section 3.2 describes)."""
+        from repro.mapreduce import counters as C
+        rounds, r4 = sorted_partitions
+        config = HaplotypeCallerConfig()
+        rounds.round5_haplotype_caller_finegrained(
+            r4, segment_length=2500, hc_config=config, overlap=0
+        )
+        no_overlap = rounds.results["round5_finegrained"].counters.get(
+            C.SHUFFLED_RECORDS
+        )
+        rounds.round5_haplotype_caller_finegrained(
+            r4, segment_length=2500, hc_config=config
+        )
+        safe = rounds.results["round5_finegrained"].counters.get(
+            C.SHUFFLED_RECORDS
+        )
+        assert safe > no_overlap

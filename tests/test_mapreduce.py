@@ -1,0 +1,215 @@
+"""Unit tests for the MapReduce engine and streaming emulation."""
+
+import pytest
+
+from repro.errors import MapReduceError
+from repro.mapreduce import counters as C
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import (
+    InputSplit,
+    JobConf,
+    default_partitioner,
+    make_splits,
+)
+from repro.mapreduce.streaming import (
+    BytesOutputReader,
+    ExternalProgram,
+    StreamingPipeline,
+    TextInputWriter,
+)
+
+
+def word_mapper(payload, ctx):
+    for word in payload.split():
+        ctx.emit(word, 1)
+
+
+def sum_reducer(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        counters = Counters()
+        counters.inc("A", 5)
+        counters.inc("A")
+        assert counters.get("A") == 6
+        assert counters.get("missing") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.inc("X", 1)
+        b.inc("X", 2)
+        b.inc("Y", 3)
+        a.merge(b)
+        assert a.get("X") == 3 and a.get("Y") == 3
+
+
+class TestJobConf:
+    def test_invalid_reducers(self):
+        with pytest.raises(MapReduceError):
+            JobConf("j", word_mapper, sum_reducer, num_reducers=0)
+
+    def test_invalid_slowstart(self):
+        with pytest.raises(MapReduceError):
+            JobConf("j", word_mapper, slowstart=1.5)
+
+    def test_map_only_detection(self):
+        assert JobConf("j", word_mapper).is_map_only
+        assert not JobConf("j", word_mapper, sum_reducer).is_map_only
+
+    def test_default_partitioner_stable_and_in_range(self):
+        for key in ["a", ("x", 1), 42]:
+            p = default_partitioner(key, 7)
+            assert 0 <= p < 7
+            assert p == default_partitioner(key, 7)
+
+    def test_make_splits(self):
+        splits = make_splits(["a", "b"], nodes=["n1", "n2"])
+        assert splits[0].preferred_node == "n1"
+        assert splits[1].preferred_node == "n2"
+        assert splits[0].split_id != splits[1].split_id
+
+
+class TestEngine:
+    def test_wordcount(self):
+        engine = MapReduceEngine(["n1", "n2"])
+        job = JobConf("wc", word_mapper, sum_reducer, num_reducers=3)
+        result = engine.run(job, make_splits(["a b a", "b c a"]))
+        assert sorted(result.all_outputs()) == [("a", 3), ("b", 2), ("c", 1)]
+
+    def test_output_invariant_to_reducer_count(self):
+        engine = MapReduceEngine(["n1"])
+        splits_text = ["the quick brown fox", "jumps over the lazy dog the"]
+        baselines = None
+        for reducers in (1, 2, 5, 13):
+            job = JobConf("wc", word_mapper, sum_reducer, num_reducers=reducers)
+            outputs = sorted(engine.run(job, make_splits(splits_text)).all_outputs())
+            if baselines is None:
+                baselines = outputs
+            assert outputs == baselines
+
+    def test_output_invariant_to_split_boundaries(self):
+        engine = MapReduceEngine(["n1"])
+        text = "a b c d e f a b c a b a"
+        job = JobConf("wc", word_mapper, sum_reducer, num_reducers=2)
+        one = sorted(engine.run(job, make_splits([text])).all_outputs())
+        words = text.split()
+        many = sorted(
+            engine.run(
+                job,
+                make_splits([" ".join(words[i : i + 3]) for i in range(0, 12, 3)]),
+            ).all_outputs()
+        )
+        assert one == many
+
+    def test_map_only_job(self):
+        engine = MapReduceEngine()
+        job = JobConf("ids", lambda payload, ctx: ctx.emit(payload, None))
+        result = engine.run(job, make_splits(["x", "y"]))
+        assert [k for k, _ in result.all_outputs()] == ["x", "y"]
+        assert result.counters.get(C.SHUFFLED_RECORDS) == 0
+
+    def test_counters_populated(self):
+        engine = MapReduceEngine()
+        job = JobConf("wc", word_mapper, sum_reducer, num_reducers=2)
+        result = engine.run(job, make_splits(["a b", "c d e"]))
+        assert result.counters.get(C.MAP_INPUT_RECORDS) == 2
+        assert result.counters.get(C.MAP_OUTPUT_RECORDS) == 5
+        assert result.counters.get(C.SHUFFLED_RECORDS) == 5
+        assert result.counters.get(C.REDUCE_INPUT_GROUPS) == 5
+
+    def test_reduce_values_arrive_in_map_task_order(self):
+        """Hadoop's merge keeps per-mapper segment order: values of one
+        key arrive in map-task order, not original input order — the
+        mechanism behind parallel MarkDuplicates tie differences."""
+        engine = MapReduceEngine()
+        observed = {}
+
+        def mapper(payload, ctx):
+            for item in payload:
+                ctx.emit("key", item)
+
+        def reducer(key, values, ctx):
+            observed[key] = list(values)
+
+        job = JobConf("order", mapper, reducer, num_reducers=1)
+        engine.run(job, make_splits([["m0-a", "m0-b"], ["m1-a"]]))
+        assert observed["key"] == ["m0-a", "m0-b", "m1-a"]
+
+    def test_history_tracks_tasks(self):
+        engine = MapReduceEngine(["n1", "n2"])
+        job = JobConf("wc", word_mapper, sum_reducer, num_reducers=2)
+        result = engine.run(job, make_splits(["a", "b", "c"]))
+        assert len(result.history.maps()) == 3
+        assert len(result.history.reduces()) == 2
+        nodes = {t.node for t in result.history.tasks}
+        assert nodes <= {"n1", "n2"}
+
+    def test_no_splits_rejected(self):
+        engine = MapReduceEngine()
+        with pytest.raises(MapReduceError):
+            engine.run(JobConf("j", word_mapper), [])
+
+    def test_custom_partitioner_respected(self):
+        engine = MapReduceEngine()
+        job = JobConf(
+            "p", word_mapper, sum_reducer,
+            partitioner=lambda key, n: 0, num_reducers=3,
+        )
+        result = engine.run(job, make_splits(["a b c"]))
+        assert result.reduce_outputs[0]
+        assert not result.reduce_outputs.get(1)
+
+    def test_spill_accounting(self):
+        engine = MapReduceEngine()
+
+        def big_mapper(payload, ctx):
+            for i in range(100):
+                ctx.emit(i % 7, payload)
+
+        job = JobConf("spill", big_mapper, sum_reducer, io_sort_records=30)
+        result = engine.run(job, make_splits([1]))
+        map_task = result.history.maps()[0]
+        assert map_task.spills == 4  # ceil(100 / 30)
+
+
+class Upper(ExternalProgram):
+    name = "upper"
+
+    def process(self, stdin: bytes) -> bytes:
+        return stdin.upper()
+
+
+class Exclaim(ExternalProgram):
+    name = "exclaim"
+
+    def process(self, stdin: bytes) -> bytes:
+        return stdin.replace(b"\n", b"!\n")
+
+
+class TestStreaming:
+    def test_pipeline_chains_programs(self):
+        pipeline = StreamingPipeline([Upper(), Exclaim()])
+        out = pipeline.run(b"hello\nworld\n")
+        assert out == b"HELLO!\nWORLD!\n"
+
+    def test_pipe_stats_recorded(self):
+        pipeline = StreamingPipeline([Upper(), Exclaim()])
+        pipeline.run(b"abc\n")
+        assert pipeline.stats.programs == ["upper", "exclaim"]
+        assert pipeline.stats.bytes_in == [4, 4]
+        assert pipeline.stats.bytes_out == [4, 5]
+        assert pipeline.stats.total_transferred() == 17
+
+    def test_pipe_flush_count(self):
+        pipeline = StreamingPipeline([Upper()], pipe_buffer_bytes=10)
+        assert pipeline.pipe_flushes(25) == 3
+
+    def test_text_writer_reader_roundtrip(self):
+        writer, reader = TextInputWriter(), BytesOutputReader()
+        lines = ["one", "two", "three"]
+        assert reader.decode(writer.encode(lines)) == lines
+        assert reader.decode(b"") == []
+        assert writer.encode([]) == b""

@@ -1,0 +1,159 @@
+"""Motivation tests and simulator property tests.
+
+The motivation tests demonstrate *why* Gesall's storage substrate and
+logical partitioning exist, by showing what breaks without them — the
+contrast the paper draws with Crossbow/HadoopBAM in its related work
+("does not support logical partitioning to ensure correct execution").
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.fix_mate import FixMateInformation
+from repro.cluster.fluid import FluidSimulator, Phase, Resource, SimTask
+from repro.cluster.hardware import CLUSTER_A
+from repro.cluster.mrsim import (
+    ClusterModel,
+    MapTaskSpec,
+    RoundSpec,
+    simulate_round,
+)
+from repro.errors import BamError, PipelineError
+from repro.formats.bam import bam_bytes, read_bam
+from repro.formats.sam import SamHeader
+from repro.hdfs.blocks import split_into_blocks
+
+
+class TestWhyLogicalPartitioningMatters:
+    """What happens if you do what the paper says NOT to do."""
+
+    def test_naive_block_split_breaks_bam_parsing(self, sam_header, aligned):
+        """'It is incorrect to let HDFS split a bam file into physical
+        blocks and distribute them to the nodes. This naive approach ...
+        breaks the correct bam format assumed in the analysis programs'
+        (section 3.1).  A block read in isolation is not a BAM file."""
+        data = bam_bytes(sam_header, aligned[:300], chunk_bytes=2048)
+        blocks = split_into_blocks(data, 4096)
+        assert len(blocks) > 2
+        # The first block parses only until its truncated tail chunk...
+        with pytest.raises(BamError):
+            read_bam(blocks[0])
+        # ...and interior blocks do not even start with the magic.
+        with pytest.raises(BamError):
+            read_bam(blocks[1])
+
+    def test_physical_partitioning_splits_pairs(self, sam_header, aligned):
+        """Without read-name logical partitioning, a split boundary
+        falls between the two reads of a pair and FixMateInformation's
+        assumptions are violated (the correctness issue Gesall's
+        logical partitions exist to prevent)."""
+        # Aligned output interleaves pair ends; an odd-length prefix
+        # necessarily ends mid-pair — exactly what a byte-offset split
+        # does to a record stream.
+        records = [r.copy() for r in aligned[:151]]
+        with pytest.raises(PipelineError):
+            FixMateInformation().run(sam_header, records)
+
+    def test_logical_partitioning_fixes_it(self, sam_header, aligned):
+        """The same data grouped by read name processes cleanly."""
+        from repro.gdpt.partitioner import GroupPartitioner, read_name_key
+        records = [r.copy() for r in aligned[:300]]
+        partitions = GroupPartitioner(read_name_key, 4).split(records)
+        total_out = 0
+        for partition in partitions:
+            _, out = FixMateInformation().run(sam_header, partition)
+            total_out += len(out)
+        assert total_out == len(records)
+
+
+# ---------------------------------------------------------------------------
+# Fluid simulator properties
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=1,
+             max_size=12),
+    st.floats(min_value=0.5, max_value=8.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_fluid_makespan_bounds(demands, capacity):
+    """Makespan is bounded below by total-work/capacity and by the
+    largest single demand at full capacity, and above by serial sum."""
+    resource = Resource("r", capacity)
+    sim = FluidSimulator()
+    for index, demand in enumerate(demands):
+        sim.start_task(SimTask(f"t{index}", [Phase(resource, demand)]))
+    wall = sim.run()
+    lower = max(sum(demands) / capacity, max(demands) / capacity)
+    upper = sum(demands) / capacity + 1e-6
+    assert lower - 1e-6 <= wall <= upper * 1.001 + 1e-6
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=30.0),   # cpu demand
+            st.floats(min_value=1.0, max_value=30.0),   # disk demand
+        ),
+        min_size=1, max_size=8,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_fluid_two_resource_conservation(task_demands):
+    """Service delivered on each resource equals the demand placed."""
+    cpu = Resource("cpu", 4.0)
+    disk = Resource("disk", 2.0)
+    sim = FluidSimulator()
+    for index, (cpu_demand, disk_demand) in enumerate(task_demands):
+        sim.start_task(
+            SimTask(f"t{index}", [Phase(cpu, cpu_demand),
+                                  Phase(disk, disk_demand)])
+        )
+    wall = sim.run()
+    for resource, expected in (
+        (cpu, sum(c for c, _ in task_demands)),
+        (disk, sum(d for _, d in task_demands)),
+    ):
+        delivered = sum(
+            (t1 - t0) * fraction * resource.capacity
+            for t0, t1, fraction in sim.trace.series(resource.name)
+        )
+        assert delivered == pytest.approx(expected, rel=1e-6)
+    assert wall > 0
+
+
+@given(st.integers(min_value=1, max_value=15), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=10, deadline=None)
+def test_more_nodes_never_slower(nodes, seed):
+    """Scale-out monotonicity for a fixed map-only workload."""
+    rng = random.Random(seed)
+    tasks = [
+        MapTaskSpec(
+            input_bytes=rng.uniform(1e8, 1e9),
+            cpu_core_seconds=rng.uniform(50, 500),
+            output_bytes=rng.uniform(1e7, 1e8),
+        )
+        for _ in range(20)
+    ]
+
+    def wall(n):
+        cluster = ClusterModel(CLUSTER_A.with_data_nodes(n))
+        spec = RoundSpec(
+            "mono",
+            [MapTaskSpec(t.input_bytes, t.cpu_core_seconds,
+                         output_bytes=t.output_bytes) for t in tasks],
+            map_slots_per_node=4,
+        )
+        return simulate_round(cluster, spec).wall_seconds
+
+    small = wall(nodes)
+    large = wall(min(15, nodes + 3))
+    assert large <= small * 1.001
+
+
+def test_header_for_motivation(sam_header):
+    """Sanity: the shared header covers both contigs of the fixture."""
+    assert len(sam_header.sequence_names()) == 2

@@ -1,0 +1,172 @@
+"""Unit tests for base quality score recalibration."""
+
+import pytest
+
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar
+from repro.formats.sam import SamRecord, encode_quals
+from repro.genome.reference import ReferenceGenome
+from repro.recal.apply import PrintReads
+from repro.recal.covariates import (
+    BaseObservation,
+    ContextCovariate,
+    CycleCovariate,
+    ReadGroupCovariate,
+    aligned_pairs,
+    observations,
+)
+from repro.recal.recalibrator import (
+    BaseRecalibrator,
+    CovariateCounts,
+    RecalibrationTable,
+    empirical_quality,
+)
+
+
+def rec(seq="ACGTACGTAC", pos=1, cigar="10M", flag_bits=0, quals=None,
+        rg="RG1"):
+    return SamRecord(
+        "r", F.SamFlags(flag_bits), "chr1", pos, 60, Cigar.parse(cigar),
+        seq=seq, qual=encode_quals(quals or [30] * len(seq)),
+        tags={"RG": rg},
+    )
+
+
+GENOME = ReferenceGenome({"chr1": "ACGTACGTACGTACGTACGT"})
+
+
+class TestAlignedPairs:
+    def test_simple_match(self):
+        pairs = list(aligned_pairs(rec(cigar="10M", pos=5)))
+        assert pairs[0] == (0, 5)
+        assert pairs[-1] == (9, 14)
+
+    def test_soft_clip_advances_read_only(self):
+        pairs = list(aligned_pairs(rec(cigar="2S8M", pos=5)))
+        assert pairs[0] == (2, 5)
+
+    def test_insertion_skips_read_bases(self):
+        pairs = list(aligned_pairs(rec(cigar="4M2I4M", pos=1)))
+        read_offsets = [p[0] for p in pairs]
+        assert 4 not in read_offsets and 5 not in read_offsets
+        assert pairs[4] == (6, 5)
+
+    def test_deletion_skips_ref(self):
+        pairs = list(aligned_pairs(rec(cigar="5M3D5M", pos=1)))
+        assert pairs[5] == (5, 9)
+
+
+class TestCovariates:
+    def obs(self, record, offset=0):
+        return BaseObservation(record, offset, 1, "A", record.seq[offset], 30)
+
+    def test_read_group(self):
+        assert ReadGroupCovariate().value(self.obs(rec(rg="LANE3"))) == "LANE3"
+
+    def test_cycle_forward(self):
+        assert CycleCovariate().value(self.obs(rec(), offset=4)) == 5
+
+    def test_cycle_reverse_negated(self):
+        record = rec(flag_bits=F.REVERSE)
+        assert CycleCovariate().value(self.obs(record, offset=4)) == -5
+
+    def test_context(self):
+        record = rec(seq="ACGTACGTAC")
+        assert ContextCovariate(2).value(self.obs(record, offset=3)) == "GT"
+
+    def test_context_at_read_start(self):
+        assert ContextCovariate(2).value(self.obs(rec(), offset=0)) == "NN"
+
+
+class TestObservations:
+    def test_counts_and_mismatch_detection(self):
+        record = rec(seq="ACGTACGTAC", pos=1)  # matches reference
+        obs = list(observations(record, GENOME))
+        assert len(obs) == 10
+        assert not any(o.is_mismatch for o in obs)
+
+    def test_mismatch_flagged(self):
+        record = rec(seq="TCGTACGTAC", pos=1)  # first base wrong
+        obs = list(observations(record, GENOME))
+        assert obs[0].is_mismatch
+        assert sum(o.is_mismatch for o in obs) == 1
+
+    def test_duplicates_and_unmapped_skipped(self):
+        dup = rec()
+        dup.set_duplicate(True)
+        assert list(observations(dup, GENOME)) == []
+        unmapped = rec(flag_bits=F.UNMAPPED)
+        assert list(observations(unmapped, GENOME)) == []
+
+
+class TestRecalibrationTable:
+    def test_empirical_quality_smoothing(self):
+        assert empirical_quality(0, 0) == pytest.approx(3.0103, abs=1e-3)
+        assert empirical_quality(998, 0) == pytest.approx(30.0, abs=0.01)
+
+    def test_counts_merge(self):
+        a = CovariateCounts(10, 1)
+        a.merge(CovariateCounts(10, 3))
+        assert (a.observed, a.errors) == (20, 4)
+
+    def test_table_merge_equals_single_pass(self):
+        recal = BaseRecalibrator(GENOME)
+        records = [rec(seq="TCGTACGTAC"), rec(seq="ACGTACGTAC")]
+        whole = recal.build_table(records)
+        part1 = recal.build_table(records[:1])
+        part2 = recal.build_table(records[1:])
+        part1.merge(part2)
+        assert part1.total_observations() == whole.total_observations()
+        assert part1.read_group["RG1"].errors == whole.read_group["RG1"].errors
+
+    def test_known_sites_excluded(self):
+        recal = BaseRecalibrator(GENOME, known_sites={("chr1", 1)})
+        table = recal.build_table([rec(seq="TCGTACGTAC")])
+        assert table.read_group["RG1"].errors == 0
+
+    def test_recalibrate_unknown_group_returns_reported(self):
+        table = RecalibrationTable()
+        assert table.recalibrate("nope", 30, {}) == 30
+
+    def test_recalibrate_moves_towards_empirical(self):
+        table = RecalibrationTable()
+        # Reported Q30 (error 1e-3) but observed error rate ~1e-1.
+        for i in range(200):
+            table.add_observation("RG1", 30, {}, is_error=(i % 10 == 0))
+        recalibrated = table.recalibrate("RG1", 30, {})
+        assert recalibrated < 30
+        assert recalibrated == pytest.approx(10, abs=2)
+
+
+class TestPrintReads:
+    def build_table(self):
+        recal = BaseRecalibrator(GENOME)
+        records = []
+        # Many high-quality observations with a few errors.
+        for i in range(50):
+            seq = "ACGTACGTAC" if i % 5 else "TCGTACGTAC"
+            records.append(rec(seq=seq))
+        return recal.build_table(records)
+
+    def test_rewrites_qualities(self):
+        table = self.build_table()
+        record = rec()
+        from repro.formats.sam import SamHeader
+        _, out = PrintReads(table).run(
+            SamHeader(sequences=[("chr1", 20)]), [record]
+        )
+        assert out[0].base_qualities() != record.base_qualities()
+
+    def test_star_sequence_untouched(self):
+        table = self.build_table()
+        record = rec()
+        record.seq = "*"
+        record.qual = "*"
+        PrintReads(table).apply_to_record(record)
+        assert record.qual == "*"
+
+    def test_quality_bounds(self):
+        table = self.build_table()
+        record = rec(quals=[2] * 10)
+        PrintReads(table).apply_to_record(record)
+        assert all(2 <= q <= 60 for q in record.base_qualities())

@@ -1,0 +1,232 @@
+"""Integration tests: the five MapReduce rounds and full pipelines.
+
+These run the complete Gesall pipeline on the shared synthetic dataset
+and check the paper's functional claims: record conservation across
+rounds, duplicate-count equivalence with the serial gold standard, and
+the characteristic small discordances of parallel execution.
+"""
+
+import pytest
+
+from repro.align.pairing import PairedEndAligner
+from repro.cleaning.duplicates import MarkDuplicates, duplicate_count
+from repro.cleaning.sort import SortSam
+from repro.formats.bam import read_bam
+from repro.gdpt.partitioner import split_pairs_contiguously
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.engine import MapReduceEngine
+from repro.pipeline.hybrid import HybridPipeline
+from repro.pipeline.parallel import GesallPipeline
+from repro.pipeline.serial import SerialPipeline
+from repro.wrappers.rounds import GesallRounds
+
+
+@pytest.fixture(scope="module")
+def rounds_env(reference, ref_index, aligner, pairs):
+    """A GesallRounds instance with Round 1 already executed."""
+    hdfs = Hdfs(["n0", "n1", "n2", "n3"], replication=2, block_size=64 * 1024)
+    engine = MapReduceEngine(hdfs.nodes)
+    rounds = GesallRounds(hdfs, engine, aligner, reference, chunk_bytes=8 * 1024)
+    partitions = split_pairs_contiguously(list(pairs), 6)
+    round1_paths = rounds.round1_alignment(partitions)
+    return rounds, hdfs, round1_paths
+
+
+def read_all(hdfs, paths):
+    records = []
+    for path in paths:
+        _, part = read_bam(hdfs.get(path))
+        records.extend(part)
+    return records
+
+
+class TestRound1:
+    def test_one_output_partition_per_input(self, rounds_env, pairs):
+        rounds, hdfs, paths = rounds_env
+        assert len(paths) == 6
+
+    def test_all_reads_aligned_once(self, rounds_env, pairs):
+        rounds, hdfs, paths = rounds_env
+        records = read_all(hdfs, paths)
+        assert len(records) == 2 * len(pairs)
+        names = {r.qname for r in records}
+        assert len(names) == len(pairs)
+
+    def test_outputs_are_logical_partitions(self, rounds_env):
+        rounds, hdfs, paths = rounds_env
+        for path in paths:
+            assert hdfs.get_file(path).logical_partition
+
+    def test_streaming_stats_captured(self, rounds_env):
+        rounds, _, _ = rounds_env
+        assert rounds.streaming_stats is not None
+        assert rounds.streaming_stats.programs == ["bwa-mem", "samtobam"]
+
+
+class TestRound2:
+    @pytest.fixture(scope="class")
+    def round2(self, rounds_env):
+        rounds, hdfs, round1_paths = rounds_env
+        paths = rounds.round2_cleaning(round1_paths, out_dir="/r2t",
+                                       num_reducers=3)
+        return rounds, hdfs, paths
+
+    def test_read_groups_stamped(self, round2):
+        rounds, hdfs, paths = round2
+        records = read_all(hdfs, paths)
+        assert all(r.tags.get("RG") == "RG1" for r in records)
+
+    def test_pairs_stay_together(self, round2):
+        """Logical partitioning: both reads of a pair in one partition."""
+        rounds, hdfs, paths = round2
+        for path in paths:
+            _, records = read_bam(hdfs.get(path))
+            counts = {}
+            for record in records:
+                counts[record.qname] = counts.get(record.qname, 0) + 1
+            assert all(count == 2 for count in counts.values())
+
+    def test_mate_info_fixed(self, round2):
+        rounds, hdfs, paths = round2
+        records = read_all(hdfs, paths)
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record.qname, []).append(record)
+        for ends in by_name.values():
+            first = next(e for e in ends if e.flags.is_first_in_pair)
+            second = next(e for e in ends if e.flags.is_second_in_pair)
+            if first.is_mapped and second.is_mapped:
+                assert first.pnext == second.pos
+                assert second.pnext == first.pos
+
+    def test_record_conservation(self, round2, rounds_env, pairs):
+        rounds, hdfs, paths = round2
+        records = read_all(hdfs, paths)
+        # CleanSam may drop overhanging alignments; nothing else changes.
+        assert 0 <= 2 * len(pairs) - len(records) < 0.02 * 2 * len(pairs)
+
+
+class TestRound3:
+    @pytest.fixture(scope="class")
+    def round3(self, rounds_env):
+        from repro.mapreduce import counters as C
+        rounds, hdfs, round1_paths = rounds_env
+        r2 = rounds.round2_cleaning(round1_paths, out_dir="/r2md",
+                                    num_reducers=3)
+        opt = rounds.round3_mark_duplicates(r2, mode="opt", out_dir="/r3opt",
+                                            num_reducers=3)
+        opt_shuffled = rounds.results["round3"].counters.get(C.SHUFFLED_RECORDS)
+        reg = rounds.round3_mark_duplicates(r2, mode="reg", out_dir="/r3reg",
+                                            num_reducers=3)
+        reg_shuffled = rounds.results["round3"].counters.get(C.SHUFFLED_RECORDS)
+        return rounds, hdfs, r2, opt, reg, opt_shuffled, reg_shuffled
+
+    def test_record_conservation(self, round3):
+        rounds, hdfs, r2, opt, reg, _, _ = round3
+        input_records = read_all(hdfs, r2)
+        assert len(read_all(hdfs, opt)) == len(input_records)
+        assert len(read_all(hdfs, reg)) == len(input_records)
+
+    def test_opt_and_reg_mark_same_number(self, round3):
+        rounds, hdfs, r2, opt, reg, _, _ = round3
+        assert duplicate_count(read_all(hdfs, opt)) == duplicate_count(
+            read_all(hdfs, reg)
+        )
+
+    def test_opt_shuffles_fewer_records(self, round3):
+        """The bloom-filter optimization cuts shuffled records (paper:
+        1.03x vs 1.92x the input)."""
+        rounds, hdfs, r2, opt, reg, opt_shuffled, reg_shuffled = round3
+        assert opt_shuffled < reg_shuffled
+
+    def test_duplicate_count_matches_serial(self, round3, sam_header):
+        """Paper section 4.5.2: the number of duplicates matches the
+        serial gold standard (only tie choices differ)."""
+        rounds, hdfs, r2, opt, reg, _, _ = round3
+        input_records = read_all(hdfs, r2)
+        serial = MarkDuplicates()
+        _, serial_out = serial.run(sam_header, input_records)
+        parallel_count = duplicate_count(read_all(hdfs, opt))
+        assert parallel_count == duplicate_count(serial_out)
+
+    def test_outputs_coordinate_sorted_within_partition(self, round3):
+        rounds, hdfs, r2, opt, reg, _, _ = round3
+        for path in opt:
+            header, records = read_bam(hdfs.get(path))
+            mapped = [r for r in records if r.is_mapped]
+            order = {name: i for i, name in enumerate(header.sequence_names())}
+            keys = [(order.get(r.rname, 99), r.pos) for r in mapped]
+            assert keys == sorted(keys)
+
+
+class TestRounds45:
+    @pytest.fixture(scope="class")
+    def round5(self, rounds_env, reference):
+        rounds, hdfs, round1_paths = rounds_env
+        r2 = rounds.round2_cleaning(round1_paths, out_dir="/r2v",
+                                    num_reducers=3)
+        r3 = rounds.round3_mark_duplicates(r2, mode="opt", out_dir="/r3v",
+                                           num_reducers=3)
+        r4 = rounds.round4_sort_index(r3, out_dir="/r4v")
+        variants = rounds.round5_haplotype_caller(r4)
+        return rounds, hdfs, r4, variants
+
+    def test_one_partition_per_contig(self, round5, reference):
+        rounds, hdfs, r4, variants = round5
+        assert len(r4) == len(reference.contig_names())
+
+    def test_partitions_sorted_and_indexed(self, round5):
+        rounds, hdfs, r4, variants = round5
+        for path in r4:
+            header, records = read_bam(hdfs.get(path))
+            assert header.sort_order == "coordinate"
+            positions = [r.pos for r in records]
+            assert positions == sorted(positions)
+            assert hdfs.exists(path + ".bai")
+
+    def test_variants_called(self, round5, donor):
+        rounds, hdfs, r4, variants = round5
+        assert variants
+        truth = donor.truth_sites()
+        hits = sum(1 for v in variants if v.site_key() in truth)
+        assert hits / len(truth) > 0.4  # sensitivity sanity bound
+
+    def test_variants_sorted(self, round5):
+        rounds, hdfs, r4, variants = round5
+        keys = [v.site_key() for v in variants]
+        assert keys == sorted(keys)
+
+
+class TestRecalRounds:
+    def test_recalibration_table_built_and_applied(self, rounds_env):
+        rounds, hdfs, round1_paths = rounds_env
+        r2 = rounds.round2_cleaning(round1_paths, out_dir="/r2rc",
+                                    num_reducers=2)
+        table = rounds.round_recalibrate(r2)
+        assert table.total_observations() > 0
+        out = rounds.round_print_reads(r2, table, out_dir="/bqsr")
+        before = read_all(hdfs, r2)
+        after = read_all(hdfs, out)
+        assert len(before) == len(after)
+        changed = sum(
+            1 for b, a in zip(
+                sorted(before, key=lambda r: (r.qname, int(r.flags))),
+                sorted(after, key=lambda r: (r.qname, int(r.flags))),
+            )
+            if b.qual != a.qual
+        )
+        assert changed > 0
+
+    def test_parallel_table_matches_serial(self, rounds_env, reference):
+        from repro.recal.recalibrator import BaseRecalibrator
+        rounds, hdfs, round1_paths = rounds_env
+        r2 = rounds.round2_cleaning(round1_paths, out_dir="/r2rc2",
+                                    num_reducers=2)
+        parallel_table = rounds.round_recalibrate(r2)
+        serial_table = BaseRecalibrator(reference).build_table(
+            read_all(hdfs, r2)
+        )
+        assert (
+            parallel_table.total_observations()
+            == serial_table.total_observations()
+        )

@@ -1,0 +1,169 @@
+"""Unit tests for SAM flags, records and headers."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar
+from repro.formats.sam import (
+    SamHeader,
+    SamRecord,
+    decode_quals,
+    encode_quals,
+    read_sam,
+    write_sam,
+)
+
+
+class TestFlags:
+    def test_bits_roundtrip(self):
+        flags = F.SamFlags(F.PAIRED | F.REVERSE | F.DUPLICATE)
+        assert flags.is_paired
+        assert flags.is_reverse
+        assert flags.is_duplicate
+        assert not flags.is_unmapped
+
+    def test_with_bit_set_and_clear(self):
+        flags = F.SamFlags(0)
+        flags = flags.with_bit(F.DUPLICATE, True)
+        assert flags.is_duplicate
+        flags = flags.with_bit(F.DUPLICATE, False)
+        assert not flags.is_duplicate
+
+    def test_primary_excludes_secondary_and_supplementary(self):
+        assert F.SamFlags(0).is_primary
+        assert not F.SamFlags(F.SECONDARY).is_primary
+        assert not F.SamFlags(F.SUPPLEMENTARY).is_primary
+
+    def test_unknown_bits_masked(self):
+        assert int(F.SamFlags(0x10000)) == 0
+
+    def test_equality(self):
+        assert F.SamFlags(5) == F.SamFlags(5)
+        assert F.SamFlags(5) != F.SamFlags(4)
+
+
+class TestQualityEncoding:
+    def test_roundtrip(self):
+        quals = [0, 10, 20, 40, 41]
+        assert decode_quals(encode_quals(quals)) == quals
+
+    def test_star_decodes_empty(self):
+        assert decode_quals("*") == []
+
+    def test_cap_at_93(self):
+        assert decode_quals(encode_quals([200])) == [93]
+
+
+def make_record(**overrides):
+    defaults = dict(
+        qname="read1",
+        flags=F.SamFlags(F.PAIRED | F.FIRST_IN_PAIR),
+        rname="chr1",
+        pos=100,
+        mapq=60,
+        cigar=Cigar.parse("10M"),
+        rnext="=",
+        pnext=300,
+        tlen=210,
+        seq="ACGTACGTAC",
+        qual=encode_quals([30] * 10),
+        tags={"RG": "RG1"},
+    )
+    defaults.update(overrides)
+    return SamRecord(**defaults)
+
+
+class TestSamRecord:
+    def test_line_roundtrip(self):
+        record = make_record()
+        assert SamRecord.from_line(record.to_line()) == record
+
+    def test_from_line_rejects_short(self):
+        with pytest.raises(FormatError):
+            SamRecord.from_line("a\tb\tc")
+
+    def test_malformed_tag_rejected(self):
+        line = make_record().to_line() + "\tbadtag"
+        with pytest.raises(FormatError):
+            SamRecord.from_line(line)
+
+    def test_reference_end(self):
+        assert make_record().reference_end == 109
+
+    def test_unclipped_five_prime_forward(self):
+        record = make_record(cigar=Cigar.parse("2S8M"), seq="ACGTACGTAC")
+        assert record.unclipped_five_prime == 98
+
+    def test_unclipped_five_prime_reverse(self):
+        record = make_record(
+            flags=F.SamFlags(F.PAIRED | F.REVERSE),
+            cigar=Cigar.parse("8M2S"),
+        )
+        assert record.unclipped_five_prime == 100 + 7 + 2
+
+    def test_sum_of_base_qualities_threshold(self):
+        record = make_record(qual=encode_quals([10, 20, 30, 30, 5, 15, 15, 15, 15, 15]))
+        assert record.sum_of_base_qualities(minimum=15) == 20 + 30 + 30 + 15 * 5
+
+    def test_set_duplicate(self):
+        record = make_record()
+        record.set_duplicate(True)
+        assert record.flags.is_duplicate
+        record.set_duplicate(False)
+        assert not record.flags.is_duplicate
+
+    def test_copy_is_deep_for_tags(self):
+        record = make_record()
+        dup = record.copy()
+        dup.tags["RG"] = "other"
+        assert record.tags["RG"] == "RG1"
+
+    def test_tags_serialized_sorted(self):
+        record = make_record(tags={"ZB": "2", "AA": "1"})
+        line = record.to_line()
+        assert line.index("AA:Z:1") < line.index("ZB:Z:2")
+
+
+class TestSamHeader:
+    def test_text_roundtrip(self):
+        header = SamHeader(
+            sequences=[("chr1", 9000), ("chr2", 7000)],
+            sort_order="coordinate",
+        )
+        header.add_read_group(ID="RG1", SM="S1")
+        header.add_program(ID="bwa", VN="1.0")
+        parsed = SamHeader.from_text(header.to_text())
+        assert parsed == header
+
+    def test_sequence_lookup(self):
+        header = SamHeader(sequences=[("chr1", 9000), ("chr2", 7000)])
+        assert header.sequence_length("chr2") == 7000
+        assert header.sequence_index("chr2") == 1
+
+    def test_unknown_sequence_raises(self):
+        header = SamHeader(sequences=[("chr1", 9000)])
+        with pytest.raises(FormatError):
+            header.sequence_length("chrZ")
+
+    def test_read_group_requires_id(self):
+        header = SamHeader()
+        with pytest.raises(FormatError):
+            header.add_read_group(SM="S1")
+
+    def test_copy_independent(self):
+        header = SamHeader(sequences=[("chr1", 10)])
+        dup = header.copy()
+        dup.sequences.append(("chr2", 20))
+        assert len(header.sequences) == 1
+
+
+class TestSamFileIO:
+    def test_file_roundtrip(self, tmp_path):
+        header = SamHeader(sequences=[("chr1", 9000)])
+        records = [make_record(qname=f"r{i}") for i in range(5)]
+        path = str(tmp_path / "test.sam")
+        write_sam(path, header, records)
+        got_header, got_records = read_sam(path)
+        assert got_header == header
+        assert got_records == records

@@ -1,0 +1,170 @@
+"""Tests for the MutectLite somatic caller and tumor simulation."""
+
+import pytest
+
+from repro.align.index import ReferenceIndex
+from repro.align.pairing import PairedEndAligner
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar
+from repro.formats.sam import SamRecord, encode_quals
+from repro.genome.reference import ReferenceGenome
+from repro.genome.simulate import (
+    DonorSimulationConfig,
+    ReadSimulationConfig,
+    ReferenceSimulationConfig,
+    SomaticSimulationConfig,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+    simulate_tumor,
+    simulate_tumor_reads,
+)
+from repro.variants.pileup import build_pileup
+from repro.variants.somatic import (
+    MutectConfig,
+    MutectLite,
+    normal_lod,
+    tumor_lod,
+)
+
+REF = ReferenceGenome({"chr1": "ACGTACGTAC" * 40})
+
+
+def reads(pos, alt, n_ref, n_alt, tag=""):
+    start = pos - 5
+    length = 20
+    ref_seq = REF.fetch("chr1", start, start + length)
+    alt_seq = ref_seq[:5] + alt + ref_seq[6:]
+    out = []
+    for i in range(n_ref):
+        bits = F.REVERSE if i % 2 else 0
+        out.append(SamRecord(
+            f"{tag}ref{i}", F.SamFlags(bits), "chr1", start, 60,
+            Cigar.parse(f"{length}M"), seq=ref_seq,
+            qual=encode_quals([35] * length),
+        ))
+    for i in range(n_alt):
+        bits = F.REVERSE if i % 2 else 0
+        out.append(SamRecord(
+            f"{tag}alt{i}", F.SamFlags(bits), "chr1", start, 60,
+            Cigar.parse(f"{length}M"), seq=alt_seq,
+            qual=encode_quals([35] * length),
+        ))
+    return out
+
+
+def column_at(records, pos):
+    return next(c for c in build_pileup(records, REF) if c.pos == pos)
+
+
+class TestLodScores:
+    def test_tumor_lod_positive_with_alt_evidence(self):
+        column = column_at(reads(100, "T", n_ref=12, n_alt=6), 100)
+        ref_base = REF.base_at("chr1", 100)
+        assert tumor_lod(column, ref_base, "T") > 6.3
+
+    def test_tumor_lod_near_zero_without_evidence(self):
+        column = column_at(reads(100, "T", n_ref=18, n_alt=0), 100)
+        ref_base = REF.base_at("chr1", 100)
+        assert tumor_lod(column, ref_base, "T") < 1.0
+
+    def test_normal_lod_positive_for_clean_normal(self):
+        column = column_at(reads(100, "T", n_ref=18, n_alt=0), 100)
+        ref_base = REF.base_at("chr1", 100)
+        assert normal_lod(column, ref_base, "T") > 2.3
+
+    def test_normal_lod_negative_for_germline_het(self):
+        column = column_at(reads(100, "T", n_ref=9, n_alt=9), 100)
+        ref_base = REF.base_at("chr1", 100)
+        assert normal_lod(column, ref_base, "T") < 0.0
+
+
+class TestMutectLite:
+    def test_somatic_site_called(self):
+        tumor = reads(100, "T", n_ref=12, n_alt=8, tag="t")
+        normal = reads(100, "T", n_ref=15, n_alt=0, tag="n")
+        calls = MutectLite(REF).call(tumor, normal)
+        assert len(calls) == 1
+        call = calls[0]
+        assert call.pos == 100 and call.alt == "T"
+        assert call.info["AF"] == pytest.approx(0.4, abs=0.01)
+        assert call.info["TLOD"] > 6.3
+
+    def test_germline_site_rejected(self):
+        tumor = reads(100, "T", n_ref=10, n_alt=10, tag="t")
+        normal = reads(100, "T", n_ref=8, n_alt=8, tag="n")
+        assert MutectLite(REF).call(tumor, normal) == []
+
+    def test_no_normal_coverage_no_call(self):
+        tumor = reads(100, "T", n_ref=12, n_alt=8, tag="t")
+        assert MutectLite(REF).call(tumor, []) == []
+
+    def test_low_depth_tumor_skipped(self):
+        tumor = reads(100, "T", n_ref=2, n_alt=2, tag="t")
+        normal = reads(100, "T", n_ref=15, n_alt=0, tag="n")
+        assert MutectLite(REF).call(tumor, normal) == []
+
+    def test_low_fraction_subclone_called_with_enough_reads(self):
+        tumor = reads(100, "T", n_ref=40, n_alt=7, tag="t")
+        normal = reads(100, "T", n_ref=20, n_alt=0, tag="n")
+        calls = MutectLite(REF).call(tumor, normal)
+        assert len(calls) == 1
+        assert calls[0].info["AF"] == pytest.approx(7 / 47, abs=0.01)
+
+    def test_noise_not_called(self):
+        tumor = reads(100, "T", n_ref=28, n_alt=2, tag="t")
+        normal = reads(100, "T", n_ref=20, n_alt=0, tag="n")
+        assert MutectLite(REF).call(tumor, normal) == []
+
+
+class TestTumorSimulation:
+    @pytest.fixture(scope="class")
+    def tumor_setup(self):
+        reference = simulate_reference(
+            ReferenceSimulationConfig(contig_lengths={"chr1": 12000}, seed=81)
+        )
+        donor = simulate_donor(reference, DonorSimulationConfig(seed=82))
+        tumor = simulate_tumor(
+            donor, SomaticSimulationConfig(somatic_snvs=6, purity=0.8, seed=83)
+        )
+        return reference, donor, tumor
+
+    def test_somatic_sites_avoid_germline_and_hard_regions(self, tumor_setup):
+        reference, donor, tumor = tumor_setup
+        germline = {(v.chrom, v.pos) for v in donor.truth_variants}
+        for somatic in tumor.somatic_truth:
+            assert (somatic.chrom, somatic.pos) not in germline
+            assert not reference.in_hard_region(somatic.chrom, somatic.pos)
+
+    def test_tumor_haplotype_differs_only_at_somatic_sites(self, tumor_setup):
+        _, donor, tumor = tumor_setup
+        tumor_a = tumor.tumor_haplotypes[0]["chr1"]
+        normal_a = donor.haplotypes[0]["chr1"]
+        diffs = [
+            i + 1 for i, (a, b) in enumerate(zip(tumor_a, normal_a)) if a != b
+        ]
+        assert len(diffs) == len(tumor.somatic_truth)
+
+    def test_end_to_end_somatic_detection(self, tumor_setup):
+        reference, donor, tumor = tumor_setup
+        normal_pairs, _ = simulate_reads(
+            donor, ReadSimulationConfig(coverage=25.0, seed=84)
+        )
+        tumor_pairs, _ = simulate_tumor_reads(
+            tumor, ReadSimulationConfig(coverage=30.0, seed=85,
+                                        sample_name="TUM1")
+        )
+        aligner = PairedEndAligner(ReferenceIndex(reference))
+        normal_records = aligner.align_all(normal_pairs, batch_size=800)
+        tumor_records = aligner.align_all(tumor_pairs, batch_size=800)
+        calls = MutectLite(reference).call(tumor_records, normal_records)
+        called = {c.site_key() for c in calls}
+        truth = tumor.somatic_sites()
+        sensitivity = len(called & truth) / len(truth)
+        assert sensitivity >= 0.65
+        false_positives = len(called - truth)
+        assert false_positives <= 2
+        # Allele fractions reflect the 0.8 purity (expected ~0.4).
+        true_calls = [c for c in calls if c.site_key() in truth]
+        mean_af = sum(c.info["AF"] for c in true_calls) / len(true_calls)
+        assert 0.25 < mean_af < 0.55

@@ -1,0 +1,252 @@
+"""Unit tests for pileup, genotyper, haplotype caller and annotations."""
+
+import pytest
+
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar
+from repro.formats.sam import SamRecord, encode_quals
+from repro.genome.reference import ReferenceGenome
+from repro.genome.regions import GenomicInterval
+from repro.variants.annotations import (
+    allele_balance,
+    fisher_exact_two_tailed,
+    fisher_strand,
+    rms_mapping_quality,
+)
+from repro.variants.genotyper import (
+    GenotyperConfig,
+    UnifiedGenotyperLite,
+    diploid_snp_posteriors,
+)
+from repro.variants.haplotype import (
+    HaplotypeCallerConfig,
+    HaplotypeCallerLite,
+    activity_score,
+    required_overlap,
+)
+from repro.variants.pileup import (
+    PileupConfig,
+    build_pileup,
+    record_passes,
+)
+
+REF = ReferenceGenome({"chr1": "ACGTACGTAC" * 30})
+
+
+def rec(qname, pos, seq, flag_bits=0, mapq=60, cigar=None, quals=None):
+    cigar = cigar or f"{len(seq)}M"
+    return SamRecord(
+        qname, F.SamFlags(flag_bits), "chr1", pos, mapq, Cigar.parse(cigar),
+        seq=seq, qual=encode_quals(quals or [35] * len(seq)),
+    )
+
+
+def reads_with_snp(pos=50, alt="T", n_ref=10, n_alt=10, length=20):
+    """Reads covering `pos`; n_alt carry `alt` at that position."""
+    reads = []
+    start = pos - 5
+    ref_seq = REF.fetch("chr1", start, start + length)
+    alt_seq = ref_seq[:5] + alt + ref_seq[6:]
+    for i in range(n_ref):
+        bits = F.REVERSE if i % 2 else 0
+        reads.append(rec(f"ref{i}", start, ref_seq, bits))
+    for i in range(n_alt):
+        bits = F.REVERSE if i % 2 else 0
+        reads.append(rec(f"alt{i}", start, alt_seq, bits))
+    return reads
+
+
+class TestPileup:
+    def test_depth_and_bases(self):
+        reads = reads_with_snp(n_ref=6, n_alt=4)
+        columns = {c.pos: c for c in build_pileup(reads, REF)}
+        column = columns[50]
+        assert column.depth == 10
+        counts = column.base_counts()
+        assert counts["T"] == 4
+
+    def test_filters_low_mapq(self):
+        reads = [rec("a", 10, "ACGTACGTAC", mapq=5)]
+        assert list(build_pileup(reads, REF)) == []
+
+    def test_filters_duplicates(self):
+        read = rec("a", 10, "ACGTACGTAC")
+        read.set_duplicate(True)
+        assert list(build_pileup([read], REF)) == []
+        config = PileupConfig(include_duplicates=True)
+        assert list(build_pileup([read], REF, config=config))
+
+    def test_interval_restriction(self):
+        reads = reads_with_snp()
+        interval = GenomicInterval("chr1", 48, 52)
+        columns = list(build_pileup(reads, REF, interval))
+        assert all(48 <= c.pos < 52 for c in columns)
+
+    def test_insertion_detected(self):
+        # Read with 2-base insertion after offset 9 (ref pos 10+9=wrong);
+        # build: 10M 2I 8M starting at pos 11.
+        seq = REF.fetch("chr1", 11, 21) + "TT" + REF.fetch("chr1", 21, 29)
+        read = rec("ins", 11, seq, cigar="10M2I8M")
+        columns = {c.pos: c for c in build_pileup([read], REF)}
+        indels = columns[20].indel_observations()
+        assert len(indels) == 1
+        (ref_allele, alt_allele), count = next(iter(indels.items()))
+        assert count == 1
+        assert alt_allele == ref_allele + "TT"
+
+    def test_deletion_detected(self):
+        seq = REF.fetch("chr1", 11, 21) + REF.fetch("chr1", 24, 32)
+        read = rec("del", 11, seq, cigar="10M3D8M")
+        columns = {c.pos: c for c in build_pileup([read], REF)}
+        indels = columns[20].indel_observations()
+        (ref_allele, alt_allele), _ = next(iter(indels.items()))
+        assert len(ref_allele) == 4
+        assert alt_allele == ref_allele[0]
+
+    def test_record_passes(self):
+        config = PileupConfig()
+        assert record_passes(rec("a", 1, "ACGT"), config)
+        assert not record_passes(rec("a", 1, "ACGT", flag_bits=F.UNMAPPED), config)
+        assert not record_passes(rec("a", 1, "ACGT", flag_bits=F.SECONDARY), config)
+
+
+class TestAnnotations:
+    def test_rms_mapq(self):
+        assert rms_mapping_quality([60, 60]) == pytest.approx(60.0)
+        assert rms_mapping_quality([]) == 0.0
+        assert rms_mapping_quality([30, 50]) == pytest.approx(41.23, abs=0.01)
+
+    def test_allele_balance(self):
+        assert allele_balance(10, 10) == 0.5
+        assert allele_balance(0, 10) == 1.0
+        assert allele_balance(0, 0) == 0.0
+
+    def test_fisher_unbiased(self):
+        assert fisher_exact_two_tailed(10, 10, 10, 10) == pytest.approx(1.0, abs=0.05)
+        assert fisher_strand(10, 10, 10, 10) < 3.0
+
+    def test_fisher_biased(self):
+        # All ALT on one strand, REF balanced: strong bias.
+        assert fisher_strand(10, 10, 15, 0) > 10.0
+
+    def test_fisher_empty(self):
+        assert fisher_exact_two_tailed(0, 0, 0, 0) == 1.0
+
+
+class TestGenotyper:
+    def test_heterozygous_snp_called(self):
+        reads = reads_with_snp(n_ref=12, n_alt=10)
+        calls = UnifiedGenotyperLite(REF).call(reads)
+        snp = [c for c in calls if c.pos == 50]
+        assert len(snp) == 1
+        assert snp[0].alt == "T"
+        assert snp[0].genotype == "0/1"
+        assert snp[0].info["DP"] == 22
+
+    def test_homozygous_snp_called(self):
+        reads = reads_with_snp(n_ref=0, n_alt=15)
+        calls = UnifiedGenotyperLite(REF).call(reads)
+        snp = [c for c in calls if c.pos == 50]
+        assert snp and snp[0].genotype == "1/1"
+
+    def test_no_call_on_clean_pileup(self):
+        reads = reads_with_snp(n_ref=15, n_alt=0)
+        calls = UnifiedGenotyperLite(REF).call(reads)
+        assert calls == []
+
+    def test_sequencing_noise_not_called(self):
+        # One low-quality alt read among many ref reads.
+        reads = reads_with_snp(n_ref=20, n_alt=1)
+        calls = UnifiedGenotyperLite(REF).call(reads)
+        assert [c for c in calls if c.pos == 50] == []
+
+    def test_min_depth_respected(self):
+        reads = reads_with_snp(n_ref=1, n_alt=2)
+        config = GenotyperConfig(min_depth=10)
+        assert UnifiedGenotyperLite(REF, config).call(reads) == []
+
+    def test_posteriors_sum_to_one(self):
+        reads = reads_with_snp(n_ref=5, n_alt=5)
+        column = next(
+            c for c in build_pileup(reads, REF) if c.pos == 50
+        )
+        ref_base = REF.base_at("chr1", 50)
+        p = diploid_snp_posteriors(column, ref_base, "T", GenotyperConfig())
+        assert sum(p) == pytest.approx(1.0)
+        assert p[1] > p[0] and p[1] > p[2]  # het most likely at 50/50
+
+    def test_indel_called(self):
+        reads = []
+        for i in range(8):
+            seq = REF.fetch("chr1", 11, 21) + "GG" + REF.fetch("chr1", 21, 29)
+            reads.append(rec(f"i{i}", 11, seq, cigar="10M2I8M"))
+        for i in range(8):
+            reads.append(rec(f"r{i}", 11, REF.fetch("chr1", 11, 31)))
+        calls = UnifiedGenotyperLite(REF).call(reads)
+        indels = [c for c in calls if c.is_indel]
+        assert len(indels) == 1
+        assert indels[0].pos == 20
+        assert indels[0].alt.endswith("GG")
+
+
+class TestHaplotypeCaller:
+    def test_activity_score(self):
+        reads = reads_with_snp(n_ref=10, n_alt=10)
+        column = next(c for c in build_pileup(reads, REF) if c.pos == 50)
+        ref_base = REF.base_at("chr1", 50)
+        assert activity_score(column, ref_base) == pytest.approx(0.5)
+
+    def test_calls_variant_in_active_window(self):
+        reads = reads_with_snp(n_ref=10, n_alt=10)
+        calls = HaplotypeCallerLite(REF).call(reads)
+        assert any(c.pos == 50 and c.alt == "T" for c in calls)
+
+    def test_quiet_genome_no_windows(self):
+        reads = reads_with_snp(n_ref=15, n_alt=0)
+        caller = HaplotypeCallerLite(REF)
+        columns = list(build_pileup(reads, REF))
+        assert caller.active_windows(columns) == []
+
+    def test_window_respects_max_length(self):
+        config = HaplotypeCallerConfig(max_window=30)
+        caller = HaplotypeCallerLite(REF, config)
+        reads = []
+        # Alt evidence across a long stretch -> windows must split.
+        for start in range(11, 150, 4):
+            ref_seq = REF.fetch("chr1", start, start + 20)
+            alt_seq = "".join(
+                ("T" if b == "A" else "A") for b in ref_seq
+            )
+            reads.append(rec(f"n{start}", start, alt_seq))
+            reads.append(rec(f"m{start}", start, ref_seq))
+        windows = caller.active_windows(list(build_pileup(reads, REF)))
+        assert windows
+        assert all(w.length <= config.max_window + 1 for w in windows)
+
+    def test_emit_interval_filters_calls(self):
+        reads = reads_with_snp(n_ref=10, n_alt=10)
+        caller = HaplotypeCallerLite(REF)
+        inside = caller.call(
+            reads, emit_interval=GenomicInterval("chr1", 45, 55)
+        )
+        outside = caller.call(
+            reads, emit_interval=GenomicInterval("chr1", 100, 200)
+        )
+        assert any(c.pos == 50 for c in inside)
+        assert not outside
+
+    def test_required_overlap_bound(self):
+        config = HaplotypeCallerConfig(max_window=240, trend_window=10)
+        assert required_overlap(config) >= 250
+
+    def test_downsampling_triggers_at_high_depth(self):
+        config = HaplotypeCallerConfig(downsample_depth=10)
+        caller = HaplotypeCallerLite(REF, config)
+        reads = reads_with_snp(n_ref=40, n_alt=40)
+        kept = caller._downsample(reads, None)
+        assert len(kept) < len(reads)
+
+    def test_downsampling_not_triggered_at_low_depth(self):
+        caller = HaplotypeCallerLite(REF)
+        reads = reads_with_snp(n_ref=5, n_alt=5)
+        assert len(caller._downsample(reads, None)) == len(reads)

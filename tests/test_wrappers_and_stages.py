@@ -1,0 +1,86 @@
+"""Tests for the wrapper adapters and the Table 2 stage catalog."""
+
+import pytest
+
+from repro.cleaning.clean_sam import CleanSam
+from repro.formats.bam import read_bam
+from repro.formats.fastq import FastqRecord
+from repro.formats.sam import SamHeader
+from repro.mapreduce.streaming import StreamingPipeline
+from repro.pipeline.stages import TABLE2_STAGES, stage_by_name, total_pipeline_hours
+from repro.wrappers.programs import (
+    BwaExternal,
+    DataTransformAccounting,
+    SamToBamExternal,
+    interleaved_text_to_pairs,
+    pairs_to_interleaved_text,
+    run_wrapped,
+)
+
+
+class TestInterleavedText:
+    def test_roundtrip(self, pairs):
+        subset = pairs[:10]
+        text = pairs_to_interleaved_text(subset)
+        parsed = interleaved_text_to_pairs(text)
+        assert parsed == subset
+
+    def test_malformed_rejected(self):
+        from repro.errors import FormatError
+        with pytest.raises(FormatError):
+            interleaved_text_to_pairs("@only_one_line\n")
+
+
+class TestBwaExternal:
+    def test_emits_header_and_records(self, aligner, pairs):
+        program = BwaExternal(aligner)
+        out = program.process(pairs_to_interleaved_text(pairs[:5]).encode())
+        lines = out.decode().rstrip("\n").split("\n")
+        header_lines = [l for l in lines if l.startswith("@")]
+        record_lines = [l for l in lines if not l.startswith("@")]
+        assert any(l.startswith("@SQ") for l in header_lines)
+        assert len(record_lines) == 10
+
+    def test_pipes_into_samtobam(self, aligner, pairs):
+        pipeline = StreamingPipeline([BwaExternal(aligner), SamToBamExternal()])
+        bam_data = pipeline.run(pairs_to_interleaved_text(pairs[:5]).encode())
+        header, records = read_bam(bam_data)
+        assert len(records) == 10
+        assert header.sequence_names()
+
+
+class TestTransformAccounting:
+    def test_bytes_counted_on_both_sides(self, sam_header, aligned):
+        accounting = DataTransformAccounting()
+        run_wrapped(CleanSam(), sam_header, aligned[:50], accounting)
+        assert accounting.invocations == 1
+        assert accounting.bytes_to_program > 0
+        assert accounting.bytes_from_program > 0
+        assert accounting.total_bytes == (
+            accounting.bytes_to_program + accounting.bytes_from_program
+        )
+
+    def test_optional_accounting(self, sam_header, aligned):
+        header, out = run_wrapped(CleanSam(), sam_header, aligned[:10], None)
+        assert out
+
+
+class TestStageCatalog:
+    def test_ten_stages(self):
+        assert len(TABLE2_STAGES) == 10
+        assert [s.step for s in TABLE2_STAGES] == [
+            "1", "2", "3", "4", "5", "6", "7", "8", "v1", "v2"
+        ]
+
+    def test_paper_text_anchors(self):
+        assert stage_by_name("Clean Sam").single_server_hours == 7.55
+        assert stage_by_name("Clean Sam").source == "paper-text"
+        assert stage_by_name("Mark Duplicates").single_server_hours == pytest.approx(14.45, abs=0.01)
+
+    def test_total_about_two_weeks(self):
+        total_days = total_pipeline_hours() / 24.0
+        assert 10 <= total_days <= 16
+
+    def test_unknown_stage(self):
+        with pytest.raises(KeyError):
+            stage_by_name("Nope")
