@@ -1,0 +1,138 @@
+"""Executor scaling: what real parallelism buys the in-process engine.
+
+Two experiments:
+
+* Round 1 alignment (the pipeline's heaviest round) run end-to-end
+  under every executor, proving outputs stay byte-identical while the
+  wall clock changes with the worker pool.  Pure-Python map work only
+  speeds up when the host actually has spare cores, so the >= 1.5x
+  assertion is gated on ``os.cpu_count() >= 4``.
+* An external-program stall round: map tasks that spend most of their
+  time blocked on a (modelled) pipe to bwa, the regime the paper's
+  streaming rounds live in.  Blocked time overlaps on any host — even
+  a single-core one — so here the 4-worker process executor must beat
+  serial by >= 1.5x unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchlib import report
+
+from repro.align import AlignerConfig, PairedEndAligner, ReferenceIndex
+from repro.gdpt.partitioner import split_pairs_contiguously
+from repro.genome import (
+    DonorSimulationConfig,
+    ReadSimulationConfig,
+    ReferenceSimulationConfig,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+)
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import JobConf, make_splits
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.wrappers.rounds import GesallRounds
+
+POLICIES = [
+    ("serial", ExecutionPolicy.serial()),
+    ("thread@4", ExecutionPolicy.threads(max_workers=4)),
+    ("process@4", ExecutionPolicy.processes(max_workers=4)),
+]
+
+
+def _round1_dataset():
+    reference = simulate_reference(
+        ReferenceSimulationConfig(
+            contig_lengths={"chr1": 12000, "chr2": 9000}, seed=311
+        )
+    )
+    donor = simulate_donor(
+        reference, DonorSimulationConfig(snp_rate=2e-3, seed=312)
+    )
+    pairs, _ = simulate_reads(
+        donor, ReadSimulationConfig(coverage=14.0, seed=313)
+    )
+    index = ReferenceIndex(reference)
+    aligner = PairedEndAligner(index, AlignerConfig(seed=7))
+    return reference, aligner, pairs
+
+
+def _run_round1(reference, aligner, pairs, policy):
+    hdfs = Hdfs(["n0", "n1", "n2", "n3"], replication=2)
+    rounds = GesallRounds(
+        hdfs, aligner=aligner, reference=reference, policy=policy
+    )
+    partitions = split_pairs_contiguously(list(pairs), 8)
+    start = time.perf_counter()
+    paths = rounds.round1_alignment(partitions)
+    elapsed = time.perf_counter() - start
+    outputs = tuple(hdfs.get(path) for path in paths)
+    return elapsed, outputs
+
+
+def test_round1_executor_scaling():
+    reference, aligner, pairs = _round1_dataset()
+    timings = {}
+    outputs = {}
+    for name, policy in POLICIES:
+        timings[name], outputs[name] = _run_round1(
+            reference, aligner, pairs, policy
+        )
+    lines = [f"Round 1 alignment, 8 partitions, {os.cpu_count()} host cores:"]
+    for name, _ in POLICIES:
+        speedup = timings["serial"] / timings[name]
+        lines.append(
+            f"  {name:<10s}{timings[name]:>8.3f} s   {speedup:>5.2f}x"
+        )
+    report("executor_scaling_round1", "\n".join(lines))
+    # Determinism holds regardless of how fast the round ran.
+    assert outputs["thread@4"] == outputs["serial"]
+    assert outputs["process@4"] == outputs["serial"]
+    if (os.cpu_count() or 1) >= 4:
+        assert timings["serial"] / timings["process@4"] >= 1.5
+
+
+STALL_SECONDS = 0.15
+STALL_TASKS = 8
+
+
+def _run_stall_round(policy):
+    def mapper(payload, ctx):
+        # A streaming map task is mostly blocked on its pipe while the
+        # external aligner runs; model that wait, then do the small
+        # amount of Python-side framing work.
+        time.sleep(STALL_SECONDS)
+        ctx.emit(payload, sum(ord(c) for c in payload))
+
+    engine = MapReduceEngine(nodes=["n0", "n1"], policy=policy)
+    splits = make_splits([f"partition-{i:02d}" for i in range(STALL_TASKS)])
+    start = time.perf_counter()
+    result = engine.run(JobConf("round1-stall", mapper), splits)
+    return time.perf_counter() - start, result.all_outputs()
+
+
+def test_external_program_stall_scaling():
+    timings = {}
+    outputs = {}
+    for name, policy in POLICIES:
+        timings[name], outputs[name] = _run_stall_round(policy)
+    lines = [
+        f"Streaming-stall round: {STALL_TASKS} map tasks x "
+        f"{STALL_SECONDS:.2f} s pipe wait:"
+    ]
+    for name, _ in POLICIES:
+        speedup = timings["serial"] / timings[name]
+        lines.append(
+            f"  {name:<10s}{timings[name]:>8.3f} s   {speedup:>5.2f}x"
+        )
+    report("executor_scaling_stall", "\n".join(lines))
+    assert outputs["thread@4"] == outputs["serial"]
+    assert outputs["process@4"] == outputs["serial"]
+    # Blocked pipe time overlaps even on one core: 8 tasks of 0.15 s
+    # serialize to ~1.2 s but finish in ~2 waves on 4 workers.
+    assert timings["serial"] / timings["process@4"] >= 1.5
+    assert timings["serial"] / timings["thread@4"] >= 1.5

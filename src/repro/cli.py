@@ -32,9 +32,28 @@ from repro.genome.simulate import (
     simulate_reads,
     simulate_reference,
 )
+from repro.mapreduce.policy import EXECUTOR_KINDS, ExecutionPolicy
 from repro.metrics.accuracy import precision_sensitivity
 from repro.pipeline.parallel import GesallPipeline
 from repro.pipeline.serial import SerialPipeline
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", choices=EXECUTOR_KINDS,
+                        default="serial",
+                        help="how MR tasks run (default: serial)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="worker slots for thread/process executors")
+    parser.add_argument("--task-retries", type=int, default=0,
+                        help="retries per failed task (default: 0)")
+
+
+def _policy_from_args(args) -> ExecutionPolicy:
+    return ExecutionPolicy(
+        executor=args.executor,
+        max_workers=args.max_workers,
+        task_retries=args.task_retries,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,11 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--partitions", type=int, default=8,
                      help="FASTQ logical partitions (parallel mode)")
     run.add_argument("--vcf", default=None, help="output VCF path")
+    _add_executor_flags(run)
 
     diag = sub.add_parser("diagnose",
                           help="run both pipelines and compare (Table 8)")
     diag.add_argument("--data", required=True)
     diag.add_argument("--partitions", type=int, default=8)
+    _add_executor_flags(diag)
 
     perf = sub.add_parser("perf-study",
                           help="print the simulated performance study")
@@ -109,7 +130,8 @@ def _cmd_run(args) -> int:
         result = SerialPipeline(reference, index=index).run(pairs)
     else:
         result = GesallPipeline(
-            reference, index=index, num_fastq_partitions=args.partitions
+            reference, index=index, num_fastq_partitions=args.partitions,
+            policy=_policy_from_args(args),
         ).run(pairs)
     vcf_path = args.vcf or os.path.join(args.data, f"{args.mode}.vcf")
     write_vcf(vcf_path, result.variants)
@@ -129,7 +151,8 @@ def _cmd_diagnose(args) -> int:
     index = ReferenceIndex(reference)
     serial = SerialPipeline(reference, index=index).run(pairs)
     parallel = GesallPipeline(
-        reference, index=index, num_fastq_partitions=args.partitions
+        reference, index=index, num_fastq_partitions=args.partitions,
+        policy=_policy_from_args(args),
     ).run(pairs)
     report = ErrorDiagnosisToolkit(reference).diagnose(serial, parallel)
     print(f"{'stage':<18s}{'D_count':>10s}{'weighted':>10s}{'D_impact':>10s}")
@@ -184,6 +207,8 @@ def _cmd_perf_study(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.errors import MapReduceError, PipelineError
+
     args = _build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
@@ -191,7 +216,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diagnose": _cmd_diagnose,
         "perf-study": _cmd_perf_study,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (MapReduceError, PipelineError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cluster.fluid import FluidSimulator, Phase, Resource, SimTask
 from repro.cluster.hardware import ClusterSpec
 from repro.errors import SimulationError
+from repro.mapreduce.policy import ExecutionPolicy
 
 REFERENCE_GHZ = 2.4
 
@@ -174,9 +175,36 @@ class RoundResult:
         return f"RoundResult({self.name}, wall={self.wall_seconds:.0f}s)"
 
 
-def simulate_round(cluster: ClusterModel, spec: RoundSpec) -> RoundResult:
-    """Run one MapReduce round through the fluid simulator."""
+def effective_slots(slots: int, policy: Optional[ExecutionPolicy]) -> int:
+    """Per-node task slots after an execution policy caps them.
+
+    The simulator mirrors the in-process engine: a serial policy runs
+    one task at a time per node, and a bounded worker pool caps the
+    configured Hadoop slots.  No policy leaves the spec untouched.
+    """
+    if policy is None or slots <= 0:
+        return slots
+    if policy.executor == "serial":
+        return 1
+    if policy.max_workers is not None:
+        return min(slots, policy.max_workers)
+    return slots
+
+
+def simulate_round(
+    cluster: ClusterModel,
+    spec: RoundSpec,
+    policy: Optional[ExecutionPolicy] = None,
+) -> RoundResult:
+    """Run one MapReduce round through the fluid simulator.
+
+    ``policy`` optionally caps the round's per-node slot counts the way
+    the matching :class:`ExecutionPolicy` would bound the in-process
+    engine's worker pool (see :func:`effective_slots`).
+    """
     ghz = cluster.ghz_ratio
+    map_slots = effective_slots(spec.map_slots_per_node, policy)
+    reduce_slots = effective_slots(spec.reduce_slots_per_node, policy)
     state = {
         "map_queue": list(enumerate(spec.map_tasks)),
         "maps_running": {node: 0 for node in cluster.nodes},
@@ -292,7 +320,7 @@ def simulate_round(cluster: ClusterModel, spec: RoundSpec) -> RoundResult:
             progress = False
             free_nodes = [
                 node for node in cluster.nodes
-                if state["maps_running"][node] < spec.map_slots_per_node
+                if state["maps_running"][node] < map_slots
             ]
             if not free_nodes:
                 break
@@ -302,7 +330,7 @@ def simulate_round(cluster: ClusterModel, spec: RoundSpec) -> RoundResult:
                 preferred = getattr(mspec, "preferred_node", None)
                 if (
                     preferred in state["maps_running"]
-                    and state["maps_running"][preferred] < spec.map_slots_per_node
+                    and state["maps_running"][preferred] < map_slots
                 ):
                     _launch_map(index, mspec, preferred, local=True)
                     progress = True
@@ -313,7 +341,7 @@ def simulate_round(cluster: ClusterModel, spec: RoundSpec) -> RoundResult:
             for node in cluster.nodes:
                 while (
                     state["map_queue"]
-                    and state["maps_running"][node] < spec.map_slots_per_node
+                    and state["maps_running"][node] < map_slots
                 ):
                     index, mspec = state["map_queue"].pop(0)
                     _launch_map(index, mspec, node, local=False)
@@ -330,7 +358,7 @@ def simulate_round(cluster: ClusterModel, spec: RoundSpec) -> RoundResult:
             still_queued = []
             for index, rspec in state["reduce_queue"]:
                 node = cluster.nodes[index % len(cluster.nodes)]
-                if state["reduces_running"][node] < spec.reduce_slots_per_node:
+                if state["reduces_running"][node] < reduce_slots:
                     disk_idx = state["next_disk"][node]
                     state["next_disk"][node] += 1
                     task = build_shuffle_task(index, rspec, node, disk_idx)

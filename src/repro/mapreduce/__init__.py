@@ -3,7 +3,20 @@
 from repro.mapreduce.counters import Counters
 from repro.mapreduce import counters
 from repro.mapreduce.engine import JobResult, MapReduceEngine
+from repro.mapreduce.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadedExecutor,
+    build_executor,
+    fork_available,
+)
 from repro.mapreduce.history import JobHistory, TaskAttempt
+from repro.mapreduce.policy import (
+    EXECUTOR_KINDS,
+    ExecutionPolicy,
+    InjectedTaskFault,
+)
 from repro.mapreduce.job import (
     InputSplit,
     JobConf,
@@ -24,6 +37,15 @@ __all__ = [
     "counters",
     "JobResult",
     "MapReduceEngine",
+    "EXECUTOR_KINDS",
+    "ExecutionPolicy",
+    "InjectedTaskFault",
+    "TaskExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "build_executor",
+    "fork_available",
     "JobHistory",
     "TaskAttempt",
     "InputSplit",

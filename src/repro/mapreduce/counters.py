@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Dict, Iterator, Tuple
 
 # Standard counter names used by the engine.
@@ -15,9 +16,20 @@ REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
 REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
 REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
 
+# Execution-plane counters (retries, fault injection, speculation).
+MAP_TASK_ATTEMPTS = "MAP_TASK_ATTEMPTS"
+REDUCE_TASK_ATTEMPTS = "REDUCE_TASK_ATTEMPTS"
+INJECTED_FAULTS = "INJECTED_FAULTS"
+SPECULATIVE_ATTEMPTS = "SPECULATIVE_ATTEMPTS"
+
 
 class Counters:
-    """A named-counter map with merge support."""
+    """A named-counter map with merge support.
+
+    Implements the read side of the ``Mapping`` protocol (iteration is
+    sorted by name), so benches and reports can treat a ``Counters`` as
+    a plain dict instead of reaching into private state.
+    """
 
     def __init__(self):
         self._values: Dict[str, int] = {}
@@ -25,12 +37,31 @@ class Counters:
     def inc(self, name: str, amount: int = 1) -> None:
         self._values[name] = self._values.get(name, 0) + amount
 
-    def get(self, name: str) -> int:
-        return self._values.get(name, 0)
+    def get(self, name: str, default: int = 0) -> int:
+        return self._values.get(name, default)
 
     def merge(self, other: "Counters") -> None:
         for name, value in other._values.items():
             self.inc(name, value)
+
+    # -- Mapping protocol ---------------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def values(self) -> Iterator[int]:
+        return (value for _, value in self.items())
 
     def items(self) -> Iterator[Tuple[str, int]]:
         return iter(sorted(self._values.items()))
@@ -41,3 +72,6 @@ class Counters:
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self.items())
         return f"Counters({inner})"
+
+
+Mapping.register(Counters)

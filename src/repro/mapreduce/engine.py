@@ -1,23 +1,36 @@
 """The in-process MapReduce runtime.
 
 Executes a :class:`~repro.mapreduce.job.JobConf` over input splits with
-full sort-spill-merge shuffle semantics.  Tasks run sequentially in one
-process — the *semantics* of parallel execution (partitioned inputs,
-shuffle ordering that differs from serial input order, per-reducer
-grouping) are faithful; wall-clock behaviour is the cluster simulator's
-job.
+full sort-spill-merge shuffle semantics.  Tasks run on a pluggable
+:class:`~repro.mapreduce.executors.TaskExecutor` chosen by the engine's
+:class:`~repro.mapreduce.policy.ExecutionPolicy` — serially, on a
+bounded thread pool, or on a fork-based process pool — with per-task
+retry, optional fault injection, and speculative re-execution of
+straggler stubs.
+
+Determinism is the engine's core contract (the paper's §3.2 argument,
+enforced here): every task is a pure function of its split plus the
+job conf, task outputs are collected by task index, shuffles merge in
+map-task order regardless of completion order, and side effects (file
+writes, attachments) are buffered in the task context and applied by
+the parent in task-index order.  The three executors therefore produce
+byte-identical :class:`JobResult`\\ s.
 """
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Any, Dict, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import MapReduceError
 from repro.mapreduce import counters as C
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.executors import TaskExecutor, build_executor
 from repro.mapreduce.history import JobHistory, TaskAttempt
 from repro.mapreduce.job import InputSplit, JobConf, KeyValue, TaskContext
+from repro.mapreduce.policy import ExecutionPolicy, InjectedTaskFault
 
 
 class JobResult:
@@ -29,6 +42,8 @@ class JobResult:
         self.map_outputs: List[List[KeyValue]] = []
         #: Jobs with reducers: outputs per reducer index.
         self.reduce_outputs: Dict[int, List[KeyValue]] = {}
+        #: Named values attached by tasks, in task-index order.
+        self.attachments: Dict[str, List[Any]] = {}
         self.counters = Counters()
         self.history = JobHistory(job_name)
 
@@ -44,92 +59,298 @@ class JobResult:
     def all_values(self) -> List[Any]:
         return [value for _, value in self.all_outputs()]
 
+    def __iter__(self):
+        """Iterate over the job's output key/value pairs."""
+        return iter(self.all_outputs())
+
+    def __len__(self) -> int:
+        return len(self.all_outputs())
+
     def __repr__(self) -> str:
         return f"JobResult({self.job_name}, {self.counters})"
 
 
-class MapReduceEngine:
-    """Runs jobs over a named set of worker nodes."""
+class _TaskOutcome:
+    """Picklable result of one task (crosses the fork boundary intact)."""
 
-    def __init__(self, nodes: Optional[List[str]] = None):
+    __slots__ = (
+        "emitted", "partitions", "input_records", "output_records",
+        "output_bytes", "spills", "groups", "shuffled_records",
+        "shuffled_bytes", "attempts", "injected_faults", "file_writes",
+        "attachments",
+    )
+
+    def __init__(self):
+        self.emitted: List[KeyValue] = []
+        self.partitions: Optional[List[List[KeyValue]]] = None
+        self.input_records = 0
+        self.output_records = 0
+        self.output_bytes = 0
+        self.spills = 0
+        self.groups = 0
+        self.shuffled_records = 0
+        self.shuffled_bytes = 0
+        self.attempts = 1
+        self.injected_faults = 0
+        self.file_writes: List[Tuple[str, bytes, bool]] = []
+        self.attachments: List[Tuple[str, Any]] = []
+
+
+def _identity(key: Any) -> Any:
+    return key
+
+
+def _apply_combiner(job: JobConf, context: TaskContext) -> List[KeyValue]:
+    """Apply the combiner to one map task's buffered output."""
+    sort_key = job.sort_key or _identity
+    buffered = sorted(context.emitted, key=lambda kv: sort_key(kv[0]))
+    combined = TaskContext(context.task_id + "-c", context.node)
+    cursor = 0
+    while cursor < len(buffered):
+        key = buffered[cursor][0]
+        values = []
+        while cursor < len(buffered) and buffered[cursor][0] == key:
+            values.append(buffered[cursor][1])
+            cursor += 1
+        job.combiner(key, values, combined)
+    return combined.emitted
+
+
+def _run_attempts(
+    body: Callable[[], _TaskOutcome], policy: ExecutionPolicy, task_id: str
+) -> _TaskOutcome:
+    """Execute a task body with fault injection, retry, and backoff.
+
+    Runs wherever the executor put the task (possibly a forked worker);
+    the attempt/fault tallies travel back inside the outcome.
+    """
+    attempt = 0
+    faults = 0
+    while True:
+        attempt += 1
+        try:
+            if policy.injects_fault(task_id, attempt):
+                faults += 1
+                raise InjectedTaskFault(
+                    f"injected fault: {task_id} attempt {attempt}"
+                )
+            outcome = body()
+            outcome.attempts = attempt
+            outcome.injected_faults = faults
+            return outcome
+        except Exception as exc:
+            if attempt > policy.task_retries:
+                raise MapReduceError(
+                    f"task {task_id} failed after {attempt} attempt(s): {exc}"
+                ) from exc
+            delay = policy.backoff_delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _execute_map_task(
+    job: JobConf,
+    split: InputSplit,
+    node: str,
+    task_id: str,
+    policy: ExecutionPolicy,
+) -> _TaskOutcome:
+    """One complete map task: record read, map, combine, sort, partition."""
+
+    def body() -> _TaskOutcome:
+        context = TaskContext(task_id, node)
+        job.mapper(split.payload, context)
+        if job.combiner is not None and not job.is_map_only:
+            context.emitted = _apply_combiner(job, context)
+        outcome = _TaskOutcome()
+        if context.input_records is not None:
+            outcome.input_records = int(context.input_records)
+        elif job.record_counter is not None:
+            outcome.input_records = int(job.record_counter(split.payload))
+        else:
+            outcome.input_records = 1
+        outcome.output_records = len(context.emitted)
+        outcome.output_bytes = sum(
+            job.value_size(v) for _, v in context.emitted
+        )
+        outcome.file_writes = context.files
+        outcome.attachments = context.attachments
+        if job.is_map_only:
+            outcome.emitted = context.emitted
+            return outcome
+        # Sort/spill accounting: each io_sort_records-full buffer is
+        # one spill; >1 spill forces a map-side merge pass.
+        outcome.spills = max(
+            1, math.ceil(len(context.emitted) / job.io_sort_records)
+        )
+        partitions: List[List[KeyValue]] = [
+            [] for _ in range(job.num_reducers)
+        ]
+        for key, value in context.emitted:
+            partitions[job.partitioner(key, job.num_reducers)].append(
+                (key, value)
+            )
+        sort_key = job.sort_key or _identity
+        for partition in partitions:
+            partition.sort(key=lambda kv: sort_key(kv[0]))
+        outcome.partitions = partitions
+        return outcome
+
+    return _run_attempts(body, policy, task_id)
+
+
+def _execute_reduce_task(
+    job: JobConf,
+    segments: List[List[KeyValue]],
+    node: str,
+    task_id: str,
+    policy: ExecutionPolicy,
+) -> _TaskOutcome:
+    """One complete reduce task: shuffle fetch, merge, group, reduce.
+
+    ``segments`` holds this reducer's partition from every mapper, in
+    map-task order (which is why reduce-side value order differs from
+    the serial program's input order).
+    """
+
+    def body() -> _TaskOutcome:
+        outcome = _TaskOutcome()
+        fetched: List[KeyValue] = []
+        for segment in segments:
+            fetched.extend(segment)
+            outcome.shuffled_records += len(segment)
+            outcome.shuffled_bytes += sum(
+                job.value_size(v) for _, v in segment
+            )
+        # Merge: stable sort by key preserves map-task arrival order
+        # within a key, like Hadoop's merge of pre-sorted segments.
+        sort_key = job.sort_key or _identity
+        fetched.sort(key=lambda kv: sort_key(kv[0]))
+
+        context = TaskContext(task_id, node)
+        cursor = 0
+        while cursor < len(fetched):
+            key = fetched[cursor][0]
+            values = []
+            while cursor < len(fetched) and fetched[cursor][0] == key:
+                values.append(fetched[cursor][1])
+                cursor += 1
+            job.reducer(key, values, context)
+            outcome.groups += 1
+        outcome.input_records = len(fetched)
+        outcome.output_records = len(context.emitted)
+        outcome.emitted = context.emitted
+        outcome.file_writes = context.files
+        outcome.attachments = context.attachments
+        return outcome
+
+    return _run_attempts(body, policy, task_id)
+
+
+class MapReduceEngine:
+    """Runs jobs over a named set of worker nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Worker node names (keyword-only going forward; the positional
+        form is deprecated).
+    policy:
+        :class:`ExecutionPolicy` selecting the task executor, worker
+        slots, retries, speculation, and fault injection.  Defaults to
+        serial execution.
+    filesystem:
+        Object with an ``hdfs``-style ``put(path, data,
+        logical_partition=...)`` used to apply file writes buffered by
+        tasks via ``context.write_file``.
+    """
+
+    def __init__(
+        self,
+        *deprecated_args,
+        nodes: Optional[List[str]] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        filesystem: Optional[Any] = None,
+    ):
+        if deprecated_args:
+            if len(deprecated_args) > 1 or nodes is not None:
+                raise TypeError(
+                    "MapReduceEngine takes at most one positional argument "
+                    "(the deprecated nodes list)"
+                )
+            import warnings
+
+            warnings.warn(
+                "positional nodes is deprecated; "
+                "use MapReduceEngine(nodes=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            nodes = deprecated_args[0]
         self.nodes = list(nodes) if nodes else ["localhost"]
+        self.policy = policy or ExecutionPolicy()
+        self.filesystem = filesystem
 
     # -- public API ---------------------------------------------------------
     def run(self, job: JobConf, splits: List[InputSplit]) -> JobResult:
+        job.validate()
         if not splits:
             raise MapReduceError(f"job {job.name} has no input splits")
+        executor = build_executor(self.policy)
         result = JobResult(job.name)
-        map_partitions = self._run_maps(job, splits, result)
+        map_partitions = self._run_maps(job, splits, result, executor)
         if job.is_map_only:
             return result
-        self._run_reduces(job, map_partitions, result)
+        self._run_reduces(job, map_partitions, result, executor)
         return result
 
     # -- map phase --------------------------------------------------------------
     def _run_maps(
-        self, job: JobConf, splits: List[InputSplit], result: JobResult
+        self,
+        job: JobConf,
+        splits: List[InputSplit],
+        result: JobResult,
+        executor: TaskExecutor,
     ) -> List[List[List[KeyValue]]]:
-        """Run all map tasks.
+        """Run all map tasks on the executor.
 
         Returns, per map task, the partitioned (per-reducer) sorted
         output — i.e. the file each mapper would leave for the shuffle.
         """
-        all_partitions: List[List[List[KeyValue]]] = []
+        placements: List[Tuple[str, str]] = []
+        thunks = []
         for index, split in enumerate(splits):
             node = split.preferred_node or self.nodes[index % len(self.nodes)]
-            task = TaskAttempt(f"{job.name}-m-{index:05d}", "map", node)
-            context = TaskContext(task.task_id, node)
-            job.mapper(split.payload, context)
-            if job.combiner is not None and not job.is_map_only:
-                context.emitted = self._combine(job, context)
-            task.input_records = 1
-            task.output_records = len(context.emitted)
-            result.counters.inc(C.MAP_INPUT_RECORDS, 1)
-            result.counters.inc(C.MAP_OUTPUT_RECORDS, len(context.emitted))
-            out_bytes = sum(job.value_size(v) for _, v in context.emitted)
-            result.counters.inc(C.MAP_OUTPUT_BYTES, out_bytes)
-
-            if job.is_map_only:
-                result.map_outputs.append(context.emitted)
-                result.history.add(task)
-                continue
-
-            # Sort/spill accounting: each io_sort_records-full buffer is
-            # one spill; >1 spill forces a map-side merge pass.
-            task.spills = max(
-                1, math.ceil(len(context.emitted) / job.io_sort_records)
-            )
-            result.counters.inc(C.SPILLED_RECORDS, len(context.emitted))
-
-            partitions: List[List[KeyValue]] = [
-                [] for _ in range(job.num_reducers)
-            ]
-            for key, value in context.emitted:
-                partitions[job.partitioner(key, job.num_reducers)].append(
-                    (key, value)
+            task_id = f"{job.name}-m-{index:05d}"
+            placements.append((task_id, node))
+            thunks.append(
+                functools.partial(
+                    _execute_map_task, job, split, node, task_id, self.policy
                 )
-            sort_key = job.sort_key or (lambda k: k)
-            for partition in partitions:
-                partition.sort(key=lambda kv: sort_key(kv[0]))
-            all_partitions.append(partitions)
+            )
+        outcomes = executor.run_tasks(thunks)
+        self._speculate(thunks, outcomes, executor, result, "map")
+
+        all_partitions: List[List[List[KeyValue]]] = []
+        for (task_id, node), outcome in zip(placements, outcomes):
+            task = TaskAttempt(task_id, "map", node)
+            task.input_records = outcome.input_records
+            task.output_records = outcome.output_records
+            task.attempts = outcome.attempts
+            task.injected_faults = outcome.injected_faults
+            task.spills = outcome.spills
+            result.counters.inc(C.MAP_INPUT_RECORDS, outcome.input_records)
+            result.counters.inc(C.MAP_OUTPUT_RECORDS, outcome.output_records)
+            result.counters.inc(C.MAP_OUTPUT_BYTES, outcome.output_bytes)
+            self._absorb_attempts(result, outcome, C.MAP_TASK_ATTEMPTS)
+            self._absorb_effects(result, outcome, task_id)
+            if job.is_map_only:
+                result.map_outputs.append(outcome.emitted)
+            else:
+                result.counters.inc(C.SPILLED_RECORDS, outcome.output_records)
+                all_partitions.append(outcome.partitions)
             result.history.add(task)
         return all_partitions
-
-    @staticmethod
-    def _combine(job: JobConf, context: TaskContext) -> List[KeyValue]:
-        """Apply the combiner to one map task's buffered output."""
-        sort_key = job.sort_key or (lambda k: k)
-        buffered = sorted(context.emitted, key=lambda kv: sort_key(kv[0]))
-        combined = TaskContext(context.task_id + "-c", context.node)
-        cursor = 0
-        while cursor < len(buffered):
-            key = buffered[cursor][0]
-            values = []
-            while cursor < len(buffered) and buffered[cursor][0] == key:
-                values.append(buffered[cursor][1])
-                cursor += 1
-            job.combiner(key, values, combined)
-        return combined.emitted
 
     # -- shuffle + reduce phase ---------------------------------------------------
     def _run_reduces(
@@ -137,44 +358,109 @@ class MapReduceEngine:
         job: JobConf,
         map_partitions: List[List[List[KeyValue]]],
         result: JobResult,
+        executor: TaskExecutor,
     ) -> None:
-        sort_key = job.sort_key or (lambda k: k)
+        placements = []
+        thunks = []
         for reducer_index in range(job.num_reducers):
             node = self.nodes[reducer_index % len(self.nodes)]
-            task = TaskAttempt(
-                f"{job.name}-r-{reducer_index:05d}", "reduce", node
-            )
-            # Shuffle: fetch this reducer's partition from every mapper,
-            # in map-task order (which is why reduce-side value order
-            # differs from the serial program's input order).
-            fetched: List[KeyValue] = []
-            for partitions in map_partitions:
-                segment = partitions[reducer_index]
-                fetched.extend(segment)
-                result.counters.inc(C.SHUFFLED_RECORDS, len(segment))
-                result.counters.inc(
-                    C.SHUFFLED_BYTES,
-                    sum(job.value_size(v) for _, v in segment),
+            task_id = f"{job.name}-r-{reducer_index:05d}"
+            placements.append((task_id, node))
+            # Shuffle input: this reducer's partition from every mapper,
+            # in map-task order.
+            segments = [
+                partitions[reducer_index] for partitions in map_partitions
+            ]
+            thunks.append(
+                functools.partial(
+                    _execute_reduce_task, job, segments, node, task_id,
+                    self.policy,
                 )
-            # Merge: stable sort by key preserves map-task arrival order
-            # within a key, like Hadoop's merge of pre-sorted segments.
-            fetched.sort(key=lambda kv: sort_key(kv[0]))
+            )
+        outcomes = executor.run_tasks(thunks)
+        self._speculate(thunks, outcomes, executor, result, "reduce")
 
-            context = TaskContext(task.task_id, node)
-            groups = 0
-            cursor = 0
-            while cursor < len(fetched):
-                key = fetched[cursor][0]
-                values = []
-                while cursor < len(fetched) and fetched[cursor][0] == key:
-                    values.append(fetched[cursor][1])
-                    cursor += 1
-                job.reducer(key, values, context)
-                groups += 1
-            task.input_records = len(fetched)
-            task.output_records = len(context.emitted)
-            result.counters.inc(C.REDUCE_INPUT_GROUPS, groups)
-            result.counters.inc(C.REDUCE_INPUT_RECORDS, len(fetched))
-            result.counters.inc(C.REDUCE_OUTPUT_RECORDS, len(context.emitted))
-            result.reduce_outputs[reducer_index] = context.emitted
+        for reducer_index, ((task_id, node), outcome) in enumerate(
+            zip(placements, outcomes)
+        ):
+            task = TaskAttempt(task_id, "reduce", node)
+            task.input_records = outcome.input_records
+            task.output_records = outcome.output_records
+            task.attempts = outcome.attempts
+            task.injected_faults = outcome.injected_faults
+            result.counters.inc(C.SHUFFLED_RECORDS, outcome.shuffled_records)
+            result.counters.inc(C.SHUFFLED_BYTES, outcome.shuffled_bytes)
+            result.counters.inc(C.REDUCE_INPUT_GROUPS, outcome.groups)
+            result.counters.inc(C.REDUCE_INPUT_RECORDS, outcome.input_records)
+            result.counters.inc(
+                C.REDUCE_OUTPUT_RECORDS, outcome.output_records
+            )
+            self._absorb_attempts(result, outcome, C.REDUCE_TASK_ATTEMPTS)
+            self._absorb_effects(result, outcome, task_id)
+            result.reduce_outputs[reducer_index] = outcome.emitted
             result.history.add(task)
+
+    # -- outcome absorption -----------------------------------------------------
+    def _absorb_attempts(
+        self, result: JobResult, outcome: _TaskOutcome, counter: str
+    ) -> None:
+        result.counters.inc(counter, outcome.attempts)
+        if outcome.injected_faults:
+            result.counters.inc(C.INJECTED_FAULTS, outcome.injected_faults)
+
+    def _absorb_effects(
+        self, result: JobResult, outcome: _TaskOutcome, task_id: str
+    ) -> None:
+        """Apply a task's buffered side effects, in task-index order."""
+        for path, data, logical in outcome.file_writes:
+            if self.filesystem is None:
+                raise MapReduceError(
+                    f"task {task_id} wrote {path} but the engine has no "
+                    "filesystem attached"
+                )
+            self.filesystem.put(path, data, logical_partition=logical)
+        for name, value in outcome.attachments:
+            result.attachments.setdefault(name, []).append(value)
+
+    # -- speculative execution ----------------------------------------------------
+    def _speculate(
+        self,
+        thunks: List[Callable[[], _TaskOutcome]],
+        outcomes: List[_TaskOutcome],
+        executor: TaskExecutor,
+        result: JobResult,
+        kind: str,
+    ) -> None:
+        """Speculatively re-execute the wave's straggler stub.
+
+        In-process tasks have no genuine stragglers, so the stub
+        re-runs the wave's final task and cross-checks it against the
+        primary attempt — turning speculation into a built-in
+        determinism audit: a divergent duplicate means a task was not a
+        pure function of its split and would break the serial/parallel
+        equivalence the paper's §3.2 relies on.
+        """
+        if not self.policy.speculative or executor.kind == "serial":
+            return
+        if not thunks:
+            return
+        straggler = len(thunks) - 1
+        duplicate = executor.run_tasks([thunks[straggler]])[0]
+        result.counters.inc(C.SPECULATIVE_ATTEMPTS, 1)
+        primary = outcomes[straggler]
+        primary_keys = [key for key, _ in primary.emitted]
+        duplicate_keys = [key for key, _ in duplicate.emitted]
+        if (
+            primary_keys != duplicate_keys
+            or primary.output_records != duplicate.output_records
+        ):
+            raise MapReduceError(
+                f"speculative {kind} attempt diverged from the primary "
+                f"(task index {straggler}); task is not deterministic"
+            )
+
+    # -- compatibility shims ------------------------------------------------------
+    @staticmethod
+    def _combine(job: JobConf, context: TaskContext) -> List[KeyValue]:
+        """Apply the combiner to one map task's buffered output."""
+        return _apply_combiner(job, context)

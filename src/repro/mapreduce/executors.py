@@ -1,0 +1,158 @@
+"""Pluggable task executors for the in-process MR engine.
+
+A :class:`TaskExecutor` runs a wave of independent task thunks (all map
+tasks, then all reduce tasks) with bounded worker slots and returns
+their results *by task index*, whatever the completion order.  The
+engine's determinism guarantee rests on that contract: outputs are
+collected by index and shuffles merge in map-task order, so every
+executor produces byte-identical job results.
+
+Three executors mirror the paper's deployment options:
+
+``SerialExecutor``
+    The reference implementation: one task at a time, in order.
+``ThreadedExecutor``
+    ``concurrent.futures.ThreadPoolExecutor``-backed.  Overlaps
+    blocking work (pipes, simulated I/O stalls); CPU-bound mappers stay
+    serialized by the GIL.
+``ProcessExecutor``
+    ``concurrent.futures.ProcessPoolExecutor``-backed with the *fork*
+    start method.  Task thunks close over unpicklable state (mappers
+    are closures over HDFS handles and aligners), so thunks are never
+    pickled: the wave's task table is published in a module global,
+    workers fork with it in memory, and only the task *index* crosses
+    the pipe going in and the picklable outcome coming back.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import MapReduceError
+from repro.mapreduce.policy import ExecutionPolicy
+
+TaskThunk = Callable[[], Any]
+
+#: Task table of the wave currently running on the process executor.
+#: Set in the parent immediately before workers are forked; workers
+#: inherit it through fork and index into it.
+_FORK_TASK_TABLE: Optional[Sequence[TaskThunk]] = None
+
+
+def _run_forked_task(index: int) -> Any:
+    """Entry point executed inside a forked worker."""
+    table = _FORK_TASK_TABLE
+    if table is None:
+        raise MapReduceError(
+            "process worker has no task table; the process executor "
+            "requires the fork start method"
+        )
+    return table[index]()
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork (required by ProcessExecutor)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class TaskExecutor(ABC):
+    """Runs one wave of independent tasks; results come back by index."""
+
+    #: Matches ``ExecutionPolicy.executor``.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def run_tasks(self, thunks: Sequence[TaskThunk]) -> List[Any]:
+        """Execute every thunk; return results ordered by task index.
+
+        The first task failure propagates to the caller (after the
+        engine-level retry wrapper inside each thunk is exhausted).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(TaskExecutor):
+    """One task at a time, in submission order — the reference."""
+
+    kind = "serial"
+
+    def run_tasks(self, thunks: Sequence[TaskThunk]) -> List[Any]:
+        return [thunk() for thunk in thunks]
+
+
+class ThreadedExecutor(TaskExecutor):
+    """Bounded thread pool; overlaps blocking work within one process."""
+
+    kind = "thread"
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise MapReduceError("ThreadedExecutor needs max_workers >= 1")
+        self.max_workers = max_workers
+
+    def run_tasks(self, thunks: Sequence[TaskThunk]) -> List[Any]:
+        if not thunks:
+            return []
+        workers = min(self.max_workers, len(thunks))
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(thunk) for thunk in thunks]
+            return [future.result() for future in futures]
+
+    def __repr__(self) -> str:
+        return f"ThreadedExecutor(max_workers={self.max_workers})"
+
+
+class ProcessExecutor(TaskExecutor):
+    """Bounded fork-based process pool; real CPU parallelism."""
+
+    kind = "process"
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise MapReduceError("ProcessExecutor needs max_workers >= 1")
+        if not fork_available():
+            raise MapReduceError(
+                "the process executor requires the fork start method, "
+                "unavailable on this platform; use executor='thread'"
+            )
+        self.max_workers = max_workers
+
+    def run_tasks(self, thunks: Sequence[TaskThunk]) -> List[Any]:
+        global _FORK_TASK_TABLE
+        if not thunks:
+            return []
+        workers = min(self.max_workers, len(thunks))
+        context = multiprocessing.get_context("fork")
+        # Publish the wave's task table before any worker forks; the
+        # pool spawns workers lazily on submit, so children inherit it.
+        _FORK_TASK_TABLE = list(thunks)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(_run_forked_task, index)
+                    for index in range(len(thunks))
+                ]
+                return [future.result() for future in futures]
+        finally:
+            _FORK_TASK_TABLE = None
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+def build_executor(policy: ExecutionPolicy) -> TaskExecutor:
+    """Instantiate the executor an :class:`ExecutionPolicy` asks for."""
+    if policy.executor == "serial":
+        return SerialExecutor()
+    if policy.executor == "thread":
+        return ThreadedExecutor(policy.resolved_workers())
+    if policy.executor == "process":
+        return ProcessExecutor(policy.resolved_workers())
+    raise MapReduceError(f"unknown executor kind {policy.executor!r}")

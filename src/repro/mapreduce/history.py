@@ -20,14 +20,21 @@ class TaskAttempt:
         self.input_records = 0
         self.output_records = 0
         self.spills = 0
+        #: Execution attempts this task needed (1 = succeeded first try).
+        self.attempts = 1
+        #: Injected faults absorbed by retries before the task succeeded.
+        self.injected_faults = 0
+        #: True for a speculative duplicate of a straggler task.
+        self.speculative = False
         #: Wall-clock phases filled in by the simulator:
         #: {"map": (start, end)} / {"shuffle": ..., "merge": ..., "reduce": ...}
         self.phases: Dict[str, tuple] = {}
 
     def __repr__(self) -> str:
+        retries = f", attempts={self.attempts}" if self.attempts > 1 else ""
         return (
             f"TaskAttempt({self.task_id}, {self.kind} on {self.node}, "
-            f"in={self.input_records}, out={self.output_records})"
+            f"in={self.input_records}, out={self.output_records}{retries})"
         )
 
 
@@ -52,6 +59,14 @@ class JobHistory:
         for task in self.tasks:
             grouped.setdefault(task.node, []).append(task)
         return grouped
+
+    def total_attempts(self) -> int:
+        """Execution attempts across every task (retries included)."""
+        return sum(task.attempts for task in self.tasks)
+
+    def retried_tasks(self) -> List[TaskAttempt]:
+        """Tasks that needed more than one attempt."""
+        return [task for task in self.tasks if task.attempts > 1]
 
     def find(self, task_id: str) -> Optional[TaskAttempt]:
         for task in self.tasks:

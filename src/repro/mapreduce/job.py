@@ -16,11 +16,15 @@ KeyValue = Tuple[Any, Any]
 
 
 class InputSplit:
-    """One unit of map-task input."""
+    """One unit of map-task input.
+
+    ``preferred_node`` and ``size_bytes`` are keyword-only so call
+    sites stay self-describing (matching ``MapReduceEngine(nodes=...)``).
+    """
 
     __slots__ = ("split_id", "payload", "preferred_node", "size_bytes")
 
-    def __init__(self, split_id: str, payload: Any,
+    def __init__(self, split_id: str, payload: Any, *,
                  preferred_node: Optional[str] = None, size_bytes: int = 0):
         self.split_id = split_id
         #: Opaque payload handed to the record reader / mapper.
@@ -38,15 +42,52 @@ def default_partitioner(key: Any, num_reducers: int) -> int:
 
 
 class TaskContext:
-    """Per-task emit surface handed to mappers and reducers."""
+    """Per-task emit surface handed to mappers and reducers.
+
+    Besides key/value emission, the context is the *only* sanctioned
+    side-effect channel: file writes and named attachments are buffered
+    here and applied by the engine in task-index order after the task
+    completes.  That is what keeps tasks pure functions of their input
+    — a retried attempt replaces its predecessor's buffered effects
+    wholesale, and a task forked into another process ships its effects
+    back with its outputs instead of mutating a copied filesystem.
+    """
 
     def __init__(self, task_id: str, node: str):
         self.task_id = task_id
         self.node = node
         self.emitted: List[KeyValue] = []
+        #: Buffered file writes: (path, data, logical_partition).
+        self.files: List[Tuple[str, bytes, bool]] = []
+        #: Named values returned to the job driver, in attach order.
+        self.attachments: List[Tuple[str, Any]] = []
+        #: Mapper-reported input record count (overrides the split count).
+        self.input_records: Optional[int] = None
 
     def emit(self, key: Any, value: Any) -> None:
         self.emitted.append((key, value))
+
+    def write_file(self, path: str, data: bytes,
+                   logical_partition: bool = False) -> None:
+        """Buffer a file write; the engine applies it on task success."""
+        self.files.append((path, data, logical_partition))
+
+    def attach(self, name: str, value: Any) -> None:
+        """Return a named value to the driver alongside the outputs."""
+        self.attachments.append((name, value))
+
+    def attachment(self, name: str, factory: Callable[[], Any]) -> Any:
+        """Get-or-create this task's named attachment (one per task)."""
+        for key, value in self.attachments:
+            if key == name:
+                return value
+        value = factory()
+        self.attachments.append((name, value))
+        return value
+
+    def set_input_records(self, count: int) -> None:
+        """Report how many records this task's split actually held."""
+        self.input_records = count
 
 
 class JobConf:
@@ -82,6 +123,11 @@ class JobConf:
         ``f(value) -> bytes`` used for shuffle byte accounting.
     sort_key:
         Optional key-transform used when ordering reduce input.
+    record_counter:
+        Optional ``f(split_payload) -> int`` reporting how many input
+        records a split holds, so ``MAP_INPUT_RECORDS`` counts records
+        rather than splits.  Mappers reading opaque paths can instead
+        call ``context.set_input_records``.
     """
 
     def __init__(
@@ -96,6 +142,7 @@ class JobConf:
         slowstart: float = 0.05,
         value_size: Optional[Callable[[Any], int]] = None,
         sort_key: Optional[Callable[[Any], Any]] = None,
+        record_counter: Optional[Callable[[Any], int]] = None,
     ):
         if num_reducers < 1:
             raise MapReduceError("num_reducers must be >= 1")
@@ -113,10 +160,37 @@ class JobConf:
         self.slowstart = slowstart
         self.value_size = value_size or _default_value_size
         self.sort_key = sort_key
+        self.record_counter = record_counter
 
     @property
     def is_map_only(self) -> bool:
         return self.reducer is None
+
+    def validate(self) -> None:
+        """Reject inconsistent configurations before any task runs.
+
+        Called by ``MapReduceEngine.run`` so a job that would fail
+        mid-run (e.g. reducers requested but no reducer supplied) fails
+        up front with a clear :class:`MapReduceError` instead.
+        """
+        if not callable(self.mapper):
+            raise MapReduceError(f"job {self.name}: mapper is not callable")
+        if self.reducer is None and self.num_reducers != 1:
+            raise MapReduceError(
+                f"job {self.name}: num_reducers={self.num_reducers} "
+                "requested but no reducer supplied (map-only jobs take "
+                "the default num_reducers=1)"
+            )
+        if self.reducer is not None and not callable(self.reducer):
+            raise MapReduceError(f"job {self.name}: reducer is not callable")
+        if self.combiner is not None and not callable(self.combiner):
+            raise MapReduceError(f"job {self.name}: combiner is not callable")
+        if not callable(self.partitioner):
+            raise MapReduceError(f"job {self.name}: partitioner is not callable")
+        if self.record_counter is not None and not callable(self.record_counter):
+            raise MapReduceError(
+                f"job {self.name}: record_counter is not callable"
+            )
 
     def __repr__(self) -> str:
         kind = "map-only" if self.is_map_only else f"{self.num_reducers} reducers"
@@ -148,5 +222,8 @@ def make_splits(
     for index, payload in enumerate(payloads):
         node = nodes[index % len(nodes)] if nodes else None
         size = sizes[index] if sizes else 0
-        splits.append(InputSplit(f"{prefix}-{index:05d}", payload, node, size))
+        splits.append(
+            InputSplit(f"{prefix}-{index:05d}", payload,
+                       preferred_node=node, size_bytes=size)
+        )
     return splits

@@ -1,0 +1,110 @@
+"""Execution policy: how the in-process MR engine runs its tasks.
+
+The functional engine used to hard-code sequential execution.  The
+policy object makes executor choice a first-class, frozen configuration
+value — the same knob the paper turns when it compares thread counts
+and slot counts per node (sections 4.2-4.4) — so callers stop
+constructing engines ad hoc:
+
+* ``executor`` — ``"serial"`` (reference), ``"thread"``
+  (ThreadPoolExecutor-backed; overlaps blocking work) or ``"process"``
+  (fork-based ProcessPoolExecutor; real CPU parallelism).
+* ``max_workers`` — bounded worker slots, the in-process analogue of
+  map/reduce slots per node.
+* ``task_retries`` / ``retry_backoff`` — per-task re-execution with
+  capped exponential backoff, Hadoop's ``mapreduce.map.maxattempts``.
+* ``speculative`` — re-run straggler stubs and cross-check outputs.
+* ``fault_rate`` / ``fault_seed`` — deterministic fault injection used
+  to prove that retries preserve output equivalence.
+
+Fault decisions depend only on ``(fault_seed, task_id, attempt)``, so
+they are identical no matter which executor runs the task, in which
+order, or in which process.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MapReduceError
+
+#: Executor kinds accepted by :class:`ExecutionPolicy`.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+_FAULT_RESOLUTION = 1_000_000
+
+
+class InjectedTaskFault(MapReduceError):
+    """A configured, deterministic task failure (fault injection)."""
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Frozen description of how MapReduce tasks are executed."""
+
+    executor: str = "serial"
+    max_workers: Optional[int] = None
+    task_retries: int = 0
+    retry_backoff: float = 0.005
+    retry_backoff_cap: float = 0.1
+    speculative: bool = False
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+
+    def __post_init__(self):
+        if self.executor not in EXECUTOR_KINDS:
+            raise MapReduceError(
+                f"unknown executor {self.executor!r}; "
+                f"choose one of {', '.join(EXECUTOR_KINDS)}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise MapReduceError("max_workers must be >= 1")
+        if self.task_retries < 0:
+            raise MapReduceError("task_retries must be >= 0")
+        if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
+            raise MapReduceError("retry backoff values must be >= 0")
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise MapReduceError("fault_rate must be within [0, 1)")
+
+    # -- convenience constructors -----------------------------------------
+    @classmethod
+    def serial(cls, **kwargs) -> "ExecutionPolicy":
+        return cls(executor="serial", **kwargs)
+
+    @classmethod
+    def threads(cls, max_workers: Optional[int] = None, **kwargs) -> "ExecutionPolicy":
+        return cls(executor="thread", max_workers=max_workers, **kwargs)
+
+    @classmethod
+    def processes(cls, max_workers: Optional[int] = None, **kwargs) -> "ExecutionPolicy":
+        return cls(executor="process", max_workers=max_workers, **kwargs)
+
+    # -- derived values ----------------------------------------------------
+    def resolved_workers(self) -> int:
+        """Worker slot count after applying defaults."""
+        if self.executor == "serial":
+            return 1
+        if self.max_workers is not None:
+            return self.max_workers
+        return min(32, os.cpu_count() or 1)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Capped exponential delay before re-running a failed attempt."""
+        return min(self.retry_backoff_cap, self.retry_backoff * 2 ** (attempt - 1))
+
+    def injects_fault(self, task_id: str, attempt: int) -> bool:
+        """Deterministic fault draw for one task attempt.
+
+        Depends only on (seed, task id, attempt number) — never on
+        executor kind, scheduling order, or process identity — so the
+        serial, threaded, and forked engines all observe the same
+        failures and the retried outputs stay byte-identical.
+        """
+        if self.fault_rate <= 0.0:
+            return False
+        text = f"{self.fault_seed}|{task_id}|{attempt}"
+        draw = zlib.crc32(text.encode()) % _FAULT_RESOLUTION
+        return draw < self.fault_rate * _FAULT_RESOLUTION

@@ -27,9 +27,7 @@ class HybridPipeline:
     ):
         # The serial machinery is reused for the tail; no aligner is
         # needed because hybrids always start from aligned records.
-        self._serial = SerialPipeline.__new__(SerialPipeline)
-        self._serial.reference = reference
-        self._serial.hc_config = hc_config
+        self._serial = SerialPipeline.for_tail(reference, hc_config)
         self.reference = reference
 
     def from_alignment(

@@ -22,6 +22,7 @@ from repro.gdpt.partitioner import split_pairs_contiguously
 from repro.genome.reference import ReferenceGenome
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.policy import ExecutionPolicy
 from repro.recal.recalibrator import RecalibrationTable
 from repro.variants.haplotype import HaplotypeCallerConfig
 from repro.wrappers.rounds import GesallRounds
@@ -68,6 +69,7 @@ class GesallPipeline:
         known_sites: Optional[Set[Tuple[str, int]]] = None,
         block_size: int = 64 * 1024,
         chunk_bytes: int = 16 * 1024,
+        policy: Optional[ExecutionPolicy] = None,
     ):
         if num_fastq_partitions < 1:
             raise PipelineError("need at least one FASTQ partition")
@@ -83,12 +85,16 @@ class GesallPipeline:
         self.known_sites = known_sites
         self.block_size = block_size
         self.chunk_bytes = chunk_bytes
+        #: How rounds execute their tasks (serial / thread / process).
+        self.policy = policy or ExecutionPolicy.serial()
 
     def run(self, pairs: Sequence[ReadPair]) -> GesallPipelineResult:
         result = GesallPipelineResult()
         hdfs = Hdfs(self.nodes, replication=min(3, len(self.nodes)),
                     block_size=self.block_size)
-        engine = MapReduceEngine(self.nodes)
+        engine = MapReduceEngine(
+            nodes=self.nodes, policy=self.policy, filesystem=hdfs
+        )
         aligner = PairedEndAligner(self.index, self.aligner_config)
         rounds = GesallRounds(
             hdfs, engine, aligner, self.reference, self.chunk_bytes

@@ -67,6 +67,27 @@ class SerialPipeline:
         self.with_recalibration = with_recalibration
         self.known_sites = known_sites
 
+    @classmethod
+    def for_tail(
+        cls,
+        reference: ReferenceGenome,
+        hc_config: Optional[HaplotypeCallerConfig] = None,
+    ) -> "SerialPipeline":
+        """A pipeline usable only from the cleaning stage onward.
+
+        Skips building the aligner index — hybrid pipelines start from
+        already-aligned records, and the index is the expensive part.
+        """
+        tail = cls.__new__(cls)
+        tail.reference = reference
+        tail.index = None
+        tail.aligner = None
+        tail.hc_config = hc_config
+        tail.batch_size = 0
+        tail.with_recalibration = False
+        tail.known_sites = None
+        return tail
+
     def run(self, pairs: Sequence[ReadPair]) -> SerialPipelineResult:
         result = SerialPipelineResult()
         header = self.aligner.header()

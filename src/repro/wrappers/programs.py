@@ -110,6 +110,11 @@ class DataTransformAccounting:
     def record_output(self, records: List[SamRecord]) -> None:
         self.bytes_from_program += sum(len(r.to_line()) + 1 for r in records)
 
+    def merge(self, other: "DataTransformAccounting") -> None:
+        self.bytes_to_program += other.bytes_to_program
+        self.bytes_from_program += other.bytes_from_program
+        self.invocations += other.invocations
+
     @property
     def total_bytes(self) -> int:
         return self.bytes_to_program + self.bytes_from_program

@@ -22,7 +22,7 @@ from repro.cleaning.duplicates import pair_score
 from repro.cleaning.fix_mate import FixMateInformation
 from repro.cleaning.read_groups import AddOrReplaceReadGroups
 from repro.cleaning.sort import SortSam, coordinate_key
-from repro.errors import PipelineError
+from repro.errors import MapReduceError, PipelineError
 from repro.formats.bam import BamLinearIndex, bam_bytes, read_bam
 from repro.formats.fastq import ReadPair
 from repro.formats.sam import SamHeader, SamRecord
@@ -41,6 +41,7 @@ from repro.hdfs.bam_storage import upload_logical_partitions
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.job import InputSplit, JobConf
+from repro.mapreduce.policy import ExecutionPolicy
 from repro.mapreduce.streaming import StreamingPipeline
 from repro.recal.apply import PrintReads
 from repro.recal.recalibrator import BaseRecalibrator, RecalibrationTable
@@ -72,16 +73,34 @@ def _records_by_pair(records: List[SamRecord]) -> List[Tuple[SamRecord, SamRecor
 
 
 class GesallRounds:
-    """Builds and runs the pipeline rounds over HDFS + the MR engine."""
+    """Builds and runs the pipeline rounds over HDFS + the MR engine.
+
+    Pass either a ready ``engine`` or an :class:`ExecutionPolicy` (the
+    rounds then build their own engine over the HDFS nodes) — not both.
+    An engine without a filesystem is wired to ``hdfs`` so map-task
+    file writes land in the right namespace.
+    """
 
     def __init__(
         self,
         hdfs: Hdfs,
-        engine: MapReduceEngine,
-        aligner: PairedEndAligner,
-        reference,
+        engine: Optional[MapReduceEngine] = None,
+        aligner: Optional[PairedEndAligner] = None,
+        reference=None,
         chunk_bytes: int = 16 * 1024,
+        *,
+        policy: Optional[ExecutionPolicy] = None,
     ):
+        if engine is not None and policy is not None:
+            raise MapReduceError(
+                "pass either an engine or an ExecutionPolicy, not both"
+            )
+        if engine is None:
+            engine = MapReduceEngine(
+                nodes=hdfs.nodes, policy=policy, filesystem=hdfs
+            )
+        elif engine.filesystem is None:
+            engine.filesystem = hdfs
         self.hdfs = hdfs
         self.engine = engine
         self.aligner = aligner
@@ -99,10 +118,8 @@ class GesallRounds:
         self, partitions: List[List[ReadPair]], out_dir: str = "/round1"
     ) -> List[str]:
         """Each map task streams its FASTQ partition through Bwa+SamToBam."""
-        hdfs = self.hdfs
         chunk_bytes = self.chunk_bytes
         aligner = self.aligner
-        holder: Dict[str, object] = {}
 
         def mapper(payload, ctx):
             index, pairs = payload
@@ -111,12 +128,15 @@ class GesallRounds:
             )
             fastq_bytes = pairs_to_interleaved_text(pairs).encode()
             bam_data = pipeline.run(fastq_bytes)
-            holder["streaming"] = pipeline.stats
+            ctx.attach("streaming", pipeline.stats)
             path = f"{out_dir}/part-{index:05d}.bam"
-            hdfs.put(path, bam_data, logical_partition=True)
+            ctx.write_file(path, bam_data, logical_partition=True)
             ctx.emit(path, len(pairs))
 
-        job = JobConf("round1-alignment", mapper)
+        job = JobConf(
+            "round1-alignment", mapper,
+            record_counter=lambda payload: len(payload[1]),
+        )
         splits = [
             InputSplit(
                 f"fastq-{index:05d}",
@@ -127,7 +147,8 @@ class GesallRounds:
         ]
         result = self.engine.run(job, splits)
         self.results["round1"] = result
-        self.streaming_stats = holder.get("streaming")
+        streaming = result.attachments.get("streaming")
+        self.streaming_stats = streaming[-1] if streaming else None
         return [key for key, _ in result.all_outputs()]
 
     # ------------------------------------------------------------------
@@ -138,11 +159,11 @@ class GesallRounds:
         num_reducers: int = 4,
     ) -> List[str]:
         hdfs = self.hdfs
-        accounting = DataTransformAccounting()
-        self.transform["round2"] = accounting
 
         def mapper(path, ctx):
+            accounting = ctx.attachment("transform", DataTransformAccounting)
             header, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             header, records = run_wrapped(
                 AddOrReplaceReadGroups(), header, records, accounting
             )
@@ -152,6 +173,7 @@ class GesallRounds:
 
         def reducer(qname, records, ctx):
             del qname
+            accounting = ctx.attachment("transform", DataTransformAccounting)
             header = SamHeader(sequences=self.reference.sam_sequences())
             _, fixed = run_wrapped(
                 FixMateInformation(), header, list(records), accounting
@@ -165,6 +187,7 @@ class GesallRounds:
         splits = [InputSplit(path, path) for path in in_paths]
         result = self.engine.run(job, splits)
         self.results["round2"] = result
+        self.transform["round2"] = self._merge_transform(result)
         return self._write_reduce_partitions(result, out_dir, "queryname")
 
     # ------------------------------------------------------------------
@@ -176,6 +199,7 @@ class GesallRounds:
 
         def mapper(path, ctx):
             _, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             local = BloomFilter(num_bits=num_bits)
             for end1, end2 in _records_by_pair(records):
                 mapped1 = not end1.flags.is_unmapped
@@ -208,19 +232,20 @@ class GesallRounds:
         if mode == "opt" and bloom is None:
             bloom = self.round_bloom(in_paths)
         hdfs = self.hdfs
-        accounting = DataTransformAccounting()
-        self.transform["round3"] = accounting
 
         def mapper(path, ctx):
+            accounting = ctx.attachment("transform", DataTransformAccounting)
             keying = MarkDupKeying(mode, bloom)
             keying.reset()
             _, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             accounting.record_input(records)
             for end1, end2 in _records_by_pair(records):
                 for key, value in keying.keys_for_pair(end1, end2):
                     ctx.emit(key, value)
 
         def reducer(key, values, ctx):
+            accounting = ctx.attachment("transform", DataTransformAccounting)
             for record in _reduce_markdup_group(key, list(values)):
                 ctx.emit(record.qname, record)
                 accounting.record_output([record])
@@ -231,6 +256,7 @@ class GesallRounds:
         )
         result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
         self.results["round3"] = result
+        self.transform["round3"] = self._merge_transform(result)
         return self._write_reduce_partitions(
             result, out_dir, "coordinate", sort_coordinate=True
         )
@@ -248,6 +274,7 @@ class GesallRounds:
 
         def mapper(path, ctx):
             _, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             for record in records:
                 index = ranger.partition_of(record)
                 if index is not None:
@@ -298,6 +325,7 @@ class GesallRounds:
 
         def mapper(path, ctx):
             _, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             caller = HaplotypeCallerLite(reference, hc_config)
             contig = records[0].rname if records else None
             interval = (
@@ -331,6 +359,7 @@ class GesallRounds:
 
         def mapper(path, ctx):
             _, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             caller = UnifiedGenotyperLite(reference, ug_config)
             for call in caller.call(records):
                 ctx.emit(call.site_key(), call)
@@ -369,6 +398,7 @@ class GesallRounds:
 
         def mapper(path, ctx):
             _, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             for record in records:
                 for index in ranger.partitions_of(record):
                     ctx.emit(index, record)
@@ -407,6 +437,7 @@ class GesallRounds:
 
         def mapper(path, ctx):
             _, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             caller = GASVLite(gasv_config)
             for call in caller.call(records):
                 ctx.emit((call.contig, call.start), call)
@@ -431,6 +462,7 @@ class GesallRounds:
 
         def mapper(path, ctx):
             _, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             partial = RecalibrationTable()
             for record in records:
                 recalibrator.add_record(partial, record)
@@ -457,16 +489,17 @@ class GesallRounds:
     ) -> List[str]:
         """Map-only quality rewrite with the broadcast table."""
         hdfs = self.hdfs
-        out_paths: List[str] = []
+        chunk_bytes = self.chunk_bytes
 
         def mapper(payload, ctx):
             index, path = payload
             header, records = read_bam(hdfs.get(path))
+            ctx.set_input_records(len(records))
             header, rewritten = PrintReads(table).run(header, records)
             out_path = f"{out_dir}/part-{index:05d}.bam"
-            hdfs.put(
+            ctx.write_file(
                 out_path,
-                bam_bytes(header, rewritten, self.chunk_bytes),
+                bam_bytes(header, rewritten, chunk_bytes),
                 logical_partition=True,
             )
             ctx.emit(out_path, len(rewritten))
@@ -479,6 +512,19 @@ class GesallRounds:
         result = self.engine.run(job, splits)
         self.results["round_print_reads"] = result
         return [key for key, _ in result.all_outputs()]
+
+    # -- shared accounting merge ----------------------------------------------
+    def _merge_transform(self, result: JobResult) -> DataTransformAccounting:
+        """Fold per-task transform accounting into one round-level total.
+
+        Tasks buffer their accounting as attachments (so forked workers
+        can report it back); attachments arrive in task order, which
+        keeps the merged totals deterministic across executors.
+        """
+        merged = DataTransformAccounting()
+        for partial in result.attachments.get("transform", []):
+            merged.merge(partial)
+        return merged
 
     # -- shared output writer -------------------------------------------------
     def _write_reduce_partitions(

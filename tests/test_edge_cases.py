@@ -174,7 +174,7 @@ class TestEngineEdges:
         assert result.all_outputs() == []
 
     def test_single_node_engine(self):
-        engine = MapReduceEngine(["only"])
+        engine = MapReduceEngine(nodes=["only"])
         job = JobConf("s", lambda p, c: c.emit(p, 1),
                       lambda k, v, c: c.emit(k, sum(v)), num_reducers=3)
         result = engine.run(job, make_splits(list("abcabc")))

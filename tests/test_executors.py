@@ -1,0 +1,428 @@
+"""Execution plane tests: policies, executors, retries, determinism.
+
+The engine's contract is that the serial, threaded, and fork-based
+process executors produce byte-identical results for every job — and
+that injected faults, absorbed by retries, change nothing but the
+attempt counters.  These tests pin that contract, first on small
+synthetic jobs and then on the full five-round Gesall pipeline.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MapReduceError
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce import counters as C
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.engine import JobResult, MapReduceEngine
+from repro.mapreduce.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    build_executor,
+    fork_available,
+)
+from repro.mapreduce.job import InputSplit, JobConf, make_splits
+from repro.mapreduce.policy import EXECUTOR_KINDS, ExecutionPolicy
+from repro.pipeline.parallel import GesallPipeline
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+ALL_POLICIES = [
+    ExecutionPolicy.serial(),
+    ExecutionPolicy.threads(max_workers=4),
+    pytest.param(ExecutionPolicy.processes(max_workers=2), marks=needs_fork),
+]
+
+
+def wordcount_job():
+    def mapper(line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(word, sum(counts))
+
+    return JobConf("wordcount", mapper, reducer, num_reducers=2)
+
+
+LINES = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "quick quick slow",
+]
+
+
+class TestExecutionPolicy:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(MapReduceError, match="unknown executor"):
+            ExecutionPolicy(executor="gpu")
+
+    def test_rejects_bad_workers_and_retries(self):
+        with pytest.raises(MapReduceError):
+            ExecutionPolicy(executor="thread", max_workers=0)
+        with pytest.raises(MapReduceError):
+            ExecutionPolicy(task_retries=-1)
+        with pytest.raises(MapReduceError):
+            ExecutionPolicy(fault_rate=1.5)
+
+    def test_frozen(self):
+        policy = ExecutionPolicy.serial()
+        with pytest.raises(Exception):
+            policy.executor = "thread"
+
+    def test_resolved_workers(self):
+        assert ExecutionPolicy.serial().resolved_workers() == 1
+        assert ExecutionPolicy.threads(max_workers=7).resolved_workers() == 7
+        assert ExecutionPolicy.processes().resolved_workers() >= 1
+
+    def test_fault_draw_is_deterministic_and_policy_independent(self):
+        """The draw depends only on (seed, task, attempt) — never on
+        the executor kind — so all executors see the same failures."""
+        draws = {
+            kind: [
+                ExecutionPolicy(
+                    executor=kind, fault_rate=0.3, fault_seed=42,
+                    task_retries=5,
+                ).injects_fault(f"job-m-{i:05d}", attempt)
+                for i in range(20)
+                for attempt in (1, 2)
+            ]
+            for kind in EXECUTOR_KINDS
+        }
+        assert draws["serial"] == draws["thread"] == draws["process"]
+        assert any(draws["serial"])  # rate 0.3 over 40 draws must hit
+
+    def test_backoff_is_capped(self):
+        policy = ExecutionPolicy(retry_backoff=0.01, retry_backoff_cap=0.05)
+        delays = [policy.backoff_delay(a) for a in range(1, 10)]
+        assert delays == sorted(delays)
+        assert max(delays) == 0.05
+
+
+class TestExecutors:
+    def test_build_executor_maps_kinds(self):
+        assert isinstance(
+            build_executor(ExecutionPolicy.serial()), SerialExecutor
+        )
+        assert isinstance(
+            build_executor(ExecutionPolicy.threads(2)), ThreadedExecutor
+        )
+
+    @needs_fork
+    def test_build_executor_process(self):
+        assert isinstance(
+            build_executor(ExecutionPolicy.processes(2)), ProcessExecutor
+        )
+
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            SerialExecutor(),
+            ThreadedExecutor(max_workers=3),
+            pytest.param(ProcessExecutor(max_workers=2), marks=needs_fork),
+        ],
+        ids=["serial", "thread", "process"],
+    )
+    def test_results_arrive_in_submission_order(self, executor):
+        thunks = [lambda i=i: i * i for i in range(10)]
+        assert executor.run_tasks(thunks) == [i * i for i in range(10)]
+
+    def test_empty_wave(self):
+        assert SerialExecutor().run_tasks([]) == []
+
+
+class TestEngineAcrossExecutors:
+    @pytest.mark.parametrize("policy", ALL_POLICIES,
+                             ids=["serial", "thread", "process"])
+    def test_wordcount_identical(self, policy):
+        baseline = MapReduceEngine(nodes=["n1", "n2"]).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        result = MapReduceEngine(nodes=["n1", "n2"], policy=policy).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        assert result.all_outputs() == baseline.all_outputs()
+        assert result.reduce_outputs == baseline.reduce_outputs
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        lines=st.lists(
+            st.text(
+                alphabet=st.sampled_from("ab cd"), min_size=0, max_size=30
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_property_serial_thread_equivalence(self, lines):
+        """Property: the threaded engine is indistinguishable from the
+        serial reference on arbitrary inputs."""
+        serial = MapReduceEngine(nodes=["n1"]).run(
+            wordcount_job(), make_splits(lines)
+        )
+        threaded = MapReduceEngine(
+            nodes=["n1"], policy=ExecutionPolicy.threads(max_workers=4)
+        ).run(wordcount_job(), make_splits(lines))
+        assert threaded.all_outputs() == serial.all_outputs()
+        assert threaded.counters.as_dict() == serial.counters.as_dict()
+
+
+class TestRetriesAndFaults:
+    def run_with(self, policy):
+        return MapReduceEngine(nodes=["n1"], policy=policy).run(
+            wordcount_job(), make_splits(LINES)
+        )
+
+    @pytest.mark.parametrize(
+        "executor_kind",
+        ["serial", "thread", pytest.param("process", marks=needs_fork)],
+    )
+    def test_injected_faults_are_retried_to_identical_outputs(
+        self, executor_kind
+    ):
+        clean = self.run_with(ExecutionPolicy.serial())
+        faulty = self.run_with(
+            ExecutionPolicy(
+                executor=executor_kind, max_workers=2, fault_rate=0.2,
+                fault_seed=7, task_retries=8, retry_backoff=0.0,
+            )
+        )
+        assert faulty.all_outputs() == clean.all_outputs()
+        assert faulty.counters.get(C.INJECTED_FAULTS) > 0
+        total_tasks = len(faulty.history.tasks)
+        assert faulty.history.total_attempts() > total_tasks
+        assert faulty.history.retried_tasks()
+
+    def test_attempt_counters_without_faults(self):
+        result = self.run_with(ExecutionPolicy.serial())
+        assert result.counters.get(C.MAP_TASK_ATTEMPTS) == len(LINES)
+        assert result.counters.get(C.REDUCE_TASK_ATTEMPTS) == 2
+        assert C.INJECTED_FAULTS not in result.counters
+
+    def test_attempts_recorded_per_task_in_history(self):
+        faulty = self.run_with(
+            ExecutionPolicy(
+                fault_rate=0.2, fault_seed=7, task_retries=8,
+                retry_backoff=0.0,
+            )
+        )
+        by_counter = faulty.counters.get(C.MAP_TASK_ATTEMPTS) + \
+            faulty.counters.get(C.REDUCE_TASK_ATTEMPTS)
+        assert by_counter == faulty.history.total_attempts()
+
+    def test_exhausted_retries_raise(self):
+        def bad_mapper(line, ctx):
+            raise ValueError("boom")
+
+        job = JobConf("doomed", bad_mapper)
+        engine = MapReduceEngine(
+            nodes=["n1"],
+            policy=ExecutionPolicy(task_retries=2, retry_backoff=0.0),
+        )
+        with pytest.raises(MapReduceError, match="after 3 attempt"):
+            engine.run(job, make_splits(["x"]))
+
+    def test_speculative_stub_counts_and_audits(self):
+        result = MapReduceEngine(
+            nodes=["n1"],
+            policy=ExecutionPolicy.threads(max_workers=2, speculative=True),
+        ).run(wordcount_job(), make_splits(LINES))
+        # One duplicate per wave (map + reduce).
+        assert result.counters.get(C.SPECULATIVE_ATTEMPTS) == 2
+
+    def test_speculative_detects_nondeterminism(self):
+        calls = []
+
+        def impure_mapper(line, ctx):
+            calls.append(line)
+            ctx.emit(f"call-{len(calls)}", 1)
+
+        job = JobConf("impure", impure_mapper)
+        engine = MapReduceEngine(
+            nodes=["n1"],
+            policy=ExecutionPolicy.threads(max_workers=1, speculative=True),
+        )
+        with pytest.raises(MapReduceError, match="not deterministic"):
+            engine.run(job, make_splits(["a", "b"]))
+
+
+class TestRecordCounting:
+    def test_map_input_records_counts_records_not_splits(self):
+        """Regression: MAP_INPUT_RECORDS used to count one per split."""
+        job = JobConf(
+            "counted",
+            lambda payload, ctx: None,
+            record_counter=len,
+        )
+        result = MapReduceEngine(nodes=["n1"]).run(
+            job, make_splits([["r1", "r2", "r3"], ["r4"]])
+        )
+        assert result.counters.get(C.MAP_INPUT_RECORDS) == 4
+
+    def test_default_remains_one_per_split(self):
+        job = JobConf("plain", lambda payload, ctx: None)
+        result = MapReduceEngine(nodes=["n1"]).run(
+            job, make_splits([["r1", "r2"], ["r3"]])
+        )
+        assert result.counters.get(C.MAP_INPUT_RECORDS) == 2
+
+    def test_context_override_wins(self):
+        def mapper(payload, ctx):
+            ctx.set_input_records(len(payload))
+
+        result = MapReduceEngine(nodes=["n1"]).run(
+            JobConf("override", mapper), make_splits([["a", "b"], ["c"]])
+        )
+        assert result.counters.get(C.MAP_INPUT_RECORDS) == 3
+
+
+class TestApiRedesign:
+    def test_positional_nodes_deprecated(self):
+        with pytest.deprecated_call():
+            engine = MapReduceEngine(["n1", "n2"])
+        assert engine.nodes == ["n1", "n2"]
+
+    def test_positional_and_keyword_nodes_conflict(self):
+        with pytest.raises(TypeError):
+            MapReduceEngine(["n1"], nodes=["n2"])
+
+    def test_split_locality_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            InputSplit("s0", "payload", "n1")
+
+    def test_validate_rejects_reducerless_num_reducers(self):
+        job = JobConf("bad", lambda p, c: None)
+        job.num_reducers = 4  # simulate a conf mutated after the fact
+        with pytest.raises(MapReduceError, match="no reducer"):
+            MapReduceEngine(nodes=["n1"]).run(job, make_splits(["x"]))
+
+    def test_validate_rejects_uncallable_mapper(self):
+        job = JobConf("bad2", lambda p, c: None)
+        job.mapper = "not-a-function"
+        with pytest.raises(MapReduceError, match="mapper is not callable"):
+            job.validate()
+
+    def test_counters_is_a_mapping(self):
+        from collections.abc import Mapping
+
+        counters = Counters()
+        counters.inc("B", 2)
+        counters.inc("A", 1)
+        assert isinstance(counters, Mapping)
+        assert list(counters) == ["A", "B"]
+        assert dict(counters.items()) == {"A": 1, "B": 2}
+        assert counters["B"] == 2
+        assert "A" in counters and len(counters) == 2
+        with pytest.raises(KeyError):
+            counters["missing"]
+
+    def test_job_result_is_iterable(self):
+        result = MapReduceEngine(nodes=["n1"]).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        assert list(result) == result.all_outputs()
+        assert len(result) == len(result.all_outputs())
+
+    def test_engine_without_filesystem_rejects_file_writes(self):
+        def mapper(payload, ctx):
+            ctx.write_file("/out", b"data")
+
+        with pytest.raises(MapReduceError, match="no filesystem"):
+            MapReduceEngine(nodes=["n1"]).run(
+                JobConf("writes", mapper), make_splits(["x"])
+            )
+
+
+def pipeline_fingerprint(reference, ref_index, pairs, policy):
+    """Run the full five-round pipeline and serialize everything it
+    produced: every HDFS file plus the final variant lines."""
+    result = GesallPipeline(
+        reference,
+        index=ref_index,
+        num_fastq_partitions=4,
+        num_reducers=3,
+        policy=policy,
+    ).run(pairs)
+    files = {
+        f.path: result.hdfs.get(f.path) for f in result.hdfs.files()
+    }
+    variants = [v.to_line() for v in result.variants]
+    transform = {
+        name: (acct.bytes_to_program, acct.bytes_from_program,
+               acct.invocations)
+        for name, acct in result.rounds.transform.items()
+    }
+    return files, variants, transform
+
+
+class TestCrossExecutorDeterminism:
+    """The acceptance property: all five Gesall rounds produce
+    byte-identical outputs no matter which executor ran them."""
+
+    @pytest.fixture(scope="class")
+    def serial_run(self, reference, ref_index, pairs):
+        return pipeline_fingerprint(
+            reference, ref_index, pairs, ExecutionPolicy.serial()
+        )
+
+    def test_thread_executor_matches_serial(
+        self, reference, ref_index, pairs, serial_run
+    ):
+        threaded = pipeline_fingerprint(
+            reference, ref_index, pairs,
+            ExecutionPolicy.threads(max_workers=4),
+        )
+        assert threaded == serial_run
+
+    @needs_fork
+    def test_process_executor_matches_serial(
+        self, reference, ref_index, pairs, serial_run
+    ):
+        forked = pipeline_fingerprint(
+            reference, ref_index, pairs,
+            ExecutionPolicy.processes(max_workers=2),
+        )
+        assert forked == serial_run
+
+    def test_faulty_run_matches_serial(
+        self, reference, ref_index, pairs, serial_run
+    ):
+        """Injected failures, absorbed by retries, change nothing."""
+        faulty = pipeline_fingerprint(
+            reference, ref_index, pairs,
+            ExecutionPolicy.threads(
+                max_workers=2, fault_rate=0.2, fault_seed=11,
+                task_retries=10, retry_backoff=0.0,
+            ),
+        )
+        assert faulty == serial_run
+
+
+@needs_fork
+def test_process_pool_smoke():
+    """Minimal end-to-end check that fork-based execution works; run in
+    CI to catch platform-specific process-pool regressions."""
+    hdfs = Hdfs(["n0", "n1"], replication=1)
+
+    def mapper(payload, ctx):
+        ctx.write_file(f"/smoke/{payload}", payload.encode())
+        ctx.attach("seen", payload)
+        ctx.emit(payload, len(payload))
+
+    engine = MapReduceEngine(
+        nodes=hdfs.nodes,
+        policy=ExecutionPolicy.processes(max_workers=2),
+        filesystem=hdfs,
+    )
+    result = engine.run(
+        JobConf("smoke", mapper), make_splits(["alpha", "beta", "gamma"])
+    )
+    assert [k for k, _ in result.all_outputs()] == ["alpha", "beta", "gamma"]
+    assert result.attachments["seen"] == ["alpha", "beta", "gamma"]
+    for name in ("alpha", "beta", "gamma"):
+        assert hdfs.get(f"/smoke/{name}") == name.encode()

@@ -176,7 +176,7 @@ class TestPipelineOptimizer:
 @pytest.fixture(scope="module")
 def sorted_partitions(reference, aligner, pairs):
     hdfs = Hdfs(["n0", "n1", "n2"], replication=2, block_size=64 * 1024)
-    engine = MapReduceEngine(hdfs.nodes)
+    engine = MapReduceEngine(nodes=hdfs.nodes)
     rounds = GesallRounds(hdfs, engine, aligner, reference, chunk_bytes=8 * 1024)
     r1 = rounds.round1_alignment(split_pairs_contiguously(list(pairs), 5))
     r2 = rounds.round2_cleaning(r1, out_dir="/x2", num_reducers=3)

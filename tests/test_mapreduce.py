@@ -74,13 +74,13 @@ class TestJobConf:
 
 class TestEngine:
     def test_wordcount(self):
-        engine = MapReduceEngine(["n1", "n2"])
+        engine = MapReduceEngine(nodes=["n1", "n2"])
         job = JobConf("wc", word_mapper, sum_reducer, num_reducers=3)
         result = engine.run(job, make_splits(["a b a", "b c a"]))
         assert sorted(result.all_outputs()) == [("a", 3), ("b", 2), ("c", 1)]
 
     def test_output_invariant_to_reducer_count(self):
-        engine = MapReduceEngine(["n1"])
+        engine = MapReduceEngine(nodes=["n1"])
         splits_text = ["the quick brown fox", "jumps over the lazy dog the"]
         baselines = None
         for reducers in (1, 2, 5, 13):
@@ -91,7 +91,7 @@ class TestEngine:
             assert outputs == baselines
 
     def test_output_invariant_to_split_boundaries(self):
-        engine = MapReduceEngine(["n1"])
+        engine = MapReduceEngine(nodes=["n1"])
         text = "a b c d e f a b c a b a"
         job = JobConf("wc", word_mapper, sum_reducer, num_reducers=2)
         one = sorted(engine.run(job, make_splits([text])).all_outputs())
@@ -139,7 +139,7 @@ class TestEngine:
         assert observed["key"] == ["m0-a", "m0-b", "m1-a"]
 
     def test_history_tracks_tasks(self):
-        engine = MapReduceEngine(["n1", "n2"])
+        engine = MapReduceEngine(nodes=["n1", "n2"])
         job = JobConf("wc", word_mapper, sum_reducer, num_reducers=2)
         result = engine.run(job, make_splits(["a", "b", "c"]))
         assert len(result.history.maps()) == 3

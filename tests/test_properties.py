@@ -228,7 +228,7 @@ def test_mapreduce_equals_sequential_groupby(split_payloads, n_reducers):
     def reducer(key, values, ctx):
         ctx.emit(key, sorted(values))
 
-    engine = MapReduceEngine(["n1", "n2"])
+    engine = MapReduceEngine(nodes=["n1", "n2"])
     job = JobConf("group", mapper, reducer, num_reducers=n_reducers)
     outputs = dict(engine.run(job, make_splits(split_payloads)).all_outputs())
 

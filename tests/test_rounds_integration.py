@@ -25,7 +25,7 @@ from repro.wrappers.rounds import GesallRounds
 def rounds_env(reference, ref_index, aligner, pairs):
     """A GesallRounds instance with Round 1 already executed."""
     hdfs = Hdfs(["n0", "n1", "n2", "n3"], replication=2, block_size=64 * 1024)
-    engine = MapReduceEngine(hdfs.nodes)
+    engine = MapReduceEngine(nodes=hdfs.nodes)
     rounds = GesallRounds(hdfs, engine, aligner, reference, chunk_bytes=8 * 1024)
     partitions = split_pairs_contiguously(list(pairs), 6)
     round1_paths = rounds.round1_alignment(partitions)

@@ -190,7 +190,7 @@ class TestEndToEndDetection:
 
         reference, donor, records = sv_sample
         hdfs = Hdfs(["n0", "n1"], replication=1, block_size=64 * 1024)
-        engine = MapReduceEngine(hdfs.nodes)
+        engine = MapReduceEngine(nodes=hdfs.nodes)
         header = SamHeader(sequences=reference.sam_sequences())
         paths = upload_logical_partitions(hdfs, "/sv", header, [records])
         rounds = GesallRounds(hdfs, engine, aligner=None, reference=reference)
