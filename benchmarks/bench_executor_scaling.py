@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 
-from benchlib import report
+from benchlib import report, report_json
 
 from repro.align import AlignerConfig, PairedEndAligner, ReferenceIndex
 from repro.gdpt.partitioner import split_pairs_contiguously
@@ -89,6 +89,15 @@ def test_round1_executor_scaling():
             f"  {name:<10s}{timings[name]:>8.3f} s   {speedup:>5.2f}x"
         )
     report("executor_scaling_round1", "\n".join(lines))
+    report_json(
+        "executor_scaling_round1",
+        wall_seconds=timings["serial"],
+        params={"partitions": 8, "host_cores": os.cpu_count()},
+        counters={
+            f"wall_seconds.{name}": round(timings[name], 6)
+            for name, _ in POLICIES
+        },
+    )
     # Determinism holds regardless of how fast the round ran.
     assert outputs["thread@4"] == outputs["serial"]
     assert outputs["process@4"] == outputs["serial"]
@@ -130,6 +139,15 @@ def test_external_program_stall_scaling():
             f"  {name:<10s}{timings[name]:>8.3f} s   {speedup:>5.2f}x"
         )
     report("executor_scaling_stall", "\n".join(lines))
+    report_json(
+        "executor_scaling_stall",
+        wall_seconds=timings["serial"],
+        params={"tasks": STALL_TASKS, "stall_seconds": STALL_SECONDS},
+        counters={
+            f"wall_seconds.{name}": round(timings[name], 6)
+            for name, _ in POLICIES
+        },
+    )
     assert outputs["thread@4"] == outputs["serial"]
     assert outputs["process@4"] == outputs["serial"]
     # Blocked pipe time overlaps even on one core: 8 tasks of 0.15 s

@@ -1,0 +1,107 @@
+"""Overhead of the observability layer on the full parallel pipeline.
+
+Three claims, all required for the layer to stay always-on-safe:
+
+* The *disabled* path (``ObsConfig(enabled=False)``, the default) must
+  cost nothing: the pipeline runs against the shared null recorder,
+  whose ``span()`` returns one preallocated no-op.  Asserted two ways —
+  the null recorder really is allocation-free, and a disabled run's
+  wall time stays within 5% of a pipeline built before this layer knew
+  it was being measured (default construction, no ``obs`` argument).
+* The *enabled* path must stay cheap enough to leave on for diagnosis
+  runs: full tracing is allowed at most 40% over baseline here (in
+  practice it is far lower; the bound only guards regressions).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchlib import report, report_json
+
+from repro.align import AlignerConfig, ReferenceIndex
+from repro.genome import (
+    DonorSimulationConfig,
+    ReadSimulationConfig,
+    ReferenceSimulationConfig,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+)
+from repro.obs.recorder import NULL_RECORDER, ObsConfig
+from repro.pipeline.parallel import GesallPipeline
+
+REPEATS = 3
+
+
+def _dataset():
+    reference = simulate_reference(
+        ReferenceSimulationConfig(
+            contig_lengths={"chr1": 9000, "chr2": 7000}, seed=411
+        )
+    )
+    donor = simulate_donor(
+        reference, DonorSimulationConfig(snp_rate=2e-3, seed=412)
+    )
+    pairs, _ = simulate_reads(
+        donor, ReadSimulationConfig(coverage=10.0, seed=413)
+    )
+    return reference, ReferenceIndex(reference), pairs
+
+
+def _best_of(reference, index, pairs, obs) -> float:
+    """Best-of-N wall time; best-of filters scheduler noise."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        kwargs = {} if obs is None else {"obs": obs}
+        pipeline = GesallPipeline(
+            reference, index=index, num_fastq_partitions=6, num_reducers=3,
+            aligner_config=AlignerConfig(seed=9), **kwargs,
+        )
+        start = time.perf_counter()
+        pipeline.run(pairs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_recorder_is_allocation_free():
+    assert NULL_RECORDER.span("a") is NULL_RECORDER.span("b")
+    assert NULL_RECORDER.metrics.counter("x") is NULL_RECORDER.metrics.gauge("y")
+    assert ObsConfig().build_recorder() is NULL_RECORDER
+
+
+def test_obs_overhead():
+    reference, index, pairs = _dataset()
+    base = _best_of(reference, index, pairs, obs=None)
+    disabled = _best_of(reference, index, pairs, obs=ObsConfig(enabled=False))
+    enabled = _best_of(reference, index, pairs, obs=ObsConfig(enabled=True))
+    lines = [
+        "Observability overhead, full 5-round pipeline "
+        f"(best of {REPEATS}):",
+        f"  default (no obs arg)   {base:>8.3f} s",
+        f"  ObsConfig(enabled=False){disabled:>7.3f} s   "
+        f"{disabled / base:>5.2f}x",
+        f"  ObsConfig(enabled=True) {enabled:>8.3f} s   "
+        f"{enabled / base:>5.2f}x",
+    ]
+    report("obs_overhead", "\n".join(lines))
+    report_json(
+        "obs_overhead",
+        wall_seconds=base,
+        params={"partitions": 6, "reducers": 3, "repeats": REPEATS},
+        counters={
+            "wall_seconds.default": round(base, 6),
+            "wall_seconds.disabled": round(disabled, 6),
+            "wall_seconds.enabled": round(enabled, 6),
+        },
+    )
+    # Acceptance bound: disabled tracing within 5% of baseline (with a
+    # 50 ms absolute floor so sub-second runs don't flake on noise).
+    assert abs(disabled - base) <= max(0.05 * base, 0.05), (
+        f"disabled-recorder overhead regressed: {disabled:.3f}s vs "
+        f"baseline {base:.3f}s"
+    )
+    assert enabled <= 1.4 * base + 0.05, (
+        f"enabled-recorder overhead regressed: {enabled:.3f}s vs "
+        f"baseline {base:.3f}s"
+    )

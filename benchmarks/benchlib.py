@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Any, Dict, Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -16,3 +18,29 @@ def report(name: str, text: str) -> None:
         if not text.endswith("\n"):
             handle.write("\n")
     print(f"\n--- {name} ---\n{text}")
+
+
+def report_json(
+    name: str,
+    wall_seconds: float,
+    params: Optional[Dict[str, Any]] = None,
+    counters: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write one experiment's machine-readable result.
+
+    Lands next to the text tables as ``BENCH_<name>.json`` with a fixed
+    schema — {name, params, wall_seconds, counters} — so CI can diff
+    runs without scraping the human tables.  Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "name": name,
+        "params": params or {},
+        "wall_seconds": round(float(wall_seconds), 6),
+        "counters": counters or {},
+    }
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -53,6 +53,7 @@ from repro.metrics import (
     compare_variants,
     precision_sensitivity,
 )
+from repro.obs import ObsConfig, TraceRecorder
 from repro.pipeline import (
     GesallPipeline,
     HybridPipeline,
@@ -80,6 +81,7 @@ __all__ = [
     "simulate_reference",
     "compare_alignments", "compare_duplicates", "compare_variants",
     "precision_sensitivity",
+    "ObsConfig", "TraceRecorder",
     "GesallPipeline", "HybridPipeline", "SerialPipeline", "TABLE2_STAGES",
     "GenotyperConfig", "HaplotypeCallerConfig", "HaplotypeCallerLite",
     "UnifiedGenotyperLite",

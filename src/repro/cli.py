@@ -4,13 +4,17 @@ Subcommands::
 
     repro-genomics simulate   --out DIR [--length N] [--coverage X]
     repro-genomics run        --data DIR --mode serial|parallel [--vcf F]
+    repro-genomics trace      --data DIR [--trace-out F] [--jsonl F]
     repro-genomics diagnose   --data DIR
     repro-genomics perf-study [--cluster A|B]
 
 ``simulate`` writes a reference FASTA, two FASTQ files and the truth
-VCF into a directory; ``run`` executes a pipeline over them; ``diagnose``
-runs both pipelines and prints the Table 8 report; ``perf-study`` prints
-the simulator's Table 6/7 numbers without touching any data.
+VCF into a directory; ``run`` executes a pipeline over them; ``trace``
+runs the parallel pipeline under an enabled trace recorder and prints
+the per-round / per-phase breakdown (writing a Chrome-loadable
+``trace.json``); ``diagnose`` runs both pipelines and prints the
+Table 8 report; ``perf-study`` prints the simulator's Table 6/7
+numbers without touching any data.
 """
 
 from __future__ import annotations
@@ -79,6 +83,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--vcf", default=None, help="output VCF path")
     _add_executor_flags(run)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run the parallel pipeline traced; report + trace.json",
+    )
+    trace.add_argument("--data", required=True, help="simulate output dir")
+    trace.add_argument("--partitions", type=int, default=8,
+                       help="FASTQ logical partitions")
+    trace.add_argument("--trace-out", default=None,
+                       help="Chrome trace path (default DATA/trace.json)")
+    trace.add_argument("--jsonl", default=None,
+                       help="also write a JSONL span dump to this path")
+    trace.add_argument("--width", type=int, default=60,
+                       help="terminal timeline width in samples")
+    _add_executor_flags(trace)
+
     diag = sub.add_parser("diagnose",
                           help="run both pipelines and compare (Table 8)")
     diag.add_argument("--data", required=True)
@@ -143,6 +162,91 @@ def _cmd_run(args) -> int:
         precision, sensitivity = precision_sensitivity(result.variants, truth)
         print(f"vs truth: precision {precision:.3f}, "
               f"sensitivity {sensitivity:.3f}")
+    return 0
+
+
+def _fmt_bytes(count) -> str:
+    count = float(count or 0)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.0f} {unit}" if unit == "B" else f"{count:.1f} {unit}"
+        count /= 1024
+    return f"{count:.1f} GiB"
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.export import (
+        render_timeline,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.obs.recorder import ObsConfig
+
+    reference, pairs = _load_sample(args.data)
+    index = ReferenceIndex(reference)
+    pipeline = GesallPipeline(
+        reference, index=index, num_fastq_partitions=args.partitions,
+        policy=_policy_from_args(args), obs=ObsConfig(enabled=True),
+    )
+    result = pipeline.run(pairs)
+    recorder = result.recorder
+    spans = recorder.spans()
+
+    print(f"traced parallel pipeline: {len(pairs)} read pairs, "
+          f"executor={args.executor}, wall {recorder.horizon():.3f}s")
+
+    round_spans = [s for s in spans if s.category == "round"]
+    print()
+    print(f"{'round':<22s}{'wall':>10s}{'recs in':>10s}"
+          f"{'recs out':>10s}{'shuffled':>12s}")
+    for span in round_spans:
+        attrs = span.attrs
+        print(f"{span.name:<22s}{span.duration:>9.3f}s"
+              f"{attrs.get('records_in', 0):>10d}"
+              f"{attrs.get('records_out', 0):>10d}"
+              f"{_fmt_bytes(attrs.get('shuffled_bytes', 0)):>12s}")
+
+    phase_totals = recorder.phase_totals()
+    if phase_totals:
+        print()
+        print("task phase totals:")
+        for name, total in sorted(phase_totals.items(),
+                                  key=lambda item: -item[1]):
+            print(f"  {name:<10s}{total:>9.3f}s")
+
+    rounds = result.rounds
+    print()
+    print("per-round tasks:")
+    for key, job_result in rounds.results.items():
+        s = job_result.history.summary()
+        print(f"  {key:<18s}{s['maps']:>3d} maps {s['reduces']:>3d} reduces"
+              f"  retried {s['retried_tasks']}  speculative "
+              f"{s['speculative']}  queue {s['queued_seconds']:.3f}s"
+              f"  run {s['run_seconds']:.3f}s")
+
+    print()
+    print(render_timeline(recorder, width=args.width))
+
+    counters = recorder.metrics.as_dict()["counters"]
+    hdfs_line = ", ".join(
+        f"{op} {counters.get(f'hdfs.{op}.calls', 0)} calls"
+        + (f" / {_fmt_bytes(counters[f'hdfs.{op}.bytes'])}"
+           if f"hdfs.{op}.bytes" in counters else "")
+        for op in ("put", "get", "read_from", "delete")
+        if counters.get(f"hdfs.{op}.calls")
+    )
+    if hdfs_line:
+        print()
+        print(f"hdfs: {hdfs_line}")
+
+    trace_path = args.trace_out or os.path.join(args.data, "trace.json")
+    write_chrome_trace(recorder, trace_path)
+    print()
+    print(f"wrote {trace_path} ({len(spans)} spans); load it in "
+          "chrome://tracing or https://ui.perfetto.dev")
+    if args.jsonl:
+        write_jsonl(recorder, args.jsonl)
+        print(f"wrote {args.jsonl}")
     return 0
 
 
@@ -213,6 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "diagnose": _cmd_diagnose,
         "perf-study": _cmd_perf_study,
     }

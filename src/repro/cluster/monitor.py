@@ -8,9 +8,24 @@ utilization plots of Fig 10(a-c) can be eyeballed from a terminal.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.cluster.fluid import UtilizationTrace
+
+#: Ten-level intensity ramp shared by every strip-chart renderer
+#: (simulated disk utilization here, real span timelines in
+#: :mod:`repro.obs.export`).
+RAMP = " .:-=+*#%@"
+
+
+def render_ramp(values: Sequence[float]) -> str:
+    """Map 0..1 intensities onto the shared ASCII ramp, one char each."""
+    chars = []
+    top = len(RAMP) - 1
+    for value in values:
+        clamped = 0.0 if value < 0.0 else min(1.0, value)
+        chars.append(RAMP[min(top, int(clamped * top + 0.5))])
+    return "".join(chars)
 
 
 def sample_utilization(
@@ -38,13 +53,8 @@ def render_strip_chart(
     width: int = 60,
 ) -> str:
     """One-line ASCII utilization strip: ' .:-=+*#%@' for 0-100%."""
-    ramp = " .:-=+*#%@"
     samples = sample_utilization(trace, resource_name, horizon, width)
-    chars = []
-    for _, value in samples:
-        level = min(len(ramp) - 1, int(value * (len(ramp) - 1) + 0.5))
-        chars.append(ramp[level])
-    return "".join(chars)
+    return render_ramp([value for _, value in samples])
 
 
 def render_disk_report(

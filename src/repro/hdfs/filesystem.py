@@ -20,13 +20,14 @@ from repro.hdfs.blocks import (
     split_into_blocks,
 )
 from repro.hdfs.placement import BlockPlacementPolicy, LogicalBlockPlacementPolicy
+from repro.obs.recorder import NULL_RECORDER
 
 
 class Hdfs:
     """The distributed filesystem facade (namenode view)."""
 
     def __init__(self, nodes: List[str], replication: int = 3,
-                 block_size: int = DEFAULT_BLOCK_SIZE):
+                 block_size: int = DEFAULT_BLOCK_SIZE, recorder=None):
         if not nodes:
             raise HdfsError("an HDFS cluster needs at least one datanode")
         self.nodes = list(nodes)
@@ -39,6 +40,20 @@ class Hdfs:
             name: Datanode(name) for name in nodes
         }
         self._next_block = 0
+        #: Byte/call counters live in the recorder's metrics registry.
+        #: Counters are cached so the traced fast path stays two attribute
+        #: loads + one ``inc``.  Calls made inside forked task bodies
+        #: mutate a copy-on-write registry and are not visible here; task
+        #: side telemetry must travel through the TaskContext channel.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        metrics = self.recorder.metrics
+        self._ctr_put_calls = metrics.counter("hdfs.put.calls")
+        self._ctr_put_bytes = metrics.counter("hdfs.put.bytes")
+        self._ctr_get_calls = metrics.counter("hdfs.get.calls")
+        self._ctr_get_bytes = metrics.counter("hdfs.get.bytes")
+        self._ctr_read_calls = metrics.counter("hdfs.read_from.calls")
+        self._ctr_read_bytes = metrics.counter("hdfs.read_from.bytes")
+        self._ctr_delete_calls = metrics.counter("hdfs.delete.calls")
 
     # -- writes ----------------------------------------------------------------
     def put(self, path: str, data: bytes, logical_partition: bool = False,
@@ -46,6 +61,8 @@ class Hdfs:
         """Upload a file; logical partitions use the custom placement."""
         if path in self._files:
             raise HdfsError(f"file exists: {path}")
+        self._ctr_put_calls.inc()
+        self._ctr_put_bytes.inc(len(data))
         block_size = block_size or self.block_size
         policy = self.logical_policy if logical_partition else self.default_policy
         pieces = split_into_blocks(data, block_size)
@@ -65,6 +82,7 @@ class Hdfs:
 
     def delete(self, path: str) -> None:
         hdfs_file = self._file(path)
+        self._ctr_delete_calls.inc()
         for block in hdfs_file.blocks:
             del self._blocks[block.block_id]
             for node in block.replicas:
@@ -76,7 +94,10 @@ class Hdfs:
         return path in self._files
 
     def get(self, path: str) -> bytes:
-        return self._file(path).data()
+        data = self._file(path).data()
+        self._ctr_get_calls.inc()
+        self._ctr_get_bytes.inc(len(data))
+        return data
 
     def get_file(self, path: str) -> HdfsFile:
         return self._file(path)
@@ -95,7 +116,10 @@ class Hdfs:
         data = self._file(path).data()
         if offset < 0 or offset > len(data):
             raise HdfsError(f"offset {offset} out of range for {path}")
-        return data[offset : offset + length]
+        chunk = data[offset : offset + length]
+        self._ctr_read_calls.inc()
+        self._ctr_read_bytes.inc(len(chunk))
+        return chunk
 
     # -- topology ----------------------------------------------------------------
     def blocks_of(self, path: str) -> List[HdfsBlock]:

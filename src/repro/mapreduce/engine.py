@@ -31,6 +31,7 @@ from repro.mapreduce.executors import TaskExecutor, build_executor
 from repro.mapreduce.history import JobHistory, TaskAttempt
 from repro.mapreduce.job import InputSplit, JobConf, KeyValue, TaskContext
 from repro.mapreduce.policy import ExecutionPolicy, InjectedTaskFault
+from repro.obs.recorder import NULL_RECORDER, Span
 
 
 class JobResult:
@@ -77,7 +78,8 @@ class _TaskOutcome:
         "emitted", "partitions", "input_records", "output_records",
         "output_bytes", "spills", "groups", "shuffled_records",
         "shuffled_bytes", "attempts", "injected_faults", "file_writes",
-        "attachments",
+        "attachments", "phases", "spans", "started_at", "finished_at",
+        "worker",
     )
 
     def __init__(self):
@@ -94,6 +96,15 @@ class _TaskOutcome:
         self.injected_faults = 0
         self.file_writes: List[Tuple[str, bytes, bool]] = []
         self.attachments: List[Tuple[str, Any]] = []
+        #: Measured phase boundaries {name: (start, end)} when traced,
+        #: as raw perf_counter readings (system-wide monotonic clock).
+        self.phases: Optional[Dict[str, Tuple[float, float]]] = None
+        #: Spans buffered by the task context, stitched by the parent.
+        self.spans: List[Span] = []
+        #: Run-time stamps set by the executor's tracing wrapper.
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.worker = ""
 
 
 def _identity(key: Any) -> Any:
@@ -154,15 +165,32 @@ def _execute_map_task(
     node: str,
     task_id: str,
     policy: ExecutionPolicy,
+    traced: bool = False,
 ) -> _TaskOutcome:
-    """One complete map task: record read, map, combine, sort, partition."""
+    """One complete map task: record read, map, combine, sort, partition.
+
+    With ``traced`` on, phase boundaries (map / combine / spill) are
+    measured with ``perf_counter`` and returned in the outcome so the
+    parent can stitch real wall-clock phases into the job history —
+    the measured counterpart of the simulator's Fig 7 phases.
+    """
 
     def body() -> _TaskOutcome:
-        context = TaskContext(task_id, node)
+        clock = time.perf_counter
+        t_start = clock() if traced else 0.0
+        context = TaskContext(task_id, node, traced=traced)
         job.mapper(split.payload, context)
-        if job.combiner is not None and not job.is_map_only:
+        t_map_end = clock() if traced else 0.0
+        combined = job.combiner is not None and not job.is_map_only
+        if combined:
             context.emitted = _apply_combiner(job, context)
+        t_combine_end = clock() if traced else 0.0
         outcome = _TaskOutcome()
+        if traced:
+            outcome.phases = {"map": (t_start, t_map_end)}
+            if combined:
+                outcome.phases["combine"] = (t_map_end, t_combine_end)
+            outcome.spans = context.spans
         if context.input_records is not None:
             outcome.input_records = int(context.input_records)
         elif job.record_counter is not None:
@@ -194,6 +222,8 @@ def _execute_map_task(
         for partition in partitions:
             partition.sort(key=lambda kv: sort_key(kv[0]))
         outcome.partitions = partitions
+        if traced:
+            outcome.phases["spill"] = (t_combine_end, clock())
         return outcome
 
     return _run_attempts(body, policy, task_id)
@@ -205,15 +235,20 @@ def _execute_reduce_task(
     node: str,
     task_id: str,
     policy: ExecutionPolicy,
+    traced: bool = False,
 ) -> _TaskOutcome:
     """One complete reduce task: shuffle fetch, merge, group, reduce.
 
     ``segments`` holds this reducer's partition from every mapper, in
     map-task order (which is why reduce-side value order differs from
-    the serial program's input order).
+    the serial program's input order).  With ``traced`` on, the
+    shuffle / merge / reduce phase boundaries are measured and shipped
+    back in the outcome.
     """
 
     def body() -> _TaskOutcome:
+        clock = time.perf_counter
+        t_start = clock() if traced else 0.0
         outcome = _TaskOutcome()
         fetched: List[KeyValue] = []
         for segment in segments:
@@ -222,12 +257,14 @@ def _execute_reduce_task(
             outcome.shuffled_bytes += sum(
                 job.value_size(v) for _, v in segment
             )
+        t_fetch_end = clock() if traced else 0.0
         # Merge: stable sort by key preserves map-task arrival order
         # within a key, like Hadoop's merge of pre-sorted segments.
         sort_key = job.sort_key or _identity
         fetched.sort(key=lambda kv: sort_key(kv[0]))
+        t_merge_end = clock() if traced else 0.0
 
-        context = TaskContext(task_id, node)
+        context = TaskContext(task_id, node, traced=traced)
         cursor = 0
         while cursor < len(fetched):
             key = fetched[cursor][0]
@@ -242,6 +279,13 @@ def _execute_reduce_task(
         outcome.emitted = context.emitted
         outcome.file_writes = context.files
         outcome.attachments = context.attachments
+        if traced:
+            outcome.phases = {
+                "shuffle": (t_start, t_fetch_end),
+                "merge": (t_fetch_end, t_merge_end),
+                "reduce": (t_merge_end, clock()),
+            }
+            outcome.spans = context.spans
         return outcome
 
     return _run_attempts(body, policy, task_id)
@@ -263,6 +307,10 @@ class MapReduceEngine:
         Object with an ``hdfs``-style ``put(path, data,
         logical_partition=...)`` used to apply file writes buffered by
         tasks via ``context.write_file``.
+    recorder:
+        :class:`~repro.obs.recorder.TraceRecorder` receiving job, wave
+        and per-task phase spans.  Defaults to the shared null recorder
+        (tracing off, no allocations on the task hot path).
     """
 
     def __init__(
@@ -271,6 +319,7 @@ class MapReduceEngine:
         nodes: Optional[List[str]] = None,
         policy: Optional[ExecutionPolicy] = None,
         filesystem: Optional[Any] = None,
+        recorder: Optional[Any] = None,
     ):
         if deprecated_args:
             if len(deprecated_args) > 1 or nodes is not None:
@@ -290,6 +339,7 @@ class MapReduceEngine:
         self.nodes = list(nodes) if nodes else ["localhost"]
         self.policy = policy or ExecutionPolicy()
         self.filesystem = filesystem
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # -- public API ---------------------------------------------------------
     def run(self, job: JobConf, splits: List[InputSplit]) -> JobResult:
@@ -297,11 +347,16 @@ class MapReduceEngine:
         if not splits:
             raise MapReduceError(f"job {job.name} has no input splits")
         executor = build_executor(self.policy)
+        executor.trace = self.recorder.enabled
         result = JobResult(job.name)
-        map_partitions = self._run_maps(job, splits, result, executor)
-        if job.is_map_only:
-            return result
-        self._run_reduces(job, map_partitions, result, executor)
+        with self.recorder.span(
+            f"job:{job.name}", category="job", track="driver",
+            splits=len(splits), executor=self.policy.executor,
+        ):
+            map_partitions = self._run_maps(job, splits, result, executor)
+            if job.is_map_only:
+                return result
+            self._run_reduces(job, map_partitions, result, executor)
         return result
 
     # -- map phase --------------------------------------------------------------
@@ -317,6 +372,7 @@ class MapReduceEngine:
         Returns, per map task, the partitioned (per-reducer) sorted
         output — i.e. the file each mapper would leave for the shuffle.
         """
+        traced = self.recorder.enabled and self.recorder.trace_tasks
         placements: List[Tuple[str, str]] = []
         thunks = []
         for index, split in enumerate(splits):
@@ -325,11 +381,19 @@ class MapReduceEngine:
             placements.append((task_id, node))
             thunks.append(
                 functools.partial(
-                    _execute_map_task, job, split, node, task_id, self.policy
+                    _execute_map_task, job, split, node, task_id,
+                    self.policy, traced,
                 )
             )
-        outcomes = executor.run_tasks(thunks)
-        self._speculate(thunks, outcomes, executor, result, "map")
+        with self.recorder.span(
+            f"{job.name}:map-wave", category="wave", track="driver",
+            tasks=len(thunks),
+        ):
+            submitted = time.perf_counter() if traced else 0.0
+            outcomes = executor.run_tasks(thunks)
+            self._speculate(
+                thunks, outcomes, executor, result, "map", placements
+            )
 
         all_partitions: List[List[List[KeyValue]]] = []
         for (task_id, node), outcome in zip(placements, outcomes):
@@ -339,6 +403,7 @@ class MapReduceEngine:
             task.attempts = outcome.attempts
             task.injected_faults = outcome.injected_faults
             task.spills = outcome.spills
+            self._ingest_task_trace(task, outcome, submitted)
             result.counters.inc(C.MAP_INPUT_RECORDS, outcome.input_records)
             result.counters.inc(C.MAP_OUTPUT_RECORDS, outcome.output_records)
             result.counters.inc(C.MAP_OUTPUT_BYTES, outcome.output_bytes)
@@ -360,6 +425,7 @@ class MapReduceEngine:
         result: JobResult,
         executor: TaskExecutor,
     ) -> None:
+        traced = self.recorder.enabled and self.recorder.trace_tasks
         placements = []
         thunks = []
         for reducer_index in range(job.num_reducers):
@@ -374,11 +440,18 @@ class MapReduceEngine:
             thunks.append(
                 functools.partial(
                     _execute_reduce_task, job, segments, node, task_id,
-                    self.policy,
+                    self.policy, traced,
                 )
             )
-        outcomes = executor.run_tasks(thunks)
-        self._speculate(thunks, outcomes, executor, result, "reduce")
+        with self.recorder.span(
+            f"{job.name}:reduce-wave", category="wave", track="driver",
+            tasks=len(thunks),
+        ):
+            submitted = time.perf_counter() if traced else 0.0
+            outcomes = executor.run_tasks(thunks)
+            self._speculate(
+                thunks, outcomes, executor, result, "reduce", placements
+            )
 
         for reducer_index, ((task_id, node), outcome) in enumerate(
             zip(placements, outcomes)
@@ -388,6 +461,7 @@ class MapReduceEngine:
             task.output_records = outcome.output_records
             task.attempts = outcome.attempts
             task.injected_faults = outcome.injected_faults
+            self._ingest_task_trace(task, outcome, submitted)
             result.counters.inc(C.SHUFFLED_RECORDS, outcome.shuffled_records)
             result.counters.inc(C.SHUFFLED_BYTES, outcome.shuffled_bytes)
             result.counters.inc(C.REDUCE_INPUT_GROUPS, outcome.groups)
@@ -399,6 +473,61 @@ class MapReduceEngine:
             self._absorb_effects(result, outcome, task_id)
             result.reduce_outputs[reducer_index] = outcome.emitted
             result.history.add(task)
+
+    # -- trace stitching --------------------------------------------------------
+    def _ingest_task_trace(
+        self, task: TaskAttempt, outcome: _TaskOutcome, submitted: float
+    ) -> None:
+        """Stitch one task's measured telemetry into the recorder.
+
+        Converts the outcome's raw perf_counter phase boundaries into
+        epoch-relative wall-clock phases on the :class:`TaskAttempt`
+        (the same ``phases`` dict the simulator fills with modelled
+        times), emits task/phase spans on the worker's track, and feeds
+        the queue-wait / run-time histograms.
+        """
+        if outcome.started_at is None or not self.recorder.enabled:
+            return
+        recorder = self.recorder
+        epoch = recorder.epoch
+        queue_wait = max(0.0, outcome.started_at - submitted)
+        run_time = outcome.finished_at - outcome.started_at
+        track = outcome.worker or task.task_id
+        spans = [
+            Span(
+                task.task_id, f"{task.kind}-task",
+                outcome.started_at, outcome.finished_at, track=track,
+                attrs={
+                    "node": task.node,
+                    "attempts": outcome.attempts,
+                    "queue_wait_ms": round(queue_wait * 1e3, 3),
+                    "input_records": outcome.input_records,
+                    "output_records": outcome.output_records,
+                },
+            )
+        ]
+        task.queued_seconds = queue_wait
+        task.run_seconds = run_time
+        if outcome.phases:
+            task.phases = {
+                name: (start - epoch, end - epoch)
+                for name, (start, end) in outcome.phases.items()
+            }
+            for name, (start, end) in outcome.phases.items():
+                spans.append(
+                    Span(name, "phase", start, end, track=track, depth=1,
+                         attrs={"task": task.task_id})
+                )
+        for span in outcome.spans:
+            # Context spans carry the task id as track; re-home them on
+            # the worker lane, nested under the task + phase spans.
+            span.track = track
+            span.depth += 2
+        recorder.ingest(spans + outcome.spans)
+        recorder.metrics.histogram("task.queue_wait_seconds").observe(
+            queue_wait
+        )
+        recorder.metrics.histogram("task.run_seconds").observe(run_time)
 
     # -- outcome absorption -----------------------------------------------------
     def _absorb_attempts(
@@ -430,6 +559,7 @@ class MapReduceEngine:
         executor: TaskExecutor,
         result: JobResult,
         kind: str,
+        placements: List[Tuple[str, str]],
     ) -> None:
         """Speculatively re-execute the wave's straggler stub.
 
@@ -445,8 +575,18 @@ class MapReduceEngine:
         if not thunks:
             return
         straggler = len(thunks) - 1
-        duplicate = executor.run_tasks([thunks[straggler]])[0]
+        task_id, node = placements[straggler]
+        with self.recorder.span(
+            f"{task_id}-speculative", category="speculation",
+            track="driver", kind=kind,
+        ):
+            duplicate = executor.run_tasks([thunks[straggler]])[0]
         result.counters.inc(C.SPECULATIVE_ATTEMPTS, 1)
+        attempt = TaskAttempt(f"{task_id}-speculative", kind, node)
+        attempt.speculative = True
+        attempt.input_records = duplicate.input_records
+        attempt.output_records = duplicate.output_records
+        result.history.add(attempt)
         primary = outcomes[straggler]
         primary_keys = [key for key, _ in primary.emitted]
         duplicate_keys = [key for key, _ in duplicate.emitted]

@@ -28,6 +28,9 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import os
+import threading
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -35,6 +38,31 @@ from repro.errors import MapReduceError
 from repro.mapreduce.policy import ExecutionPolicy
 
 TaskThunk = Callable[[], Any]
+
+
+def _stamped(thunk: TaskThunk) -> TaskThunk:
+    """Wrap a task thunk to stamp run-time and worker identity.
+
+    The wrapper executes wherever the executor runs the task — a forked
+    worker for the process executor — so the stamps travel back inside
+    the pickled outcome.  ``time.perf_counter`` is a system-wide
+    monotonic clock, so worker-side readings compare directly against
+    the driver's wave-submit timestamp (queue wait = started - submitted).
+    """
+
+    def run() -> Any:
+        started = time.perf_counter()
+        outcome = thunk()
+        finished = time.perf_counter()
+        if hasattr(outcome, "started_at"):
+            outcome.started_at = started
+            outcome.finished_at = finished
+            outcome.worker = (
+                f"pid{os.getpid()}/{threading.current_thread().name}"
+            )
+        return outcome
+
+    return run
 
 #: Task table of the wave currently running on the process executor.
 #: Set in the parent immediately before workers are forked; workers
@@ -63,6 +91,9 @@ class TaskExecutor(ABC):
 
     #: Matches ``ExecutionPolicy.executor``.
     kind: str = "abstract"
+    #: When true, thunks are wrapped to stamp run time and worker
+    #: identity onto their outcomes (set by the engine when tracing).
+    trace: bool = False
 
     @abstractmethod
     def run_tasks(self, thunks: Sequence[TaskThunk]) -> List[Any]:
@@ -71,6 +102,12 @@ class TaskExecutor(ABC):
         The first task failure propagates to the caller (after the
         engine-level retry wrapper inside each thunk is exhausted).
         """
+
+    def _prepared(self, thunks: Sequence[TaskThunk]) -> List[TaskThunk]:
+        """The wave's thunks, time-stamped when tracing is on."""
+        if self.trace:
+            return [_stamped(thunk) for thunk in thunks]
+        return list(thunks)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -82,7 +119,7 @@ class SerialExecutor(TaskExecutor):
     kind = "serial"
 
     def run_tasks(self, thunks: Sequence[TaskThunk]) -> List[Any]:
-        return [thunk() for thunk in thunks]
+        return [thunk() for thunk in self._prepared(thunks)]
 
 
 class ThreadedExecutor(TaskExecutor):
@@ -100,7 +137,7 @@ class ThreadedExecutor(TaskExecutor):
             return []
         workers = min(self.max_workers, len(thunks))
         with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(thunk) for thunk in thunks]
+            futures = [pool.submit(thunk) for thunk in self._prepared(thunks)]
             return [future.result() for future in futures]
 
     def __repr__(self) -> str:
@@ -130,7 +167,9 @@ class ProcessExecutor(TaskExecutor):
         context = multiprocessing.get_context("fork")
         # Publish the wave's task table before any worker forks; the
         # pool spawns workers lazily on submit, so children inherit it.
-        _FORK_TASK_TABLE = list(thunks)
+        # Stamping wrappers fork with the table, so run-time stamps are
+        # taken inside the worker and ride back in the pickled outcome.
+        _FORK_TASK_TABLE = self._prepared(thunks)
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers, mp_context=context

@@ -7,7 +7,7 @@ phases to the same structure to regenerate Fig 7's progress plot.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 class TaskAttempt:
@@ -26,9 +26,15 @@ class TaskAttempt:
         self.injected_faults = 0
         #: True for a speculative duplicate of a straggler task.
         self.speculative = False
-        #: Wall-clock phases filled in by the simulator:
+        #: Wall-clock phases: filled with *modelled* times by the
+        #: cluster simulator, or with *measured* times by the engine
+        #: when it runs under an enabled trace recorder:
         #: {"map": (start, end)} / {"shuffle": ..., "merge": ..., "reduce": ...}
         self.phases: Dict[str, tuple] = {}
+        #: Measured seconds spent waiting for a worker slot (traced runs).
+        self.queued_seconds = 0.0
+        #: Measured seconds the final attempt ran (traced runs).
+        self.run_seconds = 0.0
 
     def __repr__(self) -> str:
         retries = f", attempts={self.attempts}" if self.attempts > 1 else ""
@@ -44,9 +50,13 @@ class JobHistory:
     def __init__(self, job_name: str):
         self.job_name = job_name
         self.tasks: List[TaskAttempt] = []
+        #: Task-id index maintained by :meth:`add`; first add wins, so
+        #: :meth:`find` keeps its historical first-match semantics.
+        self._by_id: Dict[str, TaskAttempt] = {}
 
     def add(self, task: TaskAttempt) -> None:
         self.tasks.append(task)
+        self._by_id.setdefault(task.task_id, task)
 
     def maps(self) -> List[TaskAttempt]:
         return [task for task in self.tasks if task.kind == "map"]
@@ -69,10 +79,33 @@ class JobHistory:
         return [task for task in self.tasks if task.attempts > 1]
 
     def find(self, task_id: str) -> Optional[TaskAttempt]:
-        for task in self.tasks:
-            if task.task_id == task_id:
-                return task
-        return None
+        return self._by_id.get(task_id)
+
+    def speculative_tasks(self) -> List[TaskAttempt]:
+        """Speculative duplicates launched by the determinism audit."""
+        return [task for task in self.tasks if task.speculative]
+
+    def summary(self) -> Dict[str, Any]:
+        """Roll-up totals consumed by ``repro trace`` and reports."""
+        primaries = [task for task in self.tasks if not task.speculative]
+        maps = [task for task in primaries if task.kind == "map"]
+        reduces = [task for task in primaries if task.kind == "reduce"]
+        return {
+            "job": self.job_name,
+            "tasks": len(primaries),
+            "maps": len(maps),
+            "reduces": len(reduces),
+            "input_records": sum(t.input_records for t in primaries),
+            "output_records": sum(t.output_records for t in primaries),
+            "spills": sum(t.spills for t in primaries),
+            "total_attempts": self.total_attempts(),
+            "retried_tasks": len(self.retried_tasks()),
+            "injected_faults": sum(t.injected_faults for t in primaries),
+            "speculative": len(self.speculative_tasks()),
+            "nodes": len(self.by_node()),
+            "queued_seconds": sum(t.queued_seconds for t in primaries),
+            "run_seconds": sum(t.run_seconds for t in primaries),
+        }
 
     def __repr__(self) -> str:
         return (

@@ -7,12 +7,56 @@ logical block placement policy intends.
 
 from __future__ import annotations
 
+import time
 import zlib
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import MapReduceError
+from repro.obs.recorder import NULL_SPAN, Span
 
 KeyValue = Tuple[Any, Any]
+
+
+class _BufferedSpan:
+    """A span recorded inside a task body, buffered on the context.
+
+    Task code may run in a forked worker, so the span cannot reach the
+    driver's recorder directly; it is appended to ``context.spans`` and
+    travels back inside the pickled task outcome, where the engine
+    stitches it into the recorder (the same side-effect discipline as
+    ``write_file``/``attach``).
+    """
+
+    __slots__ = ("_context", "name", "category", "attrs", "_start")
+
+    def __init__(self, context: "TaskContext", name: str, category: str,
+                 attrs: dict):
+        self._context = context
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_BufferedSpan":
+        self._context._depth += 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        context = self._context
+        context._depth -= 1
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        context.spans.append(
+            Span(self.name, self.category, self._start, end,
+                 track=context.task_id, depth=context._depth,
+                 attrs=self.attrs)
+        )
+        return False
 
 
 class InputSplit:
@@ -53,7 +97,7 @@ class TaskContext:
     back with its outputs instead of mutating a copied filesystem.
     """
 
-    def __init__(self, task_id: str, node: str):
+    def __init__(self, task_id: str, node: str, traced: bool = False):
         self.task_id = task_id
         self.node = node
         self.emitted: List[KeyValue] = []
@@ -63,6 +107,11 @@ class TaskContext:
         self.attachments: List[Tuple[str, Any]] = []
         #: Mapper-reported input record count (overrides the split count).
         self.input_records: Optional[int] = None
+        #: Whether ``span()`` records (set by the engine from ObsConfig).
+        self.traced = traced
+        #: Buffered spans, stitched into the driver recorder on success.
+        self.spans: List[Span] = []
+        self._depth = 0
 
     def emit(self, key: Any, value: Any) -> None:
         self.emitted.append((key, value))
@@ -84,6 +133,16 @@ class TaskContext:
         value = factory()
         self.attachments.append((name, value))
         return value
+
+    def span(self, name: str, category: str = "task", **attrs: Any):
+        """Open a buffered span around a section of task work.
+
+        A no-op (shared null span, no allocation) unless the job runs
+        under an enabled recorder with task tracing on.
+        """
+        if not self.traced:
+            return NULL_SPAN
+        return _BufferedSpan(self, name, category, attrs)
 
     def set_input_records(self, count: int) -> None:
         """Report how many records this task's split actually held."""

@@ -63,7 +63,20 @@ class PerfRow:
 
 
 def format_duration(seconds: float) -> str:
-    """Render seconds as the paper does: '1 hrs, 27 mins, 36 sec'."""
+    """Render seconds as the paper does: '1 hrs, 27 mins, 36 sec'.
+
+    Sub-second durations (traced task phases are often milliseconds)
+    render in the unit that keeps digits visible instead of collapsing
+    to '0 sec'; negative durations (clock skew in merged traces) keep
+    their sign rather than underflowing ``divmod``.
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if 0 < seconds < 0.9995:
+        millis = seconds * 1e3
+        if millis < 0.9995:
+            return f"{seconds * 1e6:.0f} us"
+        return f"{millis:.0f} ms"
     seconds = int(round(seconds))
     hours, rest = divmod(seconds, 3600)
     minutes, secs = divmod(rest, 60)

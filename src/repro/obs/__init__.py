@@ -1,0 +1,51 @@
+"""Observability: spans, metrics, and trace exporters.
+
+The real-execution counterpart of the cluster simulator's utilization
+traces — see DESIGN.md section "Observability".
+"""
+
+from repro.obs.export import (
+    render_timeline,
+    to_chrome_trace,
+    to_jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    NullRecorder,
+    ObsConfig,
+    Span,
+    TraceRecorder,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_RECORDER",
+    "NULL_SPAN",
+    "NullMetrics",
+    "NullRecorder",
+    "ObsConfig",
+    "Span",
+    "TraceRecorder",
+    "render_timeline",
+    "to_chrome_trace",
+    "to_jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -24,27 +24,39 @@ class HybridPipeline:
         self,
         reference: ReferenceGenome,
         hc_config: Optional[HaplotypeCallerConfig] = None,
+        recorder=None,
     ):
         # The serial machinery is reused for the tail; no aligner is
         # needed because hybrids always start from aligned records.
-        self._serial = SerialPipeline.for_tail(reference, hc_config)
+        # The recorder flows into the tail, so tail stages appear as
+        # the same ``category="stage"`` spans the serial pipeline emits.
+        self._serial = SerialPipeline.for_tail(reference, hc_config, recorder)
         self.reference = reference
+        self.recorder = self._serial.recorder
 
     def from_alignment(
         self, parallel_alignment: List[SamRecord]
     ) -> List[VariantRecord]:
         """P-tilde_1: parallel Bwa, then serial steps 3..v2."""
         serial = self._serial
-        header = _header_for(self.reference)
-        header, records = serial.run_cleaning(header, parallel_alignment)
-        header, records = serial.run_markdup(header, records)
-        return serial.run_haplotype_caller(records)
+        with self.recorder.span(
+            "hybrid:from-alignment", category="stage", track="driver",
+            records=len(parallel_alignment),
+        ):
+            header = _header_for(self.reference)
+            header, records = serial.run_cleaning(header, parallel_alignment)
+            header, records = serial.run_markdup(header, records)
+            return serial.run_haplotype_caller(records)
 
     def from_markdup(
         self, parallel_deduped: List[SamRecord]
     ) -> List[VariantRecord]:
         """P-tilde_2: parallel through MarkDuplicates, then serial HC."""
-        return self._serial.run_haplotype_caller(parallel_deduped)
+        with self.recorder.span(
+            "hybrid:from-markdup", category="stage", track="driver",
+            records=len(parallel_deduped),
+        ):
+            return self._serial.run_haplotype_caller(parallel_deduped)
 
 
 def _header_for(reference: ReferenceGenome):

@@ -23,6 +23,7 @@ from repro.genome.reference import ReferenceGenome
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.policy import ExecutionPolicy
+from repro.obs.recorder import NULL_RECORDER, ObsConfig
 from repro.recal.recalibrator import RecalibrationTable
 from repro.variants.haplotype import HaplotypeCallerConfig
 from repro.wrappers.rounds import GesallRounds
@@ -45,6 +46,8 @@ class GesallPipelineResult:
         #: The round runner, exposing per-round counters and history.
         self.rounds: Optional[GesallRounds] = None
         self.hdfs: Optional[Hdfs] = None
+        #: The run's trace recorder (the null recorder when tracing is off).
+        self.recorder = NULL_RECORDER
 
 
 class GesallPipeline:
@@ -70,6 +73,7 @@ class GesallPipeline:
         block_size: int = 64 * 1024,
         chunk_bytes: int = 16 * 1024,
         policy: Optional[ExecutionPolicy] = None,
+        obs: Optional[ObsConfig] = None,
     ):
         if num_fastq_partitions < 1:
             raise PipelineError("need at least one FASTQ partition")
@@ -87,13 +91,18 @@ class GesallPipeline:
         self.chunk_bytes = chunk_bytes
         #: How rounds execute their tasks (serial / thread / process).
         self.policy = policy or ExecutionPolicy.serial()
+        #: Observability switches; off by default (null recorder).
+        self.obs = obs or ObsConfig()
 
     def run(self, pairs: Sequence[ReadPair]) -> GesallPipelineResult:
         result = GesallPipelineResult()
+        recorder = self.obs.build_recorder()
+        result.recorder = recorder
         hdfs = Hdfs(self.nodes, replication=min(3, len(self.nodes)),
-                    block_size=self.block_size)
+                    block_size=self.block_size, recorder=recorder)
         engine = MapReduceEngine(
-            nodes=self.nodes, policy=self.policy, filesystem=hdfs
+            nodes=self.nodes, policy=self.policy, filesystem=hdfs,
+            recorder=recorder,
         )
         aligner = PairedEndAligner(self.index, self.aligner_config)
         rounds = GesallRounds(
@@ -102,38 +111,42 @@ class GesallPipeline:
         result.rounds = rounds
         result.hdfs = hdfs
 
-        partitions = split_pairs_contiguously(
-            list(pairs), self.num_fastq_partitions
-        )
-        partitions = [p for p in partitions if p]
-
-        round1_paths = rounds.round1_alignment(partitions)
-        result.alignment = self._read_all(hdfs, round1_paths)
-
-        round2_paths = rounds.round2_cleaning(
-            round1_paths, num_reducers=self.num_reducers
-        )
-        result.cleaned = self._read_all(hdfs, round2_paths)
-
-        round3_paths = rounds.round3_mark_duplicates(
-            round2_paths, mode=self.markdup_mode,
-            num_reducers=self.num_reducers,
-        )
-        result.deduped = self._read_all(hdfs, round3_paths)
-
-        calling_input = round3_paths
-        if self.with_recalibration:
-            result.recal_table = rounds.round_recalibrate(
-                round3_paths, self.known_sites
+        with recorder.span(
+            "pipeline:gesall", category="pipeline", track="driver",
+            executor=self.policy.executor, reads=len(pairs),
+        ):
+            partitions = split_pairs_contiguously(
+                list(pairs), self.num_fastq_partitions
             )
-            calling_input = rounds.round_print_reads(
-                round3_paths, result.recal_table
-            )
+            partitions = [p for p in partitions if p]
 
-        round4_paths = rounds.round4_sort_index(calling_input)
-        result.variants = rounds.round5_haplotype_caller(
-            round4_paths, self.hc_config
-        )
+            round1_paths = rounds.round1_alignment(partitions)
+            result.alignment = self._read_all(hdfs, round1_paths)
+
+            round2_paths = rounds.round2_cleaning(
+                round1_paths, num_reducers=self.num_reducers
+            )
+            result.cleaned = self._read_all(hdfs, round2_paths)
+
+            round3_paths = rounds.round3_mark_duplicates(
+                round2_paths, mode=self.markdup_mode,
+                num_reducers=self.num_reducers,
+            )
+            result.deduped = self._read_all(hdfs, round3_paths)
+
+            calling_input = round3_paths
+            if self.with_recalibration:
+                result.recal_table = rounds.round_recalibrate(
+                    round3_paths, self.known_sites
+                )
+                calling_input = rounds.round_print_reads(
+                    round3_paths, result.recal_table
+                )
+
+            round4_paths = rounds.round4_sort_index(calling_input)
+            result.variants = rounds.round5_haplotype_caller(
+                round4_paths, self.hc_config
+            )
         return result
 
     @staticmethod

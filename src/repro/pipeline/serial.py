@@ -22,6 +22,7 @@ from repro.formats.fastq import ReadPair
 from repro.formats.sam import SamHeader, SamRecord
 from repro.formats.vcf import VariantRecord, sort_variants
 from repro.genome.reference import ReferenceGenome
+from repro.obs.recorder import NULL_RECORDER
 from repro.recal.apply import PrintReads
 from repro.recal.recalibrator import BaseRecalibrator, RecalibrationTable
 from repro.variants.haplotype import HaplotypeCallerConfig, HaplotypeCallerLite
@@ -58,6 +59,7 @@ class SerialPipeline:
         batch_size: int = 4000,
         with_recalibration: bool = False,
         known_sites: Optional[Set[Tuple[str, int]]] = None,
+        recorder=None,
     ):
         self.reference = reference
         self.index = index or ReferenceIndex(reference)
@@ -66,12 +68,14 @@ class SerialPipeline:
         self.batch_size = batch_size
         self.with_recalibration = with_recalibration
         self.known_sites = known_sites
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     @classmethod
     def for_tail(
         cls,
         reference: ReferenceGenome,
         hc_config: Optional[HaplotypeCallerConfig] = None,
+        recorder=None,
     ) -> "SerialPipeline":
         """A pipeline usable only from the cleaning stage onward.
 
@@ -86,12 +90,16 @@ class SerialPipeline:
         tail.batch_size = 0
         tail.with_recalibration = False
         tail.known_sites = None
+        tail.recorder = recorder if recorder is not None else NULL_RECORDER
         return tail
 
     def run(self, pairs: Sequence[ReadPair]) -> SerialPipelineResult:
         result = SerialPipelineResult()
         header = self.aligner.header()
-        result.alignment = self.aligner.align_all(pairs, self.batch_size)
+        with self.recorder.span(
+            "serial:align", category="stage", track="driver", reads=len(pairs)
+        ):
+            result.alignment = self.aligner.align_all(pairs, self.batch_size)
 
         header, records = self.run_cleaning(header, result.alignment)
         result.cleaned = records
@@ -113,31 +121,49 @@ class SerialPipeline:
         self, header: SamHeader, records: List[SamRecord]
     ) -> Tuple[SamHeader, List[SamRecord]]:
         """Steps 3-5: AddReplaceGroups, CleanSam, FixMateInfo."""
-        header, records = AddOrReplaceReadGroups().run(header, records)
-        header, records = CleanSam().run(header, records)
-        header, records = FixMateInformation().run(header, records)
+        with self.recorder.span(
+            "serial:cleaning", category="stage", track="driver",
+            records=len(records),
+        ):
+            header, records = AddOrReplaceReadGroups().run(header, records)
+            header, records = CleanSam().run(header, records)
+            header, records = FixMateInformation().run(header, records)
         return header, records
 
     def run_markdup(
         self, header: SamHeader, records: List[SamRecord]
     ) -> Tuple[SamHeader, List[SamRecord]]:
         """Step 6 (with the coordinate sort it requires)."""
-        header, records = SortSam("coordinate").run(header, records)
-        header, records = MarkDuplicates().run(header, records)
+        with self.recorder.span(
+            "serial:markdup", category="stage", track="driver",
+            records=len(records),
+        ):
+            header, records = SortSam("coordinate").run(header, records)
+            header, records = MarkDuplicates().run(header, records)
         return header, records
 
     def run_recalibration(
         self, header: SamHeader, records: List[SamRecord]
     ) -> Tuple[RecalibrationTable, List[SamRecord]]:
         """Steps 7-8: BaseRecalibrator + PrintReads."""
-        recalibrator = BaseRecalibrator(self.reference, self.known_sites)
-        table = recalibrator.build_table(records)
-        _, records = PrintReads(table).run(header, records)
+        with self.recorder.span(
+            "serial:recalibration", category="stage", track="driver",
+            records=len(records),
+        ):
+            recalibrator = BaseRecalibrator(self.reference, self.known_sites)
+            table = recalibrator.build_table(records)
+            _, records = PrintReads(table).run(header, records)
         return table, records
 
     def run_haplotype_caller(
         self, records: List[SamRecord]
     ) -> List[VariantRecord]:
         """Step v2: one whole-genome invocation (one RNG stream)."""
-        caller = HaplotypeCallerLite(self.reference, self.hc_config)
-        return sort_variants(caller.call(records))
+        with self.recorder.span(
+            "serial:haplotype-caller", category="stage", track="driver",
+            records=len(records),
+        ) as span:
+            caller = HaplotypeCallerLite(self.reference, self.hc_config)
+            variants = sort_variants(caller.call(records))
+            span.set(variants=len(variants))
+        return variants

@@ -39,6 +39,7 @@ from repro.gdpt.partitioner import (
 from repro.genome.regions import GenomicInterval
 from repro.hdfs.bam_storage import upload_logical_partitions
 from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce import counters as C
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.job import InputSplit, JobConf
 from repro.mapreduce.policy import ExecutionPolicy
@@ -106,10 +107,45 @@ class GesallRounds:
         self.aligner = aligner
         self.reference = reference
         self.chunk_bytes = chunk_bytes
+        #: The engine's trace recorder (the null recorder when off).
+        self.recorder = engine.recorder
         #: Per-round accounting, keyed by round name.
         self.results: Dict[str, JobResult] = {}
         self.transform: Dict[str, DataTransformAccounting] = {}
         self.streaming_stats = None
+
+    # -- traced round execution ----------------------------------------
+    def _run_round(
+        self, round_key: str, job: JobConf, splits: List[InputSplit]
+    ) -> JobResult:
+        """Run one round's job inside a round span with I/O accounting.
+
+        Every round records one ``category="round"`` span carrying
+        records-in/out and shuffled bytes (the Fig 6-style overhead
+        accounting), plus matching metrics counters.
+        """
+        with self.recorder.span(
+            f"round:{round_key}", category="round", track="driver",
+            job=job.name,
+        ) as span:
+            result = self.engine.run(job, splits)
+            records_in = result.counters.get(C.MAP_INPUT_RECORDS)
+            records_out = result.counters.get(
+                C.MAP_OUTPUT_RECORDS
+                if job.is_map_only
+                else C.REDUCE_OUTPUT_RECORDS
+            )
+            shuffled = result.counters.get(C.SHUFFLED_BYTES)
+            span.set(
+                records_in=records_in, records_out=records_out,
+                shuffled_bytes=shuffled,
+            )
+        metrics = self.recorder.metrics
+        metrics.counter(f"round.{round_key}.records_in").inc(records_in)
+        metrics.counter(f"round.{round_key}.records_out").inc(records_out)
+        metrics.counter(f"round.{round_key}.shuffled_bytes").inc(shuffled)
+        self.results[round_key] = result
+        return result
 
     # ------------------------------------------------------------------
     # Round 1: map-only alignment via Hadoop Streaming
@@ -127,7 +163,9 @@ class GesallRounds:
                 [BwaExternal(aligner), SamToBamExternal(chunk_bytes)]
             )
             fastq_bytes = pairs_to_interleaved_text(pairs).encode()
-            bam_data = pipeline.run(fastq_bytes)
+            with ctx.span("stream", stages=len(pipeline.programs)) as span:
+                bam_data = pipeline.run(fastq_bytes)
+                span.set(bytes_in=len(fastq_bytes), bytes_out=len(bam_data))
             ctx.attach("streaming", pipeline.stats)
             path = f"{out_dir}/part-{index:05d}.bam"
             ctx.write_file(path, bam_data, logical_partition=True)
@@ -145,8 +183,7 @@ class GesallRounds:
             )
             for index, partition in enumerate(partitions)
         ]
-        result = self.engine.run(job, splits)
-        self.results["round1"] = result
+        result = self._run_round("round1", job, splits)
         streaming = result.attachments.get("streaming")
         self.streaming_stats = streaming[-1] if streaming else None
         return [key for key, _ in result.all_outputs()]
@@ -185,8 +222,7 @@ class GesallRounds:
             "round2-cleaning", mapper, reducer, num_reducers=num_reducers
         )
         splits = [InputSplit(path, path) for path in in_paths]
-        result = self.engine.run(job, splits)
-        self.results["round2"] = result
+        result = self._run_round("round2", job, splits)
         self.transform["round2"] = self._merge_transform(result)
         return self._write_reduce_partitions(result, out_dir, "queryname")
 
@@ -211,8 +247,9 @@ class GesallRounds:
             ctx.emit("bloom", local)
 
         job = JobConf("round-bloom", mapper)
-        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
-        self.results["round_bloom"] = result
+        result = self._run_round(
+            "round_bloom", job, [InputSplit(p, p) for p in in_paths]
+        )
         merged = BloomFilter(num_bits=num_bits)
         for _, partial in result.all_outputs():
             merged.merge(partial)
@@ -254,8 +291,9 @@ class GesallRounds:
             f"round3-markdup-{mode}", mapper, reducer,
             num_reducers=num_reducers,
         )
-        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
-        self.results["round3"] = result
+        result = self._run_round(
+            "round3", job, [InputSplit(p, p) for p in in_paths]
+        )
         self.transform["round3"] = self._merge_transform(result)
         return self._write_reduce_partitions(
             result, out_dir, "coordinate", sort_coordinate=True
@@ -291,8 +329,9 @@ class GesallRounds:
             "round4-sort", mapper, reducer,
             partitioner=partitioner, num_reducers=len(contigs),
         )
-        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
-        self.results["round4"] = result
+        result = self._run_round(
+            "round4", job, [InputSplit(p, p) for p in in_paths]
+        )
 
         out_paths = []
         key = coordinate_key(header)
@@ -337,8 +376,9 @@ class GesallRounds:
                 ctx.emit(call.site_key(), call)
 
         job = JobConf("round5-haplotypecaller", mapper)
-        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
-        self.results["round5"] = result
+        result = self._run_round(
+            "round5", job, [InputSplit(p, p) for p in in_paths]
+        )
         return sort_variants(v for _, v in result.all_outputs())
 
     # ------------------------------------------------------------------
@@ -365,8 +405,9 @@ class GesallRounds:
                 ctx.emit(call.site_key(), call)
 
         job = JobConf("round5-unifiedgenotyper", mapper)
-        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
-        self.results["round5_ug"] = result
+        result = self._run_round(
+            "round5_ug", job, [InputSplit(p, p) for p in in_paths]
+        )
         return sort_variants(v for _, v in result.all_outputs())
 
     def round5_haplotype_caller_finegrained(
@@ -420,8 +461,9 @@ class GesallRounds:
             partitioner=lambda key, n: key % n,
             num_reducers=ranger.num_partitions,
         )
-        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
-        self.results["round5_finegrained"] = result
+        result = self._run_round(
+            "round5_finegrained", job, [InputSplit(p, p) for p in in_paths]
+        )
         return sort_variants(v for _, v in result.all_outputs())
 
     def round5_structural_variants(self, in_paths: List[str],
@@ -443,8 +485,9 @@ class GesallRounds:
                 ctx.emit((call.contig, call.start), call)
 
         job = JobConf("round5-gasv", mapper)
-        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
-        self.results["round5_sv"] = result
+        result = self._run_round(
+            "round5_sv", job, [InputSplit(p, p) for p in in_paths]
+        )
         return sorted(
             (v for _, v in result.all_outputs()),
             key=lambda call: (call.contig, call.start),
@@ -476,8 +519,9 @@ class GesallRounds:
             ctx.emit(key, merged)
 
         job = JobConf("round-recal", mapper, reducer, num_reducers=1)
-        result = self.engine.run(job, [InputSplit(p, p) for p in in_paths])
-        self.results["round_recal"] = result
+        result = self._run_round(
+            "round_recal", job, [InputSplit(p, p) for p in in_paths]
+        )
         table = RecalibrationTable()
         for _, merged in result.all_outputs():
             table.merge(merged)
@@ -509,8 +553,7 @@ class GesallRounds:
             InputSplit(path, (index, path))
             for index, path in enumerate(in_paths)
         ]
-        result = self.engine.run(job, splits)
-        self.results["round_print_reads"] = result
+        result = self._run_round("round_print_reads", job, splits)
         return [key for key, _ in result.all_outputs()]
 
     # -- shared accounting merge ----------------------------------------------

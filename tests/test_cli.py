@@ -75,6 +75,41 @@ class TestRun:
         assert overlap >= 0.8 * max(len(serial_sites), 1)
 
 
+class TestTrace:
+    def test_trace_report_and_chrome_json(self, sample_dir, tmp_path, capsys):
+        import json
+
+        trace_path = str(tmp_path / "trace.json")
+        jsonl_path = str(tmp_path / "trace.jsonl")
+        code = main([
+            "trace", "--data", sample_dir, "--partitions", "4",
+            "--trace-out", trace_path, "--jsonl", jsonl_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round:round1" in out and "round:round5" in out
+        assert "task phase totals" in out
+        assert "per-round tasks" in out
+        assert "hdfs: put" in out
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        rounds = [
+            e for e in trace["traceEvents"] if e.get("cat") == "round"
+        ]
+        assert len(rounds) >= 5
+        with open(jsonl_path) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines[-1]["type"] == "metrics"
+
+    def test_default_trace_path(self, sample_dir, capsys):
+        code = main([
+            "trace", "--data", sample_dir, "--partitions", "3",
+            "--executor", "thread", "--max-workers", "2",
+        ])
+        assert code == 0
+        assert os.path.exists(os.path.join(sample_dir, "trace.json"))
+
+
 class TestDiagnose:
     def test_prints_table8(self, sample_dir, capsys):
         code = main(["diagnose", "--data", sample_dir, "--partitions", "4"])

@@ -6,8 +6,11 @@ from repro.cleaning.indexing import SamtoolsIndex
 from repro.cleaning.sort import SortSam
 from repro.cluster.costs import GB
 from repro.cluster.hardware import CLUSTER_B
+from repro.cluster.fluid import UtilizationTrace
 from repro.cluster.monitor import (
+    RAMP,
     render_disk_report,
+    render_ramp,
     render_strip_chart,
     sample_utilization,
 )
@@ -105,6 +108,34 @@ class TestMonitorRendering:
     def test_empty_horizon(self, traced_round):
         _, result = traced_round
         assert sample_utilization(result.trace, "none", 0.0) == []
+
+    def test_empty_trace_samples_idle(self):
+        trace = UtilizationTrace()
+        points = sample_utilization(trace, "sda", 10.0, 8)
+        assert len(points) == 8
+        assert all(value == 0.0 for _, value in points)
+        assert render_strip_chart(trace, "sda", 10.0, 8) == " " * 8
+
+    def test_sample_on_interval_boundary_takes_next(self):
+        # Intervals are half-open [t0, t1): a sample landing exactly on
+        # a boundary belongs to the interval that starts there.
+        trace = UtilizationTrace()
+        trace.intervals["sda"] = [(0.0, 1.0, 1.0), (1.0, 2.0, 0.5)]
+        # horizon=2, samples=1 puts the single sample at exactly t=1.0.
+        assert sample_utilization(trace, "sda", 2.0, 1) == [(1.0, 0.5)]
+
+    def test_zero_width_horizon_and_no_samples(self):
+        trace = UtilizationTrace()
+        trace.intervals["sda"] = [(0.0, 1.0, 1.0)]
+        assert sample_utilization(trace, "sda", 0.0, 10) == []
+        assert sample_utilization(trace, "sda", -1.0, 10) == []
+        assert sample_utilization(trace, "sda", 1.0, 0) == []
+        assert render_strip_chart(trace, "sda", 0.0) == ""
+
+    def test_render_ramp_clamps_out_of_range(self):
+        assert render_ramp([-1.0, 0.0, 1.0, 2.0]) == "  @@"
+        assert render_ramp([0.5]) == RAMP[5]
+        assert render_ramp([]) == ""
 
 
 class TestSamtoolsIndex:

@@ -71,6 +71,18 @@ class TestPerf:
         assert format_duration(59) == "59 sec"
         assert format_duration(3600) == "1 hrs, 0 mins, 0 sec"
 
+    def test_format_duration_subsecond(self):
+        assert format_duration(0.25) == "250 ms"
+        assert format_duration(0.9994) == "999 ms"
+        assert format_duration(0.9996) == "1 sec"
+        assert format_duration(0.0004) == "400 us"
+        assert format_duration(0.0) == "0 sec"
+
+    def test_format_duration_negative(self):
+        assert format_duration(-59) == "-59 sec"
+        assert format_duration(-0.25) == "-250 ms"
+        assert format_duration(-5256) == "-1 hrs, 27 mins, 36 sec"
+
 
 class TestWeighting:
     def test_cutoffs(self):

@@ -1,0 +1,437 @@
+"""Tests for the observability layer: spans, metrics, exporters.
+
+Covers the recorder in isolation, the engine's task instrumentation
+under all three executors (spans from forked workers must stitch back
+identically), and the full five-round traced pipeline the ``repro
+trace`` subcommand runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.executors import fork_available
+from repro.mapreduce.history import JobHistory, TaskAttempt
+from repro.mapreduce.job import JobConf, TaskContext, make_splits
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.obs.export import (
+    render_timeline,
+    to_chrome_trace,
+    to_jsonl_lines,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    ObsConfig,
+    Span,
+    TraceRecorder,
+)
+from repro.pipeline.parallel import GesallPipeline
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+ALL_POLICIES = [
+    ExecutionPolicy.serial(),
+    ExecutionPolicy.threads(max_workers=2),
+    pytest.param(ExecutionPolicy.processes(max_workers=2), marks=needs_fork),
+]
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reads")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("reads") is counter
+        gauge = registry.gauge("depth")
+        gauge.set(3.0)
+        gauge.add(-1.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [0.1, 1.0]
+        assert snap["counts"] == [1, 2, 1]  # <=0.1, <=1.0, overflow
+        assert snap["count"] == 4
+        assert hist.mean == pytest.approx(6.05 / 4)
+
+    def test_histogram_boundary_lands_in_its_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("edge", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.snapshot()["counts"] == [1, 0, 0]
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(7)
+        snap = registry.as_dict()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["b"] == 2
+        assert snap["gauges"]["g"] == 7
+
+    def test_null_metrics_share_one_instrument(self):
+        assert NULL_METRICS.counter("x") is NULL_METRICS.counter("y")
+        assert NULL_METRICS.counter("x") is NULL_METRICS.histogram("z")
+        NULL_METRICS.counter("x").inc(100)
+        assert NULL_METRICS.as_dict()["counters"] == {}
+
+
+class TestRecorder:
+    def test_span_nesting_depth(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        by_name = {span.name: span for span in recorder.spans()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["inner"].start >= by_name["outer"].start
+        assert by_name["inner"].end <= by_name["outer"].end
+
+    def test_span_attrs_and_set(self):
+        recorder = TraceRecorder()
+        with recorder.span("r", category="round", track="driver", a=1) as span:
+            span.set(b=2)
+        (span,) = recorder.spans()
+        assert span.category == "round"
+        assert span.track == "driver"
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_span_records_error_attr(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("boom"):
+                raise ValueError("nope")
+        (span,) = recorder.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_ingest_and_totals(self):
+        recorder = TraceRecorder()
+        base = recorder.epoch
+        recorder.ingest([
+            Span("map", "phase", base + 0.0, base + 1.0, track="t1"),
+            Span("map", "phase", base + 1.0, base + 3.0, track="t2"),
+            Span("spill", "phase", base + 3.0, base + 3.5, track="t2"),
+        ])
+        assert recorder.phase_totals() == pytest.approx(
+            {"map": 3.0, "spill": 0.5}
+        )
+        assert recorder.category_totals()["phase"] == pytest.approx(3.5)
+        assert recorder.horizon() == pytest.approx(3.5)
+
+    def test_null_recorder_is_allocation_free(self):
+        assert NULL_RECORDER.span("a") is NULL_RECORDER.span("b")
+        assert NULL_RECORDER.span("a") is NULL_SPAN
+        with NULL_RECORDER.span("a") as span:
+            span.set(x=1)
+        assert NULL_RECORDER.spans() == []
+        assert NULL_RECORDER.horizon() == 0.0
+
+    def test_obs_config_builds_recorders(self):
+        assert ObsConfig().build_recorder() is NULL_RECORDER
+        assert ObsConfig(enabled=False).build_recorder() is NULL_RECORDER
+        recorder = ObsConfig(enabled=True).build_recorder()
+        assert recorder.enabled and recorder.trace_tasks
+        off = ObsConfig(enabled=True, trace_tasks=False).build_recorder()
+        assert off.enabled and not off.trace_tasks
+        with pytest.raises(Exception):
+            ObsConfig().enabled = True  # frozen
+
+    def test_span_pickles_across_fork_boundary(self):
+        import pickle
+
+        span = Span("s", "phase", 1.0, 2.0, track="t", depth=1,
+                    attrs={"k": 3})
+        clone = pickle.loads(pickle.dumps(span))
+        assert clone.to_dict() == span.to_dict()
+
+
+class TestExport:
+    def _recorder(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer", category="round", track="driver"):
+            with recorder.span("inner", category="phase", track="driver"):
+                pass
+        return recorder
+
+    def test_chrome_trace_structure(self):
+        trace = to_chrome_trace(self._recorder())
+        events = trace["traceEvents"]
+        x_events = [e for e in events if e["ph"] == "X"]
+        m_events = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in x_events} == {"outer", "inner"}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in x_events)
+        # One thread_name metadata event per track, plus process_name.
+        names = [e["args"]["name"] for e in m_events]
+        assert "repro" in names and "driver" in names
+        json.dumps(trace)  # must be serializable as-is
+
+    def test_chrome_trace_one_tid_per_track(self):
+        recorder = TraceRecorder()
+        base = recorder.epoch
+        recorder.ingest([
+            Span("a", "s", base, base + 1, track="w1"),
+            Span("b", "s", base, base + 1, track="w2"),
+            Span("c", "s", base, base + 1, track="w1"),
+        ])
+        x_events = [
+            e for e in to_chrome_trace(recorder)["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        tids = {e["name"]: e["tid"] for e in x_events}
+        assert tids["a"] == tids["c"] != tids["b"]
+
+    def test_jsonl_round_trip(self):
+        lines = to_jsonl_lines(self._recorder())
+        records = [json.loads(line) for line in lines]
+        spans = [r for r in records if r["type"] == "span"]
+        assert {s["name"] for s in spans} == {"outer", "inner"}
+        assert records[-1]["type"] == "metrics"
+        assert set(records[-1]["metrics"]) == {
+            "counters", "gauges", "histograms",
+        }
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = write_chrome_trace(self._recorder(), str(tmp_path / "t.json"))
+        with open(path) as handle:
+            assert "traceEvents" in json.load(handle)
+
+    def test_render_timeline(self):
+        out = render_timeline(self._recorder(), width=20)
+        lines = out.splitlines()
+        assert "round" in out and "phase" in out
+        # header + one strip per category + footer
+        assert len(lines) == 4
+
+    def test_render_timeline_empty(self):
+        assert render_timeline(TraceRecorder()) == "(no spans recorded)"
+        assert render_timeline(NULL_RECORDER) == "(no spans recorded)"
+
+
+def _traced_job():
+    def mapper(payload, ctx):
+        with ctx.span("chew", items=len(payload)) as span:
+            total = sum(payload)
+            span.set(total=total)
+        for item in payload:
+            ctx.emit(item % 3, item)
+
+    def reducer(key, values, ctx):
+        ctx.emit(key, sum(values))
+
+    return JobConf("trace-demo", mapper, reducer, num_reducers=2)
+
+
+def _run_traced(policy):
+    recorder = ObsConfig(enabled=True).build_recorder()
+    engine = MapReduceEngine(nodes=["n0", "n1"], policy=policy,
+                             recorder=recorder)
+    splits = make_splits([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+    result = engine.run(_traced_job(), splits)
+    return recorder, result
+
+
+class TestEngineTracing:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.executor)
+    def test_span_categories_and_stitching(self, policy):
+        recorder, result = _run_traced(policy)
+        spans = recorder.spans()
+        categories = {}
+        for span in spans:
+            categories[span.category] = categories.get(span.category, 0) + 1
+        # 1 job, 2 waves, 3 map tasks, 2 reduce tasks, 3 in-task spans.
+        assert categories["job"] == 1
+        assert categories["wave"] == 2
+        assert categories["map-task"] == 3
+        assert categories["reduce-task"] == 2
+        assert categories["task"] == 3  # ctx.span("chew") per map task
+        assert categories["phase"] >= 3 + 2  # map each; shuffle+ per reduce
+        chews = [s for s in spans if s.name == "chew"]
+        assert all(s.attrs["total"] in (6, 15, 24) for s in chews)
+        # Stitched spans are re-homed onto the worker's track.
+        task_tracks = {
+            s.track for s in spans if s.category == "map-task"
+        }
+        assert {s.track for s in chews} <= task_tracks
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.executor)
+    def test_measured_phases_and_queue_times(self, policy):
+        recorder, result = _run_traced(policy)
+        for attempt in result.history.tasks:
+            assert attempt.run_seconds > 0.0
+            assert attempt.queued_seconds >= 0.0
+            assert attempt.phases, attempt.task_id
+            for start, end in attempt.phases.values():
+                assert 0.0 <= start <= end
+        task_spans = [
+            s for s in recorder.spans() if s.category.endswith("-task")
+        ]
+        assert all(s.attrs["queue_wait_ms"] >= 0.0 for s in task_spans)
+        assert all(s.attrs["node"] in ("n0", "n1") for s in task_spans)
+        hist = recorder.metrics.histogram("task.run_seconds")
+        assert hist.count == 5
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.executor)
+    def test_export_round_trip_all_executors(self, policy, tmp_path):
+        recorder, _ = _run_traced(policy)
+        path = write_chrome_trace(recorder, str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            trace = json.load(handle)
+        x_names = sorted(
+            e["name"] for e in trace["traceEvents"] if e["ph"] == "X"
+        )
+        # Span *names* are executor-independent even though timings and
+        # worker tracks differ; serial is the reference.
+        ref, _ = _run_traced(ExecutionPolicy.serial())
+        assert x_names == sorted(s.name for s in ref.spans())
+
+    def test_outputs_identical_traced_or_not(self):
+        policy = ExecutionPolicy.serial()
+        _, traced = _run_traced(policy)
+        engine = MapReduceEngine(nodes=["n0", "n1"], policy=policy)
+        splits = make_splits([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        untraced = engine.run(_traced_job(), splits)
+        assert traced.all_outputs() == untraced.all_outputs()
+
+    def test_untraced_run_records_nothing(self):
+        engine = MapReduceEngine(nodes=["n0", "n1"],
+                                 policy=ExecutionPolicy.serial())
+        splits = make_splits([[1, 2, 3]])
+        result = engine.run(_traced_job(), splits)
+        assert engine.recorder is NULL_RECORDER
+        assert engine.recorder.spans() == []
+        for attempt in result.history.tasks:
+            assert attempt.run_seconds == 0.0 and not attempt.phases
+
+    def test_task_context_span_disabled_is_null(self):
+        context = TaskContext("t-0", "n0")
+        assert context.span("x") is NULL_SPAN
+        assert context.spans == []
+
+
+class TestJobHistoryIndex:
+    def test_find_uses_index_first_add_wins(self):
+        history = JobHistory("job")
+        first = TaskAttempt("m-0", "map", "n0")
+        dup = TaskAttempt("m-0", "map", "n1")
+        history.add(first)
+        history.add(dup)
+        assert history.find("m-0") is first
+        assert history.find("missing") is None
+
+    def test_summary_excludes_speculative_from_primaries(self):
+        history = JobHistory("job")
+        primary = TaskAttempt("m-0", "map", "n0")
+        primary.input_records = 10
+        primary.output_records = 8
+        primary.attempts = 2
+        primary.injected_faults = 1
+        spec = TaskAttempt("m-0-speculative", "map", "n1")
+        spec.speculative = True
+        spec.input_records = 10
+        reduce = TaskAttempt("r-0", "reduce", "n0")
+        reduce.run_seconds = 1.5
+        for task in (primary, spec, reduce):
+            history.add(task)
+        summary = history.summary()
+        assert summary["tasks"] == 2
+        assert summary["maps"] == 1 and summary["reduces"] == 1
+        assert summary["input_records"] == 10  # speculative not counted
+        assert summary["speculative"] == 1
+        assert summary["retried_tasks"] == 1
+        assert summary["total_attempts"] == 4
+        assert summary["injected_faults"] == 1
+        assert summary["run_seconds"] == pytest.approx(1.5)
+        assert summary["nodes"] == 2
+
+
+@needs_fork
+class TestTracedPipelineAcceptance:
+    """The ``repro trace`` scenario: five rounds, process executor."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, reference, ref_index, pairs):
+        pipeline = GesallPipeline(
+            reference, index=ref_index, num_fastq_partitions=5,
+            num_reducers=2,
+            policy=ExecutionPolicy.processes(max_workers=2),
+            obs=ObsConfig(enabled=True),
+        )
+        return pipeline.run(pairs)
+
+    def test_round_spans_cover_all_rounds(self, traced_run):
+        spans = traced_run.recorder.spans()
+        rounds = [s for s in spans if s.category == "round"]
+        assert len(rounds) >= 5
+        names = {s.name for s in rounds}
+        assert {"round:round1", "round:round2", "round:round3",
+                "round:round4", "round:round5"} <= names
+        for span in rounds:
+            assert span.attrs["records_in"] >= 0
+            assert span.duration > 0.0
+        (pipeline_span,) = [s for s in spans if s.category == "pipeline"]
+        assert pipeline_span.duration >= max(r.duration for r in rounds)
+
+    def test_task_phase_spans_present(self, traced_run):
+        totals = traced_run.recorder.phase_totals()
+        assert "map" in totals and totals["map"] > 0.0
+        assert {"shuffle", "merge", "reduce"} <= set(totals)
+
+    def test_chrome_trace_loads(self, traced_run, tmp_path):
+        path = write_chrome_trace(
+            traced_run.recorder, str(tmp_path / "trace.json")
+        )
+        with open(path) as handle:
+            trace = json.load(handle)
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert {"pipeline", "round", "job", "wave", "phase"} <= cats
+
+    def test_round_metrics_and_hdfs_counters(self, traced_run):
+        counters = traced_run.recorder.metrics.as_dict()["counters"]
+        assert counters["round.round1.records_in"] > 0
+        assert counters["round.round2.shuffled_bytes"] > 0
+        assert counters["hdfs.put.calls"] > 0
+        assert counters["hdfs.put.bytes"] > 0
+        assert counters["hdfs.get.calls"] > 0
+
+    def test_history_summaries(self, traced_run):
+        for key, job_result in traced_run.rounds.results.items():
+            summary = job_result.history.summary()
+            assert summary["tasks"] > 0, key
+            assert summary["run_seconds"] > 0.0, key
+
+    def test_timeline_renders(self, traced_run):
+        out = render_timeline(traced_run.recorder, width=30)
+        assert "round" in out and "phase" in out
+
+    def test_disabled_pipeline_records_nothing(self, reference, ref_index,
+                                               pairs):
+        pipeline = GesallPipeline(
+            reference, index=ref_index, num_fastq_partitions=3,
+            obs=ObsConfig(enabled=False),
+        )
+        result = pipeline.run(pairs[:40])
+        assert result.recorder is NULL_RECORDER
+        assert result.recorder.spans() == []
