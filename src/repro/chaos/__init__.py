@@ -1,0 +1,26 @@
+"""Deterministic chaos engineering for the Gesall reproduction.
+
+Only the frozen plan vocabulary is exported here; the pipeline-level
+runner helpers live in :mod:`repro.chaos.runner` and are imported on
+demand (importing them here would create an import cycle, because
+``repro.mapreduce.policy`` embeds a :class:`FaultPlan` and the runner
+imports the pipelines, which import the policy).
+"""
+
+from repro.chaos.plan import (
+    CorruptReplica,
+    DecommissionDatanode,
+    DelayTask,
+    FaultPlan,
+    KillDatanode,
+    RaiseInTask,
+)
+
+__all__ = [
+    "CorruptReplica",
+    "DecommissionDatanode",
+    "DelayTask",
+    "FaultPlan",
+    "KillDatanode",
+    "RaiseInTask",
+]

@@ -1,0 +1,256 @@
+"""Frozen, seeded fault plans — the chaos-harness vocabulary.
+
+A :class:`FaultPlan` is an immutable list of fault events addressed at
+the two layers that can fail on a real cluster:
+
+* **storage events** (:class:`KillDatanode`, :class:`DecommissionDatanode`,
+  :class:`CorruptReplica`) fire in the driver when a named pipeline
+  round is about to start, mutating the HDFS topology exactly once;
+* **task events** (:class:`DelayTask`, :class:`RaiseInTask`) fire
+  inside the engine's attempt loop, keyed purely on
+  ``(task_id, attempt)``.
+
+Both keying schemes are independent of executor kind, scheduling
+order, and process identity, so a plan injects *identical* faults
+under the serial, threaded, and forked engines — the same determinism
+contract as ``ExecutionPolicy.injects_fault``.  Plans compose with the
+existing ``fault_rate`` machinery: a policy may carry both, and both
+streams of failures are absorbed by the same retry loop.
+
+Injected delays are *charged* to the attempt (added to its measured
+runtime before the ``task_timeout`` check) and slept through the
+policy's injectable ``sleep`` hook, so timeout tests are deterministic
+and need no real-time waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+import zlib
+
+from repro.errors import MapReduceError
+
+
+@dataclass(frozen=True)
+class KillDatanode:
+    """Abruptly kill a datanode when ``at_round`` starts.
+
+    Replicas on the node become unreadable immediately; re-replication
+    restores the replication factor from surviving healthy replicas.
+    """
+
+    node: str
+    at_round: str
+    kind = "kill_datanode"
+
+
+@dataclass(frozen=True)
+class DecommissionDatanode:
+    """Gracefully drain a datanode when ``at_round`` starts.
+
+    Its replicas are copied onto surviving nodes *before* the node
+    stops serving, so no redundancy is lost at any instant.
+    """
+
+    node: str
+    at_round: str
+    kind = "decommission_datanode"
+
+
+@dataclass(frozen=True)
+class CorruptReplica:
+    """Flip bits in one replica of one block when ``at_round`` starts.
+
+    Reads detect the damage by CRC32 checksum, fail over to a healthy
+    replica, and surface the event as a ``repro.obs`` counter; only
+    losing *every* replica raises ``BlockLostError``.
+    """
+
+    path: str
+    at_round: str
+    block_index: int = 0
+    replica_index: int = 0
+    kind = "corrupt_replica"
+
+
+@dataclass(frozen=True)
+class DelayTask:
+    """Charge ``seconds`` of extra runtime to one task attempt.
+
+    With a ``task_timeout`` below ``seconds`` the attempt is declared
+    hung and retried; the delay is slept through the policy's ``sleep``
+    hook and charged deterministically, so the timeout trips under
+    every executor.
+    """
+
+    task_id: str
+    seconds: float
+    attempt: int = 1
+    kind = "delay_task"
+
+
+@dataclass(frozen=True)
+class RaiseInTask:
+    """Raise an injected fault inside one task attempt."""
+
+    task_id: str
+    attempt: int = 1
+    kind = "raise_in_task"
+
+
+#: Events applied by the driver against HDFS at a round boundary.
+STORAGE_EVENT_TYPES = (KillDatanode, DecommissionDatanode, CorruptReplica)
+#: Events applied inside the engine's task-attempt loop.
+TASK_EVENT_TYPES = (DelayTask, RaiseInTask)
+
+
+def _event_dict(event: Any) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"kind": event.kind}
+    entry.update(
+        {field.name: getattr(event, field.name) for field in fields(event)}
+    )
+    return entry
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, seeded schedule of fault events.
+
+    ``seed`` identifies the plan (and feeds the :meth:`demo`
+    constructor's deterministic choices); ``events`` is the full event
+    tuple.  The plan is hashable and picklable, so it rides inside a
+    frozen ``ExecutionPolicy`` across the fork boundary.
+    """
+
+    seed: int = 0
+    events: Tuple[Any, ...] = ()
+
+    def __post_init__(self):
+        for event in self.events:
+            if not isinstance(event, STORAGE_EVENT_TYPES + TASK_EVENT_TYPES):
+                raise MapReduceError(
+                    f"unknown fault event type {type(event).__name__!r}"
+                )
+            if isinstance(event, DelayTask) and event.seconds < 0:
+                raise MapReduceError("DelayTask seconds must be >= 0")
+
+    # -- storage side -------------------------------------------------------
+    def storage_events(self, round_key: str) -> List[Any]:
+        """Storage events scheduled for the start of one round."""
+        return [
+            event
+            for event in self.events
+            if isinstance(event, STORAGE_EVENT_TYPES)
+            and event.at_round == round_key
+        ]
+
+    # -- task side ----------------------------------------------------------
+    def delay_for(self, task_id: str, attempt: int) -> float:
+        """Total injected delay charged to one task attempt."""
+        return sum(
+            event.seconds
+            for event in self.events
+            if isinstance(event, DelayTask)
+            and event.task_id == task_id
+            and event.attempt == attempt
+        )
+
+    def raises_in(self, task_id: str, attempt: int) -> bool:
+        """Whether the plan fails this task attempt outright."""
+        return any(
+            isinstance(event, RaiseInTask)
+            and event.task_id == task_id
+            and event.attempt == attempt
+            for event in self.events
+        )
+
+    def touches_tasks(self) -> bool:
+        return any(isinstance(e, TASK_EVENT_TYPES) for e in self.events)
+
+    # -- reporting ----------------------------------------------------------
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready event list (for chaos reports and CI artifacts)."""
+        return [_event_dict(event) for event in self.events]
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan(seed={self.seed}, {len(self.events)} events)"]
+        for entry in self.as_dicts():
+            kind = entry.pop("kind")
+            details = ", ".join(f"{k}={v}" for k, v in entry.items())
+            lines.append(f"  - {kind}: {details}")
+        return "\n".join(lines)
+
+    # -- canonical seeded plan ----------------------------------------------
+    @classmethod
+    def demo(
+        cls,
+        seed: int,
+        nodes: Sequence[str],
+        kill_round: str = "round3",
+        delay_task: str = "round4-sort-m-00000",
+        delay_seconds: float = 60.0,
+    ) -> "FaultPlan":
+        """The acceptance scenario: one node kill plus one hung task.
+
+        The victim datanode is drawn deterministically from ``seed``,
+        so two runs with the same seed (in any process, under any
+        executor) kill the same node during ``kill_round`` and time out
+        the same ``delay_task`` attempt.
+        """
+        if not nodes:
+            raise MapReduceError("FaultPlan.demo needs at least one node")
+        victim = nodes[zlib.crc32(f"chaos|{seed}".encode()) % len(nodes)]
+        return cls(
+            seed=seed,
+            events=(
+                KillDatanode(victim, at_round=kill_round),
+                DelayTask(delay_task, seconds=delay_seconds, attempt=1),
+            ),
+        )
+
+
+def parse_event(spec: str, kind: str) -> Any:
+    """Parse one CLI event spec into a fault event.
+
+    Formats (all ``@ROUND`` / ``@ATTEMPT`` suffixes use ``@``)::
+
+        --kill NODE@ROUND
+        --decommission NODE@ROUND
+        --corrupt PATH@ROUND[:BLOCK[:REPLICA]]
+        --delay TASK:SECONDS[@ATTEMPT]
+        --fail TASK[@ATTEMPT]
+    """
+    try:
+        if kind == "kill":
+            node, at_round = spec.rsplit("@", 1)
+            return KillDatanode(node, at_round=at_round)
+        if kind == "decommission":
+            node, at_round = spec.rsplit("@", 1)
+            return DecommissionDatanode(node, at_round=at_round)
+        if kind == "corrupt":
+            path, tail = spec.rsplit("@", 1)
+            parts = tail.split(":")
+            at_round = parts[0]
+            block = int(parts[1]) if len(parts) > 1 else 0
+            replica = int(parts[2]) if len(parts) > 2 else 0
+            return CorruptReplica(
+                path, at_round=at_round, block_index=block,
+                replica_index=replica,
+            )
+        if kind == "delay":
+            head, attempt = (
+                spec.rsplit("@", 1) if "@" in spec else (spec, "1")
+            )
+            task_id, seconds = head.rsplit(":", 1)
+            return DelayTask(task_id, float(seconds), attempt=int(attempt))
+        if kind == "fail":
+            head, attempt = (
+                spec.rsplit("@", 1) if "@" in spec else (spec, "1")
+            )
+            return RaiseInTask(head, attempt=int(attempt))
+    except (ValueError, MapReduceError) as exc:
+        raise MapReduceError(
+            f"bad --{kind} event spec {spec!r}: {exc}"
+        ) from exc
+    raise MapReduceError(f"unknown event kind {kind!r}")

@@ -6,6 +6,7 @@ Subcommands::
     repro-genomics run        --data DIR --mode serial|parallel [--vcf F]
     repro-genomics trace      --data DIR [--trace-out F] [--jsonl F]
     repro-genomics diagnose   --data DIR
+    repro-genomics chaos      --data DIR [--kill NODE@ROUND] [--delay T:S]
     repro-genomics perf-study [--cluster A|B]
 
 ``simulate`` writes a reference FASTA, two FASTQ files and the truth
@@ -13,8 +14,11 @@ VCF into a directory; ``run`` executes a pipeline over them; ``trace``
 runs the parallel pipeline under an enabled trace recorder and prints
 the per-round / per-phase breakdown (writing a Chrome-loadable
 ``trace.json``); ``diagnose`` runs both pipelines and prints the
-Table 8 report; ``perf-study`` prints the simulator's Table 6/7
-numbers without touching any data.
+Table 8 report; ``chaos`` runs the pipeline under a deterministic
+fault plan and gates on the chaos run's output being equivalent to a
+clean run (the Table 8 methodology as a fault-tolerance regression
+gate); ``perf-study`` prints the simulator's Table 6/7 numbers without
+touching any data.
 """
 
 from __future__ import annotations
@@ -103,6 +107,39 @@ def _build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--data", required=True)
     diag.add_argument("--partitions", type=int, default=8)
     _add_executor_flags(diag)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the pipeline under a fault plan; gate on equivalence",
+    )
+    chaos.add_argument("--data", required=True, help="simulate output dir")
+    chaos.add_argument("--partitions", type=int, default=8)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault plan seed (picks the demo victim node)")
+    chaos.add_argument("--task-timeout", type=float, default=30.0,
+                       help="hung-task timeout in charged seconds (the "
+                            "demo plan's 60s delay trips it; real tasks "
+                            "on laptop-scale samples never do)")
+    chaos.add_argument("--kill", action="append", default=[],
+                       metavar="NODE@ROUND",
+                       help="kill a datanode when ROUND starts")
+    chaos.add_argument("--decommission", action="append", default=[],
+                       metavar="NODE@ROUND",
+                       help="gracefully drain a datanode when ROUND starts")
+    chaos.add_argument("--corrupt", action="append", default=[],
+                       metavar="PATH@ROUND[:BLOCK[:REPLICA]]",
+                       help="rot one replica of one block when ROUND starts")
+    chaos.add_argument("--delay", action="append", default=[],
+                       metavar="TASK:SECONDS[@ATTEMPT]",
+                       help="charge extra runtime to one task attempt")
+    chaos.add_argument("--fail", action="append", default=[],
+                       metavar="TASK[@ATTEMPT]",
+                       help="raise an injected fault in one task attempt")
+    chaos.add_argument("--trace-out", default=None,
+                       help="write the chaos run's Chrome trace here")
+    chaos.add_argument("--report-out", default=None,
+                       help="write a JSON chaos report here")
+    _add_executor_flags(chaos)
 
     perf = sub.add_parser("perf-study",
                           help="print the simulated performance study")
@@ -267,6 +304,143 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run the pipeline under a fault plan and gate output equivalence.
+
+    Three runs over the same sample: the serial reference program (for
+    the Table 8 report), a clean parallel run (serial executor, no
+    faults — the equivalence baseline), and the chaos run under the
+    fault plan.  Exit code 0 only when the chaos run's variants are
+    identical to the clean parallel run's: every injected failure was
+    absorbed by replication, retries and timeouts without changing a
+    single call.
+    """
+    import json
+
+    from repro.chaos.plan import FaultPlan, parse_event
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.recorder import ObsConfig
+
+    reference, pairs = _load_sample(args.data)
+    index = ReferenceIndex(reference)
+    nodes = [f"node{i:02d}" for i in range(4)]
+
+    events = []
+    for kind in ("kill", "decommission", "corrupt", "delay", "fail"):
+        for spec in getattr(args, kind):
+            events.append(parse_event(spec, kind))
+    if events:
+        plan = FaultPlan(seed=args.seed, events=tuple(events))
+    else:
+        plan = FaultPlan.demo(args.seed, nodes)
+    print(plan.describe())
+    print()
+
+    def build(policy, obs=None):
+        return GesallPipeline(
+            reference, index=index, nodes=nodes,
+            num_fastq_partitions=args.partitions, policy=policy, obs=obs,
+        )
+
+    clean = build(ExecutionPolicy.serial()).run(pairs)
+
+    chaos_policy = ExecutionPolicy(
+        executor=args.executor,
+        max_workers=args.max_workers,
+        task_retries=max(2, args.task_retries),
+        task_timeout=args.task_timeout,
+        fault_plan=plan,
+        # Injected delays are *charged* to the attempt, so there is no
+        # reason to really sleep through them.
+        sleep=lambda _seconds: None,
+    )
+    chaos_run = build(chaos_policy, obs=ObsConfig(enabled=True)).run(pairs)
+
+    serial = SerialPipeline(reference, index=index).run(pairs)
+    report = ErrorDiagnosisToolkit(reference).diagnose(serial, chaos_run)
+    print("Table 8 (serial program vs chaos run):")
+    print(f"{'stage':<18s}{'D_count':>10s}{'weighted':>10s}{'D_impact':>10s}")
+    for row in report.rows:
+        impact = row.d_impact if row.d_impact is not None else "-"
+        print(f"{row.stage:<18s}{row.d_count:>10.0f}"
+              f"{row.weighted_d_count:>10.2f}{impact:>10}")
+
+    gate = ErrorDiagnosisToolkit.equivalence_gate(clean, chaos_run)
+    clean_lines = [v.to_line() for v in clean.variants]
+    chaos_lines = [v.to_line() for v in chaos_run.variants]
+    ok = gate.weighted_d_count == 0 and clean_lines == chaos_lines
+
+    print()
+    print("chaos events applied:")
+    for event in chaos_run.chaos_events:
+        details = ", ".join(
+            f"{k}={v}" for k, v in event.items() if k != "kind"
+        )
+        print(f"  {event['kind']}: {details}")
+    print()
+    print("per-round fault absorption:")
+    for key, job_result in chaos_run.rounds.results.items():
+        summary = job_result.history.summary()
+        print(f"  {key:<18s}retried {summary['retried_tasks']}"
+              f"  timeouts {summary['timeouts']}"
+              f"  injected {summary['injected_faults']}")
+
+    counters = chaos_run.recorder.metrics.as_dict()["counters"]
+    fault_counters = {
+        name: value for name, value in sorted(counters.items())
+        if name.startswith((
+            "chaos.", "engine.", "hdfs.read.failovers",
+            "hdfs.read.corrupt_replicas", "hdfs.rereplicated.",
+            "hdfs.blocks.lost", "hdfs.datanodes.", "checkpoint.",
+        ))
+    }
+    if fault_counters:
+        print()
+        print("fault counters:")
+        for name, value in fault_counters.items():
+            print(f"  {name:<32s}{value:>8d}")
+
+    if args.trace_out:
+        write_chrome_trace(chaos_run.recorder, args.trace_out)
+        print(f"\nwrote {args.trace_out}")
+    if args.report_out:
+        payload = {
+            "plan": {"seed": plan.seed, "events": plan.as_dicts()},
+            "executor": args.executor,
+            "chaos_events": chaos_run.chaos_events,
+            "fault_counters": fault_counters,
+            "table8": [
+                {
+                    "stage": row.stage,
+                    "d_count": row.d_count,
+                    "weighted_d_count": row.weighted_d_count,
+                    "d_impact": row.d_impact,
+                }
+                for row in report.rows
+            ],
+            "gate": {
+                "weighted_d_count": gate.weighted_d_count,
+                "variants_clean": len(clean_lines),
+                "variants_chaos": len(chaos_lines),
+                "equivalent": ok,
+            },
+        }
+        with open(args.report_out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.report_out}")
+
+    print()
+    if ok:
+        print(f"GATE PASSED: chaos run equivalent to clean run "
+              f"({len(chaos_lines)} variants, weighted D_count 0)")
+        return 0
+    print(f"GATE FAILED: chaos run diverged "
+          f"(weighted D_count {gate.weighted_d_count}, "
+          f"{len(gate.only_first)} clean-only / "
+          f"{len(gate.only_second)} chaos-only variants)")
+    return 1
+
+
 def _cmd_perf_study(args) -> int:
     from repro.cluster.costs import NA12878, CostModel
     from repro.cluster.hardware import CLUSTER_A, CLUSTER_B
@@ -311,7 +485,7 @@ def _cmd_perf_study(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    from repro.errors import MapReduceError, PipelineError
+    from repro.errors import ReproError
 
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -319,11 +493,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "trace": _cmd_trace,
         "diagnose": _cmd_diagnose,
+        "chaos": _cmd_chaos,
         "perf-study": _cmd_perf_study,
     }
     try:
         return handlers[args.command](args)
-    except (MapReduceError, PipelineError) as exc:
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -158,6 +158,21 @@ class ErrorDiagnosisToolkit:
         )
         return report
 
+    # -- chaos regression gate ---------------------------------------------
+    @staticmethod
+    def equivalence_gate(
+        clean: GesallPipelineResult, chaos: GesallPipelineResult
+    ) -> VariantComparison:
+        """Table 8's methodology as a fault-tolerance regression gate.
+
+        Compares a clean run's variants against a chaos run's (same
+        pipeline, same input, faults injected).  Fault tolerance is
+        *correct* only when the comparison is empty — every injected
+        failure was absorbed without changing a single call, i.e.
+        ``weighted_d_count == 0`` and no one-sided variants.
+        """
+        return compare_variants(clean.variants, chaos.variants)
+
     # -- Fig 11b -----------------------------------------------------------
     @staticmethod
     def mapq_joint_distribution(

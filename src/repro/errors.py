@@ -38,12 +38,33 @@ class HdfsError(ReproError):
     """A distributed-storage operation failed (missing file/block)."""
 
 
+class BlockLostError(HdfsError):
+    """Every replica of a block is gone or corrupt — data loss.
+
+    Raised only when no datanode can serve a checksum-clean copy;
+    single-replica failures are absorbed by read failover and repaired
+    by re-replication.
+    """
+
+
 class MapReduceError(ReproError):
     """The MapReduce engine was misconfigured or a task failed."""
 
 
+class TaskTimeoutError(MapReduceError):
+    """A task attempt exceeded the policy's ``task_timeout``.
+
+    The attempt is treated as hung: its outcome is discarded and the
+    task is retried (on a different node when one is available).
+    """
+
+
 class PipelineError(ReproError):
     """A pipeline stage received input violating its preconditions."""
+
+
+class CheckpointError(PipelineError):
+    """A round checkpoint was missing, corrupt, or from another run."""
 
 
 class SimulationError(ReproError):

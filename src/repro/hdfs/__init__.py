@@ -1,5 +1,6 @@
 """In-memory HDFS with Gesall's storage substrate on top."""
 
+from repro.errors import BlockLostError
 from repro.hdfs.bam_storage import (
     BamBlockRecordReader,
     read_bam_header,
@@ -18,6 +19,7 @@ from repro.hdfs.filesystem import Hdfs
 from repro.hdfs.placement import BlockPlacementPolicy, LogicalBlockPlacementPolicy
 
 __all__ = [
+    "BlockLostError",
     "BamBlockRecordReader",
     "read_bam_header",
     "read_distributed_bam",

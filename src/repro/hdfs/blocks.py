@@ -9,7 +9,8 @@ partition files are pinned to a single node (section 3.1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import zlib
+from typing import Dict, List, Optional, Set
 
 from repro.errors import HdfsError
 
@@ -18,19 +19,79 @@ DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024
 
 
 class HdfsBlock:
-    """One replicated block of file data."""
+    """One replicated block of file data.
 
-    __slots__ = ("block_id", "data", "replicas")
+    ``data`` and ``checksum`` are the canonical truth recorded at write
+    time.  Each replica normally serves the canonical bytes; a replica
+    that rots (bit flips on one datanode's disk) diverges into
+    ``_divergent`` while the canonical copy stays intact, which is how
+    real HDFS behaves — the namenode knows the expected checksum and a
+    bad replica is detected on read and re-replicated from a good one.
+    """
+
+    __slots__ = (
+        "block_id", "data", "replicas", "checksum", "_divergent", "_verified",
+    )
 
     def __init__(self, block_id: str, data: bytes, replicas: List[str]):
         self.block_id = block_id
         self.data = data
         #: Datanode names holding a replica; the first is primary.
         self.replicas = list(replicas)
+        #: CRC32 of the canonical bytes, computed once at write time.
+        self.checksum = zlib.crc32(data)
+        #: Per-node divergent copies (corrupted replicas only).
+        self._divergent: Dict[str, bytes] = {}
+        #: Nodes whose replica already passed verification.  Replicas
+        #: only diverge through :meth:`corrupt_replica` (which
+        #: invalidates the entry), so a clean verdict stays valid and
+        #: the hot read path pays CRC32 once per replica, not per read.
+        self._verified: Set[str] = set()
 
     @property
     def size(self) -> int:
         return len(self.data)
+
+    def replica_bytes(self, node: str) -> bytes:
+        """The bytes this node's replica would serve (may be corrupt)."""
+        if node not in self.replicas:
+            raise HdfsError(
+                f"node {node!r} holds no replica of {self.block_id}"
+            )
+        return self._divergent.get(node, self.data)
+
+    def replica_is_healthy(self, node: str) -> bool:
+        """Checksum-verify one replica against the canonical CRC32."""
+        if node in self._verified:
+            return True
+        healthy = zlib.crc32(self.replica_bytes(node)) == self.checksum
+        if healthy:
+            self._verified.add(node)
+        return healthy
+
+    def corrupt_replica(self, node: str) -> None:
+        """Deterministically flip bits in this node's replica only."""
+        clean = self.replica_bytes(node)
+        if clean:
+            rotten = bytes([clean[0] ^ 0xFF]) + clean[1:]
+        else:
+            rotten = b"\xff"  # even an empty block can rot on disk
+        self._divergent[node] = rotten
+        self._verified.discard(node)
+
+    def add_replica(self, node: str) -> None:
+        """Register a fresh (canonical, healthy) replica on ``node``."""
+        if node not in self.replicas:
+            self.replicas.append(node)
+        self._divergent.pop(node, None)
+        self._verified.discard(node)
+
+    def drop_replica(self, node: str) -> None:
+        """Forget this node's replica (node death or decommission)."""
+        if node in self.replicas:
+            self.replicas.remove(node)
+        self._divergent.pop(node, None)
+        self._verified.discard(node)
 
     def __repr__(self) -> str:
         return f"HdfsBlock({self.block_id}, {self.size}B, on {self.replicas})"
@@ -57,7 +118,7 @@ class HdfsFile:
 
     def primary_node(self) -> Optional[str]:
         """The node holding the primary replica of the first block."""
-        if not self.blocks:
+        if not self.blocks or not self.blocks[0].replicas:
             return None
         return self.blocks[0].replicas[0]
 
@@ -74,14 +135,32 @@ def split_into_blocks(data: bytes, block_size: int) -> List[bytes]:
 
 
 class Datanode:
-    """Bookkeeping view of one datanode's stored replicas."""
+    """Bookkeeping view of one datanode's stored replicas.
+
+    ``block_ids`` is a set: replica membership is unordered, removal is
+    O(1), and idempotent operations (double-decommission, re-dropping a
+    dead node's replicas) cannot corrupt the placement index the way a
+    second ``list.remove`` would.
+    """
 
     def __init__(self, name: str):
         self.name = name
-        self.block_ids: List[str] = []
+        self.block_ids: Set[str] = set()
+        #: False once the node has been abruptly killed.
+        self.alive = True
+        #: True once the node was gracefully drained.
+        self.decommissioned = False
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the node can serve reads and accept new replicas."""
+        return self.alive and not self.decommissioned
 
     def used_bytes(self, blocks: Dict[str, HdfsBlock]) -> int:
         return sum(blocks[bid].size for bid in self.block_ids if bid in blocks)
 
     def __repr__(self) -> str:
-        return f"Datanode({self.name}, {len(self.block_ids)} replicas)"
+        state = "live" if self.is_live else (
+            "decommissioned" if self.decommissioned else "dead"
+        )
+        return f"Datanode({self.name}, {len(self.block_ids)} replicas, {state})"

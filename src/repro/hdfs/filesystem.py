@@ -5,13 +5,22 @@ Stores blocks in memory (our datasets are laptop-scale), tracks
 placement, and exposes the read paths Gesall's RecordReaders need:
 whole-file reads, per-block reads, and cross-block tail reads for BAM
 chunks spanning a boundary.
+
+Fault tolerance mirrors real HDFS (paper section 2): every read is
+served from a checksum-verified replica, failing over to the next
+replica when one is corrupt or its datanode is down; datanodes can be
+abruptly killed (:meth:`Hdfs.kill_datanode`) or gracefully drained
+(:meth:`Hdfs.decommission`); a re-replication pass restores the
+replication factor onto surviving live nodes.  Only when *every*
+replica of a block is gone or corrupt does a read raise
+:class:`~repro.errors.BlockLostError`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
-from repro.errors import HdfsError
+from repro.errors import BlockLostError, HdfsError
 from repro.hdfs.blocks import (
     DEFAULT_BLOCK_SIZE,
     Datanode,
@@ -32,6 +41,7 @@ class Hdfs:
             raise HdfsError("an HDFS cluster needs at least one datanode")
         self.nodes = list(nodes)
         self.block_size = block_size
+        self.replication = replication
         self.default_policy = BlockPlacementPolicy(replication)
         self.logical_policy = LogicalBlockPlacementPolicy(replication)
         self._files: Dict[str, HdfsFile] = {}
@@ -54,19 +64,36 @@ class Hdfs:
         self._ctr_read_calls = metrics.counter("hdfs.read_from.calls")
         self._ctr_read_bytes = metrics.counter("hdfs.read_from.bytes")
         self._ctr_delete_calls = metrics.counter("hdfs.delete.calls")
+        self._ctr_read_failovers = metrics.counter("hdfs.read.failovers")
+        self._ctr_corrupt_replicas = metrics.counter(
+            "hdfs.read.corrupt_replicas"
+        )
+        self._ctr_rereplicated = metrics.counter("hdfs.rereplicated.replicas")
+        self._ctr_blocks_lost = metrics.counter("hdfs.blocks.lost")
+        self._ctr_nodes_killed = metrics.counter("hdfs.datanodes.killed")
+        self._ctr_nodes_decommissioned = metrics.counter(
+            "hdfs.datanodes.decommissioned"
+        )
 
     # -- writes ----------------------------------------------------------------
     def put(self, path: str, data: bytes, logical_partition: bool = False,
-            block_size: Optional[int] = None) -> HdfsFile:
-        """Upload a file; logical partitions use the custom placement."""
+            block_size: Optional[int] = None, overwrite: bool = False) -> HdfsFile:
+        """Upload a file; logical partitions use the custom placement.
+
+        ``overwrite=True`` atomically replaces an existing file
+        (checkpoint manifests are rewritten after every round); without
+        it a duplicate path is an error, as in real HDFS.
+        """
         if path in self._files:
-            raise HdfsError(f"file exists: {path}")
+            if not overwrite:
+                raise HdfsError(f"file exists: {path}")
+            self.delete(path)
         self._ctr_put_calls.inc()
         self._ctr_put_bytes.inc(len(data))
         block_size = block_size or self.block_size
         policy = self.logical_policy if logical_partition else self.default_policy
         pieces = split_into_blocks(data, block_size)
-        placements = policy.place_file(path, len(pieces), self.nodes)
+        placements = policy.place_file(path, len(pieces), self.live_nodes())
         blocks = []
         for piece, replicas in zip(pieces, placements):
             block_id = f"blk_{self._next_block:08d}"
@@ -74,7 +101,7 @@ class Hdfs:
             block = HdfsBlock(block_id, piece, replicas)
             self._blocks[block_id] = block
             for node in replicas:
-                self._datanodes[node].block_ids.append(block_id)
+                self._datanodes[node].block_ids.add(block_id)
             blocks.append(block)
         hdfs_file = HdfsFile(path, blocks, block_size, logical_partition)
         self._files[path] = hdfs_file
@@ -86,7 +113,7 @@ class Hdfs:
         for block in hdfs_file.blocks:
             del self._blocks[block.block_id]
             for node in block.replicas:
-                self._datanodes[node].block_ids.remove(block.block_id)
+                self._datanodes[node].block_ids.discard(block.block_id)
         del self._files[path]
 
     # -- reads ------------------------------------------------------------------
@@ -94,7 +121,7 @@ class Hdfs:
         return path in self._files
 
     def get(self, path: str) -> bytes:
-        data = self._file(path).data()
+        data = self._read_file(self._file(path))
         self._ctr_get_calls.inc()
         self._ctr_get_bytes.inc(len(data))
         return data
@@ -113,13 +140,50 @@ class Hdfs:
         This is what lets a RecordReader finish a BAM chunk whose tail
         lives in the next block.
         """
-        data = self._file(path).data()
+        data = self._read_file(self._file(path))
         if offset < 0 or offset > len(data):
             raise HdfsError(f"offset {offset} out of range for {path}")
         chunk = data[offset : offset + length]
         self._ctr_read_calls.inc()
         self._ctr_read_bytes.inc(len(chunk))
         return chunk
+
+    def read_block(self, block: HdfsBlock) -> bytes:
+        """Serve one block from a checksum-verified replica.
+
+        Replicas are tried in placement order.  A replica on a dead
+        datanode is skipped; a corrupt one (CRC32 mismatch) is counted,
+        dropped from the namenode's placement map — exactly what a real
+        namenode does on a checksum exception — and the read fails over
+        to the next replica.  When no replica can serve clean bytes the
+        block's data is unrecoverable and :class:`BlockLostError`
+        propagates.
+        """
+        corrupt: List[str] = []
+        served: Optional[bytes] = None
+        for position, node in enumerate(block.replicas):
+            if not self._datanodes[node].alive:
+                continue
+            if not block.replica_is_healthy(node):
+                corrupt.append(node)
+                self._ctr_corrupt_replicas.inc()
+                continue
+            if position > 0:
+                self._ctr_read_failovers.inc()
+            served = block.replica_bytes(node)
+            break
+        for node in corrupt:
+            block.drop_replica(node)
+            self._datanodes[node].block_ids.discard(block.block_id)
+        if served is None:
+            self._ctr_blocks_lost.inc()
+            raise BlockLostError(
+                f"all replicas of {block.block_id} are gone or corrupt"
+            )
+        return served
+
+    def _read_file(self, hdfs_file: HdfsFile) -> bytes:
+        return b"".join(self.read_block(block) for block in hdfs_file.blocks)
 
     # -- topology ----------------------------------------------------------------
     def blocks_of(self, path: str) -> List[HdfsBlock]:
@@ -145,6 +209,111 @@ class Hdfs:
             return self._datanodes[name]
         except KeyError:
             raise HdfsError(f"unknown datanode {name!r}") from None
+
+    def live_nodes(self) -> List[str]:
+        """Datanodes that can serve reads and accept new replicas."""
+        return [n for n in self.nodes if self._datanodes[n].is_live]
+
+    # -- failures & repair -------------------------------------------------------
+    def kill_datanode(self, name: str, re_replicate: bool = True) -> Dict[str, int]:
+        """Abruptly lose a datanode: its replicas vanish immediately.
+
+        Unlike :meth:`decommission` there is no drain window — replicas
+        on the node are dropped first, then (by default) a
+        re-replication pass restores the replication factor from the
+        surviving copies.  Blocks whose only replicas lived here are
+        permanently lost.
+        """
+        node = self.datanode(name)
+        if not node.alive:
+            return {"restored": 0, "lost": 0}
+        node.alive = False
+        self._ctr_nodes_killed.inc()
+        for block_id in list(node.block_ids):
+            block = self._blocks.get(block_id)
+            if block is not None:
+                block.drop_replica(name)
+        node.block_ids.clear()
+        if re_replicate:
+            return self.re_replicate()
+        return {"restored": 0, "lost": 0}
+
+    def decommission(self, name: str) -> Dict[str, int]:
+        """Gracefully drain a datanode before retiring it.
+
+        Its replicas are copied onto surviving live nodes *first* (the
+        draining node keeps serving as a copy source, as real HDFS
+        decommissioning does), so redundancy never dips.  Calling this
+        twice on the same node is a no-op — the set-based replica index
+        makes the second drain harmless.
+        """
+        node = self.datanode(name)
+        if node.decommissioned or not node.alive:
+            return {"restored": 0, "lost": 0}
+        node.decommissioned = True
+        self._ctr_nodes_decommissioned.inc()
+        report = self.re_replicate()
+        for block_id in list(node.block_ids):
+            block = self._blocks.get(block_id)
+            if block is not None:
+                block.drop_replica(name)
+        node.block_ids.clear()
+        return report
+
+    def re_replicate(self) -> Dict[str, int]:
+        """Restore the replication factor from surviving healthy copies.
+
+        For every under-replicated block, new replicas of the canonical
+        bytes are created on the live nodes with the fewest stored
+        replicas (deterministic tie-break on node name).  Blocks with
+        no healthy source replica anywhere are reported as ``lost`` —
+        nothing can resurrect them.
+        """
+        live = self.live_nodes()
+        target = min(self.replication, len(live)) if live else 0
+        restored = 0
+        lost = 0
+        for block_id in sorted(self._blocks):
+            block = self._blocks[block_id]
+            healthy = [
+                n for n in block.replicas
+                if self._datanodes[n].alive and block.replica_is_healthy(n)
+            ]
+            if not healthy:
+                lost += 1
+                continue
+            serving = [n for n in healthy if self._datanodes[n].is_live]
+            while len(serving) < target:
+                candidates = sorted(
+                    (n for n in live if n not in block.replicas),
+                    key=lambda n: (len(self._datanodes[n].block_ids), n),
+                )
+                if not candidates:
+                    break
+                chosen = candidates[0]
+                block.add_replica(chosen)
+                self._datanodes[chosen].block_ids.add(block_id)
+                serving.append(chosen)
+                restored += 1
+                self._ctr_rereplicated.inc()
+        return {"restored": restored, "lost": lost}
+
+    def corrupt_replica(self, path: str, block_index: int = 0,
+                        replica_index: int = 0) -> str:
+        """Rot one replica of one block of a file; returns the node hit."""
+        blocks = self._file(path).blocks
+        if not 0 <= block_index < len(blocks):
+            raise HdfsError(
+                f"{path} has no block index {block_index}"
+            )
+        block = blocks[block_index]
+        if not 0 <= replica_index < len(block.replicas):
+            raise HdfsError(
+                f"{block.block_id} has no replica index {replica_index}"
+            )
+        node = block.replicas[replica_index]
+        block.corrupt_replica(node)
+        return node
 
     def used_bytes_by_node(self) -> Dict[str, int]:
         return {

@@ -11,6 +11,7 @@ from repro.mapreduce.executors import (
     build_executor,
     fork_available,
 )
+from repro.errors import TaskTimeoutError
 from repro.mapreduce.history import JobHistory, TaskAttempt
 from repro.mapreduce.policy import (
     EXECUTOR_KINDS,
@@ -40,6 +41,7 @@ __all__ = [
     "EXECUTOR_KINDS",
     "ExecutionPolicy",
     "InjectedTaskFault",
+    "TaskTimeoutError",
     "TaskExecutor",
     "SerialExecutor",
     "ThreadedExecutor",

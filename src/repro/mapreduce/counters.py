@@ -21,6 +21,8 @@ MAP_TASK_ATTEMPTS = "MAP_TASK_ATTEMPTS"
 REDUCE_TASK_ATTEMPTS = "REDUCE_TASK_ATTEMPTS"
 INJECTED_FAULTS = "INJECTED_FAULTS"
 SPECULATIVE_ATTEMPTS = "SPECULATIVE_ATTEMPTS"
+TASK_TIMEOUTS = "TASK_TIMEOUTS"
+INJECTED_DELAYS = "INJECTED_DELAYS"
 
 
 class Counters:

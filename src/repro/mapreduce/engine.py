@@ -24,7 +24,7 @@ import math
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import MapReduceError
+from repro.errors import MapReduceError, TaskTimeoutError
 from repro.mapreduce import counters as C
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.executors import TaskExecutor, build_executor
@@ -79,7 +79,7 @@ class _TaskOutcome:
         "output_bytes", "spills", "groups", "shuffled_records",
         "shuffled_bytes", "attempts", "injected_faults", "file_writes",
         "attachments", "phases", "spans", "started_at", "finished_at",
-        "worker",
+        "worker", "node", "timeouts", "injected_delays", "failures",
     )
 
     def __init__(self):
@@ -96,6 +96,15 @@ class _TaskOutcome:
         self.injected_faults = 0
         self.file_writes: List[Tuple[str, bytes, bool]] = []
         self.attachments: List[Tuple[str, Any]] = []
+        #: Node that ran the successful attempt (retries may move).
+        self.node = ""
+        #: Attempts discarded as hung by the policy's ``task_timeout``.
+        self.timeouts = 0
+        #: Chaos-plan delay injections charged to this task's attempts.
+        self.injected_delays = 0
+        #: ``(node, exception_name)`` per failed attempt, for the
+        #: engine's per-node blacklist accounting.
+        self.failures: List[Tuple[str, str]] = []
         #: Measured phase boundaries {name: (start, end)} when traced,
         #: as raw perf_counter readings (system-wide monotonic clock).
         self.phases: Optional[Dict[str, Tuple[float, float]]] = None
@@ -128,41 +137,87 @@ def _apply_combiner(job: JobConf, context: TaskContext) -> List[KeyValue]:
 
 
 def _run_attempts(
-    body: Callable[[], _TaskOutcome], policy: ExecutionPolicy, task_id: str
+    body: Callable[[str], _TaskOutcome],
+    policy: ExecutionPolicy,
+    task_id: str,
+    candidates: List[str],
 ) -> _TaskOutcome:
     """Execute a task body with fault injection, retry, and backoff.
 
     Runs wherever the executor put the task (possibly a forked worker);
     the attempt/fault tallies travel back inside the outcome.
+
+    Attempt *k* runs on ``candidates[(k-1) % len(candidates)]``: the
+    preferred node first, then a rotation through the remaining
+    schedulable nodes, so a retry lands on a different node whenever
+    one exists.  The candidate list is fixed by the parent before
+    submission, keeping placement deterministic across executors.
+
+    Hung-task detection charges any chaos-plan delay to the attempt's
+    measured runtime (the delay itself is slept through the policy's
+    injectable ``sleep`` hook), so a ``task_timeout`` trips — or
+    doesn't — identically under the serial, threaded, and forked
+    engines and under a fake clock.
     """
     attempt = 0
     faults = 0
+    timeouts = 0
+    delays = 0
+    failures: List[Tuple[str, str]] = []
+    plan = policy.fault_plan
     while True:
         attempt += 1
+        node = candidates[(attempt - 1) % len(candidates)]
         try:
             if policy.injects_fault(task_id, attempt):
                 faults += 1
                 raise InjectedTaskFault(
                     f"injected fault: {task_id} attempt {attempt}"
                 )
-            outcome = body()
+            if plan is not None and plan.raises_in(task_id, attempt):
+                faults += 1
+                raise InjectedTaskFault(
+                    f"chaos plan fault: {task_id} attempt {attempt}"
+                )
+            started = time.perf_counter()
+            outcome = body(node)
+            elapsed = time.perf_counter() - started
+            charged = plan.delay_for(task_id, attempt) if plan else 0.0
+            if charged > 0:
+                delays += 1
+                policy.sleep(charged)
+            if (
+                policy.task_timeout is not None
+                and elapsed + charged > policy.task_timeout
+            ):
+                timeouts += 1
+                raise TaskTimeoutError(
+                    f"task {task_id} attempt {attempt} hung on {node}: "
+                    f"{elapsed + charged:.3f}s charged > "
+                    f"{policy.task_timeout}s timeout"
+                )
             outcome.attempts = attempt
             outcome.injected_faults = faults
+            outcome.timeouts = timeouts
+            outcome.injected_delays = delays
+            outcome.node = node
+            outcome.failures = failures
             return outcome
         except Exception as exc:
+            failures.append((node, type(exc).__name__))
             if attempt > policy.task_retries:
                 raise MapReduceError(
                     f"task {task_id} failed after {attempt} attempt(s): {exc}"
                 ) from exc
             delay = policy.backoff_delay(attempt)
             if delay > 0:
-                time.sleep(delay)
+                policy.sleep(delay)
 
 
 def _execute_map_task(
     job: JobConf,
     split: InputSplit,
-    node: str,
+    candidates: List[str],
     task_id: str,
     policy: ExecutionPolicy,
     traced: bool = False,
@@ -175,7 +230,7 @@ def _execute_map_task(
     the measured counterpart of the simulator's Fig 7 phases.
     """
 
-    def body() -> _TaskOutcome:
+    def body(node: str) -> _TaskOutcome:
         clock = time.perf_counter
         t_start = clock() if traced else 0.0
         context = TaskContext(task_id, node, traced=traced)
@@ -226,13 +281,13 @@ def _execute_map_task(
             outcome.phases["spill"] = (t_combine_end, clock())
         return outcome
 
-    return _run_attempts(body, policy, task_id)
+    return _run_attempts(body, policy, task_id, candidates)
 
 
 def _execute_reduce_task(
     job: JobConf,
     segments: List[List[KeyValue]],
-    node: str,
+    candidates: List[str],
     task_id: str,
     policy: ExecutionPolicy,
     traced: bool = False,
@@ -246,7 +301,7 @@ def _execute_reduce_task(
     back in the outcome.
     """
 
-    def body() -> _TaskOutcome:
+    def body(node: str) -> _TaskOutcome:
         clock = time.perf_counter
         t_start = clock() if traced else 0.0
         outcome = _TaskOutcome()
@@ -288,7 +343,7 @@ def _execute_reduce_task(
             outcome.spans = context.spans
         return outcome
 
-    return _run_attempts(body, policy, task_id)
+    return _run_attempts(body, policy, task_id, candidates)
 
 
 class MapReduceEngine:
@@ -340,6 +395,72 @@ class MapReduceEngine:
         self.policy = policy or ExecutionPolicy()
         self.filesystem = filesystem
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: Failed task attempts per node, accumulated across jobs (the
+        #: engine outlives a single round in the Gesall pipeline).
+        self._node_failures: Dict[str, int] = {}
+        #: Nodes that crossed ``policy.blacklist_after`` failures and
+        #: no longer receive new tasks.
+        self.blacklisted_nodes: set = set()
+
+    # -- placement ----------------------------------------------------------
+    def _schedulable_nodes(self) -> List[str]:
+        """Nodes eligible for new tasks (blacklist-filtered).
+
+        Falls back to the full node list when everything is
+        blacklisted — a cluster that refuses all work is worse than one
+        that retries on suspect nodes.
+        """
+        nodes = [n for n in self.nodes if n not in self.blacklisted_nodes]
+        return nodes or list(self.nodes)
+
+    def _candidate_nodes(self, preferred: Optional[str], index: int) -> List[str]:
+        """Placement candidates for one task, primary first.
+
+        Retries walk this list, so attempt 2 lands on a different node
+        whenever more than one is schedulable.
+        """
+        schedulable = self._schedulable_nodes()
+        if preferred and preferred not in self.blacklisted_nodes:
+            primary = preferred
+        else:
+            primary = schedulable[index % len(schedulable)]
+        return [primary] + [n for n in schedulable if n != primary]
+
+    def _update_fault_accounting(
+        self, result: JobResult, outcomes: List[_TaskOutcome]
+    ) -> None:
+        """Absorb a wave's failure telemetry (driver-side, post-wave).
+
+        Feeds timeout/delay counters and the per-node failure tallies
+        that drive blacklisting.  Runs after the wave completes, so
+        every executor observes the same blacklist state for a given
+        wave regardless of intra-wave scheduling order.
+        """
+        metrics = self.recorder.metrics
+        for outcome in outcomes:
+            if outcome.timeouts:
+                result.counters.inc(C.TASK_TIMEOUTS, outcome.timeouts)
+                metrics.counter("engine.task_timeouts").inc(outcome.timeouts)
+            if outcome.injected_delays:
+                result.counters.inc(C.INJECTED_DELAYS, outcome.injected_delays)
+                metrics.counter("chaos.delays_injected").inc(
+                    outcome.injected_delays
+                )
+            for node, reason in outcome.failures:
+                count = self._node_failures.get(node, 0) + 1
+                self._node_failures[node] = count
+                threshold = self.policy.blacklist_after
+                if (
+                    threshold is not None
+                    and count >= threshold
+                    and node not in self.blacklisted_nodes
+                ):
+                    self.blacklisted_nodes.add(node)
+                    result.history.add_event(
+                        "node_blacklisted", node=node, failures=count,
+                        last_error=reason,
+                    )
+                    metrics.counter("engine.nodes_blacklisted").inc()
 
     # -- public API ---------------------------------------------------------
     def run(self, job: JobConf, splits: List[InputSplit]) -> JobResult:
@@ -376,12 +497,12 @@ class MapReduceEngine:
         placements: List[Tuple[str, str]] = []
         thunks = []
         for index, split in enumerate(splits):
-            node = split.preferred_node or self.nodes[index % len(self.nodes)]
+            candidates = self._candidate_nodes(split.preferred_node, index)
             task_id = f"{job.name}-m-{index:05d}"
-            placements.append((task_id, node))
+            placements.append((task_id, candidates[0]))
             thunks.append(
                 functools.partial(
-                    _execute_map_task, job, split, node, task_id,
+                    _execute_map_task, job, split, candidates, task_id,
                     self.policy, traced,
                 )
             )
@@ -394,14 +515,16 @@ class MapReduceEngine:
             self._speculate(
                 thunks, outcomes, executor, result, "map", placements
             )
+        self._update_fault_accounting(result, outcomes)
 
         all_partitions: List[List[List[KeyValue]]] = []
         for (task_id, node), outcome in zip(placements, outcomes):
-            task = TaskAttempt(task_id, "map", node)
+            task = TaskAttempt(task_id, "map", outcome.node or node)
             task.input_records = outcome.input_records
             task.output_records = outcome.output_records
             task.attempts = outcome.attempts
             task.injected_faults = outcome.injected_faults
+            task.timeouts = outcome.timeouts
             task.spills = outcome.spills
             self._ingest_task_trace(task, outcome, submitted)
             result.counters.inc(C.MAP_INPUT_RECORDS, outcome.input_records)
@@ -429,9 +552,9 @@ class MapReduceEngine:
         placements = []
         thunks = []
         for reducer_index in range(job.num_reducers):
-            node = self.nodes[reducer_index % len(self.nodes)]
+            candidates = self._candidate_nodes(None, reducer_index)
             task_id = f"{job.name}-r-{reducer_index:05d}"
-            placements.append((task_id, node))
+            placements.append((task_id, candidates[0]))
             # Shuffle input: this reducer's partition from every mapper,
             # in map-task order.
             segments = [
@@ -439,7 +562,7 @@ class MapReduceEngine:
             ]
             thunks.append(
                 functools.partial(
-                    _execute_reduce_task, job, segments, node, task_id,
+                    _execute_reduce_task, job, segments, candidates, task_id,
                     self.policy, traced,
                 )
             )
@@ -452,15 +575,17 @@ class MapReduceEngine:
             self._speculate(
                 thunks, outcomes, executor, result, "reduce", placements
             )
+        self._update_fault_accounting(result, outcomes)
 
         for reducer_index, ((task_id, node), outcome) in enumerate(
             zip(placements, outcomes)
         ):
-            task = TaskAttempt(task_id, "reduce", node)
+            task = TaskAttempt(task_id, "reduce", outcome.node or node)
             task.input_records = outcome.input_records
             task.output_records = outcome.output_records
             task.attempts = outcome.attempts
             task.injected_faults = outcome.injected_faults
+            task.timeouts = outcome.timeouts
             self._ingest_task_trace(task, outcome, submitted)
             result.counters.inc(C.SHUFFLED_RECORDS, outcome.shuffled_records)
             result.counters.inc(C.SHUFFLED_BYTES, outcome.shuffled_bytes)

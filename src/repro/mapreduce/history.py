@@ -24,6 +24,8 @@ class TaskAttempt:
         self.attempts = 1
         #: Injected faults absorbed by retries before the task succeeded.
         self.injected_faults = 0
+        #: Attempts discarded because they exceeded the task timeout.
+        self.timeouts = 0
         #: True for a speculative duplicate of a straggler task.
         self.speculative = False
         #: Wall-clock phases: filled with *modelled* times by the
@@ -53,10 +55,22 @@ class JobHistory:
         #: Task-id index maintained by :meth:`add`; first add wins, so
         #: :meth:`find` keeps its historical first-match semantics.
         self._by_id: Dict[str, TaskAttempt] = {}
+        #: Cluster-level events (``node_blacklisted``, checkpoint
+        #: restores, ...) in occurrence order, as plain dicts.
+        self.events: List[Dict[str, Any]] = []
 
     def add(self, task: TaskAttempt) -> None:
         self.tasks.append(task)
         self._by_id.setdefault(task.task_id, task)
+
+    def add_event(self, kind: str, **attrs: Any) -> Dict[str, Any]:
+        """Record one cluster-level event (e.g. ``node_blacklisted``)."""
+        event = {"kind": kind, **attrs}
+        self.events.append(event)
+        return event
+
+    def events_of(self, kind: str) -> List[Dict[str, Any]]:
+        return [event for event in self.events if event["kind"] == kind]
 
     def maps(self) -> List[TaskAttempt]:
         return [task for task in self.tasks if task.kind == "map"]
@@ -101,6 +115,8 @@ class JobHistory:
             "total_attempts": self.total_attempts(),
             "retried_tasks": len(self.retried_tasks()),
             "injected_faults": sum(t.injected_faults for t in primaries),
+            "timeouts": sum(t.timeouts for t in primaries),
+            "events": len(self.events),
             "speculative": len(self.speculative_tasks()),
             "nodes": len(self.by_node()),
             "queued_seconds": sum(t.queued_seconds for t in primaries),

@@ -16,19 +16,35 @@ constructing engines ad hoc:
 * ``speculative`` — re-run straggler stubs and cross-check outputs.
 * ``fault_rate`` / ``fault_seed`` — deterministic fault injection used
   to prove that retries preserve output equivalence.
+* ``task_timeout`` — hung-task detection: an attempt whose charged
+  runtime (measured wall time plus any chaos-injected delay) exceeds
+  the timeout is declared hung and retried, Hadoop's
+  ``mapreduce.task.timeout``.
+* ``blacklist_after`` — per-node failure-count blacklist: a node that
+  accumulates this many task-attempt failures stops receiving new
+  tasks (``yarn.nodemanager`` health blacklisting).
+* ``sleep`` — clock hook used for retry backoff and injected delays;
+  defaults to ``time.sleep`` and is swapped for a fake in tests so
+  fault-injection suites run without real-time waits.
+* ``fault_plan`` — a frozen :class:`~repro.chaos.plan.FaultPlan` of
+  targeted chaos events (kill node N at round R, delay task T, raise
+  in task U) that composes with ``fault_rate``.
 
-Fault decisions depend only on ``(fault_seed, task_id, attempt)``, so
-they are identical no matter which executor runs the task, in which
-order, or in which process.
+Fault decisions depend only on ``(fault_seed, task_id, attempt)`` (and
+a plan's explicit ``(task_id, attempt)`` addressing), so they are
+identical no matter which executor runs the task, in which order, or
+in which process.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import zlib
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
+from repro.chaos.plan import FaultPlan
 from repro.errors import MapReduceError
 
 #: Executor kinds accepted by :class:`ExecutionPolicy`.
@@ -53,6 +69,12 @@ class ExecutionPolicy:
     speculative: bool = False
     fault_rate: float = 0.0
     fault_seed: int = 0
+    task_timeout: Optional[float] = None
+    blacklist_after: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+    sleep: Callable[[float], None] = field(
+        default=time.sleep, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_KINDS:
@@ -68,6 +90,10 @@ class ExecutionPolicy:
             raise MapReduceError("retry backoff values must be >= 0")
         if not 0.0 <= self.fault_rate < 1.0:
             raise MapReduceError("fault_rate must be within [0, 1)")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise MapReduceError("task_timeout must be > 0")
+        if self.blacklist_after is not None and self.blacklist_after < 1:
+            raise MapReduceError("blacklist_after must be >= 1")
 
     # -- convenience constructors -----------------------------------------
     @classmethod

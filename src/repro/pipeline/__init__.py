@@ -1,5 +1,10 @@
 """Serial, parallel (Gesall) and hybrid pipelines."""
 
+from repro.pipeline.checkpoint import (
+    CheckpointStore,
+    HdfsBackend,
+    LocalDirectoryBackend,
+)
 from repro.pipeline.hybrid import HybridPipeline
 from repro.pipeline.parallel import GesallPipeline, GesallPipelineResult
 from repro.pipeline.serial import SerialPipeline, SerialPipelineResult
@@ -11,6 +16,9 @@ from repro.pipeline.stages import (
 )
 
 __all__ = [
+    "CheckpointStore",
+    "HdfsBackend",
+    "LocalDirectoryBackend",
     "HybridPipeline",
     "GesallPipeline",
     "GesallPipelineResult",

@@ -4,15 +4,25 @@ Functional counterpart of the platform evaluated in section 4: the
 interleaved FASTQ is cut into logical partitions, aligned by streaming
 map tasks, cleaned and deduplicated through real shuffles, range
 partitioned by chromosome, and called per partition.
+
+Fault tolerance: when the policy carries a chaos
+:class:`~repro.chaos.plan.FaultPlan`, its storage events (node kills,
+decommissions, replica corruption) are applied at the scheduled round
+boundaries; with a :class:`~repro.pipeline.checkpoint.CheckpointStore`
+attached, each completed round is checkpointed and ``resume=True``
+restores the completed prefix instead of re-running it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+import pickle
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.align.aligner import AlignerConfig
 from repro.align.index import ReferenceIndex
 from repro.align.pairing import PairedEndAligner
+from repro.chaos.plan import DecommissionDatanode, KillDatanode
 from repro.errors import PipelineError
 from repro.formats.bam import read_bam
 from repro.formats.fastq import ReadPair
@@ -24,6 +34,7 @@ from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.policy import ExecutionPolicy
 from repro.obs.recorder import NULL_RECORDER, ObsConfig
+from repro.pipeline.checkpoint import CheckpointStore
 from repro.recal.recalibrator import RecalibrationTable
 from repro.variants.haplotype import HaplotypeCallerConfig
 from repro.wrappers.rounds import GesallRounds
@@ -48,6 +59,10 @@ class GesallPipelineResult:
         self.hdfs: Optional[Hdfs] = None
         #: The run's trace recorder (the null recorder when tracing is off).
         self.recorder = NULL_RECORDER
+        #: Round keys restored from a checkpoint instead of executed.
+        self.resumed_rounds: List[str] = []
+        #: Chaos storage events applied during the run, in order.
+        self.chaos_events: List[Dict[str, Any]] = []
 
 
 class GesallPipeline:
@@ -74,9 +89,15 @@ class GesallPipeline:
         chunk_bytes: int = 16 * 1024,
         policy: Optional[ExecutionPolicy] = None,
         obs: Optional[ObsConfig] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+        checkpoint_dir: Optional[str] = None,
     ):
         if num_fastq_partitions < 1:
             raise PipelineError("need at least one FASTQ partition")
+        if checkpoint is not None and checkpoint_dir is not None:
+            raise PipelineError(
+                "pass either a CheckpointStore or a checkpoint_dir, not both"
+            )
         self.reference = reference
         self.index = index or ReferenceIndex(reference)
         self.nodes = nodes or [f"node{i:02d}" for i in range(4)]
@@ -93,8 +114,12 @@ class GesallPipeline:
         self.policy = policy or ExecutionPolicy.serial()
         #: Observability switches; off by default (null recorder).
         self.obs = obs or ObsConfig()
+        #: Round checkpoint storage (or a local directory to hold one).
+        self.checkpoint = checkpoint
+        self.checkpoint_dir = checkpoint_dir
 
-    def run(self, pairs: Sequence[ReadPair]) -> GesallPipelineResult:
+    def run(self, pairs: Sequence[ReadPair],
+            resume: bool = False) -> GesallPipelineResult:
         result = GesallPipelineResult()
         recorder = self.obs.build_recorder()
         result.recorder = recorder
@@ -111,43 +136,198 @@ class GesallPipeline:
         result.rounds = rounds
         result.hdfs = hdfs
 
+        store = self.checkpoint
+        if store is None and self.checkpoint_dir is not None:
+            store = CheckpointStore.local(self.checkpoint_dir)
+        completed: List[str] = []
+        if store is not None:
+            completed = store.begin(self._fingerprint(pairs), resume=resume)
+        # Restoration only ever covers a *prefix* of the round sequence:
+        # the first round missing from the checkpoint flips this off for
+        # good, so later checkpointed rounds (stale from another code
+        # path) can never be spliced into a re-executed middle.
+        restoring = bool(completed)
+
+        def restore(key: str):
+            nonlocal restoring
+            if not restoring or store is None or not store.has_round(key):
+                restoring = False
+                return None
+            with recorder.span(
+                f"checkpoint:restore:{key}", category="checkpoint",
+                track="driver",
+            ):
+                extras, blobs = store.restore_round(key, hdfs)
+            recorder.metrics.counter("checkpoint.rounds_restored").inc()
+            result.resumed_rounds.append(key)
+            return extras, blobs
+
+        def save(key: str, out_dir: Optional[str],
+                 extras: Optional[Dict[str, Any]] = None,
+                 blobs: Optional[Dict[str, bytes]] = None) -> None:
+            if store is None:
+                return
+            files = []
+            if out_dir is not None:
+                for path in hdfs.list_dir(out_dir):
+                    files.append((
+                        path, hdfs.get(path),
+                        hdfs.get_file(path).logical_partition,
+                    ))
+            with recorder.span(
+                f"checkpoint:save:{key}", category="checkpoint",
+                track="driver", files=len(files),
+            ):
+                store.save_round(key, files, extras=extras, blobs=blobs)
+            recorder.metrics.counter("checkpoint.rounds_saved").inc()
+
         with recorder.span(
             "pipeline:gesall", category="pipeline", track="driver",
-            executor=self.policy.executor, reads=len(pairs),
+            executor=self.policy.executor, reads=len(pairs), resume=resume,
         ):
             partitions = split_pairs_contiguously(
                 list(pairs), self.num_fastq_partitions
             )
             partitions = [p for p in partitions if p]
 
-            round1_paths = rounds.round1_alignment(partitions)
+            self._apply_storage_events("round1", hdfs, result, recorder)
+            restored = restore("round1")
+            if restored is not None:
+                round1_paths = list(restored[0]["paths"])
+            else:
+                round1_paths = rounds.round1_alignment(partitions)
+                save("round1", "/round1", {"paths": round1_paths})
             result.alignment = self._read_all(hdfs, round1_paths)
 
-            round2_paths = rounds.round2_cleaning(
-                round1_paths, num_reducers=self.num_reducers
-            )
+            self._apply_storage_events("round2", hdfs, result, recorder)
+            restored = restore("round2")
+            if restored is not None:
+                round2_paths = list(restored[0]["paths"])
+            else:
+                round2_paths = rounds.round2_cleaning(
+                    round1_paths, num_reducers=self.num_reducers
+                )
+                save("round2", "/round2", {"paths": round2_paths})
             result.cleaned = self._read_all(hdfs, round2_paths)
 
-            round3_paths = rounds.round3_mark_duplicates(
-                round2_paths, mode=self.markdup_mode,
-                num_reducers=self.num_reducers,
-            )
+            self._apply_storage_events("round3", hdfs, result, recorder)
+            restored = restore("round3")
+            if restored is not None:
+                round3_paths = list(restored[0]["paths"])
+            else:
+                round3_paths = rounds.round3_mark_duplicates(
+                    round2_paths, mode=self.markdup_mode,
+                    num_reducers=self.num_reducers,
+                )
+                save("round3", "/round3", {"paths": round3_paths})
             result.deduped = self._read_all(hdfs, round3_paths)
 
             calling_input = round3_paths
             if self.with_recalibration:
-                result.recal_table = rounds.round_recalibrate(
-                    round3_paths, self.known_sites
+                self._apply_storage_events(
+                    "round_recal", hdfs, result, recorder
                 )
-                calling_input = rounds.round_print_reads(
-                    round3_paths, result.recal_table
+                restored = restore("round_recal")
+                if restored is not None:
+                    result.recal_table = pickle.loads(restored[1]["table"])
+                else:
+                    result.recal_table = rounds.round_recalibrate(
+                        round3_paths, self.known_sites
+                    )
+                    save("round_recal", None,
+                         blobs={"table": pickle.dumps(result.recal_table)})
+                self._apply_storage_events(
+                    "round_bqsr", hdfs, result, recorder
                 )
+                restored = restore("round_bqsr")
+                if restored is not None:
+                    calling_input = list(restored[0]["paths"])
+                else:
+                    calling_input = rounds.round_print_reads(
+                        round3_paths, result.recal_table
+                    )
+                    save("round_bqsr", "/round_bqsr",
+                         {"paths": calling_input})
 
-            round4_paths = rounds.round4_sort_index(calling_input)
-            result.variants = rounds.round5_haplotype_caller(
-                round4_paths, self.hc_config
-            )
+            self._apply_storage_events("round4", hdfs, result, recorder)
+            restored = restore("round4")
+            if restored is not None:
+                round4_paths = list(restored[0]["paths"])
+            else:
+                round4_paths = rounds.round4_sort_index(calling_input)
+                save("round4", "/round4", {"paths": round4_paths})
+
+            self._apply_storage_events("round5", hdfs, result, recorder)
+            restored = restore("round5")
+            if restored is not None:
+                result.variants = [
+                    VariantRecord.from_line(line)
+                    for line in restored[0]["vcf_lines"]
+                ]
+            else:
+                result.variants = rounds.round5_haplotype_caller(
+                    round4_paths, self.hc_config
+                )
+                save("round5", None, {
+                    "vcf_lines": [v.to_line() for v in result.variants],
+                })
         return result
+
+    # -- chaos plan application ------------------------------------------------
+    def _apply_storage_events(
+        self, key: str, hdfs: Hdfs, result: GesallPipelineResult, recorder
+    ) -> None:
+        """Fire the fault plan's storage events scheduled for one round.
+
+        Events fire in the driver at the round boundary — before the
+        round executes (or restores) — under ``category="chaos"`` spans
+        with matching ``chaos.*`` counters, and are appended to
+        ``result.chaos_events`` for reports.
+        """
+        plan = self.policy.fault_plan
+        if plan is None:
+            return
+        for event in plan.storage_events(key):
+            entry: Dict[str, Any] = {"round": key, "kind": event.kind}
+            with recorder.span(
+                f"chaos:{event.kind}", category="chaos", track="driver",
+                round=key,
+            ) as span:
+                if isinstance(event, KillDatanode):
+                    report = hdfs.kill_datanode(event.node)
+                    entry.update(node=event.node, **report)
+                elif isinstance(event, DecommissionDatanode):
+                    report = hdfs.decommission(event.node)
+                    entry.update(node=event.node, **report)
+                else:  # CorruptReplica
+                    node = hdfs.corrupt_replica(
+                        event.path, event.block_index, event.replica_index
+                    )
+                    entry.update(path=event.path, node=node)
+                span.set(**{
+                    k: v for k, v in entry.items() if k != "kind"
+                })
+            recorder.metrics.counter(f"chaos.{event.kind}").inc()
+            result.chaos_events.append(entry)
+
+    def _fingerprint(self, pairs: Sequence[ReadPair]) -> str:
+        """Digest of the input reads + configuration that shapes outputs.
+
+        Guards resume: a checkpoint written for different reads or a
+        different pipeline shape must not be restored.  The executor
+        choice is deliberately excluded — outputs are byte-identical
+        across executors, so resuming under a different one is safe.
+        """
+        digest = zlib.crc32(b"gesall-checkpoint-v1")
+        for end1, end2 in pairs:
+            for read in (end1, end2):
+                digest = zlib.crc32(read.to_text().encode(), digest)
+        config = (
+            self.num_fastq_partitions, self.num_reducers, self.markdup_mode,
+            self.with_recalibration, self.block_size, self.chunk_bytes,
+            len(self.nodes),
+        )
+        return f"{zlib.crc32(repr(config).encode(), digest):08x}"
 
     @staticmethod
     def _read_all(hdfs: Hdfs, paths: List[str]) -> List[SamRecord]:

@@ -1,0 +1,356 @@
+"""Chaos-harness tests: fault plans, hung-task handling, blacklisting,
+and the acceptance scenario — a node kill plus a hung task must not
+change a single byte of the five-round pipeline's output.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    CorruptReplica,
+    DecommissionDatanode,
+    DelayTask,
+    FaultPlan,
+    KillDatanode,
+    RaiseInTask,
+)
+from repro.chaos.plan import parse_event
+from repro.cli import main
+from repro.errors import MapReduceError
+from repro.mapreduce import counters as C
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.executors import fork_available
+from repro.mapreduce.job import JobConf, make_splits
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.pipeline.parallel import GesallPipeline
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+NODES = [f"node{i:02d}" for i in range(4)]
+
+
+def wordcount_job(name="wc"):
+    def mapper(line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(word, sum(counts))
+
+    return JobConf(name, mapper, reducer, num_reducers=2)
+
+
+LINES = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "quick quick slow",
+]
+
+
+class TestFaultPlan:
+    def test_demo_is_deterministic(self):
+        assert FaultPlan.demo(5, NODES) == FaultPlan.demo(5, NODES)
+        kill = FaultPlan.demo(5, NODES).events[0]
+        assert isinstance(kill, KillDatanode)
+        assert kill.node in NODES
+
+    def test_demo_needs_nodes(self):
+        with pytest.raises(MapReduceError):
+            FaultPlan.demo(0, [])
+
+    def test_rejects_unknown_event_and_negative_delay(self):
+        with pytest.raises(MapReduceError, match="unknown fault event"):
+            FaultPlan(events=("not-an-event",))
+        with pytest.raises(MapReduceError, match=">= 0"):
+            FaultPlan(events=(DelayTask("t", seconds=-1.0),))
+
+    def test_event_keying(self):
+        plan = FaultPlan(events=(
+            KillDatanode("n1", at_round="round3"),
+            DelayTask("t-m-00000", 2.0, attempt=1),
+            DelayTask("t-m-00000", 3.0, attempt=1),
+            RaiseInTask("t-r-00001", attempt=2),
+        ))
+        assert [e.node for e in plan.storage_events("round3")] == ["n1"]
+        assert plan.storage_events("round1") == []
+        assert plan.delay_for("t-m-00000", 1) == 5.0
+        assert plan.delay_for("t-m-00000", 2) == 0.0
+        assert plan.raises_in("t-r-00001", 2)
+        assert not plan.raises_in("t-r-00001", 1)
+        assert plan.touches_tasks()
+
+    def test_plan_rides_inside_a_frozen_policy(self):
+        plan = FaultPlan(events=(RaiseInTask("t", attempt=1),))
+        policy = ExecutionPolicy(fault_plan=plan, task_retries=1)
+        assert policy.fault_plan is plan
+        assert hash(plan) == hash(FaultPlan(events=(RaiseInTask("t"),)))
+
+    def test_as_dicts_and_describe(self):
+        plan = FaultPlan.demo(5, NODES)
+        kinds = [e["kind"] for e in plan.as_dicts()]
+        assert kinds == ["kill_datanode", "delay_task"]
+        assert "kill_datanode" in plan.describe()
+
+
+class TestParseEvent:
+    def test_all_kinds_round_trip(self):
+        assert parse_event("n1@round3", "kill") == \
+            KillDatanode("n1", at_round="round3")
+        assert parse_event("n2@round2", "decommission") == \
+            DecommissionDatanode("n2", at_round="round2")
+        assert parse_event("/f@round2:1:1", "corrupt") == CorruptReplica(
+            "/f", at_round="round2", block_index=1, replica_index=1
+        )
+        assert parse_event("/f@round2", "corrupt") == \
+            CorruptReplica("/f", at_round="round2")
+        assert parse_event("round4-sort-m-00000:30.5@2", "delay") == \
+            DelayTask("round4-sort-m-00000", 30.5, attempt=2)
+        assert parse_event("t-m-00000:1.5", "delay") == \
+            DelayTask("t-m-00000", 1.5, attempt=1)
+        assert parse_event("t-r-00001@3", "fail") == \
+            RaiseInTask("t-r-00001", attempt=3)
+        assert parse_event("t-r-00001", "fail") == RaiseInTask("t-r-00001")
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(MapReduceError, match="bad --kill"):
+            parse_event("no-round-marker", "kill")
+        with pytest.raises(MapReduceError, match="bad --delay"):
+            parse_event("task-without-seconds", "delay")
+        with pytest.raises(MapReduceError, match="unknown event kind"):
+            parse_event("x", "meteor")
+
+
+class TestPolicyKnobs:
+    def test_rejects_bad_timeout_and_blacklist(self):
+        with pytest.raises(MapReduceError):
+            ExecutionPolicy(task_timeout=0)
+        with pytest.raises(MapReduceError):
+            ExecutionPolicy(task_timeout=-1.0)
+        with pytest.raises(MapReduceError):
+            ExecutionPolicy(blacklist_after=0)
+
+    def test_sleep_hook_receives_backoff(self):
+        sleeps = []
+        policy = ExecutionPolicy(
+            task_retries=1, retry_backoff=0.125, retry_backoff_cap=0.125,
+            fault_plan=FaultPlan(events=(RaiseInTask("wc-m-00000"),)),
+            sleep=sleeps.append,
+        )
+        MapReduceEngine(nodes=["n1"], policy=policy).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        assert sleeps == [0.125]  # backoff went through the hook, not time.sleep
+
+
+class TestHungTasks:
+    def test_hung_task_times_out_and_retries_on_another_node(self):
+        sleeps = []
+        plan = FaultPlan(events=(
+            DelayTask("wc-m-00000", seconds=30.0, attempt=1),
+        ))
+        policy = ExecutionPolicy(
+            task_retries=2, task_timeout=5.0, retry_backoff=0.0,
+            fault_plan=plan, sleep=sleeps.append,
+        )
+        result = MapReduceEngine(nodes=["n1", "n2"], policy=policy).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        clean = MapReduceEngine(nodes=["n1", "n2"]).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        assert result.all_outputs() == clean.all_outputs()
+        assert result.counters.get(C.TASK_TIMEOUTS) == 1
+        assert result.counters.get(C.INJECTED_DELAYS) == 1
+        task = result.history.find("wc-m-00000")
+        assert task.attempts == 2
+        assert task.timeouts == 1
+        assert task.node == "n2"  # first attempt ran (and hung) on n1
+        assert 30.0 in sleeps  # the delay was slept through the hook
+
+    def test_timeout_exhausts_retries(self):
+        plan = FaultPlan(events=(
+            DelayTask("wc-m-00000", 30.0, attempt=1),
+            DelayTask("wc-m-00000", 30.0, attempt=2),
+        ))
+        policy = ExecutionPolicy(
+            task_retries=1, task_timeout=5.0, retry_backoff=0.0,
+            fault_plan=plan, sleep=lambda _s: None,
+        )
+        with pytest.raises(MapReduceError, match="after 2 attempt"):
+            MapReduceEngine(nodes=["n1", "n2"], policy=policy).run(
+                wordcount_job(), make_splits(LINES)
+            )
+
+    def test_injected_raise_is_absorbed_by_retry(self):
+        plan = FaultPlan(events=(RaiseInTask("wc-m-00001", attempt=1),))
+        policy = ExecutionPolicy(
+            task_retries=2, retry_backoff=0.0, fault_plan=plan,
+            sleep=lambda _s: None,
+        )
+        result = MapReduceEngine(nodes=["n1", "n2"], policy=policy).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        clean = MapReduceEngine(nodes=["n1", "n2"]).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        assert result.all_outputs() == clean.all_outputs()
+        task = result.history.find("wc-m-00001")
+        assert task.attempts == 2
+        assert task.injected_faults == 1
+
+    @pytest.mark.parametrize(
+        "kind", ["serial", "thread", pytest.param("process", marks=needs_fork)]
+    )
+    def test_plan_faults_identical_across_executors(self, kind):
+        plan = FaultPlan(events=(
+            DelayTask("wc-m-00000", 30.0, attempt=1),
+            RaiseInTask("wc-m-00002", attempt=1),
+        ))
+        clean = MapReduceEngine(nodes=["n1", "n2"]).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        policy = ExecutionPolicy(
+            executor=kind, max_workers=2, task_retries=3,
+            task_timeout=5.0, retry_backoff=0.0, fault_plan=plan,
+            sleep=lambda _s: None,
+        )
+        result = MapReduceEngine(nodes=["n1", "n2"], policy=policy).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        assert result.all_outputs() == clean.all_outputs()
+        assert result.counters.get(C.TASK_TIMEOUTS) == 1
+        assert result.counters.get(C.INJECTED_FAULTS) == 1
+
+
+class TestBlacklist:
+    def test_failing_node_is_blacklisted_and_avoided(self):
+        plan = FaultPlan(events=(RaiseInTask("wc-m-00000", attempt=1),))
+        policy = ExecutionPolicy(
+            task_retries=2, blacklist_after=1, retry_backoff=0.0,
+            fault_plan=plan, sleep=lambda _s: None,
+        )
+        engine = MapReduceEngine(nodes=["n1", "n2"], policy=policy)
+        result = engine.run(wordcount_job(), make_splits(LINES))
+        # The fault fired on the first candidate node of map task 0.
+        assert engine.blacklisted_nodes == {"n1"}
+        events = result.history.events_of("node_blacklisted")
+        assert len(events) == 1
+        assert events[0]["node"] == "n1"
+        assert events[0]["failures"] == 1
+        # The reduce wave, scheduled after the blacklisting, avoids n1.
+        assert {t.node for t in result.history.reduces()} == {"n2"}
+
+    def test_blacklist_persists_across_jobs_on_the_same_engine(self):
+        plan = FaultPlan(events=(RaiseInTask("first-m-00000", attempt=1),))
+        policy = ExecutionPolicy(
+            task_retries=2, blacklist_after=1, retry_backoff=0.0,
+            fault_plan=plan, sleep=lambda _s: None,
+        )
+        engine = MapReduceEngine(nodes=["n1", "n2"], policy=policy)
+        engine.run(wordcount_job("first"), make_splits(LINES))
+        assert engine.blacklisted_nodes == {"n1"}
+        second = engine.run(wordcount_job("second"), make_splits(LINES))
+        assert {t.node for t in second.history.tasks} == {"n2"}
+
+    def test_fully_blacklisted_cluster_still_schedules(self):
+        """A cluster that refuses all work is worse than one that
+        schedules onto suspect nodes — blacklisting every node falls
+        back to the full node list."""
+        plan = FaultPlan(events=(RaiseInTask("wc-m-00000", attempt=1),))
+        policy = ExecutionPolicy(
+            task_retries=2, blacklist_after=1, retry_backoff=0.0,
+            fault_plan=plan, sleep=lambda _s: None,
+        )
+        engine = MapReduceEngine(nodes=["n1"], policy=policy)
+        engine.run(wordcount_job(), make_splits(LINES))
+        assert engine.blacklisted_nodes == {"n1"}
+        second = engine.run(wordcount_job("again"), make_splits(LINES))
+        assert {t.node for t in second.history.tasks} == {"n1"}
+
+
+def run_pipeline(reference, ref_index, pairs, policy):
+    """Full five-round run; returns (result, comparable fingerprint)."""
+    result = GesallPipeline(
+        reference, index=ref_index, nodes=NODES,
+        num_fastq_partitions=4, num_reducers=3, policy=policy,
+    ).run(pairs)
+    files = {f.path: result.hdfs.get(f.path) for f in result.hdfs.files()}
+    variants = [v.to_line() for v in result.variants]
+    return result, (files, variants)
+
+
+class TestChaosAcceptance:
+    """The ISSUE's acceptance scenario: kill a datanode when round 3
+    starts and hang one round-4 task past its timeout — the pipeline
+    must finish with output identical to a clean run, under every
+    executor."""
+
+    @pytest.fixture(scope="class")
+    def clean_run(self, reference, ref_index, pairs):
+        _, fingerprint = run_pipeline(
+            reference, ref_index, pairs, ExecutionPolicy.serial()
+        )
+        return fingerprint
+
+    @pytest.mark.parametrize(
+        "kind,max_workers",
+        [
+            ("serial", 1),
+            ("thread", 4),
+            pytest.param("process", 2, marks=needs_fork),
+        ],
+    )
+    def test_kill_plus_hung_task_changes_nothing(
+        self, reference, ref_index, pairs, clean_run, kind, max_workers
+    ):
+        plan = FaultPlan.demo(seed=5, nodes=NODES)
+        policy = ExecutionPolicy(
+            executor=kind, max_workers=max_workers, task_retries=3,
+            task_timeout=30.0, retry_backoff=0.0, fault_plan=plan,
+            sleep=lambda _s: None,
+        )
+        result, fingerprint = run_pipeline(
+            reference, ref_index, pairs, policy
+        )
+        assert fingerprint == clean_run
+        # The kill fired at the round-3 boundary and lost no blocks.
+        kills = [
+            e for e in result.chaos_events if e["kind"] == "kill_datanode"
+        ]
+        assert len(kills) == 1
+        assert kills[0]["round"] == "round3"
+        assert kills[0]["lost"] == 0
+        # The hung round-4 task timed out once and was retried.
+        summary = result.rounds.results["round4"].history.summary()
+        assert summary["timeouts"] == 1
+        assert summary["retried_tasks"] == 1
+
+
+def test_chaos_cli_gate_passes(tmp_path, capsys):
+    data = tmp_path / "sample"
+    assert main([
+        "simulate", "--out", str(data), "--length", "3000",
+        "--coverage", "6", "--seed", "3",
+    ]) == 0
+    trace = tmp_path / "chaos-trace.json"
+    report = tmp_path / "chaos-report.json"
+    rc = main([
+        "chaos", "--data", str(data), "--partitions", "2",
+        "--executor", "thread", "--max-workers", "2", "--seed", "5",
+        "--trace-out", str(trace), "--report-out", str(report),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "GATE PASSED" in out
+    payload = json.loads(report.read_text())
+    assert payload["gate"]["equivalent"] is True
+    assert payload["gate"]["weighted_d_count"] == 0
+    assert payload["plan"]["events"][0]["kind"] == "kill_datanode"
+    assert any(
+        name.startswith("chaos.") for name in payload["fault_counters"]
+    )
+    assert json.loads(trace.read_text())["traceEvents"]

@@ -1,0 +1,263 @@
+"""Checkpoint/resume tests: backends, manifest guards, pipeline resume.
+
+The guarantee under test: after a crash, ``resume=True`` restores the
+longest completed *prefix* of rounds byte-identically and re-runs only
+what is missing — and refuses checkpoints written by a different input
+or pipeline configuration.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import FaultPlan, RaiseInTask
+from repro.errors import CheckpointError, MapReduceError, PipelineError
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.obs.recorder import ObsConfig
+from repro.pipeline.checkpoint import (
+    CheckpointStore,
+    HdfsBackend,
+    LocalDirectoryBackend,
+)
+from repro.pipeline.parallel import GesallPipeline
+
+ALL_ROUNDS = ["round1", "round2", "round3", "round4", "round5"]
+
+
+class TestLocalDirectoryBackend:
+    def test_write_read_roundtrip(self, tmp_path):
+        backend = LocalDirectoryBackend(str(tmp_path))
+        backend.write("blob.bin", b"payload")
+        assert backend.read("blob.bin") == b"payload"
+        backend.write("blob.bin", b"rewritten")
+        assert backend.read("blob.bin") == b"rewritten"
+
+    def test_missing_blob_is_none(self, tmp_path):
+        assert LocalDirectoryBackend(str(tmp_path)).read("nope") is None
+
+    def test_writes_leave_no_temp_files(self, tmp_path):
+        backend = LocalDirectoryBackend(str(tmp_path))
+        for i in range(5):
+            backend.write(f"b{i}.bin", b"x" * i)
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+
+class TestHdfsBackend:
+    def test_write_read_roundtrip(self):
+        hdfs = Hdfs(["a", "b"], replication=2)
+        backend = HdfsBackend(hdfs, prefix="/ckpt")
+        backend.write("blob.bin", b"payload")
+        assert backend.read("blob.bin") == b"payload"
+        assert hdfs.exists("/ckpt/blob.bin")
+        backend.write("blob.bin", b"rewritten")  # overwrite path
+        assert backend.read("blob.bin") == b"rewritten"
+        assert backend.read("missing.bin") is None
+
+
+class TestCheckpointStore:
+    def seeded_store(self, tmp_path):
+        store = CheckpointStore.local(str(tmp_path))
+        store.begin("fp", resume=False)
+        store.save_round(
+            "round1",
+            [("/round1/p0", b"alpha", True), ("/round1/p1", b"beta", False)],
+            extras={"paths": ["/round1/p0", "/round1/p1"]},
+            blobs={"table": b"pickled-table"},
+        )
+        return store
+
+    def test_save_then_restore_in_a_new_process(self, tmp_path):
+        self.seeded_store(tmp_path)
+        store = CheckpointStore.local(str(tmp_path))
+        assert store.begin("fp", resume=True) == ["round1"]
+        assert store.has_round("round1")
+        hdfs = Hdfs(["a", "b"], replication=2)
+        extras, blobs = store.restore_round("round1", hdfs)
+        assert extras == {"paths": ["/round1/p0", "/round1/p1"]}
+        assert blobs == {"table": b"pickled-table"}
+        assert hdfs.get("/round1/p0") == b"alpha"
+        assert hdfs.get_file("/round1/p0").logical_partition is True
+        assert hdfs.get_file("/round1/p1").logical_partition is False
+
+    def test_fresh_begin_wipes_previous_rounds(self, tmp_path):
+        store = self.seeded_store(tmp_path)
+        assert store.begin("fp", resume=False) == []
+        assert not store.has_round("round1")
+
+    def test_resume_without_manifest_starts_fresh(self, tmp_path):
+        store = CheckpointStore.local(str(tmp_path))
+        assert store.begin("fp", resume=True) == []
+
+    def test_restore_unknown_round_raises(self, tmp_path):
+        store = self.seeded_store(tmp_path)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            store.restore_round("round9", Hdfs(["a"], replication=1))
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        self.seeded_store(tmp_path)
+        store = CheckpointStore.local(str(tmp_path))
+        with pytest.raises(CheckpointError, match="different run"):
+            store.begin("other-fp", resume=True)
+
+    def test_version_mismatch_refuses_resume(self, tmp_path):
+        self.seeded_store(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["version"] = 999
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="version"):
+            CheckpointStore.local(str(tmp_path)).begin("fp", resume=True)
+
+    def test_unparsable_manifest_raises(self, tmp_path):
+        self.seeded_store(tmp_path)
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointStore.local(str(tmp_path)).begin("fp", resume=True)
+
+    def test_corrupt_blob_detected_by_crc(self, tmp_path):
+        self.seeded_store(tmp_path)
+        (tmp_path / "round1-f0000.bin").write_bytes(b"rotten")
+        store = CheckpointStore.local(str(tmp_path))
+        store.begin("fp", resume=True)
+        with pytest.raises(CheckpointError, match="corrupt"):
+            store.restore_round("round1", Hdfs(["a"], replication=1))
+
+    def test_missing_blob_detected(self, tmp_path):
+        self.seeded_store(tmp_path)
+        (tmp_path / "round1-b-table.bin").unlink()
+        store = CheckpointStore.local(str(tmp_path))
+        store.begin("fp", resume=True)
+        with pytest.raises(CheckpointError, match="missing"):
+            store.restore_round("round1", Hdfs(["a"], replication=1))
+
+
+NODES = [f"node{i:02d}" for i in range(4)]
+
+
+def build(reference, ref_index, num_reducers=2, **kwargs):
+    return GesallPipeline(
+        reference, index=ref_index, nodes=NODES,
+        num_fastq_partitions=3, num_reducers=num_reducers, **kwargs,
+    )
+
+
+def vcf_lines(result):
+    return [v.to_line() for v in result.variants]
+
+
+@pytest.fixture(scope="module")
+def some_pairs(pairs):
+    return pairs[:160]
+
+
+@pytest.fixture(scope="module")
+def clean_ckpt(tmp_path_factory, reference, ref_index, some_pairs):
+    """One checkpointed clean run, shared by the resume tests."""
+    root = str(tmp_path_factory.mktemp("ckpt"))
+    result = build(reference, ref_index, checkpoint_dir=root).run(some_pairs)
+    return root, result
+
+
+class TestPipelineResume:
+    def test_checkpoint_and_dir_are_mutually_exclusive(
+        self, reference, ref_index
+    ):
+        with pytest.raises(PipelineError, match="not both"):
+            build(
+                reference, ref_index,
+                checkpoint=CheckpointStore.local("/tmp/x"),
+                checkpoint_dir="/tmp/y",
+            )
+
+    def test_resume_restores_the_whole_completed_run(
+        self, reference, ref_index, some_pairs, clean_ckpt
+    ):
+        root, first = clean_ckpt
+        second = build(
+            reference, ref_index, checkpoint_dir=root,
+            obs=ObsConfig(enabled=True),
+        ).run(some_pairs, resume=True)
+        assert second.resumed_rounds == ALL_ROUNDS
+        assert second.rounds.results == {}  # nothing re-executed
+        assert vcf_lines(second) == vcf_lines(first)
+        # Restored round outputs are byte-identical to the original's.
+        prefixes = ("/round1/", "/round2/", "/round3/", "/round4/")
+        restored_paths = [
+            f.path for f in first.hdfs.files() if f.path.startswith(prefixes)
+        ]
+        assert restored_paths
+        for path in restored_paths:
+            assert second.hdfs.get(path) == first.hdfs.get(path)
+        # The trace shows five restore spans and zero save spans.
+        names = [
+            s.name for s in second.recorder.spans()
+            if s.category == "checkpoint"
+        ]
+        assert names == [f"checkpoint:restore:{k}" for k in ALL_ROUNDS]
+        metrics = second.recorder.metrics
+        assert metrics.counter("checkpoint.rounds_restored").value == 5
+        assert metrics.counter("checkpoint.rounds_saved").value == 0
+
+    def test_resume_with_different_config_is_refused(
+        self, reference, ref_index, some_pairs, clean_ckpt
+    ):
+        root, _ = clean_ckpt
+        with pytest.raises(CheckpointError, match="different run"):
+            build(
+                reference, ref_index, num_reducers=3, checkpoint_dir=root
+            ).run(some_pairs, resume=True)
+
+    def test_crash_in_round4_resumes_running_only_the_tail(
+        self, reference, ref_index, some_pairs, clean_ckpt, tmp_path
+    ):
+        _, clean = clean_ckpt
+        root = str(tmp_path / "ckpt")
+        plan = FaultPlan(events=(
+            RaiseInTask("round4-sort-m-00000", attempt=1),
+        ))
+        crashing = ExecutionPolicy(
+            task_retries=0, retry_backoff=0.0, fault_plan=plan,
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(MapReduceError, match="after 1 attempt"):
+            build(
+                reference, ref_index, checkpoint_dir=root, policy=crashing
+            ).run(some_pairs)
+        # Rounds 1-3 are durable; the resumed run executes only 4 and 5.
+        manifest = json.loads(
+            (tmp_path / "ckpt" / "manifest.json").read_text()
+        )
+        assert manifest["order"] == ["round1", "round2", "round3"]
+        resumed = build(reference, ref_index, checkpoint_dir=root).run(
+            some_pairs, resume=True
+        )
+        assert resumed.resumed_rounds == ["round1", "round2", "round3"]
+        executed = {
+            k for k in resumed.rounds.results if k.startswith("round")
+        }
+        assert executed == {"round4", "round5"}
+        assert vcf_lines(resumed) == vcf_lines(clean)
+        # The finished resume run checkpointed the missing rounds too.
+        manifest = json.loads(
+            (tmp_path / "ckpt" / "manifest.json").read_text()
+        )
+        assert manifest["order"] == ALL_ROUNDS
+
+    def test_hdfs_backend_survives_into_a_second_run(
+        self, reference, ref_index, some_pairs, clean_ckpt
+    ):
+        _, clean = clean_ckpt
+        backing = Hdfs(["s0", "s1"], replication=2)
+        first = build(
+            reference, ref_index,
+            checkpoint=CheckpointStore.hdfs(backing, prefix="/ckpt"),
+        ).run(some_pairs)
+        assert vcf_lines(first) == vcf_lines(clean)
+        second = build(
+            reference, ref_index,
+            checkpoint=CheckpointStore.hdfs(backing, prefix="/ckpt"),
+        ).run(some_pairs, resume=True)
+        assert second.resumed_rounds == ALL_ROUNDS
+        assert vcf_lines(second) == vcf_lines(clean)

@@ -1,0 +1,232 @@
+"""Storage-plane fault tolerance: checksums, failover, re-replication.
+
+The contract under test (paper section 2, HDFS semantics): every read
+is served from a checksum-verified replica; corrupt or dead replicas
+are skipped and repaired; only when *every* replica of a block is gone
+or corrupt does the block's data become unrecoverable.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BlockLostError, HdfsError
+from repro.hdfs.filesystem import Hdfs
+from repro.obs.recorder import TraceRecorder
+
+
+def make_hdfs(nodes=4, replication=2, block_size=256):
+    """Small traced cluster so counter assertions can read metrics."""
+    return Hdfs(
+        [f"n{i}" for i in range(nodes)], replication=replication,
+        block_size=block_size, recorder=TraceRecorder(),
+    )
+
+
+def counter(hdfs, name):
+    return hdfs.recorder.metrics.counter(name).value
+
+
+PAYLOAD = bytes(range(256)) * 3  # spans three 256-byte blocks
+
+
+class TestChecksums:
+    def test_checksum_recorded_at_write(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", PAYLOAD)
+        for block in hdfs.blocks_of("/f"):
+            assert block.checksum == zlib.crc32(block.data)
+            for node in block.replicas:
+                assert block.replica_is_healthy(node)
+
+    def test_corrupt_primary_detected_and_failed_over(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", PAYLOAD)
+        node = hdfs.corrupt_replica("/f", block_index=1, replica_index=0)
+        assert hdfs.get("/f") == PAYLOAD
+        assert counter(hdfs, "hdfs.read.corrupt_replicas") == 1
+        assert counter(hdfs, "hdfs.read.failovers") == 1
+        # The namenode dropped the rotten replica from its placement map.
+        block = hdfs.blocks_of("/f")[1]
+        assert node not in block.replicas
+        assert block.block_id not in hdfs.datanode(node).block_ids
+
+    def test_corruption_detection_is_lazy(self):
+        """A corrupt *secondary* replica is only noticed when read."""
+        hdfs = make_hdfs()
+        hdfs.put("/f", PAYLOAD)
+        hdfs.corrupt_replica("/f", block_index=0, replica_index=1)
+        assert hdfs.get("/f") == PAYLOAD  # primary is healthy
+        assert counter(hdfs, "hdfs.read.corrupt_replicas") == 0
+
+    def test_corrupt_replica_is_rereplicated_after_detection(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", PAYLOAD)
+        hdfs.corrupt_replica("/f", block_index=0, replica_index=0)
+        hdfs.get("/f")  # detect + drop
+        report = hdfs.re_replicate()
+        assert report == {"restored": 1, "lost": 0}
+        block = hdfs.blocks_of("/f")[0]
+        assert len(block.replicas) == 2
+        assert all(block.replica_is_healthy(n) for n in block.replicas)
+
+    def test_block_lost_only_when_every_replica_unusable(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", b"x" * 100)  # single block, two replicas
+        hdfs.corrupt_replica("/f", replica_index=1)
+        # One healthy replica left: still readable.
+        dead = hdfs.blocks_of("/f")[0].replicas[0]
+        hdfs.kill_datanode(dead, re_replicate=False)
+        with pytest.raises(BlockLostError):
+            hdfs.get("/f")
+        assert counter(hdfs, "hdfs.blocks.lost") >= 1
+
+    def test_all_replicas_corrupt_raises(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", b"y" * 50)
+        hdfs.corrupt_replica("/f", replica_index=0)
+        hdfs.corrupt_replica("/f", replica_index=1)
+        with pytest.raises(BlockLostError):
+            hdfs.get("/f")
+
+    def test_corrupt_replica_bounds_checked(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", b"z")
+        with pytest.raises(HdfsError):
+            hdfs.corrupt_replica("/f", block_index=9)
+        with pytest.raises(HdfsError):
+            hdfs.corrupt_replica("/f", replica_index=9)
+
+
+class TestKillDatanode:
+    def test_kill_restores_replication_factor(self):
+        hdfs = make_hdfs()
+        for i in range(6):
+            hdfs.put(f"/d/p{i}", PAYLOAD, logical_partition=bool(i % 2))
+        victim = "n0"
+        report = hdfs.kill_datanode(victim)
+        assert report["lost"] == 0
+        assert report["restored"] > 0
+        assert victim not in hdfs.live_nodes()
+        live = set(hdfs.live_nodes())
+        for i in range(6):
+            assert hdfs.get(f"/d/p{i}") == PAYLOAD
+            for block in hdfs.blocks_of(f"/d/p{i}"):
+                assert len(block.replicas) == 2
+                assert set(block.replicas) <= live
+        assert counter(hdfs, "hdfs.datanodes.killed") == 1
+        assert counter(hdfs, "hdfs.rereplicated.replicas") == \
+            report["restored"]
+
+    def test_kill_is_idempotent(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", PAYLOAD)
+        hdfs.kill_datanode("n1")
+        assert hdfs.kill_datanode("n1") == {"restored": 0, "lost": 0}
+        assert counter(hdfs, "hdfs.datanodes.killed") == 1
+
+    def test_kill_sole_replica_loses_the_block(self):
+        hdfs = make_hdfs(nodes=2, replication=1)
+        hdfs.put("/f", b"irreplaceable")
+        holder = hdfs.blocks_of("/f")[0].replicas[0]
+        report = hdfs.kill_datanode(holder)
+        assert report["lost"] >= 1
+        with pytest.raises(BlockLostError):
+            hdfs.get("/f")
+
+    def test_put_after_kill_avoids_dead_node(self):
+        hdfs = make_hdfs()
+        hdfs.kill_datanode("n2")
+        hdfs.put("/late", PAYLOAD)
+        for block in hdfs.blocks_of("/late"):
+            assert "n2" not in block.replicas
+
+
+class TestDecommission:
+    def test_decommission_never_loses_sole_replicas(self):
+        """Unlike a kill, a drain copies data off the node first — so
+        even replication=1 survives it."""
+        hdfs = make_hdfs(nodes=3, replication=1)
+        for i in range(5):
+            hdfs.put(f"/d/p{i}", PAYLOAD)
+        report = hdfs.decommission("n0")
+        assert report["lost"] == 0
+        assert "n0" not in hdfs.live_nodes()
+        assert not hdfs.datanode("n0").block_ids
+        for i in range(5):
+            assert hdfs.get(f"/d/p{i}") == PAYLOAD
+
+    def test_decommission_restores_factor_on_survivors(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", PAYLOAD)
+        hdfs.decommission("n0")
+        live = set(hdfs.live_nodes())
+        for block in hdfs.blocks_of("/f"):
+            assert len(block.replicas) == 2
+            assert set(block.replicas) <= live
+        assert counter(hdfs, "hdfs.datanodes.decommissioned") == 1
+
+    def test_double_decommission_is_a_noop(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", PAYLOAD)
+        hdfs.decommission("n3")
+        assert hdfs.decommission("n3") == {"restored": 0, "lost": 0}
+        assert counter(hdfs, "hdfs.datanodes.decommissioned") == 1
+
+
+class TestOverwrite:
+    def test_duplicate_put_still_raises_by_default(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", b"old")
+        with pytest.raises(HdfsError, match="exists"):
+            hdfs.put("/f", b"new")
+
+    def test_overwrite_replaces_content(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", b"old-bytes", logical_partition=True)
+        hdfs.put("/f", b"new", overwrite=True)
+        assert hdfs.get("/f") == b"new"
+        assert hdfs.get_file("/f").logical_partition is False
+
+    def test_overwrite_frees_old_blocks(self):
+        hdfs = make_hdfs()
+        hdfs.put("/f", PAYLOAD)
+        hdfs.put("/f", b"tiny", overwrite=True)
+        hdfs.delete("/f")
+        assert all(v == 0 for v in hdfs.used_bytes_by_node().values())
+        assert all(
+            not hdfs.datanode(n).block_ids for n in hdfs.nodes
+        )
+
+
+class TestSingleNodeKillProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=0, max_size=1500), min_size=1, max_size=5
+        ),
+        victim=st.integers(min_value=0, max_value=3),
+        logical=st.booleans(),
+    )
+    def test_any_single_datanode_kill_loses_nothing(
+        self, payloads, victim, logical
+    ):
+        """Property: with replication >= 2, killing any one datanode
+        leaves every file readable byte-identically and re-replication
+        restores the target replica count on the survivors."""
+        hdfs = make_hdfs(nodes=4, replication=2, block_size=512)
+        for i, payload in enumerate(payloads):
+            hdfs.put(
+                f"/data/part-{i:03d}", payload, logical_partition=logical
+            )
+        report = hdfs.kill_datanode(f"n{victim}")
+        assert report["lost"] == 0
+        live = set(hdfs.live_nodes())
+        for i, payload in enumerate(payloads):
+            path = f"/data/part-{i:03d}"
+            assert hdfs.get(path) == payload
+            for block in hdfs.blocks_of(path):
+                assert len(block.replicas) == 2
+                assert set(block.replicas) <= live
