@@ -13,7 +13,7 @@ Not figures from the paper, but direct probes of its design decisions:
 
 import random
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.hardware import CLUSTER_A
 from repro.cluster.mrsim import ClusterModel, simulate_round
@@ -90,6 +90,16 @@ def test_ablation_bloom_geometry(benchmark):
     lines.append(f"{'reg baseline':>12s}{'':>8s}{reg_ratio:>15.3f}")
     lines.append("paper anchors: opt 1.03x vs reg 1.92x the input records")
     report("ablation_bloom_geometry", "\n".join(lines))
+    report_json(
+        "ablation_bloom_geometry",
+        wall_seconds=bench_seconds(benchmark),
+        params={"pairs": 4080},
+        counters={
+            **{f"ratio.bits_{bits}": round(ratio, 4)
+               for bits, (ratio, _) in sorted(results.items())},
+            "ratio.reg_baseline": round(reg_ratio, 4),
+        },
+    )
 
     ratios = [ratio for _, (ratio, _) in sorted(results.items())]
     # Bigger blooms => fewer false positives => less shuffling.
@@ -121,6 +131,17 @@ def test_ablation_slowstart(benchmark, cost_model, workload):
     for slowstart, wall, slots in rows:
         lines.append(f"{slowstart:>10.2f}{wall:>10.0f}{slots / 3600:>20.1f}")
     report("ablation_slowstart", "\n".join(lines))
+    report_json(
+        "ablation_slowstart",
+        wall_seconds=bench_seconds(benchmark),
+        params={"partitions": 450},
+        counters={
+            f"{field}.slowstart_{slowstart:.2f}": round(value, 3)
+            for slowstart, wall, slots in rows
+            for field, value in (("wall_seconds", wall),
+                                 ("slot_seconds", slots))
+        },
+    )
     slot_times = [slots for _, _, slots in rows]
     # Later slowstart monotonically reduces wasted reducer slot time.
     assert slot_times == sorted(slot_times, reverse=True)
@@ -156,6 +177,13 @@ def test_ablation_bam_chunk_size(benchmark):
         lines.append(f"{chunk_bytes:>12d}{ratio:>16.3f}")
     lines.append("larger chunks compress better but coarsen seek granularity")
     report("ablation_bam_chunk_size", "\n".join(lines))
+    report_json(
+        "ablation_bam_chunk_size",
+        wall_seconds=bench_seconds(benchmark),
+        params={"records": 1500},
+        counters={f"compressed_ratio.chunk_{chunk}": round(ratio, 4)
+                  for chunk, ratio in rows},
+    )
     ratios = [ratio for _, ratio in rows]
     assert ratios == sorted(ratios, reverse=True)
     assert ratios[-1] < 0.6  # real compression achieved
@@ -185,6 +213,13 @@ def test_ablation_overlap_replication(benchmark):
         lines.append(f"{overlap:>13d}{factor:>20.3f}")
     lines.append("the cost of the safe overlapping HC partitioning (S3.2)")
     report("ablation_overlap_replication", "\n".join(lines))
+    report_json(
+        "ablation_overlap_replication",
+        wall_seconds=bench_seconds(benchmark),
+        params={"records": 3000, "range_bp": 5000},
+        counters={f"replication.overlap_{overlap}": round(factor, 4)
+                  for overlap, factor in rows},
+    )
     factors = [factor for _, factor in rows]
     assert factors == sorted(factors)
     assert factors[0] < 1.05   # near-zero replication without overlap

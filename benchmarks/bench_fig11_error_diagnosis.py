@@ -13,7 +13,7 @@ standard downstream filters (MAPQ > 30, drop blacklisted regions)
 shrinks the discordance dramatically.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.diagnostics.insert_size import edge_enrichment, insert_size_histogram
 from repro.diagnostics.regions import (
@@ -114,6 +114,17 @@ def test_fig11_error_diagnosis(benchmark, accuracy_study):
         f"(paper: 0.025% of pairs)"
     )
     report("fig11_error_diagnosis", "\n".join(lines))
+    report_json(
+        "fig11_error_diagnosis",
+        wall_seconds=bench_seconds(benchmark),
+        params={"reads_compared": comparison.total},
+        counters={
+            "d_count": comparison.d_count,
+            "hard_region_enrichment": round(data["enrichment"], 3),
+            "low_mapq_fraction": round(data["low_mapq_fraction"], 4),
+            "filtered_discordance": round(data["filtered"], 6),
+        },
+    )
 
     # (a) Discordance concentrates around hard-to-map regions.
     assert data["enrichment"] > 2.0

@@ -10,7 +10,7 @@
   128 KB vs 64 MB vs ideal.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.hardware import CLUSTER_A
 from repro.cluster.mrsim import ClusterModel, simulate_round
@@ -84,6 +84,17 @@ def test_fig5a_alignment_overheads(benchmark, cost_model, workload):
     for partitions, cycles, misses in points:
         lines.append(f"{partitions:>12d}{cycles:>16.2f}{misses:>18.2f}")
     report("fig5a_align_overheads", "\n".join(lines))
+    report_json(
+        "fig5a_align_overheads",
+        wall_seconds=bench_seconds(benchmark),
+        params={"partition_counts": [p for p, _, _ in points]},
+        counters={
+            f"{field}.parts_{partitions}": round(value, 4)
+            for partitions, cycles_t, misses_g in points
+            for field, value in (("cpu_cycles_T", cycles_t),
+                                 ("cache_misses_G", misses_g))
+        },
+    )
     cycles = [c for _, c, _ in points]
     misses = [m for _, _, m in points]
     assert cycles == sorted(cycles), "cycles must grow with partitions"
@@ -99,6 +110,17 @@ def test_fig5b_markdup_breakdown(benchmark, cost_model, workload):
         for name, seconds in phases.items():
             lines.append(f"  {name:<14s}{seconds:>10.0f} s")
     report("fig5b_markdup_breakdown", "\n".join(lines))
+    report_json(
+        "fig5b_markdup_breakdown",
+        wall_seconds=bench_seconds(benchmark),
+        params={"partition_counts": sorted(breakdowns)},
+        counters={
+            f"{phase.replace(' ', '_').replace('+', '_')}"
+            f".parts_{partitions}": round(seconds, 3)
+            for partitions, phases in breakdowns.items()
+            for phase, seconds in phases.items()
+        },
+    )
     # Paper: the key difference is the map-side merge time.
     assert breakdowns[30]["map merge"] > breakdowns[510]["map merge"]
     assert breakdowns[510]["map merge"] == 0.0  # fits the sort buffer
@@ -110,6 +132,17 @@ def test_fig5c_bwa_thread_speedup(benchmark):
     for n, small, large, ideal in curve:
         lines.append(f"{n:>8d}{small:>17.2f}{large:>16.2f}{ideal:>8.0f}")
     report("fig5c_bwa_threads", "\n".join(lines))
+    report_json(
+        "fig5c_bwa_threads",
+        wall_seconds=bench_seconds(benchmark),
+        params={"threads": [n for n, _, _, _ in curve]},
+        counters={
+            f"{field}.threads_{n}": round(value, 3)
+            for n, small, large, _ in curve
+            for field, value in (("speedup_128KB", small),
+                                 ("speedup_64MB", large))
+        },
+    )
     final = curve[-1]
     assert final[1] < final[2] < final[3], "128KB < 64MB < ideal at 24 threads"
     assert final[1] < 14, "default readahead must flatten well below ideal"

@@ -10,7 +10,7 @@
   11 h 03 m / 7 h 33 m = 1.46 etc.).
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.costs import CostModel
 
@@ -47,6 +47,18 @@ def test_fig6a_transform_fractions(benchmark, cost_model, accuracy_study):
         )
         assert accounting.total_bytes > 0
     report("fig6a_transform_fractions", "\n".join(lines))
+    report_json(
+        "fig6a_transform_fractions",
+        wall_seconds=bench_seconds(benchmark),
+        params={"stages": len(fractions)},
+        counters={
+            **{f"transform_fraction.{stage}": round(fraction, 4)
+               for stage, fraction in sorted(fractions.items())},
+            **{f"transform_bytes.{round_name}": accounting.total_bytes
+               for round_name, accounting in sorted(
+                   rounds.transform.items())},
+        },
+    )
 
 
 def test_fig6b_hadoop_vs_single_ratio(benchmark, cost_model):
@@ -55,6 +67,13 @@ def test_fig6b_hadoop_vs_single_ratio(benchmark, cost_model):
     for program, ratio in ratios.items():
         lines.append(f"  {program:<14s}{ratio:>6.2f}")
     report("fig6b_hadoop_vs_single", "\n".join(lines))
+    report_json(
+        "fig6b_hadoop_vs_single",
+        wall_seconds=bench_seconds(benchmark),
+        params={"programs": sorted(ratios)},
+        counters={f"ratio.{program}": round(ratio, 4)
+                  for program, ratio in ratios.items()},
+    )
     # Every wrapped program costs more when called repeatedly (Fig 6b:
     # all ratios > 1), and CleanSam's ratio survives in the paper text.
     assert all(ratio > 1.0 for ratio in ratios.values())

@@ -8,7 +8,7 @@
   ~100 GB/disk stays below saturation even on one disk (c).
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.hardware import CLUSTER_B
 from repro.cluster.monitor import render_disk_report
@@ -55,6 +55,19 @@ def test_fig7_task_progress(benchmark, cost_model, workload):
 
     reduces = result.tasks_of("reduce")
     assert reduces
+    ends = [t.end for t in reduces]
+    report_json(
+        "fig7_task_progress",
+        wall_seconds=bench_seconds(benchmark),
+        params={"mode": "opt", "disks": 1},
+        counters={
+            "round_wall_seconds": round(result.wall_seconds, 3),
+            "reduce_tasks": len(reduces),
+            "reducer_end_spread": round(
+                (max(ends) - min(ends)) / result.wall_seconds, 4
+            ),
+        },
+    )
     # Reducer progress is even: no stragglers (paper: "the progress of
     # reducers is already quite even").
     ends = [t.end for t in reduces]
@@ -108,6 +121,17 @@ def test_fig10_disk_utilization(benchmark, cost_model, workload):
         lines.append(f"[{label}] node 0 disk utilization (sar-style):")
         lines.append(chart)
     report("fig10_disk_utilization", "\n".join(lines))
+    report_json(
+        "fig10_disk_utilization",
+        wall_seconds=bench_seconds(benchmark),
+        params={"scenarios": sorted(traces)},
+        counters={
+            f"{field}.{label}": round(stats[key], 4)
+            for label, stats in traces.items()
+            for field, key in (("busy_fraction", "busy"),
+                               ("mean_utilization", "mean"))
+        },
+    )
 
     # Fig 10a: reg on one disk maxes the disk out for a long stretch.
     assert traces["reg_1disk"]["busy"] > 0.5

@@ -12,7 +12,7 @@ segments restores the degree of parallelism and cuts Round 5's wall
 clock, at the price of replicated boundary reads.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.hardware import CLUSTER_A
 from repro.cluster.mrsim import ClusterModel, MapTaskSpec, RoundSpec, simulate_round
@@ -81,6 +81,19 @@ def test_rounds45_variant_calling(benchmark, cost_model, workload):
         f"({r5.wall_seconds / r5_fine.wall_seconds:.1f}x faster)",
     ]
     report("rounds45_varcall", "\n".join(lines))
+    report_json(
+        "rounds45_varcall",
+        wall_seconds=bench_seconds(benchmark),
+        params={"segments_per_chromosome": 8},
+        counters={
+            "round4_wall_seconds": round(r4.wall_seconds, 3),
+            "round5_wall_seconds": round(r5.wall_seconds, 3),
+            "round5_finegrained_wall_seconds": round(
+                r5_fine.wall_seconds, 3
+            ),
+            "round5_cpu_utilization": round(cpu_util, 4),
+        },
+    )
 
     # Round 5 uses only 23 of 90 slots and wastes most of the cluster.
     assert len(r5.tasks_of("map")) == 23

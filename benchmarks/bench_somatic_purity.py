@@ -7,7 +7,7 @@ reports MutectLite's sensitivity and false positives, demonstrating the
 expected monotone relationship.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.align.index import ReferenceIndex
 from repro.align.pairing import PairedEndAligner
@@ -83,6 +83,16 @@ def test_somatic_purity_sweep(benchmark):
             f"{row['expected_af']:>13.2f}"
         )
     report("somatic_purity_sweep", "\n".join(lines))
+    report_json(
+        "somatic_purity_sweep",
+        wall_seconds=bench_seconds(benchmark),
+        params={"purities": list(PURITIES)},
+        counters={
+            f"{field}.purity_{row['purity']:.1f}": round(row[field], 4)
+            for row in rows
+            for field in ("sensitivity", "false_positives", "mean_af")
+        },
+    )
 
     # Sensitivity does not improve as purity falls.
     sensitivities = [row["sensitivity"] for row in rows]

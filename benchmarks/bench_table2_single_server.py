@@ -6,7 +6,7 @@ This bench regenerates the table from the calibrated stage catalog and
 checks the headline facts that survive in the paper's prose.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.metrics.perf import format_duration
 from repro.pipeline.stages import TABLE2_STAGES, total_pipeline_hours
@@ -34,6 +34,12 @@ def build_table2():
 def test_table2_single_server(benchmark):
     table = benchmark(build_table2)
     report("table2_single_server", table)
+    report_json(
+        "table2_single_server",
+        wall_seconds=bench_seconds(benchmark),
+        params={"stages": len(TABLE2_STAGES)},
+        counters={"total_pipeline_hours": round(total_pipeline_hours(), 3)},
+    )
     total_days = total_pipeline_hours() / 24
     assert 10 <= total_days <= 16
     # Anchors that survive verbatim in the paper text.

@@ -11,7 +11,7 @@ Two workloads on Cluster A:
   overlapping map-side merges on the single disk.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.hardware import CLUSTER_A
 from repro.cluster.mrsim import ClusterModel, simulate_round
@@ -66,6 +66,18 @@ def test_table4_partition_size(benchmark, cost_model, workload):
     lines.append("paper shape: alignment 15 parts < 4800 parts;"
                  " markdup 510 parts < 30 parts")
     report("table4_partition_size", "\n".join(lines))
+    report_json(
+        "table4_partition_size",
+        wall_seconds=bench_seconds(benchmark),
+        params={"align_partitions": sorted(align),
+                "markdup_partitions": sorted(markdup)},
+        counters={
+            **{f"align_wall_seconds.parts_{p}": round(w, 3)
+               for p, w in align.items()},
+            **{f"markdup_wall_seconds.parts_{p}": round(w, 3)
+               for p, w in markdup.items()},
+        },
+    )
 
     # Shape assertions from the paper.
     assert align[15] < align[4800], "large alignment partitions must win"

@@ -8,7 +8,7 @@ reproduces the slowstart experiment: with 15 nodes, raising
 idle reducers from squatting on slots and improves efficiency.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.hardware import CLUSTER_A
 from repro.cluster.mrsim import ClusterModel, simulate_round
@@ -76,6 +76,18 @@ def test_table5_scaleup(benchmark, cost_model, workload):
             f"{slots / 3600:.1f} core-hours"
         )
     report("table5_scaleup", "\n".join(lines))
+    report_json(
+        "table5_scaleup",
+        wall_seconds=bench_seconds(benchmark),
+        params={"node_counts": list(NODE_COUNTS),
+                "tasks_per_node": TASKS_PER_NODE},
+        counters={
+            **{f"wall_seconds.{mode}.nodes_{nodes}": round(wall, 3)
+               for mode, mode_rows in table.items()
+               for nodes, wall, _, _ in mode_rows},
+            "baseline_seconds": round(baseline, 3),
+        },
+    )
 
     for mode in ("opt", "reg"):
         walls = [w for _, w, _, _ in table[mode]]

@@ -10,7 +10,7 @@ Rounds 2 and 3 (shuffling-intensive cleaning and MarkDuplicates) show
 sub-linear speedup and low resource efficiency.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.hardware import CLUSTER_A
 from repro.cluster.mrsim import ClusterModel, simulate_round
@@ -108,6 +108,20 @@ def test_table6_rounds(benchmark, cost_model, workload):
             "",
         ])
     report("table6_rounds", "\n".join(lines))
+    report_json(
+        "table6_rounds",
+        wall_seconds=bench_seconds(benchmark),
+        params={"nodes": 15, "tasks": 90},
+        counters={
+            "round1_wall_seconds": round(r1["wall"], 3),
+            "round1_speedup_vs_24t": round(r1["speedup_vs_24t"], 3),
+            "round1_speedup_vs_1t": round(r1["speedup_vs_1t"], 3),
+            "round2_wall_seconds": round(rows["round2"]["wall"], 3),
+            "round2_efficiency": round(rows["round2"]["efficiency"], 4),
+            "round3_wall_seconds": round(rows["round3"]["wall"], 3),
+            "round3_efficiency": round(rows["round3"]["efficiency"], 4),
+        },
+    )
 
     # The paper's headline claims.
     assert r1["speedup_vs_24t"] > 15, "super-linear speedup expected"

@@ -7,7 +7,7 @@ shuffle+merge / reduce time breakdown — plus the single-node in-house
 MarkDuplicates baseline (14 h 26 m 42 s).
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.cluster.hardware import CLUSTER_B
 from repro.cluster.mrsim import ClusterModel, simulate_round
@@ -85,6 +85,15 @@ def test_table7_production(benchmark, cost_model, workload):
             f"{fd(paper) if paper else '-':>22s}"
         )
     report("table7_production", "\n".join(lines))
+    report_json(
+        "table7_production",
+        wall_seconds=bench_seconds(benchmark),
+        params={"cluster": "B", "configurations": len(walls)},
+        counters={
+            f"wall_seconds.{label.replace(' ', '_')}": round(wall, 3)
+            for label, wall in walls.items()
+        },
+    )
 
     # Shape assertions.
     assert walls["align 4x16x1"] < walls["align 4x4x4"], \

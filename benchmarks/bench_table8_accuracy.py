@@ -16,7 +16,7 @@ assertions mirror its findings:
 * the final variant impact is a small fraction of concordant calls.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 
 def collect(study):
@@ -53,6 +53,21 @@ def test_table8_accuracy(benchmark, accuracy_study):
         f"(flag differences: {diagnosis.duplicates.flag_differences})"
     )
     report("table8_accuracy", "\n".join(lines))
+    report_json(
+        "table8_accuracy",
+        wall_seconds=bench_seconds(benchmark),
+        params={"reads_compared": total_reads},
+        counters={
+            **{
+                f"d_count.{row.stage.replace(' ', '_')}": row.d_count
+                for row in diagnosis.rows
+            },
+            "variant_d_count": diagnosis.variants.d_count,
+            "variant_concordant": len(diagnosis.variants.concordant),
+            "duplicate_count_difference":
+                diagnosis.duplicates.count_difference,
+        },
+    )
 
     bwa = diagnosis.row("Bwa")
     markdup = diagnosis.row("Mark Duplicates")

@@ -9,7 +9,7 @@ against the gold-standard truth set — data partitioning does not
 increase error rates or reduce correct calls.
 """
 
-from benchlib import report
+from benchlib import bench_seconds, report, report_json
 
 from repro.metrics.accuracy import precision_sensitivity
 from repro.metrics.quality import summarize_variants
@@ -51,6 +51,21 @@ def test_table9_10_quality(benchmark, accuracy_study):
     lines.append(f"  serial pipeline: precision {sp:.4f}, sensitivity {ss:.4f}")
     lines.append(f"  hybrid pipeline: precision {hp:.4f}, sensitivity {hs:.4f}")
     report("table9_10_quality", "\n".join(lines))
+    report_json(
+        "table9_10_quality",
+        wall_seconds=bench_seconds(benchmark),
+        params={"variant_sets": len(data["rows"])},
+        counters={
+            **{
+                f"count.{row.label.replace(' ', '_')}": row.count
+                for row in data["rows"]
+            },
+            "serial_precision": round(sp, 4),
+            "serial_sensitivity": round(ss, 4),
+            "hybrid_precision": round(hp, 4),
+            "hybrid_sensitivity": round(hs, 4),
+        },
+    )
 
     intersection = data["rows"][0]
     uniques = [row for row in data["rows"][1:] if row.count > 0]

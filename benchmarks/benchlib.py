@@ -20,6 +20,19 @@ def report(name: str, text: str) -> None:
     print(f"\n--- {name} ---\n{text}")
 
 
+def bench_seconds(benchmark) -> float:
+    """Mean wall seconds measured by a pytest-benchmark fixture.
+
+    Valid only after the fixture has run its callable; returns 0.0 for
+    fixtures that never timed anything (keeps report_json callable from
+    tests that were skipped into a plain function call).
+    """
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return 0.0
+
+
 def report_json(
     name: str,
     wall_seconds: float,

@@ -9,6 +9,7 @@ imports the pipelines, which import the policy).
 
 from repro.chaos.plan import (
     CorruptReplica,
+    CorruptSegment,
     DecommissionDatanode,
     DelayTask,
     FaultPlan,
@@ -18,6 +19,7 @@ from repro.chaos.plan import (
 
 __all__ = [
     "CorruptReplica",
+    "CorruptSegment",
     "DecommissionDatanode",
     "DelayTask",
     "FaultPlan",

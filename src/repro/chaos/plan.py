@@ -75,6 +75,24 @@ class CorruptReplica:
 
 
 @dataclass(frozen=True)
+class CorruptSegment:
+    """Rot one replica of one shuffle segment between the waves.
+
+    Fires in the driver after the named job's map wave has stored its
+    segments and before any reducer fetches them.  The reducer's fetch
+    detects the damage by the segment's end-to-end CRC32 and refetches
+    from another replica — the shuffle-layer analogue of
+    :class:`CorruptReplica`.
+    """
+
+    job: str
+    map_index: int = 0
+    reducer: int = 0
+    replica_index: int = 0
+    kind = "corrupt_segment"
+
+
+@dataclass(frozen=True)
 class DelayTask:
     """Charge ``seconds`` of extra runtime to one task attempt.
 
@@ -101,6 +119,8 @@ class RaiseInTask:
 
 #: Events applied by the driver against HDFS at a round boundary.
 STORAGE_EVENT_TYPES = (KillDatanode, DecommissionDatanode, CorruptReplica)
+#: Events applied by the engine between a job's map and reduce waves.
+SEGMENT_EVENT_TYPES = (CorruptSegment,)
 #: Events applied inside the engine's task-attempt loop.
 TASK_EVENT_TYPES = (DelayTask, RaiseInTask)
 
@@ -127,8 +147,9 @@ class FaultPlan:
     events: Tuple[Any, ...] = ()
 
     def __post_init__(self):
+        known = STORAGE_EVENT_TYPES + SEGMENT_EVENT_TYPES + TASK_EVENT_TYPES
         for event in self.events:
-            if not isinstance(event, STORAGE_EVENT_TYPES + TASK_EVENT_TYPES):
+            if not isinstance(event, known):
                 raise MapReduceError(
                     f"unknown fault event type {type(event).__name__!r}"
                 )
@@ -143,6 +164,15 @@ class FaultPlan:
             for event in self.events
             if isinstance(event, STORAGE_EVENT_TYPES)
             and event.at_round == round_key
+        ]
+
+    # -- shuffle side -------------------------------------------------------
+    def segment_events(self, job_name: str) -> List["CorruptSegment"]:
+        """Segment corruptions scheduled between one job's waves."""
+        return [
+            event
+            for event in self.events
+            if isinstance(event, CorruptSegment) and event.job == job_name
         ]
 
     # -- task side ----------------------------------------------------------
@@ -218,6 +248,7 @@ def parse_event(spec: str, kind: str) -> Any:
         --kill NODE@ROUND
         --decommission NODE@ROUND
         --corrupt PATH@ROUND[:BLOCK[:REPLICA]]
+        --corrupt-segment JOB[:MAP[:REDUCER[:REPLICA]]]
         --delay TASK:SECONDS[@ATTEMPT]
         --fail TASK[@ATTEMPT]
     """
@@ -236,6 +267,16 @@ def parse_event(spec: str, kind: str) -> Any:
             replica = int(parts[2]) if len(parts) > 2 else 0
             return CorruptReplica(
                 path, at_round=at_round, block_index=block,
+                replica_index=replica,
+            )
+        if kind == "corrupt-segment":
+            parts = spec.split(":")
+            job = parts[0]
+            map_index = int(parts[1]) if len(parts) > 1 else 0
+            reducer = int(parts[2]) if len(parts) > 2 else 0
+            replica = int(parts[3]) if len(parts) > 3 else 0
+            return CorruptSegment(
+                job, map_index=map_index, reducer=reducer,
                 replica_index=replica,
             )
         if kind == "delay":

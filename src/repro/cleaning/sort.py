@@ -9,13 +9,13 @@ multipass-merge analysis (Appendix B.1) models.
 
 from __future__ import annotations
 
-import heapq
 import os
 import tempfile
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import PipelineError
 from repro.formats.sam import SamHeader, SamRecord
+from repro.shuffle.merge import merge_sorted_runs
 
 SortKey = Callable[[SamRecord], Tuple]
 
@@ -117,18 +117,12 @@ class ExternalMergeSorter:
         return path
 
     def _merge(self, run_paths: List[str]) -> Iterator[SamRecord]:
-        # heapq.merge over per-run generators keeps memory at O(runs);
-        # the (key, run, seq) decoration makes the merge stable.
-        def keyed(run_index: int, path: str):
-            for seq, record in enumerate(self._read_run(path)):
-                yield (self.key(record), run_index, seq), record
-
-        merged = heapq.merge(
-            *[keyed(i, path) for i, path in enumerate(run_paths)],
-            key=lambda item: item[0],
+        # The shuffle service's stable k-way merge, streamed over
+        # per-run file readers: memory stays O(runs), ordering is the
+        # same contract the reduce-side segment merge relies on.
+        return merge_sorted_runs(
+            [self._read_run(path) for path in run_paths], key=self.key
         )
-        for _, record in merged:
-            yield record
 
     @staticmethod
     def _read_run(path: str) -> Iterator[SamRecord]:

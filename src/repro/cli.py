@@ -44,6 +44,8 @@ from repro.mapreduce.policy import EXECUTOR_KINDS, ExecutionPolicy
 from repro.metrics.accuracy import precision_sensitivity
 from repro.pipeline.parallel import GesallPipeline
 from repro.pipeline.serial import SerialPipeline
+from repro.shuffle.codec import CODEC_NAMES
+from repro.shuffle.config import ShuffleConfig
 
 
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
@@ -54,6 +56,10 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="worker slots for thread/process executors")
     parser.add_argument("--task-retries", type=int, default=0,
                         help="retries per failed task (default: 0)")
+    parser.add_argument("--shuffle-codec", choices=CODEC_NAMES,
+                        default="raw",
+                        help="segment compression for the shuffle byte "
+                             "plane (default: raw)")
 
 
 def _policy_from_args(args) -> ExecutionPolicy:
@@ -62,6 +68,10 @@ def _policy_from_args(args) -> ExecutionPolicy:
         max_workers=args.max_workers,
         task_retries=args.task_retries,
     )
+
+
+def _shuffle_from_args(args) -> ShuffleConfig:
+    return ShuffleConfig(codec=args.shuffle_codec)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -129,6 +139,10 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--corrupt", action="append", default=[],
                        metavar="PATH@ROUND[:BLOCK[:REPLICA]]",
                        help="rot one replica of one block when ROUND starts")
+    chaos.add_argument("--corrupt-segment", action="append", default=[],
+                       metavar="JOB[:MAP[:REDUCER[:REPLICA]]]",
+                       help="rot one replica of one shuffle segment "
+                            "between the job's map and reduce waves")
     chaos.add_argument("--delay", action="append", default=[],
                        metavar="TASK:SECONDS[@ATTEMPT]",
                        help="charge extra runtime to one task attempt")
@@ -187,7 +201,7 @@ def _cmd_run(args) -> int:
     else:
         result = GesallPipeline(
             reference, index=index, num_fastq_partitions=args.partitions,
-            policy=_policy_from_args(args),
+            policy=_policy_from_args(args), shuffle=_shuffle_from_args(args),
         ).run(pairs)
     vcf_path = args.vcf or os.path.join(args.data, f"{args.mode}.vcf")
     write_vcf(vcf_path, result.variants)
@@ -224,6 +238,7 @@ def _cmd_trace(args) -> int:
     pipeline = GesallPipeline(
         reference, index=index, num_fastq_partitions=args.partitions,
         policy=_policy_from_args(args), obs=ObsConfig(enabled=True),
+        shuffle=_shuffle_from_args(args),
     )
     result = pipeline.run(pairs)
     recorder = result.recorder
@@ -276,6 +291,24 @@ def _cmd_trace(args) -> int:
         print()
         print(f"hdfs: {hdfs_line}")
 
+    shuffled = counters.get("shuffle.bytes_shuffled", 0)
+    raw = counters.get("shuffle.raw_bytes", 0)
+    if counters.get("shuffle.segments"):
+        ratio = (raw / shuffled) if shuffled else 1.0
+        print()
+        print(f"shuffle ({args.shuffle_codec}): "
+              f"{counters['shuffle.segments']} segments, "
+              f"{_fmt_bytes(shuffled)} shuffled / {_fmt_bytes(raw)} raw "
+              f"({ratio:.2f}x), "
+              f"crc failures {counters.get('shuffle.crc_failures', 0)}, "
+              f"fetch retries {counters.get('shuffle.fetch_retries', 0)}")
+        for key, job_result in rounds.results.items():
+            skew = job_result.skew
+            if skew is not None and skew.partition_records:
+                hot = "  ** skewed" if skew.is_skewed else ""
+                print(f"  {key:<18s}imbalance {skew.imbalance:.2f} over "
+                      f"{len(skew.partition_records)} partition(s){hot}")
+
     trace_path = args.trace_out or os.path.join(args.data, "trace.json")
     write_chrome_trace(recorder, trace_path)
     print()
@@ -326,9 +359,10 @@ def _cmd_chaos(args) -> int:
     nodes = [f"node{i:02d}" for i in range(4)]
 
     events = []
-    for kind in ("kill", "decommission", "corrupt", "delay", "fail"):
+    for kind in ("kill", "decommission", "corrupt", "corrupt_segment",
+                 "delay", "fail"):
         for spec in getattr(args, kind):
-            events.append(parse_event(spec, kind))
+            events.append(parse_event(spec, kind.replace("_", "-")))
     if events:
         plan = FaultPlan(seed=args.seed, events=tuple(events))
     else:
@@ -340,6 +374,7 @@ def _cmd_chaos(args) -> int:
         return GesallPipeline(
             reference, index=index, nodes=nodes,
             num_fastq_partitions=args.partitions, policy=policy, obs=obs,
+            shuffle=_shuffle_from_args(args),
         )
 
     clean = build(ExecutionPolicy.serial()).run(pairs)
@@ -370,9 +405,14 @@ def _cmd_chaos(args) -> int:
     chaos_lines = [v.to_line() for v in chaos_run.variants]
     ok = gate.weighted_d_count == 0 and clean_lines == chaos_lines
 
+    segment_events = [
+        {"round": key, **event}
+        for key, job_result in chaos_run.rounds.results.items()
+        for event in job_result.history.events_of("segment_corrupted")
+    ]
     print()
     print("chaos events applied:")
-    for event in chaos_run.chaos_events:
+    for event in list(chaos_run.chaos_events) + segment_events:
         details = ", ".join(
             f"{k}={v}" for k, v in event.items() if k != "kind"
         )
@@ -392,6 +432,7 @@ def _cmd_chaos(args) -> int:
             "chaos.", "engine.", "hdfs.read.failovers",
             "hdfs.read.corrupt_replicas", "hdfs.rereplicated.",
             "hdfs.blocks.lost", "hdfs.datanodes.", "checkpoint.",
+            "shuffle.crc_failures", "shuffle.fetch_retries",
         ))
     }
     if fault_counters:
@@ -407,7 +448,7 @@ def _cmd_chaos(args) -> int:
         payload = {
             "plan": {"seed": plan.seed, "events": plan.as_dicts()},
             "executor": args.executor,
-            "chaos_events": chaos_run.chaos_events,
+            "chaos_events": list(chaos_run.chaos_events) + segment_events,
             "fault_counters": fault_counters,
             "table8": [
                 {

@@ -59,6 +59,19 @@ class TaskTimeoutError(MapReduceError):
     """
 
 
+class ShuffleError(MapReduceError):
+    """The shuffle service was misconfigured or a segment is malformed."""
+
+
+class ShuffleCorruptionError(ShuffleError):
+    """A shuffle segment failed its end-to-end CRC32 verification.
+
+    Raised after every configured refetch served damaged bytes; a
+    single bad replica is normally absorbed below this layer by the
+    HDFS block-level checksum failover.
+    """
+
+
 class PipelineError(ReproError):
     """A pipeline stage received input violating its preconditions."""
 

@@ -14,7 +14,6 @@ The three scheme families of paper section 3.2:
 
 from __future__ import annotations
 
-import zlib
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import PartitioningError
@@ -22,6 +21,7 @@ from repro.cleaning.duplicates import fragment_key, pair_key
 from repro.formats.sam import SamHeader, SamRecord
 from repro.gdpt.bloom import BloomFilter
 from repro.genome.regions import GenomicInterval, tile_contig
+from repro.shuffle.keys import stable_hash_partition
 
 
 # ---------------------------------------------------------------------------
@@ -37,7 +37,13 @@ class GroupPartitioner:
     """Partition items so that no logical group is split.
 
     ``key_fn`` maps an item to its group key; all items sharing a key
-    land in the same partition (stable hash of the key).
+    land in the same partition (stable hash of the key's canonical byte
+    encoding).  Keys must be canonical
+    (:data:`repro.shuffle.keys.CANONICAL_KEY_TYPES`): hashing ``repr``
+    would silently scatter a group across partitions whenever a key's
+    repr embeds process-dependent state (the default ``object.__repr__``
+    embeds ``id()``), so non-canonical keys raise
+    :class:`PartitioningError` at the first item instead.
     """
 
     def __init__(self, key_fn: Callable[[Any], Any], num_partitions: int):
@@ -47,7 +53,7 @@ class GroupPartitioner:
         self.num_partitions = num_partitions
 
     def partition_of(self, item: Any) -> int:
-        return zlib.crc32(repr(self.key_fn(item)).encode()) % self.num_partitions
+        return stable_hash_partition(self.key_fn(item), self.num_partitions)
 
     def split(self, items: Iterable[Any]) -> List[List[Any]]:
         partitions: List[List[Any]] = [[] for _ in range(self.num_partitions)]

@@ -185,6 +185,34 @@ class Hdfs:
     def _read_file(self, hdfs_file: HdfsFile) -> bytes:
         return b"".join(self.read_block(block) for block in hdfs_file.blocks)
 
+    def read_unverified(self, path: str, replica_choice: int = 0) -> bytes:
+        """Short-circuit read: one replica chain, no checksum check.
+
+        The shuffle fast path.  Each block is served from the alive
+        replica at ``replica_choice`` (mod the alive count) *without*
+        CRC verification, so the bytes may be corrupt — the caller owns
+        end-to-end integrity (shuffle segments carry their own CRC32)
+        and retries with the next ``replica_choice`` to fail over.
+        Only a block with no alive replica at all raises
+        :class:`BlockLostError` here.
+        """
+        self._ctr_get_calls.inc()
+        pieces = []
+        for block in self._file(path).blocks:
+            alive = [
+                n for n in block.replicas if self._datanodes[n].alive
+            ]
+            if not alive:
+                self._ctr_blocks_lost.inc()
+                raise BlockLostError(
+                    f"no alive replica of {block.block_id}"
+                )
+            node = alive[replica_choice % len(alive)]
+            pieces.append(block.replica_bytes(node))
+        data = b"".join(pieces)
+        self._ctr_get_bytes.inc(len(data))
+        return data
+
     # -- topology ----------------------------------------------------------------
     def blocks_of(self, path: str) -> List[HdfsBlock]:
         return list(self._file(path).blocks)

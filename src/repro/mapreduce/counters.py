@@ -12,6 +12,15 @@ MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"
 SPILLED_RECORDS = "SPILLED_RECORDS"
 SHUFFLED_RECORDS = "SHUFFLED_RECORDS"
 SHUFFLED_BYTES = "SHUFFLED_BYTES"
+
+# Shuffle-service counters.  SHUFFLED_BYTES measures the framed,
+# post-compression segment bytes reducers actually fetch;
+# SHUFFLE_RAW_BYTES is the same data before compression, so
+# SHUFFLE_RAW_BYTES / SHUFFLED_BYTES is the codec's measured ratio.
+SHUFFLE_SEGMENTS = "SHUFFLE_SEGMENTS"
+SHUFFLE_RAW_BYTES = "SHUFFLE_RAW_BYTES"
+SHUFFLE_CRC_FAILURES = "SHUFFLE_CRC_FAILURES"
+SHUFFLE_FETCH_RETRIES = "SHUFFLE_FETCH_RETRIES"
 REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
 REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
 REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"

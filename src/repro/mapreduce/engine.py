@@ -20,10 +20,10 @@ byte-identical :class:`JobResult`\\ s.
 from __future__ import annotations
 
 import functools
-import math
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.chaos.plan import CorruptSegment
 from repro.errors import MapReduceError, TaskTimeoutError
 from repro.mapreduce import counters as C
 from repro.mapreduce.counters import Counters
@@ -32,6 +32,12 @@ from repro.mapreduce.history import JobHistory, TaskAttempt
 from repro.mapreduce.job import InputSplit, JobConf, KeyValue, TaskContext
 from repro.mapreduce.policy import ExecutionPolicy, InjectedTaskFault
 from repro.obs.recorder import NULL_RECORDER, Span
+from repro.shuffle.codec import get_codec
+from repro.shuffle.merge import merge_sorted_runs_list
+from repro.shuffle.segment import segment_path
+from repro.shuffle.skew import SkewReport, detect_skew
+from repro.shuffle.spill import SpillBuffer
+from repro.shuffle.store import SegmentStore
 
 
 class JobResult:
@@ -47,6 +53,8 @@ class JobResult:
         self.attachments: Dict[str, List[Any]] = {}
         self.counters = Counters()
         self.history = JobHistory(job_name)
+        #: Shuffle skew report (jobs with reducers only).
+        self.skew: Optional[SkewReport] = None
 
     def all_outputs(self) -> List[KeyValue]:
         """Concatenated outputs (map-task order or reducer order)."""
@@ -75,16 +83,19 @@ class _TaskOutcome:
     """Picklable result of one task (crosses the fork boundary intact)."""
 
     __slots__ = (
-        "emitted", "partitions", "input_records", "output_records",
+        "emitted", "segments", "input_records", "output_records",
         "output_bytes", "spills", "groups", "shuffled_records",
-        "shuffled_bytes", "attempts", "injected_faults", "file_writes",
+        "shuffled_bytes", "shuffle_raw_bytes", "partition_records",
+        "key_counts", "crc_failures", "fetch_retries",
+        "attempts", "injected_faults", "file_writes",
         "attachments", "phases", "spans", "started_at", "finished_at",
         "worker", "node", "timeouts", "injected_delays", "failures",
     )
 
     def __init__(self):
         self.emitted: List[KeyValue] = []
-        self.partitions: Optional[List[List[KeyValue]]] = None
+        #: Map tasks: one framed segment blob per reduce partition.
+        self.segments: Optional[List[bytes]] = None
         self.input_records = 0
         self.output_records = 0
         self.output_bytes = 0
@@ -92,6 +103,16 @@ class _TaskOutcome:
         self.groups = 0
         self.shuffled_records = 0
         self.shuffled_bytes = 0
+        #: Pre-compression bytes of the segments this task fetched.
+        self.shuffle_raw_bytes = 0
+        #: Map tasks: records routed to each reduce partition.
+        self.partition_records: Optional[List[int]] = None
+        #: Map tasks: per-partition heaviest keys for the skew detector.
+        self.key_counts: Optional[List[List[Tuple[Any, int]]]] = None
+        #: Reduce tasks: fetch attempts that failed the segment CRC.
+        self.crc_failures = 0
+        #: Reduce tasks: extra fetch attempts past the first.
+        self.fetch_retries = 0
         self.attempts = 1
         self.injected_faults = 0
         self.file_writes: List[Tuple[str, bytes, bool]] = []
@@ -261,22 +282,20 @@ def _execute_map_task(
         if job.is_map_only:
             outcome.emitted = context.emitted
             return outcome
-        # Sort/spill accounting: each io_sort_records-full buffer is
-        # one spill; >1 spill forces a map-side merge pass.
-        outcome.spills = max(
-            1, math.ceil(len(context.emitted) / job.io_sort_records)
+        # Sort-spill-merge: every io_sort_records-full buffer spills one
+        # sorted run; finish() merges the runs into one framed,
+        # compressed, CRC-checksummed segment per reducer.
+        buffer = SpillBuffer(
+            job.num_reducers, job.partitioner, job.sort_key or _identity,
+            job.io_sort_records, track_keys=job.shuffle.track_keys,
         )
-        partitions: List[List[KeyValue]] = [
-            [] for _ in range(job.num_reducers)
-        ]
         for key, value in context.emitted:
-            partitions[job.partitioner(key, job.num_reducers)].append(
-                (key, value)
-            )
-        sort_key = job.sort_key or _identity
-        for partition in partitions:
-            partition.sort(key=lambda kv: sort_key(kv[0]))
-        outcome.partitions = partitions
+            buffer.add(key, value)
+        spilled = buffer.finish(get_codec(job.shuffle.codec))
+        outcome.spills = spilled.spills
+        outcome.segments = [seg.blob for seg in spilled.segments]
+        outcome.partition_records = spilled.partition_records
+        outcome.key_counts = spilled.key_counts
         if traced:
             outcome.phases["spill"] = (t_combine_end, clock())
         return outcome
@@ -286,7 +305,8 @@ def _execute_map_task(
 
 def _execute_reduce_task(
     job: JobConf,
-    segments: List[List[KeyValue]],
+    store: SegmentStore,
+    paths: List[str],
     candidates: List[str],
     task_id: str,
     policy: ExecutionPolicy,
@@ -294,9 +314,11 @@ def _execute_reduce_task(
 ) -> _TaskOutcome:
     """One complete reduce task: shuffle fetch, merge, group, reduce.
 
-    ``segments`` holds this reducer's partition from every mapper, in
+    ``paths`` names this reducer's segment from every mapper, in
     map-task order (which is why reduce-side value order differs from
-    the serial program's input order).  With ``traced`` on, the
+    the serial program's input order).  Every fetch is CRC-verified
+    end-to-end and refetched from another replica on corruption, up to
+    the job's ``shuffle.fetch_retries``.  With ``traced`` on, the
     shuffle / merge / reduce phase boundaries are measured and shipped
     back in the outcome.
     """
@@ -305,18 +327,24 @@ def _execute_reduce_task(
         clock = time.perf_counter
         t_start = clock() if traced else 0.0
         outcome = _TaskOutcome()
-        fetched: List[KeyValue] = []
-        for segment in segments:
-            fetched.extend(segment)
-            outcome.shuffled_records += len(segment)
-            outcome.shuffled_bytes += sum(
-                job.value_size(v) for _, v in segment
-            )
+        runs: List[List[KeyValue]] = []
+        for path in paths:
+            fetch = store.fetch(path, retries=job.shuffle.fetch_retries)
+            segment = fetch.segment
+            runs.append(segment.records)
+            outcome.shuffled_records += segment.record_count
+            outcome.shuffled_bytes += segment.blob_bytes
+            outcome.shuffle_raw_bytes += segment.raw_bytes
+            outcome.crc_failures += fetch.crc_failures
+            outcome.fetch_retries += fetch.refetches
         t_fetch_end = clock() if traced else 0.0
-        # Merge: stable sort by key preserves map-task arrival order
-        # within a key, like Hadoop's merge of pre-sorted segments.
+        # Merge: a stable k-way merge of the pre-sorted segments keeps
+        # map-task arrival order within a key — byte-identical to a
+        # stable sort over their concatenation, like Hadoop's merge.
         sort_key = job.sort_key or _identity
-        fetched.sort(key=lambda kv: sort_key(kv[0]))
+        fetched = merge_sorted_runs_list(
+            runs, key=lambda kv: sort_key(kv[0])
+        )
         t_merge_end = clock() if traced else 0.0
 
         context = TaskContext(task_id, node, traced=traced)
@@ -474,10 +502,21 @@ class MapReduceEngine:
             f"job:{job.name}", category="job", track="driver",
             splits=len(splits), executor=self.policy.executor,
         ):
-            map_partitions = self._run_maps(job, splits, result, executor)
+            map_outcomes = self._run_maps(job, splits, result, executor)
             if job.is_map_only:
                 return result
-            self._run_reduces(job, map_partitions, result, executor)
+            store = SegmentStore.for_filesystem(self.filesystem)
+            paths = self._store_segments(job, map_outcomes, store, result)
+            self._apply_segment_events(job, store, paths, result)
+            try:
+                self._run_reduces(job, store, paths, result, executor)
+            finally:
+                # Hadoop-style cleanup: intermediate shuffle data does
+                # not outlive the job (and must not leak into the
+                # filesystem state later rounds fingerprint).
+                store.delete_all(
+                    path for per_map in paths for path in per_map
+                )
         return result
 
     # -- map phase --------------------------------------------------------------
@@ -487,11 +526,12 @@ class MapReduceEngine:
         splits: List[InputSplit],
         result: JobResult,
         executor: TaskExecutor,
-    ) -> List[List[List[KeyValue]]]:
+    ) -> List[_TaskOutcome]:
         """Run all map tasks on the executor.
 
-        Returns, per map task, the partitioned (per-reducer) sorted
-        output — i.e. the file each mapper would leave for the shuffle.
+        Returns the map outcomes in task order; for jobs with reducers
+        each carries one encoded shuffle segment per reduce partition —
+        the file each mapper leaves for the shuffle.
         """
         traced = self.recorder.enabled and self.recorder.trace_tasks
         placements: List[Tuple[str, str]] = []
@@ -517,7 +557,6 @@ class MapReduceEngine:
             )
         self._update_fault_accounting(result, outcomes)
 
-        all_partitions: List[List[List[KeyValue]]] = []
         for (task_id, node), outcome in zip(placements, outcomes):
             task = TaskAttempt(task_id, "map", outcome.node or node)
             task.input_records = outcome.input_records
@@ -536,15 +575,87 @@ class MapReduceEngine:
                 result.map_outputs.append(outcome.emitted)
             else:
                 result.counters.inc(C.SPILLED_RECORDS, outcome.output_records)
-                all_partitions.append(outcome.partitions)
             result.history.add(task)
-        return all_partitions
+        if not job.is_map_only:
+            result.skew = detect_skew(
+                [o.partition_records for o in outcomes],
+                [o.key_counts for o in outcomes],
+                skew_factor=job.shuffle.skew_factor,
+                track_keys=job.shuffle.track_keys,
+            )
+        return outcomes
+
+    # -- shuffle segment plane ----------------------------------------------
+    def _store_segments(
+        self,
+        job: JobConf,
+        outcomes: List[_TaskOutcome],
+        store: SegmentStore,
+        result: JobResult,
+    ) -> List[List[str]]:
+        """Persist every map task's segments, in task-index order.
+
+        Returns the segment path matrix indexed ``[map][reducer]``.
+        Writes happen driver-side after the map wave (the task-side
+        blobs crossed the executor boundary inside the outcomes), so
+        placement and replication are deterministic across executors.
+        """
+        metrics = self.recorder.metrics
+        paths: List[List[str]] = []
+        stored_bytes = 0
+        for map_index, outcome in enumerate(outcomes):
+            per_map: List[str] = []
+            for reducer, blob in enumerate(outcome.segments):
+                path = segment_path(job.name, map_index, reducer)
+                store.put(path, blob)
+                stored_bytes += len(blob)
+                per_map.append(path)
+            paths.append(per_map)
+        segments = sum(len(per_map) for per_map in paths)
+        result.counters.inc(C.SHUFFLE_SEGMENTS, segments)
+        metrics.counter("shuffle.segments").inc(segments)
+        metrics.counter("shuffle.segment_bytes_stored").inc(stored_bytes)
+        return paths
+
+    def _apply_segment_events(
+        self,
+        job: JobConf,
+        store: SegmentStore,
+        paths: List[List[str]],
+        result: JobResult,
+    ) -> None:
+        """Fire the chaos plan's segment corruptions for this job.
+
+        Runs between the waves — after the segments exist, before any
+        reducer fetches them — mirroring how the pipeline applies
+        storage events at round boundaries.
+        """
+        plan = self.policy.fault_plan
+        if plan is None:
+            return
+        for event in plan.segment_events(job.name):
+            if not (
+                0 <= event.map_index < len(paths)
+                and 0 <= event.reducer < len(paths[event.map_index])
+            ):
+                raise MapReduceError(
+                    f"chaos plan corrupts segment "
+                    f"({event.map_index}, {event.reducer}) but job "
+                    f"{job.name} has no such segment"
+                )
+            path = paths[event.map_index][event.reducer]
+            victim = store.corrupt(path, event.replica_index)
+            result.history.add_event(
+                "segment_corrupted", path=path, replica=victim,
+            )
+            self.recorder.metrics.counter("chaos.corrupt_segment").inc()
 
     # -- shuffle + reduce phase ---------------------------------------------------
     def _run_reduces(
         self,
         job: JobConf,
-        map_partitions: List[List[List[KeyValue]]],
+        store: SegmentStore,
+        paths: List[List[str]],
         result: JobResult,
         executor: TaskExecutor,
     ) -> None:
@@ -555,15 +666,15 @@ class MapReduceEngine:
             candidates = self._candidate_nodes(None, reducer_index)
             task_id = f"{job.name}-r-{reducer_index:05d}"
             placements.append((task_id, candidates[0]))
-            # Shuffle input: this reducer's partition from every mapper,
-            # in map-task order.
-            segments = [
-                partitions[reducer_index] for partitions in map_partitions
-            ]
+            # Shuffle input: this reducer's segment from every mapper,
+            # in map-task order.  Thunks close over the store; they are
+            # never pickled (the fork executor publishes them via its
+            # task table), so reducers fetch through the real backend.
+            reducer_paths = [per_map[reducer_index] for per_map in paths]
             thunks.append(
                 functools.partial(
-                    _execute_reduce_task, job, segments, candidates, task_id,
-                    self.policy, traced,
+                    _execute_reduce_task, job, store, reducer_paths,
+                    candidates, task_id, self.policy, traced,
                 )
             )
         with self.recorder.span(
@@ -589,6 +700,15 @@ class MapReduceEngine:
             self._ingest_task_trace(task, outcome, submitted)
             result.counters.inc(C.SHUFFLED_RECORDS, outcome.shuffled_records)
             result.counters.inc(C.SHUFFLED_BYTES, outcome.shuffled_bytes)
+            result.counters.inc(C.SHUFFLE_RAW_BYTES, outcome.shuffle_raw_bytes)
+            if outcome.crc_failures:
+                result.counters.inc(
+                    C.SHUFFLE_CRC_FAILURES, outcome.crc_failures
+                )
+            if outcome.fetch_retries:
+                result.counters.inc(
+                    C.SHUFFLE_FETCH_RETRIES, outcome.fetch_retries
+                )
             result.counters.inc(C.REDUCE_INPUT_GROUPS, outcome.groups)
             result.counters.inc(C.REDUCE_INPUT_RECORDS, outcome.input_records)
             result.counters.inc(
@@ -598,6 +718,19 @@ class MapReduceEngine:
             self._absorb_effects(result, outcome, task_id)
             result.reduce_outputs[reducer_index] = outcome.emitted
             result.history.add(task)
+        metrics = self.recorder.metrics
+        metrics.counter("shuffle.bytes_shuffled").inc(
+            result.counters.get(C.SHUFFLED_BYTES)
+        )
+        metrics.counter("shuffle.raw_bytes").inc(
+            result.counters.get(C.SHUFFLE_RAW_BYTES)
+        )
+        crc_failures = result.counters.get(C.SHUFFLE_CRC_FAILURES)
+        if crc_failures:
+            metrics.counter("shuffle.crc_failures").inc(crc_failures)
+        fetch_retries = result.counters.get(C.SHUFFLE_FETCH_RETRIES)
+        if fetch_retries:
+            metrics.counter("shuffle.fetch_retries").inc(fetch_retries)
 
     # -- trace stitching --------------------------------------------------------
     def _ingest_task_trace(

@@ -8,11 +8,12 @@ logical block placement policy intends.
 from __future__ import annotations
 
 import time
-import zlib
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import MapReduceError
 from repro.obs.recorder import NULL_SPAN, Span
+from repro.shuffle.config import DEFAULT_SHUFFLE, ShuffleConfig
+from repro.shuffle.keys import stable_hash_partition
 
 KeyValue = Tuple[Any, Any]
 
@@ -81,8 +82,15 @@ class InputSplit:
 
 
 def default_partitioner(key: Any, num_reducers: int) -> int:
-    """Stable hash partitioning (crc32 of the key's repr)."""
-    return zlib.crc32(repr(key).encode()) % num_reducers
+    """Stable hash partitioning (crc32 of the key's canonical bytes).
+
+    Keys must be canonical (None/bool/int/float/str/bytes or tuples of
+    those); anything else raises
+    :class:`~repro.errors.PartitioningError` rather than hash a
+    ``repr`` that may embed process-dependent state and scatter a key
+    group across reducers.
+    """
+    return stable_hash_partition(key, num_reducers)
 
 
 class TaskContext:
@@ -187,6 +195,10 @@ class JobConf:
         records a split holds, so ``MAP_INPUT_RECORDS`` counts records
         rather than splits.  Mappers reading opaque paths can instead
         call ``context.set_input_records``.
+    shuffle:
+        :class:`~repro.shuffle.config.ShuffleConfig` for the job's
+        shuffle byte plane (codec, fetch retries, skew thresholds).
+        Defaults to the shared uncompressed config.
     """
 
     def __init__(
@@ -202,6 +214,7 @@ class JobConf:
         value_size: Optional[Callable[[Any], int]] = None,
         sort_key: Optional[Callable[[Any], Any]] = None,
         record_counter: Optional[Callable[[Any], int]] = None,
+        shuffle: Optional[ShuffleConfig] = None,
     ):
         if num_reducers < 1:
             raise MapReduceError("num_reducers must be >= 1")
@@ -220,6 +233,7 @@ class JobConf:
         self.value_size = value_size or _default_value_size
         self.sort_key = sort_key
         self.record_counter = record_counter
+        self.shuffle = shuffle or DEFAULT_SHUFFLE
 
     @property
     def is_map_only(self) -> bool:
@@ -249,6 +263,11 @@ class JobConf:
         if self.record_counter is not None and not callable(self.record_counter):
             raise MapReduceError(
                 f"job {self.name}: record_counter is not callable"
+            )
+        if not isinstance(self.shuffle, ShuffleConfig):
+            raise MapReduceError(
+                f"job {self.name}: shuffle must be a ShuffleConfig, "
+                f"got {type(self.shuffle).__name__}"
             )
 
     def __repr__(self) -> str:

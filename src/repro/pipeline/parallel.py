@@ -36,6 +36,7 @@ from repro.mapreduce.policy import ExecutionPolicy
 from repro.obs.recorder import NULL_RECORDER, ObsConfig
 from repro.pipeline.checkpoint import CheckpointStore
 from repro.recal.recalibrator import RecalibrationTable
+from repro.shuffle.config import ShuffleConfig
 from repro.variants.haplotype import HaplotypeCallerConfig
 from repro.wrappers.rounds import GesallRounds
 
@@ -91,6 +92,7 @@ class GesallPipeline:
         obs: Optional[ObsConfig] = None,
         checkpoint: Optional[CheckpointStore] = None,
         checkpoint_dir: Optional[str] = None,
+        shuffle: Optional[ShuffleConfig] = None,
     ):
         if num_fastq_partitions < 1:
             raise PipelineError("need at least one FASTQ partition")
@@ -114,6 +116,8 @@ class GesallPipeline:
         self.policy = policy or ExecutionPolicy.serial()
         #: Observability switches; off by default (null recorder).
         self.obs = obs or ObsConfig()
+        #: Shuffle byte-plane config (codec etc.); None -> raw default.
+        self.shuffle = shuffle
         #: Round checkpoint storage (or a local directory to hold one).
         self.checkpoint = checkpoint
         self.checkpoint_dir = checkpoint_dir
@@ -131,7 +135,8 @@ class GesallPipeline:
         )
         aligner = PairedEndAligner(self.index, self.aligner_config)
         rounds = GesallRounds(
-            hdfs, engine, aligner, self.reference, self.chunk_bytes
+            hdfs, engine, aligner, self.reference, self.chunk_bytes,
+            shuffle=self.shuffle,
         )
         result.rounds = rounds
         result.hdfs = hdfs
@@ -317,6 +322,9 @@ class GesallPipeline:
         different pipeline shape must not be restored.  The executor
         choice is deliberately excluded — outputs are byte-identical
         across executors, so resuming under a different one is safe.
+        The shuffle codec is excluded for the same reason: compression
+        changes only the intermediate segment bytes, never the round
+        outputs a checkpoint captures.
         """
         digest = zlib.crc32(b"gesall-checkpoint-v1")
         for end1, end2 in pairs:

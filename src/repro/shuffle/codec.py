@@ -1,0 +1,87 @@
+"""Pluggable shuffle compression codecs.
+
+The paper's cleaning rounds are shuffle-bound (Figs 6-7, Table 6), and
+the standard lever Hadoop deployments pull first is map-output
+compression (``mapreduce.map.output.compress``).  Three codecs cover
+the tradeoff space we can explore without external libraries:
+
+``raw``
+    No compression — the baseline the Fig 6 shuffle fractions measure.
+``zlib-1``
+    Fastest DEFLATE setting; the cheap-CPU/els-bytes point most
+    clusters run (the Snappy/LZ4 analogue available in the stdlib).
+``zlib-6``
+    zlib's default ratio-oriented setting; more CPU per byte saved.
+
+Codecs are stateless and deterministic: the same payload compresses to
+the same bytes in every process, which the engine's cross-executor
+byte-identity contract relies on.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import ShuffleError
+
+
+class Codec:
+    """One named, stateless compression scheme."""
+
+    __slots__ = ("name", "level")
+
+    def __init__(self, name: str, level: int):
+        self.name = name
+        #: zlib level; ``0`` means the raw pass-through codec.
+        self.level = level
+
+    def compress(self, payload: bytes) -> bytes:
+        if self.level == 0:
+            return payload
+        return zlib.compress(payload, self.level)
+
+    def decompress(self, payload: bytes) -> bytes:
+        if self.level == 0:
+            return payload
+        try:
+            return zlib.decompress(payload)
+        except zlib.error as exc:
+            raise ShuffleError(
+                f"codec {self.name}: undecodable payload ({exc})"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"Codec({self.name})"
+
+
+_CODECS = {
+    "raw": Codec("raw", 0),
+    "zlib-1": Codec("zlib-1", 1),
+    "zlib-6": Codec("zlib-6", 6),
+}
+
+#: Accepted ``ShuffleConfig.codec`` / ``--shuffle-codec`` values.
+CODEC_NAMES = tuple(sorted(_CODECS))
+
+#: Stable one-byte wire id per codec, written into segment frames.
+CODEC_IDS = {name: index for index, name in enumerate(CODEC_NAMES)}
+_CODEC_BY_ID = {index: name for name, index in CODEC_IDS.items()}
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by name; unknown names raise ShuffleError."""
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ShuffleError(
+            f"unknown shuffle codec {name!r}; "
+            f"choose one of {', '.join(CODEC_NAMES)}"
+        ) from None
+
+
+def codec_for_id(codec_id: int) -> Codec:
+    """Codec for a frame's wire id (decode side)."""
+    try:
+        return _CODECS[_CODEC_BY_ID[codec_id]]
+    except KeyError:
+        raise ShuffleError(f"unknown codec id {codec_id}") from None

@@ -1,0 +1,49 @@
+"""Stable k-way merge of pre-sorted runs.
+
+This is the single merge primitive both halves of the external sort
+machinery share: the map-side spill merge and reduce-side segment merge
+in :mod:`repro.shuffle`, and the on-disk run merge in
+:class:`repro.cleaning.sort.ExternalMergeSorter`.  Keeping one
+implementation keeps one ordering contract — runs are merged by sort
+key with ties broken by ``(run_index, position_in_run)``, i.e. the
+merge is *stable* with respect to run order and within-run order.
+
+That tie-break is load-bearing: the MapReduce engine's determinism
+contract says a reducer sees equal-keyed values in map-task order, and
+the engine feeds runs to this function in exactly that order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def merge_sorted_runs(
+    runs: Sequence[Iterable[T]],
+    key: Callable[[T], Any],
+) -> Iterator[T]:
+    """Merge runs already sorted by ``key`` into one sorted stream.
+
+    Equal keys preserve run order, and within a run, input order —
+    identical to a stable sort over the concatenation of the runs,
+    without materializing it.
+    """
+
+    def decorated(run: Iterable[T], run_index: int):
+        for seq, item in enumerate(run):
+            yield (key(item), run_index, seq), item
+
+    streams = [decorated(run, index) for index, run in enumerate(runs)]
+    for _, item in heapq.merge(*streams, key=lambda pair: pair[0]):
+        yield item
+
+
+def merge_sorted_runs_list(
+    runs: Sequence[Sequence[T]],
+    key: Callable[[T], Any],
+) -> List[T]:
+    """Eager form of :func:`merge_sorted_runs`."""
+    return list(merge_sorted_runs(runs, key))

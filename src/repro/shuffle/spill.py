@@ -1,0 +1,135 @@
+"""Map-side sort-spill-merge buffer.
+
+One :class:`SpillBuffer` lives inside each map task.  Emitted records
+are partitioned as they arrive; when the buffer holds
+``spill_records`` of them (``mapreduce.task.io.sort.mb`` in record
+units) the buffer *spills*: each partition's slice is stably sorted by
+the job's sort key and frozen as one run.  ``finish`` spills the
+remainder and k-way merges every run's slice of each partition into
+one sorted, framed, compressed segment per reducer.
+
+Ordering contract: runs are spilled in emit order and
+:func:`~repro.shuffle.merge.merge_sorted_runs` breaks key ties by
+``(run, position)``, so the merged segment is byte-for-byte what a
+single stable sort over the task's full output would produce — which
+is why the rewrite from in-memory sort to real spills changed no
+job output anywhere.
+
+The buffer also feeds the skew detector for free: it counts records
+per partition and (optionally) tracks each partition's heaviest keys,
+shipping both back in the task outcome.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ShuffleError
+from repro.shuffle.codec import Codec
+from repro.shuffle.merge import merge_sorted_runs_list
+from repro.shuffle.segment import EncodedSegment, KeyValue, encode_segment
+
+
+class SpillResult:
+    """Everything a finished map-side shuffle hands the task outcome."""
+
+    __slots__ = ("segments", "spills", "partition_records", "key_counts")
+
+    def __init__(self, segments, spills, partition_records, key_counts):
+        #: One encoded segment per reduce partition, in partition order.
+        self.segments: List[EncodedSegment] = segments
+        #: Number of sorted runs written (>=1, even for empty output).
+        self.spills: int = spills
+        #: Records this task routed to each partition.
+        self.partition_records: List[int] = partition_records
+        #: Per partition: the task's heaviest keys as (key, count),
+        #: heaviest first; empty when key tracking is off.
+        self.key_counts: List[List[Tuple[Any, int]]] = key_counts
+
+
+class SpillBuffer:
+    """Bounded sort buffer producing per-reducer merged segments."""
+
+    def __init__(
+        self,
+        num_partitions: int,
+        partitioner: Callable[[Any, int], int],
+        sort_key: Callable[[Any], Any],
+        spill_records: int,
+        track_keys: int = 0,
+    ):
+        if spill_records < 1:
+            raise ShuffleError("spill_records must be >= 1")
+        self._num_partitions = num_partitions
+        self._partitioner = partitioner
+        self._sort_key = sort_key
+        self._spill_records = spill_records
+        self._track_keys = track_keys
+        #: Current in-memory buffer: (partition, key, value) in emit order.
+        self._buffer: List[Tuple[int, Any, Any]] = []
+        #: Frozen runs: each is a per-partition list of sorted records.
+        self._runs: List[List[List[KeyValue]]] = []
+        self.partition_records = [0] * num_partitions
+        self._key_tallies: Optional[List[Counter]] = (
+            [Counter() for _ in range(num_partitions)] if track_keys else None
+        )
+
+    def add(self, key: Any, value: Any) -> None:
+        partition = self._partitioner(key, self._num_partitions)
+        if not 0 <= partition < self._num_partitions:
+            raise ShuffleError(
+                f"partitioner placed key {key!r} in partition {partition}, "
+                f"outside [0, {self._num_partitions})"
+            )
+        self._buffer.append((partition, key, value))
+        self.partition_records[partition] += 1
+        if self._key_tallies is not None:
+            try:
+                self._key_tallies[partition][key] += 1
+            except TypeError:
+                pass  # unhashable key: placement works, tracking doesn't
+        if len(self._buffer) >= self._spill_records:
+            self._spill()
+
+    def _spill(self) -> None:
+        """Freeze the buffer as one run of per-partition sorted slices."""
+        run: List[List[KeyValue]] = [[] for _ in range(self._num_partitions)]
+        for partition, key, value in self._buffer:
+            run[partition].append((key, value))
+        sort_key = self._sort_key
+        for slice_ in run:
+            slice_.sort(key=lambda kv: sort_key(kv[0]))  # stable
+        self._runs.append(run)
+        self._buffer = []
+
+    def finish(self, codec: Codec) -> SpillResult:
+        """Spill the tail, merge runs, and encode one segment/reducer."""
+        if self._buffer:
+            self._spill()
+        # Even an empty map output counts as one (empty) spill file,
+        # matching Hadoop's SPILLED file accounting.
+        spills = max(1, len(self._runs))
+        sort_key = self._sort_key
+        segments = []
+        for partition in range(self._num_partitions):
+            merged = merge_sorted_runs_list(
+                [run[partition] for run in self._runs],
+                key=lambda kv: sort_key(kv[0]),
+            )
+            segments.append(encode_segment(merged, codec))
+        key_counts: List[List[Tuple[Any, int]]] = []
+        for partition in range(self._num_partitions):
+            if self._key_tallies is None:
+                key_counts.append([])
+                continue
+            tally = self._key_tallies[partition]
+            # Deterministic heaviest-first order: count desc, then the
+            # key's repr (value-determined for canonical key types).
+            ranked = sorted(
+                tally.items(), key=lambda kc: (-kc[1], repr(kc[0]))
+            )
+            key_counts.append(ranked[: self._track_keys])
+        return SpillResult(
+            segments, spills, list(self.partition_records), key_counts
+        )

@@ -1,0 +1,163 @@
+"""Where segments live between the map and reduce waves.
+
+Real Hadoop serves map output over an HTTP fast path with *no*
+filesystem checksum in the loop — the reducer's IFile checksum is the
+only integrity check, and a failed check triggers a refetch.  The
+:class:`SegmentStore` models exactly that: writes replicate the blob,
+reads deliberately take an unverified fast path to one replica, and
+the segment's own end-to-end CRC32 (checked by :meth:`fetch`) is what
+catches rot, failing over to the next replica on a refetch.
+
+Two backends share the contract:
+
+* :class:`HdfsSegmentBackend` keeps segments on the simulated HDFS
+  (``Hdfs.read_unverified`` is the short-circuit read), so segment
+  corruption composes with the PR-3 chaos machinery — datanode kills,
+  replica rot and re-replication all apply to shuffle data too.
+* :class:`LocalSegmentBackend` is a dict of replicated byte copies for
+  engines with no filesystem attached (unit-test word counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ShuffleCorruptionError, ShuffleError
+from repro.shuffle.segment import DecodedSegment, decode_segment
+
+
+class FetchResult:
+    """One verified segment plus the work it took to get it."""
+
+    __slots__ = ("segment", "crc_failures", "refetches")
+
+    def __init__(self, segment: DecodedSegment, crc_failures: int,
+                 refetches: int):
+        self.segment = segment
+        #: Fetch attempts that served bytes failing the segment CRC.
+        self.crc_failures = crc_failures
+        #: Extra fetch attempts beyond the first.
+        self.refetches = refetches
+
+
+class LocalSegmentBackend:
+    """Replicated in-memory copies, for engines without a filesystem."""
+
+    def __init__(self, replicas: int = 3):
+        if replicas < 1:
+            raise ShuffleError("a segment needs at least one replica")
+        self.replicas = replicas
+        self._copies: Dict[str, List[bytes]] = {}
+
+    def put(self, path: str, blob: bytes) -> None:
+        if path in self._copies:
+            raise ShuffleError(f"segment exists: {path}")
+        self._copies[path] = [blob] * self.replicas
+
+    def read(self, path: str, replica_choice: int) -> bytes:
+        copies = self._segment(path)
+        return copies[replica_choice % len(copies)]
+
+    def corrupt(self, path: str, replica_index: int = 0) -> str:
+        """Flip a byte in one copy; returns a descriptor of the victim."""
+        copies = self._segment(path)
+        index = replica_index % len(copies)
+        blob = copies[index]
+        copies[index] = (
+            bytes([blob[0] ^ 0xFF]) + blob[1:] if blob else b"\xff"
+        )
+        return f"copy-{index}"
+
+    def delete(self, path: str) -> None:
+        self._copies.pop(path, None)
+
+    def paths(self) -> List[str]:
+        return sorted(self._copies)
+
+    def _segment(self, path: str) -> List[bytes]:
+        try:
+            return self._copies[path]
+        except KeyError:
+            raise ShuffleError(f"no such segment: {path}") from None
+
+
+class HdfsSegmentBackend:
+    """Segments as (small) replicated files on the simulated HDFS."""
+
+    def __init__(self, fs):
+        self._fs = fs
+
+    def put(self, path: str, blob: bytes) -> None:
+        self._fs.put(path, blob)
+
+    def read(self, path: str, replica_choice: int) -> bytes:
+        return self._fs.read_unverified(path, replica_choice)
+
+    def corrupt(self, path: str, replica_index: int = 0) -> str:
+        # Segments are single-block in practice; rotting block 0 of the
+        # chosen replica chain is enough to fail the segment CRC.
+        return self._fs.corrupt_replica(
+            path, block_index=0, replica_index=replica_index
+        )
+
+    def delete(self, path: str) -> None:
+        if self._fs.exists(path):
+            self._fs.delete(path)
+
+    def paths(self) -> List[str]:
+        return self._fs.list_dir("/shuffle")
+
+
+class SegmentStore:
+    """Stores map output segments; serves CRC-verified reducer fetches."""
+
+    def __init__(self, backend=None):
+        self.backend = backend if backend is not None else LocalSegmentBackend()
+
+    @classmethod
+    def for_filesystem(cls, fs) -> "SegmentStore":
+        """HDFS-backed when the engine has a filesystem, local otherwise."""
+        if fs is not None and hasattr(fs, "read_unverified"):
+            return cls(HdfsSegmentBackend(fs))
+        return cls()
+
+    def put(self, path: str, blob: bytes) -> None:
+        self.backend.put(path, blob)
+
+    def fetch(self, path: str, retries: int = 0) -> FetchResult:
+        """Fetch one segment, refetching past corrupt replicas.
+
+        Attempt *k* reads replica chain ``k``, so a refetch after a CRC
+        failure naturally fails over to a different copy.  Any decode
+        failure counts as corruption here — the mapper wrote a valid
+        frame, so even a mangled magic means the stored bytes rotted.
+        When every allowed attempt serves damaged bytes the fetch
+        raises :class:`ShuffleCorruptionError` — the map output is gone.
+        """
+        crc_failures = 0
+        attempt = 0
+        while True:
+            blob = self.backend.read(path, attempt)
+            try:
+                segment = decode_segment(blob)
+            except ShuffleError:
+                crc_failures += 1
+                if attempt >= retries:
+                    raise ShuffleCorruptionError(
+                        f"segment {path} failed verification on "
+                        f"{crc_failures} fetch attempt(s); no clean "
+                        "replica within the configured fetch_retries"
+                    ) from None
+                attempt += 1
+                continue
+            return FetchResult(segment, crc_failures, attempt)
+
+    def corrupt(self, path: str, replica_index: int = 0) -> str:
+        return self.backend.corrupt(path, replica_index)
+
+    def delete(self, path: str) -> None:
+        self.backend.delete(path)
+
+    def delete_all(self, paths) -> None:
+        for path in paths:
+            self.backend.delete(path)

@@ -44,6 +44,7 @@ from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.job import InputSplit, JobConf
 from repro.mapreduce.policy import ExecutionPolicy
 from repro.mapreduce.streaming import StreamingPipeline
+from repro.shuffle.config import ShuffleConfig
 from repro.recal.apply import PrintReads
 from repro.recal.recalibrator import BaseRecalibrator, RecalibrationTable
 from repro.variants.haplotype import HaplotypeCallerConfig, HaplotypeCallerLite
@@ -91,6 +92,7 @@ class GesallRounds:
         chunk_bytes: int = 16 * 1024,
         *,
         policy: Optional[ExecutionPolicy] = None,
+        shuffle: Optional[ShuffleConfig] = None,
     ):
         if engine is not None and policy is not None:
             raise MapReduceError(
@@ -107,6 +109,9 @@ class GesallRounds:
         self.aligner = aligner
         self.reference = reference
         self.chunk_bytes = chunk_bytes
+        #: Shuffle configuration threaded into every round's JobConf
+        #: (None -> the engine's uncompressed default).
+        self.shuffle = shuffle
         #: The engine's trace recorder (the null recorder when off).
         self.recorder = engine.recorder
         #: Per-round accounting, keyed by round name.
@@ -219,7 +224,8 @@ class GesallRounds:
                 ctx.emit(record.qname, record)
 
         job = JobConf(
-            "round2-cleaning", mapper, reducer, num_reducers=num_reducers
+            "round2-cleaning", mapper, reducer,
+            num_reducers=num_reducers, shuffle=self.shuffle,
         )
         splits = [InputSplit(path, path) for path in in_paths]
         result = self._run_round("round2", job, splits)
@@ -289,7 +295,7 @@ class GesallRounds:
 
         job = JobConf(
             f"round3-markdup-{mode}", mapper, reducer,
-            num_reducers=num_reducers,
+            num_reducers=num_reducers, shuffle=self.shuffle,
         )
         result = self._run_round(
             "round3", job, [InputSplit(p, p) for p in in_paths]
@@ -328,6 +334,7 @@ class GesallRounds:
         job = JobConf(
             "round4-sort", mapper, reducer,
             partitioner=partitioner, num_reducers=len(contigs),
+            shuffle=self.shuffle,
         )
         result = self._run_round(
             "round4", job, [InputSplit(p, p) for p in in_paths]
@@ -459,7 +466,7 @@ class GesallRounds:
         job = JobConf(
             "round5-hc-finegrained", mapper, reducer,
             partitioner=lambda key, n: key % n,
-            num_reducers=ranger.num_partitions,
+            num_reducers=ranger.num_partitions, shuffle=self.shuffle,
         )
         result = self._run_round(
             "round5_finegrained", job, [InputSplit(p, p) for p in in_paths]
@@ -518,7 +525,10 @@ class GesallRounds:
                 merged.merge(partial)
             ctx.emit(key, merged)
 
-        job = JobConf("round-recal", mapper, reducer, num_reducers=1)
+        job = JobConf(
+            "round-recal", mapper, reducer, num_reducers=1,
+            shuffle=self.shuffle,
+        )
         result = self._run_round(
             "round_recal", job, [InputSplit(p, p) for p in in_paths]
         )

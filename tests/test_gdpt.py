@@ -108,6 +108,55 @@ class TestGroupPartitioning:
         flat = [x for p in parts for x in p]
         assert flat == pairs
 
+    def test_non_canonical_key_raises(self):
+        # A key_fn returning a type without a canonical byte encoding
+        # must fail loudly at the first item, not silently hash repr()
+        # (which can embed process-dependent state like id()).
+        class Opaque:
+            pass
+
+        partitioner = GroupPartitioner(lambda record: Opaque(), 4)
+        with pytest.raises(PartitioningError):
+            partitioner.partition_of(rec("q0"))
+        partitioner = GroupPartitioner(lambda record: [record.qname], 4)
+        with pytest.raises(PartitioningError):
+            partitioner.split([rec("q0")])
+
+    def test_placement_identical_across_interpreters(self):
+        # Regression for the repr()-hash bug: partition placement must
+        # be a pure function of the key bytes, so a forked (or freshly
+        # spawned) worker with a different PYTHONHASHSEED agrees with
+        # the parent about where every group lives.
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        qnames = [f"read-{i:04d}" for i in range(64)]
+        partitioner = GroupPartitioner(read_name_key, 7)
+        parent = [partitioner.partition_of(rec(name)) for name in qnames]
+
+        script = (
+            "import json, sys\n"
+            "from repro.shuffle.keys import stable_hash_partition\n"
+            "names = json.loads(sys.stdin.read())\n"
+            "print(json.dumps("
+            "[stable_hash_partition(n, 7) for n in names]))\n"
+        )
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        for hash_seed in ("1", "4242"):
+            env = dict(os.environ, PYTHONPATH=src_dir,
+                       PYTHONHASHSEED=hash_seed)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                input=json.dumps(qnames), capture_output=True,
+                text=True, env=env, check=True,
+            )
+            assert json.loads(out.stdout) == parent
+
 
 class TestMarkDupKeying:
     def test_complete_pair_emits_pair_key(self):
