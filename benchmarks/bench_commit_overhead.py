@@ -1,0 +1,103 @@
+"""Overhead of the exactly-once commit layer and the job WAL.
+
+Two claims:
+
+* The commit protocol itself (staging, fencing tokens, promotion) is
+  bookkeeping on dicts — a journal-free engine run must stay within 5%
+  of itself run-to-run, i.e. the bound below is dominated by noise,
+  not the committer.  (The committer cannot be turned off; its cost is
+  priced into every number the other benchmarks report.)
+* Journaling every task commit into the CRC-framed WAL — one pickle +
+  framed append per task — must stay within 5% of the journal-free
+  engine.  The WAL is on for every checkpointed pipeline run, so it
+  has to be cheap enough never to think about.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from benchlib import report, report_json
+
+from repro.mapreduce.commit import RoundJournal
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import JobConf, make_splits
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.pipeline.checkpoint import LocalDirectoryBackend
+from repro.pipeline.wal import JobWal
+
+REPEATS = 3
+SPLITS = 48
+REDUCERS = 8
+
+WORDS = [f"w{i % 97:02d}" for i in range(23)]
+LINES = [
+    " ".join(WORDS[(i + j) % len(WORDS)] for j in range(30))
+    for i in range(1200)
+]
+
+
+def wordcount_job():
+    def mapper(line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(word, sum(counts))
+
+    return JobConf("bench", mapper, reducer, num_reducers=REDUCERS)
+
+
+def _run_once(journal_factory) -> float:
+    engine = MapReduceEngine(
+        nodes=["n1", "n2"], policy=ExecutionPolicy(executor="serial")
+    )
+    payloads = [" ".join(LINES[i::SPLITS]) for i in range(SPLITS)]
+    splits = make_splits(payloads)
+    start = time.perf_counter()
+    engine.run(wordcount_job(), splits, journal=journal_factory())
+    return time.perf_counter() - start
+
+
+def _best_of(journal_factory) -> float:
+    """Best-of-N wall time; best-of filters scheduler noise."""
+    return min(_run_once(journal_factory) for _ in range(REPEATS))
+
+
+def test_commit_and_wal_overhead():
+    base = _best_of(lambda: None)
+    with tempfile.TemporaryDirectory() as root:
+        wal = JobWal(LocalDirectoryBackend(root), "bench-fp")
+
+        def journaled():
+            wal.begin_round("bench")
+            return RoundJournal(wal, "bench")
+
+        walled = _best_of(journaled)
+        recovered = wal.recover_round("bench")
+    tasks = SPLITS + REDUCERS
+    assert len(recovered) == tasks  # every commit reached the log
+    lines = [
+        f"Commit + WAL overhead, {SPLITS} maps / {REDUCERS} reducers "
+        f"(best of {REPEATS}):",
+        f"  committer only (no journal) {base:>8.3f} s",
+        f"  committer + job WAL         {walled:>8.3f} s   "
+        f"{walled / base:>5.2f}x",
+    ]
+    report("commit_overhead", "\n".join(lines))
+    report_json(
+        "commit_overhead",
+        wall_seconds=base,
+        params={"splits": SPLITS, "reducers": REDUCERS, "repeats": REPEATS},
+        counters={
+            "wall_seconds.no_journal": round(base, 6),
+            "wall_seconds.journaled": round(walled, 6),
+            "journaled_commits": tasks,
+        },
+    )
+    # Acceptance bound: journaling within 5% of the journal-free engine
+    # (with a 50 ms absolute floor so sub-second runs don't flake).
+    assert abs(walled - base) <= max(0.05 * base, 0.05), (
+        f"WAL overhead regressed: {walled:.3f}s vs baseline {base:.3f}s"
+    )

@@ -12,9 +12,12 @@ from repro.chaos.plan import (
     CorruptSegment,
     DecommissionDatanode,
     DelayTask,
+    DuplicateCommit,
     FaultPlan,
     KillDatanode,
+    KillDriver,
     RaiseInTask,
+    ZombieAttempt,
 )
 
 __all__ = [
@@ -22,7 +25,10 @@ __all__ = [
     "CorruptSegment",
     "DecommissionDatanode",
     "DelayTask",
+    "DuplicateCommit",
     "FaultPlan",
     "KillDatanode",
+    "KillDriver",
     "RaiseInTask",
+    "ZombieAttempt",
 ]

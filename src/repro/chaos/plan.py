@@ -6,9 +6,13 @@ the two layers that can fail on a real cluster:
 * **storage events** (:class:`KillDatanode`, :class:`DecommissionDatanode`,
   :class:`CorruptReplica`) fire in the driver when a named pipeline
   round is about to start, mutating the HDFS topology exactly once;
-* **task events** (:class:`DelayTask`, :class:`RaiseInTask`) fire
-  inside the engine's attempt loop, keyed purely on
-  ``(task_id, attempt)``.
+* **task events** (:class:`DelayTask`, :class:`RaiseInTask`,
+  :class:`ZombieAttempt`) fire inside the engine's attempt loop, keyed
+  purely on ``(task_id, attempt)``;
+* **commit events** (:class:`DuplicateCommit`, :class:`KillDriver`)
+  fire in the driver at commit time, exercising the exactly-once
+  commit layer: a duplicated commit must bounce off the committer's
+  fencing check, and a killed driver must resume from the job WAL.
 
 Both keying schemes are independent of executor kind, scheduling
 order, and process identity, so a plan injects *identical* faults
@@ -117,12 +121,60 @@ class RaiseInTask:
     kind = "raise_in_task"
 
 
+@dataclass(frozen=True)
+class ZombieAttempt:
+    """Declare one attempt's lease lost *after* it completes its work.
+
+    Models the classic zombie worker: the task finishes and tries to
+    commit, but the driver stopped hearing from it and already launched
+    a fenced backup.  The attempt's outcome is marked, the driver's
+    ``LeaseMonitor`` declares it lost, and its late commit must be
+    refused by the stale fencing token (counted in ``commit.fenced``).
+    Only addresses the primary lineage (epoch 0) — a backup attempt is
+    a fresh worker the plan does not target.
+    """
+
+    task_id: str
+    attempt: int = 1
+    kind = "zombie_attempt"
+
+
+@dataclass(frozen=True)
+class DuplicateCommit:
+    """Replay one task's commit after it has already been promoted.
+
+    Models a duplicated commit RPC (retry of an acked message).  The
+    committer must refuse the second promotion — the output is applied
+    exactly once — and count the refusal in ``commit.fenced``.
+    """
+
+    task_id: str
+    kind = "duplicate_commit"
+
+
+@dataclass(frozen=True)
+class KillDriver:
+    """Kill the driver after N journaled commits of one round.
+
+    Raises :class:`~repro.errors.DriverKilledError` immediately after
+    the ``after_commits``-th task commit of ``at_round`` has been
+    appended to the job WAL, so a resumed run must replay exactly that
+    many tasks and re-run only the rest of the round.
+    """
+
+    at_round: str
+    after_commits: int = 1
+    kind = "kill_driver"
+
+
 #: Events applied by the driver against HDFS at a round boundary.
 STORAGE_EVENT_TYPES = (KillDatanode, DecommissionDatanode, CorruptReplica)
 #: Events applied by the engine between a job's map and reduce waves.
 SEGMENT_EVENT_TYPES = (CorruptSegment,)
 #: Events applied inside the engine's task-attempt loop.
-TASK_EVENT_TYPES = (DelayTask, RaiseInTask)
+TASK_EVENT_TYPES = (DelayTask, RaiseInTask, ZombieAttempt)
+#: Events applied by the driver at task-commit time.
+COMMIT_EVENT_TYPES = (DuplicateCommit, KillDriver)
 
 
 def _event_dict(event: Any) -> Dict[str, Any]:
@@ -147,7 +199,10 @@ class FaultPlan:
     events: Tuple[Any, ...] = ()
 
     def __post_init__(self):
-        known = STORAGE_EVENT_TYPES + SEGMENT_EVENT_TYPES + TASK_EVENT_TYPES
+        known = (
+            STORAGE_EVENT_TYPES + SEGMENT_EVENT_TYPES + TASK_EVENT_TYPES
+            + COMMIT_EVENT_TYPES
+        )
         for event in self.events:
             if not isinstance(event, known):
                 raise MapReduceError(
@@ -155,6 +210,8 @@ class FaultPlan:
                 )
             if isinstance(event, DelayTask) and event.seconds < 0:
                 raise MapReduceError("DelayTask seconds must be >= 0")
+            if isinstance(event, KillDriver) and event.after_commits < 1:
+                raise MapReduceError("KillDriver after_commits must be >= 1")
 
     # -- storage side -------------------------------------------------------
     def storage_events(self, round_key: str) -> List[Any]:
@@ -195,8 +252,32 @@ class FaultPlan:
             for event in self.events
         )
 
+    def zombie_in(self, task_id: str, attempt: int) -> bool:
+        """Whether this attempt completes with its lease already lost."""
+        return any(
+            isinstance(event, ZombieAttempt)
+            and event.task_id == task_id
+            and event.attempt == attempt
+            for event in self.events
+        )
+
     def touches_tasks(self) -> bool:
         return any(isinstance(e, TASK_EVENT_TYPES) for e in self.events)
+
+    # -- commit side ---------------------------------------------------------
+    def duplicate_commit_for(self, task_id: str) -> bool:
+        """Whether the plan replays this task's commit after promotion."""
+        return any(
+            isinstance(event, DuplicateCommit) and event.task_id == task_id
+            for event in self.events
+        )
+
+    def driver_kill(self, round_key: str) -> Optional["KillDriver"]:
+        """The driver-kill event scheduled inside one round, if any."""
+        for event in self.events:
+            if isinstance(event, KillDriver) and event.at_round == round_key:
+                return event
+        return None
 
     # -- reporting ----------------------------------------------------------
     def as_dicts(self) -> List[Dict[str, Any]]:
@@ -251,6 +332,9 @@ def parse_event(spec: str, kind: str) -> Any:
         --corrupt-segment JOB[:MAP[:REDUCER[:REPLICA]]]
         --delay TASK:SECONDS[@ATTEMPT]
         --fail TASK[@ATTEMPT]
+        --zombie TASK[@ATTEMPT]
+        --duplicate-commit TASK
+        --kill-driver ROUND[:COMMITS]
     """
     try:
         if kind == "kill":
@@ -290,6 +374,18 @@ def parse_event(spec: str, kind: str) -> Any:
                 spec.rsplit("@", 1) if "@" in spec else (spec, "1")
             )
             return RaiseInTask(head, attempt=int(attempt))
+        if kind == "zombie":
+            head, attempt = (
+                spec.rsplit("@", 1) if "@" in spec else (spec, "1")
+            )
+            return ZombieAttempt(head, attempt=int(attempt))
+        if kind == "duplicate-commit":
+            return DuplicateCommit(spec)
+        if kind == "kill-driver":
+            head, commits = (
+                spec.rsplit(":", 1) if ":" in spec else (spec, "1")
+            )
+            return KillDriver(head, after_commits=int(commits))
     except (ValueError, MapReduceError) as exc:
         raise MapReduceError(
             f"bad --{kind} event spec {spec!r}: {exc}"

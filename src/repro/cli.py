@@ -149,6 +149,24 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--fail", action="append", default=[],
                        metavar="TASK[@ATTEMPT]",
                        help="raise an injected fault in one task attempt")
+    chaos.add_argument("--zombie", action="append", default=[],
+                       metavar="TASK[@ATTEMPT]",
+                       help="declare one attempt's lease lost after it "
+                            "runs; a fenced backup commits in its place "
+                            "and the zombie's late commit is refused")
+    chaos.add_argument("--duplicate-commit", dest="duplicate_commit",
+                       action="append", default=[], metavar="TASK",
+                       help="re-present one task's winning commit; the "
+                            "duplicate must be fenced")
+    chaos.add_argument("--kill-driver", dest="kill_driver",
+                       action="append", default=[],
+                       metavar="ROUND[:COMMITS]",
+                       help="kill the driver after N journaled commits "
+                            "of ROUND (default 1), then resume from the "
+                            "job WAL and re-run only uncommitted tasks")
+    chaos.add_argument("--checkpoint-dir", default=None,
+                       help="checkpoint + WAL directory for --kill-driver "
+                            "(default DATA/chaos-checkpoint)")
     chaos.add_argument("--trace-out", default=None,
                        help="write the chaos run's Chrome trace here")
     chaos.add_argument("--report-out", default=None,
@@ -309,6 +327,15 @@ def _cmd_trace(args) -> int:
                 print(f"  {key:<18s}imbalance {skew.imbalance:.2f} over "
                       f"{len(skew.partition_records)} partition(s){hot}")
 
+    promoted = counters.get("commit.promoted", 0)
+    if promoted:
+        print()
+        print(f"commit protocol: {promoted} commits promoted, "
+              f"{counters.get('commit.fenced', 0)} fenced, "
+              f"leases expired {counters.get('lease.expired', 0)}, "
+              f"backups {counters.get('lease.backups_launched', 0)}, "
+              f"wal replays {counters.get('wal.tasks_skipped', 0)}")
+
     trace_path = args.trace_out or os.path.join(args.data, "trace.json")
     write_chrome_trace(recorder, trace_path)
     print()
@@ -348,9 +375,11 @@ def _cmd_chaos(args) -> int:
     absorbed by replication, retries and timeouts without changing a
     single call.
     """
+    import dataclasses
     import json
 
-    from repro.chaos.plan import FaultPlan, parse_event
+    from repro.chaos.plan import FaultPlan, KillDriver, parse_event
+    from repro.errors import DriverKilledError
     from repro.obs.export import write_chrome_trace
     from repro.obs.recorder import ObsConfig
 
@@ -360,7 +389,8 @@ def _cmd_chaos(args) -> int:
 
     events = []
     for kind in ("kill", "decommission", "corrupt", "corrupt_segment",
-                 "delay", "fail"):
+                 "delay", "fail", "zombie", "duplicate_commit",
+                 "kill_driver"):
         for spec in getattr(args, kind):
             events.append(parse_event(spec, kind.replace("_", "-")))
     if events:
@@ -370,11 +400,12 @@ def _cmd_chaos(args) -> int:
     print(plan.describe())
     print()
 
-    def build(policy, obs=None):
+    def build(policy, obs=None, checkpoint_dir=None):
         return GesallPipeline(
             reference, index=index, nodes=nodes,
             num_fastq_partitions=args.partitions, policy=policy, obs=obs,
             shuffle=_shuffle_from_args(args),
+            checkpoint_dir=checkpoint_dir,
         )
 
     clean = build(ExecutionPolicy.serial()).run(pairs)
@@ -389,7 +420,47 @@ def _cmd_chaos(args) -> int:
         # reason to really sleep through them.
         sleep=lambda _seconds: None,
     )
-    chaos_run = build(chaos_policy, obs=ObsConfig(enabled=True)).run(pairs)
+    kill_events = [e for e in plan.events if isinstance(e, KillDriver)]
+    resume_info = None
+    if kill_events:
+        # Crash-recovery drill: run with checkpoints + WAL until the
+        # plan kills the driver, then resume (KillDriver stripped — the
+        # new driver is not the plan's target) and replay journaled
+        # commits instead of re-running the interrupted round whole.
+        checkpoint_dir = args.checkpoint_dir or os.path.join(
+            args.data, "chaos-checkpoint"
+        )
+        driver_kills = 0
+        try:
+            build(
+                chaos_policy, obs=ObsConfig(enabled=True),
+                checkpoint_dir=checkpoint_dir,
+            ).run(pairs)
+        except DriverKilledError as exc:
+            driver_kills = 1
+            print(f"driver killed: {exc}")
+            print()
+        surviving = tuple(
+            e for e in plan.events if not isinstance(e, KillDriver)
+        )
+        resume_policy = dataclasses.replace(
+            chaos_policy,
+            fault_plan=(
+                FaultPlan(seed=plan.seed, events=surviving)
+                if surviving else None
+            ),
+        )
+        chaos_run = build(
+            resume_policy, obs=ObsConfig(enabled=True),
+            checkpoint_dir=checkpoint_dir,
+        ).run(pairs, resume=True)
+        resume_info = {
+            "driver_kills": driver_kills,
+            "resumed_rounds": list(chaos_run.resumed_rounds),
+            "recovered_tasks": dict(chaos_run.recovered_tasks),
+        }
+    else:
+        chaos_run = build(chaos_policy, obs=ObsConfig(enabled=True)).run(pairs)
 
     serial = SerialPipeline(reference, index=index).run(pairs)
     report = ErrorDiagnosisToolkit(reference).diagnose(serial, chaos_run)
@@ -423,7 +494,9 @@ def _cmd_chaos(args) -> int:
         summary = job_result.history.summary()
         print(f"  {key:<18s}retried {summary['retried_tasks']}"
               f"  timeouts {summary['timeouts']}"
-              f"  injected {summary['injected_faults']}")
+              f"  injected {summary['injected_faults']}"
+              f"  backups {summary['backups']}"
+              f"  fenced {summary['fenced_commits']}")
 
     counters = chaos_run.recorder.metrics.as_dict()["counters"]
     fault_counters = {
@@ -433,6 +506,7 @@ def _cmd_chaos(args) -> int:
             "hdfs.read.corrupt_replicas", "hdfs.rereplicated.",
             "hdfs.blocks.lost", "hdfs.datanodes.", "checkpoint.",
             "shuffle.crc_failures", "shuffle.fetch_retries",
+            "commit.", "lease.", "wal.",
         ))
     }
     if fault_counters:
@@ -440,6 +514,19 @@ def _cmd_chaos(args) -> int:
         print("fault counters:")
         for name, value in fault_counters.items():
             print(f"  {name:<32s}{value:>8d}")
+
+    if resume_info is not None:
+        resume_info["wal_tasks_skipped"] = counters.get(
+            "wal.tasks_skipped", 0
+        )
+        print()
+        print(f"crash recovery: driver killed "
+              f"{resume_info['driver_kills']} time(s); resumed rounds "
+              f"{resume_info['resumed_rounds'] or ['(none)']}; replayed "
+              f"{resume_info['wal_tasks_skipped']} journaled task "
+              "commit(s) from the WAL")
+        for key, tasks in sorted(resume_info["recovered_tasks"].items()):
+            print(f"  {key:<18s}{len(tasks)} task(s): {', '.join(tasks)}")
 
     if args.trace_out:
         write_chrome_trace(chaos_run.recorder, args.trace_out)
@@ -465,6 +552,7 @@ def _cmd_chaos(args) -> int:
                 "variants_chaos": len(chaos_lines),
                 "equivalent": ok,
             },
+            "resume": resume_info,
         }
         with open(args.report_out, "w") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)

@@ -59,6 +59,23 @@ class TaskTimeoutError(MapReduceError):
     """
 
 
+class CommitError(MapReduceError):
+    """The exactly-once commit protocol was violated or misused.
+
+    Raised when a journaled commit cannot be replayed, or a promotion
+    is attempted for an attempt that was never staged — never for an
+    ordinary fenced (refused) commit, which is a counted non-error.
+    """
+
+
+class DriverKilledError(MapReduceError):
+    """A chaos ``KillDriver`` event stopped the driver mid-round.
+
+    Raised *after* the triggering commit was journaled, so a resumed
+    run recovers every commit up to and including it from the WAL.
+    """
+
+
 class ShuffleError(MapReduceError):
     """The shuffle service was misconfigured or a segment is malformed."""
 

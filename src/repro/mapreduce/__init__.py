@@ -2,6 +2,7 @@
 
 from repro.mapreduce.counters import Counters
 from repro.mapreduce import counters
+from repro.mapreduce.commit import LeaseMonitor, OutputCommitter, RoundJournal
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.executors import (
     ProcessExecutor,
@@ -36,6 +37,9 @@ from repro.mapreduce.streaming import (
 __all__ = [
     "Counters",
     "counters",
+    "LeaseMonitor",
+    "OutputCommitter",
+    "RoundJournal",
     "JobResult",
     "MapReduceEngine",
     "EXECUTOR_KINDS",

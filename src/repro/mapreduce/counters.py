@@ -33,6 +33,17 @@ SPECULATIVE_ATTEMPTS = "SPECULATIVE_ATTEMPTS"
 TASK_TIMEOUTS = "TASK_TIMEOUTS"
 INJECTED_DELAYS = "INJECTED_DELAYS"
 
+# Commit-protocol counters (exactly-once task commits).  TASK_COMMITS
+# counts promoted attempts (exactly one per task); FENCED_COMMITS
+# counts refused promotions (zombies and duplicated commit RPCs);
+# WAL_TASKS_SKIPPED counts tasks a resumed run replayed from the job
+# WAL instead of re-executing.
+TASK_COMMITS = "TASK_COMMITS"
+FENCED_COMMITS = "FENCED_COMMITS"
+LEASE_EXPIRATIONS = "LEASE_EXPIRATIONS"
+BACKUP_ATTEMPTS = "BACKUP_ATTEMPTS"
+WAL_TASKS_SKIPPED = "WAL_TASKS_SKIPPED"
+
 
 class Counters:
     """A named-counter map with merge support.

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import functools
 import time
+import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.chaos.plan import CorruptSegment
 from repro.errors import MapReduceError, TaskTimeoutError
 from repro.mapreduce import counters as C
+from repro.mapreduce.commit import LeaseMonitor, OutputCommitter, RoundJournal
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.executors import TaskExecutor, build_executor
 from repro.mapreduce.history import JobHistory, TaskAttempt
@@ -90,6 +92,7 @@ class _TaskOutcome:
         "attempts", "injected_faults", "file_writes",
         "attachments", "phases", "spans", "started_at", "finished_at",
         "worker", "node", "timeouts", "injected_delays", "failures",
+        "heartbeats", "lease_charged", "zombie",
     )
 
     def __init__(self):
@@ -129,6 +132,15 @@ class _TaskOutcome:
         #: Measured phase boundaries {name: (start, end)} when traced,
         #: as raw perf_counter readings (system-wide monotonic clock).
         self.phases: Optional[Dict[str, Tuple[float, float]]] = None
+        #: Progress-heartbeat offsets relative to the attempt's start,
+        #: read by the driver's LeaseMonitor.
+        self.heartbeats: List[float] = []
+        #: Charged runtime the lease covers: measured wall time plus
+        #: injected delays, mirroring the ``task_timeout`` charge.
+        self.lease_charged = 0.0
+        #: Chaos-marked zombie: the driver already considers this
+        #: attempt's lease lost; its commit must be fenced.
+        self.zombie = False
         #: Spans buffered by the task context, stitched by the parent.
         self.spans: List[Span] = []
         #: Run-time stamps set by the executor's tracing wrapper.
@@ -162,6 +174,7 @@ def _run_attempts(
     policy: ExecutionPolicy,
     task_id: str,
     candidates: List[str],
+    epoch: int = 0,
 ) -> _TaskOutcome:
     """Execute a task body with fault injection, retry, and backoff.
 
@@ -179,13 +192,18 @@ def _run_attempts(
     injectable ``sleep`` hook), so a ``task_timeout`` trips — or
     doesn't — identically under the serial, threaded, and forked
     engines and under a fake clock.
+
+    ``epoch`` is the commit fencing token the attempt will present.
+    Chaos-plan task events target only epoch 0: a fenced backup models
+    a fresh worker the plan never aimed at, so a zombified task cannot
+    re-zombie its own backup forever.
     """
     attempt = 0
     faults = 0
     timeouts = 0
     delays = 0
     failures: List[Tuple[str, str]] = []
-    plan = policy.fault_plan
+    plan = policy.fault_plan if epoch == 0 else None
     while True:
         attempt += 1
         node = candidates[(attempt - 1) % len(candidates)]
@@ -223,6 +241,9 @@ def _run_attempts(
             outcome.injected_delays = delays
             outcome.node = node
             outcome.failures = failures
+            outcome.lease_charged = elapsed + charged
+            if plan is not None and plan.zombie_in(task_id, attempt):
+                outcome.zombie = True
             return outcome
         except Exception as exc:
             failures.append((node, type(exc).__name__))
@@ -242,6 +263,7 @@ def _execute_map_task(
     task_id: str,
     policy: ExecutionPolicy,
     traced: bool = False,
+    epoch: int = 0,
 ) -> _TaskOutcome:
     """One complete map task: record read, map, combine, sort, partition.
 
@@ -253,7 +275,9 @@ def _execute_map_task(
 
     def body(node: str) -> _TaskOutcome:
         clock = time.perf_counter
-        t_start = clock() if traced else 0.0
+        # Always measured (not only when traced): heartbeat stamps are
+        # converted to offsets from this origin for the lease monitor.
+        t_start = clock()
         context = TaskContext(task_id, node, traced=traced)
         job.mapper(split.payload, context)
         t_map_end = clock() if traced else 0.0
@@ -262,6 +286,9 @@ def _execute_map_task(
             context.emitted = _apply_combiner(job, context)
         t_combine_end = clock() if traced else 0.0
         outcome = _TaskOutcome()
+        outcome.heartbeats = [
+            max(0.0, stamp - t_start) for stamp in context.heartbeats
+        ]
         if traced:
             outcome.phases = {"map": (t_start, t_map_end)}
             if combined:
@@ -300,7 +327,7 @@ def _execute_map_task(
             outcome.phases["spill"] = (t_combine_end, clock())
         return outcome
 
-    return _run_attempts(body, policy, task_id, candidates)
+    return _run_attempts(body, policy, task_id, candidates, epoch)
 
 
 def _execute_reduce_task(
@@ -311,6 +338,7 @@ def _execute_reduce_task(
     task_id: str,
     policy: ExecutionPolicy,
     traced: bool = False,
+    epoch: int = 0,
 ) -> _TaskOutcome:
     """One complete reduce task: shuffle fetch, merge, group, reduce.
 
@@ -325,7 +353,8 @@ def _execute_reduce_task(
 
     def body(node: str) -> _TaskOutcome:
         clock = time.perf_counter
-        t_start = clock() if traced else 0.0
+        # Always measured: the heartbeat origin for the lease monitor.
+        t_start = clock()
         outcome = _TaskOutcome()
         runs: List[List[KeyValue]] = []
         for path in paths:
@@ -362,6 +391,9 @@ def _execute_reduce_task(
         outcome.emitted = context.emitted
         outcome.file_writes = context.files
         outcome.attachments = context.attachments
+        outcome.heartbeats = [
+            max(0.0, stamp - t_start) for stamp in context.heartbeats
+        ]
         if traced:
             outcome.phases = {
                 "shuffle": (t_start, t_fetch_end),
@@ -371,7 +403,7 @@ def _execute_reduce_task(
             outcome.spans = context.spans
         return outcome
 
-    return _run_attempts(body, policy, task_id, candidates)
+    return _run_attempts(body, policy, task_id, candidates, epoch)
 
 
 class MapReduceEngine:
@@ -394,6 +426,11 @@ class MapReduceEngine:
         :class:`~repro.obs.recorder.TraceRecorder` receiving job, wave
         and per-task phase spans.  Defaults to the shared null recorder
         (tracing off, no allocations on the task hot path).
+    lease_monitor:
+        :class:`~repro.mapreduce.commit.LeaseMonitor` deciding when a
+        task attempt's liveness lease is lost.  Defaults to a monitor
+        over this engine's policy with the real monotonic clock; tests
+        inject one with a fake clock.
     """
 
     def __init__(
@@ -403,6 +440,7 @@ class MapReduceEngine:
         policy: Optional[ExecutionPolicy] = None,
         filesystem: Optional[Any] = None,
         recorder: Optional[Any] = None,
+        lease_monitor: Optional[LeaseMonitor] = None,
     ):
         if deprecated_args:
             if len(deprecated_args) > 1 or nodes is not None:
@@ -423,6 +461,7 @@ class MapReduceEngine:
         self.policy = policy or ExecutionPolicy()
         self.filesystem = filesystem
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.lease = lease_monitor or LeaseMonitor(self.policy)
         #: Failed task attempts per node, accumulated across jobs (the
         #: engine outlives a single round in the Gesall pipeline).
         self._node_failures: Dict[str, int] = {}
@@ -491,32 +530,58 @@ class MapReduceEngine:
                     metrics.counter("engine.nodes_blacklisted").inc()
 
     # -- public API ---------------------------------------------------------
-    def run(self, job: JobConf, splits: List[InputSplit]) -> JobResult:
+    def run(
+        self,
+        job: JobConf,
+        splits: List[InputSplit],
+        journal: Optional[RoundJournal] = None,
+    ) -> JobResult:
+        """Run one job; with ``journal``, commits are WAL-journaled.
+
+        Task side effects flow through an :class:`OutputCommitter`:
+        every attempt stages its buffered effects and the driver
+        promotes exactly one attempt per task (epoch-fenced, so zombie
+        and duplicate commits are refused).  A journal additionally
+        records each promotion and carries the commits recovered from
+        an interrupted run, which are replayed instead of re-executed.
+        """
         job.validate()
         if not splits:
             raise MapReduceError(f"job {job.name} has no input splits")
         executor = build_executor(self.policy)
         executor.trace = self.recorder.enabled
         result = JobResult(job.name)
+        committer = OutputCommitter(
+            result, self.filesystem, recorder=self.recorder, journal=journal,
+        )
+        recovered = journal.recovered if journal is not None else {}
         with self.recorder.span(
             f"job:{job.name}", category="job", track="driver",
             splits=len(splits), executor=self.policy.executor,
         ):
-            map_outcomes = self._run_maps(job, splits, result, executor)
+            map_outcomes = self._run_maps(
+                job, splits, result, executor, committer, recovered
+            )
             if job.is_map_only:
                 return result
             store = SegmentStore.for_filesystem(self.filesystem)
-            paths = self._store_segments(job, map_outcomes, store, result)
-            self._apply_segment_events(job, store, paths, result)
+            stored: List[str] = []
             try:
-                self._run_reduces(job, store, paths, result, executor)
+                paths = self._store_segments(
+                    job, map_outcomes, store, result, stored
+                )
+                self._apply_segment_events(job, store, paths, result)
+                self._run_reduces(
+                    job, store, paths, result, executor, committer, recovered
+                )
             finally:
                 # Hadoop-style cleanup: intermediate shuffle data does
                 # not outlive the job (and must not leak into the
-                # filesystem state later rounds fingerprint).
-                store.delete_all(
-                    path for per_map in paths for path in per_map
-                )
+                # filesystem state later rounds fingerprint).  The
+                # ``stored`` accumulator covers failures anywhere past
+                # segment storage — including chaos-plan validation
+                # between the waves — not just reduce-wave crashes.
+                store.delete_all(stored)
         return result
 
     # -- map phase --------------------------------------------------------------
@@ -526,6 +591,8 @@ class MapReduceEngine:
         splits: List[InputSplit],
         result: JobResult,
         executor: TaskExecutor,
+        committer: OutputCommitter,
+        recovered: Dict[str, Tuple[int, _TaskOutcome]],
     ) -> List[_TaskOutcome]:
         """Run all map tasks on the executor.
 
@@ -535,27 +602,21 @@ class MapReduceEngine:
         """
         traced = self.recorder.enabled and self.recorder.trace_tasks
         placements: List[Tuple[str, str]] = []
-        thunks = []
+        factories = []
         for index, split in enumerate(splits):
             candidates = self._candidate_nodes(split.preferred_node, index)
             task_id = f"{job.name}-m-{index:05d}"
             placements.append((task_id, candidates[0]))
-            thunks.append(
+            factories.append(
                 functools.partial(
                     _execute_map_task, job, split, candidates, task_id,
                     self.policy, traced,
                 )
             )
-        with self.recorder.span(
-            f"{job.name}:map-wave", category="wave", track="driver",
-            tasks=len(thunks),
-        ):
-            submitted = time.perf_counter() if traced else 0.0
-            outcomes = executor.run_tasks(thunks)
-            self._speculate(
-                thunks, outcomes, executor, result, "map", placements
-            )
-        self._update_fault_accounting(result, outcomes)
+        outcomes, submitted = self._execute_wave(
+            job, "map", factories, placements, result, executor,
+            committer, recovered,
+        )
 
         for (task_id, node), outcome in zip(placements, outcomes):
             task = TaskAttempt(task_id, "map", outcome.node or node)
@@ -570,7 +631,6 @@ class MapReduceEngine:
             result.counters.inc(C.MAP_OUTPUT_RECORDS, outcome.output_records)
             result.counters.inc(C.MAP_OUTPUT_BYTES, outcome.output_bytes)
             self._absorb_attempts(result, outcome, C.MAP_TASK_ATTEMPTS)
-            self._absorb_effects(result, outcome, task_id)
             if job.is_map_only:
                 result.map_outputs.append(outcome.emitted)
             else:
@@ -592,6 +652,7 @@ class MapReduceEngine:
         outcomes: List[_TaskOutcome],
         store: SegmentStore,
         result: JobResult,
+        stored: List[str],
     ) -> List[List[str]]:
         """Persist every map task's segments, in task-index order.
 
@@ -599,6 +660,8 @@ class MapReduceEngine:
         Writes happen driver-side after the map wave (the task-side
         blobs crossed the executor boundary inside the outcomes), so
         placement and replication are deterministic across executors.
+        Every stored path is appended to ``stored`` as it lands, so the
+        caller's cleanup covers partial storage too.
         """
         metrics = self.recorder.metrics
         paths: List[List[str]] = []
@@ -608,6 +671,7 @@ class MapReduceEngine:
             for reducer, blob in enumerate(outcome.segments):
                 path = segment_path(job.name, map_index, reducer)
                 store.put(path, blob)
+                stored.append(path)
                 stored_bytes += len(blob)
                 per_map.append(path)
             paths.append(per_map)
@@ -658,10 +722,12 @@ class MapReduceEngine:
         paths: List[List[str]],
         result: JobResult,
         executor: TaskExecutor,
+        committer: OutputCommitter,
+        recovered: Dict[str, Tuple[int, _TaskOutcome]],
     ) -> None:
         traced = self.recorder.enabled and self.recorder.trace_tasks
         placements = []
-        thunks = []
+        factories = []
         for reducer_index in range(job.num_reducers):
             candidates = self._candidate_nodes(None, reducer_index)
             task_id = f"{job.name}-r-{reducer_index:05d}"
@@ -671,22 +737,16 @@ class MapReduceEngine:
             # never pickled (the fork executor publishes them via its
             # task table), so reducers fetch through the real backend.
             reducer_paths = [per_map[reducer_index] for per_map in paths]
-            thunks.append(
+            factories.append(
                 functools.partial(
                     _execute_reduce_task, job, store, reducer_paths,
                     candidates, task_id, self.policy, traced,
                 )
             )
-        with self.recorder.span(
-            f"{job.name}:reduce-wave", category="wave", track="driver",
-            tasks=len(thunks),
-        ):
-            submitted = time.perf_counter() if traced else 0.0
-            outcomes = executor.run_tasks(thunks)
-            self._speculate(
-                thunks, outcomes, executor, result, "reduce", placements
-            )
-        self._update_fault_accounting(result, outcomes)
+        outcomes, submitted = self._execute_wave(
+            job, "reduce", factories, placements, result, executor,
+            committer, recovered,
+        )
 
         for reducer_index, ((task_id, node), outcome) in enumerate(
             zip(placements, outcomes)
@@ -715,7 +775,6 @@ class MapReduceEngine:
                 C.REDUCE_OUTPUT_RECORDS, outcome.output_records
             )
             self._absorb_attempts(result, outcome, C.REDUCE_TASK_ATTEMPTS)
-            self._absorb_effects(result, outcome, task_id)
             result.reduce_outputs[reducer_index] = outcome.emitted
             result.history.add(task)
         metrics = self.recorder.metrics
@@ -795,50 +854,219 @@ class MapReduceEngine:
         if outcome.injected_faults:
             result.counters.inc(C.INJECTED_FAULTS, outcome.injected_faults)
 
-    def _absorb_effects(
-        self, result: JobResult, outcome: _TaskOutcome, task_id: str
-    ) -> None:
-        """Apply a task's buffered side effects, in task-index order."""
-        for path, data, logical in outcome.file_writes:
-            if self.filesystem is None:
-                raise MapReduceError(
-                    f"task {task_id} wrote {path} but the engine has no "
-                    "filesystem attached"
+    # -- wave execution + commit settlement ---------------------------------------
+    def _execute_wave(
+        self,
+        job: JobConf,
+        kind: str,
+        factories: List[Callable[..., _TaskOutcome]],
+        placements: List[Tuple[str, str]],
+        result: JobResult,
+        executor: TaskExecutor,
+        committer: OutputCommitter,
+        recovered: Dict[str, Tuple[int, _TaskOutcome]],
+    ) -> Tuple[List[_TaskOutcome], float]:
+        """Run one wave of tasks and settle every task's commit.
+
+        ``factories[i]`` is the task function minus its trailing commit
+        epoch; binding an epoch yields the attempt's thunk.  Epoch 0 is
+        the primary attempt, higher epochs are fenced backups.  Tasks
+        whose commits were recovered from the WAL are not re-executed —
+        their journaled outcomes are replayed through the committer and
+        merged back in at their task index, so the bookkeeping loops
+        (counters, history, outputs) see exactly what a clean run
+        would.
+        """
+        thunks = [
+            None if placements[i][0] in recovered
+            else functools.partial(factory, 0)
+            for i, factory in enumerate(factories)
+        ]
+        live = [i for i, thunk in enumerate(thunks) if thunk is not None]
+        with self.recorder.span(
+            f"{job.name}:{kind}-wave", category="wave", track="driver",
+            tasks=len(thunks), recovered=len(thunks) - len(live),
+        ):
+            submitted = time.perf_counter()
+            ran = executor.run_tasks([thunks[i] for i in live])
+            outcomes: List[Optional[_TaskOutcome]] = [None] * len(thunks)
+            for index, outcome in zip(live, ran):
+                outcomes[index] = outcome
+            self._speculate(
+                thunks, outcomes, executor, result, kind, placements
+            )
+            outcomes = self._settle_wave(
+                kind, factories, placements, outcomes, result, executor,
+                committer, recovered,
+            )
+        self._update_fault_accounting(result, outcomes)
+        return outcomes, submitted
+
+    def _settle_wave(
+        self,
+        kind: str,
+        factories: List[Callable[..., _TaskOutcome]],
+        placements: List[Tuple[str, str]],
+        outcomes: List[Optional[_TaskOutcome]],
+        result: JobResult,
+        executor: TaskExecutor,
+        committer: OutputCommitter,
+        recovered: Dict[str, Tuple[int, _TaskOutcome]],
+    ) -> List[_TaskOutcome]:
+        """Stage and promote one attempt per task, in task-index order.
+
+        The exactly-once gate: attempts whose lease held are promoted
+        directly; lost leases get fenced backup attempts (the zombie's
+        late commit bounces off the fence); chaos-plan duplicate-commit
+        events re-present an already-committed attempt and must be
+        refused.  Replays recovered commits instead of anything else
+        for tasks the WAL already settled.
+        """
+        plan = self.policy.fault_plan
+        final: List[_TaskOutcome] = list(outcomes)
+        for index, (task_id, _node) in enumerate(placements):
+            if task_id in recovered:
+                epoch, outcome = recovered[task_id]
+                # The outcome's run-time stamps belong to the dead
+                # driver's clock; never stitch them into this trace.
+                outcome.started_at = None
+                outcome.finished_at = None
+                committer.replay(task_id, epoch, outcome)
+                final[index] = outcome
+                continue
+            outcome = outcomes[index]
+            committer.stage(task_id, 0, outcome)
+            verdict = self.lease.verdict(outcome)
+            if verdict is None:
+                committer.promote(task_id, 0, outcome)
+            else:
+                final[index] = self._run_backup(
+                    kind, factories[index], task_id, outcome, result,
+                    executor, committer, verdict,
                 )
-            self.filesystem.put(path, data, logical_partition=logical)
-        for name, value in outcome.attachments:
-            result.attachments.setdefault(name, []).append(value)
+            if plan is not None and plan.duplicate_commit_for(task_id):
+                # A duplicated commit RPC: the winning attempt presents
+                # its (already-spent) token again and must be refused.
+                self.recorder.metrics.counter("chaos.duplicate_commit").inc()
+                committer.promote(
+                    task_id, committer.committed[task_id], final[index]
+                )
+        return final
+
+    def _run_backup(
+        self,
+        kind: str,
+        factory: Callable[..., _TaskOutcome],
+        task_id: str,
+        zombie: _TaskOutcome,
+        result: JobResult,
+        executor: TaskExecutor,
+        committer: OutputCommitter,
+        reason: str,
+    ) -> _TaskOutcome:
+        """Re-execute a lost-lease task under a fresh fencing token.
+
+        Up to ``policy.backup_attempts`` fenced re-executions; the
+        first whose lease holds commits, after which the original
+        zombie's late commit is presented and refused.  The abandoned
+        lineage's telemetry is folded into the winning outcome so wave
+        bookkeeping (attempt counters, node blacklist) still sees every
+        attempt that actually ran.
+        """
+        result.counters.inc(C.LEASE_EXPIRATIONS)
+        self.recorder.metrics.counter("lease.expired").inc()
+        result.history.add_event(
+            "lease_expired", task=task_id, node=zombie.node, reason=reason,
+            at=round(self.lease.clock(), 6),
+        )
+        # A lost lease charges the node like a crash, so repeat
+        # offenders cross the same blacklist threshold.
+        zombie.failures = list(zombie.failures) + [
+            (zombie.node, "LeaseExpired")
+        ]
+        predecessor = zombie
+        for _ in range(self.policy.backup_attempts):
+            epoch = committer.fence(task_id)
+            result.counters.inc(C.BACKUP_ATTEMPTS)
+            self.recorder.metrics.counter("lease.backups_launched").inc()
+            result.history.add_event(
+                "backup_launched", task=task_id, epoch=epoch,
+            )
+            with self.recorder.span(
+                f"{task_id}-backup", category="backup", track="driver",
+                kind=kind, epoch=epoch,
+            ):
+                backup = executor.run_one(functools.partial(factory, epoch))
+            attempt = TaskAttempt(
+                f"{task_id}-backup-e{epoch}", kind, backup.node
+            )
+            attempt.backup = True
+            attempt.input_records = backup.input_records
+            attempt.output_records = backup.output_records
+            attempt.attempts = backup.attempts
+            result.history.add(attempt)
+            # Fold the abandoned lineage's telemetry into the backup so
+            # the wave bookkeeping counts every attempt exactly once.
+            backup.attempts += predecessor.attempts
+            backup.injected_faults += predecessor.injected_faults
+            backup.timeouts += predecessor.timeouts
+            backup.injected_delays += predecessor.injected_delays
+            backup.failures = list(predecessor.failures) + list(
+                backup.failures
+            )
+            committer.stage(task_id, epoch, backup)
+            if self.lease.verdict(backup) is None:
+                committer.promote(task_id, epoch, backup)
+                # The zombie finishes late and presents its stale
+                # token; the fence refuses it (counted, never applied).
+                committer.promote(task_id, 0, zombie)
+                return backup
+            predecessor = backup
+        raise MapReduceError(
+            f"task {task_id} lost its lease and all "
+            f"{self.policy.backup_attempts} backup attempt(s) lost "
+            "theirs too"
+        )
 
     # -- speculative execution ----------------------------------------------------
     def _speculate(
         self,
-        thunks: List[Callable[[], _TaskOutcome]],
-        outcomes: List[_TaskOutcome],
+        thunks: List[Optional[Callable[[], _TaskOutcome]]],
+        outcomes: List[Optional[_TaskOutcome]],
         executor: TaskExecutor,
         result: JobResult,
         kind: str,
         placements: List[Tuple[str, str]],
     ) -> None:
-        """Speculatively re-execute the wave's straggler stub.
+        """Speculatively re-execute one audited straggler stub.
 
         In-process tasks have no genuine stragglers, so the stub
-        re-runs the wave's final task and cross-checks it against the
-        primary attempt — turning speculation into a built-in
-        determinism audit: a divergent duplicate means a task was not a
-        pure function of its split and would break the serial/parallel
-        equivalence the paper's §3.2 relies on.
+        re-runs a seeded draw over the wave's live tasks (recovered
+        tasks never re-run) and cross-checks it against the primary
+        attempt — turning speculation into a built-in determinism
+        audit: a divergent duplicate means a task was not a pure
+        function of its split and would break the serial/parallel
+        equivalence the paper's §3.2 relies on.  The audited index
+        depends only on ``(fault_seed, kind, wave identity)``, so it is
+        identical across executors but varies with the policy seed
+        instead of always sparing every task but the last.
         """
         if not self.policy.speculative or executor.kind == "serial":
             return
-        if not thunks:
+        live = [i for i, thunk in enumerate(thunks) if thunk is not None]
+        if not live:
             return
-        straggler = len(thunks) - 1
+        draw = zlib.crc32(
+            f"{self.policy.fault_seed}|{kind}|{placements[0][0]}|"
+            f"{len(live)}".encode()
+        )
+        straggler = live[draw % len(live)]
         task_id, node = placements[straggler]
         with self.recorder.span(
             f"{task_id}-speculative", category="speculation",
             track="driver", kind=kind,
         ):
-            duplicate = executor.run_tasks([thunks[straggler]])[0]
+            duplicate = executor.run_one(thunks[straggler])
         result.counters.inc(C.SPECULATIVE_ATTEMPTS, 1)
         attempt = TaskAttempt(f"{task_id}-speculative", kind, node)
         attempt.speculative = True

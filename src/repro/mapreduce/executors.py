@@ -103,6 +103,14 @@ class TaskExecutor(ABC):
         engine-level retry wrapper inside each thunk is exhausted).
         """
 
+    def run_one(self, thunk: TaskThunk) -> Any:
+        """Run a single extra task (a speculative or backup attempt).
+
+        Routed through :meth:`run_tasks` so per-executor mechanics
+        (tracing wrappers, the fork task table) apply uniformly.
+        """
+        return self.run_tasks([thunk])[0]
+
     def _prepared(self, thunks: Sequence[TaskThunk]) -> List[TaskThunk]:
         """The wave's thunks, time-stamped when tracing is on."""
         if self.trace:

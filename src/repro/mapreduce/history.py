@@ -28,6 +28,8 @@ class TaskAttempt:
         self.timeouts = 0
         #: True for a speculative duplicate of a straggler task.
         self.speculative = False
+        #: True for a fenced backup attempt launched after a lost lease.
+        self.backup = False
         #: Wall-clock phases: filled with *modelled* times by the
         #: cluster simulator, or with *measured* times by the engine
         #: when it runs under an enabled trace recorder:
@@ -99,9 +101,16 @@ class JobHistory:
         """Speculative duplicates launched by the determinism audit."""
         return [task for task in self.tasks if task.speculative]
 
+    def backup_tasks(self) -> List[TaskAttempt]:
+        """Fenced backup attempts launched after lost leases."""
+        return [task for task in self.tasks if task.backup]
+
     def summary(self) -> Dict[str, Any]:
         """Roll-up totals consumed by ``repro trace`` and reports."""
-        primaries = [task for task in self.tasks if not task.speculative]
+        primaries = [
+            task for task in self.tasks
+            if not task.speculative and not task.backup
+        ]
         maps = [task for task in primaries if task.kind == "map"]
         reduces = [task for task in primaries if task.kind == "reduce"]
         return {
@@ -118,6 +127,8 @@ class JobHistory:
             "timeouts": sum(t.timeouts for t in primaries),
             "events": len(self.events),
             "speculative": len(self.speculative_tasks()),
+            "backups": len(self.backup_tasks()),
+            "fenced_commits": len(self.events_of("commit_fenced")),
             "nodes": len(self.by_node()),
             "queued_seconds": sum(t.queued_seconds for t in primaries),
             "run_seconds": sum(t.run_seconds for t in primaries),

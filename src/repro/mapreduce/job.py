@@ -119,6 +119,10 @@ class TaskContext:
         self.traced = traced
         #: Buffered spans, stitched into the driver recorder on success.
         self.spans: List[Span] = []
+        #: Progress heartbeat stamps (raw perf_counter readings); the
+        #: engine converts them to attempt-relative offsets and the
+        #: driver's LeaseMonitor reads the gaps between them.
+        self.heartbeats: List[float] = []
         self._depth = 0
 
     def emit(self, key: Any, value: Any) -> None:
@@ -151,6 +155,16 @@ class TaskContext:
         if not self.traced:
             return NULL_SPAN
         return _BufferedSpan(self, name, category, attrs)
+
+    def heartbeat(self) -> None:
+        """Stamp a progress heartbeat on the side-effect channel.
+
+        Long-running task bodies call this between units of work; the
+        driver's :class:`~repro.mapreduce.commit.LeaseMonitor` measures
+        the gaps and declares the attempt lost when a silence exceeds
+        the policy's ``lease_seconds``.
+        """
+        self.heartbeats.append(time.perf_counter())
 
     def set_input_records(self, count: int) -> None:
         """Report how many records this task's split actually held."""

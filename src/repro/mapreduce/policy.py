@@ -23,6 +23,13 @@ constructing engines ad hoc:
 * ``blacklist_after`` — per-node failure-count blacklist: a node that
   accumulates this many task-attempt failures stops receiving new
   tasks (``yarn.nodemanager`` health blacklisting).
+* ``lease_seconds`` — liveness lease: an attempt whose longest
+  progress-heartbeat gap (charged the same way ``task_timeout``
+  charges injected delays) exceeds the lease is declared *lost* by the
+  driver's ``LeaseMonitor``; a fenced backup attempt commits in its
+  place and the lost attempt's late commit is refused.
+* ``backup_attempts`` — how many fenced backup attempts the driver
+  launches for a task whose lease expired before giving up.
 * ``sleep`` — clock hook used for retry backoff and injected delays;
   defaults to ``time.sleep`` and is swapped for a fake in tests so
   fault-injection suites run without real-time waits.
@@ -71,6 +78,8 @@ class ExecutionPolicy:
     fault_seed: int = 0
     task_timeout: Optional[float] = None
     blacklist_after: Optional[int] = None
+    lease_seconds: Optional[float] = None
+    backup_attempts: int = 1
     fault_plan: Optional[FaultPlan] = None
     sleep: Callable[[float], None] = field(
         default=time.sleep, repr=False, compare=False
@@ -94,6 +103,10 @@ class ExecutionPolicy:
             raise MapReduceError("task_timeout must be > 0")
         if self.blacklist_after is not None and self.blacklist_after < 1:
             raise MapReduceError("blacklist_after must be >= 1")
+        if self.lease_seconds is not None and self.lease_seconds <= 0:
+            raise MapReduceError("lease_seconds must be > 0")
+        if self.backup_attempts < 1:
+            raise MapReduceError("backup_attempts must be >= 1")
 
     # -- convenience constructors -----------------------------------------
     @classmethod

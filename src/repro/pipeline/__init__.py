@@ -6,7 +6,12 @@ from repro.pipeline.checkpoint import (
     LocalDirectoryBackend,
 )
 from repro.pipeline.hybrid import HybridPipeline
-from repro.pipeline.parallel import GesallPipeline, GesallPipelineResult
+from repro.pipeline.parallel import (
+    WAL_ROUND_KEYS,
+    GesallPipeline,
+    GesallPipelineResult,
+)
+from repro.pipeline.wal import JobWal
 from repro.pipeline.serial import SerialPipeline, SerialPipelineResult
 from repro.pipeline.stages import (
     TABLE2_STAGES,
@@ -20,6 +25,8 @@ __all__ = [
     "HdfsBackend",
     "LocalDirectoryBackend",
     "HybridPipeline",
+    "JobWal",
+    "WAL_ROUND_KEYS",
     "GesallPipeline",
     "GesallPipelineResult",
     "SerialPipeline",

@@ -61,6 +61,16 @@ class LocalDirectoryBackend:
         except FileNotFoundError:
             return None
 
+    def append(self, name: str, data: bytes) -> None:
+        """Append to a blob (creates it when missing).
+
+        Deliberately *not* atomic — the job WAL built on top frames
+        every record with a CRC32 and tolerates a torn tail, which is
+        the cheapest durable-append contract a local file offers.
+        """
+        with open(os.path.join(self.root, name), "ab") as handle:
+            handle.write(data)
+
     def __repr__(self) -> str:
         return f"LocalDirectoryBackend({self.root!r})"
 
@@ -87,6 +97,11 @@ class HdfsBackend:
         if not self.hdfs.exists(self._path(name)):
             return None
         return self.hdfs.get(self._path(name))
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append via read + rewrite (HDFS files are immutable here)."""
+        existing = self.read(name) or b""
+        self.hdfs.put(self._path(name), existing + data, overwrite=True)
 
     def __repr__(self) -> str:
         return f"HdfsBackend({self.prefix!r})"

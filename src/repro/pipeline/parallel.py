@@ -35,10 +35,18 @@ from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.policy import ExecutionPolicy
 from repro.obs.recorder import NULL_RECORDER, ObsConfig
 from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.wal import JobWal
 from repro.recal.recalibrator import RecalibrationTable
 from repro.shuffle.config import ShuffleConfig
 from repro.variants.haplotype import HaplotypeCallerConfig
 from repro.wrappers.rounds import GesallRounds
+
+#: Round keys that may journal task commits into the job WAL, in
+#: pipeline order (the optional recalibration rounds included).
+WAL_ROUND_KEYS = (
+    "round1", "round2", "round_bloom", "round3", "round_recal",
+    "round_print_reads", "round4", "round5",
+)
 
 
 class GesallPipelineResult:
@@ -62,6 +70,9 @@ class GesallPipelineResult:
         self.recorder = NULL_RECORDER
         #: Round keys restored from a checkpoint instead of executed.
         self.resumed_rounds: List[str] = []
+        #: Task ids replayed from the job WAL instead of re-executed,
+        #: keyed by the interrupted round.
+        self.recovered_tasks: Dict[str, List[str]] = {}
         #: Chaos storage events applied during the run, in order.
         self.chaos_events: List[Dict[str, Any]] = []
 
@@ -145,8 +156,30 @@ class GesallPipeline:
         if store is None and self.checkpoint_dir is not None:
             store = CheckpointStore.local(self.checkpoint_dir)
         completed: List[str] = []
+        fingerprint = self._fingerprint(pairs)
         if store is not None:
-            completed = store.begin(self._fingerprint(pairs), resume=resume)
+            completed = store.begin(fingerprint, resume=resume)
+            # Task-granular crash recovery: rounds the checkpoint never
+            # completed may still have journaled commits in the job WAL
+            # from an interrupted run — recover them *before* the
+            # rounds truncate their logs, and replay instead of re-run.
+            wal = JobWal(store.backend, fingerprint)
+            recovery: Dict[str, Dict] = {}
+            if resume:
+                for key in WAL_ROUND_KEYS:
+                    if key in completed:
+                        continue
+                    tasks = wal.recover_round(key)
+                    if tasks:
+                        recovery[key] = tasks
+                        recorder.metrics.counter("wal.rounds_recovered").inc()
+            else:
+                for key in WAL_ROUND_KEYS:
+                    wal.reset_round(key)
+            rounds.attach_wal(wal, recovery)
+            result.recovered_tasks = {
+                key: sorted(tasks) for key, tasks in recovery.items()
+            }
         # Restoration only ever covers a *prefix* of the round sequence:
         # the first round missing from the checkpoint flips this off for
         # good, so later checkpointed rounds (stale from another code

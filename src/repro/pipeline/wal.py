@@ -1,0 +1,137 @@
+"""CRC-framed append-only job WAL: task-granular crash recovery.
+
+Round checkpoints (:mod:`repro.pipeline.checkpoint`) make a completed
+round durable; the WAL covers the round *in flight*.  Every promoted
+task commit is appended — fencing epoch plus the full pickled task
+outcome — so a driver that dies mid-round re-runs only the tasks whose
+commits never reached the log, replaying the journaled ones through
+the same commit path.
+
+The log shares the checkpoint store's backends (one ``wal-<round>.log``
+blob per round key, next to the manifest) and leans on their weakest
+useful guarantee: a durable *append*.  Torn writes are expected — each
+record is framed as::
+
+    [u32 payload length][u32 crc32(payload)][payload]
+
+and recovery stops at the first short or checksum-failing frame, so a
+crash can cost at most the commit being written, never a completed
+one.  The first frame is a header carrying the run fingerprint (the
+same digest the checkpoint manifest records); a log stamped by a
+different input or configuration is ignored rather than replayed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Any, Dict, List, Tuple
+
+#: Bumped whenever the frame payload layout changes incompatibly.
+WAL_VERSION = 1
+
+_FRAME = struct.Struct(">II")
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _read_frames(data: bytes) -> List[bytes]:
+    """Decode frames up to the first torn or corrupt one."""
+    frames: List[bytes] = []
+    offset = 0
+    while offset + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(data):
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        frames.append(payload)
+        offset = end
+    return frames
+
+
+class JobWal:
+    """One run's per-round commit journals on a checkpoint backend."""
+
+    def __init__(self, backend: Any, fingerprint: str):
+        self.backend = backend
+        self.fingerprint = fingerprint
+
+    @staticmethod
+    def _name(round_key: str) -> str:
+        return f"wal-{round_key}.log"
+
+    # -- write side ----------------------------------------------------------
+    def begin_round(self, round_key: str) -> None:
+        """Truncate the round's log and stamp a fresh header frame.
+
+        Called when the round starts executing — on resume the caller
+        recovers the old log *first*, then replayed commits re-append
+        themselves through the normal commit path, leaving a complete
+        journal for the round's second interruption, if any.
+        """
+        header = {
+            "version": WAL_VERSION,
+            "round": round_key,
+            "fingerprint": self.fingerprint,
+        }
+        self.backend.write(
+            self._name(round_key),
+            _frame(pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)),
+        )
+
+    def reset_round(self, round_key: str) -> None:
+        """Blank a round's log (fresh, non-resume runs)."""
+        self.backend.write(self._name(round_key), b"")
+
+    def append_commit(
+        self, round_key: str, task_id: str, epoch: int, outcome: Any
+    ) -> None:
+        """Journal one promoted task commit (durable before it counts)."""
+        payload = pickle.dumps(
+            {"task": task_id, "epoch": epoch, "outcome": outcome},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self.backend.append(self._name(round_key), _frame(payload))
+
+    # -- recovery ------------------------------------------------------------
+    def recover_round(self, round_key: str) -> Dict[str, Tuple[int, Any]]:
+        """Committed tasks of an interrupted round: id -> (epoch, outcome).
+
+        Returns ``{}`` when the log is missing, blank, torn before its
+        header, or stamped by a different run's fingerprint — in every
+        such case the safe answer is "nothing committed, re-run it all".
+        """
+        data = self.backend.read(self._name(round_key))
+        if not data:
+            return {}
+        frames = _read_frames(data)
+        if not frames:
+            return {}
+        try:
+            header = pickle.loads(frames[0])
+        except Exception:
+            return {}
+        if (
+            not isinstance(header, dict)
+            or header.get("version") != WAL_VERSION
+            or header.get("fingerprint") != self.fingerprint
+        ):
+            return {}
+        recovered: Dict[str, Tuple[int, Any]] = {}
+        for raw in frames[1:]:
+            try:
+                entry = pickle.loads(raw)
+            except Exception:
+                break
+            recovered[entry["task"]] = (entry["epoch"], entry["outcome"])
+        return recovered
+
+    def __repr__(self) -> str:
+        return f"JobWal({self.backend!r})"

@@ -161,3 +161,7 @@ class SegmentStore:
     def delete_all(self, paths) -> None:
         for path in paths:
             self.backend.delete(path)
+
+    def paths(self) -> List[str]:
+        """Stored segment paths (leak checks after job cleanup)."""
+        return self.backend.paths()

@@ -40,6 +40,7 @@ from repro.genome.regions import GenomicInterval
 from repro.hdfs.bam_storage import upload_logical_partitions
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce import counters as C
+from repro.mapreduce.commit import RoundJournal
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.job import InputSplit, JobConf
 from repro.mapreduce.policy import ExecutionPolicy
@@ -118,6 +119,21 @@ class GesallRounds:
         self.results: Dict[str, JobResult] = {}
         self.transform: Dict[str, DataTransformAccounting] = {}
         self.streaming_stats = None
+        #: Job WAL journaling each round's task commits (attach_wal).
+        self._wal = None
+        #: Round-key -> recovered commits, consumed on that round's run.
+        self._wal_recovery: Dict[str, Dict] = {}
+
+    def attach_wal(self, wal, recovery: Optional[Dict[str, Dict]] = None) -> None:
+        """Journal every round's task commits into ``wal``.
+
+        ``recovery`` maps round keys to the commits recovered from an
+        interrupted run's log; each entry is consumed when its round
+        executes, so the engine replays those tasks instead of
+        re-running them.
+        """
+        self._wal = wal
+        self._wal_recovery = dict(recovery or {})
 
     # -- traced round execution ----------------------------------------
     def _run_round(
@@ -129,11 +145,19 @@ class GesallRounds:
         records-in/out and shuffled bytes (the Fig 6-style overhead
         accounting), plus matching metrics counters.
         """
+        journal = None
+        if self._wal is not None:
+            journal = RoundJournal(
+                self._wal, round_key,
+                recovered=self._wal_recovery.pop(round_key, {}),
+                plan=self.engine.policy.fault_plan,
+            )
+            self._wal.begin_round(round_key)
         with self.recorder.span(
             f"round:{round_key}", category="round", track="driver",
             job=job.name,
         ) as span:
-            result = self.engine.run(job, splits)
+            result = self.engine.run(job, splits, journal=journal)
             records_in = result.counters.get(C.MAP_INPUT_RECORDS)
             records_out = result.counters.get(
                 C.MAP_OUTPUT_RECORDS

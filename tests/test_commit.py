@@ -1,0 +1,586 @@
+"""Exactly-once commit tests: fencing, leases, the job WAL, zombie
+backups, duplicated commits, and driver-kill crash recovery.
+
+The guarantee under test is the engine's exactly-once contract: every
+task's side effects are applied once — never zero times, never twice —
+under zombie attempts, duplicated commit messages, and a driver that
+dies mid-round, with outputs byte-identical to a clean run throughout.
+"""
+
+import pytest
+
+from repro.chaos import (
+    DelayTask,
+    DuplicateCommit,
+    FaultPlan,
+    KillDriver,
+    ZombieAttempt,
+)
+from repro.chaos.plan import parse_event
+from repro.errors import CommitError, DriverKilledError, MapReduceError
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce import counters as C
+from repro.mapreduce.commit import LeaseMonitor, OutputCommitter, RoundJournal
+from repro.mapreduce.engine import JobResult, MapReduceEngine, _TaskOutcome
+from repro.mapreduce.executors import fork_available
+from repro.mapreduce.job import JobConf, make_splits
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.obs.recorder import ObsConfig
+from repro.pipeline.checkpoint import LocalDirectoryBackend
+from repro.pipeline.parallel import GesallPipeline
+from repro.pipeline.wal import JobWal
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+ALL_EXECUTORS = [
+    ("serial", 1),
+    ("thread", 4),
+    pytest.param("process", 2, marks=needs_fork),
+]
+
+NODES = [f"node{i:02d}" for i in range(4)]
+
+
+def wordcount_job(name="wc"):
+    def mapper(line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(word, sum(counts))
+
+    return JobConf(name, mapper, reducer, num_reducers=2)
+
+
+LINES = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "quick quick slow",
+]
+
+#: 4 splits -> 4 map tasks, plus 2 reducers.
+ALL_TASK_IDS = [f"wc-m-{i:05d}" for i in range(4)] + [
+    f"wc-r-{i:05d}" for i in range(2)
+]
+
+
+def outcome(**attrs):
+    out = _TaskOutcome()
+    for key, value in attrs.items():
+        setattr(out, key, value)
+    return out
+
+
+class FakeFs:
+    def __init__(self):
+        self.puts = []
+
+    def put(self, path, data, logical_partition=False):
+        self.puts.append((path, data, logical_partition))
+
+
+def clean_outputs(kind="serial", max_workers=1):
+    policy = ExecutionPolicy(executor=kind, max_workers=max_workers)
+    return MapReduceEngine(nodes=["n1", "n2"], policy=policy).run(
+        wordcount_job(), make_splits(LINES)
+    ).all_outputs()
+
+
+# ---------------------------------------------------------------------------
+# OutputCommitter unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestOutputCommitter:
+    def committer(self, filesystem=None):
+        result = JobResult("t")
+        return OutputCommitter(result, filesystem), result
+
+    def test_promotes_exactly_once(self):
+        committer, result = self.committer()
+        out = outcome(attachments=[("table", b"blob")])
+        committer.stage("t-m-00000", 0, out)
+        assert committer.promote("t-m-00000", 0, out)
+        assert result.attachments == {"table": [b"blob"]}
+        assert committer.committed == {"t-m-00000": 0}
+        assert result.counters.get(C.TASK_COMMITS) == 1
+        # A duplicated commit of the same attempt is refused, not applied.
+        committer.stage("t-m-00000", 0, out)
+        assert not committer.promote("t-m-00000", 0, out)
+        assert result.attachments == {"table": [b"blob"]}
+        assert result.counters.get(C.FENCED_COMMITS) == 1
+        events = result.history.events_of("commit_fenced")
+        assert len(events) == 1
+        assert events[0]["reason"] == "duplicate"
+
+    def test_stale_epoch_is_fenced(self):
+        committer, result = self.committer()
+        zombie = outcome(attachments=[("table", b"stale")])
+        committer.stage("t-m-00000", 0, zombie)
+        assert committer.fence("t-m-00000") == 1
+        backup = outcome(attachments=[("table", b"fresh")])
+        committer.stage("t-m-00000", 1, backup)
+        assert committer.promote("t-m-00000", 1, backup)
+        # The zombie's late commit presents the spent epoch-0 token.
+        assert not committer.promote("t-m-00000", 0, zombie)
+        assert result.attachments == {"table": [b"fresh"]}
+        [refused] = result.history.events_of("commit_fenced")
+        assert refused["reason"] == "duplicate"  # backup already won
+
+    def test_fence_before_any_commit_refuses_the_old_lineage(self):
+        committer, result = self.committer()
+        zombie = outcome()
+        committer.stage("t-m-00000", 0, zombie)
+        committer.fence("t-m-00000")
+        assert not committer.promote("t-m-00000", 0, zombie)
+        [refused] = result.history.events_of("commit_fenced")
+        assert refused["reason"] == "stale_epoch"
+        assert refused["expected"] == 1
+
+    def test_unstaged_promotion_raises(self):
+        committer, _ = self.committer()
+        with pytest.raises(CommitError, match="never staged"):
+            committer.promote("t-m-00000", 0, outcome())
+
+    def test_file_writes_go_through_the_filesystem(self):
+        fs = FakeFs()
+        committer, _ = self.committer(filesystem=fs)
+        out = outcome(file_writes=[("/out/p0", b"data", True)])
+        committer.stage("t-m-00000", 0, out)
+        assert committer.promote("t-m-00000", 0, out)
+        assert fs.puts == [("/out/p0", b"data", True)]
+
+    def test_file_write_without_filesystem_raises(self):
+        committer, _ = self.committer(filesystem=None)
+        out = outcome(file_writes=[("/out/p0", b"data", False)])
+        committer.stage("t-m-00000", 0, out)
+        with pytest.raises(MapReduceError, match="no filesystem"):
+            committer.promote("t-m-00000", 0, out)
+
+    def test_replay_reapplies_a_journaled_commit(self):
+        committer, result = self.committer()
+        committer.replay("t-m-00000", 1, outcome(attachments=[("t", 1)]))
+        assert committer.committed == {"t-m-00000": 1}
+        assert result.attachments == {"t": [1]}
+        assert result.counters.get(C.WAL_TASKS_SKIPPED) == 1
+        assert len(result.history.events_of("task_replayed")) == 1
+
+    def test_replay_of_a_committed_task_raises(self):
+        committer, _ = self.committer()
+        out = outcome()
+        committer.stage("t-m-00000", 0, out)
+        committer.promote("t-m-00000", 0, out)
+        with pytest.raises(CommitError, match="refused on replay"):
+            committer.replay("t-m-00000", 0, out)
+
+
+# ---------------------------------------------------------------------------
+# LeaseMonitor unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseMonitor:
+    def test_no_lease_configured_never_expires(self):
+        monitor = LeaseMonitor(ExecutionPolicy())
+        assert monitor.verdict(
+            outcome(lease_charged=1e9, heartbeats=[])
+        ) is None
+
+    def test_zombie_flag_wins_over_heartbeats(self):
+        monitor = LeaseMonitor(ExecutionPolicy(lease_seconds=100.0))
+        out = outcome(lease_charged=1.0, heartbeats=[0.5], zombie=True)
+        assert monitor.verdict(out) == "zombie"
+
+    def test_heartbeat_gap_expires_the_lease(self):
+        monitor = LeaseMonitor(ExecutionPolicy(lease_seconds=5.0))
+        assert monitor.verdict(
+            outcome(lease_charged=12.0, heartbeats=[2.0, 6.0, 10.0])
+        ) is None  # max gap 4s: held
+        assert monitor.verdict(
+            outcome(lease_charged=12.0, heartbeats=[2.0])
+        ) == "heartbeat_gap"  # silent from 2s to 12s
+
+    def test_max_silence_ignores_out_of_range_stamps(self):
+        out = outcome(
+            lease_charged=10.0, heartbeats=[-3.0, 2.0, 6.0, 99.0]
+        )
+        assert LeaseMonitor.max_silence(out) == 4.0
+
+    def test_clock_is_injectable(self):
+        monitor = LeaseMonitor(ExecutionPolicy(), clock=lambda: 42.0)
+        assert monitor.clock() == 42.0
+
+
+# ---------------------------------------------------------------------------
+# JobWal unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestJobWal:
+    def wal(self, tmp_path, fingerprint="fp"):
+        return JobWal(LocalDirectoryBackend(str(tmp_path)), fingerprint)
+
+    def test_roundtrip(self, tmp_path):
+        wal = self.wal(tmp_path)
+        wal.begin_round("round1")
+        wal.append_commit("round1", "t-m-00000", 0, {"n": 1})
+        wal.append_commit("round1", "t-m-00001", 2, {"n": 2})
+        recovered = wal.recover_round("round1")
+        assert recovered == {
+            "t-m-00000": (0, {"n": 1}),
+            "t-m-00001": (2, {"n": 2}),
+        }
+
+    def test_missing_or_blank_log_recovers_nothing(self, tmp_path):
+        wal = self.wal(tmp_path)
+        assert wal.recover_round("round1") == {}
+        wal.begin_round("round1")
+        wal.reset_round("round1")
+        assert wal.recover_round("round1") == {}
+
+    def test_header_only_log_recovers_nothing(self, tmp_path):
+        wal = self.wal(tmp_path)
+        wal.begin_round("round1")
+        assert wal.recover_round("round1") == {}
+
+    def test_foreign_fingerprint_is_ignored(self, tmp_path):
+        wal = self.wal(tmp_path)
+        wal.begin_round("round1")
+        wal.append_commit("round1", "t-m-00000", 0, {"n": 1})
+        other = self.wal(tmp_path, fingerprint="other-run")
+        assert other.recover_round("round1") == {}
+
+    def test_torn_tail_keeps_the_completed_prefix(self, tmp_path):
+        wal = self.wal(tmp_path)
+        wal.begin_round("round1")
+        wal.append_commit("round1", "t-m-00000", 0, {"n": 1})
+        log = tmp_path / "wal-round1.log"
+        intact = log.read_bytes()
+        wal.append_commit("round1", "t-m-00001", 0, {"n": 2})
+        full = log.read_bytes()
+        # A crash tore the second commit's frame mid-write.
+        log.write_bytes(full[: len(intact) + (len(full) - len(intact)) // 2])
+        assert wal.recover_round("round1") == {"t-m-00000": (0, {"n": 1})}
+
+    def test_corrupt_frame_stops_recovery(self, tmp_path):
+        wal = self.wal(tmp_path)
+        wal.begin_round("round1")
+        wal.append_commit("round1", "t-m-00000", 0, {"n": 1})
+        wal.append_commit("round1", "t-m-00001", 0, {"n": 2})
+        log = tmp_path / "wal-round1.log"
+        blob = bytearray(log.read_bytes())
+        blob[-1] ^= 0xFF  # rot the last commit's payload
+        log.write_bytes(bytes(blob))
+        assert wal.recover_round("round1") == {"t-m-00000": (0, {"n": 1})}
+
+
+# ---------------------------------------------------------------------------
+# Zombie attempts, fenced backups, duplicated commits (engine level)
+# ---------------------------------------------------------------------------
+
+
+class TestZombieFencing:
+    def run_with_plan(self, plan, kind="serial", max_workers=1, **knobs):
+        policy = ExecutionPolicy(
+            executor=kind, max_workers=max_workers, fault_plan=plan,
+            retry_backoff=0.0, sleep=lambda _s: None, **knobs,
+        )
+        engine = MapReduceEngine(nodes=["n1", "n2"], policy=policy)
+        return engine, engine.run(wordcount_job(), make_splits(LINES))
+
+    @pytest.mark.parametrize("kind,max_workers", ALL_EXECUTORS)
+    def test_zombie_is_fenced_and_backup_commits(self, kind, max_workers):
+        plan = FaultPlan(events=(ZombieAttempt("wc-m-00000", attempt=1),))
+        _, result = self.run_with_plan(plan, kind, max_workers)
+        assert result.all_outputs() == clean_outputs()
+        assert result.counters.get(C.TASK_COMMITS) == len(ALL_TASK_IDS)
+        assert result.counters.get(C.FENCED_COMMITS) == 1
+        assert result.counters.get(C.LEASE_EXPIRATIONS) == 1
+        assert result.counters.get(C.BACKUP_ATTEMPTS) == 1
+
+    def test_backup_shows_up_in_history(self):
+        plan = FaultPlan(events=(ZombieAttempt("wc-r-00001", attempt=1),))
+        _, result = self.run_with_plan(plan)
+        [backup] = result.history.backup_tasks()
+        assert backup.task_id == "wc-r-00001-backup-e1"
+        assert backup.backup
+        summary = result.history.summary()
+        assert summary["backups"] == 1
+        assert summary["fenced_commits"] == 1
+        [expired] = result.history.events_of("lease_expired")
+        assert expired["task"] == "wc-r-00001"
+        assert expired["reason"] == "zombie"
+        [launched] = result.history.events_of("backup_launched")
+        assert launched["epoch"] == 1
+
+    def test_lease_loss_charges_the_node_toward_the_blacklist(self):
+        plan = FaultPlan(events=(ZombieAttempt("wc-m-00000", attempt=1),))
+        engine, result = self.run_with_plan(plan, blacklist_after=1)
+        [expired] = result.history.events_of("lease_expired")
+        assert expired["node"] in engine.blacklisted_nodes
+
+    def test_heartbeat_silence_expires_a_real_lease(self):
+        # A 60s injected delay with no heartbeats is 60s of silence;
+        # the 30s lease expires and a fenced backup (epoch 1 sees no
+        # chaos events, so it runs clean) takes the commit.
+        plan = FaultPlan(events=(
+            DelayTask("wc-m-00001", seconds=60.0, attempt=1),
+        ))
+        _, result = self.run_with_plan(plan, lease_seconds=30.0)
+        assert result.all_outputs() == clean_outputs()
+        assert result.counters.get(C.LEASE_EXPIRATIONS) == 1
+        [expired] = result.history.events_of("lease_expired")
+        assert expired["reason"] == "heartbeat_gap"
+
+    def test_exhausted_backups_fail_the_job(self):
+        # A lease shorter than any measurable runtime expires every
+        # lineage, backups included.
+        plan = FaultPlan(events=(ZombieAttempt("wc-m-00000", attempt=1),))
+        with pytest.raises(MapReduceError, match="lost its lease"):
+            self.run_with_plan(plan, lease_seconds=1e-12, backup_attempts=2)
+
+    def test_duplicate_commit_is_refused(self):
+        plan = FaultPlan(events=(DuplicateCommit("wc-r-00000"),))
+        _, result = self.run_with_plan(plan)
+        assert result.all_outputs() == clean_outputs()
+        assert result.counters.get(C.FENCED_COMMITS) == 1
+        [refused] = result.history.events_of("commit_fenced")
+        assert refused["task"] == "wc-r-00000"
+        assert refused["reason"] == "duplicate"
+
+    @pytest.mark.parametrize("kind,max_workers", ALL_EXECUTORS)
+    @pytest.mark.parametrize("task_id", ALL_TASK_IDS)
+    def test_any_lease_expiry_is_byte_identical(
+        self, kind, max_workers, task_id
+    ):
+        """S3 property: expiring any one attempt's lease at any task
+        index, under every executor, changes nothing — outputs stay
+        byte-identical and exactly one attempt commits per task."""
+        plan = FaultPlan(events=(ZombieAttempt(task_id, attempt=1),))
+        _, result = self.run_with_plan(plan, kind, max_workers)
+        assert result.all_outputs() == clean_outputs()
+        assert result.counters.get(C.TASK_COMMITS) == len(ALL_TASK_IDS)
+        assert result.counters.get(C.FENCED_COMMITS) == 1
+        assert result.counters.get(C.BACKUP_ATTEMPTS) == 1
+
+
+# ---------------------------------------------------------------------------
+# Driver kill + WAL replay (engine level)
+# ---------------------------------------------------------------------------
+
+
+class TestDriverKillReplay:
+    def test_interrupted_round_resumes_from_the_wal(self, tmp_path):
+        wal = JobWal(LocalDirectoryBackend(str(tmp_path)), "fp")
+        plan = FaultPlan(events=(KillDriver("r1", after_commits=3),))
+        wal.begin_round("r1")
+        journal = RoundJournal(wal, "r1", plan=plan)
+        with pytest.raises(DriverKilledError, match="after commit #3"):
+            MapReduceEngine(nodes=["n1", "n2"]).run(
+                wordcount_job(), make_splits(LINES), journal=journal
+            )
+        recovered = wal.recover_round("r1")
+        assert len(recovered) == 3
+        # Resume: recover first, then truncate and replay through the
+        # normal commit path (re-journaling as it goes).
+        wal.begin_round("r1")
+        journal = RoundJournal(wal, "r1", recovered=recovered)
+        result = MapReduceEngine(nodes=["n1", "n2"]).run(
+            wordcount_job(), make_splits(LINES), journal=journal
+        )
+        assert result.all_outputs() == clean_outputs()
+        assert result.counters.get(C.WAL_TASKS_SKIPPED) == 3
+        assert result.counters.get(C.TASK_COMMITS) == len(ALL_TASK_IDS)
+        assert len(result.history.events_of("task_replayed")) == 3
+        # The finished round's journal is complete again.
+        assert len(wal.recover_round("r1")) == len(ALL_TASK_IDS)
+
+    def test_replayed_outcomes_keep_counters_identical(self, tmp_path):
+        wal = JobWal(LocalDirectoryBackend(str(tmp_path)), "fp")
+        plan = FaultPlan(events=(KillDriver("r1", after_commits=2),))
+        wal.begin_round("r1")
+        with pytest.raises(DriverKilledError):
+            MapReduceEngine(nodes=["n1", "n2"]).run(
+                wordcount_job(), make_splits(LINES),
+                journal=RoundJournal(wal, "r1", plan=plan),
+            )
+        recovered = wal.recover_round("r1")
+        wal.begin_round("r1")
+        resumed = MapReduceEngine(nodes=["n1", "n2"]).run(
+            wordcount_job(), make_splits(LINES),
+            journal=RoundJournal(wal, "r1", recovered=recovered),
+        )
+        clean = MapReduceEngine(nodes=["n1", "n2"]).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        for name in (C.MAP_INPUT_RECORDS, C.MAP_OUTPUT_RECORDS,
+                     C.REDUCE_INPUT_GROUPS, C.REDUCE_OUTPUT_RECORDS):
+            assert resumed.counters.get(name) == clean.counters.get(name)
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery through the pipeline (KillDriver + checkpoint + WAL)
+# ---------------------------------------------------------------------------
+
+
+def build_pipeline(reference, ref_index, **kwargs):
+    return GesallPipeline(
+        reference, index=ref_index, nodes=NODES,
+        num_fastq_partitions=3, num_reducers=2, **kwargs,
+    )
+
+
+def fingerprint_of(result):
+    files = {f.path: result.hdfs.get(f.path) for f in result.hdfs.files()}
+    return files, [v.to_line() for v in result.variants]
+
+
+class TestPipelineCrashRecovery:
+    def test_kill_driver_then_resume_is_byte_identical(
+        self, reference, ref_index, pairs, tmp_path
+    ):
+        some_pairs = pairs[:160]
+        clean = build_pipeline(reference, ref_index).run(some_pairs)
+        root = str(tmp_path / "ckpt")
+        plan = FaultPlan(events=(KillDriver("round2", after_commits=2),))
+        dying = ExecutionPolicy(fault_plan=plan)
+        with pytest.raises(DriverKilledError):
+            build_pipeline(
+                reference, ref_index, checkpoint_dir=root, policy=dying
+            ).run(some_pairs)
+        resumed = build_pipeline(
+            reference, ref_index, checkpoint_dir=root,
+            obs=ObsConfig(enabled=True),
+        ).run(some_pairs, resume=True)
+        # Round 1 came from its checkpoint; round 2 was interrupted and
+        # replayed its two journaled commits instead of re-running them.
+        assert resumed.resumed_rounds == ["round1"]
+        assert list(resumed.recovered_tasks) == ["round2"]
+        assert len(resumed.recovered_tasks["round2"]) == 2
+        assert fingerprint_of(resumed) == fingerprint_of(clean)
+        round2 = resumed.rounds.results["round2"]
+        assert round2.counters.get(C.WAL_TASKS_SKIPPED) == 2
+        assert len(round2.history.events_of("task_replayed")) == 2
+        metrics = resumed.recorder.metrics
+        assert metrics.counter("wal.rounds_recovered").value == 1
+        assert metrics.counter("wal.tasks_skipped").value == 2
+
+    def test_fresh_run_resets_stale_wals(
+        self, reference, ref_index, pairs, tmp_path
+    ):
+        some_pairs = pairs[:160]
+        root = str(tmp_path / "ckpt")
+        plan = FaultPlan(events=(KillDriver("round2", after_commits=1),))
+        with pytest.raises(DriverKilledError):
+            build_pipeline(
+                reference, ref_index, checkpoint_dir=root,
+                policy=ExecutionPolicy(fault_plan=plan),
+            ).run(some_pairs)
+        # A non-resume run must not replay the dead run's journal.
+        fresh = build_pipeline(
+            reference, ref_index, checkpoint_dir=root
+        ).run(some_pairs)
+        assert fresh.recovered_tasks == {}
+        assert fingerprint_of(fresh) == fingerprint_of(
+            build_pipeline(reference, ref_index).run(some_pairs)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Satellite regressions: segment leak (S1) and audited speculation (S2)
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentLeakRegression:
+    def test_failure_between_the_waves_leaks_no_segments(self):
+        """A chaos-plan validation error fires after the map wave has
+        stored its segments and before any reduce runs; cleanup must
+        still cover them (the old try/finally only wrapped the reduce
+        wave)."""
+        from repro.chaos import CorruptSegment
+
+        hdfs = Hdfs(["n1", "n2"], replication=2)
+        plan = FaultPlan(events=(CorruptSegment("wc", map_index=99),))
+        policy = ExecutionPolicy(fault_plan=plan)
+        engine = MapReduceEngine(
+            nodes=["n1", "n2"], policy=policy, filesystem=hdfs
+        )
+        with pytest.raises(MapReduceError, match="no such segment"):
+            engine.run(wordcount_job(), make_splits(LINES))
+        assert hdfs.list_dir("/shuffle") == []
+
+
+class TestAuditedSpeculation:
+    def speculated_tasks(self, kind, fault_seed):
+        policy = ExecutionPolicy(
+            executor=kind, max_workers=4, speculative=True,
+            fault_seed=fault_seed,
+        )
+        result = MapReduceEngine(nodes=["n1", "n2"], policy=policy).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        assert result.all_outputs() == clean_outputs()
+        return sorted(
+            t.task_id for t in result.history.tasks if t.speculative
+        )
+
+    def test_audited_index_is_seeded_not_hardcoded(self):
+        """S2: the audited straggler follows the policy seed instead of
+        always sparing every task but the last."""
+        per_seed = {
+            seed: self.speculated_tasks("thread", seed) for seed in range(6)
+        }
+        assert len({tuple(v) for v in per_seed.values()}) > 1
+        # No seed audits the old hard-coded choice exclusively, and the
+        # draw is over live tasks in both waves.
+        for tasks in per_seed.values():
+            assert len(tasks) == 2  # one map, one reduce audit
+
+    @needs_fork
+    def test_audit_choice_is_identical_across_executors(self):
+        assert (
+            self.speculated_tasks("thread", 3)
+            == self.speculated_tasks("process", 3)
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI event specs for the new chaos vocabulary
+# ---------------------------------------------------------------------------
+
+
+class TestNewEventSpecs:
+    def test_parse_round_trip(self):
+        assert parse_event("t-m-00000@2", "zombie") == \
+            ZombieAttempt("t-m-00000", attempt=2)
+        assert parse_event("t-m-00000", "zombie") == \
+            ZombieAttempt("t-m-00000")
+        assert parse_event("t-r-00001", "duplicate-commit") == \
+            DuplicateCommit("t-r-00001")
+        assert parse_event("round2:3", "kill-driver") == \
+            KillDriver("round2", after_commits=3)
+        assert parse_event("round2", "kill-driver") == KillDriver("round2")
+
+    def test_kill_driver_validation(self):
+        with pytest.raises(MapReduceError, match=">= 1"):
+            FaultPlan(events=(KillDriver("round2", after_commits=0),))
+        with pytest.raises(MapReduceError, match="bad --kill-driver"):
+            parse_event("round2:zero", "kill-driver")
+
+    def test_plan_accessors(self):
+        plan = FaultPlan(events=(
+            ZombieAttempt("t-m-00000", attempt=1),
+            DuplicateCommit("t-r-00000"),
+            KillDriver("round2", after_commits=2),
+        ))
+        assert plan.zombie_in("t-m-00000", 1)
+        assert not plan.zombie_in("t-m-00000", 2)
+        assert plan.duplicate_commit_for("t-r-00000")
+        assert not plan.duplicate_commit_for("t-m-00000")
+        assert plan.driver_kill("round2").after_commits == 2
+        assert plan.driver_kill("round3") is None
+        kinds = [e["kind"] for e in plan.as_dicts()]
+        assert kinds == ["zombie_attempt", "duplicate_commit", "kill_driver"]
