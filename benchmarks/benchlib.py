@@ -4,9 +4,24 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from typing import Any, Dict, Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version of the BENCH_*.json schema.  v2 added ``schema_version``
+#: and the ``host`` block (cpu_count / platform / python), so timing
+#: JSON can never again be compared across hosts without noticing.
+BENCH_SCHEMA_VERSION = 2
+
+
+def host_info() -> Dict[str, Any]:
+    """The host facts every timing result must carry to be comparable."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def report(name: str, text: str) -> None:
@@ -42,12 +57,17 @@ def report_json(
     """Write one experiment's machine-readable result.
 
     Lands next to the text tables as ``BENCH_<name>.json`` with a fixed
-    schema — {name, params, wall_seconds, counters} — so CI can diff
-    runs without scraping the human tables.  Returns the path written.
+    schema — {schema_version, name, host, params, wall_seconds,
+    counters} — so CI can diff runs without scraping the human tables.
+    The ``host`` block records the real core count and interpreter, so
+    a timing claim is never divorced from the machine that made it.
+    Returns the path written.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "name": name,
+        "host": host_info(),
         "params": params or {},
         "wall_seconds": round(float(wall_seconds), 6),
         "counters": counters or {},

@@ -19,13 +19,14 @@ Usage::
 from repro import (
     AlignerConfig,
     ErrorDiagnosisToolkit,
-    GesallPipeline,
     HaplotypeCallerConfig,
+    PipelineSpec,
     ReadSimulationConfig,
     ReferenceIndex,
     ReferenceSimulationConfig,
-    SerialPipeline,
     compare_alignments,
+    run_pipeline,
+    run_serial_pipeline,
     simulate_donor,
     simulate_reads,
     simulate_reference,
@@ -51,14 +52,13 @@ def main():
     aligner_config = AlignerConfig(seed=9)
     hc_config = HaplotypeCallerConfig(downsample_depth=16)
 
-    serial = SerialPipeline(
-        reference, index=index, aligner_config=aligner_config,
-        hc_config=hc_config,
-    ).run(pairs)
-    parallel = GesallPipeline(
-        reference, index=index, num_fastq_partitions=10, num_reducers=4,
+    spec = PipelineSpec(
+        reference=reference, index=index,
+        num_fastq_partitions=10, num_reducers=4,
         aligner_config=aligner_config, hc_config=hc_config,
-    ).run(pairs)
+    )
+    serial = run_serial_pipeline(spec, pairs)
+    parallel = run_pipeline(spec, pairs)
 
     toolkit = ErrorDiagnosisToolkit(reference, hc_config)
     report = toolkit.diagnose(serial, parallel)

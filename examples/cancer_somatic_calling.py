@@ -13,10 +13,11 @@ Usage::
 """
 
 from repro import (
-    GesallPipeline,
+    PipelineSpec,
     ReadSimulationConfig,
     ReferenceIndex,
     ReferenceSimulationConfig,
+    run_pipeline,
     simulate_donor,
     simulate_reads,
     simulate_reference,
@@ -55,12 +56,12 @@ def main():
 
     print("Running both samples through the Gesall parallel pipeline...")
     index = ReferenceIndex(reference)
-    normal = GesallPipeline(
-        reference, index=index, num_fastq_partitions=8, num_reducers=4
-    ).run(normal_pairs)
-    tumor_result = GesallPipeline(
-        reference, index=index, num_fastq_partitions=8, num_reducers=4
-    ).run(tumor_pairs)
+    spec = PipelineSpec(
+        reference=reference, index=index,
+        num_fastq_partitions=8, num_reducers=4,
+    )
+    normal = run_pipeline(spec, normal_pairs)
+    tumor_result = run_pipeline(spec, tumor_pairs)
 
     print("Somatic calling per chromosome partition (MutectLite)...")
     caller = MutectLite(reference)

@@ -17,12 +17,13 @@ Usage::
 
 from repro import (
     ErrorDiagnosisToolkit,
-    GesallPipeline,
+    PipelineSpec,
     ReadSimulationConfig,
     ReferenceIndex,
     ReferenceSimulationConfig,
-    SerialPipeline,
     precision_sensitivity,
+    run_pipeline,
+    run_serial_pipeline,
     simulate_donor,
     simulate_reads,
     simulate_reference,
@@ -45,15 +46,18 @@ def main():
 
     index = ReferenceIndex(reference)
 
+    spec = PipelineSpec(
+        reference=reference, index=index,
+        num_fastq_partitions=8, num_reducers=4,
+    )
+
     print("3. Serial pipeline (single-node gold standard)...")
-    serial = SerialPipeline(reference, index=index).run(pairs)
+    serial = run_serial_pipeline(spec, pairs)
     print(f"   {len(serial.alignment)} alignments -> "
           f"{len(serial.variants)} variant calls")
 
     print("4. Gesall parallel pipeline (5 MapReduce rounds, 4 nodes)...")
-    parallel = GesallPipeline(
-        reference, index=index, num_fastq_partitions=8, num_reducers=4
-    ).run(pairs)
+    parallel = run_pipeline(spec, pairs)
     print(f"   {len(parallel.alignment)} alignments -> "
           f"{len(parallel.variants)} variant calls")
 

@@ -15,11 +15,12 @@ Usage::
 """
 
 from repro import (
-    GesallPipeline,
+    PipelineSpec,
     ReadSimulationConfig,
     ReferenceIndex,
     ReferenceSimulationConfig,
     UnifiedGenotyperLite,
+    run_pipeline,
     simulate_donor,
     simulate_reads,
     simulate_reference,
@@ -50,9 +51,11 @@ def main():
 
     print("Running the Gesall parallel pipeline...")
     index = ReferenceIndex(reference)
-    result = GesallPipeline(
-        reference, index=index, num_fastq_partitions=8, num_reducers=4
-    ).run(pairs)
+    result = run_pipeline(
+        PipelineSpec(reference=reference, index=index,
+                     num_fastq_partitions=8, num_reducers=4),
+        pairs,
+    )
 
     print("Small-variant callers cannot reach 400 bp deletions:")
     small_caller = UnifiedGenotyperLite(reference)

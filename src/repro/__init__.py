@@ -24,6 +24,14 @@ Quick start::
 """
 
 from repro.align import AlignerConfig, BwaMemLite, PairedEndAligner, ReferenceIndex
+from repro.api import (
+    JobSpec,
+    PipelineSpec,
+    make_block_splits,
+    run_job,
+    run_pipeline,
+    run_serial_pipeline,
+)
 from repro.cluster import (
     CLUSTER_A,
     CLUSTER_B,
@@ -71,6 +79,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AlignerConfig", "BwaMemLite", "PairedEndAligner", "ReferenceIndex",
+    "JobSpec", "PipelineSpec", "make_block_splits", "run_job",
+    "run_pipeline", "run_serial_pipeline",
     "CLUSTER_A", "CLUSTER_B", "SINGLE_SERVER", "BwaThreadModel",
     "ClusterModel", "ClusterSpec", "CostModel", "NA12878", "Workload",
     "simulate_round",

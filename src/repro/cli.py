@@ -24,11 +24,13 @@ touching any data.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import List, Optional
 
 from repro.align.index import ReferenceIndex
+from repro.api import PipelineSpec, run_pipeline, run_serial_pipeline
 from repro.diagnostics.toolkit import ErrorDiagnosisToolkit
 from repro.formats.fastq import interleave, read_fastq, write_fastq
 from repro.formats.vcf import read_vcf, write_vcf
@@ -42,36 +44,55 @@ from repro.genome.simulate import (
 )
 from repro.mapreduce.policy import EXECUTOR_KINDS, ExecutionPolicy
 from repro.metrics.accuracy import precision_sensitivity
-from repro.pipeline.parallel import GesallPipeline
-from repro.pipeline.serial import SerialPipeline
 from repro.shuffle.codec import CODEC_NAMES
 from repro.shuffle.config import ShuffleConfig
 
 
-def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--executor", choices=EXECUTOR_KINDS,
-                        default="serial",
-                        help="how MR tasks run (default: serial)")
-    parser.add_argument("--max-workers", type=int, default=None,
-                        help="worker slots for thread/process executors")
-    parser.add_argument("--task-retries", type=int, default=0,
-                        help="retries per failed task (default: 0)")
-    parser.add_argument("--shuffle-codec", choices=CODEC_NAMES,
-                        default="raw",
-                        help="segment compression for the shuffle byte "
-                             "plane (default: raw)")
+def _execution_parent() -> argparse.ArgumentParser:
+    """The one definition of the execution flags.
+
+    Every pipeline-running subcommand (run / trace / diagnose / chaos)
+    inherits this parent parser, so the flag set cannot drift between
+    subcommands; :func:`_spec_from_args` is the only reader, so every
+    flag is guaranteed to land in the :class:`PipelineSpec` (the old
+    per-subcommand plumbing let ``diagnose`` parse ``--shuffle-codec``
+    without ever applying it).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument("--executor", choices=EXECUTOR_KINDS,
+                       default="serial",
+                       help="how MR tasks run (default: serial; pool "
+                            "forks once per job and reuses workers)")
+    group.add_argument("--max-workers", type=int, default=None,
+                       help="worker slots for thread/process/pool "
+                            "executors")
+    group.add_argument("--task-retries", type=int, default=0,
+                       help="retries per failed task (default: 0)")
+    group.add_argument("--shuffle-codec", choices=CODEC_NAMES,
+                       default="raw",
+                       help="segment compression for the shuffle byte "
+                            "plane (default: raw)")
+    group.add_argument("--partitions", type=int, default=8,
+                       help="FASTQ logical partitions (default: 8)")
+    return parent
 
 
-def _policy_from_args(args) -> ExecutionPolicy:
-    return ExecutionPolicy(
-        executor=args.executor,
-        max_workers=args.max_workers,
-        task_retries=args.task_retries,
+def _spec_from_args(args, reference, index, **overrides) -> PipelineSpec:
+    """Materialise the frozen pipeline spec the execution flags describe."""
+    fields = dict(
+        reference=reference,
+        index=index,
+        num_fastq_partitions=args.partitions,
+        policy=ExecutionPolicy(
+            executor=args.executor,
+            max_workers=args.max_workers,
+            task_retries=args.task_retries,
+        ),
+        shuffle=ShuffleConfig(codec=args.shuffle_codec),
     )
-
-
-def _shuffle_from_args(args) -> ShuffleConfig:
-    return ShuffleConfig(codec=args.shuffle_codec)
+    fields.update(overrides)
+    return PipelineSpec(**fields)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -80,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Gesall reproduction: parallel WGS analysis",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_parent()
 
     sim = sub.add_parser("simulate", help="generate a synthetic sample")
     sim.add_argument("--out", required=True, help="output directory")
@@ -88,42 +110,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--coverage", type=float, default=15.0)
     sim.add_argument("--seed", type=int, default=1)
 
-    run = sub.add_parser("run", help="run a pipeline over a sample dir")
+    run = sub.add_parser("run", parents=[execution],
+                         help="run a pipeline over a sample dir")
     run.add_argument("--data", required=True, help="simulate output dir")
     run.add_argument("--mode", choices=("serial", "parallel"),
                      default="parallel")
-    run.add_argument("--partitions", type=int, default=8,
-                     help="FASTQ logical partitions (parallel mode)")
     run.add_argument("--vcf", default=None, help="output VCF path")
-    _add_executor_flags(run)
 
     trace = sub.add_parser(
-        "trace",
+        "trace", parents=[execution],
         help="run the parallel pipeline traced; report + trace.json",
     )
     trace.add_argument("--data", required=True, help="simulate output dir")
-    trace.add_argument("--partitions", type=int, default=8,
-                       help="FASTQ logical partitions")
     trace.add_argument("--trace-out", default=None,
                        help="Chrome trace path (default DATA/trace.json)")
     trace.add_argument("--jsonl", default=None,
                        help="also write a JSONL span dump to this path")
     trace.add_argument("--width", type=int, default=60,
                        help="terminal timeline width in samples")
-    _add_executor_flags(trace)
 
-    diag = sub.add_parser("diagnose",
+    diag = sub.add_parser("diagnose", parents=[execution],
                           help="run both pipelines and compare (Table 8)")
     diag.add_argument("--data", required=True)
-    diag.add_argument("--partitions", type=int, default=8)
-    _add_executor_flags(diag)
 
     chaos = sub.add_parser(
-        "chaos",
+        "chaos", parents=[execution],
         help="run the pipeline under a fault plan; gate on equivalence",
     )
     chaos.add_argument("--data", required=True, help="simulate output dir")
-    chaos.add_argument("--partitions", type=int, default=8)
     chaos.add_argument("--seed", type=int, default=0,
                        help="fault plan seed (picks the demo victim node)")
     chaos.add_argument("--task-timeout", type=float, default=30.0,
@@ -171,7 +185,6 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the chaos run's Chrome trace here")
     chaos.add_argument("--report-out", default=None,
                        help="write a JSON chaos report here")
-    _add_executor_flags(chaos)
 
     perf = sub.add_parser("perf-study",
                           help="print the simulated performance study")
@@ -214,13 +227,11 @@ def _cmd_simulate(args) -> int:
 def _cmd_run(args) -> int:
     reference, pairs = _load_sample(args.data)
     index = ReferenceIndex(reference)
+    spec = _spec_from_args(args, reference, index)
     if args.mode == "serial":
-        result = SerialPipeline(reference, index=index).run(pairs)
+        result = run_serial_pipeline(spec, pairs)
     else:
-        result = GesallPipeline(
-            reference, index=index, num_fastq_partitions=args.partitions,
-            policy=_policy_from_args(args), shuffle=_shuffle_from_args(args),
-        ).run(pairs)
+        result = run_pipeline(spec, pairs)
     vcf_path = args.vcf or os.path.join(args.data, f"{args.mode}.vcf")
     write_vcf(vcf_path, result.variants)
     print(f"{args.mode} pipeline: {len(result.alignment)} alignments, "
@@ -253,12 +264,9 @@ def _cmd_trace(args) -> int:
 
     reference, pairs = _load_sample(args.data)
     index = ReferenceIndex(reference)
-    pipeline = GesallPipeline(
-        reference, index=index, num_fastq_partitions=args.partitions,
-        policy=_policy_from_args(args), obs=ObsConfig(enabled=True),
-        shuffle=_shuffle_from_args(args),
-    )
-    result = pipeline.run(pairs)
+    spec = _spec_from_args(args, reference, index,
+                           obs=ObsConfig(enabled=True))
+    result = run_pipeline(spec, pairs)
     recorder = result.recorder
     spans = recorder.spans()
 
@@ -350,11 +358,9 @@ def _cmd_trace(args) -> int:
 def _cmd_diagnose(args) -> int:
     reference, pairs = _load_sample(args.data)
     index = ReferenceIndex(reference)
-    serial = SerialPipeline(reference, index=index).run(pairs)
-    parallel = GesallPipeline(
-        reference, index=index, num_fastq_partitions=args.partitions,
-        policy=_policy_from_args(args),
-    ).run(pairs)
+    spec = _spec_from_args(args, reference, index)
+    serial = run_serial_pipeline(spec, pairs)
+    parallel = run_pipeline(spec, pairs)
     report = ErrorDiagnosisToolkit(reference).diagnose(serial, parallel)
     print(f"{'stage':<18s}{'D_count':>10s}{'weighted':>10s}{'D_impact':>10s}")
     for row in report.rows:
@@ -375,7 +381,6 @@ def _cmd_chaos(args) -> int:
     absorbed by replication, retries and timeouts without changing a
     single call.
     """
-    import dataclasses
     import json
 
     from repro.chaos.plan import FaultPlan, KillDriver, parse_event
@@ -400,15 +405,14 @@ def _cmd_chaos(args) -> int:
     print(plan.describe())
     print()
 
+    base_spec = _spec_from_args(args, reference, index, nodes=tuple(nodes))
+
     def build(policy, obs=None, checkpoint_dir=None):
-        return GesallPipeline(
-            reference, index=index, nodes=nodes,
-            num_fastq_partitions=args.partitions, policy=policy, obs=obs,
-            shuffle=_shuffle_from_args(args),
-            checkpoint_dir=checkpoint_dir,
+        return dataclasses.replace(
+            base_spec, policy=policy, obs=obs, checkpoint_dir=checkpoint_dir
         )
 
-    clean = build(ExecutionPolicy.serial()).run(pairs)
+    clean = run_pipeline(build(ExecutionPolicy.serial()), pairs)
 
     chaos_policy = ExecutionPolicy(
         executor=args.executor,
@@ -432,10 +436,13 @@ def _cmd_chaos(args) -> int:
         )
         driver_kills = 0
         try:
-            build(
-                chaos_policy, obs=ObsConfig(enabled=True),
-                checkpoint_dir=checkpoint_dir,
-            ).run(pairs)
+            run_pipeline(
+                build(
+                    chaos_policy, obs=ObsConfig(enabled=True),
+                    checkpoint_dir=checkpoint_dir,
+                ),
+                pairs,
+            )
         except DriverKilledError as exc:
             driver_kills = 1
             print(f"driver killed: {exc}")
@@ -450,19 +457,24 @@ def _cmd_chaos(args) -> int:
                 if surviving else None
             ),
         )
-        chaos_run = build(
-            resume_policy, obs=ObsConfig(enabled=True),
-            checkpoint_dir=checkpoint_dir,
-        ).run(pairs, resume=True)
+        chaos_run = run_pipeline(
+            build(
+                resume_policy, obs=ObsConfig(enabled=True),
+                checkpoint_dir=checkpoint_dir,
+            ),
+            pairs, resume=True,
+        )
         resume_info = {
             "driver_kills": driver_kills,
             "resumed_rounds": list(chaos_run.resumed_rounds),
             "recovered_tasks": dict(chaos_run.recovered_tasks),
         }
     else:
-        chaos_run = build(chaos_policy, obs=ObsConfig(enabled=True)).run(pairs)
+        chaos_run = run_pipeline(
+            build(chaos_policy, obs=ObsConfig(enabled=True)), pairs
+        )
 
-    serial = SerialPipeline(reference, index=index).run(pairs)
+    serial = run_serial_pipeline(base_spec, pairs)
     report = ErrorDiagnosisToolkit(reference).diagnose(serial, chaos_run)
     print("Table 8 (serial program vs chaos run):")
     print(f"{'stage':<18s}{'D_count':>10s}{'weighted':>10s}{'D_impact':>10s}")

@@ -1,14 +1,18 @@
 """In-process MapReduce runtime with Hadoop shuffle semantics."""
 
+from repro.mapreduce.blocks import RecordBlock, encode_block
 from repro.mapreduce.counters import Counters
 from repro.mapreduce import counters
 from repro.mapreduce.commit import LeaseMonitor, OutputCommitter, RoundJournal
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.executors import (
+    PooledProcessExecutor,
+    PoolJobContext,
     ProcessExecutor,
     SerialExecutor,
     TaskExecutor,
     ThreadedExecutor,
+    WorkerCrash,
     build_executor,
     fork_available,
 )
@@ -35,6 +39,8 @@ from repro.mapreduce.streaming import (
 )
 
 __all__ = [
+    "RecordBlock",
+    "encode_block",
     "Counters",
     "counters",
     "LeaseMonitor",
@@ -50,6 +56,9 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "ProcessExecutor",
+    "PooledProcessExecutor",
+    "PoolJobContext",
+    "WorkerCrash",
     "build_executor",
     "fork_available",
     "JobHistory",

@@ -10,6 +10,10 @@ MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
 MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
 MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"
 SPILLED_RECORDS = "SPILLED_RECORDS"
+# Map-side combiner accounting (cumulative across combine passes,
+# matching Hadoop's COMBINE_INPUT/OUTPUT_RECORDS semantics).
+COMBINE_INPUT_RECORDS = "COMBINE_INPUT_RECORDS"
+COMBINE_OUTPUT_RECORDS = "COMBINE_OUTPUT_RECORDS"
 SHUFFLED_RECORDS = "SHUFFLED_RECORDS"
 SHUFFLED_BYTES = "SHUFFLED_BYTES"
 
@@ -43,6 +47,9 @@ FENCED_COMMITS = "FENCED_COMMITS"
 LEASE_EXPIRATIONS = "LEASE_EXPIRATIONS"
 BACKUP_ATTEMPTS = "BACKUP_ATTEMPTS"
 WAL_TASKS_SKIPPED = "WAL_TASKS_SKIPPED"
+# Pool-executor crash tolerance: workers that died mid-task and were
+# settled through the fenced-backup path.
+WORKER_CRASHES = "WORKER_CRASHES"
 
 
 class Counters:

@@ -27,9 +27,15 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.chaos.plan import CorruptSegment
 from repro.errors import MapReduceError, TaskTimeoutError
 from repro.mapreduce import counters as C
+from repro.mapreduce.blocks import RecordBlock
 from repro.mapreduce.commit import LeaseMonitor, OutputCommitter, RoundJournal
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.executors import TaskExecutor, build_executor
+from repro.mapreduce.executors import (
+    PoolJobContext,
+    TaskExecutor,
+    WorkerCrash,
+    build_executor,
+)
 from repro.mapreduce.history import JobHistory, TaskAttempt
 from repro.mapreduce.job import InputSplit, JobConf, KeyValue, TaskContext
 from repro.mapreduce.policy import ExecutionPolicy, InjectedTaskFault
@@ -39,7 +45,7 @@ from repro.shuffle.merge import merge_sorted_runs_list
 from repro.shuffle.segment import segment_path
 from repro.shuffle.skew import SkewReport, detect_skew
 from repro.shuffle.spill import SpillBuffer
-from repro.shuffle.store import SegmentStore
+from repro.shuffle.store import SegmentStore, ShippedReplicaBackend
 
 
 class JobResult:
@@ -93,6 +99,7 @@ class _TaskOutcome:
         "attachments", "phases", "spans", "started_at", "finished_at",
         "worker", "node", "timeouts", "injected_delays", "failures",
         "heartbeats", "lease_charged", "zombie",
+        "block_decode_seconds", "combine_in", "combine_out",
     )
 
     def __init__(self):
@@ -141,6 +148,12 @@ class _TaskOutcome:
         #: Chaos-marked zombie: the driver already considers this
         #: attempt's lease lost; its commit must be fenced.
         self.zombie = False
+        #: Seconds spent decoding a sealed RecordBlock split (0.0 for
+        #: plain payloads) — the one-time cost block encoding pays.
+        self.block_decode_seconds = 0.0
+        #: Map-side combiner records in/out (cumulative over passes).
+        self.combine_in = 0
+        self.combine_out = 0
         #: Spans buffered by the task context, stitched by the parent.
         self.spans: List[Span] = []
         #: Run-time stamps set by the executor's tracing wrapper.
@@ -265,12 +278,19 @@ def _execute_map_task(
     traced: bool = False,
     epoch: int = 0,
 ) -> _TaskOutcome:
-    """One complete map task: record read, map, combine, sort, partition.
+    """One complete map task: block decode, map, spill (sort + combine).
 
-    With ``traced`` on, phase boundaries (map / combine / spill) are
-    measured with ``perf_counter`` and returned in the outcome so the
-    parent can stitch real wall-clock phases into the job history —
-    the measured counterpart of the simulator's Fig 7 phases.
+    A split whose payload is a sealed :class:`RecordBlock` is decoded
+    exactly once, here, inside whatever worker the executor placed the
+    task on — the decode cost is measured into the outcome so the
+    driver can publish ``map.block_decode_seconds``.  The job's
+    combiner (if any) runs *inside* the :class:`SpillBuffer`, so
+    segments are sealed already pre-aggregated.
+
+    With ``traced`` on, phase boundaries (map / spill) are measured
+    with ``perf_counter`` and returned in the outcome so the parent can
+    stitch real wall-clock phases into the job history — the measured
+    counterpart of the simulator's Fig 7 phases.
     """
 
     def body(node: str) -> _TaskOutcome:
@@ -278,26 +298,36 @@ def _execute_map_task(
         # Always measured (not only when traced): heartbeat stamps are
         # converted to offsets from this origin for the lease monitor.
         t_start = clock()
-        context = TaskContext(task_id, node, traced=traced)
-        job.mapper(split.payload, context)
+        payload = split.payload
+        block_records = None
+        decode_seconds = 0.0
+        if isinstance(payload, RecordBlock):
+            t_decode = clock()
+            block_records = payload.decode()
+            decode_seconds = clock() - t_decode
+        context = TaskContext(
+            task_id, node, traced=traced,
+            task_index=int(task_id.rsplit("-", 1)[-1]),
+        )
+        job.mapper(
+            block_records if block_records is not None else payload,
+            context,
+        )
         t_map_end = clock() if traced else 0.0
-        combined = job.combiner is not None and not job.is_map_only
-        if combined:
-            context.emitted = _apply_combiner(job, context)
-        t_combine_end = clock() if traced else 0.0
         outcome = _TaskOutcome()
+        outcome.block_decode_seconds = decode_seconds
         outcome.heartbeats = [
             max(0.0, stamp - t_start) for stamp in context.heartbeats
         ]
         if traced:
             outcome.phases = {"map": (t_start, t_map_end)}
-            if combined:
-                outcome.phases["combine"] = (t_map_end, t_combine_end)
             outcome.spans = context.spans
         if context.input_records is not None:
             outcome.input_records = int(context.input_records)
+        elif block_records is not None:
+            outcome.input_records = len(block_records)
         elif job.record_counter is not None:
-            outcome.input_records = int(job.record_counter(split.payload))
+            outcome.input_records = int(job.record_counter(payload))
         else:
             outcome.input_records = 1
         outcome.output_records = len(context.emitted)
@@ -310,11 +340,13 @@ def _execute_map_task(
             outcome.emitted = context.emitted
             return outcome
         # Sort-spill-merge: every io_sort_records-full buffer spills one
-        # sorted run; finish() merges the runs into one framed,
-        # compressed, CRC-checksummed segment per reducer.
+        # sorted run (combined in place when the job has a combiner);
+        # finish() merges the runs into one framed, compressed,
+        # CRC-checksummed segment per reducer.
         buffer = SpillBuffer(
             job.num_reducers, job.partitioner, job.sort_key or _identity,
             job.io_sort_records, track_keys=job.shuffle.track_keys,
+            combiner=job.combiner,
         )
         for key, value in context.emitted:
             buffer.add(key, value)
@@ -323,8 +355,10 @@ def _execute_map_task(
         outcome.segments = [seg.blob for seg in spilled.segments]
         outcome.partition_records = spilled.partition_records
         outcome.key_counts = spilled.key_counts
+        outcome.combine_in = spilled.combine_in
+        outcome.combine_out = spilled.combine_out
         if traced:
-            outcome.phases["spill"] = (t_combine_end, clock())
+            outcome.phases["spill"] = (t_map_end, clock())
         return outcome
 
     return _run_attempts(body, policy, task_id, candidates, epoch)
@@ -376,7 +410,10 @@ def _execute_reduce_task(
         )
         t_merge_end = clock() if traced else 0.0
 
-        context = TaskContext(task_id, node, traced=traced)
+        context = TaskContext(
+            task_id, node, traced=traced,
+            task_index=int(task_id.rsplit("-", 1)[-1]),
+        )
         cursor = 0
         while cursor < len(fetched):
             key = fetched[cursor][0]
@@ -404,6 +441,69 @@ def _execute_reduce_task(
         return outcome
 
     return _run_attempts(body, policy, task_id, candidates, epoch)
+
+
+class _MapCall:
+    """Picklable pool descriptor for one map task attempt.
+
+    The unpicklable task body (a closure over the job, split, and
+    policy) rode into the pooled workers inside the fork image as
+    ``PoolJobContext.map_bodies``; this descriptor carries only the
+    index into that table plus the commit fencing epoch.
+    """
+
+    __slots__ = ("index", "epoch")
+
+    def __init__(self, index: int, epoch: int = 0):
+        self.index = index
+        self.epoch = epoch
+
+    def with_epoch(self, epoch: int) -> "_MapCall":
+        return _MapCall(self.index, epoch)
+
+    def run(self, context: PoolJobContext) -> _TaskOutcome:
+        return context.map_bodies[self.index](self.epoch)
+
+
+class _ReduceCall:
+    """Picklable pool descriptor for one reduce task attempt.
+
+    Reduce inputs are created *after* the pool forked (segments exist
+    only once the map wave settles), so nothing about them is in the
+    workers' fork image.  Instead the driver snapshots each segment's
+    replica chain and ships the sealed blobs inside this call; the
+    worker rebuilds a :class:`SegmentStore` over the shipped snapshot
+    and runs the ordinary reduce task against it — same CRC
+    verification, same replica failover, same counters, byte-identical
+    output.
+    """
+
+    __slots__ = ("paths", "replicas", "candidates", "task_id", "traced",
+                 "epoch")
+
+    def __init__(self, paths, replicas, candidates, task_id, traced,
+                 epoch: int = 0):
+        self.paths: List[str] = paths
+        #: path -> replica chain snapshot (clean chains collapse to one
+        #: shared bytes object, so pickling ships each segment once).
+        self.replicas: Dict[str, List[bytes]] = replicas
+        self.candidates: List[str] = candidates
+        self.task_id = task_id
+        self.traced = traced
+        self.epoch = epoch
+
+    def with_epoch(self, epoch: int) -> "_ReduceCall":
+        return _ReduceCall(
+            self.paths, self.replicas, self.candidates, self.task_id,
+            self.traced, epoch,
+        )
+
+    def run(self, context: PoolJobContext) -> _TaskOutcome:
+        store = SegmentStore(ShippedReplicaBackend(self.replicas))
+        return _execute_reduce_task(
+            context.job, store, self.paths, self.candidates, self.task_id,
+            context.policy, self.traced, self.epoch,
+        )
 
 
 class MapReduceEngine:
@@ -468,6 +568,30 @@ class MapReduceEngine:
         #: Nodes that crossed ``policy.blacklist_after`` failures and
         #: no longer receive new tasks.
         self.blacklisted_nodes: set = set()
+        #: Cached executor, reused across every job this engine runs —
+        #: how the persistent pool survives from round to round.
+        self._executor: Optional[TaskExecutor] = None
+        #: Pool lifetime stats already published to metrics (delta base).
+        self._pool_stats_seen = (0, 0, 0)
+
+    def close(self) -> None:
+        """Release executor resources (pool workers, for one).
+
+        Safe to call repeatedly; the engine remains usable — the next
+        ``run`` builds a fresh executor.
+        """
+        executor = self._executor
+        self._executor = None
+        self._pool_stats_seen = (0, 0, 0)
+        if executor is not None and hasattr(executor, "close"):
+            executor.close()
+
+    def __enter__(self) -> "MapReduceEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- placement ----------------------------------------------------------
     def _schedulable_nodes(self) -> List[str]:
@@ -548,41 +672,69 @@ class MapReduceEngine:
         job.validate()
         if not splits:
             raise MapReduceError(f"job {job.name} has no input splits")
-        executor = build_executor(self.policy)
+        if self._executor is None:
+            # Built once and cached: the pool executor keeps expensive
+            # state (forked workers) worth reusing across rounds.
+            self._executor = build_executor(self.policy)
+        executor = self._executor
         executor.trace = self.recorder.enabled
         result = JobResult(job.name)
         committer = OutputCommitter(
             result, self.filesystem, recorder=self.recorder, journal=journal,
         )
         recovered = journal.recovered if journal is not None else {}
-        with self.recorder.span(
-            f"job:{job.name}", category="job", track="driver",
-            splits=len(splits), executor=self.policy.executor,
-        ):
-            map_outcomes = self._run_maps(
-                job, splits, result, executor, committer, recovered
-            )
-            if job.is_map_only:
-                return result
-            store = SegmentStore.for_filesystem(self.filesystem)
-            stored: List[str] = []
-            try:
-                paths = self._store_segments(
-                    job, map_outcomes, store, result, stored
+        try:
+            with self.recorder.span(
+                f"job:{job.name}", category="job", track="driver",
+                splits=len(splits), executor=self.policy.executor,
+            ):
+                map_outcomes = self._run_maps(
+                    job, splits, result, executor, committer, recovered
                 )
-                self._apply_segment_events(job, store, paths, result)
-                self._run_reduces(
-                    job, store, paths, result, executor, committer, recovered
-                )
-            finally:
-                # Hadoop-style cleanup: intermediate shuffle data does
-                # not outlive the job (and must not leak into the
-                # filesystem state later rounds fingerprint).  The
-                # ``stored`` accumulator covers failures anywhere past
-                # segment storage — including chaos-plan validation
-                # between the waves — not just reduce-wave crashes.
-                store.delete_all(stored)
+                if job.is_map_only:
+                    return result
+                store = SegmentStore.for_filesystem(self.filesystem)
+                stored: List[str] = []
+                try:
+                    paths = self._store_segments(
+                        job, map_outcomes, store, result, stored
+                    )
+                    self._apply_segment_events(job, store, paths, result)
+                    self._run_reduces(
+                        job, store, paths, result, executor, committer,
+                        recovered,
+                    )
+                finally:
+                    # Hadoop-style cleanup: intermediate shuffle data does
+                    # not outlive the job (and must not leak into the
+                    # filesystem state later rounds fingerprint).  The
+                    # ``stored`` accumulator covers failures anywhere past
+                    # segment storage — including chaos-plan validation
+                    # between the waves — not just reduce-wave crashes.
+                    store.delete_all(stored)
+        finally:
+            if executor.kind == "pool":
+                executor.end_job()
+                self._publish_pool_stats(executor)
         return result
+
+    def _publish_pool_stats(self, executor: TaskExecutor) -> None:
+        """Publish the pool's lifetime accounting as metric deltas."""
+        metrics = self.recorder.metrics
+        current = (
+            executor.forks, executor.waves_reused,
+            executor.workers_respawned,
+        )
+        seen = self._pool_stats_seen
+        self._pool_stats_seen = current
+        if current[0] > seen[0]:
+            metrics.counter("pool.forks").inc(current[0] - seen[0])
+        if current[1] > seen[1]:
+            metrics.counter("pool.reuse_count").inc(current[1] - seen[1])
+        if current[2] > seen[2]:
+            metrics.counter("pool.workers_respawned").inc(
+                current[2] - seen[2]
+            )
 
     # -- map phase --------------------------------------------------------------
     def _run_maps(
@@ -613,11 +765,23 @@ class MapReduceEngine:
                     self.policy, traced,
                 )
             )
+        calls: Optional[List[_MapCall]] = None
+        if executor.kind == "pool":
+            # Fork the job's workers now, with every map body in the
+            # image; reduce inputs arrive later as shipped snapshots.
+            executor.begin_job(
+                PoolJobContext(job, self.policy, factories, executor.trace)
+            )
+            calls = [_MapCall(index) for index in range(len(factories))]
         outcomes, submitted = self._execute_wave(
-            job, "map", factories, placements, result, executor,
+            job, "map", factories, calls, placements, result, executor,
             committer, recovered,
         )
 
+        metrics = self.recorder.metrics
+        decode_seconds = 0.0
+        combine_in = 0
+        combine_out = 0
         for (task_id, node), outcome in zip(placements, outcomes):
             task = TaskAttempt(task_id, "map", outcome.node or node)
             task.input_records = outcome.input_records
@@ -631,11 +795,23 @@ class MapReduceEngine:
             result.counters.inc(C.MAP_OUTPUT_RECORDS, outcome.output_records)
             result.counters.inc(C.MAP_OUTPUT_BYTES, outcome.output_bytes)
             self._absorb_attempts(result, outcome, C.MAP_TASK_ATTEMPTS)
+            decode_seconds += outcome.block_decode_seconds
+            combine_in += outcome.combine_in
+            combine_out += outcome.combine_out
             if job.is_map_only:
                 result.map_outputs.append(outcome.emitted)
             else:
                 result.counters.inc(C.SPILLED_RECORDS, outcome.output_records)
             result.history.add(task)
+        if decode_seconds > 0.0:
+            metrics.counter("map.block_decode_seconds").inc(
+                round(decode_seconds, 6)
+            )
+        if combine_in:
+            result.counters.inc(C.COMBINE_INPUT_RECORDS, combine_in)
+            result.counters.inc(C.COMBINE_OUTPUT_RECORDS, combine_out)
+            metrics.counter("combine.records_in").inc(combine_in)
+            metrics.counter("combine.records_out").inc(combine_out)
         if not job.is_map_only:
             result.skew = detect_skew(
                 [o.partition_records for o in outcomes],
@@ -726,8 +902,19 @@ class MapReduceEngine:
         recovered: Dict[str, Tuple[int, _TaskOutcome]],
     ) -> None:
         traced = self.recorder.enabled and self.recorder.trace_tasks
+        pooled = executor.kind == "pool"
+        snapshots: Dict[str, List[bytes]] = {}
+        if pooled:
+            # Pooled workers forked before any segment existed, so the
+            # driver snapshots every replica chain a worker-side fetch
+            # could read and ships the sealed blobs inside the calls.
+            attempts = job.shuffle.fetch_retries + 1
+            for per_map in paths:
+                for path in per_map:
+                    snapshots[path] = store.snapshot(path, attempts)
         placements = []
         factories = []
+        calls: Optional[List[_ReduceCall]] = [] if pooled else None
         for reducer_index in range(job.num_reducers):
             candidates = self._candidate_nodes(None, reducer_index)
             task_id = f"{job.name}-r-{reducer_index:05d}"
@@ -743,8 +930,16 @@ class MapReduceEngine:
                     candidates, task_id, self.policy, traced,
                 )
             )
+            if pooled:
+                calls.append(
+                    _ReduceCall(
+                        reducer_paths,
+                        {p: snapshots[p] for p in reducer_paths},
+                        candidates, task_id, traced,
+                    )
+                )
         outcomes, submitted = self._execute_wave(
-            job, "reduce", factories, placements, result, executor,
+            job, "reduce", factories, calls, placements, result, executor,
             committer, recovered,
         )
 
@@ -855,11 +1050,24 @@ class MapReduceEngine:
             result.counters.inc(C.INJECTED_FAULTS, outcome.injected_faults)
 
     # -- wave execution + commit settlement ---------------------------------------
+    def _submit_one(
+        self,
+        executor: TaskExecutor,
+        factory: Callable[..., _TaskOutcome],
+        call: Optional[Any],
+        epoch: int,
+    ) -> Any:
+        """Run a single extra attempt (speculative/backup) at an epoch."""
+        if executor.kind == "pool":
+            return executor.run_one_call(call.with_epoch(epoch))
+        return executor.run_one(functools.partial(factory, epoch))
+
     def _execute_wave(
         self,
         job: JobConf,
         kind: str,
         factories: List[Callable[..., _TaskOutcome]],
+        calls: Optional[List[Any]],
         placements: List[Tuple[str, str]],
         result: JobResult,
         executor: TaskExecutor,
@@ -869,35 +1077,42 @@ class MapReduceEngine:
         """Run one wave of tasks and settle every task's commit.
 
         ``factories[i]`` is the task function minus its trailing commit
-        epoch; binding an epoch yields the attempt's thunk.  Epoch 0 is
-        the primary attempt, higher epochs are fenced backups.  Tasks
-        whose commits were recovered from the WAL are not re-executed —
-        their journaled outcomes are replayed through the committer and
+        epoch; binding an epoch yields the attempt's thunk.  For the
+        pool executor, ``calls[i]`` is the task's picklable call
+        descriptor (epoch 0; backups rebind via ``with_epoch``) and the
+        bodies live in the workers' fork image.  Epoch 0 is the primary
+        attempt, higher epochs are fenced backups.  Tasks whose commits
+        were recovered from the WAL are not re-executed — their
+        journaled outcomes are replayed through the committer and
         merged back in at their task index, so the bookkeeping loops
         (counters, history, outputs) see exactly what a clean run
         would.
         """
-        thunks = [
-            None if placements[i][0] in recovered
-            else functools.partial(factory, 0)
-            for i, factory in enumerate(factories)
+        live = [
+            i for i, (task_id, _) in enumerate(placements)
+            if task_id not in recovered
         ]
-        live = [i for i, thunk in enumerate(thunks) if thunk is not None]
         with self.recorder.span(
             f"{job.name}:{kind}-wave", category="wave", track="driver",
-            tasks=len(thunks), recovered=len(thunks) - len(live),
+            tasks=len(placements), recovered=len(placements) - len(live),
         ):
             submitted = time.perf_counter()
-            ran = executor.run_tasks([thunks[i] for i in live])
-            outcomes: List[Optional[_TaskOutcome]] = [None] * len(thunks)
+            if executor.kind == "pool":
+                ran = executor.run_calls([calls[i] for i in live])
+            else:
+                ran = executor.run_tasks(
+                    [functools.partial(factories[i], 0) for i in live]
+                )
+            outcomes: List[Optional[_TaskOutcome]] = [None] * len(placements)
             for index, outcome in zip(live, ran):
                 outcomes[index] = outcome
             self._speculate(
-                thunks, outcomes, executor, result, kind, placements
+                live, factories, calls, outcomes, executor, result, kind,
+                placements,
             )
             outcomes = self._settle_wave(
-                kind, factories, placements, outcomes, result, executor,
-                committer, recovered,
+                kind, factories, calls, placements, outcomes, result,
+                executor, committer, recovered,
             )
         self._update_fault_accounting(result, outcomes)
         return outcomes, submitted
@@ -906,6 +1121,7 @@ class MapReduceEngine:
         self,
         kind: str,
         factories: List[Callable[..., _TaskOutcome]],
+        calls: Optional[List[Any]],
         placements: List[Tuple[str, str]],
         outcomes: List[Optional[_TaskOutcome]],
         result: JobResult,
@@ -916,15 +1132,16 @@ class MapReduceEngine:
         """Stage and promote one attempt per task, in task-index order.
 
         The exactly-once gate: attempts whose lease held are promoted
-        directly; lost leases get fenced backup attempts (the zombie's
-        late commit bounces off the fence); chaos-plan duplicate-commit
-        events re-present an already-committed attempt and must be
-        refused.  Replays recovered commits instead of anything else
-        for tasks the WAL already settled.
+        directly; lost leases — and pool workers that died mid-task —
+        get fenced backup attempts (the zombie's late commit bounces
+        off the fence); chaos-plan duplicate-commit events re-present
+        an already-committed attempt and must be refused.  Replays
+        recovered commits instead of anything else for tasks the WAL
+        already settled.
         """
         plan = self.policy.fault_plan
         final: List[_TaskOutcome] = list(outcomes)
-        for index, (task_id, _node) in enumerate(placements):
+        for index, (task_id, node) in enumerate(placements):
             if task_id in recovered:
                 epoch, outcome = recovered[task_id]
                 # The outcome's run-time stamps belong to the dead
@@ -935,15 +1152,22 @@ class MapReduceEngine:
                 final[index] = outcome
                 continue
             outcome = outcomes[index]
-            committer.stage(task_id, 0, outcome)
-            verdict = self.lease.verdict(outcome)
-            if verdict is None:
-                committer.promote(task_id, 0, outcome)
-            else:
-                final[index] = self._run_backup(
-                    kind, factories[index], task_id, outcome, result,
-                    executor, committer, verdict,
+            call = calls[index] if calls is not None else None
+            if isinstance(outcome, WorkerCrash):
+                final[index] = self._settle_worker_crash(
+                    kind, factories[index], call, task_id, node, outcome,
+                    result, executor, committer,
                 )
+            else:
+                committer.stage(task_id, 0, outcome)
+                verdict = self.lease.verdict(outcome)
+                if verdict is None:
+                    committer.promote(task_id, 0, outcome)
+                else:
+                    final[index] = self._run_backup(
+                        kind, factories[index], call, task_id, outcome,
+                        result, executor, committer, verdict,
+                    )
             if plan is not None and plan.duplicate_commit_for(task_id):
                 # A duplicated commit RPC: the winning attempt presents
                 # its (already-spent) token again and must be refused.
@@ -953,37 +1177,76 @@ class MapReduceEngine:
                 )
         return final
 
+    def _settle_worker_crash(
+        self,
+        kind: str,
+        factory: Callable[..., _TaskOutcome],
+        call: Optional[Any],
+        task_id: str,
+        node: str,
+        crash: WorkerCrash,
+        result: JobResult,
+        executor: TaskExecutor,
+        committer: OutputCommitter,
+    ) -> _TaskOutcome:
+        """Recover a task whose pool worker died mid-flight.
+
+        The crashed attempt produced no outcome and can never commit
+        (the process is gone), so nothing is staged for epoch 0; a
+        synthesized zombie carries the crash into the normal
+        fenced-backup path, charging the placement node a failure the
+        same way a lost lease would.
+        """
+        result.counters.inc(C.WORKER_CRASHES)
+        self.recorder.metrics.counter("pool.worker_crashes").inc()
+        result.history.add_event(
+            "worker_crashed", task=task_id, node=node, pid=crash.pid,
+            exitcode=crash.exitcode,
+        )
+        zombie = _TaskOutcome()
+        zombie.node = node
+        zombie.attempts = 1
+        zombie.failures = [(node, "WorkerCrashed")]
+        return self._run_backup(
+            kind, factory, call, task_id, zombie, result, executor,
+            committer, "worker_crashed", crashed=True,
+        )
+
     def _run_backup(
         self,
         kind: str,
         factory: Callable[..., _TaskOutcome],
+        call: Optional[Any],
         task_id: str,
         zombie: _TaskOutcome,
         result: JobResult,
         executor: TaskExecutor,
         committer: OutputCommitter,
         reason: str,
+        crashed: bool = False,
     ) -> _TaskOutcome:
-        """Re-execute a lost-lease task under a fresh fencing token.
+        """Re-execute a lost task under a fresh fencing token.
 
         Up to ``policy.backup_attempts`` fenced re-executions; the
         first whose lease holds commits, after which the original
-        zombie's late commit is presented and refused.  The abandoned
-        lineage's telemetry is folded into the winning outcome so wave
+        zombie's late commit is presented and refused (a crashed worker
+        presents nothing — it is dead).  The abandoned lineage's
+        telemetry is folded into the winning outcome so wave
         bookkeeping (attempt counters, node blacklist) still sees every
         attempt that actually ran.
         """
-        result.counters.inc(C.LEASE_EXPIRATIONS)
-        self.recorder.metrics.counter("lease.expired").inc()
-        result.history.add_event(
-            "lease_expired", task=task_id, node=zombie.node, reason=reason,
-            at=round(self.lease.clock(), 6),
-        )
-        # A lost lease charges the node like a crash, so repeat
-        # offenders cross the same blacklist threshold.
-        zombie.failures = list(zombie.failures) + [
-            (zombie.node, "LeaseExpired")
-        ]
+        if not crashed:
+            result.counters.inc(C.LEASE_EXPIRATIONS)
+            self.recorder.metrics.counter("lease.expired").inc()
+            result.history.add_event(
+                "lease_expired", task=task_id, node=zombie.node,
+                reason=reason, at=round(self.lease.clock(), 6),
+            )
+            # A lost lease charges the node like a crash, so repeat
+            # offenders cross the same blacklist threshold.
+            zombie.failures = list(zombie.failures) + [
+                (zombie.node, "LeaseExpired")
+            ]
         predecessor = zombie
         for _ in range(self.policy.backup_attempts):
             epoch = committer.fence(task_id)
@@ -996,7 +1259,17 @@ class MapReduceEngine:
                 f"{task_id}-backup", category="backup", track="driver",
                 kind=kind, epoch=epoch,
             ):
-                backup = executor.run_one(functools.partial(factory, epoch))
+                backup = self._submit_one(executor, factory, call, epoch)
+            if isinstance(backup, WorkerCrash):
+                # The backup's worker died too; fence again and retry
+                # until the attempt budget runs out.
+                result.counters.inc(C.WORKER_CRASHES)
+                self.recorder.metrics.counter("pool.worker_crashes").inc()
+                result.history.add_event(
+                    "worker_crashed", task=task_id, node=predecessor.node,
+                    pid=backup.pid, exitcode=backup.exitcode,
+                )
+                continue
             attempt = TaskAttempt(
                 f"{task_id}-backup-e{epoch}", kind, backup.node
             )
@@ -1017,11 +1290,19 @@ class MapReduceEngine:
             committer.stage(task_id, epoch, backup)
             if self.lease.verdict(backup) is None:
                 committer.promote(task_id, epoch, backup)
-                # The zombie finishes late and presents its stale
-                # token; the fence refuses it (counted, never applied).
-                committer.promote(task_id, 0, zombie)
+                if not crashed:
+                    # The zombie finishes late and presents its stale
+                    # token; the fence refuses it (counted, never
+                    # applied).
+                    committer.promote(task_id, 0, zombie)
                 return backup
             predecessor = backup
+        if crashed:
+            raise MapReduceError(
+                f"task {task_id} lost its worker and all "
+                f"{self.policy.backup_attempts} backup attempt(s) were "
+                "lost too"
+            )
         raise MapReduceError(
             f"task {task_id} lost its lease and all "
             f"{self.policy.backup_attempts} backup attempt(s) lost "
@@ -1031,7 +1312,9 @@ class MapReduceEngine:
     # -- speculative execution ----------------------------------------------------
     def _speculate(
         self,
-        thunks: List[Optional[Callable[[], _TaskOutcome]]],
+        live: List[int],
+        factories: List[Callable[..., _TaskOutcome]],
+        calls: Optional[List[Any]],
         outcomes: List[Optional[_TaskOutcome]],
         executor: TaskExecutor,
         result: JobResult,
@@ -1053,7 +1336,6 @@ class MapReduceEngine:
         """
         if not self.policy.speculative or executor.kind == "serial":
             return
-        live = [i for i, thunk in enumerate(thunks) if thunk is not None]
         if not live:
             return
         draw = zlib.crc32(
@@ -1061,19 +1343,32 @@ class MapReduceEngine:
             f"{len(live)}".encode()
         )
         straggler = live[draw % len(live)]
+        primary = outcomes[straggler]
+        if isinstance(primary, WorkerCrash):
+            # The primary is headed for a fenced backup; there is
+            # nothing to audit against.
+            return
         task_id, node = placements[straggler]
         with self.recorder.span(
             f"{task_id}-speculative", category="speculation",
             track="driver", kind=kind,
         ):
-            duplicate = executor.run_one(thunks[straggler])
+            duplicate = self._submit_one(
+                executor, factories[straggler],
+                calls[straggler] if calls is not None else None, 0,
+            )
+        if isinstance(duplicate, WorkerCrash):
+            result.history.add_event(
+                "speculative_worker_crashed", task=task_id,
+                pid=duplicate.pid, exitcode=duplicate.exitcode,
+            )
+            return
         result.counters.inc(C.SPECULATIVE_ATTEMPTS, 1)
         attempt = TaskAttempt(f"{task_id}-speculative", kind, node)
         attempt.speculative = True
         attempt.input_records = duplicate.input_records
         attempt.output_records = duplicate.output_records
         result.history.add(attempt)
-        primary = outcomes[straggler]
         primary_keys = [key for key, _ in primary.emitted]
         duplicate_keys = [key for key, _ in duplicate.emitted]
         if (

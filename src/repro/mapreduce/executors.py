@@ -22,17 +22,32 @@ Three executors mirror the paper's deployment options:
     pickled: the wave's task table is published in a module global,
     workers fork with it in memory, and only the task *index* crosses
     the pipe going in and the picklable outcome coming back.
+``PooledProcessExecutor``
+    The persistent variant: forks its workers **once per job** (the
+    job's task bodies are published pre-fork, exactly like the wave
+    table above) and then reuses them across every wave of the job —
+    map wave, reduce wave, speculative and backup attempts — and the
+    executor object itself is reused across the rounds of a pipeline.
+    Tasks cross the pipe as small picklable *call descriptors* (a task
+    index, or sealed segment snapshots for reducers), never as pickled
+    closures.  A worker that dies mid-task is detected by its broken
+    pipe, reported to the engine as a :class:`WorkerCrash` marker, and
+    replaced by a fresh fork; the engine routes the crash through the
+    same fenced-backup path a lost lease takes.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import multiprocessing.connection
 import os
 import threading
 import time
+import weakref
 from abc import ABC, abstractmethod
-from typing import Any, Callable, List, Optional, Sequence
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import MapReduceError
 from repro.mapreduce.policy import ExecutionPolicy
@@ -194,6 +209,331 @@ class ProcessExecutor(TaskExecutor):
         return f"ProcessExecutor(max_workers={self.max_workers})"
 
 
+class PoolJobContext:
+    """Everything a pooled worker needs, inherited through fork.
+
+    Published in :data:`_POOL_JOB_CONTEXT` immediately before the pool
+    forks its workers for a job, exactly like the wave task table of
+    :class:`ProcessExecutor` — the unpicklable task bodies (closures
+    over HDFS handles, aligners, the job conf) ride into the children
+    inside the fork image, and only picklable call descriptors cross
+    the pipes afterwards.
+    """
+
+    __slots__ = ("job", "policy", "map_bodies", "trace")
+
+    def __init__(self, job, policy, map_bodies, trace: bool = False):
+        self.job = job
+        self.policy = policy
+        #: Map task bodies by task index; ``f(epoch) -> outcome``.
+        self.map_bodies: Sequence[Callable[[int], Any]] = map_bodies
+        self.trace = trace
+
+
+class WorkerCrash:
+    """Marker result: the pool worker running this task died mid-flight.
+
+    Not an exception — the engine receives it in the task's result slot
+    and settles it through the fenced-backup path (the same machinery a
+    lost lease uses), so a SIGKILLed worker costs one backup attempt,
+    not the job.
+    """
+
+    __slots__ = ("task_index", "exitcode", "pid")
+
+    def __init__(self, task_index: int, exitcode: Optional[int],
+                 pid: Optional[int]):
+        self.task_index = task_index
+        self.exitcode = exitcode
+        self.pid = pid
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerCrash(task={self.task_index}, pid={self.pid}, "
+            f"exitcode={self.exitcode})"
+        )
+
+
+class _PoolTaskError:
+    """Internal slot marker: the task raised; deferred until the wave
+    drains so crashes and successes elsewhere are still collected."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+#: Job context of the pool currently forking workers (parent side the
+#: value lives only for the duration of the forks; children keep their
+#: inherited copy for the whole job).
+_POOL_JOB_CONTEXT: Optional[PoolJobContext] = None
+
+
+def _pool_worker_main(conn) -> None:
+    """Entry point of one persistent pool worker.
+
+    Serves ``(seq, call)`` requests until told to stop (``None``) or
+    the driver goes away (EOF).  Every reply is ``(seq, ok, payload)``;
+    an unpicklable payload is downgraded to a picklable error rather
+    than killing the worker.
+    """
+    context = _POOL_JOB_CONTEXT
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        seq, call = message
+        try:
+            if context is not None and context.trace:
+                outcome = _stamped(lambda: call.run(context))()
+            else:
+                outcome = call.run(context)
+            reply = (seq, True, outcome)
+        except BaseException as exc:  # must answer, whatever happened
+            reply = (seq, False, exc)
+        try:
+            conn.send(reply)
+        except Exception:
+            detail = (
+                "task outcome failed to pickle" if reply[1]
+                else f"task raised unpicklable "
+                     f"{type(reply[2]).__name__}: {reply[2]}"
+            )
+            try:
+                conn.send((seq, False, MapReduceError(detail)))
+            except Exception:
+                os._exit(1)
+    try:
+        conn.close()
+    finally:
+        os._exit(0)
+
+
+class _PoolWorker:
+    """One live pool worker: its process and the driver end of its pipe."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+
+def _terminate_pool_processes(workers: List[_PoolWorker]) -> None:
+    """GC backstop: kill any workers an unclosed pool left running."""
+    for worker in list(workers):
+        try:
+            if worker.process.is_alive():
+                worker.process.terminate()
+        except Exception:
+            pass
+
+
+class PooledProcessExecutor(TaskExecutor):
+    """Persistent fork-based worker pool — forks once per job.
+
+    Where :class:`ProcessExecutor` pays a fresh pool (fork + teardown)
+    for *every wave* — map wave, reduce wave, each speculative audit,
+    each fenced backup — this executor forks ``max_workers`` children
+    once at :meth:`begin_job` and feeds them every subsequent task of
+    the job over per-worker pipes.  The executor object itself is
+    cached by the engine, so a multi-round pipeline reuses one pool
+    across rounds (one fork set per round, not per wave).
+
+    Tasks are submitted as picklable call descriptors via
+    :meth:`run_calls`; the inherited :class:`PoolJobContext` supplies
+    the unpicklable bodies.  A worker that dies mid-task surfaces as a
+    :class:`WorkerCrash` in its result slot and is replaced by a fresh
+    fork; the engine fences and re-runs the lost task.
+    """
+
+    kind = "pool"
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise MapReduceError(
+                "PooledProcessExecutor needs max_workers >= 1"
+            )
+        if not fork_available():
+            raise MapReduceError(
+                "the pool executor requires the fork start method, "
+                "unavailable on this platform; use executor='thread'"
+            )
+        self.max_workers = max_workers
+        #: Mutated in place (never rebound) so the GC finalizer sees
+        #: the live worker set.
+        self._workers: List[_PoolWorker] = []
+        self._context: Optional[PoolJobContext] = None
+        self._fresh = False
+        #: Lifetime accounting, read by the engine into pool.* metrics.
+        self.forks = 0
+        self.jobs = 0
+        self.waves_reused = 0
+        self.workers_respawned = 0
+        self._finalizer = weakref.finalize(
+            self, _terminate_pool_processes, self._workers
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    def begin_job(self, context: PoolJobContext) -> None:
+        """Fork the job's workers with its task bodies in memory."""
+        self._stop_workers()
+        self._context = context
+        self._spawn(self.max_workers)
+        self._fresh = True
+        self.jobs += 1
+
+    def end_job(self) -> None:
+        """Retire the job's workers (their fork image is now stale)."""
+        self._stop_workers()
+        self._context = None
+
+    def close(self) -> None:
+        self._stop_workers()
+        self._context = None
+
+    def _spawn(self, count: int) -> None:
+        global _POOL_JOB_CONTEXT
+        if self._context is None:
+            raise MapReduceError(
+                "pool executor has no job context; begin_job() first"
+            )
+        mp = multiprocessing.get_context("fork")
+        # Publish for the duration of the forks only; children carry
+        # their inherited copy, the parent keeps none.
+        _POOL_JOB_CONTEXT = self._context
+        try:
+            for _ in range(count):
+                parent_conn, child_conn = mp.Pipe()
+                process = mp.Process(
+                    target=_pool_worker_main, args=(child_conn,),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_PoolWorker(process, parent_conn))
+                self.forks += 1
+        finally:
+            _POOL_JOB_CONTEXT = None
+
+    def _stop_workers(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(None)
+            except Exception:
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+        self._workers.clear()
+
+    def _replace(self, worker: _PoolWorker) -> _PoolWorker:
+        """Swap a dead worker for a fresh fork of the same job image."""
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        self._workers.remove(worker)
+        self._spawn(1)
+        self.workers_respawned += 1
+        return self._workers[-1]
+
+    # -- dispatch -----------------------------------------------------------
+    def run_calls(self, calls: Sequence[Any]) -> List[Any]:
+        """Run one wave of call descriptors on the persistent workers.
+
+        Results come back by submission index.  A slot whose worker
+        died holds a :class:`WorkerCrash`; a slot whose task raised
+        re-raises after the wave drains (matching the other executors'
+        first-failure-propagates contract without abandoning sibling
+        results).
+        """
+        if not calls:
+            return []
+        if not self._workers:
+            raise MapReduceError(
+                "pool executor has no live workers; begin_job() first"
+            )
+        if self._fresh:
+            self._fresh = False
+        else:
+            self.waves_reused += 1
+        results: List[Any] = [None] * len(calls)
+        pending = deque(enumerate(calls))
+        idle = list(self._workers)
+        busy: Dict[_PoolWorker, int] = {}
+        completed = 0
+        while completed < len(calls):
+            while idle and pending:
+                seq, call = pending.popleft()
+                worker = idle.pop()
+                try:
+                    worker.conn.send((seq, call))
+                except Exception:
+                    # Died while idle: replace silently and re-queue —
+                    # no task was lost.
+                    idle.append(self._replace(worker))
+                    pending.appendleft((seq, call))
+                    continue
+                busy[worker] = seq
+            by_conn = {worker.conn: worker for worker in busy}
+            for conn in multiprocessing.connection.wait(list(by_conn)):
+                worker = by_conn[conn]
+                seq = busy.pop(worker)
+                try:
+                    got, ok, payload = conn.recv()
+                except (EOFError, OSError):
+                    # Died mid-task: the task's result is a crash
+                    # marker the engine settles with a fenced backup.
+                    worker.process.join(timeout=5)
+                    results[seq] = WorkerCrash(
+                        seq, worker.process.exitcode, worker.process.pid
+                    )
+                    idle.append(self._replace(worker))
+                    completed += 1
+                    continue
+                if got != seq:
+                    raise MapReduceError(
+                        f"pool worker answered task {got}, expected {seq}"
+                    )
+                results[seq] = payload if ok else _PoolTaskError(payload)
+                idle.append(worker)
+                completed += 1
+        for value in results:
+            if isinstance(value, _PoolTaskError):
+                raise value.error
+        return results
+
+    def run_one_call(self, call: Any) -> Any:
+        """Run a single extra call (speculative or backup attempt)."""
+        return self.run_calls([call])[0]
+
+    def run_tasks(self, thunks: Sequence[TaskThunk]) -> List[Any]:
+        raise MapReduceError(
+            "the pool executor runs picklable call descriptors, not "
+            "thunks; use run_calls()"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PooledProcessExecutor(max_workers={self.max_workers}, "
+            f"live={len(self._workers)})"
+        )
+
+
 def build_executor(policy: ExecutionPolicy) -> TaskExecutor:
     """Instantiate the executor an :class:`ExecutionPolicy` asks for."""
     if policy.executor == "serial":
@@ -202,4 +542,6 @@ def build_executor(policy: ExecutionPolicy) -> TaskExecutor:
         return ThreadedExecutor(policy.resolved_workers())
     if policy.executor == "process":
         return ProcessExecutor(policy.resolved_workers())
+    if policy.executor == "pool":
+        return PooledProcessExecutor(policy.resolved_workers())
     raise MapReduceError(f"unknown executor kind {policy.executor!r}")

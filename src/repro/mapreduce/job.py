@@ -63,14 +63,38 @@ class _BufferedSpan:
 class InputSplit:
     """One unit of map-task input.
 
-    ``preferred_node`` and ``size_bytes`` are keyword-only so call
-    sites stay self-describing (matching ``MapReduceEngine(nodes=...)``).
+    ``preferred_node`` and ``size_bytes`` should be passed as keywords
+    so call sites stay self-describing (matching
+    ``MapReduceEngine(nodes=...)``); the legacy positional form still
+    works but emits a :class:`DeprecationWarning` and is slated for
+    removal.
     """
 
     __slots__ = ("split_id", "payload", "preferred_node", "size_bytes")
 
-    def __init__(self, split_id: str, payload: Any, *,
+    def __init__(self, split_id: str, payload: Any, *deprecated_args,
                  preferred_node: Optional[str] = None, size_bytes: int = 0):
+        if deprecated_args:
+            if len(deprecated_args) > 2:
+                raise TypeError(
+                    "InputSplit takes at most four positional arguments"
+                )
+            if preferred_node is not None or size_bytes != 0:
+                raise TypeError(
+                    "InputSplit got positional and keyword values for "
+                    "preferred_node/size_bytes"
+                )
+            import warnings
+
+            warnings.warn(
+                "positional preferred_node/size_bytes are deprecated; "
+                "use InputSplit(..., preferred_node=..., size_bytes=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            preferred_node = deprecated_args[0]
+            if len(deprecated_args) == 2:
+                size_bytes = deprecated_args[1]
         self.split_id = split_id
         #: Opaque payload handed to the record reader / mapper.
         self.payload = payload
@@ -105,9 +129,14 @@ class TaskContext:
     back with its outputs instead of mutating a copied filesystem.
     """
 
-    def __init__(self, task_id: str, node: str, traced: bool = False):
+    def __init__(self, task_id: str, node: str, traced: bool = False,
+                 task_index: int = -1):
         self.task_id = task_id
         self.node = node
+        #: This task's index within its wave (map index or reducer
+        #: index), so mappers over sealed record blocks can name their
+        #: outputs without the split smuggling an index in its payload.
+        self.task_index = task_index
         self.emitted: List[KeyValue] = []
         #: Buffered file writes: (path, data, logical_partition).
         self.files: List[Tuple[str, bytes, bool]] = []

@@ -7,8 +7,11 @@ and slot counts per node (sections 4.2-4.4) — so callers stop
 constructing engines ad hoc:
 
 * ``executor`` — ``"serial"`` (reference), ``"thread"``
-  (ThreadPoolExecutor-backed; overlaps blocking work) or ``"process"``
-  (fork-based ProcessPoolExecutor; real CPU parallelism).
+  (ThreadPoolExecutor-backed; overlaps blocking work), ``"process"``
+  (fork-based ProcessPoolExecutor; real CPU parallelism; re-forks each
+  wave) or ``"pool"`` (persistent fork-based worker pool: forks once
+  per job, reuses workers across waves and rounds, survives worker
+  crashes via fenced backups).
 * ``max_workers`` — bounded worker slots, the in-process analogue of
   map/reduce slots per node.
 * ``task_retries`` / ``retry_backoff`` — per-task re-execution with
@@ -55,7 +58,7 @@ from repro.chaos.plan import FaultPlan
 from repro.errors import MapReduceError
 
 #: Executor kinds accepted by :class:`ExecutionPolicy`.
-EXECUTOR_KINDS = ("serial", "thread", "process")
+EXECUTOR_KINDS = ("serial", "thread", "process", "pool")
 
 _FAULT_RESOLUTION = 1_000_000
 
@@ -120,6 +123,11 @@ class ExecutionPolicy:
     @classmethod
     def processes(cls, max_workers: Optional[int] = None, **kwargs) -> "ExecutionPolicy":
         return cls(executor="process", max_workers=max_workers, **kwargs)
+
+    @classmethod
+    def pooled(cls, max_workers: Optional[int] = None, **kwargs) -> "ExecutionPolicy":
+        """Persistent fork pool: fork once per job, reuse across waves."""
+        return cls(executor="pool", max_workers=max_workers, **kwargs)
 
     # -- derived values ----------------------------------------------------
     def resolved_workers(self) -> int:

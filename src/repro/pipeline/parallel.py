@@ -144,6 +144,18 @@ class GesallPipeline:
             nodes=self.nodes, policy=self.policy, filesystem=hdfs,
             recorder=recorder,
         )
+        try:
+            return self._run_rounds(
+                engine, hdfs, recorder, result, pairs, resume
+            )
+        finally:
+            # A pooled policy keeps forked workers alive across all
+            # five rounds; release them (and flush the pool's lifetime
+            # stats) even when a round or a chaos plan raises.
+            engine.close()
+
+    def _run_rounds(self, engine, hdfs, recorder, result, pairs,
+                    resume) -> GesallPipelineResult:
         aligner = PairedEndAligner(self.index, self.aligner_config)
         rounds = GesallRounds(
             hdfs, engine, aligner, self.reference, self.chunk_bytes,

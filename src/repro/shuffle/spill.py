@@ -34,9 +34,11 @@ from repro.shuffle.segment import EncodedSegment, KeyValue, encode_segment
 class SpillResult:
     """Everything a finished map-side shuffle hands the task outcome."""
 
-    __slots__ = ("segments", "spills", "partition_records", "key_counts")
+    __slots__ = ("segments", "spills", "partition_records", "key_counts",
+                 "combine_in", "combine_out")
 
-    def __init__(self, segments, spills, partition_records, key_counts):
+    def __init__(self, segments, spills, partition_records, key_counts,
+                 combine_in=0, combine_out=0):
         #: One encoded segment per reduce partition, in partition order.
         self.segments: List[EncodedSegment] = segments
         #: Number of sorted runs written (>=1, even for empty output).
@@ -46,6 +48,29 @@ class SpillResult:
         #: Per partition: the task's heaviest keys as (key, count),
         #: heaviest first; empty when key tracking is off.
         self.key_counts: List[List[Tuple[Any, int]]] = key_counts
+        #: Records fed into / produced by the map-side combiner across
+        #: every combine pass (cumulative, like Hadoop's
+        #: COMBINE_INPUT/OUTPUT_RECORDS); zero when no combiner ran.
+        self.combine_in: int = combine_in
+        self.combine_out: int = combine_out
+
+
+class _CombineContext:
+    """Minimal emit surface handed to the combiner inside the buffer.
+
+    Combiners are mini-reducers over *partial* data: the only sanctioned
+    side effect is re-emitting records (Hadoop gives combiners an
+    OutputCollector, not a task attempt context), so file writes and
+    attachments are deliberately absent here.
+    """
+
+    __slots__ = ("emitted",)
+
+    def __init__(self):
+        self.emitted: List[KeyValue] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        self.emitted.append((key, value))
 
 
 class SpillBuffer:
@@ -58,6 +83,7 @@ class SpillBuffer:
         sort_key: Callable[[Any], Any],
         spill_records: int,
         track_keys: int = 0,
+        combiner: Optional[Callable[[Any, List[Any], Any], None]] = None,
     ):
         if spill_records < 1:
             raise ShuffleError("spill_records must be >= 1")
@@ -66,6 +92,12 @@ class SpillBuffer:
         self._sort_key = sort_key
         self._spill_records = spill_records
         self._track_keys = track_keys
+        #: Optional map-side combiner applied to each sorted slice as it
+        #: spills, and again across runs at merge time — so shuffle
+        #: segments are sealed already pre-aggregated.
+        self._combiner = combiner
+        self.combine_in = 0
+        self.combine_out = 0
         #: Current in-memory buffer: (partition, key, value) in emit order.
         self._buffer: List[Tuple[int, Any, Any]] = []
         #: Frozen runs: each is a per-partition list of sorted records.
@@ -98,10 +130,39 @@ class SpillBuffer:
         for partition, key, value in self._buffer:
             run[partition].append((key, value))
         sort_key = self._sort_key
-        for slice_ in run:
+        for index, slice_ in enumerate(run):
             slice_.sort(key=lambda kv: sort_key(kv[0]))  # stable
+            if self._combiner is not None and slice_:
+                run[index] = self._combine_sorted(slice_)
         self._runs.append(run)
         self._buffer = []
+
+    def _combine_sorted(self, records: List[KeyValue]) -> List[KeyValue]:
+        """Pre-aggregate one sorted slice, keeping it sorted.
+
+        Equal keys are adjacent after the stable sort (the same
+        adjacency assumption the reduce-side grouper makes), so one
+        linear pass groups them.  The combiner's output is re-sorted
+        stably by the same key — a combiner may emit keys in any order —
+        so downstream merging sees the run invariant intact.
+        """
+        context = _CombineContext()
+        cursor = 0
+        total = len(records)
+        while cursor < total:
+            key = records[cursor][0]
+            values = [records[cursor][1]]
+            cursor += 1
+            while cursor < total and records[cursor][0] == key:
+                values.append(records[cursor][1])
+                cursor += 1
+            self._combiner(key, values, context)
+        combined = context.emitted
+        sort_key = self._sort_key
+        combined.sort(key=lambda kv: sort_key(kv[0]))  # stable
+        self.combine_in += total
+        self.combine_out += len(combined)
+        return combined
 
     def finish(self, codec: Codec) -> SpillResult:
         """Spill the tail, merge runs, and encode one segment/reducer."""
@@ -111,12 +172,19 @@ class SpillBuffer:
         # matching Hadoop's SPILLED file accounting.
         spills = max(1, len(self._runs))
         sort_key = self._sort_key
+        multi_run = len(self._runs) > 1
         segments = []
         for partition in range(self._num_partitions):
             merged = merge_sorted_runs_list(
                 [run[partition] for run in self._runs],
                 key=lambda kv: sort_key(kv[0]),
             )
+            # Merge-time combine pass: runs were combined as they
+            # spilled, but the same key may live in several runs; one
+            # more pass over the merged slice collapses those (only
+            # needed when there was more than one run).
+            if self._combiner is not None and multi_run and merged:
+                merged = self._combine_sorted(merged)
             segments.append(encode_segment(merged, codec))
         key_counts: List[List[Tuple[Any, int]]] = []
         for partition in range(self._num_partitions):
@@ -131,5 +199,6 @@ class SpillBuffer:
             )
             key_counts.append(ranked[: self._track_keys])
         return SpillResult(
-            segments, spills, list(self.partition_records), key_counts
+            segments, spills, list(self.partition_records), key_counts,
+            combine_in=self.combine_in, combine_out=self.combine_out,
         )

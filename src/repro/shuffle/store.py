@@ -81,6 +81,47 @@ class LocalSegmentBackend:
             raise ShuffleError(f"no such segment: {path}") from None
 
 
+class ShippedReplicaBackend:
+    """Read-only replica chains snapshotted for shipment to a worker.
+
+    The persistent pool executor cannot hand workers a live
+    :class:`SegmentStore` — its backend wraps driver-side state (the
+    simulated HDFS, or a local dict) created *after* the workers
+    forked.  Instead the driver snapshots each segment's replica chain
+    (:meth:`SegmentStore.snapshot`) and ships the blobs inside the
+    picklable reduce call; the worker rebuilds a store over this
+    backend and fetches through the identical CRC-verify/failover path,
+    so corruption handling — and every fetch counter — stays
+    byte-identical to the driver-side read.
+
+    Consecutive identical replicas are collapsed to one shared ``bytes``
+    object at snapshot time, so pickling the call ships each clean
+    segment's bytes once, not once per replica.
+    """
+
+    def __init__(self, replicas: Dict[str, List[bytes]]):
+        self._replicas = replicas
+
+    def put(self, path: str, blob: bytes) -> None:
+        raise ShuffleError("shipped replica snapshots are read-only")
+
+    def read(self, path: str, replica_choice: int) -> bytes:
+        try:
+            chain = self._replicas[path]
+        except KeyError:
+            raise ShuffleError(f"no such segment: {path}") from None
+        return chain[replica_choice % len(chain)]
+
+    def corrupt(self, path: str, replica_index: int = 0) -> str:
+        raise ShuffleError("shipped replica snapshots are read-only")
+
+    def delete(self, path: str) -> None:
+        raise ShuffleError("shipped replica snapshots are read-only")
+
+    def paths(self) -> List[str]:
+        return sorted(self._replicas)
+
+
 class HdfsSegmentBackend:
     """Segments as (small) replicated files on the simulated HDFS."""
 
@@ -151,6 +192,24 @@ class SegmentStore:
                 attempt += 1
                 continue
             return FetchResult(segment, crc_failures, attempt)
+
+    def snapshot(self, path: str, attempts: int) -> List[bytes]:
+        """Snapshot the replica chain a fetch with this budget could read.
+
+        Fetch attempt *k* reads replica chain ``k``, so shipping the
+        first ``attempts`` unverified reads reproduces every byte a
+        worker-side :meth:`fetch` could observe — including corrupt
+        replicas, which the worker then fails over exactly as the
+        driver would.  Identical consecutive blobs are collapsed to one
+        object so the shipped pickle carries clean segments once.
+        """
+        chain: List[bytes] = []
+        for attempt in range(max(1, attempts)):
+            blob = self.backend.read(path, attempt)
+            if chain and blob == chain[-1]:
+                blob = chain[-1]
+            chain.append(blob)
+        return chain
 
     def corrupt(self, path: str, replica_index: int = 0) -> str:
         return self.backend.corrupt(path, replica_index)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.align.pairing import PairedEndAligner
+from repro.api import JobSpec, make_block_splits, run_job
 from repro.cleaning.clean_sam import CleanSam
 from repro.cleaning.duplicates import pair_score
 from repro.cleaning.fix_mate import FixMateInformation
@@ -42,7 +43,7 @@ from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce import counters as C
 from repro.mapreduce.commit import RoundJournal
 from repro.mapreduce.engine import JobResult, MapReduceEngine
-from repro.mapreduce.job import InputSplit, JobConf
+from repro.mapreduce.job import InputSplit
 from repro.mapreduce.policy import ExecutionPolicy
 from repro.mapreduce.streaming import StreamingPipeline
 from repro.shuffle.config import ShuffleConfig
@@ -110,7 +111,7 @@ class GesallRounds:
         self.aligner = aligner
         self.reference = reference
         self.chunk_bytes = chunk_bytes
-        #: Shuffle configuration threaded into every round's JobConf
+        #: Shuffle configuration threaded into every round's JobSpec
         #: (None -> the engine's uncompressed default).
         self.shuffle = shuffle
         #: The engine's trace recorder (the null recorder when off).
@@ -135,15 +136,21 @@ class GesallRounds:
         self._wal = wal
         self._wal_recovery = dict(recovery or {})
 
+    def close(self) -> None:
+        """Release the engine's executor (forked pool workers etc.)."""
+        self.engine.close()
+
     # -- traced round execution ----------------------------------------
     def _run_round(
-        self, round_key: str, job: JobConf, splits: List[InputSplit]
+        self, round_key: str, spec: JobSpec, splits: List[InputSplit]
     ) -> JobResult:
         """Run one round's job inside a round span with I/O accounting.
 
         Every round records one ``category="round"`` span carrying
         records-in/out and shuffled bytes (the Fig 6-style overhead
-        accounting), plus matching metrics counters.
+        accounting), plus matching metrics counters.  Rounds describe
+        their jobs as frozen :class:`repro.api.JobSpec` values; this is
+        the only place a round's spec meets the engine.
         """
         journal = None
         if self._wal is not None:
@@ -155,13 +162,14 @@ class GesallRounds:
             self._wal.begin_round(round_key)
         with self.recorder.span(
             f"round:{round_key}", category="round", track="driver",
-            job=job.name,
+            job=spec.name,
         ) as span:
-            result = self.engine.run(job, splits, journal=journal)
+            result = run_job(spec, splits, engine=self.engine,
+                             journal=journal)
             records_in = result.counters.get(C.MAP_INPUT_RECORDS)
             records_out = result.counters.get(
                 C.MAP_OUTPUT_RECORDS
-                if job.is_map_only
+                if spec.reducer is None
                 else C.REDUCE_OUTPUT_RECORDS
             )
             shuffled = result.counters.get(C.SHUFFLED_BYTES)
@@ -182,12 +190,19 @@ class GesallRounds:
     def round1_alignment(
         self, partitions: List[List[ReadPair]], out_dir: str = "/round1"
     ) -> List[str]:
-        """Each map task streams its FASTQ partition through Bwa+SamToBam."""
+        """Each map task streams its FASTQ partition through Bwa+SamToBam.
+
+        Partitions ship as sealed record blocks: the read pairs are
+        encoded once at split time and decoded once inside whichever
+        worker runs the task, so the payload crosses the fork boundary
+        as one CRC-framed blob instead of a live object graph.  The
+        mapper names its output after ``ctx.task_index`` — the split
+        no longer smuggles an index in its payload.
+        """
         chunk_bytes = self.chunk_bytes
         aligner = self.aligner
 
-        def mapper(payload, ctx):
-            index, pairs = payload
+        def mapper(pairs, ctx):
             pipeline = StreamingPipeline(
                 [BwaExternal(aligner), SamToBamExternal(chunk_bytes)]
             )
@@ -196,23 +211,15 @@ class GesallRounds:
                 bam_data = pipeline.run(fastq_bytes)
                 span.set(bytes_in=len(fastq_bytes), bytes_out=len(bam_data))
             ctx.attach("streaming", pipeline.stats)
-            path = f"{out_dir}/part-{index:05d}.bam"
+            path = f"{out_dir}/part-{ctx.task_index:05d}.bam"
             ctx.write_file(path, bam_data, logical_partition=True)
             ctx.emit(path, len(pairs))
 
-        job = JobConf(
-            "round1-alignment", mapper,
-            record_counter=lambda payload: len(payload[1]),
+        spec = JobSpec(name="round1-alignment", mapper=mapper)
+        splits = make_block_splits(
+            partitions, prefix="fastq", nodes=self.engine.nodes
         )
-        splits = [
-            InputSplit(
-                f"fastq-{index:05d}",
-                (index, partition),
-                preferred_node=self.engine.nodes[index % len(self.engine.nodes)],
-            )
-            for index, partition in enumerate(partitions)
-        ]
-        result = self._run_round("round1", job, splits)
+        result = self._run_round("round1", spec, splits)
         streaming = result.attachments.get("streaming")
         self.streaming_stats = streaming[-1] if streaming else None
         return [key for key, _ in result.all_outputs()]
@@ -247,12 +254,12 @@ class GesallRounds:
             for record in fixed:
                 ctx.emit(record.qname, record)
 
-        job = JobConf(
-            "round2-cleaning", mapper, reducer,
+        spec = JobSpec(
+            name="round2-cleaning", mapper=mapper, reducer=reducer,
             num_reducers=num_reducers, shuffle=self.shuffle,
         )
         splits = [InputSplit(path, path) for path in in_paths]
-        result = self._run_round("round2", job, splits)
+        result = self._run_round("round2", spec, splits)
         self.transform["round2"] = self._merge_transform(result)
         return self._write_reduce_partitions(result, out_dir, "queryname")
 
@@ -276,9 +283,9 @@ class GesallRounds:
                 local.add((mapped.rname, mapped.unclipped_five_prime))
             ctx.emit("bloom", local)
 
-        job = JobConf("round-bloom", mapper)
+        spec = JobSpec(name="round-bloom", mapper=mapper)
         result = self._run_round(
-            "round_bloom", job, [InputSplit(p, p) for p in in_paths]
+            "round_bloom", spec, [InputSplit(p, p) for p in in_paths]
         )
         merged = BloomFilter(num_bits=num_bits)
         for _, partial in result.all_outputs():
@@ -317,12 +324,12 @@ class GesallRounds:
                 ctx.emit(record.qname, record)
                 accounting.record_output([record])
 
-        job = JobConf(
-            f"round3-markdup-{mode}", mapper, reducer,
+        spec = JobSpec(
+            name=f"round3-markdup-{mode}", mapper=mapper, reducer=reducer,
             num_reducers=num_reducers, shuffle=self.shuffle,
         )
         result = self._run_round(
-            "round3", job, [InputSplit(p, p) for p in in_paths]
+            "round3", spec, [InputSplit(p, p) for p in in_paths]
         )
         self.transform["round3"] = self._merge_transform(result)
         return self._write_reduce_partitions(
@@ -355,13 +362,13 @@ class GesallRounds:
         def partitioner(key, num_reducers):
             return contigs.index(key) % num_reducers
 
-        job = JobConf(
-            "round4-sort", mapper, reducer,
+        spec = JobSpec(
+            name="round4-sort", mapper=mapper, reducer=reducer,
             partitioner=partitioner, num_reducers=len(contigs),
             shuffle=self.shuffle,
         )
         result = self._run_round(
-            "round4", job, [InputSplit(p, p) for p in in_paths]
+            "round4", spec, [InputSplit(p, p) for p in in_paths]
         )
 
         out_paths = []
@@ -406,9 +413,9 @@ class GesallRounds:
             for call in caller.call(records, interval):
                 ctx.emit(call.site_key(), call)
 
-        job = JobConf("round5-haplotypecaller", mapper)
+        spec = JobSpec(name="round5-haplotypecaller", mapper=mapper)
         result = self._run_round(
-            "round5", job, [InputSplit(p, p) for p in in_paths]
+            "round5", spec, [InputSplit(p, p) for p in in_paths]
         )
         return sort_variants(v for _, v in result.all_outputs())
 
@@ -435,9 +442,9 @@ class GesallRounds:
             for call in caller.call(records):
                 ctx.emit(call.site_key(), call)
 
-        job = JobConf("round5-unifiedgenotyper", mapper)
+        spec = JobSpec(name="round5-unifiedgenotyper", mapper=mapper)
         result = self._run_round(
-            "round5_ug", job, [InputSplit(p, p) for p in in_paths]
+            "round5_ug", spec, [InputSplit(p, p) for p in in_paths]
         )
         return sort_variants(v for _, v in result.all_outputs())
 
@@ -487,13 +494,13 @@ class GesallRounds:
             for call in caller.call(records, clipped, emit_interval=core):
                 ctx.emit(call.site_key(), call)
 
-        job = JobConf(
-            "round5-hc-finegrained", mapper, reducer,
+        spec = JobSpec(
+            name="round5-hc-finegrained", mapper=mapper, reducer=reducer,
             partitioner=lambda key, n: key % n,
             num_reducers=ranger.num_partitions, shuffle=self.shuffle,
         )
         result = self._run_round(
-            "round5_finegrained", job, [InputSplit(p, p) for p in in_paths]
+            "round5_finegrained", spec, [InputSplit(p, p) for p in in_paths]
         )
         return sort_variants(v for _, v in result.all_outputs())
 
@@ -515,9 +522,9 @@ class GesallRounds:
             for call in caller.call(records):
                 ctx.emit((call.contig, call.start), call)
 
-        job = JobConf("round5-gasv", mapper)
+        spec = JobSpec(name="round5-gasv", mapper=mapper)
         result = self._run_round(
-            "round5_sv", job, [InputSplit(p, p) for p in in_paths]
+            "round5_sv", spec, [InputSplit(p, p) for p in in_paths]
         )
         return sorted(
             (v for _, v in result.all_outputs()),
@@ -549,12 +556,12 @@ class GesallRounds:
                 merged.merge(partial)
             ctx.emit(key, merged)
 
-        job = JobConf(
-            "round-recal", mapper, reducer, num_reducers=1,
-            shuffle=self.shuffle,
+        spec = JobSpec(
+            name="round-recal", mapper=mapper, reducer=reducer,
+            num_reducers=1, shuffle=self.shuffle,
         )
         result = self._run_round(
-            "round_recal", job, [InputSplit(p, p) for p in in_paths]
+            "round_recal", spec, [InputSplit(p, p) for p in in_paths]
         )
         table = RecalibrationTable()
         for _, merged in result.all_outputs():
@@ -569,12 +576,11 @@ class GesallRounds:
         hdfs = self.hdfs
         chunk_bytes = self.chunk_bytes
 
-        def mapper(payload, ctx):
-            index, path = payload
+        def mapper(path, ctx):
             header, records = read_bam(hdfs.get(path))
             ctx.set_input_records(len(records))
             header, rewritten = PrintReads(table).run(header, records)
-            out_path = f"{out_dir}/part-{index:05d}.bam"
+            out_path = f"{out_dir}/part-{ctx.task_index:05d}.bam"
             ctx.write_file(
                 out_path,
                 bam_bytes(header, rewritten, chunk_bytes),
@@ -582,12 +588,9 @@ class GesallRounds:
             )
             ctx.emit(out_path, len(rewritten))
 
-        job = JobConf("round-printreads", mapper)
-        splits = [
-            InputSplit(path, (index, path))
-            for index, path in enumerate(in_paths)
-        ]
-        result = self._run_round("round_print_reads", job, splits)
+        spec = JobSpec(name="round-printreads", mapper=mapper)
+        splits = [InputSplit(path, path) for path in in_paths]
+        result = self._run_round("round_print_reads", spec, splits)
         return [key for key, _ in result.all_outputs()]
 
     # -- shared accounting merge ----------------------------------------------

@@ -1,0 +1,230 @@
+"""Tests for the frozen ``repro.api`` surface and record blocks.
+
+``JobSpec`` / ``PipelineSpec`` are the only sanctioned construction
+paths for jobs and pipeline runs; these tests pin their immutability,
+their parity with the legacy constructors, and the sealed-block codec
+they feed the engine.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.api import (
+    JobSpec,
+    PipelineSpec,
+    make_block_splits,
+    run_job,
+    run_pipeline,
+    run_serial_pipeline,
+)
+from repro.errors import (
+    MapReduceError,
+    PipelineError,
+    ShuffleCorruptionError,
+    ShuffleError,
+)
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce import counters as C
+from repro.mapreduce.blocks import RecordBlock, encode_block
+from repro.mapreduce.executors import fork_available
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.shuffle.config import ShuffleConfig
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def _wordcount_spec(**overrides):
+    def mapper(records, ctx):
+        for line in records:
+            for word in line.split():
+                ctx.emit(word, 1)
+
+    def fold(key, values, ctx):
+        ctx.emit(key, sum(values))
+
+    fields = dict(name="wc", mapper=mapper, reducer=fold, num_reducers=2)
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+LINES = ["a b a", "c b", "a c c", "b"]
+
+
+class TestJobSpec:
+    def test_is_frozen(self):
+        spec = _wordcount_spec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.num_reducers = 4
+
+    def test_to_conf_carries_every_field(self):
+        shuffle = ShuffleConfig(codec="zlib-1")
+        spec = _wordcount_spec(
+            combiner=lambda k, v, c: c.emit(k, sum(v)),
+            partitioner=lambda key, n: 0,
+            io_sort_records=7,
+            slowstart=0.5,
+            sort_key=str,
+            record_counter=len,
+            shuffle=shuffle,
+        )
+        conf = spec.to_conf()
+        assert isinstance(conf, JobConf)
+        assert conf.name == "wc"
+        assert conf.mapper is spec.mapper
+        assert conf.reducer is spec.reducer
+        assert conf.combiner is spec.combiner
+        assert conf.partitioner is spec.partitioner
+        assert conf.num_reducers == 2
+        assert conf.io_sort_records == 7
+        assert conf.slowstart == 0.5
+        assert conf.sort_key is str
+        assert conf.record_counter is len
+        assert conf.shuffle is shuffle
+
+    def test_to_conf_validates_eagerly(self):
+        spec = JobSpec(name="bad", mapper="not-callable")
+        with pytest.raises(MapReduceError, match="mapper is not callable"):
+            spec.to_conf()
+
+    def test_default_partitioner_preserved(self):
+        from repro.mapreduce.job import default_partitioner
+
+        assert _wordcount_spec().to_conf().partitioner is default_partitioner
+
+    def test_replace_derives_variants(self):
+        spec = _wordcount_spec()
+        variant = dataclasses.replace(spec, num_reducers=5)
+        assert spec.num_reducers == 2
+        assert variant.num_reducers == 5
+        assert variant.mapper is spec.mapper
+
+
+class TestRunJob:
+    def baseline(self):
+        return run_job(_wordcount_spec(), make_block_splits([LINES]))
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(MapReduceError, match="takes a JobSpec"):
+            run_job(_wordcount_spec().to_conf(), [])
+
+    def test_serial_block_wordcount(self):
+        result = self.baseline()
+        assert sorted(result.all_outputs()) == [("a", 3), ("b", 3), ("c", 3)]
+        assert result.counters.get(C.MAP_INPUT_RECORDS) == len(LINES)
+
+    @needs_fork
+    def test_pooled_policy_matches_serial_and_closes_engine(self):
+        spec = _wordcount_spec(policy=ExecutionPolicy.pooled(max_workers=2))
+        result = run_job(spec, make_block_splits([LINES]))
+        assert result.all_outputs() == self.baseline().all_outputs()
+
+    def test_spec_nodes_drive_placement(self):
+        spec = _wordcount_spec(nodes=("alpha", "beta"))
+        result = run_job(spec, make_block_splits([LINES[:2], LINES[2:]]))
+        nodes = {attempt.node for attempt in result.history.tasks}
+        assert nodes <= {"alpha", "beta"}
+
+    def test_filesystem_is_wired(self):
+        hdfs = Hdfs(["n0"], replication=1)
+
+        def mapper(records, ctx):
+            ctx.write_file("/out/part", " ".join(records).encode())
+            ctx.emit("done", len(records))
+
+        run_job(JobSpec(name="writes", mapper=mapper),
+                make_block_splits([["x", "y"]]), filesystem=hdfs)
+        assert hdfs.get("/out/part") == b"x y"
+
+
+class TestPipelineSpec:
+    def test_is_frozen(self):
+        spec = PipelineSpec(reference=object())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.num_reducers = 9
+
+    def test_run_pipeline_rejects_non_spec(self):
+        with pytest.raises(PipelineError, match="takes a PipelineSpec"):
+            run_pipeline(object(), [])
+
+    def test_run_serial_pipeline_rejects_non_spec(self):
+        with pytest.raises(PipelineError, match="takes a PipelineSpec"):
+            run_serial_pipeline(object(), [])
+
+    def test_matches_legacy_pipeline(self, reference, ref_index, pairs):
+        from repro.pipeline.parallel import GesallPipeline
+
+        legacy = GesallPipeline(
+            reference, index=ref_index, num_fastq_partitions=4,
+            num_reducers=3,
+        ).run(pairs)
+        spec = PipelineSpec(
+            reference=reference, index=ref_index, num_fastq_partitions=4,
+            num_reducers=3,
+        )
+        via_api = run_pipeline(spec, pairs)
+        assert [v.to_line() for v in via_api.variants] == \
+            [v.to_line() for v in legacy.variants]
+        assert [r.to_line() for r in via_api.deduped] == \
+            [r.to_line() for r in legacy.deduped]
+
+    def test_serial_reference_program(self, reference, ref_index, pairs):
+        spec = PipelineSpec(reference=reference, index=ref_index)
+        serial = run_serial_pipeline(spec, pairs)
+        assert serial.variants is not None
+        assert serial.alignment
+
+
+class TestRecordBlocks:
+    def test_round_trip(self):
+        block = RecordBlock(["r1", ("r2", 3), {"k": 4}])
+        assert block.decode() == ["r1", ("r2", 3), {"k": 4}]
+        assert len(block) == 3
+        assert block.count == 3
+
+    def test_encode_block_helper(self):
+        assert encode_block(iter("abc")).decode() == ["a", "b", "c"]
+
+    def test_empty_block(self):
+        assert RecordBlock([]).decode() == []
+
+    def test_pickle_ships_the_sealed_frame(self):
+        block = RecordBlock(list(range(100)))
+        clone = pickle.loads(pickle.dumps(block))
+        assert clone.blob == block.blob
+        assert clone.decode() == list(range(100))
+
+    def test_rejects_records_and_blob_together(self):
+        with pytest.raises(ShuffleError, match="not both"):
+            RecordBlock(["r"], blob=b"GBLK1")
+        with pytest.raises(ShuffleError, match="not both"):
+            RecordBlock()
+
+    def test_bad_magic_rejected(self):
+        block = RecordBlock(["r"])
+        with pytest.raises(ShuffleError, match="magic"):
+            RecordBlock(blob=b"XXXXX" + block.blob[5:])
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ShuffleCorruptionError, match="truncated"):
+            RecordBlock(blob=b"GB")
+
+    def test_payload_corruption_fails_crc(self):
+        block = RecordBlock(["record-one", "record-two"])
+        rotted = bytearray(block.blob)
+        rotted[-1] ^= 0xFF
+        with pytest.raises(ShuffleCorruptionError, match="CRC32"):
+            RecordBlock(blob=bytes(rotted)).decode()
+
+    def test_make_block_splits_metadata(self):
+        splits = make_block_splits(
+            [["a"], ["b", "c"]], prefix="part", nodes=["n1", "n2"]
+        )
+        assert [s.split_id for s in splits] == ["part-00000", "part-00001"]
+        assert [s.preferred_node for s in splits] == ["n1", "n2"]
+        assert all(isinstance(s.payload, RecordBlock) for s in splits)
+        assert splits[1].size_bytes == splits[1].payload.raw_bytes

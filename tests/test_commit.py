@@ -7,6 +7,8 @@ under zombie attempts, duplicated commit messages, and a driver that
 dies mid-round, with outputs byte-identical to a clean run throughout.
 """
 
+import os
+
 import pytest
 
 from repro.chaos import (
@@ -38,6 +40,7 @@ ALL_EXECUTORS = [
     ("serial", 1),
     ("thread", 4),
     pytest.param("process", 2, marks=needs_fork),
+    pytest.param("pool", 2, marks=needs_fork),
 ]
 
 NODES = [f"node{i:02d}" for i in range(4)]
@@ -341,6 +344,43 @@ class TestZombieFencing:
         plan = FaultPlan(events=(ZombieAttempt("wc-m-00000", attempt=1),))
         with pytest.raises(MapReduceError, match="lost its lease"):
             self.run_with_plan(plan, lease_seconds=1e-12, backup_attempts=2)
+
+    @needs_fork
+    def test_killed_pool_worker_is_fenced_and_backup_commits(self, tmp_path):
+        """A pool worker dying mid-task settles through the fenced
+        backup path: the dead attempt never presents a commit, the
+        backup's epoch-1 commit wins, outputs stay byte-identical."""
+        marker = tmp_path / "crashed-once"
+
+        def mapper(line, ctx):
+            if line.startswith("the quick") and not marker.exists():
+                marker.write_text("dying")
+                os._exit(9)
+            for word in line.split():
+                ctx.emit(word, 1)
+
+        def reducer(word, counts, ctx):
+            ctx.emit(word, sum(counts))
+
+        job = JobConf("wc", mapper, reducer, num_reducers=2)
+        with MapReduceEngine(
+            nodes=NODES, policy=ExecutionPolicy.pooled(max_workers=2)
+        ) as engine:
+            result = engine.run(job, make_splits(LINES))
+            executor = engine._executor
+            assert executor.workers_respawned == 1
+        assert result.all_outputs() == clean_outputs()
+        assert result.counters.get(C.WORKER_CRASHES) == 1
+        assert result.counters.get(C.BACKUP_ATTEMPTS) == 1
+        assert result.counters.get(C.TASK_COMMITS) == len(ALL_TASK_IDS)
+        # A crash is not a lease loss: the attempt died, it never went
+        # silent, so no lease expiration is charged.
+        assert C.LEASE_EXPIRATIONS not in result.counters
+        [crashed] = result.history.events_of("worker_crashed")
+        assert crashed["task"] == "wc-m-00000"
+        assert crashed["exitcode"] == 9
+        [backup] = result.history.backup_tasks()
+        assert backup.task_id == "wc-m-00000-backup-e1"
 
     def test_duplicate_commit_is_refused(self):
         plan = FaultPlan(events=(DuplicateCommit("wc-r-00000"),))

@@ -11,12 +11,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import JobSpec, make_block_splits, run_job
 from repro.errors import MapReduceError
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce import counters as C
+from repro.mapreduce.blocks import RecordBlock
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.executors import (
+    PooledProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
@@ -35,7 +38,9 @@ ALL_POLICIES = [
     ExecutionPolicy.serial(),
     ExecutionPolicy.threads(max_workers=4),
     pytest.param(ExecutionPolicy.processes(max_workers=2), marks=needs_fork),
+    pytest.param(ExecutionPolicy.pooled(max_workers=2), marks=needs_fork),
 ]
+POLICY_IDS = ["serial", "thread", "process", "pool"]
 
 
 def wordcount_job():
@@ -94,7 +99,8 @@ class TestExecutionPolicy:
             ]
             for kind in EXECUTOR_KINDS
         }
-        assert draws["serial"] == draws["thread"] == draws["process"]
+        assert (draws["serial"] == draws["thread"] == draws["process"]
+                == draws["pool"])
         assert any(draws["serial"])  # rate 0.3 over 40 draws must hit
 
     def test_backoff_is_capped(self):
@@ -119,6 +125,12 @@ class TestExecutors:
             build_executor(ExecutionPolicy.processes(2)), ProcessExecutor
         )
 
+    @needs_fork
+    def test_build_executor_pool(self):
+        executor = build_executor(ExecutionPolicy.pooled(2))
+        assert isinstance(executor, PooledProcessExecutor)
+        executor.close()
+
     @pytest.mark.parametrize(
         "executor",
         [
@@ -137,15 +149,13 @@ class TestExecutors:
 
 
 class TestEngineAcrossExecutors:
-    @pytest.mark.parametrize("policy", ALL_POLICIES,
-                             ids=["serial", "thread", "process"])
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
     def test_wordcount_identical(self, policy):
         baseline = MapReduceEngine(nodes=["n1", "n2"]).run(
             wordcount_job(), make_splits(LINES)
         )
-        result = MapReduceEngine(nodes=["n1", "n2"], policy=policy).run(
-            wordcount_job(), make_splits(LINES)
-        )
+        with MapReduceEngine(nodes=["n1", "n2"], policy=policy) as engine:
+            result = engine.run(wordcount_job(), make_splits(LINES))
         assert result.all_outputs() == baseline.all_outputs()
         assert result.reduce_outputs == baseline.reduce_outputs
 
@@ -281,6 +291,136 @@ class TestRecordCounting:
         assert result.counters.get(C.MAP_INPUT_RECORDS) == 3
 
 
+def _block_spec(policy, combiner=False):
+    """Word count over block-encoded splits, optionally combined."""
+
+    def mapper(records, ctx):
+        for line in records:
+            for word in line.split():
+                ctx.emit(word, 1)
+
+    def fold(key, values, ctx):
+        ctx.emit(key, sum(values))
+
+    return JobSpec(
+        name="block-wordcount",
+        mapper=mapper,
+        reducer=fold,
+        combiner=fold if combiner else None,
+        num_reducers=2,
+        io_sort_records=4,  # force multiple spills per map task
+        policy=policy,
+    )
+
+
+def _block_splits():
+    return make_block_splits([[line] for line in LINES], prefix="lines")
+
+
+class TestBlockSplitsAcrossExecutors:
+    """Sealed record blocks decode to the same bytes on every executor."""
+
+    @pytest.fixture(scope="class")
+    def serial_block_run(self):
+        return run_job(
+            _block_spec(ExecutionPolicy.serial()), _block_splits()
+        )
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
+    def test_block_encoded_outputs_identical(self, policy, serial_block_run):
+        result = run_job(_block_spec(policy), _block_splits())
+        assert result.all_outputs() == serial_block_run.all_outputs()
+        assert result.reduce_outputs == serial_block_run.reduce_outputs
+
+    def test_block_records_counted_not_splits(self, serial_block_run):
+        assert serial_block_run.counters.get(C.MAP_INPUT_RECORDS) == len(LINES)
+
+    def test_mapper_receives_decoded_records(self):
+        seen = []
+
+        def mapper(records, ctx):
+            seen.append(list(records))
+            ctx.emit(ctx.task_index, len(records))
+
+        spec = JobSpec(name="decode", mapper=mapper)
+        result = run_job(spec, make_block_splits([["a", "b"], ["c"]]))
+        assert seen == [["a", "b"], ["c"]]
+        assert result.all_outputs() == [(0, 2), (1, 1)]
+
+
+class TestCombinerAcrossExecutors:
+    """Combiner on vs off is byte-identical while shuffling less."""
+
+    @pytest.fixture(scope="class")
+    def uncombined(self):
+        return run_job(
+            _block_spec(ExecutionPolicy.serial(), combiner=False),
+            _block_splits(),
+        )
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
+    def test_combined_outputs_identical(self, policy, uncombined):
+        combined = run_job(
+            _block_spec(policy, combiner=True), _block_splits()
+        )
+        assert combined.all_outputs() == uncombined.all_outputs()
+        assert combined.reduce_outputs == uncombined.reduce_outputs
+
+    def test_combiner_reduces_shuffled_records(self, uncombined):
+        combined = run_job(
+            _block_spec(ExecutionPolicy.serial(), combiner=True),
+            _block_splits(),
+        )
+        assert combined.counters.get(C.SHUFFLED_RECORDS) < \
+            uncombined.counters.get(C.SHUFFLED_RECORDS)
+        assert combined.counters.get(C.SHUFFLE_RAW_BYTES) < \
+            uncombined.counters.get(C.SHUFFLE_RAW_BYTES)
+        assert combined.counters.get(C.COMBINE_OUTPUT_RECORDS) < \
+            combined.counters.get(C.COMBINE_INPUT_RECORDS)
+        assert C.COMBINE_INPUT_RECORDS not in uncombined.counters
+
+
+@needs_fork
+class TestPooledExecutorLifecycle:
+    def test_run_tasks_rejected(self):
+        """The pool never ships thunks — only picklable descriptors."""
+        executor = PooledProcessExecutor(max_workers=2)
+        try:
+            with pytest.raises(MapReduceError):
+                executor.run_tasks([lambda: 1])
+        finally:
+            executor.close()
+
+    def test_pool_reuses_workers_across_jobs(self):
+        with MapReduceEngine(
+            nodes=["n1", "n2"], policy=ExecutionPolicy.pooled(max_workers=2)
+        ) as engine:
+            for _ in range(3):
+                result = engine.run(wordcount_job(), make_splits(LINES))
+            executor = engine._executor
+            # One fork pair per job; the reduce wave of every job ran
+            # on workers the map wave already warmed.
+            assert executor.jobs == 3
+            assert executor.forks == 6
+            assert executor.waves_reused == 3
+            assert executor.workers_respawned == 0
+        baseline = MapReduceEngine(nodes=["n1", "n2"]).run(
+            wordcount_job(), make_splits(LINES)
+        )
+        assert result.all_outputs() == baseline.all_outputs()
+
+    def test_engine_close_is_idempotent_and_reusable(self):
+        engine = MapReduceEngine(
+            nodes=["n1"], policy=ExecutionPolicy.pooled(max_workers=2)
+        )
+        first = engine.run(wordcount_job(), make_splits(LINES))
+        engine.close()
+        engine.close()
+        second = engine.run(wordcount_job(), make_splits(LINES))
+        engine.close()
+        assert first.all_outputs() == second.all_outputs()
+
+
 class TestApiRedesign:
     def test_positional_nodes_deprecated(self):
         with pytest.deprecated_call():
@@ -291,9 +431,15 @@ class TestApiRedesign:
         with pytest.raises(TypeError):
             MapReduceEngine(["n1"], nodes=["n2"])
 
-    def test_split_locality_is_keyword_only(self):
+    def test_split_positional_locality_deprecated(self):
+        with pytest.deprecated_call():
+            split = InputSplit("s0", "payload", "n1", 64)
+        assert split.preferred_node == "n1"
+        assert split.size_bytes == 64
+
+    def test_split_positional_keyword_conflict(self):
         with pytest.raises(TypeError):
-            InputSplit("s0", "payload", "n1")
+            InputSplit("s0", "payload", "n1", preferred_node="n2")
 
     def test_validate_rejects_reducerless_num_reducers(self):
         job = JobConf("bad", lambda p, c: None)
@@ -388,6 +534,16 @@ class TestCrossExecutorDeterminism:
             ExecutionPolicy.processes(max_workers=2),
         )
         assert forked == serial_run
+
+    @needs_fork
+    def test_pool_executor_matches_serial(
+        self, reference, ref_index, pairs, serial_run
+    ):
+        pooled = pipeline_fingerprint(
+            reference, ref_index, pairs,
+            ExecutionPolicy.pooled(max_workers=2),
+        )
+        assert pooled == serial_run
 
     def test_faulty_run_matches_serial(
         self, reference, ref_index, pairs, serial_run
