@@ -11,6 +11,11 @@ Three claims, all required for the layer to stay always-on-safe:
 * The *enabled* path must stay cheap enough to leave on for diagnosis
   runs: full tracing is allowed at most 40% over baseline here (in
   practice it is far lower; the bound only guards regressions).
+* The *worker resource sampler* must be cheap enough to leave on for
+  every traced run: tracing + sampling is allowed at most 5% over
+  tracing alone (with a small absolute floor).  The sampler reads
+  ``getrusage`` + two /proc files on its own thread, so the task hot
+  path only pays thread start/join per attempt.
 """
 
 from __future__ import annotations
@@ -104,4 +109,38 @@ def test_obs_overhead():
     assert enabled <= 1.4 * base + 0.05, (
         f"enabled-recorder overhead regressed: {enabled:.3f}s vs "
         f"baseline {base:.3f}s"
+    )
+
+
+def test_obs_sampler_overhead():
+    """Tracing + resource sampling within 5% of tracing alone."""
+    reference, index, pairs = _dataset()
+    enabled = _best_of(reference, index, pairs, obs=ObsConfig(enabled=True))
+    sampled = _best_of(
+        reference, index, pairs,
+        obs=ObsConfig(enabled=True, sample_interval=0.02),
+    )
+    lines = [
+        "Worker resource sampler overhead, full 5-round pipeline "
+        f"(best of {REPEATS}):",
+        f"  traced, sampler off     {enabled:>8.3f} s",
+        f"  traced, 20ms sampler    {sampled:>8.3f} s   "
+        f"{sampled / enabled:>5.2f}x",
+    ]
+    report("obs_sampler_overhead", "\n".join(lines))
+    report_json(
+        "obs_sampler_overhead",
+        wall_seconds=sampled,
+        params={"partitions": 6, "reducers": 3, "repeats": REPEATS,
+                "sample_interval": 0.02},
+        counters={
+            "wall_seconds.traced": round(enabled, 6),
+            "wall_seconds.sampled": round(sampled, 6),
+        },
+    )
+    # Acceptance bound: sampling within 5% of the traced baseline (with
+    # a 50 ms absolute floor so sub-second runs don't flake on noise).
+    assert sampled - enabled <= max(0.05 * enabled, 0.05), (
+        f"sampler overhead regressed: {sampled:.3f}s vs traced "
+        f"baseline {enabled:.3f}s"
     )

@@ -5,6 +5,8 @@ Subcommands::
     repro-genomics simulate   --out DIR [--length N] [--coverage X]
     repro-genomics run        --data DIR --mode serial|parallel [--vcf F]
     repro-genomics trace      --data DIR [--trace-out F] [--jsonl F]
+    repro-genomics report     --data DIR [--out F] [--sample-interval S]
+    repro-genomics compare    BASELINE.json CANDIDATE.json
     repro-genomics diagnose   --data DIR
     repro-genomics chaos      --data DIR [--kill NODE@ROUND] [--delay T:S]
     repro-genomics perf-study [--cluster A|B]
@@ -13,12 +15,16 @@ Subcommands::
 VCF into a directory; ``run`` executes a pipeline over them; ``trace``
 runs the parallel pipeline under an enabled trace recorder and prints
 the per-round / per-phase breakdown (writing a Chrome-loadable
-``trace.json``); ``diagnose`` runs both pipelines and prints the
-Table 8 report; ``chaos`` runs the pipeline under a deterministic
-fault plan and gates on the chaos run's output being equivalent to a
-clean run (the Table 8 methodology as a fault-tolerance regression
-gate); ``perf-study`` prints the simulator's Table 6/7 numbers without
-touching any data.
+``trace.json``); ``report`` runs it with the worker resource sampler
+on and renders a self-contained HTML performance report (timeline SVG,
+utilization strips, stragglers, resource sparklines); ``compare``
+diffs two ``BENCH_*.json`` results with noise-aware thresholds and
+exits non-zero on a regression; ``diagnose`` runs both pipelines and
+prints the Table 8 report; ``chaos`` runs the pipeline under a
+deterministic fault plan and gates on the chaos run's output being
+equivalent to a clean run (the Table 8 methodology as a
+fault-tolerance regression gate); ``perf-study`` prints the
+simulator's Table 6/7 numbers without touching any data.
 """
 
 from __future__ import annotations
@@ -128,6 +134,42 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write a JSONL span dump to this path")
     trace.add_argument("--width", type=int, default=60,
                        help="terminal timeline width in samples")
+    trace.add_argument("--sample-interval", type=float, default=0.0,
+                       help="worker resource sampling interval in "
+                            "seconds (0 = off)")
+
+    report = sub.add_parser(
+        "report", parents=[execution],
+        help="traced + sampled run rendered as a standalone HTML report",
+    )
+    report.add_argument("--data", required=True, help="simulate output dir")
+    report.add_argument("--out", default=None,
+                        help="HTML output path (default DATA/report.html)")
+    report.add_argument("--sample-interval", type=float, default=0.02,
+                        help="worker resource sampling interval in "
+                             "seconds (default 0.02; 0 disables)")
+    report.add_argument("--title", default=None,
+                        help="report title (default derived from DATA)")
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json results; exit 1 on regression",
+    )
+    compare.add_argument("baseline", help="baseline BENCH_*.json")
+    compare.add_argument("candidate", help="candidate BENCH_*.json")
+    compare.add_argument("--threshold", type=float, default=None,
+                         help="relative regression threshold "
+                              "(default 0.15 = 15%%)")
+    compare.add_argument("--noise-floor", type=float, default=None,
+                         help="absolute seconds a timing metric must "
+                              "move to count (default 0.05)")
+    compare.add_argument("--strict-host", action="store_true",
+                         help="treat host-mismatched regressions as "
+                              "failures instead of advisories")
+    compare.add_argument("--show-ok", action="store_true",
+                         help="also list unchanged metrics")
+    compare.add_argument("--json", dest="json_out", default=None,
+                         help="also write the comparison as JSON here")
 
     diag = sub.add_parser("diagnose", parents=[execution],
                           help="run both pipelines and compare (Table 8)")
@@ -264,8 +306,11 @@ def _cmd_trace(args) -> int:
 
     reference, pairs = _load_sample(args.data)
     index = ReferenceIndex(reference)
-    spec = _spec_from_args(args, reference, index,
-                           obs=ObsConfig(enabled=True))
+    spec = _spec_from_args(
+        args, reference, index,
+        obs=ObsConfig(enabled=True,
+                      sample_interval=args.sample_interval),
+    )
     result = run_pipeline(spec, pairs)
     recorder = result.recorder
     spans = recorder.spans()
@@ -301,6 +346,38 @@ def _cmd_trace(args) -> int:
               f"  retried {s['retried_tasks']}  speculative "
               f"{s['speculative']}  queue {s['queued_seconds']:.3f}s"
               f"  run {s['run_seconds']:.3f}s")
+
+    from repro.obs.analysis import analyze
+
+    histories = [(key, job_result.history)
+                 for key, job_result in rounds.results.items()]
+    analysis = analyze(recorder, histories)
+    cost = analysis["worker_cost"]
+    if cost["worker_count"]:
+        print()
+        print(f"worker cost: {cost['worker_count']} workers, "
+              f"busy {cost['busy_worker_seconds']:.3f}s / "
+              f"paid {cost['paid_worker_seconds']:.3f}s worker-seconds "
+              f"(utilization {cost['utilization']:.0%}, "
+              f"parallelism {cost['parallelism']:.2f}x)")
+    stragglers = analysis["stragglers"]
+    print()
+    if stragglers:
+        print(f"stragglers (MAD score >= 3.5): {len(stragglers)}")
+        for entry in stragglers[:8]:
+            print(f"  {entry['round']:<18s}{entry['task_id']:<24s}"
+                  f"{entry['run_seconds']:>8.3f}s  score "
+                  f"{entry['score']:>5.1f}  (wave median "
+                  f"{entry['wave_median']:.3f}s)")
+    else:
+        print("stragglers: none detected (MAD score < 3.5 in every wave)")
+
+    sampled = recorder.metrics.all_timeseries()
+    if sampled:
+        points = sum(len(series) for series in sampled)
+        print(f"resource sampling: {len(sampled)} series, "
+              f"{points} points "
+              f"(interval {args.sample_interval:.3f}s)")
 
     print()
     print(render_timeline(recorder, width=args.width))
@@ -353,6 +430,76 @@ def _cmd_trace(args) -> int:
         write_jsonl(recorder, args.jsonl)
         print(f"wrote {args.jsonl}")
     return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.recorder import ObsConfig
+    from repro.obs.report import write_html_report
+
+    reference, pairs = _load_sample(args.data)
+    index = ReferenceIndex(reference)
+    spec = _spec_from_args(
+        args, reference, index,
+        obs=ObsConfig(enabled=True,
+                      sample_interval=args.sample_interval),
+    )
+    result = run_pipeline(spec, pairs)
+    recorder = result.recorder
+    histories = [(key, job_result.history)
+                 for key, job_result in result.rounds.results.items()]
+    out = args.out or os.path.join(args.data, "report.html")
+    title = args.title or (
+        f"repro performance report — {os.path.basename(args.data.rstrip('/'))}"
+    )
+    write_html_report(
+        recorder, out,
+        histories=histories,
+        title=title,
+        extra_meta={
+            "executor": args.executor,
+            "partitions": args.partitions,
+            "read pairs": len(pairs),
+            "sample interval": f"{args.sample_interval:.3f}s",
+            "shuffle codec": args.shuffle_codec,
+        },
+    )
+    series = recorder.metrics.all_timeseries()
+    print(f"report: executor={args.executor}, "
+          f"wall {recorder.horizon():.3f}s, {len(recorder.spans())} spans, "
+          f"{len(series)} resource series")
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    import json as _json
+
+    from repro.obs.compare import (
+        DEFAULT_NOISE_FLOOR,
+        DEFAULT_THRESHOLD,
+        compare_benches,
+        format_comparison,
+        load_bench,
+    )
+
+    base = load_bench(args.baseline)
+    cand = load_bench(args.candidate)
+    comparison = compare_benches(
+        base, cand,
+        threshold=(args.threshold if args.threshold is not None
+                   else DEFAULT_THRESHOLD),
+        noise_floor=(args.noise_floor if args.noise_floor is not None
+                     else DEFAULT_NOISE_FLOOR),
+        strict_host=args.strict_host,
+    )
+    print(format_comparison(comparison, show_ok=args.show_ok))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            _json.dump(comparison.as_dict(), handle, indent=2,
+                       sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    return 1 if comparison.failed else 0
 
 
 def _cmd_diagnose(args) -> int:
@@ -633,6 +780,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "report": _cmd_report,
+        "compare": _cmd_compare,
         "diagnose": _cmd_diagnose,
         "chaos": _cmd_chaos,
         "perf-study": _cmd_perf_study,

@@ -96,7 +96,8 @@ class _TaskOutcome:
         "shuffled_bytes", "shuffle_raw_bytes", "partition_records",
         "key_counts", "crc_failures", "fetch_retries",
         "attempts", "injected_faults", "file_writes",
-        "attachments", "phases", "spans", "started_at", "finished_at",
+        "attachments", "phases", "spans", "samples", "started_at",
+        "finished_at",
         "worker", "node", "timeouts", "injected_delays", "failures",
         "heartbeats", "lease_charged", "zombie",
         "block_decode_seconds", "combine_in", "combine_out",
@@ -156,6 +157,9 @@ class _TaskOutcome:
         self.combine_out = 0
         #: Spans buffered by the task context, stitched by the parent.
         self.spans: List[Span] = []
+        #: Worker resource samples taken over the attempt (sampling
+        #: runs only when the recorder asks for it; None otherwise).
+        self.samples: Optional[List[Any]] = None
         #: Run-time stamps set by the executor's tracing wrapper.
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -678,6 +682,9 @@ class MapReduceEngine:
             self._executor = build_executor(self.policy)
         executor = self._executor
         executor.trace = self.recorder.enabled
+        executor.sample_interval = (
+            self.recorder.sample_interval if self.recorder.enabled else 0.0
+        )
         result = JobResult(job.name)
         committer = OutputCommitter(
             result, self.filesystem, recorder=self.recorder, journal=journal,
@@ -770,7 +777,10 @@ class MapReduceEngine:
             # Fork the job's workers now, with every map body in the
             # image; reduce inputs arrive later as shipped snapshots.
             executor.begin_job(
-                PoolJobContext(job, self.policy, factories, executor.trace)
+                PoolJobContext(
+                    job, self.policy, factories, executor.trace,
+                    executor.sample_interval,
+                )
             )
             calls = [_MapCall(index) for index in range(len(factories))]
         outcomes, submitted = self._execute_wave(
@@ -1040,6 +1050,64 @@ class MapReduceEngine:
             queue_wait
         )
         recorder.metrics.histogram("task.run_seconds").observe(run_time)
+        if outcome.samples:
+            self._ingest_samples(task, outcome, track)
+
+    def _ingest_samples(
+        self, task: TaskAttempt, outcome: _TaskOutcome, track: str
+    ) -> None:
+        """Stitch an attempt's worker resource samples into the store.
+
+        The raw samples are cumulative process counters taken inside
+        the worker; the driver differences consecutive pairs into rates
+        and lands them in per-worker :class:`TimeSeries` tagged, per
+        point, with the task and the phase active at sample time — the
+        (worker, task, phase) key the paper's Fig 7/10 plots pivot on.
+        RSS is instantaneous and kept as-is.
+        """
+        metrics = self.recorder.metrics
+        epoch = self.recorder.epoch
+        boundaries = sorted(
+            (start, end, name)
+            for name, (start, end) in (outcome.phases or {}).items()
+        )
+
+        def phase_at(t: float) -> str:
+            for start, end, name in boundaries:
+                if start <= t < end:
+                    return name
+            return ""
+
+        cpu = metrics.timeseries("proc.cpu_percent", worker=track)
+        rss = metrics.timeseries("proc.rss_bytes", worker=track)
+        read = metrics.timeseries("proc.read_bytes_per_s", worker=track)
+        write = metrics.timeseries("proc.write_bytes_per_s", worker=track)
+        ctx = metrics.timeseries("proc.ctx_switches_per_s", worker=track)
+        samples = outcome.samples
+        first = samples[0]
+        rss.append(
+            first.t - epoch, first.rss_bytes,
+            {"task": task.task_id, "phase": phase_at(first.t)},
+        )
+        prev = first
+        for sample in samples[1:]:
+            dt = max(sample.t - prev.t, 1e-9)
+            tags = {"task": task.task_id, "phase": phase_at(sample.t)}
+            t = sample.t - epoch
+            cpu.append(
+                t, 100.0 * (sample.cpu_seconds - prev.cpu_seconds) / dt,
+                tags,
+            )
+            rss.append(t, sample.rss_bytes, tags)
+            read.append(t, (sample.read_bytes - prev.read_bytes) / dt, tags)
+            write.append(
+                t, (sample.write_bytes - prev.write_bytes) / dt, tags
+            )
+            ctx.append(
+                t, (sample.ctx_switches - prev.ctx_switches) / dt, tags
+            )
+            prev = sample
+        metrics.counter("obs.samples_ingested").inc(len(samples))
 
     # -- outcome absorption -----------------------------------------------------
     def _absorb_attempts(
@@ -1333,16 +1401,21 @@ class MapReduceEngine:
         depends only on ``(fault_seed, kind, wave identity)``, so it is
         identical across executors but varies with the policy seed
         instead of always sparing every task but the last.
+
+        Traced runs first consult the MAD straggler analytics over the
+        wave's measured attempt durations (see
+        :func:`repro.obs.analysis.mad_scores`): a genuine duration
+        outlier becomes the audited task — speculation re-runs the task
+        a Hadoop speculator would — and is published as
+        ``obs.straggler.*`` metrics.  Untraced runs, and traced waves
+        with no outlier, keep the seeded draw, preserving the
+        cross-executor determinism of the audited index.
         """
         if not self.policy.speculative or executor.kind == "serial":
             return
         if not live:
             return
-        draw = zlib.crc32(
-            f"{self.policy.fault_seed}|{kind}|{placements[0][0]}|"
-            f"{len(live)}".encode()
-        )
-        straggler = live[draw % len(live)]
+        straggler = self._pick_straggler(live, outcomes, kind, placements)
         primary = outcomes[straggler]
         if isinstance(primary, WorkerCrash):
             # The primary is headed for a fenced backup; there is
@@ -1379,6 +1452,46 @@ class MapReduceEngine:
                 f"speculative {kind} attempt diverged from the primary "
                 f"(task index {straggler}); task is not deterministic"
             )
+
+    def _pick_straggler(
+        self,
+        live: List[int],
+        outcomes: List[Optional[_TaskOutcome]],
+        kind: str,
+        placements: List[Tuple[str, str]],
+    ) -> int:
+        """The wave's audited task index (see :meth:`_speculate`)."""
+        durations: List[float] = []
+        for index in live:
+            outcome = outcomes[index]
+            started = getattr(outcome, "started_at", None)
+            if started is None:
+                durations = []
+                break
+            durations.append(outcome.finished_at - started)
+        # MAD needs a population to estimate spread from; tiny waves
+        # stay on the seeded draw.
+        if len(durations) == len(live) and len(live) >= 3:
+            from repro.obs.analysis import MAD_THRESHOLD, mad_scores
+
+            scores = mad_scores(durations)
+            best = max(range(len(live)), key=lambda i: scores[i])
+            if scores[best] >= MAD_THRESHOLD:
+                metrics = self.recorder.metrics
+                metrics.counter("obs.straggler.detected").inc()
+                metrics.counter(f"obs.straggler.{kind}_waves").inc()
+                metrics.gauge("obs.straggler.max_score").set(
+                    round(scores[best], 3)
+                )
+                metrics.gauge("obs.straggler.run_seconds").set(
+                    round(durations[best], 6)
+                )
+                return live[best]
+        draw = zlib.crc32(
+            f"{self.policy.fault_seed}|{kind}|{placements[0][0]}|"
+            f"{len(live)}".encode()
+        )
+        return live[draw % len(live)]
 
     # -- compatibility shims ------------------------------------------------------
     @staticmethod

@@ -55,7 +55,7 @@ from repro.mapreduce.policy import ExecutionPolicy
 TaskThunk = Callable[[], Any]
 
 
-def _stamped(thunk: TaskThunk) -> TaskThunk:
+def _stamped(thunk: TaskThunk, sample_interval: float = 0.0) -> TaskThunk:
     """Wrap a task thunk to stamp run-time and worker identity.
 
     The wrapper executes wherever the executor runs the task — a forked
@@ -63,11 +63,26 @@ def _stamped(thunk: TaskThunk) -> TaskThunk:
     the pickled outcome.  ``time.perf_counter`` is a system-wide
     monotonic clock, so worker-side readings compare directly against
     the driver's wave-submit timestamp (queue wait = started - submitted).
+
+    With ``sample_interval`` > 0 the attempt additionally runs a
+    :class:`~repro.obs.sampler.ResourceSampler` for its duration; the
+    CPU/RSS/IO samples ride back in ``outcome.samples`` next to the
+    stamps, and the driver tags them by (worker, task, phase) as it
+    stitches them into the metrics registry's time-series store.
     """
 
     def run() -> Any:
+        sampler = None
+        if sample_interval > 0:
+            from repro.obs.sampler import ResourceSampler
+
+            sampler = ResourceSampler(sample_interval).start()
         started = time.perf_counter()
-        outcome = thunk()
+        try:
+            outcome = thunk()
+        finally:
+            if sampler is not None:
+                sampler.stop()
         finished = time.perf_counter()
         if hasattr(outcome, "started_at"):
             outcome.started_at = started
@@ -75,6 +90,8 @@ def _stamped(thunk: TaskThunk) -> TaskThunk:
             outcome.worker = (
                 f"pid{os.getpid()}/{threading.current_thread().name}"
             )
+            if sampler is not None:
+                outcome.samples = sampler.samples
         return outcome
 
     return run
@@ -109,6 +126,10 @@ class TaskExecutor(ABC):
     #: When true, thunks are wrapped to stamp run time and worker
     #: identity onto their outcomes (set by the engine when tracing).
     trace: bool = False
+    #: Resource-sampling interval in seconds (0 = off; set by the
+    #: engine from the recorder).  When > 0, every task attempt runs a
+    #: worker-side ResourceSampler whose samples ride the outcome.
+    sample_interval: float = 0.0
 
     @abstractmethod
     def run_tasks(self, thunks: Sequence[TaskThunk]) -> List[Any]:
@@ -127,9 +148,11 @@ class TaskExecutor(ABC):
         return self.run_tasks([thunk])[0]
 
     def _prepared(self, thunks: Sequence[TaskThunk]) -> List[TaskThunk]:
-        """The wave's thunks, time-stamped when tracing is on."""
-        if self.trace:
-            return [_stamped(thunk) for thunk in thunks]
+        """The wave's thunks, time-stamped when tracing/sampling is on."""
+        if self.trace or self.sample_interval > 0:
+            return [
+                _stamped(thunk, self.sample_interval) for thunk in thunks
+            ]
         return list(thunks)
 
     def __repr__(self) -> str:
@@ -220,14 +243,16 @@ class PoolJobContext:
     the pipes afterwards.
     """
 
-    __slots__ = ("job", "policy", "map_bodies", "trace")
+    __slots__ = ("job", "policy", "map_bodies", "trace", "sample_interval")
 
-    def __init__(self, job, policy, map_bodies, trace: bool = False):
+    def __init__(self, job, policy, map_bodies, trace: bool = False,
+                 sample_interval: float = 0.0):
         self.job = job
         self.policy = policy
         #: Map task bodies by task index; ``f(epoch) -> outcome``.
         self.map_bodies: Sequence[Callable[[int], Any]] = map_bodies
         self.trace = trace
+        self.sample_interval = sample_interval
 
 
 class WorkerCrash:
@@ -288,8 +313,12 @@ def _pool_worker_main(conn) -> None:
             break
         seq, call = message
         try:
-            if context is not None and context.trace:
-                outcome = _stamped(lambda: call.run(context))()
+            if context is not None and (
+                context.trace or context.sample_interval > 0
+            ):
+                outcome = _stamped(
+                    lambda: call.run(context), context.sample_interval
+                )()
             else:
                 outcome = call.run(context)
             reply = (seq, True, outcome)

@@ -1,9 +1,31 @@
-"""Observability: spans, metrics, and trace exporters.
+"""Observability: spans, metrics, sampling, analytics, and reporters.
 
 The real-execution counterpart of the cluster simulator's utilization
-traces — see DESIGN.md section "Observability".
+traces — see DESIGN.md section "Observability".  Beyond span recording
+and scalar metrics this package carries the performance-study
+telemetry subsystem: a worker resource sampler (:mod:`.sampler`),
+straggler/utilization analytics (:mod:`.analysis`), a self-contained
+HTML report (:mod:`.report`), and a noise-aware bench-JSON differ
+(:mod:`.compare`).
 """
 
+from repro.obs.analysis import (
+    MAD_THRESHOLD,
+    Straggler,
+    analyze,
+    detect_stragglers,
+    mad_scores,
+    phase_timeline,
+    queue_run_decomposition,
+    worker_cost_summary,
+)
+from repro.obs.compare import (
+    Comparison,
+    Delta,
+    compare_benches,
+    format_comparison,
+    load_bench,
+)
 from repro.obs.export import (
     render_timeline,
     to_chrome_trace,
@@ -19,6 +41,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    TimeSeries,
 )
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -28,12 +51,17 @@ from repro.obs.recorder import (
     Span,
     TraceRecorder,
 )
+from repro.obs.report import render_html_report, write_html_report
+from repro.obs.sampler import ResourceSample, ResourceSampler, take_sample
 
 __all__ = [
+    "Comparison",
     "Counter",
     "DEFAULT_BUCKETS",
+    "Delta",
     "Gauge",
     "Histogram",
+    "MAD_THRESHOLD",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_RECORDER",
@@ -41,11 +69,27 @@ __all__ = [
     "NullMetrics",
     "NullRecorder",
     "ObsConfig",
+    "ResourceSample",
+    "ResourceSampler",
     "Span",
+    "Straggler",
+    "TimeSeries",
     "TraceRecorder",
+    "analyze",
+    "compare_benches",
+    "detect_stragglers",
+    "format_comparison",
+    "load_bench",
+    "mad_scores",
+    "phase_timeline",
+    "queue_run_decomposition",
+    "render_html_report",
     "render_timeline",
+    "take_sample",
     "to_chrome_trace",
     "to_jsonl_lines",
+    "worker_cost_summary",
     "write_chrome_trace",
+    "write_html_report",
     "write_jsonl",
 ]

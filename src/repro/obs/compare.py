@@ -1,0 +1,265 @@
+"""Noise-aware diffing of two ``BENCH_*.json`` results.
+
+The cross-run half of the regression story: :mod:`benchmarks.benchlib`
+emits schema-v2 JSON (``{schema_version, name, host, params,
+wall_seconds, counters}``); this module loads two of them, compares
+every shared numeric metric, and classifies each delta so a CI gate can
+fail loudly on a real slowdown without flaking on scheduler noise.
+
+Classification rules:
+
+* **Timing metrics** (``wall_seconds`` and any counter whose name
+  mentions ``seconds``): a *regression* needs both a relative exceedance
+  (candidate > baseline × (1 + threshold)) and an absolute one
+  (delta > noise floor) — sub-50 ms jitter on a sub-second bench is
+  noise, not a finding.  Mirror-image deltas are *improvements*.
+* **Other numeric counters** (bytes, record counts): reported as
+  *changed* when they move beyond the relative threshold, but they are
+  advisory — byte counts are deterministic here, and a changed count is
+  a behaviour diff for a human, not a perf gate.
+* **Host mismatch**: timing comparisons across different machines are
+  meaningless, so when the two files' ``host`` blocks disagree on CPU
+  count or platform every regression is downgraded to advisory unless
+  the caller insists (``strict_host``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: Relative slowdown that counts as a regression (15% catches any real
+#: >=20% slowdown while riding above run-to-run jitter).
+DEFAULT_THRESHOLD = 0.15
+
+#: Absolute floor, in seconds, under which a timing delta is noise.
+DEFAULT_NOISE_FLOOR = 0.05
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Load and validate one schema-v2 bench JSON.
+
+    Raises ``ValueError`` on anything that is not a v2+ bench result —
+    a compare against a stale or truncated artifact should fail the
+    gate as *broken*, never silently pass.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    version = data.get("schema_version")
+    if not isinstance(version, int) or version < 2:
+        raise ValueError(
+            f"{path}: schema_version {version!r} < 2; re-run the bench"
+        )
+    for field in ("name", "host", "wall_seconds", "counters"):
+        if field not in data:
+            raise ValueError(f"{path}: missing field {field!r}")
+    if not isinstance(data["counters"], dict):
+        raise ValueError(f"{path}: counters is not an object")
+    return data
+
+
+def numeric_metrics(bench: Dict[str, Any]) -> Dict[str, float]:
+    """Every comparable number in one bench result, flattened."""
+    metrics: Dict[str, float] = {}
+    wall = bench.get("wall_seconds")
+    if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+        metrics["wall_seconds"] = float(wall)
+    for name, value in bench.get("counters", {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[name] = float(value)
+    return metrics
+
+
+def is_timing_metric(name: str) -> bool:
+    return name == "wall_seconds" or "seconds" in name
+
+
+class Delta:
+    """One metric's movement between baseline and candidate."""
+
+    __slots__ = ("metric", "base", "cand", "verdict", "advisory")
+
+    def __init__(self, metric: str, base: Optional[float],
+                 cand: Optional[float], verdict: str,
+                 advisory: bool = False):
+        self.metric = metric
+        self.base = base
+        self.cand = cand
+        #: "regression" | "improvement" | "changed" | "ok" |
+        #: "added" | "removed"
+        self.verdict = verdict
+        #: True when a regression was downgraded (host mismatch).
+        self.advisory = advisory
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.base and self.cand is not None:
+            return self.cand / self.base
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "base": self.base,
+            "candidate": self.cand,
+            "ratio": round(self.ratio, 4) if self.ratio else None,
+            "verdict": self.verdict,
+            "advisory": self.advisory,
+        }
+
+    def __repr__(self) -> str:
+        return f"Delta({self.metric}: {self.base} -> {self.cand}, " \
+               f"{self.verdict})"
+
+
+class Comparison:
+    """The full diff of two bench results."""
+
+    def __init__(self, base_name: str, cand_name: str,
+                 deltas: List[Delta], host_mismatch: bool):
+        self.base_name = base_name
+        self.cand_name = cand_name
+        self.deltas = deltas
+        self.host_mismatch = host_mismatch
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas
+                if d.verdict == "regression" and not d.advisory]
+
+    @property
+    def advisories(self) -> List[Delta]:
+        return [d for d in self.deltas
+                if d.advisory or d.verdict == "changed"]
+
+    @property
+    def failed(self) -> bool:
+        """Whether a gate consuming this comparison should fail."""
+        return bool(self.regressions)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base_name,
+            "candidate": self.cand_name,
+            "host_mismatch": self.host_mismatch,
+            "failed": self.failed,
+            "deltas": [d.as_dict() for d in self.deltas],
+        }
+
+
+def hosts_match(base: Dict[str, Any], cand: Dict[str, Any]) -> bool:
+    base_host = base.get("host") or {}
+    cand_host = cand.get("host") or {}
+    return (
+        base_host.get("cpu_count") == cand_host.get("cpu_count")
+        and base_host.get("platform") == cand_host.get("platform")
+    )
+
+
+def compare_benches(
+    base: Dict[str, Any],
+    cand: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+    strict_host: bool = False,
+) -> Comparison:
+    """Diff two loaded bench results (see module docstring for rules)."""
+    mismatch = not hosts_match(base, cand)
+    downgrade = mismatch and not strict_host
+    base_metrics = numeric_metrics(base)
+    cand_metrics = numeric_metrics(cand)
+    deltas: List[Delta] = []
+    for metric in sorted(set(base_metrics) | set(cand_metrics)):
+        base_value = base_metrics.get(metric)
+        cand_value = cand_metrics.get(metric)
+        if base_value is None:
+            deltas.append(Delta(metric, None, cand_value, "added"))
+            continue
+        if cand_value is None:
+            deltas.append(Delta(metric, base_value, None, "removed"))
+            continue
+        if is_timing_metric(metric):
+            worse = (
+                cand_value > base_value * (1 + threshold)
+                and (cand_value - base_value) > noise_floor
+            )
+            better = (
+                cand_value < base_value * (1 - threshold)
+                and (base_value - cand_value) > noise_floor
+            )
+            if worse:
+                deltas.append(
+                    Delta(metric, base_value, cand_value, "regression",
+                          advisory=downgrade)
+                )
+            elif better:
+                deltas.append(
+                    Delta(metric, base_value, cand_value, "improvement")
+                )
+            else:
+                deltas.append(Delta(metric, base_value, cand_value, "ok"))
+        else:
+            moved = (
+                base_value != cand_value
+                and (base_value == 0
+                     or abs(cand_value - base_value)
+                     > abs(base_value) * threshold)
+            )
+            deltas.append(
+                Delta(metric, base_value, cand_value,
+                      "changed" if moved else "ok")
+            )
+    return Comparison(
+        base.get("name", "?"), cand.get("name", "?"), deltas, mismatch
+    )
+
+
+def _fmt_value(metric: str, value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if is_timing_metric(metric):
+        return f"{value:.3f}s"
+    if value == int(value):
+        return f"{int(value):,d}"
+    return f"{value:.4g}"
+
+
+def format_comparison(comparison: Comparison,
+                      show_ok: bool = False) -> str:
+    """The human delta table a failing CI step prints."""
+    lines = [
+        f"baseline  {comparison.base_name}",
+        f"candidate {comparison.cand_name}",
+    ]
+    if comparison.host_mismatch:
+        lines.append(
+            "NOTE: host mismatch (cpu_count/platform differ) — timing "
+            "regressions are advisory, not gating"
+        )
+    lines.append(
+        f"{'metric':<40s}{'baseline':>12s}{'candidate':>12s}"
+        f"{'ratio':>8s}  verdict"
+    )
+    interesting = 0
+    for delta in comparison.deltas:
+        if delta.verdict == "ok" and not show_ok:
+            continue
+        interesting += 1
+        ratio = f"{delta.ratio:.2f}x" if delta.ratio else "-"
+        verdict = delta.verdict + (" (advisory)" if delta.advisory else "")
+        lines.append(
+            f"{delta.metric:<40s}"
+            f"{_fmt_value(delta.metric, delta.base):>12s}"
+            f"{_fmt_value(delta.metric, delta.cand):>12s}"
+            f"{ratio:>8s}  {verdict}"
+        )
+    if not interesting:
+        lines.append(f"{'(all metrics within thresholds)':<40s}")
+    lines.append(
+        f"{len(comparison.regressions)} regression(s), "
+        f"{len(comparison.advisories)} advisory change(s), "
+        f"{len(comparison.deltas)} metric(s) compared"
+    )
+    return "\n".join(lines)

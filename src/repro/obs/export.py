@@ -35,6 +35,12 @@ def to_chrome_trace(recorder) -> Dict[str, Any]:
     span_events: List[Dict[str, Any]] = []
     for span in spans:
         tid = tids.setdefault(span.track, len(tids) + 1)
+        args = span.attrs
+        if span.end is None:
+            # Dead-worker span: never closed.  Export it zero-length
+            # and flagged, so the trace stays loadable.
+            args = dict(args)
+            args["incomplete"] = True
         span_events.append(
             {
                 "name": span.name,
@@ -45,7 +51,7 @@ def to_chrome_trace(recorder) -> Dict[str, Any]:
                 # trace_event timestamps are microseconds.
                 "ts": round((span.start - epoch) * 1e6, 3),
                 "dur": round(span.duration * 1e6, 3),
-                "args": span.attrs,
+                "args": args,
             }
         )
     for track, tid in tids.items():
@@ -126,9 +132,9 @@ def render_timeline(
         if span.category not in by_category:
             by_category[span.category] = []
             order.append(span.category)
-        by_category[span.category].append(
-            (span.start - epoch, span.end - epoch)
-        )
+        # A dead-worker span never closed; draw it to the horizon.
+        end = span.end - epoch if span.end is not None else horizon
+        by_category[span.category].append((span.start - epoch, end))
     lines = [
         f"{'category':<12s}|{'concurrency over time':<{width}s}| "
         f"spans  peak  total"

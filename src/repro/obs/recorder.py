@@ -58,6 +58,11 @@ class Span:
 
     @property
     def duration(self) -> float:
+        # A span stitched in from a dead worker may have no end time
+        # (the process was gone before it could close); report zero
+        # duration rather than poisoning every aggregate with None.
+        if self.end is None:
+            return 0.0
         return self.end - self.start
 
     def to_dict(self, epoch: float = 0.0) -> Dict[str, Any]:
@@ -65,7 +70,7 @@ class Span:
             "name": self.name,
             "cat": self.category,
             "start": self.start - epoch,
-            "end": self.end - epoch,
+            "end": self.end - epoch if self.end is not None else None,
             "track": self.track,
             "depth": self.depth,
             "attrs": self.attrs,
@@ -163,12 +168,17 @@ class TraceRecorder:
 
     enabled = True
 
-    def __init__(self, trace_tasks: bool = True):
+    def __init__(self, trace_tasks: bool = True,
+                 sample_interval: float = 0.0):
         self.epoch = time.perf_counter()
         #: Wall-clock instant matching ``epoch``, for report headers.
         self.wall_epoch = time.time()
         #: Whether the engine should measure per-task phase timings.
         self.trace_tasks = trace_tasks
+        #: Worker resource-sampling interval in seconds (0 = off); the
+        #: engine forwards it to the executors, whose workers run a
+        #: :class:`~repro.obs.sampler.ResourceSampler` per task attempt.
+        self.sample_interval = sample_interval
         self.metrics = MetricsRegistry()
         self._lock = threading.Lock()
         self._spans: List[Span] = []
@@ -197,15 +207,26 @@ class TraceRecorder:
         """Snapshot of finished spans, ordered by start time."""
         with self._lock:
             spans = list(self._spans)
-        spans.sort(key=lambda span: (span.start, span.end))
+        spans.sort(
+            key=lambda span: (
+                span.start, span.end if span.end is not None else span.start
+            )
+        )
         return spans
 
     def horizon(self) -> float:
-        """Seconds from epoch to the latest span end (0 when empty)."""
+        """Seconds from epoch to the latest span end (0 when empty).
+
+        Endless spans (ingested from a dead worker) contribute their
+        start time, so they can never stretch the horizon to None.
+        """
         with self._lock:
             if not self._spans:
                 return 0.0
-            return max(span.end for span in self._spans) - self.epoch
+            return max(
+                span.end if span.end is not None else span.start
+                for span in self._spans
+            ) - self.epoch
 
     def category_totals(self) -> Dict[str, float]:
         """Summed span duration per category."""
@@ -248,6 +269,7 @@ class NullRecorder:
 
     enabled = False
     trace_tasks = False
+    sample_interval = 0.0
     epoch = 0.0
     wall_epoch = 0.0
     metrics = NULL_METRICS
@@ -290,13 +312,20 @@ class ObsConfig:
     ``enabled`` turns the whole layer on; ``trace_tasks`` additionally
     measures per-task phase timings inside task bodies (the only
     instrumentation that costs clock reads on the task hot path).
+    ``sample_interval`` > 0 additionally runs the worker resource
+    sampler (:mod:`repro.obs.sampler`) at that many seconds per sample,
+    yielding CPU/RSS/IO/ctx-switch time-series per worker.
     """
 
     enabled: bool = False
     trace_tasks: bool = True
+    sample_interval: float = 0.0
 
     def build_recorder(self):
         """A fresh recorder per run, or the shared null recorder."""
         if not self.enabled:
             return NULL_RECORDER
-        return TraceRecorder(trace_tasks=self.trace_tasks)
+        return TraceRecorder(
+            trace_tasks=self.trace_tasks,
+            sample_interval=self.sample_interval,
+        )

@@ -96,6 +96,68 @@ class TestMetrics:
         assert NULL_METRICS.counter("x") is NULL_METRICS.histogram("z")
         NULL_METRICS.counter("x").inc(100)
         assert NULL_METRICS.as_dict()["counters"] == {}
+        assert NULL_METRICS.timeseries("t") is NULL_METRICS.counter("x")
+        assert NULL_METRICS.all_timeseries() == []
+        assert NULL_METRICS.as_dict()["timeseries"] == []
+
+    def test_gauge_add_is_thread_safe(self):
+        import threading
+
+        registry = MetricsRegistry()
+        gauge = registry.gauge("inflight")
+        counter = registry.counter("ops")
+
+        def hammer():
+            for _ in range(5_000):
+                gauge.add(1.0)
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Lost updates under a racy read-modify-write would land short.
+        assert gauge.value == 20_000.0
+        assert counter.value == 20_000
+
+    def test_timeseries_append_and_snapshot(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("proc.rss_bytes", worker="w0")
+        assert registry.timeseries("proc.rss_bytes", worker="w0") is series
+        assert registry.timeseries("proc.rss_bytes", worker="w1") is not series
+        series.append(1.0, 100.0)
+        series.append(0.5, 50.0, tags={"phase": "map"})
+        assert len(series) == 2
+        # points() returns a time-ordered snapshot regardless of
+        # append order.
+        points = series.points()
+        assert [point[0] for point in points] == [0.5, 1.0]
+        assert series.values() == [50.0, 100.0]
+        snap = series.snapshot()
+        assert snap["name"] == "proc.rss_bytes"
+        assert snap["tags"] == {"worker": "w0"}
+        assert snap["points"][0]["tags"] == {"phase": "map"}
+        assert len(registry.all_timeseries()) == 2
+        assert len(registry.as_dict()["timeseries"]) == 2
+
+    def test_timeseries_concurrent_appends(self):
+        import threading
+
+        registry = MetricsRegistry()
+        series = registry.timeseries("proc.cpu_percent", worker="w0")
+
+        def feed(offset):
+            for index in range(2_000):
+                series.append(offset + index, float(index))
+
+        threads = [threading.Thread(target=feed, args=(i * 10_000,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(series) == 8_000
 
 
 class TestRecorder:
@@ -210,7 +272,7 @@ class TestExport:
         assert {s["name"] for s in spans} == {"outer", "inner"}
         assert records[-1]["type"] == "metrics"
         assert set(records[-1]["metrics"]) == {
-            "counters", "gauges", "histograms",
+            "counters", "gauges", "histograms", "timeseries",
         }
 
     def test_write_chrome_trace(self, tmp_path):
@@ -228,6 +290,49 @@ class TestExport:
     def test_render_timeline_empty(self):
         assert render_timeline(TraceRecorder()) == "(no spans recorded)"
         assert render_timeline(NULL_RECORDER) == "(no spans recorded)"
+
+    def test_empty_recorder_exports(self):
+        recorder = TraceRecorder()
+        trace = to_chrome_trace(recorder)
+        assert [e["ph"] for e in trace["traceEvents"]] == ["M"]
+        lines = to_jsonl_lines(recorder)
+        assert len(lines) == 1
+        assert json.loads(lines[0])["type"] == "metrics"
+
+    def _dead_worker_recorder(self):
+        """A recorder holding a span a dead worker never closed."""
+        recorder = TraceRecorder()
+        base = recorder.epoch
+        recorder.ingest([
+            Span("map", "phase", base + 0.0, base + 1.0, track="w0"),
+            Span("map", "phase", base + 0.2, None, track="w1"),
+        ])
+        return recorder
+
+    def test_dead_worker_span_chrome_trace(self):
+        trace = to_chrome_trace(self._dead_worker_recorder())
+        trace = json.loads(json.dumps(trace))  # must stay serialisable
+        incomplete = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["args"].get("incomplete")
+        ]
+        assert len(incomplete) == 1
+        assert incomplete[0]["dur"] == 0.0
+
+    def test_dead_worker_span_jsonl_and_aggregates(self):
+        recorder = self._dead_worker_recorder()
+        records = [json.loads(line) for line in to_jsonl_lines(recorder)]
+        open_spans = [r for r in records
+                      if r["type"] == "span" and r["end"] is None]
+        assert len(open_spans) == 1
+        # The endless span contributes zero duration and its start to
+        # the horizon, rather than a TypeError.
+        assert recorder.horizon() == pytest.approx(1.0)
+        assert recorder.phase_totals()["map"] == pytest.approx(1.0)
+
+    def test_dead_worker_span_timeline(self):
+        out = render_timeline(self._dead_worker_recorder(), width=10)
+        assert "phase" in out and "(no spans recorded)" not in out
 
 
 def _traced_job():

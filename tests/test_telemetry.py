@@ -1,0 +1,466 @@
+"""Tests for the performance-study telemetry subsystem.
+
+Covers the worker resource sampler, the straggler/utilization
+analytics, the cross-run bench comparator, the HTML report, and the
+``repro-genomics report`` / ``compare`` CLI surface — including the
+acceptance scenario: a pool-executor five-round run whose report
+carries a per-phase utilization timeline, at least one resource
+time-series per worker, and a straggler section.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.executors import fork_available
+from repro.mapreduce.history import JobHistory, TaskAttempt
+from repro.mapreduce.job import JobConf, make_splits
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.obs.analysis import (
+    MAD_THRESHOLD,
+    analyze,
+    detect_stragglers,
+    mad_scores,
+    phase_timeline,
+    queue_run_decomposition,
+    worker_cost_summary,
+)
+from repro.obs.compare import (
+    compare_benches,
+    format_comparison,
+    load_bench,
+)
+from repro.obs.recorder import ObsConfig, Span, TraceRecorder
+from repro.obs.report import render_html_report
+from repro.obs.sampler import (
+    ResourceSampler,
+    probe_sources,
+    take_sample,
+)
+from repro.pipeline.parallel import GesallPipeline
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+class TestSampler:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(0.0)
+        with pytest.raises(ValueError):
+            ResourceSampler(-1.0)
+
+    def test_take_sample_fields(self):
+        sample = take_sample()
+        assert sample.t > 0.0
+        assert sample.cpu_seconds >= 0.0
+        assert sample.rss_bytes > 0
+        assert sample.read_bytes >= 0
+        assert sample.write_bytes >= 0
+        assert sample.ctx_switches >= 0
+
+    def test_at_least_two_samples_even_for_instant_tasks(self):
+        # Interval far longer than the task: the immediate start sample
+        # and the guaranteed stop sample must still both exist.
+        sampler = ResourceSampler(60.0).start()
+        samples = sampler.stop()
+        assert len(samples) >= 2
+        assert samples[-1].t >= samples[0].t
+
+    def test_samples_accumulate_over_interval(self):
+        with ResourceSampler(0.005) as sampler:
+            time.sleep(0.04)
+        assert len(sampler.samples) >= 4
+        times = [sample.t for sample in sampler.samples]
+        assert times == sorted(times)
+        # Cumulative counters never decrease.
+        cpu = [sample.cpu_seconds for sample in sampler.samples]
+        assert cpu == sorted(cpu)
+
+    def test_probe_sources_shape(self):
+        sources = probe_sources()
+        assert set(sources) == {"proc_statm", "proc_io", "getrusage"}
+
+    def test_samples_pickle(self):
+        import pickle
+
+        sample = take_sample()
+        assert pickle.loads(pickle.dumps(sample)) == sample
+
+
+class TestMadScores:
+    def test_empty_and_uniform(self):
+        assert mad_scores([]) == []
+        assert mad_scores([2.0, 2.0, 2.0]) == [0.0, 0.0, 0.0]
+
+    def test_outlier_scores_high(self):
+        scores = mad_scores([1.0, 1.1, 0.9, 1.0, 8.0])
+        assert scores[-1] > MAD_THRESHOLD
+        assert all(abs(score) < MAD_THRESHOLD for score in scores[:-1])
+
+    def test_zero_mad_stays_finite(self):
+        scores = mad_scores([1.0, 1.0, 1.0, 10.0])
+        assert all(score == score and abs(score) != float("inf")
+                   for score in scores)  # no NaN, no inf
+        assert scores[-1] > MAD_THRESHOLD
+
+
+def _history_with_straggler():
+    history = JobHistory("job")
+    for index, run_seconds in enumerate([1.0, 1.05, 0.95, 1.0, 9.0]):
+        task = TaskAttempt(f"m-{index}", "map", f"n{index % 2}")
+        task.run_seconds = run_seconds
+        task.queued_seconds = 0.25
+        history.add(task)
+    reduce = TaskAttempt("r-0", "reduce", "n0")
+    reduce.run_seconds = 2.0
+    reduce.queued_seconds = 0.5
+    history.add(reduce)
+    return history
+
+
+class TestStragglerDetection:
+    def test_detects_the_slow_map(self):
+        stragglers = detect_stragglers(_history_with_straggler())
+        assert len(stragglers) == 1
+        straggler = stragglers[0]
+        assert straggler.task_id == "m-4"
+        assert straggler.kind == "map"
+        assert straggler.run_seconds == pytest.approx(9.0)
+        assert straggler.score > MAD_THRESHOLD
+        assert straggler.wave_median == pytest.approx(1.0)
+        assert straggler.as_dict()["task_id"] == "m-4"
+
+    def test_small_waves_and_untraced_histories_yield_nothing(self):
+        history = JobHistory("job")
+        for index in range(2):  # < 3 primaries
+            task = TaskAttempt(f"m-{index}", "map", "n0")
+            task.run_seconds = float(index + 1)
+            history.add(task)
+        assert detect_stragglers(history) == []
+        untraced = JobHistory("job2")
+        for index in range(5):  # run_seconds == 0.0 everywhere
+            untraced.add(TaskAttempt(f"m-{index}", "map", "n0"))
+        assert detect_stragglers(untraced) == []
+
+    def test_speculative_attempts_not_scored(self):
+        history = _history_with_straggler()
+        spec = TaskAttempt("m-4-speculative", "map", "n1")
+        spec.speculative = True
+        spec.run_seconds = 50.0
+        history.add(spec)
+        stragglers = detect_stragglers(history)
+        assert {s.task_id for s in stragglers} == {"m-4"}
+
+    def test_queue_run_decomposition(self):
+        out = queue_run_decomposition(_history_with_straggler())
+        assert out["map"]["tasks"] == 5
+        assert out["map"]["queued_seconds"] == pytest.approx(1.25)
+        assert out["map"]["run_seconds"] == pytest.approx(13.0)
+        assert out["reduce"]["tasks"] == 1
+        assert out["total"]["tasks"] == 6
+        assert 0.0 < out["total"]["queue_fraction"] < 1.0
+
+
+class TestTimelinesAndCost:
+    def _recorder(self):
+        recorder = TraceRecorder()
+        base = recorder.epoch
+        recorder.ingest([
+            Span("map", "phase", base + 0.0, base + 2.0, track="w0"),
+            Span("map", "phase", base + 0.0, base + 2.0, track="w1"),
+            Span("reduce", "phase", base + 2.0, base + 4.0, track="w0"),
+            Span("m-0", "map-task", base + 0.0, base + 2.0, track="w0"),
+            Span("m-1", "map-task", base + 0.0, base + 2.0, track="w1"),
+            Span("r-0", "reduce-task", base + 2.0, base + 4.0, track="w0"),
+        ])
+        return recorder
+
+    def test_phase_timeline_counts_concurrency(self):
+        timeline = phase_timeline(self._recorder(), samples=8)
+        assert timeline["horizon"] == pytest.approx(4.0)
+        assert timeline["peak"]["map"] == 2
+        assert timeline["peak"]["reduce"] == 1
+        # Maps occupy the first half of the horizon, reduces the second.
+        assert timeline["phases"]["map"][:4] == [2, 2, 2, 2]
+        assert timeline["phases"]["map"][4:] == [0, 0, 0, 0]
+        assert timeline["phases"]["reduce"][:4] == [0, 0, 0, 0]
+
+    def test_phase_timeline_empty(self):
+        timeline = phase_timeline(TraceRecorder(), samples=8)
+        assert timeline["phases"] == {} and timeline["peak"] == {}
+
+    def test_worker_cost_summary(self):
+        cost = worker_cost_summary(self._recorder())
+        assert cost["worker_count"] == 2
+        assert cost["busy_worker_seconds"] == pytest.approx(6.0)
+        # w0 paid 4s (two tasks back to back), w1 paid 2s.
+        assert cost["paid_worker_seconds"] == pytest.approx(6.0)
+        assert cost["utilization"] == pytest.approx(1.0)
+        assert cost["parallelism"] == pytest.approx(1.5)
+        assert cost["workers"]["w0"]["tasks"] == 2
+
+    def test_analyze_bundle(self):
+        out = analyze(self._recorder(),
+                      [("round1", _history_with_straggler())])
+        assert out["stragglers"][0]["round"] == "round1"
+        assert "round1" in out["queue_run"]
+        assert out["worker_cost"]["worker_count"] == 2
+        assert out["phase_timeline"]["peak"]["map"] == 2
+        # The whole bundle must survive JSON serialisation (reports,
+        # CI artifacts).
+        json.dumps(out)
+
+
+def _bench(wall, counters=None, cpu_count=8):
+    return {
+        "schema_version": 2,
+        "name": "demo",
+        "host": {"cpu_count": cpu_count, "platform": "linux",
+                 "python": "3.11"},
+        "params": {},
+        "wall_seconds": wall,
+        "counters": counters or {},
+    }
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        comparison = compare_benches(_bench(1.0), _bench(1.0))
+        assert not comparison.failed
+        assert [d.verdict for d in comparison.deltas] == ["ok"]
+
+    def test_twenty_percent_regression_fails(self):
+        comparison = compare_benches(_bench(1.0), _bench(1.2))
+        assert comparison.failed
+        (delta,) = comparison.regressions
+        assert delta.metric == "wall_seconds"
+        assert delta.ratio == pytest.approx(1.2)
+
+    def test_noise_floor_suppresses_tiny_absolute_deltas(self):
+        # 50% relative but only 10 ms absolute: noise on this scale.
+        comparison = compare_benches(_bench(0.02), _bench(0.03))
+        assert not comparison.failed
+
+    def test_improvement_and_counter_changes(self):
+        base = _bench(2.0, {"shuffle.bytes": 1000, "gc_seconds": 0.5})
+        cand = _bench(1.0, {"shuffle.bytes": 5000, "gc_seconds": 0.5})
+        comparison = compare_benches(base, cand)
+        verdicts = {d.metric: d.verdict for d in comparison.deltas}
+        assert verdicts["wall_seconds"] == "improvement"
+        assert verdicts["shuffle.bytes"] == "changed"
+        assert verdicts["gc_seconds"] == "ok"
+        assert not comparison.failed  # changed counters are advisory
+
+    def test_added_and_removed_metrics(self):
+        base = _bench(1.0, {"old": 1})
+        cand = _bench(1.0, {"new": 2})
+        verdicts = {d.metric: d.verdict
+                    for d in compare_benches(base, cand).deltas}
+        assert verdicts["old"] == "removed"
+        assert verdicts["new"] == "added"
+
+    def test_host_mismatch_downgrades_to_advisory(self):
+        base = _bench(1.0)
+        cand = _bench(2.0, cpu_count=64)
+        comparison = compare_benches(base, cand)
+        assert comparison.host_mismatch
+        assert not comparison.failed
+        assert len(comparison.advisories) == 1
+        strict = compare_benches(base, cand, strict_host=True)
+        assert strict.failed
+
+    def test_format_comparison_mentions_regression(self):
+        text = format_comparison(compare_benches(_bench(1.0), _bench(1.5)))
+        assert "regression" in text
+        assert "wall_seconds" in text
+
+    def test_load_bench_validation(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_bench(1.0)))
+        assert load_bench(str(good))["wall_seconds"] == 1.0
+        for bad_payload in (
+            [1, 2, 3],                                   # not an object
+            {"schema_version": 1, "name": "x"},          # too old
+            {"schema_version": 2, "name": "x"},          # missing fields
+            dict(_bench(1.0), counters=[]),              # bad counters
+        ):
+            bad = tmp_path / "bad.json"
+            bad.write_text(json.dumps(bad_payload))
+            with pytest.raises(ValueError):
+                load_bench(str(bad))
+
+
+def _sampled_job():
+    def mapper(payload, ctx):
+        deadline = time.perf_counter() + 0.05
+        while time.perf_counter() < deadline:
+            sum(range(500))
+        for item in payload:
+            ctx.emit(item % 2, item)
+
+    def reducer(key, values, ctx):
+        ctx.emit(key, sum(values))
+
+    return JobConf("sampled", mapper, reducer, num_reducers=2)
+
+
+SAMPLED_POLICIES = [
+    ExecutionPolicy.serial(),
+    ExecutionPolicy.threads(max_workers=2),
+    pytest.param(ExecutionPolicy.processes(max_workers=2),
+                 marks=needs_fork),
+    pytest.param(ExecutionPolicy.pooled(max_workers=2), marks=needs_fork),
+]
+
+
+class TestEngineSampleIngestion:
+    @pytest.mark.parametrize("policy", SAMPLED_POLICIES,
+                             ids=lambda p: p.executor)
+    def test_samples_become_timeseries(self, policy):
+        recorder = ObsConfig(
+            enabled=True, sample_interval=0.01
+        ).build_recorder()
+        engine = MapReduceEngine(nodes=["n0", "n1"], policy=policy,
+                                 recorder=recorder)
+        splits = make_splits([[1, 2, 3], [4, 5, 6]])
+        result = engine.run(_sampled_job(), splits)
+        assert sorted(result.all_outputs()) == [(0, 12), (1, 9)]
+        series = recorder.metrics.all_timeseries()
+        names = {s.name for s in series}
+        assert "proc.rss_bytes" in names
+        assert "proc.cpu_percent" in names
+        rss = [s for s in series if s.name == "proc.rss_bytes"]
+        assert all(s.tags.get("worker") for s in rss)
+        assert any(len(s) >= 2 for s in rss)
+        for s in rss:
+            for t, value, tags in s.points():
+                assert value > 0
+                assert "task" in tags and "phase" in tags
+                # Ingestion rebases onto the recorder epoch.
+                assert -1.0 < t < recorder.horizon() + 1.0
+        assert recorder.metrics.counter("obs.samples_ingested").value > 0
+
+    def test_untraced_run_collects_no_samples(self):
+        recorder = ObsConfig(enabled=True).build_recorder()  # interval 0
+        engine = MapReduceEngine(
+            nodes=["n0"], policy=ExecutionPolicy.serial(),
+            recorder=recorder,
+        )
+        engine.run(_sampled_job(), make_splits([[1, 2]]))
+        assert recorder.metrics.all_timeseries() == []
+
+
+@needs_fork
+class TestReportAcceptance:
+    """Acceptance: pool executor, five rounds, sampled, HTML report."""
+
+    @pytest.fixture(scope="class")
+    def sampled_run(self, reference, ref_index, pairs):
+        pipeline = GesallPipeline(
+            reference, index=ref_index, num_fastq_partitions=5,
+            num_reducers=2,
+            policy=ExecutionPolicy.pooled(max_workers=2),
+            obs=ObsConfig(enabled=True, sample_interval=0.01),
+        )
+        return pipeline.run(pairs)
+
+    @pytest.fixture(scope="class")
+    def html(self, sampled_run):
+        histories = [(key, job_result.history) for key, job_result
+                     in sampled_run.rounds.results.items()]
+        return render_html_report(
+            sampled_run.recorder, histories=histories,
+            title="acceptance report",
+            extra_meta={"executor": "pool"},
+        )
+
+    def test_report_is_self_contained_html(self, html):
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<script" not in html
+        assert 'href="http' not in html and 'src="http' not in html
+        assert "acceptance report" in html
+
+    def test_report_has_utilization_timeline(self, sampled_run, html):
+        assert "Per-phase utilization" in html
+        timeline = phase_timeline(sampled_run.recorder)
+        assert timeline["peak"].get("map", 0) >= 1
+        for name in timeline["phases"]:
+            assert name in html
+
+    def test_report_has_resource_series_per_worker(self, sampled_run,
+                                                   html):
+        series = sampled_run.recorder.metrics.all_timeseries()
+        workers = {s.tags.get("worker") for s in series
+                   if s.name == "proc.rss_bytes"}
+        # Every pool worker that ran a task long enough to sample shows
+        # up; the driver-side serial phases add more.
+        assert len(workers) >= 2
+        assert "Worker resource sampling" in html
+        assert "proc.rss_bytes" in html and "proc.cpu_percent" in html
+        assert html.count("<polyline") >= len(workers)
+
+    def test_report_has_straggler_section(self, html):
+        assert "Stragglers" in html
+
+    def test_report_has_timeline_svg_and_queue_table(self, html):
+        assert "Span timeline" in html
+        assert "<svg" in html
+        assert "Queue wait vs run time" in html
+        assert "round1" in html
+
+
+class TestCli:
+    def _write_benches(self, tmp_path, base_wall, cand_wall):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(_bench(base_wall)))
+        cand.write_text(json.dumps(_bench(cand_wall)))
+        return str(base), str(cand)
+
+    def test_compare_exits_nonzero_on_regression(self, tmp_path,
+                                                 capsys):
+        base, cand = self._write_benches(tmp_path, 1.0, 1.25)
+        assert main(["compare", base, cand]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+
+    def test_compare_passes_identical(self, tmp_path, capsys):
+        base, cand = self._write_benches(tmp_path, 1.0, 1.0)
+        assert main(["compare", base, cand]) == 0
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        base, cand = self._write_benches(tmp_path, 1.0, 1.25)
+        out_path = tmp_path / "cmp.json"
+        assert main(["compare", base, cand,
+                     "--json", str(out_path)]) == 1
+        payload = json.loads(out_path.read_text())
+        assert payload["failed"] is True
+
+    def test_compare_threshold_flag(self, tmp_path, capsys):
+        base, cand = self._write_benches(tmp_path, 1.0, 1.25)
+        assert main(["compare", base, cand, "--threshold", "0.5"]) == 0
+
+    @needs_fork
+    def test_report_subcommand_writes_html(self, tmp_path, capsys):
+        data = tmp_path / "data"
+        assert main(["simulate", "--out", str(data),
+                     "--length", "4000", "--coverage", "4",
+                     "--seed", "5"]) == 0
+        out = tmp_path / "report.html"
+        assert main(["report", "--data", str(data),
+                     "--out", str(out),
+                     "--executor", "pool", "--max-workers", "2",
+                     "--partitions", "3",
+                     "--sample-interval", "0.01"]) == 0
+        html = out.read_text()
+        assert "Per-phase utilization" in html
+        assert "proc.rss_bytes" in html
+        stdout = capsys.readouterr().out
+        assert "resource series" in stdout
