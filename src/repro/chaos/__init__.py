@@ -8,6 +8,7 @@ imports the pipelines, which import the policy).
 """
 
 from repro.chaos.plan import (
+    ColdStart,
     CorruptReplica,
     CorruptSegment,
     DecommissionDatanode,
@@ -16,11 +17,13 @@ from repro.chaos.plan import (
     FaultPlan,
     KillDatanode,
     KillDriver,
+    PreemptWorker,
     RaiseInTask,
     ZombieAttempt,
 )
 
 __all__ = [
+    "ColdStart",
     "CorruptReplica",
     "CorruptSegment",
     "DecommissionDatanode",
@@ -29,6 +32,7 @@ __all__ = [
     "FaultPlan",
     "KillDatanode",
     "KillDriver",
+    "PreemptWorker",
     "RaiseInTask",
     "ZombieAttempt",
 ]

@@ -12,7 +12,11 @@ the two layers that can fail on a real cluster:
 * **commit events** (:class:`DuplicateCommit`, :class:`KillDriver`)
   fire in the driver at commit time, exercising the exactly-once
   commit layer: a duplicated commit must bounce off the committer's
-  fencing check, and a killed driver must resume from the job WAL.
+  fencing check, and a killed driver must resume from the job WAL;
+* **pool events** (:class:`PreemptWorker`, :class:`ColdStart`) fire at
+  the execution plane: a spot-style SIGKILL of a live pool worker
+  (absorbed by the fence→backup→respawn path) and a charged spawn
+  delay on every worker fork, so scale-up is never free.
 
 Both keying schemes are independent of executor kind, scheduling
 order, and process identity, so a plan injects *identical* faults
@@ -167,6 +171,44 @@ class KillDriver:
     kind = "kill_driver"
 
 
+@dataclass(frozen=True)
+class PreemptWorker:
+    """Spot-style SIGKILL of a live pool worker mid-task.
+
+    Fires inside the pool executor's dispatch loop during the named
+    job's ``wave`` (``"map"`` or ``"reduce"``): the worker that picks
+    up the wave's ``task``-th call is killed right after dispatch, so
+    the driver observes an EOF'd pipe mid-wave.  The crash is absorbed
+    by the exactly-once path — fence the epoch, launch a fenced backup
+    attempt, respawn the worker slot — and the preempted node is
+    charged a failure toward ``blacklist_after``.  Keying on
+    ``(job, wave, task)`` is executor-order independent, so the same
+    plan preempts the same logical work under every schedule.
+    """
+
+    job: str
+    wave: str = "map"
+    task: int = 0
+    kind = "preempt_worker"
+
+
+@dataclass(frozen=True)
+class ColdStart:
+    """Charge ``seconds`` of spawn latency to every worker fork.
+
+    Models cold-start on elastic/preemptible capacity: each worker the
+    pool forks for the named job (or for every job when ``job`` is
+    empty) is charged ``seconds`` of deterministic spawn delay — slept
+    through the policy's injectable ``sleep`` hook and accounted in
+    ``pool.cold_start_seconds`` — so autoscaling decisions pay a real
+    price for growing the pool.
+    """
+
+    seconds: float
+    job: str = ""
+    kind = "cold_start"
+
+
 #: Events applied by the driver against HDFS at a round boundary.
 STORAGE_EVENT_TYPES = (KillDatanode, DecommissionDatanode, CorruptReplica)
 #: Events applied by the engine between a job's map and reduce waves.
@@ -175,6 +217,8 @@ SEGMENT_EVENT_TYPES = (CorruptSegment,)
 TASK_EVENT_TYPES = (DelayTask, RaiseInTask, ZombieAttempt)
 #: Events applied by the driver at task-commit time.
 COMMIT_EVENT_TYPES = (DuplicateCommit, KillDriver)
+#: Events applied at the execution plane (pool workers).
+POOL_EVENT_TYPES = (PreemptWorker, ColdStart)
 
 
 def _event_dict(event: Any) -> Dict[str, Any]:
@@ -201,7 +245,7 @@ class FaultPlan:
     def __post_init__(self):
         known = (
             STORAGE_EVENT_TYPES + SEGMENT_EVENT_TYPES + TASK_EVENT_TYPES
-            + COMMIT_EVENT_TYPES
+            + COMMIT_EVENT_TYPES + POOL_EVENT_TYPES
         )
         for event in self.events:
             if not isinstance(event, known):
@@ -212,6 +256,16 @@ class FaultPlan:
                 raise MapReduceError("DelayTask seconds must be >= 0")
             if isinstance(event, KillDriver) and event.after_commits < 1:
                 raise MapReduceError("KillDriver after_commits must be >= 1")
+            if isinstance(event, PreemptWorker):
+                if event.wave not in ("map", "reduce"):
+                    raise MapReduceError(
+                        "PreemptWorker wave must be 'map' or 'reduce', "
+                        f"got {event.wave!r}"
+                    )
+                if event.task < 0:
+                    raise MapReduceError("PreemptWorker task must be >= 0")
+            if isinstance(event, ColdStart) and event.seconds < 0:
+                raise MapReduceError("ColdStart seconds must be >= 0")
 
     # -- storage side -------------------------------------------------------
     def storage_events(self, round_key: str) -> List[Any]:
@@ -279,6 +333,26 @@ class FaultPlan:
                 return event
         return None
 
+    # -- pool side ----------------------------------------------------------
+    def preemptions_for(self, job_name: str, wave: str) -> List["PreemptWorker"]:
+        """Worker preemptions scheduled for one wave of one job."""
+        return [
+            event
+            for event in self.events
+            if isinstance(event, PreemptWorker)
+            and event.job == job_name
+            and event.wave == wave
+        ]
+
+    def cold_start_for(self, job_name: str) -> float:
+        """Spawn delay charged to each worker fork during one job."""
+        return sum(
+            event.seconds
+            for event in self.events
+            if isinstance(event, ColdStart)
+            and event.job in ("", job_name)
+        )
+
     # -- reporting ----------------------------------------------------------
     def as_dicts(self) -> List[Dict[str, Any]]:
         """JSON-ready event list (for chaos reports and CI artifacts)."""
@@ -321,6 +395,41 @@ class FaultPlan:
         )
 
 
+#: Accepted spec grammar per event kind — quoted verbatim in parse
+#: errors so a malformed CLI flag names what was expected.
+EVENT_GRAMMARS = {
+    "kill": "NODE@ROUND",
+    "decommission": "NODE@ROUND",
+    "corrupt": "PATH@ROUND[:BLOCK[:REPLICA]]",
+    "corrupt-segment": "JOB[:MAP[:REDUCER[:REPLICA]]]",
+    "delay": "TASK:SECONDS[@ATTEMPT]",
+    "fail": "TASK[@ATTEMPT]",
+    "zombie": "TASK[@ATTEMPT]",
+    "duplicate-commit": "TASK",
+    "kill-driver": "ROUND[:COMMITS]",
+    "preempt": "JOB[:WAVE[:TASK]]",
+    "cold-start": "SECONDS[@JOB]",
+}
+
+
+def _int_field(name: str, text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {text!r}"
+        ) from None
+
+
+def _float_field(name: str, text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number, got {text!r}"
+        ) from None
+
+
 def parse_event(spec: str, kind: str) -> Any:
     """Parse one CLI event spec into a fault event.
 
@@ -335,20 +444,28 @@ def parse_event(spec: str, kind: str) -> Any:
         --zombie TASK[@ATTEMPT]
         --duplicate-commit TASK
         --kill-driver ROUND[:COMMITS]
+        --preempt JOB[:WAVE[:TASK]]
+        --cold-start SECONDS[@JOB]
+
+    A malformed spec raises :class:`~repro.errors.MapReduceError`
+    naming the bad field and the accepted grammar — never a raw
+    traceback.
     """
     try:
-        if kind == "kill":
+        if kind in ("kill", "decommission"):
+            if "@" not in spec:
+                raise ValueError("missing '@ROUND' (the round it fires at)")
             node, at_round = spec.rsplit("@", 1)
-            return KillDatanode(node, at_round=at_round)
-        if kind == "decommission":
-            node, at_round = spec.rsplit("@", 1)
-            return DecommissionDatanode(node, at_round=at_round)
+            cls = KillDatanode if kind == "kill" else DecommissionDatanode
+            return cls(node, at_round=at_round)
         if kind == "corrupt":
+            if "@" not in spec:
+                raise ValueError("missing '@ROUND' (the round it fires at)")
             path, tail = spec.rsplit("@", 1)
             parts = tail.split(":")
             at_round = parts[0]
-            block = int(parts[1]) if len(parts) > 1 else 0
-            replica = int(parts[2]) if len(parts) > 2 else 0
+            block = _int_field("BLOCK", parts[1]) if len(parts) > 1 else 0
+            replica = _int_field("REPLICA", parts[2]) if len(parts) > 2 else 0
             return CorruptReplica(
                 path, at_round=at_round, block_index=block,
                 replica_index=replica,
@@ -356,9 +473,9 @@ def parse_event(spec: str, kind: str) -> Any:
         if kind == "corrupt-segment":
             parts = spec.split(":")
             job = parts[0]
-            map_index = int(parts[1]) if len(parts) > 1 else 0
-            reducer = int(parts[2]) if len(parts) > 2 else 0
-            replica = int(parts[3]) if len(parts) > 3 else 0
+            map_index = _int_field("MAP", parts[1]) if len(parts) > 1 else 0
+            reducer = _int_field("REDUCER", parts[2]) if len(parts) > 2 else 0
+            replica = _int_field("REPLICA", parts[3]) if len(parts) > 3 else 0
             return CorruptSegment(
                 job, map_index=map_index, reducer=reducer,
                 replica_index=replica,
@@ -367,27 +484,50 @@ def parse_event(spec: str, kind: str) -> Any:
             head, attempt = (
                 spec.rsplit("@", 1) if "@" in spec else (spec, "1")
             )
+            if ":" not in head:
+                raise ValueError("missing ':SECONDS' (the delay to charge)")
             task_id, seconds = head.rsplit(":", 1)
-            return DelayTask(task_id, float(seconds), attempt=int(attempt))
+            return DelayTask(
+                task_id,
+                _float_field("SECONDS", seconds),
+                attempt=_int_field("ATTEMPT", attempt),
+            )
         if kind == "fail":
             head, attempt = (
                 spec.rsplit("@", 1) if "@" in spec else (spec, "1")
             )
-            return RaiseInTask(head, attempt=int(attempt))
+            return RaiseInTask(head, attempt=_int_field("ATTEMPT", attempt))
         if kind == "zombie":
             head, attempt = (
                 spec.rsplit("@", 1) if "@" in spec else (spec, "1")
             )
-            return ZombieAttempt(head, attempt=int(attempt))
+            return ZombieAttempt(head, attempt=_int_field("ATTEMPT", attempt))
         if kind == "duplicate-commit":
             return DuplicateCommit(spec)
         if kind == "kill-driver":
             head, commits = (
                 spec.rsplit(":", 1) if ":" in spec else (spec, "1")
             )
-            return KillDriver(head, after_commits=int(commits))
+            return KillDriver(head, after_commits=_int_field("COMMITS", commits))
+        if kind == "preempt":
+            parts = spec.split(":")
+            job = parts[0]
+            wave = parts[1] if len(parts) > 1 and parts[1] else "map"
+            if wave not in ("map", "reduce"):
+                raise ValueError(
+                    f"WAVE must be 'map' or 'reduce', got {wave!r}"
+                )
+            task = _int_field("TASK", parts[2]) if len(parts) > 2 else 0
+            return PreemptWorker(job, wave=wave, task=task)
+        if kind == "cold-start":
+            head, job = (
+                spec.rsplit("@", 1) if "@" in spec else (spec, "")
+            )
+            return ColdStart(_float_field("SECONDS", head), job=job)
     except (ValueError, MapReduceError) as exc:
+        grammar = EVENT_GRAMMARS.get(kind)
+        hint = f"; expected --{kind} {grammar}" if grammar else ""
         raise MapReduceError(
-            f"bad --{kind} event spec {spec!r}: {exc}"
+            f"bad --{kind} event spec {spec!r}: {exc}{hint}"
         ) from exc
     raise MapReduceError(f"unknown event kind {kind!r}")

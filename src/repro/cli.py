@@ -73,6 +73,10 @@ def _execution_parent() -> argparse.ArgumentParser:
     group.add_argument("--max-workers", type=int, default=None,
                        help="worker slots for thread/process/pool "
                             "executors")
+    group.add_argument("--min-workers", type=int, default=None,
+                       help="worker floor for the elastic executor "
+                            "(default: 1; ignored by fixed-size "
+                            "executors)")
     group.add_argument("--task-retries", type=int, default=0,
                        help="retries per failed task (default: 0)")
     group.add_argument("--shuffle-codec", choices=CODEC_NAMES,
@@ -93,6 +97,7 @@ def _spec_from_args(args, reference, index, **overrides) -> PipelineSpec:
         policy=ExecutionPolicy(
             executor=args.executor,
             max_workers=args.max_workers,
+            min_workers=args.min_workers,
             task_retries=args.task_retries,
         ),
         shuffle=ShuffleConfig(codec=args.shuffle_codec),
@@ -214,6 +219,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        action="append", default=[], metavar="TASK",
                        help="re-present one task's winning commit; the "
                             "duplicate must be fenced")
+    chaos.add_argument("--preempt", action="append", default=[],
+                       metavar="JOB[:WAVE[:TASK]]",
+                       help="spot-style preemption: SIGKILL the pool "
+                            "worker running WAVE task TASK of JOB "
+                            "(pool/elastic executors only)")
+    chaos.add_argument("--cold-start", dest="cold_start",
+                       action="append", default=[],
+                       metavar="SECONDS[@JOB]",
+                       help="charge SECONDS of spawn latency to every "
+                            "pool worker fork (of JOB, or all jobs)")
     chaos.add_argument("--kill-driver", dest="kill_driver",
                        action="append", default=[],
                        metavar="ROUND[:COMMITS]",
@@ -360,6 +375,29 @@ def _cmd_trace(args) -> int:
               f"paid {cost['paid_worker_seconds']:.3f}s worker-seconds "
               f"(utilization {cost['utilization']:.0%}, "
               f"parallelism {cost['parallelism']:.2f}x)")
+    model = analysis["cost_model"]
+    if model["billed_worker_seconds"] > 0:
+        print()
+        print("cost model (worker-seconds vs wall clock):")
+        print(f"  wall clock        {model['wall_seconds']:>10.3f}s")
+        print(f"  busy              {model['busy_worker_seconds']:>10.3f}s")
+        print(f"  billed            {model['billed_worker_seconds']:>10.3f}s"
+              f"  (utilization {model['billed_utilization']:.0%})")
+        print(f"  static envelope   {model['static_envelope_seconds']:>10.3f}s"
+              f"  ({model['peak_workers']} workers x wall)")
+        scaling = (f"scale-ups {model['scale_ups']:.0f}, "
+                   f"scale-downs {model['scale_downs']:.0f}, "
+                   f"retired {model['workers_retired']:.0f}, "
+                   f"respawned {model['workers_respawned']:.0f}")
+        print(f"  scaling           {scaling}")
+        if model["cold_starts"] or model["preemptions"]:
+            print(f"  chaos             preemptions "
+                  f"{model['preemptions']:.0f}, cold starts "
+                  f"{model['cold_starts']:.0f} "
+                  f"({model['cold_start_seconds']:.3f}s charged)")
+        if model["backoff_charged_seconds"]:
+            print(f"  backoff charged   "
+                  f"{model['backoff_charged_seconds']:>10.3f}s")
     stragglers = analysis["stragglers"]
     print()
     if stragglers:
@@ -542,7 +580,7 @@ def _cmd_chaos(args) -> int:
     events = []
     for kind in ("kill", "decommission", "corrupt", "corrupt_segment",
                  "delay", "fail", "zombie", "duplicate_commit",
-                 "kill_driver"):
+                 "preempt", "cold_start", "kill_driver"):
         for spec in getattr(args, kind):
             events.append(parse_event(spec, kind.replace("_", "-")))
     if events:
@@ -665,14 +703,14 @@ def _cmd_chaos(args) -> int:
             "hdfs.read.corrupt_replicas", "hdfs.rereplicated.",
             "hdfs.blocks.lost", "hdfs.datanodes.", "checkpoint.",
             "shuffle.crc_failures", "shuffle.fetch_retries",
-            "commit.", "lease.", "wal.",
+            "commit.", "lease.", "wal.", "pool.",
         ))
     }
     if fault_counters:
         print()
         print("fault counters:")
         for name, value in fault_counters.items():
-            print(f"  {name:<32s}{value:>8d}")
+            print(f"  {name:<32s}{value:>10.6g}")
 
     if resume_info is not None:
         resume_info["wal_tasks_skipped"] = counters.get(
@@ -696,6 +734,10 @@ def _cmd_chaos(args) -> int:
             "executor": args.executor,
             "chaos_events": list(chaos_run.chaos_events) + segment_events,
             "fault_counters": fault_counters,
+            "absorption": {
+                key: job_result.history.summary()
+                for key, job_result in chaos_run.rounds.results.items()
+            },
             "table8": [
                 {
                     "stage": row.stage,

@@ -101,6 +101,7 @@ class _TaskOutcome:
         "worker", "node", "timeouts", "injected_delays", "failures",
         "heartbeats", "lease_charged", "zombie",
         "block_decode_seconds", "combine_in", "combine_out",
+        "backoff_seconds",
     )
 
     def __init__(self):
@@ -134,6 +135,9 @@ class _TaskOutcome:
         self.timeouts = 0
         #: Chaos-plan delay injections charged to this task's attempts.
         self.injected_delays = 0
+        #: Retry backoff charged (never slept) between failed attempts
+        #: — deterministic seconds from ``policy.retry_delay``.
+        self.backoff_seconds = 0.0
         #: ``(node, exception_name)`` per failed attempt, for the
         #: engine's per-node blacklist accounting.
         self.failures: List[Tuple[str, str]] = []
@@ -210,6 +214,13 @@ def _run_attempts(
     doesn't — identically under the serial, threaded, and forked
     engines and under a fake clock.
 
+    Retry backoff is *charged, never slept*: each failed attempt adds
+    ``policy.retry_delay`` (seeded exponential curve plus deterministic
+    jitter) to the outcome's ``backoff_seconds``, so a preemption storm
+    of retries shapes the cost accounting without hot-looping the wall
+    clock.  Backup epochs key the jitter on ``task_id@eN`` so a fenced
+    lineage de-synchronises from the one it replaced.
+
     ``epoch`` is the commit fencing token the attempt will present.
     Chaos-plan task events target only epoch 0: a fenced backup models
     a fresh worker the plan never aimed at, so a zombified task cannot
@@ -219,8 +230,10 @@ def _run_attempts(
     faults = 0
     timeouts = 0
     delays = 0
+    backoff = 0.0
     failures: List[Tuple[str, str]] = []
     plan = policy.fault_plan if epoch == 0 else None
+    backoff_key = task_id if epoch == 0 else f"{task_id}@e{epoch}"
     while True:
         attempt += 1
         node = candidates[(attempt - 1) % len(candidates)]
@@ -256,6 +269,7 @@ def _run_attempts(
             outcome.injected_faults = faults
             outcome.timeouts = timeouts
             outcome.injected_delays = delays
+            outcome.backoff_seconds = backoff
             outcome.node = node
             outcome.failures = failures
             outcome.lease_charged = elapsed + charged
@@ -268,9 +282,7 @@ def _run_attempts(
                 raise MapReduceError(
                     f"task {task_id} failed after {attempt} attempt(s): {exc}"
                 ) from exc
-            delay = policy.backoff_delay(attempt)
-            if delay > 0:
-                policy.sleep(delay)
+            backoff += policy.retry_delay(backoff_key, attempt)
 
 
 def _execute_map_task(
@@ -281,6 +293,7 @@ def _execute_map_task(
     policy: ExecutionPolicy,
     traced: bool = False,
     epoch: int = 0,
+    override_candidates: Optional[List[str]] = None,
 ) -> _TaskOutcome:
     """One complete map task: block decode, map, spill (sort + combine).
 
@@ -365,7 +378,11 @@ def _execute_map_task(
             outcome.phases["spill"] = (t_map_end, clock())
         return outcome
 
-    return _run_attempts(body, policy, task_id, candidates, epoch)
+    # Backup attempts re-resolve placement against the *current*
+    # blacklist (see MapReduceEngine._run_backup); the fork-time list
+    # serves every epoch-0 attempt.
+    chosen = override_candidates or candidates
+    return _run_attempts(body, policy, task_id, chosen, epoch)
 
 
 def _execute_reduce_task(
@@ -377,6 +394,7 @@ def _execute_reduce_task(
     policy: ExecutionPolicy,
     traced: bool = False,
     epoch: int = 0,
+    override_candidates: Optional[List[str]] = None,
 ) -> _TaskOutcome:
     """One complete reduce task: shuffle fetch, merge, group, reduce.
 
@@ -444,7 +462,8 @@ def _execute_reduce_task(
             outcome.spans = context.spans
         return outcome
 
-    return _run_attempts(body, policy, task_id, candidates, epoch)
+    chosen = override_candidates or candidates
+    return _run_attempts(body, policy, task_id, chosen, epoch)
 
 
 class _MapCall:
@@ -456,17 +475,23 @@ class _MapCall:
     index into that table plus the commit fencing epoch.
     """
 
-    __slots__ = ("index", "epoch")
+    __slots__ = ("index", "epoch", "candidates")
 
-    def __init__(self, index: int, epoch: int = 0):
+    def __init__(self, index: int, epoch: int = 0,
+                 candidates: Optional[List[str]] = None):
         self.index = index
         self.epoch = epoch
+        #: Fresh placement candidates for backup epochs (None keeps
+        #: the fork-time list); lets fenced re-executions honor a
+        #: blacklist that grew after the pool forked.
+        self.candidates = candidates
 
-    def with_epoch(self, epoch: int) -> "_MapCall":
-        return _MapCall(self.index, epoch)
+    def with_epoch(self, epoch: int,
+                   candidates: Optional[List[str]] = None) -> "_MapCall":
+        return _MapCall(self.index, epoch, candidates)
 
     def run(self, context: PoolJobContext) -> _TaskOutcome:
-        return context.map_bodies[self.index](self.epoch)
+        return context.map_bodies[self.index](self.epoch, self.candidates)
 
 
 class _ReduceCall:
@@ -483,10 +508,11 @@ class _ReduceCall:
     """
 
     __slots__ = ("paths", "replicas", "candidates", "task_id", "traced",
-                 "epoch")
+                 "epoch", "override_candidates")
 
     def __init__(self, paths, replicas, candidates, task_id, traced,
-                 epoch: int = 0):
+                 epoch: int = 0,
+                 override_candidates: Optional[List[str]] = None):
         self.paths: List[str] = paths
         #: path -> replica chain snapshot (clean chains collapse to one
         #: shared bytes object, so pickling ships each segment once).
@@ -495,11 +521,14 @@ class _ReduceCall:
         self.task_id = task_id
         self.traced = traced
         self.epoch = epoch
+        #: Fresh placement for backup epochs (see _MapCall.candidates).
+        self.override_candidates = override_candidates
 
-    def with_epoch(self, epoch: int) -> "_ReduceCall":
+    def with_epoch(self, epoch: int,
+                   candidates: Optional[List[str]] = None) -> "_ReduceCall":
         return _ReduceCall(
             self.paths, self.replicas, self.candidates, self.task_id,
-            self.traced, epoch,
+            self.traced, epoch, candidates,
         )
 
     def run(self, context: PoolJobContext) -> _TaskOutcome:
@@ -507,6 +536,7 @@ class _ReduceCall:
         return _execute_reduce_task(
             context.job, store, self.paths, self.candidates, self.task_id,
             context.policy, self.traced, self.epoch,
+            self.override_candidates,
         )
 
 
@@ -576,7 +606,7 @@ class MapReduceEngine:
         #: how the persistent pool survives from round to round.
         self._executor: Optional[TaskExecutor] = None
         #: Pool lifetime stats already published to metrics (delta base).
-        self._pool_stats_seen = (0, 0, 0)
+        self._pool_stats_seen: Dict[str, float] = {}
 
     def close(self) -> None:
         """Release executor resources (pool workers, for one).
@@ -586,7 +616,7 @@ class MapReduceEngine:
         """
         executor = self._executor
         self._executor = None
-        self._pool_stats_seen = (0, 0, 0)
+        self._pool_stats_seen = {}
         if executor is not None and hasattr(executor, "close"):
             executor.close()
 
@@ -641,21 +671,46 @@ class MapReduceEngine:
                 metrics.counter("chaos.delays_injected").inc(
                     outcome.injected_delays
                 )
+            if outcome.backoff_seconds:
+                metrics.counter("engine.backoff_charged_seconds").inc(
+                    round(outcome.backoff_seconds, 6)
+                )
             for node, reason in outcome.failures:
-                count = self._node_failures.get(node, 0) + 1
-                self._node_failures[node] = count
-                threshold = self.policy.blacklist_after
-                if (
-                    threshold is not None
-                    and count >= threshold
-                    and node not in self.blacklisted_nodes
-                ):
-                    self.blacklisted_nodes.add(node)
-                    result.history.add_event(
-                        "node_blacklisted", node=node, failures=count,
-                        last_error=reason,
-                    )
-                    metrics.counter("engine.nodes_blacklisted").inc()
+                if reason in ("WorkerCrashed", "LeaseExpired"):
+                    # Charged at settle time (_charge_node_failure), so
+                    # the blacklist is already current when the fenced
+                    # backup picked its node; counting here again would
+                    # double-charge.
+                    continue
+                self._charge_node_failure(result, node, reason)
+
+    def _charge_node_failure(
+        self, result: JobResult, node: str, reason: str
+    ) -> None:
+        """Charge one failed attempt to a node and blacklist on threshold.
+
+        Crash and lease failures are charged the moment the driver
+        settles them — *before* the fenced backup resolves its
+        placement — so a node whose pool worker keeps getting preempted
+        crosses ``blacklist_after`` mid-job and the respawned worker's
+        backup attempts stop landing on it.
+        """
+        if not node:
+            return
+        count = self._node_failures.get(node, 0) + 1
+        self._node_failures[node] = count
+        threshold = self.policy.blacklist_after
+        if (
+            threshold is not None
+            and count >= threshold
+            and node not in self.blacklisted_nodes
+        ):
+            self.blacklisted_nodes.add(node)
+            result.history.add_event(
+                "node_blacklisted", node=node, failures=count,
+                last_error=reason,
+            )
+            self.recorder.metrics.counter("engine.nodes_blacklisted").inc()
 
     # -- public API ---------------------------------------------------------
     def run(
@@ -720,28 +775,42 @@ class MapReduceEngine:
                     # between the waves — not just reduce-wave crashes.
                     store.delete_all(stored)
         finally:
-            if executor.kind == "pool":
+            if executor.pooled:
                 executor.end_job()
                 self._publish_pool_stats(executor)
         return result
 
     def _publish_pool_stats(self, executor: TaskExecutor) -> None:
-        """Publish the pool's lifetime accounting as metric deltas."""
+        """Publish the pool's lifetime accounting as metric deltas.
+
+        The paid/busy split feeds the trace report's cost model:
+        ``pool.paid_worker_seconds`` is what a cluster bill charges for
+        the slots (cold-start charge included), against which the
+        analysis layer's busy worker-seconds measure utilization.
+        """
         metrics = self.recorder.metrics
-        current = (
-            executor.forks, executor.waves_reused,
-            executor.workers_respawned,
-        )
+        current: Dict[str, float] = {
+            "pool.forks": executor.forks,
+            "pool.reuse_count": executor.waves_reused,
+            "pool.workers_respawned": executor.workers_respawned,
+            "pool.preemptions": executor.preemptions,
+            "pool.cold_starts": executor.cold_starts,
+            "pool.cold_start_seconds": round(
+                executor.cold_start_charged, 6
+            ),
+            "pool.paid_worker_seconds": round(
+                executor.paid_worker_seconds(), 6
+            ),
+            "pool.workers_retired": getattr(executor, "workers_retired", 0),
+            "pool.scale.ups": getattr(executor, "scale_ups", 0),
+            "pool.scale.downs": getattr(executor, "scale_downs", 0),
+        }
         seen = self._pool_stats_seen
         self._pool_stats_seen = current
-        if current[0] > seen[0]:
-            metrics.counter("pool.forks").inc(current[0] - seen[0])
-        if current[1] > seen[1]:
-            metrics.counter("pool.reuse_count").inc(current[1] - seen[1])
-        if current[2] > seen[2]:
-            metrics.counter("pool.workers_respawned").inc(
-                current[2] - seen[2]
-            )
+        for name, value in current.items():
+            delta = value - seen.get(name, 0)
+            if delta > 0:
+                metrics.counter(name).inc(delta)
 
     # -- map phase --------------------------------------------------------------
     def _run_maps(
@@ -773,7 +842,18 @@ class MapReduceEngine:
                 )
             )
         calls: Optional[List[_MapCall]] = None
-        if executor.kind == "pool":
+        if executor.pooled:
+            # Cold-start chaos: every fork this job pays a charged
+            # spawn delay, slept through the policy's injectable hook.
+            plan = self.policy.fault_plan
+            cold = plan.cold_start_for(job.name) if plan is not None else 0.0
+            executor.cold_start_seconds = cold
+            executor.spawn_sleep = self.policy.sleep
+            if cold > 0:
+                result.history.add_event(
+                    "cold_start_armed", job=job.name,
+                    seconds_per_fork=cold,
+                )
             # Fork the job's workers now, with every map body in the
             # image; reduce inputs arrive later as shipped snapshots.
             executor.begin_job(
@@ -912,7 +992,7 @@ class MapReduceEngine:
         recovered: Dict[str, Tuple[int, _TaskOutcome]],
     ) -> None:
         traced = self.recorder.enabled and self.recorder.trace_tasks
-        pooled = executor.kind == "pool"
+        pooled = executor.pooled
         snapshots: Dict[str, List[bytes]] = {}
         if pooled:
             # Pooled workers forked before any segment existed, so the
@@ -1124,11 +1204,19 @@ class MapReduceEngine:
         factory: Callable[..., _TaskOutcome],
         call: Optional[Any],
         epoch: int,
+        candidates: Optional[List[str]] = None,
     ) -> Any:
-        """Run a single extra attempt (speculative/backup) at an epoch."""
-        if executor.kind == "pool":
-            return executor.run_one_call(call.with_epoch(epoch))
-        return executor.run_one(functools.partial(factory, epoch))
+        """Run a single extra attempt (speculative/backup) at an epoch.
+
+        ``candidates`` overrides the attempt's placement list — backup
+        epochs pass a freshly resolved one so they honor any blacklist
+        growth since the wave (or the pool's fork image) was built.
+        """
+        if executor.pooled:
+            return executor.run_one_call(call.with_epoch(epoch, candidates))
+        return executor.run_one(
+            functools.partial(factory, epoch, candidates)
+        )
 
     def _execute_wave(
         self,
@@ -1164,8 +1252,26 @@ class MapReduceEngine:
             f"{job.name}:{kind}-wave", category="wave", track="driver",
             tasks=len(placements), recovered=len(placements) - len(live),
         ):
+            plan = self.policy.fault_plan
+            if executor.pooled and plan is not None:
+                # Arm spot preemptions: seq indexes the wave's dispatch
+                # order over live (non-recovered) tasks, so the same
+                # plan kills the same logical work under any resume
+                # state.  Out-of-range seqs are ignored (a resumed wave
+                # may dispatch fewer tasks than the clean run).
+                for event in plan.preemptions_for(job.name, kind):
+                    if 0 <= event.task < len(live):
+                        executor.preempt_task(event.task)
+                        result.history.add_event(
+                            "worker_preempted",
+                            task=placements[live[event.task]][0],
+                            wave=kind,
+                        )
+                        self.recorder.metrics.counter(
+                            "chaos.preempt_worker"
+                        ).inc()
             submitted = time.perf_counter()
-            if executor.kind == "pool":
+            if executor.pooled:
                 ran = executor.run_calls([calls[i] for i in live])
             else:
                 ran = executor.run_tasks(
@@ -1183,7 +1289,52 @@ class MapReduceEngine:
                 executor, committer, recovered,
             )
         self._update_fault_accounting(result, outcomes)
+        if (
+            executor.kind == "elastic"
+            and kind == "map"
+            and not job.is_map_only
+        ):
+            self._elastic_rebalance(
+                job, result, executor, outcomes, submitted
+            )
         return outcomes, submitted
+
+    def _elastic_rebalance(
+        self,
+        job: JobConf,
+        result: JobResult,
+        executor: TaskExecutor,
+        outcomes: List[_TaskOutcome],
+        submitted: float,
+    ) -> None:
+        """Between-wave scaling decision for the elastic pool.
+
+        Runs after the map wave settles and before the reduce wave is
+        built — the drain point where every pool worker is idle.  With
+        tracing on, the settled wave's queue-wait share (the same
+        queue/run split ``repro.obs.analysis.queue_run_decomposition``
+        reports) steers the controller; untraced runs fall back to the
+        executor's seeded clock-free policy.  Every decision lands in
+        JobHistory (``pool_scaled``) and the ``pool.scale.*`` metrics.
+        """
+        queue_fraction = None
+        if self.recorder.enabled:
+            queued = running = 0.0
+            for outcome in outcomes:
+                started = getattr(outcome, "started_at", None)
+                if started is None:
+                    continue
+                queued += max(0.0, started - submitted)
+                running += outcome.finished_at - started
+            if queued + running > 0:
+                queue_fraction = queued / (queued + running)
+        decision = executor.rebalance(job.num_reducers, queue_fraction)
+        if decision is None:
+            return
+        result.history.add_event("pool_scaled", **decision)
+        metrics = self.recorder.metrics
+        metrics.counter("pool.scale.decisions").inc()
+        metrics.gauge("pool.scale.workers").set(decision["to_workers"])
 
     def _settle_wave(
         self,
@@ -1224,7 +1375,7 @@ class MapReduceEngine:
             if isinstance(outcome, WorkerCrash):
                 final[index] = self._settle_worker_crash(
                     kind, factories[index], call, task_id, node, outcome,
-                    result, executor, committer,
+                    result, executor, committer, index,
                 )
             else:
                 committer.stage(task_id, 0, outcome)
@@ -1234,7 +1385,7 @@ class MapReduceEngine:
                 else:
                     final[index] = self._run_backup(
                         kind, factories[index], call, task_id, outcome,
-                        result, executor, committer, verdict,
+                        result, executor, committer, verdict, index,
                     )
             if plan is not None and plan.duplicate_commit_for(task_id):
                 # A duplicated commit RPC: the winning attempt presents
@@ -1256,14 +1407,17 @@ class MapReduceEngine:
         result: JobResult,
         executor: TaskExecutor,
         committer: OutputCommitter,
+        index: int,
     ) -> _TaskOutcome:
         """Recover a task whose pool worker died mid-flight.
 
         The crashed attempt produced no outcome and can never commit
         (the process is gone), so nothing is staged for epoch 0; a
         synthesized zombie carries the crash into the normal
-        fenced-backup path, charging the placement node a failure the
-        same way a lost lease would.
+        fenced-backup path.  The placement node is charged *now* —
+        before the backup resolves its candidates — so a node whose
+        workers keep getting preempted is blacklisted in time for the
+        respawned pool to stop choosing it.
         """
         result.counters.inc(C.WORKER_CRASHES)
         self.recorder.metrics.counter("pool.worker_crashes").inc()
@@ -1271,13 +1425,14 @@ class MapReduceEngine:
             "worker_crashed", task=task_id, node=node, pid=crash.pid,
             exitcode=crash.exitcode,
         )
+        self._charge_node_failure(result, node, "WorkerCrashed")
         zombie = _TaskOutcome()
         zombie.node = node
         zombie.attempts = 1
         zombie.failures = [(node, "WorkerCrashed")]
         return self._run_backup(
             kind, factory, call, task_id, zombie, result, executor,
-            committer, "worker_crashed", crashed=True,
+            committer, "worker_crashed", index, crashed=True,
         )
 
     def _run_backup(
@@ -1291,6 +1446,7 @@ class MapReduceEngine:
         executor: TaskExecutor,
         committer: OutputCommitter,
         reason: str,
+        index: int,
         crashed: bool = False,
     ) -> _TaskOutcome:
         """Re-execute a lost task under a fresh fencing token.
@@ -1298,10 +1454,14 @@ class MapReduceEngine:
         Up to ``policy.backup_attempts`` fenced re-executions; the
         first whose lease holds commits, after which the original
         zombie's late commit is presented and refused (a crashed worker
-        presents nothing — it is dead).  The abandoned lineage's
-        telemetry is folded into the winning outcome so wave
-        bookkeeping (attempt counters, node blacklist) still sees every
-        attempt that actually ran.
+        presents nothing — it is dead).  Each backup epoch re-resolves
+        its placement candidates against the *current* blacklist (the
+        wave's fork-time lists predate any mid-job blacklisting), so a
+        twice-preempted node is never chosen again once it crosses
+        ``blacklist_after``.  The abandoned lineage's telemetry is
+        folded into the winning outcome so wave bookkeeping (attempt
+        counters, node blacklist) still sees every attempt that
+        actually ran.
         """
         if not crashed:
             result.counters.inc(C.LEASE_EXPIRATIONS)
@@ -1315,6 +1475,7 @@ class MapReduceEngine:
             zombie.failures = list(zombie.failures) + [
                 (zombie.node, "LeaseExpired")
             ]
+            self._charge_node_failure(result, zombie.node, "LeaseExpired")
         predecessor = zombie
         for _ in range(self.policy.backup_attempts):
             epoch = committer.fence(task_id)
@@ -1323,19 +1484,28 @@ class MapReduceEngine:
             result.history.add_event(
                 "backup_launched", task=task_id, epoch=epoch,
             )
+            # Fresh, blacklist-aware placement for this epoch; rotating
+            # the index by the epoch keeps repeated backups off the
+            # node that just failed even before it is blacklisted.
+            candidates = self._candidate_nodes(None, index + epoch)
             with self.recorder.span(
                 f"{task_id}-backup", category="backup", track="driver",
                 kind=kind, epoch=epoch,
             ):
-                backup = self._submit_one(executor, factory, call, epoch)
+                backup = self._submit_one(
+                    executor, factory, call, epoch, candidates
+                )
             if isinstance(backup, WorkerCrash):
                 # The backup's worker died too; fence again and retry
                 # until the attempt budget runs out.
                 result.counters.inc(C.WORKER_CRASHES)
                 self.recorder.metrics.counter("pool.worker_crashes").inc()
                 result.history.add_event(
-                    "worker_crashed", task=task_id, node=predecessor.node,
+                    "worker_crashed", task=task_id, node=candidates[0],
                     pid=backup.pid, exitcode=backup.exitcode,
+                )
+                self._charge_node_failure(
+                    result, candidates[0], "WorkerCrashed"
                 )
                 continue
             attempt = TaskAttempt(
@@ -1352,6 +1522,7 @@ class MapReduceEngine:
             backup.injected_faults += predecessor.injected_faults
             backup.timeouts += predecessor.timeouts
             backup.injected_delays += predecessor.injected_delays
+            backup.backoff_seconds += predecessor.backoff_seconds
             backup.failures = list(predecessor.failures) + list(
                 backup.failures
             )

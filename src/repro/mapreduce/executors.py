@@ -34,10 +34,18 @@ Three executors mirror the paper's deployment options:
     pipe, reported to the engine as a :class:`WorkerCrash` marker, and
     replaced by a fresh fork; the engine routes the crash through the
     same fenced-backup path a lost lease takes.
+``ElasticPoolExecutor``
+    The autoscaling variant: the same fork-image pool plus a
+    between-wave scaling controller.  It forks only as many workers as
+    the first wave can use, grows toward ``max_workers`` when observed
+    queue-wait dominates, and drain-then-retires idle workers when it
+    doesn't — falling back to a seeded, clock-free policy when tracing
+    is off so cross-executor determinism audits stay byte-identical.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import multiprocessing
 import multiprocessing.connection
@@ -45,9 +53,10 @@ import os
 import threading
 import time
 import weakref
+import zlib
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import MapReduceError
 from repro.mapreduce.policy import ExecutionPolicy
@@ -123,6 +132,10 @@ class TaskExecutor(ABC):
 
     #: Matches ``ExecutionPolicy.executor``.
     kind: str = "abstract"
+    #: True for the persistent-pool family (``pool`` and ``elastic``):
+    #: the engine drives these through begin_job()/run_calls()/end_job()
+    #: instead of the thunk-based run_tasks() protocol.
+    pooled: bool = False
     #: When true, thunks are wrapped to stamp run time and worker
     #: identity onto their outcomes (set by the engine when tracing).
     trace: bool = False
@@ -345,11 +358,14 @@ def _pool_worker_main(conn) -> None:
 class _PoolWorker:
     """One live pool worker: its process and the driver end of its pipe."""
 
-    __slots__ = ("process", "conn")
+    __slots__ = ("process", "conn", "started")
 
     def __init__(self, process, conn):
         self.process = process
         self.conn = conn
+        #: ``perf_counter`` at fork — the start of this worker's paid
+        #: lifetime (accumulated when the worker stops or is replaced).
+        self.started = time.perf_counter()
 
 
 def _terminate_pool_processes(workers: List[_PoolWorker]) -> None:
@@ -360,6 +376,25 @@ def _terminate_pool_processes(workers: List[_PoolWorker]) -> None:
                 worker.process.terminate()
         except Exception:
             pass
+
+
+#: Pools that have not been closed yet.  The atexit guard below reaps
+#: them, so a driver that exits without ``close()`` cannot leave
+#: orphaned fork children behind (the weakref.finalize backstop only
+#: fires if the pool object is garbage-collected first).
+_LIVE_POOLS: "weakref.WeakSet[PooledProcessExecutor]" = weakref.WeakSet()
+
+
+def _reap_orphaned_pools() -> None:
+    """atexit guard: close every pool a driver abandoned un-closed."""
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+atexit.register(_reap_orphaned_pools)
 
 
 class PooledProcessExecutor(TaskExecutor):
@@ -381,6 +416,7 @@ class PooledProcessExecutor(TaskExecutor):
     """
 
     kind = "pool"
+    pooled = True
 
     def __init__(self, max_workers: int):
         if max_workers < 1:
@@ -398,21 +434,42 @@ class PooledProcessExecutor(TaskExecutor):
         self._workers: List[_PoolWorker] = []
         self._context: Optional[PoolJobContext] = None
         self._fresh = False
+        self._closed = False
+        #: Chaos knobs, armed by the engine per job: a charged spawn
+        #: delay applied to every fork, slept through this hook (the
+        #: policy's injectable ``sleep`` when a plan is active).
+        self.cold_start_seconds = 0.0
+        self.spawn_sleep: Callable[[float], None] = time.sleep
+        #: Wave-task sequence numbers armed for spot-style preemption:
+        #: the worker dispatched the seq-th call is SIGKILLed right
+        #: after the send.  Cleared when the wave drains.
+        self._pending_preemptions: Set[int] = set()
         #: Lifetime accounting, read by the engine into pool.* metrics.
         self.forks = 0
         self.jobs = 0
         self.waves_reused = 0
         self.workers_respawned = 0
+        self.preemptions = 0
+        self.cold_starts = 0
+        self.cold_start_charged = 0.0
+        self._paid_seconds = 0.0
         self._finalizer = weakref.finalize(
             self, _terminate_pool_processes, self._workers
         )
+        _LIVE_POOLS.add(self)
 
     # -- lifecycle ----------------------------------------------------------
+    def _initial_workers(self, context: PoolJobContext) -> int:
+        """Worker count forked at job start (the elastic pool overrides)."""
+        return self.max_workers
+
     def begin_job(self, context: PoolJobContext) -> None:
         """Fork the job's workers with its task bodies in memory."""
         self._stop_workers()
+        self._closed = False
+        _LIVE_POOLS.add(self)
         self._context = context
-        self._spawn(self.max_workers)
+        self._spawn(self._initial_workers(context))
         self._fresh = True
         self.jobs += 1
 
@@ -420,10 +477,21 @@ class PooledProcessExecutor(TaskExecutor):
         """Retire the job's workers (their fork image is now stale)."""
         self._stop_workers()
         self._context = None
+        self._pending_preemptions.clear()
 
     def close(self) -> None:
+        """Idempotent teardown: safe to call any number of times, and
+        called for you by the atexit guard if the driver forgot."""
+        if self._closed:
+            return
+        self._closed = True
         self._stop_workers()
         self._context = None
+        _LIVE_POOLS.discard(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def _spawn(self, count: int) -> None:
         global _POOL_JOB_CONTEXT
@@ -446,6 +514,12 @@ class PooledProcessExecutor(TaskExecutor):
                 child_conn.close()
                 self._workers.append(_PoolWorker(process, parent_conn))
                 self.forks += 1
+                if self.cold_start_seconds > 0:
+                    # Spot-style cold start: every fork pays a charged
+                    # spawn delay, so scale-up is never free.
+                    self.cold_starts += 1
+                    self.cold_start_charged += self.cold_start_seconds
+                    self.spawn_sleep(self.cold_start_seconds)
         finally:
             _POOL_JOB_CONTEXT = None
 
@@ -464,6 +538,7 @@ class PooledProcessExecutor(TaskExecutor):
                 worker.conn.close()
             except Exception:
                 pass
+            self._paid_seconds += time.perf_counter() - worker.started
         self._workers.clear()
 
     def _replace(self, worker: _PoolWorker) -> _PoolWorker:
@@ -475,10 +550,38 @@ class PooledProcessExecutor(TaskExecutor):
         if worker.process.is_alive():
             worker.process.terminate()
         worker.process.join(timeout=5)
+        self._paid_seconds += time.perf_counter() - worker.started
         self._workers.remove(worker)
         self._spawn(1)
         self.workers_respawned += 1
         return self._workers[-1]
+
+    # -- cost accounting ----------------------------------------------------
+    def paid_worker_seconds(self) -> float:
+        """Worker-lifetime seconds paid so far, live workers included,
+        plus the charged cold-start spawn latency.
+
+        The "paid" side of the cost model: what a cluster bill would
+        charge for keeping these slots alive, whether or not they ran
+        tasks.  Compare against the busy worker-seconds measured by
+        ``repro.obs.analysis.worker_cost_summary``.
+        """
+        now = time.perf_counter()
+        live = sum(now - worker.started for worker in self._workers)
+        return self._paid_seconds + live + self.cold_start_charged
+
+    # -- chaos hooks --------------------------------------------------------
+    def preempt_task(self, seq: int) -> None:
+        """Arm a spot-style preemption for the coming wave.
+
+        The worker that is dispatched the wave's ``seq``-th call is
+        SIGKILLed immediately after the send — the driver then observes
+        an EOF'd pipe mid-task and settles the slot through the
+        fence→backup→respawn path.  One-shot: the armed seq is consumed
+        by the kill and any leftovers are cleared when the wave drains,
+        so backup attempts are not re-preempted.
+        """
+        self._pending_preemptions.add(seq)
 
     # -- dispatch -----------------------------------------------------------
     def run_calls(self, calls: Sequence[Any]) -> List[Any]:
@@ -509,6 +612,25 @@ class PooledProcessExecutor(TaskExecutor):
             while idle and pending:
                 seq, call = pending.popleft()
                 worker = idle.pop()
+                if seq in self._pending_preemptions:
+                    # Spot preemption: the instance vanishes right as
+                    # it picks up the task.  Kill *before* the send so
+                    # the worker can never answer — crash attribution
+                    # stays on the armed task no matter how fast it
+                    # would have run.  The recv below hits EOF and the
+                    # slot settles as a WorkerCrash.
+                    self._pending_preemptions.discard(seq)
+                    try:
+                        worker.process.kill()
+                    except Exception:
+                        pass
+                    try:
+                        worker.conn.send((seq, call))
+                    except Exception:
+                        pass
+                    busy[worker] = seq
+                    self.preemptions += 1
+                    continue
                 try:
                     worker.conn.send((seq, call))
                 except Exception:
@@ -541,6 +663,9 @@ class PooledProcessExecutor(TaskExecutor):
                 results[seq] = payload if ok else _PoolTaskError(payload)
                 idle.append(worker)
                 completed += 1
+        # Preemptions armed beyond this wave's task count must not
+        # leak into the next wave (or into backup attempts).
+        self._pending_preemptions.clear()
         for value in results:
             if isinstance(value, _PoolTaskError):
                 raise value.error
@@ -563,6 +688,155 @@ class PooledProcessExecutor(TaskExecutor):
         )
 
 
+class ElasticPoolExecutor(PooledProcessExecutor):
+    """Autoscaling fork pool: the persistent pool plus a between-wave
+    scaling controller.
+
+    The engine calls :meth:`rebalance` between waves with the task
+    count of the coming wave and — when tracing is on — the settled
+    wave's observed queue-wait fraction (queue seconds over queue+run
+    seconds, per ``repro.obs.analysis.queue_run_decomposition``).
+    Queue-wait dominating means tasks sat waiting for a slot: grow the
+    pool (doubling pace) toward ``max_workers``.  Queue-wait vanishing
+    means slots sat idle: drain-then-retire (halving pace) down toward
+    ``min_workers``.  With tracing off there is no clock to read, so a
+    seeded, *clock-free* fallback steps the pool toward the next
+    wave's demand — every decision depends only on ``(seed, decision
+    index)``, so the determinism audits that compare executors
+    byte-for-byte are unaffected by scaling.
+
+    Two structural rules keep the controller safe and honest:
+
+    * scale-down happens only between waves, when every worker is idle
+      by construction — a drain point — so no in-flight task is ever
+      lost to the controller itself;
+    * the pool never grows past the coming wave's demand, and every
+      fork pays the configured cold-start charge, so scale-up is
+      never free (the skew the cost model in the trace report makes
+      visible).
+    """
+
+    kind = "elastic"
+
+    #: Queue-wait fraction of a settled wave above which the pool grows.
+    QUEUE_HIGH = 0.5
+    #: Queue-wait fraction below which idle workers are retired.
+    QUEUE_LOW = 0.1
+
+    def __init__(self, max_workers: int, min_workers: int = 1,
+                 seed: int = 0):
+        super().__init__(max_workers)
+        if not 1 <= min_workers <= max_workers:
+            raise MapReduceError(
+                "ElasticPoolExecutor needs 1 <= min_workers <= max_workers"
+            )
+        self.min_workers = min_workers
+        self.seed = seed
+        self._decisions = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.workers_retired = 0
+
+    def _initial_workers(self, context: PoolJobContext) -> int:
+        """Fork only what the first (map) wave can use, never fewer
+        than the floor — the static pool forks ``max_workers`` here."""
+        demand = max(len(context.map_bodies), 1)
+        return max(self.min_workers, min(self.max_workers, demand))
+
+    # -- scaling controller -------------------------------------------------
+    def rebalance(self, next_tasks: int,
+                  queue_fraction: Optional[float] = None,
+                  ) -> Optional[Dict[str, Any]]:
+        """One between-wave scaling decision.
+
+        Returns a record of what changed (for JobHistory events and
+        ``pool.scale.*`` metrics) or ``None`` when the pool held its
+        size.  ``queue_fraction`` is the settled wave's observed
+        queue-wait share when tracing measured one; ``None`` selects
+        the seeded clock-free fallback.
+        """
+        if not self._workers:
+            return None
+        self._decisions += 1
+        live = len(self._workers)
+        demand = max(self.min_workers,
+                     min(self.max_workers, max(next_tasks, 1)))
+        if queue_fraction is not None:
+            if queue_fraction >= self.QUEUE_HIGH:
+                target = live * 2
+            elif queue_fraction <= self.QUEUE_LOW:
+                target = (live + 1) // 2
+            else:
+                target = live
+        else:
+            # Clock-free fallback: step toward the coming demand at a
+            # seeded pace of 1-2 workers per decision.
+            draw = zlib.crc32(
+                f"elastic|{self.seed}|{self._decisions}".encode()
+            )
+            step = 1 + draw % 2
+            if demand > live:
+                target = live + step
+            elif demand < live:
+                target = live - step
+            else:
+                target = live
+        # Workers beyond the coming wave's demand are idle by
+        # construction; never hold (or grow) past it.
+        target = min(target, demand)
+        target = max(self.min_workers, min(target, self.max_workers))
+        if target == live:
+            return None
+        if target > live:
+            self._spawn(target - live)
+            self.scale_ups += 1
+            action = "scale_up"
+        else:
+            self._retire(live - target)
+            self.scale_downs += 1
+            action = "scale_down"
+        return {
+            "action": action,
+            "from_workers": live,
+            "to_workers": len(self._workers),
+            "next_tasks": next_tasks,
+            "queue_fraction": queue_fraction,
+            "decision": self._decisions,
+        }
+
+    def _retire(self, count: int) -> None:
+        """Drain-then-retire idle workers down toward the floor.
+
+        Only called between waves (from :meth:`rebalance`), when no
+        call is in flight — every worker is idle, so stopping the
+        newest ``count`` of them loses no work.
+        """
+        for _ in range(count):
+            if len(self._workers) <= self.min_workers:
+                break
+            worker = self._workers.pop()
+            try:
+                worker.conn.send(None)
+            except Exception:
+                pass
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+            self._paid_seconds += time.perf_counter() - worker.started
+            self.workers_retired += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ElasticPoolExecutor(max_workers={self.max_workers}, "
+            f"min_workers={self.min_workers}, live={len(self._workers)})"
+        )
+
+
 def build_executor(policy: ExecutionPolicy) -> TaskExecutor:
     """Instantiate the executor an :class:`ExecutionPolicy` asks for."""
     if policy.executor == "serial":
@@ -573,4 +847,10 @@ def build_executor(policy: ExecutionPolicy) -> TaskExecutor:
         return ProcessExecutor(policy.resolved_workers())
     if policy.executor == "pool":
         return PooledProcessExecutor(policy.resolved_workers())
+    if policy.executor == "elastic":
+        return ElasticPoolExecutor(
+            policy.resolved_workers(),
+            policy.resolved_min_workers(),
+            seed=policy.fault_seed,
+        )
     raise MapReduceError(f"unknown executor kind {policy.executor!r}")

@@ -9,13 +9,23 @@ constructing engines ad hoc:
 * ``executor`` — ``"serial"`` (reference), ``"thread"``
   (ThreadPoolExecutor-backed; overlaps blocking work), ``"process"``
   (fork-based ProcessPoolExecutor; real CPU parallelism; re-forks each
-  wave) or ``"pool"`` (persistent fork-based worker pool: forks once
+  wave), ``"pool"`` (persistent fork-based worker pool: forks once
   per job, reuses workers across waves and rounds, survives worker
-  crashes via fenced backups).
+  crashes via fenced backups) or ``"elastic"`` (the pool plus a
+  between-wave scaling controller that grows toward ``max_workers``
+  when queue-wait dominates and drains idle workers when it doesn't).
 * ``max_workers`` — bounded worker slots, the in-process analogue of
   map/reduce slots per node.
+* ``min_workers`` — the elastic pool's floor: it never retires below
+  this many live workers (ignored by the fixed-size executors).
 * ``task_retries`` / ``retry_backoff`` — per-task re-execution with
   capped exponential backoff, Hadoop's ``mapreduce.map.maxattempts``.
+  The backoff is *charged* to the attempt (recorded, deterministic)
+  rather than slept, so retry storms under preemption neither hot-loop
+  in the accounting nor stall the wall clock; ``retry_jitter`` adds a
+  seeded, deterministic jitter fraction on top of the exponential
+  curve (drawn from ``(fault_seed, task_id, attempt)``) so repeated
+  failures across tasks do not synchronise.
 * ``speculative`` — re-run straggler stubs and cross-check outputs.
 * ``fault_rate`` / ``fault_seed`` — deterministic fault injection used
   to prove that retries preserve output equivalence.
@@ -58,7 +68,7 @@ from repro.chaos.plan import FaultPlan
 from repro.errors import MapReduceError
 
 #: Executor kinds accepted by :class:`ExecutionPolicy`.
-EXECUTOR_KINDS = ("serial", "thread", "process", "pool")
+EXECUTOR_KINDS = ("serial", "thread", "process", "pool", "elastic")
 
 _FAULT_RESOLUTION = 1_000_000
 
@@ -73,9 +83,11 @@ class ExecutionPolicy:
 
     executor: str = "serial"
     max_workers: Optional[int] = None
+    min_workers: Optional[int] = None
     task_retries: int = 0
     retry_backoff: float = 0.005
     retry_backoff_cap: float = 0.1
+    retry_jitter: float = 0.0
     speculative: bool = False
     fault_rate: float = 0.0
     fault_seed: int = 0
@@ -96,10 +108,23 @@ class ExecutionPolicy:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise MapReduceError("max_workers must be >= 1")
+        if self.min_workers is not None:
+            if self.min_workers < 1:
+                raise MapReduceError("min_workers must be >= 1")
+            if (
+                self.max_workers is not None
+                and self.min_workers > self.max_workers
+            ):
+                raise MapReduceError(
+                    "min_workers must be <= max_workers "
+                    f"({self.min_workers} > {self.max_workers})"
+                )
         if self.task_retries < 0:
             raise MapReduceError("task_retries must be >= 0")
         if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
             raise MapReduceError("retry backoff values must be >= 0")
+        if self.retry_jitter < 0:
+            raise MapReduceError("retry_jitter must be >= 0")
         if not 0.0 <= self.fault_rate < 1.0:
             raise MapReduceError("fault_rate must be within [0, 1)")
         if self.task_timeout is not None and self.task_timeout <= 0:
@@ -129,6 +154,20 @@ class ExecutionPolicy:
         """Persistent fork pool: fork once per job, reuse across waves."""
         return cls(executor="pool", max_workers=max_workers, **kwargs)
 
+    @classmethod
+    def elastic(
+        cls,
+        max_workers: Optional[int] = None,
+        min_workers: Optional[int] = None,
+        **kwargs,
+    ) -> "ExecutionPolicy":
+        """Autoscaling fork pool: grows toward ``max_workers`` when
+        queue-wait dominates, drains idle workers when it doesn't."""
+        return cls(
+            executor="elastic", max_workers=max_workers,
+            min_workers=min_workers, **kwargs,
+        )
+
     # -- derived values ----------------------------------------------------
     def resolved_workers(self) -> int:
         """Worker slot count after applying defaults."""
@@ -138,9 +177,33 @@ class ExecutionPolicy:
             return self.max_workers
         return min(32, os.cpu_count() or 1)
 
+    def resolved_min_workers(self) -> int:
+        """The elastic pool's worker floor after applying defaults."""
+        if self.min_workers is not None:
+            return min(self.min_workers, self.resolved_workers())
+        return 1
+
     def backoff_delay(self, attempt: int) -> float:
         """Capped exponential delay before re-running a failed attempt."""
         return min(self.retry_backoff_cap, self.retry_backoff * 2 ** (attempt - 1))
+
+    def retry_delay(self, task_id: str, attempt: int) -> float:
+        """Charged backoff before re-running one failed attempt.
+
+        The capped exponential curve of :meth:`backoff_delay` plus a
+        deterministic jitter fraction drawn from ``(fault_seed,
+        task_id, attempt)`` — the same keying contract as
+        :meth:`injects_fault`, so the charged delay is identical under
+        every executor.  The engine *charges* this delay (records it in
+        the outcome and metrics) instead of sleeping it, so backoff
+        shapes the cost accounting without stalling the wall clock.
+        """
+        base = self.backoff_delay(attempt)
+        if base <= 0.0 or self.retry_jitter <= 0.0:
+            return base
+        text = f"backoff|{self.fault_seed}|{task_id}|{attempt}"
+        draw = zlib.crc32(text.encode()) % _FAULT_RESOLUTION
+        return base * (1.0 + self.retry_jitter * draw / _FAULT_RESOLUTION)
 
     def injects_fault(self, task_id: str, attempt: int) -> bool:
         """Deterministic fault draw for one task attempt.

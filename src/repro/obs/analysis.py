@@ -259,6 +259,55 @@ def worker_cost_summary(recorder) -> Dict[str, Any]:
     }
 
 
+def cost_model(recorder) -> Dict[str, Any]:
+    """Worker-seconds vs wall-clock cost model — the FaaS cost question.
+
+    Combines the span-derived busy/paid roll-up of
+    :func:`worker_cost_summary` with the pool executor's own billing
+    counters (``pool.paid_worker_seconds`` includes full worker
+    lifetimes plus the charged cold-start latency, not just the
+    first-task-to-last-task window spans can see):
+
+    * ``billed_worker_seconds`` — what an elastic/preemptible cluster
+      bill charges: full worker lifetimes + cold-start charge (falls
+      back to the span-window estimate when no pool ran);
+    * ``busy_worker_seconds`` — task execution actually performed;
+    * ``billed_utilization`` — busy over billed, the figure an
+      autoscaler is trying to raise;
+    * ``static_envelope_seconds`` — what a fixed pool of the observed
+      peak worker count would have paid over the same wall clock, the
+      baseline the elastic controller must beat;
+    * scaling/chaos context: scale decisions, respawns, preemptions,
+      cold starts and their charged seconds, charged retry backoff.
+    """
+    summary = worker_cost_summary(recorder)
+    counters = recorder.metrics.as_dict().get("counters", {})
+    billed = counters.get("pool.paid_worker_seconds", 0.0)
+    if billed <= 0.0:
+        billed = summary["paid_worker_seconds"]
+    busy = summary["busy_worker_seconds"]
+    wall = summary["wall_seconds"]
+    peak_workers = summary["worker_count"]
+    return {
+        "wall_seconds": wall,
+        "busy_worker_seconds": busy,
+        "billed_worker_seconds": billed,
+        "billed_utilization": busy / billed if billed > 0 else 0.0,
+        "static_envelope_seconds": peak_workers * wall,
+        "peak_workers": peak_workers,
+        "scale_ups": counters.get("pool.scale.ups", 0),
+        "scale_downs": counters.get("pool.scale.downs", 0),
+        "workers_retired": counters.get("pool.workers_retired", 0),
+        "workers_respawned": counters.get("pool.workers_respawned", 0),
+        "preemptions": counters.get("pool.preemptions", 0),
+        "cold_starts": counters.get("pool.cold_starts", 0),
+        "cold_start_seconds": counters.get("pool.cold_start_seconds", 0.0),
+        "backoff_charged_seconds": counters.get(
+            "engine.backoff_charged_seconds", 0.0
+        ),
+    }
+
+
 def resource_series(recorder) -> Dict[str, List]:
     """The sampler's time-series grouped by metric name.
 
@@ -293,4 +342,5 @@ def analyze(recorder, histories=None,
         "queue_run": decomposition,
         "phase_timeline": phase_timeline(recorder),
         "worker_cost": worker_cost_summary(recorder),
+        "cost_model": cost_model(recorder),
     }

@@ -15,6 +15,7 @@ from repro.chaos import (
     KillDatanode,
     RaiseInTask,
 )
+from repro.chaos.plan import ColdStart, PreemptWorker
 from repro.chaos.plan import parse_event
 from repro.cli import main
 from repro.errors import MapReduceError
@@ -114,6 +115,13 @@ class TestParseEvent:
         assert parse_event("t-r-00001@3", "fail") == \
             RaiseInTask("t-r-00001", attempt=3)
         assert parse_event("t-r-00001", "fail") == RaiseInTask("t-r-00001")
+        assert parse_event("round2-cleaning:reduce:1", "preempt") == \
+            PreemptWorker("round2-cleaning", wave="reduce", task=1)
+        assert parse_event("round1-alignment", "preempt") == \
+            PreemptWorker("round1-alignment", wave="map", task=0)
+        assert parse_event("0.25@round4-sort", "cold-start") == \
+            ColdStart(0.25, job="round4-sort")
+        assert parse_event("0.25", "cold-start") == ColdStart(0.25)
 
     def test_bad_specs_raise(self):
         with pytest.raises(MapReduceError, match="bad --kill"):
@@ -122,6 +130,42 @@ class TestParseEvent:
             parse_event("task-without-seconds", "delay")
         with pytest.raises(MapReduceError, match="unknown event kind"):
             parse_event("x", "meteor")
+
+    def test_bad_specs_name_field_and_grammar(self):
+        """Malformed specs must name the bad field and quote the
+        accepted grammar, not dump a traceback."""
+        with pytest.raises(
+            MapReduceError,
+            match=r"WAVE must be 'map' or 'reduce'.*"
+                  r"expected --preempt JOB\[:WAVE\[:TASK\]\]",
+        ):
+            parse_event("round1-alignment:sideways", "preempt")
+        with pytest.raises(
+            MapReduceError,
+            match=r"TASK must be an integer, got 'two'.*--preempt",
+        ):
+            parse_event("round1-alignment:map:two", "preempt")
+        with pytest.raises(
+            MapReduceError,
+            match=r"SECONDS must be a number, got 'slow'.*"
+                  r"expected --cold-start SECONDS\[@JOB\]",
+        ):
+            parse_event("slow", "cold-start")
+        with pytest.raises(
+            MapReduceError,
+            match=r"SECONDS must be a number.*--delay TASK:SECONDS",
+        ):
+            parse_event("t-m-00000:abc", "delay")
+        with pytest.raises(
+            MapReduceError,
+            match=r"missing '@ROUND'.*--kill NODE@ROUND",
+        ):
+            parse_event("node01", "kill")
+        with pytest.raises(
+            MapReduceError,
+            match=r"BLOCK must be an integer.*--corrupt PATH@ROUND",
+        ):
+            parse_event("/f@round2:x", "corrupt")
 
 
 class TestPolicyKnobs:
@@ -133,17 +177,41 @@ class TestPolicyKnobs:
         with pytest.raises(MapReduceError):
             ExecutionPolicy(blacklist_after=0)
 
-    def test_sleep_hook_receives_backoff(self):
+    def test_backoff_is_charged_not_slept(self):
+        """Retry backoff is recorded in the accounting but never goes
+        through the sleep hook — a retry storm cannot stall the wall
+        clock (injected delays still sleep; see TestHungTasks)."""
+        from repro.obs.recorder import TraceRecorder
+
         sleeps = []
         policy = ExecutionPolicy(
             task_retries=1, retry_backoff=0.125, retry_backoff_cap=0.125,
             fault_plan=FaultPlan(events=(RaiseInTask("wc-m-00000"),)),
             sleep=sleeps.append,
         )
-        MapReduceEngine(nodes=["n1"], policy=policy).run(
-            wordcount_job(), make_splits(LINES)
+        recorder = TraceRecorder()
+        MapReduceEngine(
+            nodes=["n1"], policy=policy, recorder=recorder
+        ).run(wordcount_job(), make_splits(LINES))
+        assert sleeps == []  # charged, never slept
+        counters = recorder.metrics.as_dict()["counters"]
+        assert counters["engine.backoff_charged_seconds"] == \
+            pytest.approx(0.125)
+
+    def test_retry_delay_jitter_is_deterministic_and_bounded(self):
+        policy = ExecutionPolicy(
+            retry_backoff=0.1, retry_backoff_cap=0.4, retry_jitter=0.5,
+            fault_seed=9,
         )
-        assert sleeps == [0.125]  # backoff went through the hook, not time.sleep
+        plain = ExecutionPolicy(retry_backoff=0.1, retry_backoff_cap=0.4)
+        for attempt in (1, 2, 3):
+            base = plain.backoff_delay(attempt)
+            delay = policy.retry_delay("wc-m-00000", attempt)
+            assert delay == policy.retry_delay("wc-m-00000", attempt)
+            assert base <= delay <= base * 1.5
+        # Different tasks de-synchronise.
+        assert policy.retry_delay("wc-m-00000", 1) != \
+            policy.retry_delay("wc-m-00001", 1)
 
 
 class TestHungTasks:

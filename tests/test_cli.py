@@ -6,6 +6,11 @@ import pytest
 
 from repro.cli import main
 from repro.formats.vcf import read_vcf
+from repro.mapreduce.executors import fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
 
 
 @pytest.fixture(scope="module")
@@ -130,6 +135,83 @@ class TestPerfStudy:
         assert "TOTAL" in out
 
 
+class TestChaosCli:
+    def test_malformed_event_spec_names_field_and_grammar(
+        self, sample_dir, capsys
+    ):
+        """Satellite regression: a malformed chaos spec exits 2 with an
+        error naming the bad field and the accepted grammar — never a
+        traceback."""
+        code = main([
+            "chaos", "--data", sample_dir, "--partitions", "4",
+            "--preempt", "round1-alignment:map:two",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: bad --preempt event spec" in err
+        assert "TASK must be an integer, got 'two'" in err
+        assert "expected --preempt JOB[:WAVE[:TASK]]" in err
+
+    def test_malformed_cold_start_spec(self, sample_dir, capsys):
+        code = main([
+            "chaos", "--data", sample_dir, "--partitions", "4",
+            "--cold-start", "glacial",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "SECONDS must be a number, got 'glacial'" in err
+        assert "expected --cold-start SECONDS[@JOB]" in err
+
+    @needs_fork
+    def test_preempt_and_cold_start_gate_passes(
+        self, sample_dir, tmp_path, capsys
+    ):
+        """The acceptance drill: preemption + cold-start chaos under
+        the pool executor must be absorbed — gate passes, workers
+        respawn, a fenced backup commits."""
+        import json
+
+        report_path = str(tmp_path / "chaos.json")
+        code = main([
+            "chaos", "--data", sample_dir, "--partitions", "4",
+            "--executor", "pool", "--max-workers", "2",
+            "--preempt", "round2-cleaning:map:0",
+            "--cold-start", "0.2@round4-sort",
+            "--report-out", report_path,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "GATE PASSED" in out
+        assert "fault counters:" in out
+        assert "pool.preemptions" in out
+        assert "pool.cold_starts" in out
+        with open(report_path) as handle:
+            payload = json.load(handle)
+        assert payload["gate"]["equivalent"] is True
+        counters = payload["fault_counters"]
+        assert counters["pool.preemptions"] == 1
+        assert counters["pool.workers_respawned"] >= 1
+        assert counters["pool.cold_starts"] >= 1
+        absorption = payload["absorption"]
+        assert sum(s["backups"] for s in absorption.values()) >= 1
+
+
+class TestElasticTrace:
+    @needs_fork
+    def test_trace_prints_cost_model(self, sample_dir, capsys):
+        code = main([
+            "trace", "--data", sample_dir, "--partitions", "3",
+            "--executor", "elastic", "--max-workers", "2",
+            "--min-workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost model (worker-seconds vs wall clock):" in out
+        assert "billed" in out
+        assert "static envelope" in out
+        assert "scaling" in out
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -138,3 +220,12 @@ class TestParser:
     def test_missing_required_arg(self):
         with pytest.raises(SystemExit):
             main(["simulate"])
+
+    def test_min_workers_above_max_rejected(self, sample_dir, capsys):
+        code = main([
+            "run", "--data", sample_dir, "--executor", "elastic",
+            "--max-workers", "2", "--min-workers", "4",
+        ])
+        assert code == 2
+        assert "min_workers must be <= max_workers" in \
+            capsys.readouterr().err

@@ -1,0 +1,372 @@
+"""Elastic execution tests: the scaling controller, spot-style worker
+preemption, cold-start charging, and deterministic retry backoff.
+
+The elastic executor's contract extends the pool's: byte-identical
+outputs under every scaling decision and every preemption, with the
+controller's moves visible as history events and ``pool.scale.*``
+metrics rather than as output differences.
+"""
+
+import pytest
+
+from repro.chaos.plan import ColdStart, FaultPlan, PreemptWorker
+from repro.mapreduce import counters as C
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.executors import (
+    ElasticPoolExecutor,
+    PoolJobContext,
+    fork_available,
+)
+from repro.mapreduce.job import InputSplit, JobConf, make_splits
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.obs.recorder import TraceRecorder
+from repro.pipeline.parallel import GesallPipeline
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+pytestmark = needs_fork
+
+NODES = [f"node{i:02d}" for i in range(4)]
+
+LINES = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "quick quick slow",
+]
+
+
+def wordcount_job(name="wc"):
+    def mapper(line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def reducer(word, counts, ctx):
+        ctx.emit(word, sum(counts))
+
+    return JobConf(name, mapper, reducer, num_reducers=2)
+
+
+def clean_outputs():
+    return MapReduceEngine(nodes=NODES).run(
+        wordcount_job(), make_splits(LINES)
+    ).all_outputs()
+
+
+def _context(num_bodies):
+    return PoolJobContext(
+        job=None,
+        policy=ExecutionPolicy.serial(),
+        map_bodies=[lambda epoch, candidates=None: None] * num_bodies,
+    )
+
+
+class TestScalingController:
+    def test_rejects_bad_bounds(self):
+        from repro.errors import MapReduceError
+
+        with pytest.raises(MapReduceError):
+            ElasticPoolExecutor(2, min_workers=3)
+        with pytest.raises(MapReduceError):
+            ElasticPoolExecutor(2, min_workers=0)
+
+    def test_initial_fork_tracks_first_wave_demand(self):
+        executor = ElasticPoolExecutor(8, min_workers=2)
+        try:
+            executor.begin_job(_context(3))
+            assert len(executor._workers) == 3  # demand, not max
+        finally:
+            executor.close()
+
+    def test_initial_fork_respects_floor_and_ceiling(self):
+        executor = ElasticPoolExecutor(4, min_workers=2)
+        try:
+            executor.begin_job(_context(1))
+            assert len(executor._workers) == 2  # floor wins
+            executor.end_job()
+            executor.begin_job(_context(40))
+            assert len(executor._workers) == 4  # ceiling wins
+        finally:
+            executor.close()
+
+    def test_queue_pressure_grows_toward_demand(self):
+        executor = ElasticPoolExecutor(8, min_workers=2)
+        try:
+            executor.begin_job(_context(3))
+            decision = executor.rebalance(8, queue_fraction=0.9)
+            assert decision["action"] == "scale_up"
+            assert decision["from_workers"] == 3
+            assert decision["to_workers"] == 6  # doubling pace
+            assert len(executor._workers) == 6
+            assert executor.scale_ups == 1
+        finally:
+            executor.close()
+
+    def test_idle_slots_are_drained_then_retired(self):
+        executor = ElasticPoolExecutor(8, min_workers=2)
+        try:
+            executor.begin_job(_context(8))
+            decision = executor.rebalance(8, queue_fraction=0.0)
+            assert decision["action"] == "scale_down"
+            assert decision["to_workers"] == 4  # halving pace
+            assert executor.workers_retired == 4
+            assert executor.scale_downs == 1
+        finally:
+            executor.close()
+
+    def test_never_grows_past_next_wave_demand(self):
+        executor = ElasticPoolExecutor(8, min_workers=1)
+        try:
+            executor.begin_job(_context(6))
+            decision = executor.rebalance(2, queue_fraction=0.9)
+            # Queue pressure says double, but the coming wave only has
+            # 2 tasks: paying for more slots could never help.
+            assert decision["to_workers"] == 2
+        finally:
+            executor.close()
+
+    def test_never_retires_below_min_workers(self):
+        executor = ElasticPoolExecutor(8, min_workers=3)
+        try:
+            executor.begin_job(_context(8))
+            for _ in range(5):
+                executor.rebalance(1, queue_fraction=0.0)
+            assert len(executor._workers) == 3
+        finally:
+            executor.close()
+
+    def test_clock_free_fallback_is_seeded_and_deterministic(self):
+        """With tracing off there is no queue clock; the fallback
+        steps toward demand by a (seed, decision-index) draw, so two
+        pools with the same seed make identical moves."""
+
+        def run_decisions(seed):
+            executor = ElasticPoolExecutor(8, min_workers=1, seed=seed)
+            sizes = []
+            try:
+                executor.begin_job(_context(2))
+                for demand in (8, 8, 8, 1, 1, 6):
+                    executor.rebalance(demand, queue_fraction=None)
+                    sizes.append(len(executor._workers))
+            finally:
+                executor.close()
+            return sizes
+
+        first = run_decisions(7)
+        assert first == run_decisions(7)
+        assert all(1 <= size <= 8 for size in first)
+        # The fallback converges on demand, never overshoots it.
+        assert first[-1] <= 6
+
+    def test_engine_records_scaling_decisions(self):
+        recorder = TraceRecorder()
+        with MapReduceEngine(
+            nodes=NODES,
+            policy=ExecutionPolicy.elastic(max_workers=4, min_workers=1),
+            recorder=recorder,
+        ) as engine:
+            result = engine.run(wordcount_job(), make_splits(LINES))
+        assert result.all_outputs() == clean_outputs()
+        # 4 maps -> 2 reduces: the controller must have decided once.
+        events = result.history.events_of("pool_scaled")
+        assert events, "no pool_scaled event recorded"
+        assert events[0]["next_tasks"] == 2
+        counters = recorder.metrics.as_dict()["counters"]
+        assert counters.get("pool.scale.decisions", 0) >= 1
+
+
+class TestPreemption:
+    def run_preempted(self, events, *, policy_kwargs=None, job=None,
+                      splits=None, nodes=NODES):
+        plan = FaultPlan(events=tuple(events))
+        kwargs = dict(
+            executor="pool", max_workers=2, fault_plan=plan,
+        )
+        kwargs.update(policy_kwargs or {})
+        recorder = TraceRecorder()
+        with MapReduceEngine(
+            nodes=nodes, policy=ExecutionPolicy(**kwargs),
+            recorder=recorder,
+        ) as engine:
+            result = engine.run(
+                job or wordcount_job(),
+                splits if splits is not None else make_splits(LINES),
+            )
+            executor = engine._executor
+            respawned = executor.workers_respawned
+            preemptions = executor.preemptions
+        return engine, result, recorder, respawned, preemptions
+
+    def test_preempted_map_task_is_absorbed(self):
+        engine, result, recorder, respawned, preemptions = \
+            self.run_preempted([PreemptWorker("wc", wave="map", task=0)])
+        assert result.all_outputs() == clean_outputs()
+        assert preemptions == 1
+        assert respawned >= 1
+        assert result.counters.get(C.WORKER_CRASHES) == 1
+        assert result.counters.get(C.BACKUP_ATTEMPTS) == 1
+        [event] = result.history.events_of("worker_preempted")
+        assert event["task"] == "wc-m-00000"
+        assert event["wave"] == "map"
+        [backup] = result.history.backup_tasks()
+        assert backup.task_id == "wc-m-00000-backup-e1"
+        assert result.history.summary()["backups"] == 1
+        counters = recorder.metrics.as_dict()["counters"]
+        assert counters.get("chaos.preempt_worker") == 1
+        assert counters.get("pool.preemptions") == 1
+        assert counters.get("pool.workers_respawned", 0) >= 1
+
+    def test_preempted_reduce_task_is_absorbed(self):
+        engine, result, recorder, respawned, preemptions = \
+            self.run_preempted(
+                [PreemptWorker("wc", wave="reduce", task=1)]
+            )
+        assert result.all_outputs() == clean_outputs()
+        assert preemptions == 1
+        [event] = result.history.events_of("worker_preempted")
+        assert event["task"] == "wc-r-00001"
+        assert event["wave"] == "reduce"
+
+    def test_preemption_under_elastic_executor(self):
+        engine, result, recorder, respawned, preemptions = \
+            self.run_preempted(
+                [PreemptWorker("wc", wave="map", task=1)],
+                policy_kwargs={
+                    "executor": "elastic", "max_workers": 3,
+                    "min_workers": 1,
+                },
+            )
+        assert result.all_outputs() == clean_outputs()
+        assert preemptions == 1
+        assert respawned >= 1
+
+    def test_out_of_range_preemption_is_ignored(self):
+        engine, result, recorder, respawned, preemptions = \
+            self.run_preempted([PreemptWorker("wc", wave="map", task=99)])
+        assert result.all_outputs() == clean_outputs()
+        assert preemptions == 0
+        assert respawned == 0
+        assert result.history.events_of("worker_preempted") == []
+
+    def test_twice_preempted_node_is_blacklisted_and_rotated_out(self):
+        """Satellite regression: when the pool respawns workers for a
+        node that keeps getting preempted, the retry/backup candidate
+        rotation must honor the blacklist — the twice-preempted node
+        is not chosen again."""
+        splits = [
+            InputSplit(f"s{i}", LINES[i], preferred_node="node01")
+            for i in range(len(LINES))
+        ]
+        engine, result, recorder, respawned, preemptions = \
+            self.run_preempted(
+                [
+                    PreemptWorker("wc", wave="map", task=0),
+                    PreemptWorker("wc", wave="map", task=1),
+                ],
+                policy_kwargs={"blacklist_after": 2},
+                splits=splits,
+            )
+        assert result.all_outputs() == clean_outputs()
+        assert preemptions == 2
+        assert engine.blacklisted_nodes == {"node01"}
+        [event] = result.history.events_of("node_blacklisted")
+        assert event["node"] == "node01"
+        # Both preempted tasks got fenced backups; the backup launched
+        # after the blacklist tripped must have rotated off node01.
+        backups = result.history.backup_tasks()
+        assert len(backups) == 2
+        rotated = result.history.find("wc-m-00001-backup-e1")
+        assert rotated.node != "node01"
+
+
+class TestColdStart:
+    def test_cold_start_is_charged_and_slept_through_the_hook(self):
+        sleeps = []
+        plan = FaultPlan(events=(ColdStart(0.25, job="wc"),))
+        recorder = TraceRecorder()
+        with MapReduceEngine(
+            nodes=NODES,
+            policy=ExecutionPolicy(
+                executor="pool", max_workers=2, fault_plan=plan,
+                sleep=sleeps.append,
+            ),
+            recorder=recorder,
+        ) as engine:
+            result = engine.run(wordcount_job(), make_splits(LINES))
+        assert result.all_outputs() == clean_outputs()
+        assert sleeps == [0.25, 0.25]  # one charge per forked worker
+        [armed] = result.history.events_of("cold_start_armed")
+        assert armed["seconds_per_fork"] == 0.25
+        counters = recorder.metrics.as_dict()["counters"]
+        assert counters.get("pool.cold_starts") == 2
+        assert counters.get("pool.cold_start_seconds") == \
+            pytest.approx(0.5)
+
+    def test_cold_start_for_other_job_does_not_fire(self):
+        sleeps = []
+        plan = FaultPlan(events=(ColdStart(0.25, job="other-job"),))
+        with MapReduceEngine(
+            nodes=NODES,
+            policy=ExecutionPolicy(
+                executor="pool", max_workers=2, fault_plan=plan,
+                sleep=sleeps.append,
+            ),
+        ) as engine:
+            result = engine.run(wordcount_job(), make_splits(LINES))
+        assert result.all_outputs() == clean_outputs()
+        assert sleeps == []
+
+    def test_jobless_cold_start_applies_to_every_job(self):
+        plan = FaultPlan(events=(ColdStart(0.1),))
+        assert plan.cold_start_for("anything") == pytest.approx(0.1)
+        assert plan.cold_start_for("wc") == pytest.approx(0.1)
+
+
+#: Every (job, wave) a preemption can target in the default five-round
+#: pipeline: map waves of all five rounds, reduce waves of the three
+#: map+reduce rounds.
+PIPELINE_WAVES = [
+    ("round1-alignment", "map"),
+    ("round2-cleaning", "map"),
+    ("round2-cleaning", "reduce"),
+    ("round3-markdup-opt", "map"),
+    ("round3-markdup-opt", "reduce"),
+    ("round4-sort", "map"),
+    ("round4-sort", "reduce"),
+    ("round5-haplotypecaller", "map"),
+]
+
+
+class TestPipelinePreemptionProperty:
+    """Property: preempting a worker at ANY wave of ANY round of the
+    five-round pipeline yields byte-identical variants."""
+
+    @pytest.fixture(scope="class")
+    def clean_variants(self, reference, ref_index, pairs):
+        result = GesallPipeline(
+            reference, index=ref_index, num_fastq_partitions=4,
+            num_reducers=3, policy=ExecutionPolicy.serial(),
+        ).run(pairs)
+        return [v.to_line() for v in result.variants]
+
+    @pytest.mark.parametrize("job,wave", PIPELINE_WAVES)
+    def test_preemption_anywhere_is_byte_identical(
+        self, reference, ref_index, pairs, clean_variants, job, wave
+    ):
+        plan = FaultPlan(events=(PreemptWorker(job, wave=wave, task=0),))
+        result = GesallPipeline(
+            reference, index=ref_index, num_fastq_partitions=4,
+            num_reducers=3,
+            policy=ExecutionPolicy(
+                executor="pool", max_workers=2, fault_plan=plan,
+            ),
+        ).run(pairs)
+        assert [v.to_line() for v in result.variants] == clean_variants
+        preempted = [
+            event
+            for job_result in result.rounds.results.values()
+            for event in job_result.history.events_of("worker_preempted")
+        ]
+        assert len(preempted) == 1
+        assert preempted[0]["wave"] == wave

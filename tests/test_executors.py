@@ -19,10 +19,12 @@ from repro.mapreduce.blocks import RecordBlock
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.executors import (
+    ElasticPoolExecutor,
     PooledProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
+    _reap_orphaned_pools,
     build_executor,
     fork_available,
 )
@@ -39,8 +41,12 @@ ALL_POLICIES = [
     ExecutionPolicy.threads(max_workers=4),
     pytest.param(ExecutionPolicy.processes(max_workers=2), marks=needs_fork),
     pytest.param(ExecutionPolicy.pooled(max_workers=2), marks=needs_fork),
+    pytest.param(
+        ExecutionPolicy.elastic(max_workers=3, min_workers=1),
+        marks=needs_fork,
+    ),
 ]
-POLICY_IDS = ["serial", "thread", "process", "pool"]
+POLICY_IDS = ["serial", "thread", "process", "pool", "elastic"]
 
 
 def wordcount_job():
@@ -129,6 +135,16 @@ class TestExecutors:
     def test_build_executor_pool(self):
         executor = build_executor(ExecutionPolicy.pooled(2))
         assert isinstance(executor, PooledProcessExecutor)
+        executor.close()
+
+    @needs_fork
+    def test_build_executor_elastic(self):
+        executor = build_executor(
+            ExecutionPolicy.elastic(max_workers=4, min_workers=2)
+        )
+        assert isinstance(executor, ElasticPoolExecutor)
+        assert executor.max_workers == 4
+        assert executor.min_workers == 2
         executor.close()
 
     @pytest.mark.parametrize(
@@ -420,6 +436,26 @@ class TestPooledExecutorLifecycle:
         engine.close()
         assert first.all_outputs() == second.all_outputs()
 
+    def test_executor_close_is_idempotent(self):
+        """Regression: double-close used to re-stop dead workers."""
+        executor = PooledProcessExecutor(max_workers=2)
+        assert not executor.closed
+        executor.close()
+        assert executor.closed
+        executor.close()  # must be a no-op, not an error
+        assert executor.closed
+
+    def test_atexit_guard_reaps_orphaned_pools(self):
+        """A pool the driver forgot to close is torn down by the
+        atexit guard — no orphaned fork survives interpreter exit."""
+        orphan = PooledProcessExecutor(max_workers=1)
+        assert not orphan.closed
+        _reap_orphaned_pools()
+        assert orphan.closed
+        # Already-closed pools are skipped, not re-closed.
+        _reap_orphaned_pools()
+        assert orphan.closed
+
 
 class TestApiRedesign:
     def test_positional_nodes_deprecated(self):
@@ -544,6 +580,16 @@ class TestCrossExecutorDeterminism:
             ExecutionPolicy.pooled(max_workers=2),
         )
         assert pooled == serial_run
+
+    @needs_fork
+    def test_elastic_executor_matches_serial(
+        self, reference, ref_index, pairs, serial_run
+    ):
+        elastic = pipeline_fingerprint(
+            reference, ref_index, pairs,
+            ExecutionPolicy.elastic(max_workers=3, min_workers=1),
+        )
+        assert elastic == serial_run
 
     def test_faulty_run_matches_serial(
         self, reference, ref_index, pairs, serial_run
