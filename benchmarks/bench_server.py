@@ -1,0 +1,126 @@
+"""Job-server overhead: N queued jobs vs a sequential ``run_job`` loop.
+
+The job service adds three layers over a bare engine run — durable
+queue journaling (one framed append per state transition), fair-share
+scheduling arithmetic per dispatch, and a shared thread-pool hop.  The
+claim: with a single-slot budget (so both sides run the same jobs
+strictly sequentially) the whole service costs a bounded constant per
+job, and the outputs are byte-identical to the loop's.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+import time
+
+from benchlib import report, report_json
+
+from repro.api import JobSpec, make_block_splits, run_job
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.server import JobServer, ServerConfig, TenantPolicy
+from repro.server.protocol import (
+    wordcount_map,
+    wordcount_payload,
+    wordcount_reduce,
+)
+
+REPEATS = 3
+JOBS = 12
+PARTITIONS = 4
+REDUCERS = 4
+
+WORDS = [f"w{i % 53:02d}" for i in range(19)]
+LINES = [
+    " ".join(WORDS[(i + j) % len(WORDS)] for j in range(24))
+    for i in range(300)
+]
+
+
+def _loop_once() -> tuple:
+    """Sequential baseline: N engine runs, no queue, no journal."""
+    outputs = []
+    start = time.perf_counter()
+    for index in range(JOBS):
+        spec = JobSpec(
+            name=f"loop-{index}",
+            mapper=wordcount_map,
+            reducer=wordcount_reduce,
+            num_reducers=REDUCERS,
+            policy=ExecutionPolicy.serial(),
+        )
+        chunks = [LINES[i::PARTITIONS] for i in range(PARTITIONS)]
+        splits = make_block_splits(chunks, prefix=f"loop-{index}")
+        result = run_job(spec, splits)
+        outputs.append(sorted(result.all_outputs()))
+    return time.perf_counter() - start, outputs
+
+
+def _server_once(root: str) -> tuple:
+    """The same N jobs through the full service stack."""
+    server = JobServer(ServerConfig(
+        state_dir=root, total_slots=1,
+        tenants=(TenantPolicy("bench"),), hold=True,
+    ))
+    server.open()
+    start = time.perf_counter()
+    for index in range(JOBS):
+        server.submit(
+            "bench",
+            wordcount_payload(LINES, partitions=PARTITIONS,
+                              reducers=REDUCERS),
+            job_id=f"job-{index:03d}",
+        )
+    server.start_dispatch()
+    server.drain()
+    elapsed = time.perf_counter() - start
+    outputs = [server.result(f"job-{index:03d}") for index in range(JOBS)]
+    server.close()
+    return elapsed, outputs
+
+
+def test_server_overhead_vs_sequential_loop():
+    loop_best, loop_outputs = min(
+        (_loop_once() for _ in range(REPEATS)), key=lambda r: r[0]
+    )
+    server_times = []
+    server_outputs = None
+    for _ in range(REPEATS):
+        with tempfile.TemporaryDirectory() as root:
+            elapsed, outputs = _server_once(root)
+        server_times.append(elapsed)
+        server_outputs = outputs
+    server_best = min(server_times)
+
+    # The service must not change what the jobs compute.
+    assert pickle.dumps(server_outputs) == pickle.dumps(loop_outputs)
+
+    per_job_ms = (server_best - loop_best) / JOBS * 1000.0
+    lines = [
+        f"Job service vs sequential run_job loop, {JOBS} jobs "
+        f"(best of {REPEATS}):",
+        f"  sequential loop   {loop_best:>8.3f} s",
+        f"  job server        {server_best:>8.3f} s   "
+        f"{server_best / loop_best:>5.2f}x",
+        f"  service overhead  {per_job_ms:>8.3f} ms/job "
+        "(queue journal + scheduler + pool hop)",
+    ]
+    report("server", "\n".join(lines))
+    report_json(
+        "server",
+        wall_seconds=server_best,
+        params={"jobs": JOBS, "partitions": PARTITIONS,
+                "reducers": REDUCERS, "repeats": REPEATS},
+        counters={
+            "wall_seconds.sequential_loop": round(loop_best, 6),
+            "wall_seconds.server": round(server_best, 6),
+            "overhead_ms_per_job": round(per_job_ms, 3),
+            "jobs": JOBS,
+        },
+    )
+    # Acceptance bound: the whole stack costs < 25 ms per job (in
+    # practice ~1 ms), with a generous floor so CI boxes don't flake.
+    assert server_best - loop_best <= max(0.025 * JOBS, 0.3), (
+        f"job-service overhead regressed: {server_best:.3f}s vs "
+        f"loop {loop_best:.3f}s"
+    )

@@ -172,6 +172,22 @@ class KillDriver:
 
 
 @dataclass(frozen=True)
+class KillServer:
+    """Kill the job server after N journaled job dispatches.
+
+    The server-level sibling of :class:`KillDriver`: raises
+    :class:`~repro.errors.ServerKilledError` immediately after the
+    ``after_starts``-th start record has been appended to the durable
+    submission queue — the dispatched job never runs, the process dies
+    with running work unfinished — so a restarted server must re-admit
+    exactly the non-terminal jobs and lose none.
+    """
+
+    after_starts: int = 1
+    kind = "kill_server"
+
+
+@dataclass(frozen=True)
 class PreemptWorker:
     """Spot-style SIGKILL of a live pool worker mid-task.
 
@@ -217,6 +233,8 @@ SEGMENT_EVENT_TYPES = (CorruptSegment,)
 TASK_EVENT_TYPES = (DelayTask, RaiseInTask, ZombieAttempt)
 #: Events applied by the driver at task-commit time.
 COMMIT_EVENT_TYPES = (DuplicateCommit, KillDriver)
+#: Events applied by the job server at dispatch time.
+SERVER_EVENT_TYPES = (KillServer,)
 #: Events applied at the execution plane (pool workers).
 POOL_EVENT_TYPES = (PreemptWorker, ColdStart)
 
@@ -245,7 +263,7 @@ class FaultPlan:
     def __post_init__(self):
         known = (
             STORAGE_EVENT_TYPES + SEGMENT_EVENT_TYPES + TASK_EVENT_TYPES
-            + COMMIT_EVENT_TYPES + POOL_EVENT_TYPES
+            + COMMIT_EVENT_TYPES + SERVER_EVENT_TYPES + POOL_EVENT_TYPES
         )
         for event in self.events:
             if not isinstance(event, known):
@@ -256,6 +274,8 @@ class FaultPlan:
                 raise MapReduceError("DelayTask seconds must be >= 0")
             if isinstance(event, KillDriver) and event.after_commits < 1:
                 raise MapReduceError("KillDriver after_commits must be >= 1")
+            if isinstance(event, KillServer) and event.after_starts < 1:
+                raise MapReduceError("KillServer after_starts must be >= 1")
             if isinstance(event, PreemptWorker):
                 if event.wave not in ("map", "reduce"):
                     raise MapReduceError(
@@ -333,6 +353,14 @@ class FaultPlan:
                 return event
         return None
 
+    # -- server side ---------------------------------------------------------
+    def server_kill(self) -> Optional["KillServer"]:
+        """The server-kill event, if the plan schedules one."""
+        for event in self.events:
+            if isinstance(event, KillServer):
+                return event
+        return None
+
     # -- pool side ----------------------------------------------------------
     def preemptions_for(self, job_name: str, wave: str) -> List["PreemptWorker"]:
         """Worker preemptions scheduled for one wave of one job."""
@@ -407,6 +435,7 @@ EVENT_GRAMMARS = {
     "zombie": "TASK[@ATTEMPT]",
     "duplicate-commit": "TASK",
     "kill-driver": "ROUND[:COMMITS]",
+    "kill-server": "STARTS",
     "preempt": "JOB[:WAVE[:TASK]]",
     "cold-start": "SECONDS[@JOB]",
 }
@@ -509,6 +538,8 @@ def parse_event(spec: str, kind: str) -> Any:
                 spec.rsplit(":", 1) if ":" in spec else (spec, "1")
             )
             return KillDriver(head, after_commits=_int_field("COMMITS", commits))
+        if kind == "kill-server":
+            return KillServer(after_starts=_int_field("STARTS", spec))
         if kind == "preempt":
             parts = spec.split(":")
             job = parts[0]

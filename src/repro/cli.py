@@ -10,6 +10,10 @@ Subcommands::
     repro-genomics diagnose   --data DIR
     repro-genomics chaos      --data DIR [--kill NODE@ROUND] [--delay T:S]
     repro-genomics perf-study [--cluster A|B]
+    repro-genomics serve      --state-dir DIR --socket PATH [--tenant N:W]
+    repro-genomics submit     --socket PATH --tenant T (--text S|--data DIR)
+    repro-genomics jobs       --socket PATH [--json]
+    repro-genomics cancel     --socket PATH JOB_ID
 
 ``simulate`` writes a reference FASTA, two FASTQ files and the truth
 VCF into a directory; ``run`` executes a pipeline over them; ``trace``
@@ -25,6 +29,12 @@ deterministic fault plan and gates on the chaos run's output being
 equivalent to a clean run (the Table 8 methodology as a
 fault-tolerance regression gate); ``perf-study`` prints the
 simulator's Table 6/7 numbers without touching any data.
+
+The last four subcommands are the multi-tenant job service
+(:mod:`repro.server`): ``serve`` runs the daemon over a durable state
+directory, and ``submit``/``jobs``/``cancel`` speak its NDJSON
+unix-socket protocol — an over-quota submission exits 3 with the typed
+admission reason on stderr.
 """
 
 from __future__ import annotations
@@ -246,6 +256,88 @@ def _build_parser() -> argparse.ArgumentParser:
     perf = sub.add_parser("perf-study",
                           help="print the simulated performance study")
     perf.add_argument("--cluster", choices=("A", "B"), default="A")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant job server over a unix socket",
+    )
+    serve.add_argument("--state-dir", required=True,
+                       help="durable state directory (queue journal + "
+                            "per-job checkpoints); reopening it resumes "
+                            "the queue")
+    serve.add_argument("--socket", required=True,
+                       help="unix socket path to listen on")
+    serve.add_argument("--slots", type=int, default=1,
+                       help="shared executor budget in slots (default 1)")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="NAME:WEIGHT[:MIN_SHARE]",
+                       help="register a tenant with a fair-share weight "
+                            "(repeatable)")
+    serve.add_argument("--tenant-max-queued", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant ceiling on live (pending+running) "
+                            "jobs")
+    serve.add_argument("--tenant-budget", type=float, default=None,
+                       metavar="UNITS",
+                       help="per-tenant lifetime cost-unit budget")
+    serve.add_argument("--max-queued-total", type=int, default=None,
+                       metavar="N",
+                       help="server-wide live-job backstop")
+    serve.add_argument("--hold", action="store_true",
+                       help="queue submissions without dispatching until "
+                            "a 'start' op arrives (deterministic batch "
+                            "scheduling)")
+    serve.add_argument("--kill-server", type=int, default=None,
+                       metavar="STARTS",
+                       help="chaos: crash the server (exit 7) after N "
+                            "journaled job dispatches; restart without "
+                            "this flag to resume the queue")
+    serve.add_argument("--trace-out", default=None,
+                       help="write a Chrome trace on clean shutdown")
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running server",
+    )
+    submit.add_argument("--socket", required=True)
+    submit.add_argument("--tenant", required=True)
+    submit.add_argument("--cost", type=float, default=1.0,
+                        help="declared cost units charged at dispatch "
+                             "(default 1)")
+    submit.add_argument("--demand", type=int, default=1,
+                        help="executor slots the job occupies (default 1)")
+    submit.add_argument("--job-id", default=None,
+                        help="explicit job id (default server-assigned)")
+    what = submit.add_mutually_exclusive_group(required=True)
+    what.add_argument("--text", default=None,
+                      help="wordcount job over this literal text "
+                           "(lines split on newlines)")
+    what.add_argument("--lines", default=None, metavar="FILE",
+                      help="wordcount job over this file's lines")
+    what.add_argument("--data", default=None, metavar="DIR",
+                      help="five-round pipeline job over a simulate "
+                           "output dir (checkpointed server-side)")
+    submit.add_argument("--partitions", type=int, default=2)
+    submit.add_argument("--reducers", type=int, default=2)
+
+    jobs = sub.add_parser(
+        "jobs", help="list a running server's queue and tenant shares",
+    )
+    jobs.add_argument("--socket", required=True)
+    jobs.add_argument("--json", dest="json_out", action="store_true",
+                      help="print the full snapshot as JSON")
+    jobs.add_argument("--start", action="store_true",
+                      help="release a --hold server's dispatcher first")
+    jobs.add_argument("--wait", action="store_true",
+                      help="block until the queue is idle before "
+                           "printing")
+    jobs.add_argument("--shutdown", action="store_true",
+                      help="cleanly stop the server after printing")
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a pending job on a running server",
+    )
+    cancel.add_argument("--socket", required=True)
+    cancel.add_argument("job_id")
     return parser
 
 
@@ -517,11 +609,21 @@ def _cmd_compare(args) -> int:
         DEFAULT_THRESHOLD,
         compare_benches,
         format_comparison,
+        load_baseline,
         load_bench,
     )
 
-    base = load_bench(args.baseline)
-    cand = load_bench(args.candidate)
+    try:
+        base, warning = load_baseline(args.baseline)
+        if warning is not None:
+            # A committed baseline that predates schema v2 is expected
+            # drift, not a broken gate: warn and pass.
+            print(f"warning: {warning}")
+            return 0
+        cand = load_bench(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     comparison = compare_benches(
         base, cand,
         threshold=(args.threshold if args.threshold is not None
@@ -813,6 +915,180 @@ def _cmd_perf_study(args) -> int:
     return 0
 
 
+def _parse_tenant_flag(spec: str):
+    """``NAME:WEIGHT[:MIN_SHARE]`` → the pieces, with typed errors."""
+    from repro.errors import ServerError
+
+    parts = spec.split(":")
+    if not parts[0] or len(parts) > 3:
+        raise ServerError(
+            f"bad --tenant spec {spec!r}; expected NAME:WEIGHT[:MIN_SHARE]"
+        )
+    try:
+        weight = float(parts[1]) if len(parts) > 1 else 1.0
+        min_share = int(parts[2]) if len(parts) > 2 else 0
+    except ValueError as exc:
+        raise ServerError(
+            f"bad --tenant spec {spec!r}: {exc}; "
+            "expected NAME:WEIGHT[:MIN_SHARE]"
+        ) from exc
+    return parts[0], weight, min_share
+
+
+def _cmd_serve(args) -> int:
+    from repro.chaos.plan import FaultPlan, KillServer
+    from repro.obs.analysis import tenant_summary
+    from repro.obs.export import write_chrome_trace
+    from repro.server import JobServer, ServerConfig, TenantPolicy
+    from repro.server.daemon import JobServerDaemon
+
+    tenants = tuple(
+        TenantPolicy(
+            name=name, weight=weight, min_share=min_share,
+            max_queued=args.tenant_max_queued,
+            max_cost_units=args.tenant_budget,
+        )
+        for name, weight, min_share in (
+            _parse_tenant_flag(spec) for spec in args.tenant
+        )
+    )
+    plan = None
+    if args.kill_server is not None:
+        plan = FaultPlan(
+            events=(KillServer(after_starts=args.kill_server),)
+        )
+    server = JobServer(ServerConfig(
+        state_dir=args.state_dir,
+        total_slots=args.slots,
+        tenants=tenants,
+        default_max_queued=args.tenant_max_queued,
+        default_max_cost_units=args.tenant_budget,
+        max_queued_total=args.max_queued_total,
+        hold=args.hold,
+        fault_plan=plan,
+    ))
+    daemon = JobServerDaemon(server, args.socket)
+    readmitted = server.open()
+    counts = server.queue.counts()
+    print(f"job server on {args.socket}: {args.slots} slot(s), "
+          f"{len(tenants)} registered tenant(s), "
+          f"{counts['pending']} pending"
+          + (f" ({len(readmitted)} re-admitted after crash)"
+             if readmitted else ""),
+          flush=True)
+    daemon.serve_forever()
+    counters = server.counters()
+    summary = tenant_summary(counters)
+    if summary:
+        print("per-tenant totals:")
+        for name, entry in summary.items():
+            print(f"  {name:<12s}admitted {entry['admitted']:.0f}  "
+                  f"rejected {entry['rejected']:.0f}  "
+                  f"completed {entry['completed']:.0f}  "
+                  f"charged {entry['charged_units']:.2f} units  "
+                  f"paid {entry['paid_worker_seconds']:.3f}s")
+    if args.trace_out:
+        write_chrome_trace(server.recorder, args.trace_out)
+        print(f"wrote {args.trace_out}")
+    return 0
+
+
+def _wordcount_lines(args) -> List[str]:
+    if args.text is not None:
+        lines = [line for line in args.text.splitlines() if line.strip()]
+        return lines or [args.text]
+    with open(args.lines) as handle:
+        return [line.rstrip("\n") for line in handle if line.strip()]
+
+
+def _cmd_submit(args) -> int:
+    from repro.errors import AdmissionError
+    from repro.server.client import JobClient
+    from repro.server.protocol import wordcount_payload
+
+    if args.data is not None:
+        payload = {
+            "type": "pipeline", "data": args.data,
+            "partitions": args.partitions, "reducers": args.reducers,
+        }
+    else:
+        payload = wordcount_payload(
+            _wordcount_lines(args), partitions=args.partitions,
+            reducers=args.reducers,
+        )
+    client = JobClient(args.socket)
+    try:
+        job_id = client.submit(
+            args.tenant, payload, cost=args.cost, demand=args.demand,
+            job_id=args.job_id,
+        )
+    except AdmissionError as exc:
+        print(f"rejected ({exc.reason}): {exc}", file=sys.stderr)
+        return 3
+    print(job_id)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json as _json
+
+    from repro.server.client import JobClient
+
+    client = JobClient(args.socket)
+    if args.start:
+        client.start_dispatch()
+    if args.wait:
+        client.wait_idle()
+    snapshot = client.jobs()
+    stats = client.stats()
+    if args.json_out:
+        snapshot["tenant_stats"] = stats["tenants"]
+        snapshot["counters"] = stats["counters"]
+        print(_json.dumps(snapshot, indent=1, sort_keys=True))
+    else:
+        print(f"{'job':<16s}{'tenant':<10s}{'state':<11s}"
+              f"{'start':>6s}{'cost':>7s}{'paid s':>9s}")
+        ordered = sorted(
+            snapshot["jobs"],
+            key=lambda j: (j["start_seq"] or 1 << 30, j["submit_seq"]),
+        )
+        for job in ordered:
+            start = job["start_seq"] or "-"
+            print(f"{job['job_id']:<16s}{job['tenant']:<10s}"
+                  f"{job['state']:<11s}{start:>6}"
+                  f"{job['cost']:>7.2f}{job['paid_seconds']:>9.3f}")
+        print()
+        print(f"{'tenant':<10s}{'weight':>7s}{'min':>5s}"
+              f"{'charged':>9s}{'running':>9s}{'admitted':>9s}"
+              f"{'rejected':>9s}")
+        for name, entry in snapshot["tenants"].items():
+            tstats = stats["tenants"].get(name, {})
+            print(f"{name:<10s}{entry['weight']:>7.1f}"
+                  f"{entry['min_share']:>5d}"
+                  f"{entry['charged_units']:>9.2f}"
+                  f"{entry['running_slots']:>9d}"
+                  f"{tstats.get('admitted', 0):>9.0f}"
+                  f"{tstats.get('rejected', 0):>9.0f}")
+        counts = snapshot["counts"]
+        slots = snapshot["slots"]
+        print()
+        print(f"slots {slots['used']}/{slots['total']} used; "
+              + ", ".join(f"{counts[s]} {s}" for s in
+                          ("pending", "running", "done", "failed",
+                           "cancelled")))
+    if args.shutdown:
+        client.shutdown()
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.server.client import JobClient
+
+    state = JobClient(args.socket).cancel(args.job_id)
+    print(f"{args.job_id}: {state}")
+    return 0 if state == "cancelled" else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     from repro.errors import ReproError
@@ -827,6 +1103,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diagnose": _cmd_diagnose,
         "chaos": _cmd_chaos,
         "perf-study": _cmd_perf_study,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "cancel": _cmd_cancel,
     }
     try:
         return handlers[args.command](args)

@@ -99,3 +99,45 @@ class CheckpointError(PipelineError):
 
 class SimulationError(ReproError):
     """The cluster simulator was given an inconsistent model."""
+
+
+class ServerError(ReproError):
+    """The multi-tenant job server was misused or hit an internal fault."""
+
+
+class AdmissionError(ServerError):
+    """A job submission was refused by admission control.
+
+    Always raised *synchronously* at submit time — overload produces a
+    deterministic typed rejection, never a queued job that hangs.  The
+    structured fields name the quota that tripped so clients (and the
+    NDJSON protocol) can relay the decision without parsing prose.
+    """
+
+    def __init__(self, tenant: str, reason: str, limit, observed,
+                 message: str = ""):
+        self.tenant = tenant
+        #: Machine-readable quota name: ``"queued_jobs"``,
+        #: ``"cost_units"``, ``"total_queued"`` or ``"bad_tenant"``.
+        self.reason = reason
+        self.limit = limit
+        self.observed = observed
+        super().__init__(
+            message
+            or f"tenant {tenant!r} rejected by {reason} quota "
+               f"(limit {limit}, observed {observed})"
+        )
+
+
+class JobNotFoundError(ServerError):
+    """A job id was addressed that the server has never admitted."""
+
+
+class ServerKilledError(ServerError):
+    """A chaos ``KillServer`` event stopped the job server mid-queue.
+
+    Raised *after* the triggering dispatch record was journaled to the
+    durable queue, so a restarted server re-admits that job (and every
+    other non-terminal one) — the server-level mirror of
+    :class:`DriverKilledError`.
+    """

@@ -119,6 +119,19 @@ class ExecutionPolicy:
                     "min_workers must be <= max_workers "
                     f"({self.min_workers} > {self.max_workers})"
                 )
+            if self.executor == "elastic" and self.max_workers is None:
+                # Without an explicit ceiling the elastic pool resolves
+                # max_workers to min(32, cpu_count); a floor above that
+                # used to be clamped silently at run time — reject it
+                # at construction instead.
+                default_cap = min(32, os.cpu_count() or 1)
+                if self.min_workers > default_cap:
+                    raise MapReduceError(
+                        f"min_workers ({self.min_workers}) must be <= "
+                        f"max_workers (default {default_cap} on this "
+                        "host); pass max_workers explicitly to raise "
+                        "the elastic ceiling"
+                    )
         if self.task_retries < 0:
             raise MapReduceError("task_retries must be >= 0")
         if self.retry_backoff < 0 or self.retry_backoff_cap < 0:

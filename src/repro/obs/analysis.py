@@ -308,6 +308,38 @@ def cost_model(recorder) -> Dict[str, Any]:
     }
 
 
+#: Per-tenant counter suffixes the job server emits
+#: (``server.tenant.<t>.<metric>``), in report column order.
+TENANT_METRICS = (
+    "admitted", "rejected", "completed", "failed", "cancelled",
+    "charged_units", "paid_worker_seconds",
+)
+
+
+def tenant_summary(counters: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """Per-tenant roll-up of the job server's dotted counters.
+
+    Parses every ``server.tenant.<tenant>.<metric>`` counter (tenant
+    names are admission-validated to ``[A-Za-z0-9_-]+``, so the split
+    is unambiguous) into ``{tenant: {metric: value}}`` with every
+    known metric zero-filled — the shape the HTML report's Tenants
+    table and the ``stats`` protocol op serve.
+    """
+    tenants: Dict[str, Dict[str, float]] = {}
+    prefix = "server.tenant."
+    for name, value in counters.items():
+        if not name.startswith(prefix):
+            continue
+        tenant, _, metric = name[len(prefix):].partition(".")
+        if not tenant or not metric:
+            continue
+        entry = tenants.setdefault(
+            tenant, {m: 0.0 for m in TENANT_METRICS}
+        )
+        entry[metric] = value
+    return {tenant: tenants[tenant] for tenant in sorted(tenants)}
+
+
 def resource_series(recorder) -> Dict[str, List]:
     """The sampler's time-series grouped by metric name.
 
@@ -343,4 +375,7 @@ def analyze(recorder, histories=None,
         "phase_timeline": phase_timeline(recorder),
         "worker_cost": worker_cost_summary(recorder),
         "cost_model": cost_model(recorder),
+        "tenants": tenant_summary(
+            recorder.metrics.as_dict().get("counters", {})
+        ),
     }

@@ -60,6 +60,32 @@ def load_bench(path: str) -> Dict[str, Any]:
     return data
 
 
+def load_baseline(path: str):
+    """Lenient baseline loading: ``(bench, None)`` or ``(None, warning)``.
+
+    A *candidate* that fails validation is a broken gate and should
+    error, but a committed *baseline* that merely predates schema v2
+    is expected drift — the right response is a warning and a skipped
+    comparison, not a crashed CI job.  Anything that is not
+    recognisably a stale bench result (unparsable JSON, a non-object,
+    a v2 file missing fields) still raises ``ValueError``.
+    """
+    try:
+        return load_bench(path), None
+    except ValueError:
+        with open(path) as handle:
+            data = json.load(handle)
+        if isinstance(data, dict):
+            version = data.get("schema_version")
+            if not isinstance(version, int) or version < 2:
+                return None, (
+                    f"{path}: baseline predates bench schema v2 "
+                    f"(schema_version {version!r}); skipping comparison "
+                    "— re-run the baseline bench to restore the gate"
+                )
+        raise
+
+
 def numeric_metrics(bench: Dict[str, Any]) -> Dict[str, float]:
     """Every comparable number in one bench result, flattened."""
     metrics: Dict[str, float] = {}

@@ -364,6 +364,27 @@ def render_html_report(
         )
 
     counters = recorder.metrics.as_dict()["counters"]
+    tenants = bundle.get("tenants") or {}
+    if tenants:
+        out.append("<h2>Tenants</h2>")
+        out.append(
+            "<table><tr><th>tenant</th><th>admitted</th>"
+            "<th>rejected</th><th>completed</th><th>failed</th>"
+            "<th>charged units</th><th>paid worker-seconds</th></tr>"
+        )
+        for name, entry in tenants.items():
+            out.append(
+                f"<tr><td>{_esc(name)}</td>"
+                f"<td>{entry.get('admitted', 0):.0f}</td>"
+                f"<td>{entry.get('rejected', 0):.0f}</td>"
+                f"<td>{entry.get('completed', 0):.0f}</td>"
+                f"<td>{entry.get('failed', 0):.0f}</td>"
+                f"<td>{entry.get('charged_units', 0):.2f}</td>"
+                f"<td>{_fmt_seconds(entry.get('paid_worker_seconds', 0))}"
+                "</td></tr>"
+            )
+        out.append("</table>")
+
     if counters:
         out.append("<h2>Counters</h2><table>")
         out.append("<tr><th>name</th><th>value</th></tr>")

@@ -1,24 +1,30 @@
-"""CRC-framed append-only job WAL: task-granular crash recovery.
+"""CRC-framed append-only journaling: the crash-recovery byte plane.
 
-Round checkpoints (:mod:`repro.pipeline.checkpoint`) make a completed
-round durable; the WAL covers the round *in flight*.  Every promoted
-task commit is appended — fencing epoch plus the full pickled task
-outcome — so a driver that dies mid-round re-runs only the tasks whose
-commits never reached the log, replaying the journaled ones through
-the same commit path.
+Two layers live here:
 
-The log shares the checkpoint store's backends (one ``wal-<round>.log``
-blob per round key, next to the manifest) and leans on their weakest
-useful guarantee: a durable *append*.  Torn writes are expected — each
-record is framed as::
+* :class:`FrameLog` — a generic named journal on a checkpoint backend.
+  Every record is pickled and framed as::
 
-    [u32 payload length][u32 crc32(payload)][payload]
+      [u32 payload length][u32 crc32(payload)][payload]
 
-and recovery stops at the first short or checksum-failing frame, so a
-crash can cost at most the commit being written, never a completed
-one.  The first frame is a header carrying the run fingerprint (the
-same digest the checkpoint manifest records); a log stamped by a
-different input or configuration is ignored rather than replayed.
+  and replay stops at the first short or checksum-failing frame, so a
+  torn tail costs at most the record being written, never a completed
+  one.  The first frame is a header carrying a *fingerprint* (plus any
+  caller metadata); a log stamped by a different input, configuration
+  or owner is ignored rather than replayed.  The job WAL and the job
+  server's durable submission queue are both built on it.
+
+* :class:`JobWal` — one run's per-round task-commit journals.  Round
+  checkpoints (:mod:`repro.pipeline.checkpoint`) make a completed
+  round durable; the WAL covers the round *in flight*: every promoted
+  task commit is appended — fencing epoch plus the full pickled task
+  outcome — so a driver that dies mid-round re-runs only the tasks
+  whose commits never reached the log, replaying the journaled ones
+  through the same commit path.
+
+Both lean on the backends' weakest useful guarantee: a durable
+*append* (``write`` is atomic, ``append`` is not — the framing is what
+makes the non-atomic half safe).
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from __future__ import annotations
 import pickle
 import struct
 import zlib
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Bumped whenever the frame payload layout changes incompatibly.
 WAL_VERSION = 1
@@ -56,6 +62,79 @@ def _read_frames(data: bytes) -> List[bytes]:
     return frames
 
 
+class FrameLog:
+    """One named, fingerprint-stamped journal of pickled records.
+
+    ``reset()`` truncates the log and stamps a fresh header frame
+    (atomic write); ``append()`` journals one record (durable append);
+    ``replay()`` returns every intact record, or ``[]`` when the log
+    is missing, blank, torn before its header, or stamped by a
+    different fingerprint — in every such case the safe answer is
+    "nothing journaled".
+    """
+
+    def __init__(self, backend: Any, name: str, fingerprint: str,
+                 meta: Optional[Dict[str, Any]] = None):
+        self.backend = backend
+        self.name = name
+        self.fingerprint = fingerprint
+        self.meta = dict(meta or {})
+
+    def exists(self) -> bool:
+        return self.backend.read(self.name) is not None
+
+    def reset(self) -> None:
+        """Truncate the log and stamp a fresh header frame."""
+        header = {"version": WAL_VERSION, "fingerprint": self.fingerprint}
+        header.update(self.meta)
+        self.backend.write(
+            self.name,
+            _frame(pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)),
+        )
+
+    def blank(self) -> None:
+        """Truncate to zero bytes (a headerless log replays empty)."""
+        self.backend.write(self.name, b"")
+
+    def append(self, record: Any) -> None:
+        """Journal one record (durable before the caller counts it)."""
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        self.backend.append(self.name, _frame(payload))
+
+    def replay(self) -> List[Any]:
+        """Every intact journaled record, in append order.
+
+        Decoding stops at the first unpicklable record — everything
+        before it was durably journaled and is returned.
+        """
+        data = self.backend.read(self.name)
+        if not data:
+            return []
+        frames = _read_frames(data)
+        if not frames:
+            return []
+        try:
+            header = pickle.loads(frames[0])
+        except Exception:
+            return []
+        if (
+            not isinstance(header, dict)
+            or header.get("version") != WAL_VERSION
+            or header.get("fingerprint") != self.fingerprint
+        ):
+            return []
+        records: List[Any] = []
+        for raw in frames[1:]:
+            try:
+                records.append(pickle.loads(raw))
+            except Exception:
+                break
+        return records
+
+    def __repr__(self) -> str:
+        return f"FrameLog({self.name!r} on {self.backend!r})"
+
+
 class JobWal:
     """One run's per-round commit journals on a checkpoint backend."""
 
@@ -63,9 +142,11 @@ class JobWal:
         self.backend = backend
         self.fingerprint = fingerprint
 
-    @staticmethod
-    def _name(round_key: str) -> str:
-        return f"wal-{round_key}.log"
+    def _log(self, round_key: str) -> FrameLog:
+        return FrameLog(
+            self.backend, f"wal-{round_key}.log", self.fingerprint,
+            meta={"round": round_key},
+        )
 
     # -- write side ----------------------------------------------------------
     def begin_round(self, round_key: str) -> None:
@@ -76,29 +157,19 @@ class JobWal:
         themselves through the normal commit path, leaving a complete
         journal for the round's second interruption, if any.
         """
-        header = {
-            "version": WAL_VERSION,
-            "round": round_key,
-            "fingerprint": self.fingerprint,
-        }
-        self.backend.write(
-            self._name(round_key),
-            _frame(pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)),
-        )
+        self._log(round_key).reset()
 
     def reset_round(self, round_key: str) -> None:
         """Blank a round's log (fresh, non-resume runs)."""
-        self.backend.write(self._name(round_key), b"")
+        self._log(round_key).blank()
 
     def append_commit(
         self, round_key: str, task_id: str, epoch: int, outcome: Any
     ) -> None:
         """Journal one promoted task commit (durable before it counts)."""
-        payload = pickle.dumps(
-            {"task": task_id, "epoch": epoch, "outcome": outcome},
-            protocol=pickle.HIGHEST_PROTOCOL,
+        self._log(round_key).append(
+            {"task": task_id, "epoch": epoch, "outcome": outcome}
         )
-        self.backend.append(self._name(round_key), _frame(payload))
 
     # -- recovery ------------------------------------------------------------
     def recover_round(self, round_key: str) -> Dict[str, Tuple[int, Any]]:
@@ -108,28 +179,8 @@ class JobWal:
         header, or stamped by a different run's fingerprint — in every
         such case the safe answer is "nothing committed, re-run it all".
         """
-        data = self.backend.read(self._name(round_key))
-        if not data:
-            return {}
-        frames = _read_frames(data)
-        if not frames:
-            return {}
-        try:
-            header = pickle.loads(frames[0])
-        except Exception:
-            return {}
-        if (
-            not isinstance(header, dict)
-            or header.get("version") != WAL_VERSION
-            or header.get("fingerprint") != self.fingerprint
-        ):
-            return {}
         recovered: Dict[str, Tuple[int, Any]] = {}
-        for raw in frames[1:]:
-            try:
-                entry = pickle.loads(raw)
-            except Exception:
-                break
+        for entry in self._log(round_key).replay():
             recovered[entry["task"]] = (entry["epoch"], entry["outcome"])
         return recovered
 

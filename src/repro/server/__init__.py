@@ -1,0 +1,38 @@
+"""Multi-tenant job service — the reproduction's YARN layer.
+
+The paper's cluster numbers assume a resource-management layer that
+admits, queues and schedules many concurrent jobs from many tenants
+against one shared cluster.  This package models it in-process:
+
+* :mod:`repro.server.queue` — a durable FIFO-per-tenant submission
+  queue journaled through the WAL substrate (CRC-framed, torn-tail
+  tolerant), so a killed server resumes with no job lost or
+  duplicated;
+* :mod:`repro.server.admission` — per-tenant quotas enforced at
+  submit time (overload is a deterministic typed rejection, never a
+  hang);
+* :mod:`repro.server.scheduler` — deterministic weighted fair-share
+  with min-share guarantees and DRF-style slot accounting over the
+  worker-seconds cost model;
+* :mod:`repro.server.service` — :class:`~repro.server.service.JobServer`,
+  the in-process daemon tying the three together over a shared
+  executor budget;
+* :mod:`repro.server.daemon` / :mod:`repro.server.client` — the
+  newline-delimited-JSON unix-socket surface behind
+  ``repro-genomics serve`` / ``submit`` / ``jobs`` / ``cancel``.
+"""
+
+from repro.server.admission import AdmissionController, TenantPolicy
+from repro.server.queue import DurableJobQueue, QueuedJob
+from repro.server.scheduler import FairShareScheduler
+from repro.server.service import JobServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "DurableJobQueue",
+    "FairShareScheduler",
+    "JobServer",
+    "QueuedJob",
+    "ServerConfig",
+    "TenantPolicy",
+]

@@ -1,0 +1,127 @@
+"""Client for the job server's NDJSON unix-socket protocol.
+
+Connection-per-request: each call opens the socket, writes one JSON
+line, reads one JSON line back, and re-raises wire errors as their
+typed exceptions (:class:`~repro.errors.AdmissionError` keeps its
+structured quota fields).  The CLI's ``submit``/``jobs``/``cancel``
+subcommands and the tests are the two consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServerError
+from repro.server.protocol import raise_wire_error
+
+
+class JobClient:
+    def __init__(self, socket_path: str, timeout: float = 30.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if not hasattr(socket, "AF_UNIX"):
+            raise ServerError(
+                "unix domain sockets are unavailable on this platform"
+            )
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+                sock.sendall(
+                    (json.dumps(payload) + "\n").encode("utf-8")
+                )
+                chunks: List[bytes] = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                    if chunk.endswith(b"\n"):
+                        break
+        except OSError as exc:
+            raise ServerError(
+                f"cannot reach job server at {self.socket_path}: {exc}"
+            ) from exc
+        raw = b"".join(chunks)
+        if not raw:
+            raise ServerError(
+                f"job server at {self.socket_path} closed the "
+                "connection without a response"
+            )
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise ServerError(f"bad server response: {exc}") from exc
+        if isinstance(response, dict) and "error" in response:
+            raise_wire_error(response["error"])
+        return response
+
+    # -- ops -----------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("ok"))
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.05) -> None:
+        """Poll until the daemon answers ``ping`` (startup race)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.ping():
+                    return
+            except ServerError:
+                if time.monotonic() >= deadline:
+                    raise
+            time.sleep(interval)
+
+    def submit(self, tenant: str, payload: Dict[str, Any],
+               cost: float = 1.0, demand: int = 1,
+               job_id: Optional[str] = None) -> str:
+        request: Dict[str, Any] = {
+            "op": "submit", "tenant": tenant, "payload": payload,
+            "cost": cost, "demand": demand,
+        }
+        if job_id is not None:
+            request["job_id"] = job_id
+        return str(self._request(request)["job_id"])
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request({"op": "jobs"})
+
+    def result(self, job_id: str) -> Any:
+        return self._request({"op": "result", "job_id": job_id})["result"]
+
+    def cancel(self, job_id: str) -> str:
+        return str(self._request({"op": "cancel", "job_id": job_id})["state"])
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request({"op": "stats"})
+
+    def start_dispatch(self) -> None:
+        self._request({"op": "start"})
+
+    def shutdown(self) -> None:
+        self._request({"op": "shutdown"})
+
+    def wait_idle(self, timeout: float = 120.0,
+                  interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``jobs`` until nothing is pending or running."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.jobs()
+            counts = snapshot.get("counts", {})
+            if not counts.get("pending") and not counts.get("running"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServerError(
+                    f"queue still busy after {timeout}s: {counts}"
+                )
+            time.sleep(interval)
+
+    def __repr__(self) -> str:
+        return f"JobClient({self.socket_path!r})"

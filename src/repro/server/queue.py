@@ -1,0 +1,254 @@
+"""Durable FIFO-per-tenant submission queue on the WAL substrate.
+
+Every state transition a job makes — submitted, dispatched, finished,
+failed, cancelled — is journaled through a
+:class:`~repro.pipeline.wal.FrameLog` *before* the server acts on it,
+so the queue survives the server the same way the job WAL survives
+the driver: CRC-framed records, torn-tail tolerant, fingerprint
+guarded.
+
+Recovery (:meth:`DurableJobQueue.open`) replays the log, then
+compacts it with one atomic rewrite: terminal jobs keep their full
+submit → start → outcome history (a completed job is *never* re-run —
+its pickled result rides in the ``done`` record so ``result`` calls
+survive a restart), while a job that was dispatched but never reached
+a terminal record is re-admitted as pending — the in-flight half of
+the crash, re-run from scratch on the restarted server.  The atomic
+rewrite also heals a torn tail, so appends after recovery are never
+shadowed by damaged bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import JobNotFoundError, ServerError
+from repro.pipeline.wal import FrameLog
+
+#: Stamped into the queue log's header; a state directory written by a
+#: different subsystem (or a future incompatible queue) replays empty.
+QUEUE_FINGERPRINT = "repro-jobserver-queue-v1"
+
+#: Job lifecycle states, in order of appearance.
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class QueuedJob:
+    """One admitted job's queue entry (mutable server-side state)."""
+
+    __slots__ = (
+        "job_id", "tenant", "payload", "cost", "demand", "submit_seq",
+        "state", "start_seq", "error", "result_blob", "paid_seconds",
+        "resubmitted",
+    )
+
+    def __init__(self, job_id: str, tenant: str, payload: Any,
+                 cost: float, demand: int, submit_seq: int):
+        self.job_id = job_id
+        self.tenant = tenant
+        #: Re-constructible job description (protocol payload dict).
+        self.payload = payload
+        #: Declared cost units charged to the tenant at dispatch.
+        self.cost = cost
+        #: Executor slots the job occupies while running.
+        self.demand = demand
+        self.submit_seq = submit_seq
+        self.state = "pending"
+        #: 1-based global dispatch order; 0 until dispatched.
+        self.start_seq = 0
+        self.error: Optional[str] = None
+        #: Pickled result, journaled in the ``done`` record.
+        self.result_blob: Optional[bytes] = None
+        self.paid_seconds = 0.0
+        #: True when recovery re-admitted this job after a crash.
+        self.resubmitted = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "cost": self.cost,
+            "demand": self.demand,
+            "submit_seq": self.submit_seq,
+            "start_seq": self.start_seq,
+            "error": self.error,
+            "paid_seconds": round(self.paid_seconds, 6),
+            "resubmitted": self.resubmitted,
+        }
+
+    def __repr__(self) -> str:
+        return (f"QueuedJob({self.job_id!r}, tenant={self.tenant!r}, "
+                f"state={self.state!r})")
+
+
+class DurableJobQueue:
+    """The server's journaled job table.
+
+    All mutation goes through ``submit``/``mark_*`` methods that
+    append the record *first* and only then update the in-memory
+    table — the same durable-before-it-counts discipline as the task
+    WAL.  The class is not itself thread-safe; :class:`JobServer`
+    serialises access under its own lock.
+    """
+
+    def __init__(self, backend: Any, name: str = "queue.log"):
+        self._log = FrameLog(backend, name, QUEUE_FINGERPRINT)
+        #: job_id -> QueuedJob, in submission order (dict is ordered).
+        self.jobs: Dict[str, QueuedJob] = {}
+        self._submit_seq = 0
+        self._start_seq = 0
+
+    # -- recovery ------------------------------------------------------------
+    def open(self) -> List[QueuedJob]:
+        """Replay (or create) the log; returns re-admitted jobs.
+
+        A job with a journaled ``start`` but no terminal record was in
+        flight when the server died: it goes back to ``pending`` with
+        ``resubmitted`` set, and the compacted log drops its stale
+        start record so the re-dispatch journals a fresh one.
+        """
+        records = self._log.replay()
+        readmitted: List[QueuedJob] = []
+        for record in records:
+            self._apply(record)
+        for job in self.jobs.values():
+            if job.state == "running":
+                job.state = "pending"
+                job.start_seq = 0
+                job.resubmitted = True
+                readmitted.append(job)
+        # One atomic rewrite: heals torn tails, drops orphaned starts.
+        self._log.reset()
+        for job in self.jobs.values():
+            self._log.append(self._submit_record(job))
+            if job.start_seq:
+                self._log.append(
+                    {"kind": "start", "job_id": job.job_id,
+                     "start_seq": job.start_seq}
+                )
+            if job.state == "done":
+                self._log.append(
+                    {"kind": "done", "job_id": job.job_id,
+                     "result": job.result_blob,
+                     "paid_seconds": job.paid_seconds}
+                )
+            elif job.state == "failed":
+                self._log.append(
+                    {"kind": "failed", "job_id": job.job_id,
+                     "error": job.error}
+                )
+            elif job.state == "cancelled":
+                self._log.append({"kind": "cancel", "job_id": job.job_id})
+        return readmitted
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        kind = record.get("kind")
+        if kind == "submit":
+            job = QueuedJob(
+                record["job_id"], record["tenant"], record["payload"],
+                record["cost"], record["demand"], record["submit_seq"],
+            )
+            self.jobs[job.job_id] = job
+            self._submit_seq = max(self._submit_seq, job.submit_seq)
+            return
+        job = self.jobs.get(record.get("job_id", ""))
+        if job is None:
+            return
+        if kind == "start":
+            job.state = "running"
+            job.start_seq = record["start_seq"]
+            self._start_seq = max(self._start_seq, job.start_seq)
+        elif kind == "done":
+            job.state = "done"
+            job.result_blob = record["result"]
+            job.paid_seconds = record.get("paid_seconds", 0.0)
+        elif kind == "failed":
+            job.state = "failed"
+            job.error = record["error"]
+        elif kind == "cancel":
+            job.state = "cancelled"
+
+    @staticmethod
+    def _submit_record(job: QueuedJob) -> Dict[str, Any]:
+        return {
+            "kind": "submit", "job_id": job.job_id, "tenant": job.tenant,
+            "payload": job.payload, "cost": job.cost, "demand": job.demand,
+            "submit_seq": job.submit_seq,
+        }
+
+    # -- write side ----------------------------------------------------------
+    def submit(self, job_id: str, tenant: str, payload: Any,
+               cost: float, demand: int) -> QueuedJob:
+        if job_id in self.jobs:
+            raise ServerError(f"duplicate job id {job_id!r}")
+        self._submit_seq += 1
+        job = QueuedJob(job_id, tenant, payload, cost, demand,
+                        self._submit_seq)
+        self._log.append(self._submit_record(job))
+        self.jobs[job_id] = job
+        return job
+
+    def mark_started(self, job: QueuedJob) -> int:
+        self._start_seq += 1
+        self._log.append(
+            {"kind": "start", "job_id": job.job_id,
+             "start_seq": self._start_seq}
+        )
+        job.state = "running"
+        job.start_seq = self._start_seq
+        return self._start_seq
+
+    def mark_done(self, job: QueuedJob, result_blob: bytes,
+                  paid_seconds: float) -> None:
+        self._log.append(
+            {"kind": "done", "job_id": job.job_id, "result": result_blob,
+             "paid_seconds": paid_seconds}
+        )
+        job.state = "done"
+        job.result_blob = result_blob
+        job.paid_seconds = paid_seconds
+
+    def mark_failed(self, job: QueuedJob, error: str) -> None:
+        self._log.append(
+            {"kind": "failed", "job_id": job.job_id, "error": error}
+        )
+        job.state = "failed"
+        job.error = error
+
+    def mark_cancelled(self, job: QueuedJob) -> None:
+        self._log.append({"kind": "cancel", "job_id": job.job_id})
+        job.state = "cancelled"
+
+    # -- read side -----------------------------------------------------------
+    def get(self, job_id: str) -> QueuedJob:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"unknown job id {job_id!r}")
+        return job
+
+    def pending_by_tenant(self) -> Dict[str, List[QueuedJob]]:
+        """FIFO pending queue per tenant, ordered by submission."""
+        queues: Dict[str, List[QueuedJob]] = {}
+        for job in self.jobs.values():
+            if job.state == "pending":
+                queues.setdefault(job.tenant, []).append(job)
+        for queue in queues.values():
+            queue.sort(key=lambda j: j.submit_seq)
+        return queues
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"DurableJobQueue({len(self.jobs)} jobs)"

@@ -1,0 +1,131 @@
+"""Deterministic weighted fair-share over a shared slot budget.
+
+The scheduler answers one question — *which pending job starts next* —
+with DRF-flavoured arithmetic over the worker-seconds cost model:
+every job declares the cost units it will be charged and the executor
+slots it occupies; each tenant accumulates ``charged_units`` at
+**dispatch time**.  Charging at dispatch (not completion) is what
+makes the whole service deterministic: the k-th pick depends only on
+the pending set and the charges of picks 1..k-1, never on how long
+anything actually took, so two runs of the same submission sequence
+dispatch in the same order even though jobs finish on wall-clock
+threads.
+
+Pick rule, in order:
+
+1. only tenants whose FIFO head fits the free slots are eligible;
+2. tenants running below their ``min_share`` slots come first (the
+   capacity guarantee);
+3. then minimise ``charged_units / weight`` (weighted fair share —
+   the DRF dominant-share comparison collapsed to one resource);
+4. ties break on fewer running slots, then lexicographic tenant name.
+
+Within a tenant the queue is strictly FIFO — no head-of-line
+lookahead, matching the paper's capacity-queue behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ServerError
+from repro.server.admission import AdmissionController, TenantPolicy
+from repro.server.queue import QueuedJob
+
+
+class FairShareScheduler:
+    """Slot accounting + the deterministic pick rule."""
+
+    def __init__(self, total_slots: int, admission: AdmissionController):
+        if total_slots < 1:
+            raise ServerError("total_slots must be >= 1")
+        self.total_slots = total_slots
+        self._admission = admission
+        #: Lifetime cost units charged per tenant (at dispatch).
+        self.charged: Dict[str, float] = {}
+        #: Slots currently occupied per tenant.
+        self.running_slots: Dict[str, int] = {}
+
+    # -- accounting ----------------------------------------------------------
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self._admission.policy(tenant)
+
+    def used_slots(self) -> int:
+        return sum(self.running_slots.values())
+
+    def free_slots(self) -> int:
+        return self.total_slots - self.used_slots()
+
+    def charge(self, job: QueuedJob) -> None:
+        """Charge a dispatch: cost units now, slots while it runs."""
+        self.charged[job.tenant] = (
+            self.charged.get(job.tenant, 0.0) + job.cost
+        )
+        self.running_slots[job.tenant] = (
+            self.running_slots.get(job.tenant, 0) + job.demand
+        )
+
+    def release(self, job: QueuedJob) -> None:
+        """Return a finished job's slots (charges are never refunded)."""
+        self.running_slots[job.tenant] = max(
+            0, self.running_slots.get(job.tenant, 0) - job.demand
+        )
+
+    def restore_charges(self, jobs: Sequence[QueuedJob]) -> None:
+        """Rebuild lifetime charges after a restart.
+
+        Only terminal jobs that were actually dispatched count — a
+        re-admitted in-flight job lost its dispatch with the old
+        process and is re-charged when the new one dispatches it,
+        which keeps the resumed dispatch order identical to an
+        uninterrupted run's.
+        """
+        for job in jobs:
+            if job.terminal and job.start_seq:
+                self.charged[job.tenant] = (
+                    self.charged.get(job.tenant, 0.0) + job.cost
+                )
+
+    # -- the pick rule -------------------------------------------------------
+    def pick(
+        self, pending: Mapping[str, List[QueuedJob]]
+    ) -> Optional[QueuedJob]:
+        """The next job to dispatch, or None when nothing fits."""
+        free = self.free_slots()
+        if free < 1:
+            return None
+        best_job: Optional[QueuedJob] = None
+        best_key = None
+        for tenant in sorted(pending):
+            queue = pending[tenant]
+            if not queue:
+                continue
+            head = queue[0]
+            if head.demand > free:
+                continue
+            policy = self.policy(tenant)
+            running = self.running_slots.get(tenant, 0)
+            below_min_share = 0 if running < policy.min_share else 1
+            share = self.charged.get(tenant, 0.0) / policy.weight
+            key = (below_min_share, share, running, tenant)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_job = head
+        return best_job
+
+    def tenant_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant accounting view for the ``jobs`` protocol op."""
+        snapshot: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._admission.tenants):
+            policy = self._admission.tenants[name]
+            snapshot[name] = {
+                "weight": policy.weight,
+                "min_share": policy.min_share,
+                "charged_units": round(self.charged.get(name, 0.0), 6),
+                "running_slots": self.running_slots.get(name, 0),
+            }
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (f"FairShareScheduler({self.used_slots()}/"
+                f"{self.total_slots} slots)")

@@ -1,0 +1,627 @@
+"""Tests for the multi-tenant job service (``repro.server``).
+
+The acceptance drill lives in :class:`TestKillResume`: two tenants
+with weights 2:1 submitting jobs see a pinned deterministic
+fair-share interleaving, an over-quota submission is a typed
+rejection, and a server killed mid-queue resumes with no job lost or
+duplicated — byte-identical results and identical dispatch order vs
+an uninterrupted run.
+"""
+
+import os
+import pickle
+import socket
+import tempfile
+import threading
+
+import pytest
+
+from repro.chaos.plan import FaultPlan, KillServer, parse_event
+from repro.errors import (
+    AdmissionError,
+    JobNotFoundError,
+    MapReduceError,
+    ServerError,
+    ServerKilledError,
+)
+from repro.pipeline.checkpoint import LocalDirectoryBackend
+from repro.pipeline.wal import FrameLog
+from repro.server import (
+    AdmissionController,
+    DurableJobQueue,
+    FairShareScheduler,
+    JobServer,
+    ServerConfig,
+    TenantPolicy,
+)
+from repro.server.protocol import wordcount_payload
+from repro.server.queue import QueuedJob
+
+needs_af_unix = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="unix sockets unavailable"
+)
+
+LINES = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks twice",
+]
+
+WEIGHTED = (
+    TenantPolicy("a", weight=2.0),
+    TenantPolicy("b", weight=1.0),
+)
+
+
+def make_server(state_dir, plan=None, hold=True, slots=1, tenants=WEIGHTED,
+                **kwargs):
+    server = JobServer(ServerConfig(
+        state_dir=state_dir, total_slots=slots, tenants=tenants,
+        hold=hold, fault_plan=plan, **kwargs,
+    ))
+    server.open()
+    return server
+
+
+def submit_batch(server, per_tenant=6):
+    for index in range(per_tenant):
+        for tenant in ("a", "b"):
+            server.submit(
+                tenant, wordcount_payload(LINES),
+                job_id=f"{tenant}{index}",
+            )
+
+
+def dispatch_order(server):
+    jobs = server.jobs_snapshot()["jobs"]
+    started = [j for j in jobs if j["start_seq"]]
+    return [j["job_id"] for j in sorted(started,
+                                        key=lambda j: j["start_seq"])]
+
+
+class TestFrameLog:
+    def test_reset_append_replay(self, tmp_path):
+        backend = LocalDirectoryBackend(str(tmp_path))
+        log = FrameLog(backend, "q.log", "fp")
+        log.reset()
+        log.append({"n": 1})
+        log.append({"n": 2})
+        assert FrameLog(backend, "q.log", "fp").replay() == [
+            {"n": 1}, {"n": 2}
+        ]
+
+    def test_foreign_fingerprint_replays_empty(self, tmp_path):
+        backend = LocalDirectoryBackend(str(tmp_path))
+        log = FrameLog(backend, "q.log", "fp")
+        log.reset()
+        log.append({"n": 1})
+        assert FrameLog(backend, "q.log", "other").replay() == []
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        backend = LocalDirectoryBackend(str(tmp_path))
+        log = FrameLog(backend, "q.log", "fp")
+        log.reset()
+        log.append({"n": 1})
+        backend.append("q.log", b"\x00\x00\x01\xffgarbage")
+        assert log.replay() == [{"n": 1}]
+
+    def test_missing_log_replays_empty(self, tmp_path):
+        backend = LocalDirectoryBackend(str(tmp_path))
+        assert FrameLog(backend, "absent.log", "fp").replay() == []
+
+
+class TestDurableJobQueue:
+    def _queue(self, tmp_path):
+        return DurableJobQueue(LocalDirectoryBackend(str(tmp_path)))
+
+    def test_submit_and_terminal_states_survive_reopen(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.open()
+        job = queue.submit("j1", "a", {"type": "x"}, 1.0, 1)
+        queue.mark_started(job)
+        queue.mark_done(job, pickle.dumps([1, 2]), 0.5)
+        job2 = queue.submit("j2", "a", {"type": "x"}, 1.0, 1)
+        queue.mark_started(job2)
+        queue.mark_failed(job2, "boom")
+
+        reopened = self._queue(tmp_path)
+        assert reopened.open() == []
+        assert reopened.get("j1").state == "done"
+        assert pickle.loads(reopened.get("j1").result_blob) == [1, 2]
+        assert reopened.get("j2").state == "failed"
+        assert reopened.get("j2").error == "boom"
+
+    def test_inflight_job_readmitted_as_pending(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.open()
+        job = queue.submit("j1", "a", {"type": "x"}, 2.0, 1)
+        queue.mark_started(job)
+
+        reopened = self._queue(tmp_path)
+        readmitted = reopened.open()
+        assert [j.job_id for j in readmitted] == ["j1"]
+        back = reopened.get("j1")
+        assert back.state == "pending"
+        assert back.resubmitted
+        assert back.start_seq == 0
+        assert back.cost == 2.0
+
+    def test_compaction_heals_torn_tail(self, tmp_path):
+        backend = LocalDirectoryBackend(str(tmp_path))
+        queue = DurableJobQueue(backend)
+        queue.open()
+        queue.submit("j1", "a", {"type": "x"}, 1.0, 1)
+        backend.append("queue.log", b"torn-frame-bytes")
+
+        reopened = DurableJobQueue(backend)
+        reopened.open()
+        # Appends after the (healed) recovery must be replayable.
+        reopened.submit("j2", "a", {"type": "x"}, 1.0, 1)
+        third = DurableJobQueue(backend)
+        third.open()
+        assert sorted(third.jobs) == ["j1", "j2"]
+
+    def test_duplicate_job_id_rejected(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.open()
+        queue.submit("j1", "a", {"type": "x"}, 1.0, 1)
+        with pytest.raises(ServerError, match="duplicate job id"):
+            queue.submit("j1", "b", {"type": "x"}, 1.0, 1)
+
+    def test_unknown_job_id(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.open()
+        with pytest.raises(JobNotFoundError):
+            queue.get("nope")
+
+
+class TestTenantPolicy:
+    def test_bad_name_rejected(self):
+        with pytest.raises(ServerError, match="bad tenant name"):
+            TenantPolicy(name="a.b")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ServerError, match="weight must be > 0"):
+            TenantPolicy(name="a", weight=0.0)
+
+
+class TestAdmission:
+    def test_queued_jobs_quota(self):
+        control = AdmissionController((TenantPolicy("a", max_queued=2),))
+        control.check_submit("a", 1.0, {"a": 1}, {}, 1)
+        with pytest.raises(AdmissionError) as excinfo:
+            control.check_submit("a", 1.0, {"a": 2}, {}, 2)
+        exc = excinfo.value
+        assert exc.tenant == "a"
+        assert exc.reason == "queued_jobs"
+        assert exc.limit == 2
+        assert exc.observed == 3
+
+    def test_cost_units_quota_counts_committed_cost(self):
+        control = AdmissionController(
+            (TenantPolicy("a", max_cost_units=5.0),)
+        )
+        control.check_submit("a", 2.0, {}, {"a": 3.0}, 0)
+        with pytest.raises(AdmissionError) as excinfo:
+            control.check_submit("a", 2.5, {}, {"a": 3.0}, 0)
+        assert excinfo.value.reason == "cost_units"
+
+    def test_total_backstop(self):
+        control = AdmissionController(max_queued_total=1)
+        with pytest.raises(AdmissionError) as excinfo:
+            control.check_submit("a", 1.0, {}, {}, 1)
+        assert excinfo.value.reason == "total_queued"
+
+    def test_unknown_tenant_minted_from_default(self):
+        control = AdmissionController(
+            default=TenantPolicy("default", max_queued=1)
+        )
+        policy = control.policy("newcomer")
+        assert policy.name == "newcomer"
+        assert policy.max_queued == 1
+
+    def test_bad_tenant_name_is_admission_error(self):
+        control = AdmissionController()
+        with pytest.raises(AdmissionError) as excinfo:
+            control.check_submit("no/slash", 1.0, {}, {}, 0)
+        assert excinfo.value.reason == "bad_tenant"
+
+
+class TestFairShareScheduler:
+    def _job(self, job_id, tenant, cost=1.0, demand=1, seq=0):
+        return QueuedJob(job_id, tenant, {}, cost, demand, seq)
+
+    def test_min_share_beats_weighted_share(self):
+        control = AdmissionController((
+            TenantPolicy("a", weight=1.0),
+            TenantPolicy("b", weight=1.0, min_share=1),
+        ))
+        sched = FairShareScheduler(4, control)
+        sched.charged["a"] = 0.0
+        sched.charged["b"] = 100.0
+        pending = {"a": [self._job("a0", "a")], "b": [self._job("b0", "b")]}
+        assert sched.pick(pending).job_id == "b0"
+
+    def test_demand_too_large_skipped(self):
+        control = AdmissionController()
+        sched = FairShareScheduler(2, control)
+        pending = {
+            "a": [self._job("a0", "a", demand=3)],
+            "b": [self._job("b0", "b", demand=1)],
+        }
+        assert sched.pick(pending).job_id == "b0"
+
+    def test_ties_break_lexicographically(self):
+        control = AdmissionController()
+        sched = FairShareScheduler(2, control)
+        pending = {"z": [self._job("z0", "z")], "m": [self._job("m0", "m")]}
+        assert sched.pick(pending).job_id == "m0"
+
+
+class TestFairShareInterleaving:
+    def test_pinned_2_to_1_dispatch_order(self, tmp_path):
+        """Weights 2:1, six jobs each, one slot: the dispatch sequence
+        is pinned — charge-at-dispatch makes it independent of job
+        runtimes and thread timing."""
+        server = make_server(str(tmp_path))
+        submit_batch(server, per_tenant=6)
+        server.start_dispatch()
+        server.drain()
+        server.close()
+        order = dispatch_order(server)
+        tenants = [job_id[0] for job_id in order]
+        assert tenants == list("abaabaababbb")
+        # FIFO within each tenant.
+        assert [j for j in order if j.startswith("a")] == [
+            f"a{i}" for i in range(6)
+        ]
+        assert [j for j in order if j.startswith("b")] == [
+            f"b{i}" for i in range(6)
+        ]
+
+    def test_results_and_counters(self, tmp_path):
+        server = make_server(str(tmp_path))
+        submit_batch(server, per_tenant=2)
+        server.start_dispatch()
+        server.drain()
+        server.close()
+        expected = sorted([
+            ("barks", 1), ("brown", 1), ("dog", 2), ("fox", 1),
+            ("jumps", 1), ("lazy", 1), ("over", 1), ("quick", 1),
+            ("the", 3), ("twice", 1),
+        ])
+        assert server.result("a0") == expected
+        counters = server.counters()
+        assert counters["server.admitted"] == 4
+        assert counters["server.completed"] == 4
+        assert counters["server.tenant.a.paid_worker_seconds"] > 0
+        assert counters["server.tenant.b.completed"] == 2
+
+
+class TestAdmissionInServer:
+    def test_over_quota_is_typed_not_queued(self, tmp_path):
+        server = make_server(
+            str(tmp_path),
+            tenants=(TenantPolicy("a", max_cost_units=3.0),),
+        )
+        for _ in range(3):
+            server.submit("a", wordcount_payload(LINES))
+        with pytest.raises(AdmissionError) as excinfo:
+            server.submit("a", wordcount_payload(LINES))
+        server.close()
+        exc = excinfo.value
+        assert (exc.reason, exc.limit, exc.observed) == (
+            "cost_units", 3.0, 4.0
+        )
+        assert server.counters()["server.rejected"] == 1
+        assert server.counters()["server.tenant.a.rejected"] == 1
+        assert len(server.jobs_snapshot()["jobs"]) == 3
+
+    def test_bad_payload_rejected_at_submit(self, tmp_path):
+        server = make_server(str(tmp_path))
+        with pytest.raises(ServerError, match="non-empty 'lines'"):
+            server.submit("a", {"type": "wordcount", "lines": []})
+        server.close()
+
+    def test_demand_above_slots_rejected(self, tmp_path):
+        server = make_server(str(tmp_path), slots=2)
+        with pytest.raises(ServerError, match="slot budget"):
+            server.submit("a", wordcount_payload(LINES), demand=3)
+        server.close()
+
+    def test_failed_job_is_terminal_not_fatal(self, tmp_path):
+        server = make_server(str(tmp_path))
+        # Integer "lines" pass payload validation's list check but
+        # blow up inside the mapper — the job fails, the server lives.
+        server.submit("a", {"type": "wordcount", "lines": [1, 2]},
+                      job_id="bad")
+        server.submit("a", wordcount_payload(LINES), job_id="good")
+        server.start_dispatch()
+        server.drain()
+        server.close()
+        assert server.queue.get("bad").state == "failed"
+        assert server.queue.get("good").state == "done"
+        with pytest.raises(ServerError, match="failed"):
+            server.result("bad")
+
+
+class TestCancel:
+    def test_cancel_pending_job(self, tmp_path):
+        server = make_server(str(tmp_path))
+        server.submit("a", wordcount_payload(LINES), job_id="a0")
+        assert server.cancel("a0") == "cancelled"
+        server.start_dispatch()
+        server.drain()
+        server.close()
+        assert server.queue.get("a0").state == "cancelled"
+
+    def test_cancel_terminal_job_is_noop(self, tmp_path):
+        server = make_server(str(tmp_path), hold=False)
+        server.submit("a", wordcount_payload(LINES), job_id="a0")
+        server.drain()
+        assert server.cancel("a0") == "done"
+        server.close()
+
+    def test_cancelled_job_survives_restart(self, tmp_path):
+        server = make_server(str(tmp_path))
+        server.submit("a", wordcount_payload(LINES), job_id="a0")
+        server.cancel("a0")
+        server.close()
+        reopened = make_server(str(tmp_path))
+        assert reopened.queue.get("a0").state == "cancelled"
+        reopened.close()
+
+
+class TestKillResume:
+    """The acceptance drill: killed mid-queue, resumed, byte-identical."""
+
+    def test_kill_mid_queue_resumes_without_loss_or_duplication(
+        self, tmp_path
+    ):
+        baseline_dir = str(tmp_path / "baseline")
+        killed_dir = str(tmp_path / "killed")
+
+        # Uninterrupted run: 3 jobs per tenant, weights 2:1.
+        baseline = make_server(baseline_dir)
+        submit_batch(baseline, per_tenant=3)
+        baseline.start_dispatch()
+        baseline.drain()
+        baseline.close()
+        base_order = dispatch_order(baseline)
+        assert [j[0] for j in base_order] == list("abaabb")
+        base_blobs = {
+            job_id: baseline.queue.get(job_id).result_blob
+            for job_id in base_order
+        }
+
+        # Killed run: same submissions, crash after the 3rd dispatch.
+        plan = FaultPlan(events=(KillServer(after_starts=3),))
+        killed = make_server(killed_dir, plan=plan)
+        submit_batch(killed, per_tenant=3)
+        killed.start_dispatch()
+        with pytest.raises(ServerKilledError, match="journaled but "
+                                                    "never run"):
+            killed.drain()
+        killed.close()
+        assert killed.queue.counts()["done"] == 2
+
+        # Restart over the same state dir: the in-flight job is
+        # re-admitted, nothing is lost, nothing re-runs.
+        resumed = make_server(killed_dir, hold=False)
+        resumed.drain()
+        resumed.close()
+        order = dispatch_order(resumed)
+        assert order == base_order
+        assert resumed.queue.counts()["done"] == 6
+        blobs = {
+            job_id: resumed.queue.get(job_id).result_blob
+            for job_id in order
+        }
+        assert blobs == base_blobs  # byte-identical results
+        starts = [resumed.queue.get(j).start_seq for j in order]
+        assert len(set(starts)) == 6  # no duplicated dispatch
+        assert resumed.counters()["server.resumed"] == 1
+
+    def test_kill_server_event_validation(self):
+        with pytest.raises(MapReduceError, match="after_starts"):
+            FaultPlan(events=(KillServer(after_starts=0),))
+
+    def test_parse_kill_server_spec(self):
+        event = parse_event("4", "kill-server")
+        assert event == KillServer(after_starts=4)
+        with pytest.raises(MapReduceError, match="STARTS"):
+            parse_event("soon", "kill-server")
+
+
+@needs_af_unix
+class TestDaemonRoundTrip:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        from repro.server.daemon import JobServerDaemon
+
+        # Socket paths have a ~100 char limit; tmp_path can exceed it.
+        sock_dir = tempfile.mkdtemp(prefix="repro-srv-")
+        socket_path = os.path.join(sock_dir, "s.sock")
+        server = JobServer(ServerConfig(
+            state_dir=str(tmp_path / "state"), total_slots=1,
+            tenants=(TenantPolicy("a", weight=2.0, max_queued=4),),
+        ))
+        server.open()
+        daemon = JobServerDaemon(server, socket_path)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        yield server, socket_path
+        daemon.request_shutdown()
+        thread.join(timeout=5)
+        server.close()
+
+    def _client(self, socket_path):
+        from repro.server.client import JobClient
+
+        client = JobClient(socket_path, timeout=10.0)
+        client.wait_ready()
+        return client
+
+    def test_submit_jobs_result_cancel(self, served):
+        _, socket_path = served
+        client = self._client(socket_path)
+        job_id = client.submit("a", wordcount_payload(["x y x"]))
+        snapshot = client.wait_idle()
+        assert snapshot["counts"]["done"] == 1
+        assert client.result(job_id) == [["x", 2], ["y", 1]]
+        with pytest.raises(JobNotFoundError):
+            client.cancel("missing")
+        stats = client.stats()
+        assert stats["tenants"]["a"]["completed"] == 1
+
+    def test_admission_error_keeps_fields_over_the_wire(self, served):
+        _, socket_path = served
+        client = self._client(socket_path)
+        for _ in range(4):
+            client.submit("a", wordcount_payload(["x"]))
+        client.wait_idle()
+        # max_queued=4 counts only live jobs; exhaust with held cost.
+        with pytest.raises(AdmissionError) as excinfo:
+            client.submit("a", wordcount_payload(["x"]), cost=-1.0)
+        assert excinfo.value.reason == "bad_cost"
+
+    def test_unknown_op_is_typed(self, served):
+        _, socket_path = served
+        client = self._client(socket_path)
+        with pytest.raises(ServerError, match="unknown op"):
+            client._request({"op": "bogus"})
+
+
+class TestConcurrentEngines:
+    """Satellite: two engines in one process, interleaved in threads,
+    must match their serial baselines byte for byte — the precondition
+    the shared-executor scheduler relies on."""
+
+    def _spec_and_splits(self, name, lines):
+        from repro.api import JobSpec, make_block_splits
+        from repro.mapreduce.policy import ExecutionPolicy
+        from repro.server.protocol import wordcount_map, wordcount_reduce
+
+        spec = JobSpec(
+            name=name, mapper=wordcount_map, reducer=wordcount_reduce,
+            num_reducers=2, policy=ExecutionPolicy.threads(max_workers=2),
+        )
+        splits = make_block_splits(
+            [lines[::2], lines[1::2]], prefix=name
+        )
+        return spec, splits
+
+    def test_interleaved_run_job_byte_identical_vs_serial(self):
+        from repro.api import run_job
+        from repro.mapreduce.engine import MapReduceEngine
+
+        corpus = {
+            "job-x": LINES * 4,
+            "job-y": ["alpha beta", "beta gamma delta", "alpha"] * 4,
+        }
+        baselines = {}
+        for name, lines in corpus.items():
+            spec, splits = self._spec_and_splits(name, lines)
+            baselines[name] = pickle.dumps(
+                sorted(run_job(spec, splits).all_outputs())
+            )
+
+        barrier = threading.Barrier(2)
+        outputs = {}
+        errors = []
+
+        def work(name, lines):
+            try:
+                spec, splits = self._spec_and_splits(name, lines)
+                engine = MapReduceEngine(policy=spec.policy)
+                barrier.wait(timeout=10)
+                try:
+                    result = run_job(spec, splits, engine=engine)
+                    outputs[name] = pickle.dumps(
+                        sorted(result.all_outputs())
+                    )
+                finally:
+                    engine.close()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(name, lines))
+            for name, lines in corpus.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert outputs == baselines
+
+
+class TestTenantObservability:
+    def test_tenant_summary_parses_server_counters(self):
+        from repro.obs.analysis import tenant_summary
+
+        counters = {
+            "server.tenant.a.admitted": 3,
+            "server.tenant.a.paid_worker_seconds": 1.5,
+            "server.tenant.b.rejected": 1,
+            "server.admitted": 3,
+            "pool.paid_worker_seconds": 9.0,
+        }
+        summary = tenant_summary(counters)
+        assert sorted(summary) == ["a", "b"]
+        assert summary["a"]["admitted"] == 3
+        assert summary["a"]["paid_worker_seconds"] == 1.5
+        assert summary["a"]["rejected"] == 0.0
+        assert summary["b"]["rejected"] == 1
+
+    def test_report_grows_tenant_section(self, tmp_path):
+        from repro.obs.report import render_html_report
+
+        server = make_server(str(tmp_path), hold=False)
+        server.submit("a", wordcount_payload(LINES))
+        server.drain()
+        server.close()
+        html = render_html_report(server.recorder)
+        assert "<h2>Tenants</h2>" in html
+        assert "<td>a</td>" in html
+
+    def test_trace_spans_carry_tenant_track(self, tmp_path):
+        server = make_server(str(tmp_path), hold=False)
+        server.submit("a", wordcount_payload(LINES), job_id="a0")
+        server.drain()
+        server.close()
+        spans = [s for s in server.recorder.spans()
+                 if s.category == "server-job"]
+        assert len(spans) == 1
+        assert spans[0].track == "tenant/a"
+        assert spans[0].attrs["start_seq"] == 1
+
+
+class TestElasticPolicyValidation:
+    """Satellite: min/max worker contradictions fail at construction."""
+
+    def test_explicit_pair_rejected_naming_both_fields(self):
+        from repro.mapreduce.policy import ExecutionPolicy
+
+        with pytest.raises(MapReduceError) as excinfo:
+            ExecutionPolicy.elastic(max_workers=2, min_workers=4)
+        message = str(excinfo.value)
+        assert "min_workers" in message and "max_workers" in message
+
+    def test_elastic_floor_above_default_cap_rejected(self):
+        from repro.mapreduce.policy import ExecutionPolicy
+
+        # The default ceiling is min(32, cpu_count), so a floor of 64
+        # can never be honoured on any host.
+        with pytest.raises(MapReduceError) as excinfo:
+            ExecutionPolicy.elastic(min_workers=64)
+        message = str(excinfo.value)
+        assert "min_workers" in message and "max_workers" in message
+        assert "explicitly" in message
+
+    def test_explicit_ceiling_raises_the_cap(self):
+        from repro.mapreduce.policy import ExecutionPolicy
+
+        policy = ExecutionPolicy.elastic(max_workers=64, min_workers=64)
+        assert policy.resolved_min_workers() == 64

@@ -447,6 +447,34 @@ class TestCli:
         base, cand = self._write_benches(tmp_path, 1.0, 1.25)
         assert main(["compare", base, cand, "--threshold", "0.5"]) == 0
 
+    def test_compare_warns_on_pre_v2_baseline(self, tmp_path, capsys):
+        """A committed baseline that predates schema v2 must warn and
+        skip the comparison, never crash the gate."""
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"name": "old", "wall_seconds": 1.0}))
+        _, cand = self._write_benches(tmp_path, 1.0, 1.0)
+        assert main(["compare", str(stale), cand]) == 0
+        out = capsys.readouterr().out
+        assert "predates bench schema v2" in out
+        assert "skipping comparison" in out
+
+    def test_compare_errors_on_pre_v2_candidate(self, tmp_path, capsys):
+        """Only the *baseline* gets leniency; a stale candidate means
+        the bench itself is broken."""
+        base, _ = self._write_benches(tmp_path, 1.0, 1.0)
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"name": "old", "wall_seconds": 1.0}))
+        assert main(["compare", base, str(stale)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_compare_errors_on_unparsable_baseline(self, tmp_path,
+                                                   capsys):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        _, cand = self._write_benches(tmp_path, 1.0, 1.0)
+        assert main(["compare", str(broken), cand]) == 2
+        assert capsys.readouterr().err
+
     @needs_fork
     def test_report_subcommand_writes_html(self, tmp_path, capsys):
         data = tmp_path / "data"
