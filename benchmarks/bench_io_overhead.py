@@ -1,0 +1,183 @@
+"""Cost of the durable-I/O contract on the full five-round pipeline.
+
+Every on-disk artifact — map spill runs, shuffle segments, round
+checkpoints, the job WAL — routes through :mod:`repro.io`, whose
+``LocalIO`` enforces write-temp -> fsync -> atomic-rename -> directory
+-fsync on every atomic write and fsyncs every journal append.  That
+contract is what the crash-consistency fuzz gate certifies, so it must
+be cheap enough to leave on everywhere: the durable layer is allowed
+at most 5% over ``DirectIO`` (plain ``open().write()``, no temp file,
+no fsync, no rename) on the same pipeline, with a small absolute floor
+so sub-second runs don't flake on scheduler noise.
+
+Three configurations, all spilling to real disk:
+
+* ``direct``   — ``DirectIO``: the no-contract baseline.
+* ``nofsync``  — ``IoPolicy(fsync=False)``: temp + atomic rename kept,
+  fsyncs skipped; isolates what the syncs themselves cost.
+* ``durable``  — the default contract, fsyncs and all.
+
+All three must produce byte-identical variant calls — the contract
+buys crash consistency, never different answers.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from benchlib import report, report_json
+
+from repro.align import AlignerConfig, ReferenceIndex
+from repro.genome import (
+    DonorSimulationConfig,
+    ReadSimulationConfig,
+    ReferenceSimulationConfig,
+    simulate_donor,
+    simulate_reads,
+    simulate_reference,
+)
+from repro.io.layer import DirectIO
+from repro.io.policy import IoPolicy
+from repro.mapreduce.policy import ExecutionPolicy
+from repro.obs.recorder import ObsConfig
+from repro.pipeline import parallel as parallel_mod
+from repro.pipeline.parallel import GesallPipeline
+
+REPEATS = 3
+
+
+def _dataset():
+    reference = simulate_reference(
+        ReferenceSimulationConfig(
+            contig_lengths={"chr1": 8000, "chr2": 6000}, seed=511
+        )
+    )
+    donor = simulate_donor(
+        reference, DonorSimulationConfig(snp_rate=2e-3, seed=512)
+    )
+    pairs, _ = simulate_reads(
+        donor, ReadSimulationConfig(coverage=9.0, seed=513)
+    )
+    return reference, ReferenceIndex(reference), pairs
+
+
+def _run_once(reference, index, pairs, spill_root, io_policy,
+              direct=False, obs=None):
+    """One five-round run spilling to disk; returns (wall, result)."""
+    policy = ExecutionPolicy(io=io_policy)
+    pipeline = GesallPipeline(
+        reference, index=index, num_fastq_partitions=6, num_reducers=3,
+        aligner_config=AlignerConfig(seed=9), policy=policy,
+        checkpoint_dir=os.path.join(spill_root, "ckpt"),
+        **({} if obs is None else {"obs": obs}),
+    )
+    original_build = parallel_mod.build_io
+    if direct:
+        parallel_mod.build_io = \
+            lambda p: DirectIO(policy=p.resolved_io())
+    try:
+        start = time.perf_counter()
+        result = pipeline.run(pairs)
+        return time.perf_counter() - start, result
+    finally:
+        parallel_mod.build_io = original_build
+
+
+def _best_of(reference, index, pairs, base_dir, io_policy_for,
+             direct=False):
+    """Best-of-N wall time with a fresh spill tree per run."""
+    best, lines = float("inf"), None
+    for _ in range(REPEATS):
+        spill_root = tempfile.mkdtemp(dir=base_dir)
+        try:
+            wall, result = _run_once(
+                reference, index, pairs, spill_root,
+                io_policy_for(spill_root), direct=direct,
+            )
+        finally:
+            shutil.rmtree(spill_root, ignore_errors=True)
+        best = min(best, wall)
+        lines = [v.to_line() for v in result.variants]
+    return best, lines
+
+
+def test_io_overhead():
+    reference, index, pairs = _dataset()
+    base_dir = tempfile.mkdtemp(prefix="bench-io-")
+
+    def durable_policy(root):
+        return IoPolicy(spill_dirs=(os.path.join(root, "spill"),))
+
+    def nofsync_policy(root):
+        return IoPolicy(
+            spill_dirs=(os.path.join(root, "spill"),), fsync=False
+        )
+
+    try:
+        direct, direct_lines = _best_of(
+            reference, index, pairs, base_dir, durable_policy, direct=True
+        )
+        nofsync, nofsync_lines = _best_of(
+            reference, index, pairs, base_dir, nofsync_policy
+        )
+        durable, durable_lines = _best_of(
+            reference, index, pairs, base_dir, durable_policy
+        )
+        # One traced run (not timed) to account where the bytes went.
+        spill_root = tempfile.mkdtemp(dir=base_dir)
+        try:
+            _, traced = _run_once(
+                reference, index, pairs, spill_root,
+                durable_policy(spill_root), obs=ObsConfig(enabled=True),
+            )
+        finally:
+            shutil.rmtree(spill_root, ignore_errors=True)
+    finally:
+        shutil.rmtree(base_dir, ignore_errors=True)
+
+    counters = traced.recorder.metrics.as_dict()["counters"]
+    io_counters = {
+        key: counters[key]
+        for key in ("io.writes", "io.appends", "io.bytes_written",
+                    "io.fsyncs", "io.dir_fsyncs")
+        if key in counters
+    }
+    lines = [
+        "Durable-I/O contract overhead, full 5-round pipeline spilling "
+        f"to disk (best of {REPEATS}):",
+        f"  DirectIO (no contract)  {direct:>8.3f} s",
+        f"  LocalIO, fsync off      {nofsync:>8.3f} s   "
+        f"{nofsync / direct:>5.2f}x",
+        f"  LocalIO, full contract  {durable:>8.3f} s   "
+        f"{durable / direct:>5.2f}x",
+        "  traced durable run: " + ", ".join(
+            f"{key.split('.', 1)[1]}={io_counters[key]}"
+            for key in sorted(io_counters)
+        ),
+    ]
+    report("io_overhead", "\n".join(lines))
+    report_json(
+        "io_overhead",
+        wall_seconds=durable,
+        params={"partitions": 6, "reducers": 3, "repeats": REPEATS},
+        counters={
+            "wall_seconds.direct": round(direct, 6),
+            "wall_seconds.nofsync": round(nofsync, 6),
+            "wall_seconds.durable": round(durable, 6),
+            **{key: io_counters[key] for key in sorted(io_counters)},
+        },
+    )
+    # The contract changes durability, never the answer.
+    assert durable_lines == direct_lines == nofsync_lines
+    # The traced run really drove the durable layer.
+    assert io_counters.get("io.writes", 0) > 0
+    assert io_counters.get("io.fsyncs", 0) > 0
+    # Acceptance bound: full contract within 5% of direct writes (with
+    # a 50 ms absolute floor so sub-second runs don't flake on noise).
+    assert durable - direct <= max(0.05 * direct, 0.05), (
+        f"durable-I/O overhead regressed: {durable:.3f}s vs direct "
+        f"{direct:.3f}s"
+    )

@@ -209,6 +209,72 @@ class PreemptWorker:
 
 
 @dataclass(frozen=True)
+class TornWrite:
+    """Tear the next matching durable write at byte ``at_byte``.
+
+    Fires in the :class:`~repro.io.faults.FaultIO` layer: the first
+    write (atomic or append) whose logical path matches ``path_glob``
+    persists only its first ``at_byte`` bytes and then fails with EIO —
+    a power-cut mid-write.  Atomic writes leave the torn bytes in the
+    temp file (the destination never changes); durable appends heal the
+    torn tail by truncating back before the retry, so the CRC framing
+    above never sees the damage.  Fires once.
+    """
+
+    path_glob: str
+    at_byte: int = 0
+    kind = "torn_write"
+
+
+@dataclass(frozen=True)
+class Enospc:
+    """Fail matching writes with ENOSPC after a byte budget is spent.
+
+    Models a filling disk: writes whose logical path matches
+    ``path_glob`` draw from a cumulative budget of ``after_bytes``;
+    the write that would exceed it — and every matching write after —
+    raises ENOSPC.  ENOSPC is not transient, so the spill router's
+    fallback directories (``IoPolicy.spill_dirs``) are what absorb it.
+    """
+
+    after_bytes: int
+    path_glob: str = "*"
+    kind = "enospc"
+
+
+@dataclass(frozen=True)
+class Eio:
+    """Fail the Nth matching read or write with a transient EIO.
+
+    ``mode`` is ``"read"`` or ``"write"``; ``nth`` counts matching
+    operations through the I/O layer (1-based).  Fires once — the
+    retried operation succeeds, so a single transient EIO must be
+    absorbed by ``IoPolicy.retries`` without surfacing to the caller.
+    """
+
+    mode: str
+    nth: int = 1
+    path_glob: str = "*"
+    kind = "eio"
+
+
+@dataclass(frozen=True)
+class SlowIo:
+    """Charge ``seconds`` of latency to every matching I/O operation.
+
+    The charge is deterministic and *charged* (recorded in
+    ``io.slow_seconds``), never slept — the same discipline as
+    :class:`DelayTask` — and it feeds ``IoPolicy.op_timeout``: an
+    operation charged past the timeout raises a typed
+    :class:`~repro.errors.IoTimeoutError`.
+    """
+
+    seconds: float
+    path_glob: str = "*"
+    kind = "slow_io"
+
+
+@dataclass(frozen=True)
 class ColdStart:
     """Charge ``seconds`` of spawn latency to every worker fork.
 
@@ -237,6 +303,8 @@ COMMIT_EVENT_TYPES = (DuplicateCommit, KillDriver)
 SERVER_EVENT_TYPES = (KillServer,)
 #: Events applied at the execution plane (pool workers).
 POOL_EVENT_TYPES = (PreemptWorker, ColdStart)
+#: Events applied inside the durable-I/O layer (repro.io).
+IO_EVENT_TYPES = (TornWrite, Enospc, Eio, SlowIo)
 
 
 def _event_dict(event: Any) -> Dict[str, Any]:
@@ -264,6 +332,7 @@ class FaultPlan:
         known = (
             STORAGE_EVENT_TYPES + SEGMENT_EVENT_TYPES + TASK_EVENT_TYPES
             + COMMIT_EVENT_TYPES + SERVER_EVENT_TYPES + POOL_EVENT_TYPES
+            + IO_EVENT_TYPES
         )
         for event in self.events:
             if not isinstance(event, known):
@@ -286,6 +355,23 @@ class FaultPlan:
                     raise MapReduceError("PreemptWorker task must be >= 0")
             if isinstance(event, ColdStart) and event.seconds < 0:
                 raise MapReduceError("ColdStart seconds must be >= 0")
+            if isinstance(event, TornWrite):
+                if not event.path_glob:
+                    raise MapReduceError("TornWrite path_glob must be non-empty")
+                if event.at_byte < 0:
+                    raise MapReduceError("TornWrite at_byte must be >= 0")
+            if isinstance(event, Enospc) and event.after_bytes < 0:
+                raise MapReduceError("Enospc after_bytes must be >= 0")
+            if isinstance(event, Eio):
+                if event.mode not in ("read", "write"):
+                    raise MapReduceError(
+                        f"Eio mode must be 'read' or 'write', got "
+                        f"{event.mode!r}"
+                    )
+                if event.nth < 1:
+                    raise MapReduceError("Eio nth must be >= 1")
+            if isinstance(event, SlowIo) and event.seconds < 0:
+                raise MapReduceError("SlowIo seconds must be >= 0")
 
     # -- storage side -------------------------------------------------------
     def storage_events(self, round_key: str) -> List[Any]:
@@ -381,6 +467,14 @@ class FaultPlan:
             and event.job in ("", job_name)
         )
 
+    # -- io side ------------------------------------------------------------
+    def io_events(self) -> List[Any]:
+        """Durable-I/O fault events, in plan order."""
+        return [e for e in self.events if isinstance(e, IO_EVENT_TYPES)]
+
+    def touches_io(self) -> bool:
+        return any(isinstance(e, IO_EVENT_TYPES) for e in self.events)
+
     # -- reporting ----------------------------------------------------------
     def as_dicts(self) -> List[Dict[str, Any]]:
         """JSON-ready event list (for chaos reports and CI artifacts)."""
@@ -438,6 +532,10 @@ EVENT_GRAMMARS = {
     "kill-server": "STARTS",
     "preempt": "JOB[:WAVE[:TASK]]",
     "cold-start": "SECONDS[@JOB]",
+    "torn-write": "PATH_GLOB@BYTE",
+    "enospc": "AFTER_BYTES[@PATH_GLOB]",
+    "eio": "READ|WRITE[:NTH]",
+    "slow-io": "SECONDS[@PATH_GLOB]",
 }
 
 
@@ -475,6 +573,10 @@ def parse_event(spec: str, kind: str) -> Any:
         --kill-driver ROUND[:COMMITS]
         --preempt JOB[:WAVE[:TASK]]
         --cold-start SECONDS[@JOB]
+        --torn-write PATH_GLOB@BYTE
+        --enospc AFTER_BYTES[@PATH_GLOB]
+        --eio READ|WRITE[:NTH]
+        --slow-io SECONDS[@PATH_GLOB]
 
     A malformed spec raises :class:`~repro.errors.MapReduceError`
     naming the bad field and the accepted grammar — never a raw
@@ -555,6 +657,39 @@ def parse_event(spec: str, kind: str) -> Any:
                 spec.rsplit("@", 1) if "@" in spec else (spec, "")
             )
             return ColdStart(_float_field("SECONDS", head), job=job)
+        if kind == "torn-write":
+            if "@" not in spec:
+                raise ValueError(
+                    "missing '@BYTE' (the offset the write tears at)"
+                )
+            glob, byte = spec.rsplit("@", 1)
+            if not glob:
+                raise ValueError("PATH_GLOB must be non-empty")
+            return TornWrite(glob, at_byte=_int_field("BYTE", byte))
+        if kind == "enospc":
+            head, glob = (
+                spec.rsplit("@", 1) if "@" in spec else (spec, "*")
+            )
+            if not glob:
+                raise ValueError("PATH_GLOB must be non-empty")
+            return Enospc(_int_field("AFTER_BYTES", head), path_glob=glob)
+        if kind == "eio":
+            head, nth = (
+                spec.rsplit(":", 1) if ":" in spec else (spec, "1")
+            )
+            mode = head.lower()
+            if mode not in ("read", "write"):
+                raise ValueError(
+                    f"mode must be READ or WRITE, got {head!r}"
+                )
+            return Eio(mode, nth=_int_field("NTH", nth))
+        if kind == "slow-io":
+            head, glob = (
+                spec.rsplit("@", 1) if "@" in spec else (spec, "*")
+            )
+            if not glob:
+                raise ValueError("PATH_GLOB must be non-empty")
+            return SlowIo(_float_field("SECONDS", head), path_glob=glob)
     except (ValueError, MapReduceError) as exc:
         grammar = EVENT_GRAMMARS.get(kind)
         hint = f"; expected --{kind} {grammar}" if grammar else ""

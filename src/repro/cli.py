@@ -95,7 +95,22 @@ def _execution_parent() -> argparse.ArgumentParser:
                             "plane (default: raw)")
     group.add_argument("--partitions", type=int, default=8,
                        help="FASTQ logical partitions (default: 8)")
+    group.add_argument("--spill-dir", action="append", default=[],
+                       metavar="DIR", dest="spill_dirs",
+                       help="spill directory for map runs and shuffle "
+                            "segment replicas; repeat the flag to add "
+                            "fallback directories used when earlier "
+                            "ones fill up (ENOSPC degraded mode)")
     return parent
+
+
+def _io_policy_from_args(args):
+    """The IoPolicy the execution flags describe, or None for defaults."""
+    from repro.io.policy import IoPolicy
+
+    if not getattr(args, "spill_dirs", None):
+        return None
+    return IoPolicy(spill_dirs=tuple(args.spill_dirs))
 
 
 def _spec_from_args(args, reference, index, **overrides) -> PipelineSpec:
@@ -109,6 +124,7 @@ def _spec_from_args(args, reference, index, **overrides) -> PipelineSpec:
             max_workers=args.max_workers,
             min_workers=args.min_workers,
             task_retries=args.task_retries,
+            io=_io_policy_from_args(args),
         ),
         shuffle=ShuffleConfig(codec=args.shuffle_codec),
     )
@@ -239,6 +255,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS[@JOB]",
                        help="charge SECONDS of spawn latency to every "
                             "pool worker fork (of JOB, or all jobs)")
+    chaos.add_argument("--torn-write", dest="torn_write",
+                       action="append", default=[], metavar="GLOB@BYTE",
+                       help="tear the next durable write/append whose "
+                            "final path matches GLOB after BYTE bytes "
+                            "(e.g. '*wal*@13'); the I/O layer must heal "
+                            "the torn tail on retry")
+    chaos.add_argument("--enospc", action="append", default=[],
+                       metavar="BYTES[@GLOB]",
+                       help="matching writes fail with ENOSPC once "
+                            "BYTES cumulative bytes landed (storage "
+                            "full; spills fall back to the next "
+                            "--spill-dir)")
+    chaos.add_argument("--eio", action="append", default=[],
+                       metavar="READ|WRITE[:NTH]",
+                       help="the NTH matching read or write raises a "
+                            "transient EIO (default: 1st); absorbed by "
+                            "the I/O layer's charged retry")
+    chaos.add_argument("--slow-io", dest="slow_io",
+                       action="append", default=[],
+                       metavar="SECONDS[@GLOB]",
+                       help="charge SECONDS of latency to every "
+                            "matching I/O op (deterministic, never "
+                            "slept)")
     chaos.add_argument("--kill-driver", dest="kill_driver",
                        action="append", default=[],
                        metavar="ROUND[:COMMITS]",
@@ -338,6 +377,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cancel.add_argument("--socket", required=True)
     cancel.add_argument("job_id")
+
+    crashfuzz = sub.add_parser(
+        "crashfuzz",
+        help="crash-consistency fuzz gate over the durable components",
+        description="Kill every durable component at every frame "
+                    "boundary and at seeded intra-frame byte offsets, "
+                    "then assert its recovery converges on the "
+                    "uninterrupted run.",
+    )
+    crashfuzz.add_argument("--seed", type=int, default=0,
+                           help="seed for the intra-frame cut offsets "
+                                "(default: 0)")
+    crashfuzz.add_argument("--component", action="append", default=[],
+                           metavar="NAME", dest="components",
+                           help="fuzz only this component (repeatable); "
+                                "default: all of framelog, jobwal, "
+                                "queue, checkpoint, segments")
+    crashfuzz.add_argument("--work-dir", default=None,
+                           help="scratch directory for materialized "
+                                "crash states (default: a temp dir)")
+    crashfuzz.add_argument("--json", dest="json_out", default=None,
+                           metavar="FILE",
+                           help="also write the per-component reports "
+                                "as JSON")
     return parser
 
 
@@ -551,6 +614,18 @@ def _cmd_trace(args) -> int:
               f"backups {counters.get('lease.backups_launched', 0)}, "
               f"wal replays {counters.get('wal.tasks_skipped', 0)}")
 
+    if counters.get("io.writes") or counters.get("io.appends"):
+        print()
+        print(f"io: {counters.get('io.writes', 0):.0f} atomic writes "
+              f"({_fmt_bytes(counters.get('io.bytes_written', 0))}), "
+              f"{counters.get('io.appends', 0):.0f} durable appends, "
+              f"{counters.get('io.fsyncs', 0):.0f} fsyncs / "
+              f"{counters.get('io.dir_fsyncs', 0):.0f} dir fsyncs, "
+              f"retries {counters.get('io.retries', 0):.0f}, "
+              f"fallback spills "
+              f"{counters.get('io.fallback_spills', 0):.0f}, "
+              f"replicas shed {counters.get('io.replicas_shed', 0):.0f}")
+
     trace_path = args.trace_out or os.path.join(args.data, "trace.json")
     write_chrome_trace(recorder, trace_path)
     print()
@@ -682,7 +757,8 @@ def _cmd_chaos(args) -> int:
     events = []
     for kind in ("kill", "decommission", "corrupt", "corrupt_segment",
                  "delay", "fail", "zombie", "duplicate_commit",
-                 "preempt", "cold_start", "kill_driver"):
+                 "preempt", "cold_start", "kill_driver",
+                 "torn_write", "enospc", "eio", "slow_io"):
         for spec in getattr(args, kind):
             events.append(parse_event(spec, kind.replace("_", "-")))
     if events:
@@ -707,6 +783,7 @@ def _cmd_chaos(args) -> int:
         task_retries=max(2, args.task_retries),
         task_timeout=args.task_timeout,
         fault_plan=plan,
+        io=_io_policy_from_args(args),
         # Injected delays are *charged* to the attempt, so there is no
         # reason to really sleep through them.
         sleep=lambda _seconds: None,
@@ -805,7 +882,7 @@ def _cmd_chaos(args) -> int:
             "hdfs.read.corrupt_replicas", "hdfs.rereplicated.",
             "hdfs.blocks.lost", "hdfs.datanodes.", "checkpoint.",
             "shuffle.crc_failures", "shuffle.fetch_retries",
-            "commit.", "lease.", "wal.", "pool.",
+            "commit.", "lease.", "wal.", "pool.", "io.",
         ))
     }
     if fault_counters:
@@ -1089,6 +1166,57 @@ def _cmd_cancel(args) -> int:
     return 0 if state == "cancelled" else 1
 
 
+def _cmd_crashfuzz(args) -> int:
+    """Run the crash-consistency gate; exit 0 only when every durable
+    component recovers convergently from every materialized kill."""
+    import json
+    import tempfile
+
+    from repro.io.crashfuzz import run_fuzz_gate
+
+    components = args.components or None
+
+    def gate(base_dir: str):
+        return run_fuzz_gate(base_dir, seed=args.seed,
+                             components=components)
+
+    if args.work_dir:
+        os.makedirs(args.work_dir, exist_ok=True)
+        reports = gate(args.work_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="crashfuzz-") as base:
+            reports = gate(base)
+
+    print(f"crash-consistency fuzz (seed {args.seed}):")
+    print(f"{'component':<12s}{'points':>8s}{'boundary':>10s}"
+          f"{'intra':>8s}  verdict")
+    failed = False
+    for name, report in reports.items():
+        verdict = "ok" if report.ok else f"{len(report.failures)} FAILED"
+        print(f"{name:<12s}{report.points:>8d}"
+              f"{report.boundary_points:>10d}"
+              f"{report.intra_points:>8d}  {verdict}")
+        if not report.ok:
+            failed = True
+            for failure in report.failures[:5]:
+                print(f"    {failure}")
+    if args.json_out:
+        payload = {name: report.as_dict()
+                   for name, report in reports.items()}
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    print()
+    if failed:
+        print("GATE FAILED: a durable component diverged after a "
+              "simulated crash")
+        return 1
+    total = sum(report.points for report in reports.values())
+    print(f"GATE PASSED: {total} crash points recovered convergently "
+          f"across {len(reports)} component(s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     from repro.errors import ReproError
@@ -1107,6 +1235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "cancel": _cmd_cancel,
+        "crashfuzz": _cmd_crashfuzz,
     }
     try:
         return handlers[args.command](args)

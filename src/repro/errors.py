@@ -89,6 +89,34 @@ class ShuffleCorruptionError(ShuffleError):
     """
 
 
+class DurableIoError(ReproError):
+    """A durable-I/O operation failed past every configured retry.
+
+    Raised by the :mod:`repro.io` layer when an operation cannot be
+    completed — a persistent EIO, an exhausted transient-retry budget,
+    or a per-op timeout.  Transient errors absorbed by the retry loop
+    never surface as this type; they are counted in ``io.retries``.
+    """
+
+
+class StorageFullError(DurableIoError):
+    """A write hit ENOSPC and no fallback location absorbed it.
+
+    ENOSPC is never retried in place (a full disk stays full); the
+    spill router tries fallback directories and replica shedding first,
+    and only raises this when even the degraded mode cannot place the
+    minimum required copies.
+    """
+
+
+class IoTimeoutError(DurableIoError):
+    """One I/O operation's charged latency exceeded ``op_timeout``.
+
+    The charge is deterministic (injected slow-I/O seconds, not the
+    wall clock), so the timeout trips identically under every executor.
+    """
+
+
 class PipelineError(ReproError):
     """A pipeline stage received input violating its preconditions."""
 

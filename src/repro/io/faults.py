@@ -1,0 +1,192 @@
+"""Seeded fault injection below the durable-I/O retry loop.
+
+:class:`FaultIO` subclasses :class:`~repro.io.layer.LocalIO` and
+overrides only the ``_os_*`` primitives, so every injected fault hits
+the *production* retry/healing/fallback machinery:
+
+* :class:`~repro.chaos.plan.TornWrite` — the next matching write
+  persists only its first ``at_byte`` bytes, then raises EIO.  For an
+  atomic write the damage lands in the temp file (the destination is
+  untouched); for a durable append the torn tail is truncated back
+  before the retry.  Fires once.
+* :class:`~repro.chaos.plan.Enospc` — matching writes draw from a
+  cumulative byte budget; the write that would exceed it (and all
+  matching writes after) raises ENOSPC.
+* :class:`~repro.chaos.plan.Eio` — the Nth matching read or write
+  raises a transient EIO, absorbed by the retry loop.  Fires once.
+* :class:`~repro.chaos.plan.SlowIo` — every matching operation is
+  charged ``seconds`` of deterministic latency (``io.slow_seconds``),
+  tripping ``IoPolicy.op_timeout`` when configured.
+
+Matching is ``fnmatch`` over the *logical* path (the final
+destination, never the ``.inflight`` temp name), so plans address
+artifacts by name — ``*wal-round2*``, ``*/queue.log`` — independent of
+where a backend roots them.  All firing state lives in this instance,
+keyed by event position in the plan, so the frozen plan itself stays
+shareable across runs.
+"""
+
+from __future__ import annotations
+
+import errno
+from fnmatch import fnmatch
+from typing import Any, List, Optional, Tuple
+
+from repro.chaos.plan import Eio, Enospc, FaultPlan, SlowIo, TornWrite
+from repro.errors import IoTimeoutError
+from repro.io.layer import IoStats, LocalIO
+from repro.io.policy import IoPolicy
+
+
+class FaultIO(LocalIO):
+    """A LocalIO whose primitives fail according to a fault plan."""
+
+    def __init__(self, policy: Optional[IoPolicy] = None,
+                 stats: Optional[IoStats] = None,
+                 events: Tuple[Any, ...] = ()):
+        super().__init__(policy, stats)
+        self.events: List[Any] = list(events)
+        #: Times each event has fired (index-aligned with ``events``).
+        self._fired = [0] * len(self.events)
+        #: Cumulative matching bytes per Enospc event.
+        self._spent = [0] * len(self.events)
+        #: Matching op counts per Eio event.
+        self._op_counts = [0] * len(self.events)
+
+    # -- charge hook ---------------------------------------------------------
+    def _charge(self, mode: str, path: str) -> None:
+        charged = 0.0
+        for index, event in enumerate(self.events):
+            if isinstance(event, SlowIo) and fnmatch(path, event.path_glob):
+                charged += event.seconds
+                self._fired[index] += 1
+        if charged:
+            self.stats.slow_seconds += charged
+            timeout = self.policy.op_timeout
+            if timeout and charged > timeout:
+                self.stats.timeouts += 1
+                raise IoTimeoutError(
+                    f"io {mode} on {path} charged {charged:.3f}s "
+                    f"> op_timeout {timeout:.3f}s"
+                )
+
+    # -- primitives ----------------------------------------------------------
+    def _os_read(self, path: str) -> Optional[bytes]:
+        self._maybe_eio("read", path)
+        data = super()._os_read(path)
+        if data:
+            cut = self._short_read_cut(path, len(data))
+            if cut is not None:
+                return data[:cut]
+        return data
+
+    def _os_write(self, tmp: str, path: str, data: bytes) -> None:
+        self._maybe_eio("write", path)
+        self._check_enospc(path, len(data))
+        torn = self._torn_cut(path)
+        if torn is not None:
+            super()._os_write(tmp, path, data[:torn])
+            self.stats.torn_writes += 1
+            raise OSError(
+                errno.EIO, f"torn write at byte {torn} of {path}"
+            )
+        super()._os_write(tmp, path, data)
+
+    def _os_append(self, path: str, data: bytes) -> None:
+        self._maybe_eio("write", path)
+        self._check_enospc(path, len(data))
+        torn = self._torn_cut(path)
+        if torn is not None:
+            super()._os_append(path, data[:torn])
+            self.stats.torn_writes += 1
+            raise OSError(
+                errno.EIO, f"torn append at byte {torn} of {path}"
+            )
+        super()._os_append(path, data)
+
+    # -- event bookkeeping ---------------------------------------------------
+    def _maybe_eio(self, mode: str, path: str) -> None:
+        for index, event in enumerate(self.events):
+            if not isinstance(event, Eio) or event.mode != mode:
+                continue
+            if not fnmatch(path, event.path_glob):
+                continue
+            self._op_counts[index] += 1
+            if self._op_counts[index] == event.nth and not self._fired[index]:
+                self._fired[index] += 1
+                self.stats.eio += 1
+                raise OSError(
+                    errno.EIO,
+                    f"injected EIO on {mode} #{event.nth} ({path})",
+                )
+
+    def _check_enospc(self, path: str, size: int) -> None:
+        for index, event in enumerate(self.events):
+            if not isinstance(event, Enospc):
+                continue
+            if not fnmatch(path, event.path_glob):
+                continue
+            if self._spent[index] + size > event.after_bytes:
+                self._fired[index] += 1
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected ENOSPC after {self._spent[index]} of "
+                    f"{event.after_bytes} budgeted bytes ({path})",
+                )
+            self._spent[index] += size
+
+    def _torn_cut(self, path: str) -> Optional[int]:
+        for index, event in enumerate(self.events):
+            if not isinstance(event, TornWrite) or self._fired[index]:
+                continue
+            if fnmatch(path, event.path_glob):
+                self._fired[index] += 1
+                return event.at_byte
+        return None
+
+    def _short_read_cut(self, path: str, size: int) -> Optional[int]:
+        """Programmatic short-read hook (tests subclass or seed events).
+
+        The CLI grammar has no short-read event — a torn write followed
+        by recovery covers the persisted-damage case — but the layer
+        detects and retries short reads, and :class:`ShortRead` lets
+        tests drill that path deterministically.
+        """
+        for index, event in enumerate(self.events):
+            if not isinstance(event, ShortRead) or self._fired[index]:
+                continue
+            if fnmatch(path, event.path_glob):
+                self._fired[index] += 1
+                return min(event.at_byte, max(0, size - 1))
+        return None
+
+
+class ShortRead:
+    """Test-only fault: the next matching read returns truncated bytes.
+
+    Not part of the frozen chaos-plan vocabulary (it never persists
+    damage, so the crash fuzzer cannot observe it); carried directly in
+    ``FaultIO.events`` by tests exercising the short-read retry path.
+    """
+
+    __slots__ = ("path_glob", "at_byte")
+    kind = "short_read"
+
+    def __init__(self, path_glob: str, at_byte: int = 0):
+        self.path_glob = path_glob
+        self.at_byte = at_byte
+
+
+def build_io(policy: Any) -> LocalIO:
+    """The engine/pipeline constructor: one I/O layer per run.
+
+    ``policy`` is an :class:`~repro.mapreduce.policy.ExecutionPolicy`;
+    its resolved :class:`IoPolicy` configures the layer, and any
+    I/O events in its fault plan select :class:`FaultIO` over plain
+    :class:`LocalIO`.
+    """
+    io_policy = policy.resolved_io()
+    plan: Optional[FaultPlan] = policy.fault_plan
+    if plan is not None and plan.touches_io():
+        return FaultIO(io_policy, events=tuple(plan.io_events()))
+    return LocalIO(io_policy)

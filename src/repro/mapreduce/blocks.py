@@ -118,3 +118,28 @@ def _verify_header(blob: bytes):
 def encode_block(records: Iterable[Any]) -> RecordBlock:
     """Seal an iterable of records into one :class:`RecordBlock`."""
     return RecordBlock(list(records))
+
+
+def write_block_file(io: Any, path: str, block: RecordBlock) -> None:
+    """Persist a sealed block through the durable-I/O layer.
+
+    The blob goes down as one atomic write (temp + fsync + rename +
+    directory fsync), so an on-disk block is either the complete sealed
+    frame or absent — a reader never sees a torn block, and the frame's
+    own CRC32 still guards against rot after the write.
+    """
+    io.write_atomic(path, block.blob)
+
+
+def read_block_file(io: Any, path: str) -> Optional[RecordBlock]:
+    """Load a persisted block; ``None`` when the file does not exist.
+
+    Frame verification (magic, counts, CRC32) happens in the
+    :class:`RecordBlock` constructor and again at :meth:`decode`, so a
+    rotten file raises :class:`~repro.errors.ShuffleCorruptionError`
+    instead of returning bad records.
+    """
+    blob = io.read_bytes(path)
+    if blob is None:
+        return None
+    return RecordBlock(blob=bytes(blob))

@@ -45,7 +45,11 @@ from repro.shuffle.merge import merge_sorted_runs_list
 from repro.shuffle.segment import segment_path
 from repro.shuffle.skew import SkewReport, detect_skew
 from repro.shuffle.spill import SpillBuffer
-from repro.shuffle.store import SegmentStore, ShippedReplicaBackend
+from repro.shuffle.store import (
+    DiskSegmentBackend,
+    SegmentStore,
+    ShippedReplicaBackend,
+)
 
 
 class JobResult:
@@ -294,6 +298,7 @@ def _execute_map_task(
     traced: bool = False,
     epoch: int = 0,
     override_candidates: Optional[List[str]] = None,
+    io: Optional[Any] = None,
 ) -> _TaskOutcome:
     """One complete map task: block decode, map, spill (sort + combine).
 
@@ -360,10 +365,17 @@ def _execute_map_task(
         # sorted run (combined in place when the job has a combiner);
         # finish() merges the runs into one framed, compressed,
         # CRC-checksummed segment per reducer.
+        io_policy = policy.resolved_io()
         buffer = SpillBuffer(
             job.num_reducers, job.partitioner, job.sort_key or _identity,
             job.io_sort_records, track_keys=job.shuffle.track_keys,
             combiner=job.combiner,
+            # Real spill-to-disk through the durable-I/O layer when the
+            # policy configures spill directories (with ENOSPC fallback
+            # routing); in-memory runs otherwise, as before.
+            spill_io=io if io_policy.spill_dirs else None,
+            spill_dirs=io_policy.spill_dirs,
+            spill_prefix=f"{task_id}-e{epoch}",
         )
         for key, value in context.emitted:
             buffer.add(key, value)
@@ -575,6 +587,7 @@ class MapReduceEngine:
         filesystem: Optional[Any] = None,
         recorder: Optional[Any] = None,
         lease_monitor: Optional[LeaseMonitor] = None,
+        io: Optional[Any] = None,
     ):
         if deprecated_args:
             if len(deprecated_args) > 1 or nodes is not None:
@@ -607,6 +620,12 @@ class MapReduceEngine:
         self._executor: Optional[TaskExecutor] = None
         #: Pool lifetime stats already published to metrics (delta base).
         self._pool_stats_seen: Dict[str, float] = {}
+        #: Shared durable-I/O layer (built lazily from the policy when
+        #: the first disk artifact needs it; the pipeline passes one in
+        #: so checkpoints, WAL and spills share a single stats bag).
+        self.io = io
+        #: I/O lifetime stats already published to metrics (delta base).
+        self._io_stats_seen: Dict[str, float] = {}
 
     def close(self) -> None:
         """Release executor resources (pool workers, for one).
@@ -755,7 +774,18 @@ class MapReduceEngine:
                 )
                 if job.is_map_only:
                     return result
-                store = SegmentStore.for_filesystem(self.filesystem)
+                io_policy = self.policy.resolved_io()
+                if io_policy.spill_dirs:
+                    # Real replica files on the configured spill
+                    # directories, with ENOSPC fallback routing and
+                    # replica shedding through the durable-I/O layer.
+                    store = SegmentStore(
+                        DiskSegmentBackend.from_policy(
+                            self._io_layer(), io_policy
+                        )
+                    )
+                else:
+                    store = SegmentStore.for_filesystem(self.filesystem)
                 stored: List[str] = []
                 try:
                     paths = self._store_segments(
@@ -778,7 +808,40 @@ class MapReduceEngine:
             if executor.pooled:
                 executor.end_job()
                 self._publish_pool_stats(executor)
+            self._publish_io_stats()
         return result
+
+    def _io_layer(self) -> Any:
+        """The engine's durable-I/O layer, built from the policy once.
+
+        A fault plan carrying I/O events selects the fault-injecting
+        layer; plans and policies without I/O configuration get the
+        plain durable contract.
+        """
+        if self.io is None:
+            from repro.io.faults import build_io
+
+            self.io = build_io(self.policy)
+        return self.io
+
+    def _publish_io_stats(self) -> None:
+        """Publish the I/O layer's lifetime counters as metric deltas.
+
+        Same delta discipline as :meth:`_publish_pool_stats`: the stats
+        bag accumulates across jobs (and is shared with the pipeline's
+        checkpoint/WAL traffic), so each publish emits only what
+        happened since the last one.
+        """
+        if self.io is None:
+            return
+        metrics = self.recorder.metrics
+        current = self.io.stats.as_dict()
+        seen = self._io_stats_seen
+        self._io_stats_seen = current
+        for name, value in current.items():
+            delta = value - seen.get(name, 0)
+            if delta > 0:
+                metrics.counter(name).inc(delta)
 
     def _publish_pool_stats(self, executor: TaskExecutor) -> None:
         """Publish the pool's lifetime accounting as metric deltas.
@@ -829,6 +892,13 @@ class MapReduceEngine:
         the file each mapper leaves for the shuffle.
         """
         traced = self.recorder.enabled and self.recorder.trace_tasks
+        # Map tasks spill runs to disk through the shared I/O layer
+        # only when spill directories are configured; the in-memory
+        # path stays allocation-free.
+        task_io = (
+            self._io_layer() if self.policy.resolved_io().spill_dirs
+            else None
+        )
         placements: List[Tuple[str, str]] = []
         factories = []
         for index, split in enumerate(splits):
@@ -838,7 +908,7 @@ class MapReduceEngine:
             factories.append(
                 functools.partial(
                     _execute_map_task, job, split, candidates, task_id,
-                    self.policy, traced,
+                    self.policy, traced, io=task_io,
                 )
             )
         calls: Optional[List[_MapCall]] = None

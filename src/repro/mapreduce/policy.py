@@ -49,6 +49,12 @@ constructing engines ad hoc:
 * ``fault_plan`` — a frozen :class:`~repro.chaos.plan.FaultPlan` of
   targeted chaos events (kill node N at round R, delay task T, raise
   in task U) that composes with ``fault_rate``.
+* ``io`` — a frozen :class:`~repro.io.policy.IoPolicy` configuring the
+  durable-I/O layer (transient-retry budget, per-op timeout, spill
+  directories with ENOSPC fallback, replica shedding); ``None`` means
+  the default contract.  A fault plan carrying I/O events (torn
+  writes, ENOSPC, EIO, slow I/O) is injected below this layer's retry
+  loop.
 
 Fault decisions depend only on ``(fault_seed, task_id, attempt)`` (and
 a plan's explicit ``(task_id, attempt)`` addressing), so they are
@@ -66,6 +72,7 @@ from typing import Callable, Optional
 
 from repro.chaos.plan import FaultPlan
 from repro.errors import MapReduceError
+from repro.io.policy import DEFAULT_IO_POLICY, IoPolicy
 
 #: Executor kinds accepted by :class:`ExecutionPolicy`.
 EXECUTOR_KINDS = ("serial", "thread", "process", "pool", "elastic")
@@ -96,6 +103,7 @@ class ExecutionPolicy:
     lease_seconds: Optional[float] = None
     backup_attempts: int = 1
     fault_plan: Optional[FaultPlan] = None
+    io: Optional[IoPolicy] = None
     sleep: Callable[[float], None] = field(
         default=time.sleep, repr=False, compare=False
     )
@@ -189,6 +197,10 @@ class ExecutionPolicy:
         if self.max_workers is not None:
             return self.max_workers
         return min(32, os.cpu_count() or 1)
+
+    def resolved_io(self) -> IoPolicy:
+        """The durable-I/O policy after applying the default contract."""
+        return self.io if self.io is not None else DEFAULT_IO_POLICY
 
     def resolved_min_workers(self) -> int:
         """The elastic pool's worker floor after applying defaults."""

@@ -10,10 +10,12 @@ re-runs only what is missing.
 
 Two storage backends:
 
-* :class:`LocalDirectoryBackend` — plain files on the driver's disk.
-  Manifest updates are atomic (``os.replace`` of a temp file), so a
-  crash mid-save can truncate at most the round being saved, never an
-  already-completed one.
+* :class:`LocalDirectoryBackend` — files on the driver's disk, routed
+  through the :mod:`repro.io` durability contract: every blob write is
+  write-temp → fsync → atomic rename → directory fsync, so a crash
+  mid-save can truncate at most the round being saved, never an
+  already-completed one — and the completed ones survive a power cut,
+  not just a process kill.
 * :class:`HdfsBackend` — files under a prefix of a (long-lived) HDFS
   instance, using ``put(..., overwrite=True)`` for rewrites.
 
@@ -40,36 +42,46 @@ _MANIFEST_NAME = "manifest.json"
 
 
 class LocalDirectoryBackend:
-    """Checkpoint blobs as flat files in one local directory."""
+    """Checkpoint blobs as flat files in one local directory.
 
-    def __init__(self, root: str):
+    All byte traffic goes through a :class:`~repro.io.layer.LocalIO`
+    (one is built when the caller passes none), which supplies the
+    durability contract — atomic renames with file and directory
+    fsyncs, durable appends with torn-tail healing, transient-EIO
+    retry — for every layer stacked on this backend: checkpoints, the
+    job WAL, and the server's queue journal.
+    """
+
+    def __init__(self, root: str, io: Optional[Any] = None):
+        from repro.io.layer import LocalIO
+
         self.root = root
+        self.io = io if io is not None else LocalIO()
         os.makedirs(root, exist_ok=True)
 
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
     def write(self, name: str, data: bytes) -> None:
-        """Atomic write: a crash never leaves a half-written blob."""
-        final = os.path.join(self.root, name)
-        tmp = final + ".tmp"
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp, final)
+        """Atomic durable write: old bytes or new bytes, never a mix."""
+        self.io.write_atomic(self._path(name), data)
 
     def read(self, name: str) -> Optional[bytes]:
-        try:
-            with open(os.path.join(self.root, name), "rb") as handle:
-                return handle.read()
-        except FileNotFoundError:
-            return None
+        return self.io.read_bytes(self._path(name))
 
     def append(self, name: str, data: bytes) -> None:
-        """Append to a blob (creates it when missing).
+        """Durable append to a blob (creates it when missing).
 
         Deliberately *not* atomic — the job WAL built on top frames
-        every record with a CRC32 and tolerates a torn tail, which is
-        the cheapest durable-append contract a local file offers.
+        every record with a CRC32 and tolerates a torn tail — but each
+        append is fsynced, and a failed append truncates its torn tail
+        before the retry.
         """
-        with open(os.path.join(self.root, name), "ab") as handle:
-            handle.write(data)
+        self.io.append_durable(self._path(name), data)
+
+    def delete(self, name: str) -> None:
+        """Idempotent delete: a missing blob is already deleted."""
+        self.io.unlink(self._path(name))
 
     def __repr__(self) -> str:
         return f"LocalDirectoryBackend({self.root!r})"
@@ -103,6 +115,11 @@ class HdfsBackend:
         existing = self.read(name) or b""
         self.hdfs.put(self._path(name), existing + data, overwrite=True)
 
+    def delete(self, name: str) -> None:
+        """Idempotent delete: a missing blob is already deleted."""
+        if self.hdfs.exists(self._path(name)):
+            self.hdfs.delete(self._path(name))
+
     def __repr__(self) -> str:
         return f"HdfsBackend({self.prefix!r})"
 
@@ -116,8 +133,8 @@ class CheckpointStore:
 
     # -- constructors -------------------------------------------------------
     @classmethod
-    def local(cls, root: str) -> "CheckpointStore":
-        return cls(LocalDirectoryBackend(root))
+    def local(cls, root: str, io: Optional[Any] = None) -> "CheckpointStore":
+        return cls(LocalDirectoryBackend(root, io=io))
 
     @classmethod
     def hdfs(cls, hdfs: Any, prefix: str = "/checkpoints") -> "CheckpointStore":
@@ -207,6 +224,29 @@ class CheckpointStore:
         if key not in self._manifest["order"]:
             self._manifest["order"].append(key)
         self._write_manifest()
+
+    # -- cleanup ------------------------------------------------------------
+    def discard_round(self, key: str) -> None:
+        """Drop one round's checkpoint: manifest first, blobs after.
+
+        The manifest is rewritten (atomically) *before* the blobs are
+        unlinked, so a crash mid-discard leaves a manifest that no
+        longer references the round and some orphaned blobs — garbage,
+        not corruption.  Every unlink is idempotent, so re-running the
+        discard after such a crash (or discarding a round twice)
+        succeeds instead of wedging recovery on a missing file.
+        Unknown rounds are a no-op for the same reason.
+        """
+        entry = self._manifest["rounds"].pop(key, None)
+        if key in self._manifest["order"]:
+            self._manifest["order"].remove(key)
+        if entry is None:
+            return
+        self._write_manifest()
+        for item in entry["files"]:
+            self.backend.delete(item["blob"])
+        for item in entry["blobs"].values():
+            self.backend.delete(item["blob"])
 
     # -- restore ------------------------------------------------------------
     def has_round(self, key: str) -> bool:

@@ -31,6 +31,7 @@ from repro.formats.vcf import VariantRecord
 from repro.gdpt.partitioner import split_pairs_contiguously
 from repro.genome.reference import ReferenceGenome
 from repro.hdfs.filesystem import Hdfs
+from repro.io.faults import build_io
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.policy import ExecutionPolicy
 from repro.obs.recorder import NULL_RECORDER, ObsConfig
@@ -140,9 +141,14 @@ class GesallPipeline:
         result.recorder = recorder
         hdfs = Hdfs(self.nodes, replication=min(3, len(self.nodes)),
                     block_size=self.block_size, recorder=recorder)
+        # One durable-I/O layer for the whole run: the engine's spills
+        # and segments, the checkpoints and the job WAL all route
+        # through it, so fault injection and ``io.*`` accounting cover
+        # every on-disk artifact from a single seeded plan.
+        io = build_io(self.policy)
         engine = MapReduceEngine(
             nodes=self.nodes, policy=self.policy, filesystem=hdfs,
-            recorder=recorder,
+            recorder=recorder, io=io,
         )
         try:
             return self._run_rounds(
@@ -166,7 +172,7 @@ class GesallPipeline:
 
         store = self.checkpoint
         if store is None and self.checkpoint_dir is not None:
-            store = CheckpointStore.local(self.checkpoint_dir)
+            store = CheckpointStore.local(self.checkpoint_dir, io=engine.io)
         completed: List[str] = []
         fingerprint = self._fingerprint(pairs)
         if store is not None:

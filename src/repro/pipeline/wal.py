@@ -101,6 +101,28 @@ class FrameLog:
         payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         self.backend.append(self.name, _frame(payload))
 
+    def rewrite(self, records: List[Any]) -> None:
+        """Replace the whole log — header plus ``records`` — atomically.
+
+        The compaction primitive: header and records are framed into
+        one buffer and handed to the backend as a *single* atomic
+        write (write-temp → fsync → rename → directory fsync on the
+        durable backend), so a crash at any instant leaves either the
+        complete old log or the complete new one.  The
+        ``reset()``-then-``append()`` loop this replaced could lose
+        previously durable records when killed mid-compaction.
+        """
+        header = {"version": WAL_VERSION, "fingerprint": self.fingerprint}
+        header.update(self.meta)
+        chunks = [
+            _frame(pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL))
+        ]
+        for record in records:
+            chunks.append(
+                _frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+            )
+        self.backend.write(self.name, b"".join(chunks))
+
     def replay(self) -> List[Any]:
         """Every intact journaled record, in append order.
 

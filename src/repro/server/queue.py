@@ -126,27 +126,31 @@ class DurableJobQueue:
                 job.resubmitted = True
                 readmitted.append(job)
         # One atomic rewrite: heals torn tails, drops orphaned starts.
-        self._log.reset()
+        # FrameLog.rewrite frames everything into a single durable
+        # write (the reset-then-append loop it replaced could lose
+        # previously journaled jobs when killed mid-compaction).
+        compacted: List[Dict[str, Any]] = []
         for job in self.jobs.values():
-            self._log.append(self._submit_record(job))
+            compacted.append(self._submit_record(job))
             if job.start_seq:
-                self._log.append(
+                compacted.append(
                     {"kind": "start", "job_id": job.job_id,
                      "start_seq": job.start_seq}
                 )
             if job.state == "done":
-                self._log.append(
+                compacted.append(
                     {"kind": "done", "job_id": job.job_id,
                      "result": job.result_blob,
                      "paid_seconds": job.paid_seconds}
                 )
             elif job.state == "failed":
-                self._log.append(
+                compacted.append(
                     {"kind": "failed", "job_id": job.job_id,
                      "error": job.error}
                 )
             elif job.state == "cancelled":
-                self._log.append({"kind": "cancel", "job_id": job.job_id})
+                compacted.append({"kind": "cancel", "job_id": job.job_id})
+        self._log.rewrite(compacted)
         return readmitted
 
     def _apply(self, record: Dict[str, Any]) -> None:

@@ -22,10 +22,12 @@ shipping both back in the task outcome.
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections import Counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ShuffleError
+from repro.errors import ShuffleError, StorageFullError
 from repro.shuffle.codec import Codec
 from repro.shuffle.merge import merge_sorted_runs_list
 from repro.shuffle.segment import EncodedSegment, KeyValue, encode_segment
@@ -84,9 +86,14 @@ class SpillBuffer:
         spill_records: int,
         track_keys: int = 0,
         combiner: Optional[Callable[[Any, List[Any], Any], None]] = None,
+        spill_io: Optional[Any] = None,
+        spill_dirs: Tuple[str, ...] = (),
+        spill_prefix: str = "run",
     ):
         if spill_records < 1:
             raise ShuffleError("spill_records must be >= 1")
+        if spill_io is not None and not spill_dirs:
+            raise ShuffleError("spill_io needs at least one spill dir")
         self._num_partitions = num_partitions
         self._partitioner = partitioner
         self._sort_key = sort_key
@@ -98,10 +105,19 @@ class SpillBuffer:
         self._combiner = combiner
         self.combine_in = 0
         self.combine_out = 0
+        #: Durable-I/O layer for real spill-to-disk; None keeps runs in
+        #: memory (the original behaviour, still the default).
+        self._spill_io = spill_io
+        self._spill_dirs = tuple(spill_dirs)
+        self._spill_prefix = spill_prefix
+        #: Disk path per run (index-aligned with _runs; None = in memory).
+        self._run_files: List[Optional[str]] = []
         #: Current in-memory buffer: (partition, key, value) in emit order.
         self._buffer: List[Tuple[int, Any, Any]] = []
         #: Frozen runs: each is a per-partition list of sorted records.
-        self._runs: List[List[List[KeyValue]]] = []
+        #: A run spilled to disk is replaced by None until finish()
+        #: reads it back.
+        self._runs: List[Optional[List[List[KeyValue]]]] = []
         self.partition_records = [0] * num_partitions
         self._key_tallies: Optional[List[Counter]] = (
             [Counter() for _ in range(num_partitions)] if track_keys else None
@@ -134,8 +150,59 @@ class SpillBuffer:
             slice_.sort(key=lambda kv: sort_key(kv[0]))  # stable
             if self._combiner is not None and slice_:
                 run[index] = self._combine_sorted(slice_)
+        if self._spill_io is not None:
+            path = self._write_run_to_disk(len(self._runs), run)
+            if path is not None:
+                # Run is durable on disk; drop the in-memory copy (the
+                # point of spilling) and read it back at merge time.
+                self._runs.append(None)
+                self._run_files.append(path)
+                self._buffer = []
+                return
         self._runs.append(run)
+        self._run_files.append(None)
         self._buffer = []
+
+    def _write_run_to_disk(
+        self, run_index: int, run: List[List[KeyValue]]
+    ) -> Optional[str]:
+        """Persist one sorted run; returns its path, or None.
+
+        Walks the spill directories in order: ENOSPC on the primary
+        degrades the run to the next directory (counted in
+        ``io.fallback_spills``).  When *every* directory is full the
+        run stays in memory — degraded further, but the task still
+        completes — rather than failing the map task over intermediate
+        data that has an in-memory home anyway.
+        """
+        payload = pickle.dumps(run, protocol=4)
+        name = os.path.join(
+            "mapspill", f"{self._spill_prefix}-run{run_index:03d}.spill"
+        )
+        for dir_index, root in enumerate(self._spill_dirs):
+            target = os.path.join(root, name)
+            try:
+                self._spill_io.write_atomic(target, payload)
+            except StorageFullError:
+                continue
+            if dir_index > 0:
+                self._spill_io.stats.fallback_spills += 1
+            return target
+        return None
+
+    def _materialized_runs(self) -> List[List[List[KeyValue]]]:
+        """All runs, disk-spilled ones read back (and their files freed)."""
+        runs: List[List[List[KeyValue]]] = []
+        for run, path in zip(self._runs, self._run_files):
+            if run is not None:
+                runs.append(run)
+                continue
+            data = self._spill_io.read_bytes(path)
+            if data is None:
+                raise ShuffleError(f"spilled run missing: {path}")
+            runs.append(pickle.loads(data))
+            self._spill_io.unlink(path)
+        return runs
 
     def _combine_sorted(self, records: List[KeyValue]) -> List[KeyValue]:
         """Pre-aggregate one sorted slice, keeping it sorted.
@@ -171,12 +238,13 @@ class SpillBuffer:
         # Even an empty map output counts as one (empty) spill file,
         # matching Hadoop's SPILLED file accounting.
         spills = max(1, len(self._runs))
+        runs = self._materialized_runs()
         sort_key = self._sort_key
-        multi_run = len(self._runs) > 1
+        multi_run = len(runs) > 1
         segments = []
         for partition in range(self._num_partitions):
             merged = merge_sorted_runs_list(
-                [run[partition] for run in self._runs],
+                [run[partition] for run in runs],
                 key=lambda kv: sort_key(kv[0]),
             )
             # Merge-time combine pass: runs were combined as they

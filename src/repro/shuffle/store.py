@@ -8,7 +8,7 @@ reads deliberately take an unverified fast path to one replica, and
 the segment's own end-to-end CRC32 (checked by :meth:`fetch`) is what
 catches rot, failing over to the next replica on a refetch.
 
-Two backends share the contract:
+Three backends share the contract:
 
 * :class:`HdfsSegmentBackend` keeps segments on the simulated HDFS
   (``Hdfs.read_unverified`` is the short-circuit read), so segment
@@ -16,13 +16,24 @@ Two backends share the contract:
   replica rot and re-replication all apply to shuffle data too.
 * :class:`LocalSegmentBackend` is a dict of replicated byte copies for
   engines with no filesystem attached (unit-test word counts).
+* :class:`DiskSegmentBackend` puts real replica files on real spill
+  directories through the :mod:`repro.io` durability contract, with
+  degraded-mode routing: ENOSPC on the primary spill directory falls
+  back to the next one, and when every directory is full, replicas are
+  shed down to ``IoPolicy.min_replicas`` before the job fails.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Tuple
 
-from repro.errors import ShuffleCorruptionError, ShuffleError
+from repro.errors import (
+    HdfsError,
+    ShuffleCorruptionError,
+    ShuffleError,
+    StorageFullError,
+)
 from repro.shuffle.segment import DecodedSegment, decode_segment
 
 
@@ -149,6 +160,135 @@ class HdfsSegmentBackend:
         return self._fs.list_dir("/shuffle")
 
 
+class DiskSegmentBackend:
+    """Replica files on spill directories, via the durable-I/O layer.
+
+    Replica ``k`` of logical path ``/shuffle/job/map-i/seg-r.bin``
+    lands at ``<dir>/shuffle/job/map-i/seg-r.bin.r<k>`` in the first
+    spill directory with room: every write walks ``spill_dirs`` in
+    order, so an ENOSPC on the primary degrades the replica to a
+    secondary (``io.fallback_spills``) instead of failing the task.
+    When no directory can take a replica, the remaining copies are
+    *shed* (``io.replicas_shed``) as long as ``min_replicas`` already
+    landed; below that the put raises
+    :class:`~repro.errors.StorageFullError` and the job fails.
+
+    Writes are atomic (temp + fsync + rename through the I/O layer),
+    so a reader observes a replica file either complete or not at all —
+    a crashed put never leaves a torn replica for a fetch to trip on —
+    and deletes are idempotent, so cleanup after a crash between the
+    delete and the journal update simply succeeds again.
+    """
+
+    def __init__(self, io, spill_dirs, replicas: int = 2,
+                 min_replicas: int = 1):
+        if not spill_dirs:
+            raise ShuffleError("DiskSegmentBackend needs >= 1 spill dir")
+        if replicas < 1:
+            raise ShuffleError("a segment needs at least one replica")
+        if not 1 <= min_replicas <= replicas:
+            raise ShuffleError(
+                "min_replicas must be within [1, replicas] "
+                f"({min_replicas} vs {replicas})"
+            )
+        self.io = io
+        self.spill_dirs = [str(d) for d in spill_dirs]
+        self.replicas = replicas
+        self.min_replicas = min_replicas
+
+    @classmethod
+    def from_policy(cls, io, io_policy) -> "DiskSegmentBackend":
+        return cls(
+            io, io_policy.spill_dirs,
+            replicas=io_policy.segment_replicas,
+            min_replicas=io_policy.min_replicas,
+        )
+
+    def _replica_file(self, root: str, path: str, replica: int) -> str:
+        rel = path.lstrip("/").replace("/", os.sep)
+        return os.path.join(root, f"{rel}.r{replica}")
+
+    def _existing_replicas(self, path: str) -> List[str]:
+        """Replica files present on disk, in (replica, dir) order."""
+        found = []
+        for replica in range(self.replicas):
+            for root in self.spill_dirs:
+                candidate = self._replica_file(root, path, replica)
+                if self.io.exists(candidate):
+                    found.append(candidate)
+                    break
+        return found
+
+    def put(self, path: str, blob: bytes) -> None:
+        placed = 0
+        for replica in range(self.replicas):
+            landed = False
+            for dir_index, root in enumerate(self.spill_dirs):
+                target = self._replica_file(root, path, replica)
+                try:
+                    self.io.write_atomic(target, blob)
+                except StorageFullError:
+                    continue
+                if dir_index > 0:
+                    self.io.stats.fallback_spills += 1
+                placed += 1
+                landed = True
+                break
+            if not landed:
+                if placed >= self.min_replicas:
+                    # Degraded mode: every directory is full but the
+                    # minimum copy count already landed — shed the rest
+                    # rather than failing the job.
+                    self.io.stats.replicas_shed += self.replicas - replica
+                    return
+                raise StorageFullError(
+                    f"no spill directory could take replica {replica} of "
+                    f"{path} ({placed} < min_replicas "
+                    f"{self.min_replicas}); dirs: {self.spill_dirs}"
+                )
+
+    def read(self, path: str, replica_choice: int) -> bytes:
+        available = self._existing_replicas(path)
+        if not available:
+            raise ShuffleError(f"no such segment: {path}")
+        target = available[replica_choice % len(available)]
+        data = self.io.read_bytes(target)
+        if data is None:
+            raise ShuffleError(f"no such segment: {path}")
+        return data
+
+    def corrupt(self, path: str, replica_index: int = 0) -> str:
+        available = self._existing_replicas(path)
+        if not available:
+            raise ShuffleError(f"no such segment: {path}")
+        target = available[replica_index % len(available)]
+        blob = self.io.read_bytes(target) or b"\xff"
+        rotten = bytes([blob[0] ^ 0xFF]) + blob[1:] if blob else b"\xff"
+        self.io.write_atomic(target, rotten)
+        return os.path.basename(target)
+
+    def delete(self, path: str) -> None:
+        for replica in range(self.replicas):
+            for root in self.spill_dirs:
+                self.io.unlink(self._replica_file(root, path, replica))
+
+    def paths(self) -> List[str]:
+        logical = set()
+        for root in self.spill_dirs:
+            if not os.path.isdir(root):
+                continue
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for name in filenames:
+                    stem, _, suffix = name.rpartition(".r")
+                    if not stem or not suffix.isdigit():
+                        continue
+                    rel = os.path.relpath(
+                        os.path.join(dirpath, stem), root
+                    )
+                    logical.add("/" + rel.replace(os.sep, "/"))
+        return sorted(logical)
+
+
 class SegmentStore:
     """Stores map output segments; serves CRC-verified reducer fetches."""
 
@@ -218,8 +358,19 @@ class SegmentStore:
         self.backend.delete(path)
 
     def delete_all(self, paths) -> None:
+        """Best-effort idempotent cleanup of a job's segments.
+
+        Every backend's ``delete`` treats a missing segment as already
+        deleted, and a backend error on one path must not strand the
+        rest — a crash between an earlier delete and the bookkeeping
+        that records it re-runs this cleanup over paths that are
+        already gone.
+        """
         for path in paths:
-            self.backend.delete(path)
+            try:
+                self.backend.delete(path)
+            except (ShuffleError, HdfsError, StorageFullError):
+                continue
 
     def paths(self) -> List[str]:
         """Stored segment paths (leak checks after job cleanup)."""
